@@ -1,0 +1,353 @@
+//! Bucketized hash table (`bucket_mask` / `bucket_invec` of §4.4).
+//!
+//! The bucketized design (from the authors' ICS'17 conflict-mitigation
+//! work) hashes a key to a 16-slot bucket and has SIMD lane `l` probe the
+//! bucket starting at slot `l`: two lanes of the same vector holding the
+//! same key land on different slots, so most write conflicts never arise.
+//! The price is that one key may occupy several slots (merged at drain
+//! time) and that the hashing range is 16× smaller, lengthening probe
+//! chains as the group cardinality approaches the table size — exactly the
+//! crossover Figure 13 shows.
+
+use invector_core::invec::reduce_alg1_arr;
+use invector_core::masking::PositionFeeder;
+use invector_core::ops::Sum;
+use invector_simd::{conflict_free_subset, F32x16, I32x16, Mask16};
+
+use crate::table::{bucket_slots, hash_key, pow2_capacity, AggRow, ProbeStats, EMPTY};
+
+/// Probe-chain length after which a lane falls back to a scalar commit.
+///
+/// The lane-staggered insertion deliberately duplicates hot keys across
+/// slots; under extreme load the walk for a free slot can get long. Real
+/// vectorized hash tables bound this with an overflow path — ours walks the
+/// table scalarly, preserving correctness while the measured probing cost
+/// grows, which is exactly the high-cardinality degradation Figure 13
+/// shows for the bucketized design.
+const SCALAR_FALLBACK_PROBES: i32 = 64;
+
+/// A bucketized aggregation hash table (16-slot buckets, lane-staggered
+/// probing).
+///
+/// # Example
+///
+/// ```
+/// use invector_agg::bucket::BucketTable;
+///
+/// let mut t = BucketTable::for_cardinality(16);
+/// t.aggregate_invec(&[3, 3, 5], &[1.0, 2.0, 4.0]);
+/// let rows = t.drain();
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0].count, 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketTable {
+    keys: Vec<i32>,
+    count: Vec<f32>,
+    sum: Vec<f32>,
+    sumsq: Vec<f32>,
+    bucket_mask: u32,
+    shift: u32,
+}
+
+impl BucketTable {
+    /// Creates a table sized for `cardinality` distinct keys. The capacity
+    /// is the next power of two ≥ 32·cardinality (at least 256 slots):
+    /// lane-private slots mean one key can occupy up to 16 slots, and open
+    /// addressing needs load factor ≤ 0.5 on top — the memory the conflict
+    /// mitigation trades for SIMD utilization (and the reason the design
+    /// runs out of cache earlier at high cardinality).
+    pub fn for_cardinality(cardinality: usize) -> Self {
+        let capacity = pow2_capacity(cardinality * 32, 256);
+        let num_buckets = capacity / 16;
+        BucketTable {
+            keys: vec![EMPTY; capacity],
+            count: vec![0.0; capacity],
+            sum: vec![0.0; capacity],
+            sumsq: vec![0.0; capacity],
+            bucket_mask: num_buckets as u32 - 1,
+            shift: 32 - num_buckets.trailing_zeros(),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Occupied slot count (may exceed the number of distinct keys:
+    /// duplicates are merged at drain time).
+    pub fn occupied(&self) -> usize {
+        self.keys.iter().filter(|&&k| k != EMPTY).count()
+    }
+
+    /// Conflict-masking SIMD aggregation on the bucketized layout
+    /// (`bucket_mask`): the lane-staggered slots mitigate most conflicts;
+    /// the residual ones are handled with the Figure-3 masking flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative keys, length mismatch, or table overflow.
+    pub fn aggregate_mask(&mut self, keys: &[i32], vals: &[f32]) -> ProbeStats {
+        assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+        assert!(keys.iter().all(|&k| k >= 0), "group-by keys must be non-negative");
+        let mut stats = ProbeStats::default();
+        let mut feeder = PositionFeeder::new(0, keys.len());
+        let mut vpos = I32x16::zero();
+        let mut vkey = I32x16::splat(EMPTY);
+        let mut vval = F32x16::zero();
+        let mut vt = I32x16::zero();
+        let mut active = Mask16::none();
+        loop {
+            let filled = feeder.refill(!active, &mut vpos);
+            if !filled.is_empty() {
+                vkey = vkey.mask_gather(filled, keys, vpos);
+                vval = vval.mask_gather(filled, vals, vpos);
+                vt = I32x16::zero().blend(filled, vt);
+                active |= filled;
+            }
+            if active.is_empty() {
+                break;
+            }
+            stats.rounds += 1;
+            let vslot = bucket_slots(vkey, vt, self.shift, self.bucket_mask);
+            let tkeys = I32x16::splat(EMPTY).mask_gather(active, &self.keys, vslot);
+            let m_match = tkeys.simd_eq(vkey) & active;
+            let m_empty = tkeys.eq_broadcast(EMPTY) & active;
+            let claim = conflict_free_subset(m_empty, vslot);
+            vkey.mask_scatter(claim, &mut self.keys, vslot);
+            let upd = conflict_free_subset(m_match, vslot);
+            self.update_payload(upd, vslot, vval);
+            stats.util.record(u64::from(upd.count_ones()), 16);
+            active = active.and_not(upd);
+            let m_miss = active.and_not(m_match).and_not(m_empty);
+            vt = (vt + I32x16::splat(1)).blend(m_miss, vt);
+            // Overflow path: lanes stuck in long probe chains commit scalar.
+            for lane in active.iter_set() {
+                if vt.extract(lane) > SCALAR_FALLBACK_PROBES {
+                    let v = vval.extract(lane);
+                    self.commit_scalar(vkey.extract(lane), 1.0, v, v * v);
+                    stats.util.record(1, 16);
+                    active = active.with(lane, false);
+                }
+            }
+        }
+        stats
+    }
+
+    /// In-vector reduction SIMD aggregation on the bucketized layout
+    /// (`bucket_invec`): input vectors are pre-reduced by key, then probe
+    /// with lane staggering. The paper's best performer until the group
+    /// cardinality nears the table size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative keys, length mismatch, or table overflow.
+    pub fn aggregate_invec(&mut self, keys: &[i32], vals: &[f32]) -> ProbeStats {
+        assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+        assert!(keys.iter().all(|&k| k >= 0), "group-by keys must be non-negative");
+        let mut stats = ProbeStats::default();
+        let mut j = 0;
+        while j < keys.len() {
+            let (vkey, active) = I32x16::load_partial(&keys[j..], EMPTY);
+            let (vval, _) = F32x16::load_partial(&vals[j..], 0.0);
+            let mut comps = [F32x16::splat(1.0), vval, vval * vval];
+            let (distinct, d1) = reduce_alg1_arr::<f32, Sum, 3, 16>(active, vkey, &mut comps);
+            stats.depth.record(d1);
+            let mut rem = distinct;
+            let mut vt = I32x16::zero();
+            while !rem.is_empty() {
+                stats.rounds += 1;
+                let vslot = bucket_slots(vkey, vt, self.shift, self.bucket_mask);
+                let tkeys = I32x16::splat(EMPTY).mask_gather(rem, &self.keys, vslot);
+                let m_match = tkeys.simd_eq(vkey) & rem;
+                self.accumulate_components(m_match, vslot, &comps);
+                rem = rem.and_not(m_match);
+                let m_empty = tkeys.eq_broadcast(EMPTY) & rem;
+                let claim = conflict_free_subset(m_empty, vslot);
+                vkey.mask_scatter(claim, &mut self.keys, vslot);
+                comps[0].mask_scatter(claim, &mut self.count, vslot);
+                comps[1].mask_scatter(claim, &mut self.sum, vslot);
+                comps[2].mask_scatter(claim, &mut self.sumsq, vslot);
+                rem = rem.and_not(claim);
+                stats.util.record(u64::from(m_match.count_ones() + claim.count_ones()), 16);
+                let m_miss = rem.and_not(m_empty);
+                vt = (vt + I32x16::splat(1)).blend(m_miss, vt);
+                // Overflow path: lanes stuck in long probe chains commit
+                // their pre-reduced components scalar.
+                for lane in rem.iter_set() {
+                    if vt.extract(lane) > SCALAR_FALLBACK_PROBES {
+                        self.commit_scalar(
+                            vkey.extract(lane),
+                            comps[0].extract(lane),
+                            comps[1].extract(lane),
+                            comps[2].extract(lane),
+                        );
+                        stats.util.record(1, 16);
+                        rem = rem.with(lane, false);
+                    }
+                }
+            }
+            j += 16;
+        }
+        stats
+    }
+
+    /// Scalar overflow commit: walks the table from the key's home bucket
+    /// in plain slot order until it finds the key or an empty slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every slot is occupied by other keys (true table overflow).
+    fn commit_scalar(&mut self, key: i32, c: f32, s: f32, q: f32) {
+        let cap = self.capacity() as u32;
+        let start = (hash_key(key, self.shift) & self.bucket_mask) * 16;
+        for t in 0..cap {
+            let slot = ((start + t) & (cap - 1)) as usize;
+            if self.keys[slot] == key || self.keys[slot] == EMPTY {
+                self.keys[slot] = key;
+                self.count[slot] += c;
+                self.sum[slot] += s;
+                self.sumsq[slot] += q;
+                return;
+            }
+        }
+        panic!("bucketized hash table full (capacity {cap})");
+    }
+
+    fn update_payload(&mut self, lanes: Mask16, vslot: I32x16, vval: F32x16) {
+        let c = F32x16::zero().mask_gather(lanes, &self.count, vslot);
+        (c + F32x16::splat(1.0)).mask_scatter(lanes, &mut self.count, vslot);
+        let s = F32x16::zero().mask_gather(lanes, &self.sum, vslot);
+        (s + vval).mask_scatter(lanes, &mut self.sum, vslot);
+        let q = F32x16::zero().mask_gather(lanes, &self.sumsq, vslot);
+        (q + vval * vval).mask_scatter(lanes, &mut self.sumsq, vslot);
+    }
+
+    fn accumulate_components(&mut self, lanes: Mask16, vslot: I32x16, comps: &[F32x16; 3]) {
+        let arrays: [&mut Vec<f32>; 3] = [&mut self.count, &mut self.sum, &mut self.sumsq];
+        for (arr, &c) in arrays.into_iter().zip(comps) {
+            let old = F32x16::zero().mask_gather(lanes, arr, vslot);
+            (old + c).mask_scatter(lanes, arr, vslot);
+        }
+    }
+
+    /// Extracts all result rows sorted by key, merging the duplicate slots
+    /// the lane-staggered insertion creates, and empties the table.
+    pub fn drain(&mut self) -> Vec<AggRow> {
+        let mut map: std::collections::BTreeMap<i32, (f32, f32, f32)> = std::collections::BTreeMap::new();
+        for s in 0..self.keys.len() {
+            if self.keys[s] != EMPTY {
+                let e = map.entry(self.keys[s]).or_insert((0.0, 0.0, 0.0));
+                e.0 += self.count[s];
+                e.1 += self.sum[s];
+                e.2 += self.sumsq[s];
+                self.keys[s] = EMPTY;
+                self.count[s] = 0.0;
+                self.sum[s] = 0.0;
+                self.sumsq[s] = 0.0;
+            }
+        }
+        map.into_iter()
+            .map(|(key, (count, sum, sumsq))| AggRow { key, count, sum, sumsq })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{generate, Distribution};
+    use crate::table::{assert_rows_close, reference_aggregate};
+
+    #[test]
+    fn mask_matches_reference_on_all_distributions() {
+        for dist in Distribution::ALL {
+            let input = generate(dist, 3000, 200, 12);
+            let mut t = BucketTable::for_cardinality(input.cardinality);
+            let stats = t.aggregate_mask(&input.keys, &input.vals);
+            assert_rows_close(&t.drain(), &reference_aggregate(&input.keys, &input.vals), 1e-3);
+            assert!(stats.rounds > 0, "{dist}");
+        }
+    }
+
+    #[test]
+    fn invec_matches_reference_on_all_distributions() {
+        for dist in Distribution::ALL {
+            let input = generate(dist, 3000, 200, 13);
+            let mut t = BucketTable::for_cardinality(input.cardinality);
+            let _ = t.aggregate_invec(&input.keys, &input.vals);
+            assert_rows_close(&t.drain(), &reference_aggregate(&input.keys, &input.vals), 1e-3);
+        }
+    }
+
+    #[test]
+    fn lane_staggering_gives_bucket_mask_high_utilization_under_skew() {
+        // The point of the bucketized design: a 50% hot key no longer
+        // serializes the masked variant.
+        let input = generate(Distribution::HeavyHitter, 8000, 256, 14);
+        let mut linear = crate::linear::LinearTable::for_cardinality(256);
+        let linear_stats = linear.aggregate_mask(&input.keys, &input.vals);
+        let mut bucket = BucketTable::for_cardinality(256);
+        let bucket_stats = bucket.aggregate_mask(&input.keys, &input.vals);
+        assert!(
+            bucket_stats.util.ratio() > 1.5 * linear_stats.util.ratio(),
+            "bucket {} vs linear {}",
+            bucket_stats.util.ratio(),
+            linear_stats.util.ratio()
+        );
+    }
+
+    #[test]
+    fn duplicates_are_merged_at_drain() {
+        // The same key inserted from different lane positions occupies
+        // multiple slots until drain merges them.
+        let keys = vec![9i32; 64];
+        let vals = vec![1.0f32; 64];
+        let mut t = BucketTable::for_cardinality(16);
+        t.aggregate_mask(&keys, &vals);
+        let occupied = t.occupied();
+        let rows = t.drain();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 64.0);
+        assert!(occupied >= 1);
+    }
+
+    #[test]
+    fn near_capacity_cardinality_still_correct() {
+        let card = 300;
+        let keys: Vec<i32> = (0..card as i32).flat_map(|k| [k, k, k]).collect();
+        let vals = vec![0.5f32; keys.len()];
+        let mut t = BucketTable::for_cardinality(card);
+        t.aggregate_invec(&keys, &vals);
+        let rows = t.drain();
+        assert_eq!(rows.len(), card);
+        assert!(rows.iter().all(|r| r.count == 3.0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut t = BucketTable::for_cardinality(8);
+        let _ = t.aggregate_mask(&[], &[]);
+        let _ = t.aggregate_invec(&[], &[]);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn random_interleavings_of_both_methods() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(15);
+        for _ in 0..10 {
+            let n = rng.gen_range(0..1000);
+            let card = rng.gen_range(1..100);
+            let keys: Vec<i32> = (0..n).map(|_| rng.gen_range(0..card)).collect();
+            let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let expect = reference_aggregate(&keys, &vals);
+            let mut t = BucketTable::for_cardinality(card as usize);
+            t.aggregate_mask(&keys, &vals);
+            assert_rows_close(&t.drain(), &expect, 1e-3);
+            t.aggregate_invec(&keys, &vals);
+            assert_rows_close(&t.drain(), &expect, 1e-3);
+        }
+    }
+}

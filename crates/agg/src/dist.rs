@@ -1,0 +1,218 @@
+//! Skewed key-distribution generators (§4.1, after Cieslewicz et al.).
+//!
+//! The paper evaluates hash aggregation on three synthetic input classes:
+//!
+//! * **heavy hitter** — one key accounts for 50% of the rows, the rest are
+//!   uniform over the remaining keys;
+//! * **Zipf** with exponent 0.5;
+//! * **moving cluster** — keys drawn uniformly from a 64-wide window that
+//!   slides across the key domain as the input progresses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated aggregation input: group-by keys and values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Input {
+    /// Group-by keys in `0..cardinality`.
+    pub keys: Vec<i32>,
+    /// Aggregation values.
+    pub vals: Vec<f32>,
+    /// Number of distinct possible keys.
+    pub cardinality: usize,
+}
+
+impl Input {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the input has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// The distributions of Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// 50% of rows hit one key.
+    HeavyHitter,
+    /// Zipf with exponent 0.5.
+    Zipf,
+    /// 64-wide sliding locality window.
+    MovingCluster,
+}
+
+impl Distribution {
+    /// All distributions in paper order.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::HeavyHitter, Distribution::Zipf, Distribution::MovingCluster];
+
+    /// Paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::HeavyHitter => "heavy-hitter",
+            Distribution::Zipf => "Zipf",
+            Distribution::MovingCluster => "moving-cluster",
+        }
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fraction of rows assigned to the hot key in the heavy-hitter input.
+pub const HEAVY_HITTER_SHARE: f64 = 0.5;
+
+/// Zipf exponent used by the paper.
+pub const ZIPF_EXPONENT: f64 = 0.5;
+
+/// Moving-cluster window width used by the paper.
+pub const CLUSTER_WINDOW: usize = 64;
+
+/// Generates `n` rows with the given distribution over `cardinality` keys.
+///
+/// # Panics
+///
+/// Panics if `cardinality == 0`.
+pub fn generate(dist: Distribution, n: usize, cardinality: usize, seed: u64) -> Input {
+    assert!(cardinality > 0, "cardinality must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let keys = match dist {
+        Distribution::HeavyHitter => heavy_hitter_keys(n, cardinality, &mut rng),
+        Distribution::Zipf => zipf_keys(n, cardinality, ZIPF_EXPONENT, &mut rng),
+        Distribution::MovingCluster => moving_cluster_keys(n, cardinality, &mut rng),
+    };
+    let vals = (0..n).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    Input { keys, vals, cardinality }
+}
+
+fn heavy_hitter_keys(n: usize, cardinality: usize, rng: &mut SmallRng) -> Vec<i32> {
+    let hot = rng.gen_range(0..cardinality) as i32;
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(HEAVY_HITTER_SHARE) || cardinality == 1 {
+                hot
+            } else {
+                // Uniform over the other keys.
+                let mut k = rng.gen_range(0..cardinality as i32 - 1);
+                if k >= hot {
+                    k += 1;
+                }
+                k
+            }
+        })
+        .collect()
+}
+
+fn zipf_keys(n: usize, cardinality: usize, exponent: f64, rng: &mut SmallRng) -> Vec<i32> {
+    // Precompute the CDF: P(rank r) ∝ 1 / r^exponent.
+    let mut cdf = Vec::with_capacity(cardinality);
+    let mut acc = 0.0f64;
+    for r in 1..=cardinality {
+        acc += 1.0 / (r as f64).powf(exponent);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            cdf.partition_point(|&c| c < u) as i32
+        })
+        .collect()
+}
+
+fn moving_cluster_keys(n: usize, cardinality: usize, rng: &mut SmallRng) -> Vec<i32> {
+    let window = CLUSTER_WINDOW.min(cardinality);
+    let span = cardinality - window;
+    (0..n)
+        .map(|i| {
+            let base = if n <= 1 { 0 } else { (i as f64 / (n - 1) as f64 * span as f64) as usize };
+            (base + rng.gen_range(0..window)) as i32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn histogram(keys: &[i32]) -> HashMap<i32, usize> {
+        let mut h = HashMap::new();
+        for &k in keys {
+            *h.entry(k).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn keys_stay_in_domain() {
+        for dist in Distribution::ALL {
+            let input = generate(dist, 5000, 128, 1);
+            assert!(input.keys.iter().all(|&k| (0..128).contains(&k)), "{dist}");
+            assert_eq!(input.len(), 5000);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Distribution::Zipf, 1000, 64, 9);
+        let b = generate(Distribution::Zipf, 1000, 64, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_hitter_has_a_dominant_key() {
+        let input = generate(Distribution::HeavyHitter, 20_000, 1024, 2);
+        let h = histogram(&input.keys);
+        let max = h.values().max().copied().unwrap();
+        let share = max as f64 / input.len() as f64;
+        assert!((0.45..0.55).contains(&share), "hot share {share}");
+    }
+
+    #[test]
+    fn zipf_head_dominates_tail() {
+        let input = generate(Distribution::Zipf, 50_000, 1024, 3);
+        let h = histogram(&input.keys);
+        // Rank 0 should appear noticeably more often than rank 100 under
+        // exponent 0.5 (~10x).
+        let head = h.get(&0).copied().unwrap_or(0) as f64;
+        let tail = h.get(&100).copied().unwrap_or(0) as f64;
+        assert!(head > 3.0 * tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn moving_cluster_respects_window_locality() {
+        let card = 4096;
+        let input = generate(Distribution::MovingCluster, 10_000, card, 4);
+        // Early keys come from the low end, late keys from the high end.
+        let early_max = input.keys[..100].iter().max().copied().unwrap();
+        let late_min = input.keys[input.len() - 100..].iter().min().copied().unwrap();
+        assert!(early_max < (CLUSTER_WINDOW * 2) as i32, "early max {early_max}");
+        assert!(late_min > card as i32 - (CLUSTER_WINDOW * 2) as i32, "late min {late_min}");
+        // And consecutive keys stay within the window span.
+        for w in input.keys.windows(2) {
+            assert!((w[0] - w[1]).abs() <= CLUSTER_WINDOW as i32 + 2);
+        }
+    }
+
+    #[test]
+    fn tiny_cardinality_works() {
+        for dist in Distribution::ALL {
+            let input = generate(dist, 100, 1, 5);
+            assert!(input.keys.iter().all(|&k| k == 0), "{dist}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality must be positive")]
+    fn zero_cardinality_rejected() {
+        let _ = generate(Distribution::Zipf, 10, 0, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! `invector-agg` — hash-based aggregation, the database workload of the
+//! paper (§4.4, Figure 13).
+//!
+//! Implements the query `SELECT G, count(*), sum(V), sum(V*V) FROM R GROUP
+//! BY G` over two table designs — an open-addressing
+//! [linear-probing table](linear) and a
+//! [bucketized, conflict-mitigating table](bucket) — each aggregating with
+//! the scalar baseline, conflict-masking, or in-vector reduction. The
+//! [distribution generators](dist) reproduce the paper's skewed inputs
+//! (heavy hitter, Zipf 0.5, moving cluster).
+//!
+//! # Example
+//!
+//! ```
+//! use invector_agg::dist::{generate, Distribution};
+//! use invector_agg::run::{aggregate, Method};
+//!
+//! let input = generate(Distribution::HeavyHitter, 10_000, 64, 7);
+//! let out = aggregate(Method::BucketInvec, &input.keys, &input.vals, 64);
+//! let total: f32 = out.rows.iter().map(|r| r.count).sum();
+//! assert_eq!(total, 10_000.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bucket;
+pub mod dist;
+pub mod linear;
+pub mod run;
+pub mod table;
+
+pub use bucket::BucketTable;
+pub use dist::{Distribution, Input};
+pub use linear::LinearTable;
+pub use run::{aggregate, AggOutcome, Method};
+pub use table::{AggRow, ProbeStats};

@@ -1,0 +1,150 @@
+//! One-call façade over the five aggregation variants (Figure 13's series).
+
+use std::time::{Duration, Instant};
+
+use crate::bucket::BucketTable;
+use crate::linear::LinearTable;
+use crate::table::{AggRow, ProbeStats};
+
+/// The aggregation implementations compared in Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Scalar linear-probing baseline.
+    LinearSerial,
+    /// Conflict-masking on the linear-probing table.
+    LinearMask,
+    /// Conflict-masking on the bucketized table.
+    BucketMask,
+    /// In-vector reduction on the linear-probing table.
+    LinearInvec,
+    /// In-vector reduction on the bucketized table.
+    BucketInvec,
+}
+
+impl Method {
+    /// All methods in the paper's legend order.
+    pub const ALL: [Method; 5] = [
+        Method::LinearSerial,
+        Method::LinearMask,
+        Method::BucketMask,
+        Method::LinearInvec,
+        Method::BucketInvec,
+    ];
+
+    /// The paper's series label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::LinearSerial => "linear_serial",
+            Method::LinearMask => "linear_mask",
+            Method::BucketMask => "bucket_mask",
+            Method::LinearInvec => "linear_invec",
+            Method::BucketInvec => "bucket_invec",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of one aggregation run.
+#[derive(Debug, Clone)]
+pub struct AggOutcome {
+    /// Result rows, sorted by key.
+    pub rows: Vec<AggRow>,
+    /// Aggregation wall time (table build + drain).
+    pub elapsed: Duration,
+    /// Modeled instruction count (SIMD instructions for vectorized methods,
+    /// the scalar cost model for `linear_serial`).
+    pub instructions: u64,
+    /// Probe statistics (`Default` for the serial baseline).
+    pub stats: ProbeStats,
+}
+
+impl AggOutcome {
+    /// Throughput in millions of rows per second — the unit of Figure 13.
+    pub fn mrows_per_sec(&self, rows_in: usize) -> f64 {
+        rows_in as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs the group-by query with the chosen method over `keys`/`vals`,
+/// sizing the table for `cardinality` distinct keys.
+///
+/// # Panics
+///
+/// Panics on negative keys or length mismatch.
+pub fn aggregate(method: Method, keys: &[i32], vals: &[f32], cardinality: usize) -> AggOutcome {
+    let instr_before = invector_simd::count::read();
+    let start = Instant::now();
+    let (rows, stats) = match method {
+        Method::LinearSerial => {
+            let mut t = LinearTable::for_cardinality(cardinality);
+            t.aggregate_serial(keys, vals);
+            (t.drain(), ProbeStats::default())
+        }
+        Method::LinearMask => {
+            let mut t = LinearTable::for_cardinality(cardinality);
+            let stats = t.aggregate_mask(keys, vals);
+            (t.drain(), stats)
+        }
+        Method::LinearInvec => {
+            let mut t = LinearTable::for_cardinality(cardinality);
+            let stats = t.aggregate_invec(keys, vals);
+            (t.drain(), stats)
+        }
+        Method::BucketMask => {
+            let mut t = BucketTable::for_cardinality(cardinality);
+            let stats = t.aggregate_mask(keys, vals);
+            (t.drain(), stats)
+        }
+        Method::BucketInvec => {
+            let mut t = BucketTable::for_cardinality(cardinality);
+            let stats = t.aggregate_invec(keys, vals);
+            (t.drain(), stats)
+        }
+    };
+    AggOutcome {
+        rows,
+        elapsed: start.elapsed(),
+        instructions: invector_simd::count::read().wrapping_sub(instr_before),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{generate, Distribution};
+    use crate::table::{assert_rows_close, reference_aggregate};
+
+    #[test]
+    fn every_method_computes_the_same_query() {
+        for dist in Distribution::ALL {
+            let input = generate(dist, 2000, 128, 21);
+            let expect = reference_aggregate(&input.keys, &input.vals);
+            for method in Method::ALL {
+                let out = aggregate(method, &input.keys, &input.vals, input.cardinality);
+                assert_rows_close(&out.rows, &expect, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_figure13_legend() {
+        assert_eq!(Method::LinearSerial.label(), "linear_serial");
+        assert_eq!(Method::BucketInvec.to_string(), "bucket_invec");
+        let set: std::collections::HashSet<_> = Method::ALL.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn throughput_is_finite_and_positive() {
+        let input = generate(Distribution::Zipf, 5000, 64, 22);
+        let out = aggregate(Method::BucketInvec, &input.keys, &input.vals, 64);
+        let t = out.mrows_per_sec(input.len());
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

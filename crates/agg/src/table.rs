@@ -1,0 +1,185 @@
+//! Shared hash-table machinery: hashing, result rows, probe statistics.
+
+use invector_core::stats::{DepthHistogram, Utilization};
+use invector_simd::I32x16;
+
+/// The empty-slot marker. Group-by keys must be non-negative.
+pub const EMPTY: i32 = -1;
+
+/// One result row of the query
+/// `SELECT G, count(*), sum(V), sum(V*V) FROM R GROUP BY G`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggRow {
+    /// Group-by key.
+    pub key: i32,
+    /// `count(*)` (kept in `f32` so all three aggregates share one SIMD
+    /// reduction schedule; exact up to 2²⁴ rows per group).
+    pub count: f32,
+    /// `sum(V)`.
+    pub sum: f32,
+    /// `sum(V*V)`.
+    pub sumsq: f32,
+}
+
+/// Statistics of one aggregation pass.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeStats {
+    /// Probe rounds executed (vector loop iterations).
+    pub rounds: u64,
+    /// Lane utilization of the masked variants.
+    pub util: Utilization,
+    /// Conflict-depth histogram of the in-vector variants.
+    pub depth: DepthHistogram,
+}
+
+/// Fibonacci multiplicative hash of a key.
+#[inline(always)]
+pub fn hash_key(key: i32, shift: u32) -> u32 {
+    (key as u32).wrapping_mul(0x9E37_79B1) >> shift
+}
+
+/// Vectorized linear-probe slot computation:
+/// `slot = (hash(key) + offset) & mask` per lane
+/// (`vpmulld` + `vpsrld` + `vpaddd` + `vpandd`).
+#[inline]
+pub fn probe_slots(vkey: I32x16, voff: I32x16, shift: u32, mask: u32) -> I32x16 {
+    let hashed = (vkey.cast_u32() * invector_simd::U32x16::splat(0x9E37_79B1)).shr(shift);
+    ((hashed + voff.cast_u32()) & invector_simd::U32x16::splat(mask)).cast_i32()
+}
+
+/// Vectorized bucketized-probe slot computation (the ICS'17 conflict
+/// mitigation). Attempt `t` of lane `l` probes slot
+/// `((bucket(key) + t) & bucket_mask) * 16 + l`: the in-bucket slot is
+/// **fixed by the lane**, so two lanes of one vector holding the same key
+/// write different slots by construction; collisions between different
+/// keys advance to the next bucket. One key occupies at most 16 slots
+/// (one per lane position), merged at drain time.
+#[inline]
+pub fn bucket_slots(vkey: I32x16, vt: I32x16, shift: u32, bucket_mask: u32) -> I32x16 {
+    use invector_simd::U32x16;
+    let hashed = (vkey.cast_u32() * U32x16::splat(0x9E37_79B1)).shr(shift);
+    let bucket = (hashed + vt.cast_u32()) & U32x16::splat(bucket_mask);
+    let lane_ids = U32x16::from_array(std::array::from_fn(|l| l as u32));
+    (bucket.shl(4) | lane_ids).cast_i32()
+}
+
+/// Scalar reference aggregation via `std::collections::HashMap`, sorted by
+/// key — the ground truth every table implementation is tested against.
+pub fn reference_aggregate(keys: &[i32], vals: &[f32]) -> Vec<AggRow> {
+    let mut map: std::collections::BTreeMap<i32, (f64, f64, f64)> = std::collections::BTreeMap::new();
+    for (&k, &v) in keys.iter().zip(vals) {
+        let e = map.entry(k).or_insert((0.0, 0.0, 0.0));
+        e.0 += 1.0;
+        e.1 += f64::from(v);
+        e.2 += f64::from(v) * f64::from(v);
+    }
+    map.into_iter()
+        .map(|(key, (count, sum, sumsq))| AggRow {
+            key,
+            count: count as f32,
+            sum: sum as f32,
+            sumsq: sumsq as f32,
+        })
+        .collect()
+}
+
+/// Compares two result-row slices with a relative tolerance on the float
+/// aggregates (reassociation error) and exact keys/counts.
+///
+/// # Panics
+///
+/// Panics (with context) on any mismatch — this is a test/verification
+/// helper.
+pub fn assert_rows_close(got: &[AggRow], expect: &[AggRow], tol: f32) {
+    assert_eq!(got.len(), expect.len(), "row count mismatch");
+    for (g, e) in got.iter().zip(expect) {
+        assert_eq!(g.key, e.key, "key mismatch");
+        assert_eq!(g.count, e.count, "count mismatch for key {}", g.key);
+        for (a, b, what) in [(g.sum, e.sum, "sum"), (g.sumsq, e.sumsq, "sumsq")] {
+            assert!(
+                (a - b).abs() <= tol * (a.abs() + b.abs() + 1.0),
+                "{what} mismatch for key {}: {a} vs {b}",
+                g.key
+            );
+        }
+    }
+}
+
+/// Rounds a capacity request up to a power of two, with a floor.
+pub fn pow2_capacity(min_slots: usize, floor: usize) -> usize {
+    min_slots.max(floor).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let shift = 32 - 10; // 1024-slot table
+        for key in [0, 1, 5, 1 << 20, i32::MAX] {
+            let h = hash_key(key, shift);
+            assert!(h < 1024);
+            assert_eq!(h, hash_key(key, shift));
+        }
+    }
+
+    #[test]
+    fn probe_slots_wrap_with_offset() {
+        let vkey = I32x16::splat(7);
+        let base = probe_slots(vkey, I32x16::zero(), 32 - 4, 15).extract(0);
+        let stepped = probe_slots(vkey, I32x16::splat(1), 32 - 4, 15).extract(0);
+        assert_eq!(stepped, (base + 1) & 15);
+        let wrapped = probe_slots(vkey, I32x16::splat(16), 32 - 4, 15).extract(0);
+        assert_eq!(wrapped, base);
+    }
+
+    #[test]
+    fn bucket_slots_are_lane_private() {
+        let vkey = I32x16::splat(3);
+        let slots = bucket_slots(vkey, I32x16::zero(), 32 - 3, 7);
+        let arr = slots.to_array();
+        // Same bucket, one distinct slot per lane: lane l gets slot l.
+        let bucket = arr[0] / 16;
+        for (l, &s) in arr.iter().enumerate() {
+            assert_eq!(s / 16, bucket);
+            assert_eq!(s % 16, l as i32);
+        }
+    }
+
+    #[test]
+    fn bucket_slots_advance_one_bucket_per_attempt() {
+        let vkey = I32x16::splat(3);
+        let b0 = bucket_slots(vkey, I32x16::zero(), 32 - 3, 7).extract(5) / 16;
+        let b1 = bucket_slots(vkey, I32x16::splat(1), 32 - 3, 7).extract(5) / 16;
+        assert_eq!(b1, (b0 + 1) & 7);
+        // The lane-private slot survives bucket advances.
+        assert_eq!(bucket_slots(vkey, I32x16::splat(1), 32 - 3, 7).extract(5) % 16, 5);
+    }
+
+    #[test]
+    fn reference_aggregate_computes_query() {
+        let rows = reference_aggregate(&[2, 0, 2], &[0.5, 1.0, 1.5]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], AggRow { key: 0, count: 1.0, sum: 1.0, sumsq: 1.0 });
+        assert_eq!(rows[1].key, 2);
+        assert_eq!(rows[1].count, 2.0);
+        assert_eq!(rows[1].sum, 2.0);
+        assert_eq!(rows[1].sumsq, 0.25 + 2.25);
+    }
+
+    #[test]
+    fn pow2_capacity_rounds_up() {
+        assert_eq!(pow2_capacity(100, 64), 128);
+        assert_eq!(pow2_capacity(10, 64), 64);
+        assert_eq!(pow2_capacity(128, 64), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn assert_rows_close_catches_count_errors() {
+        let a = [AggRow { key: 0, count: 1.0, sum: 0.0, sumsq: 0.0 }];
+        let b = [AggRow { key: 0, count: 2.0, sum: 0.0, sumsq: 0.0 }];
+        assert_rows_close(&a, &b, 1e-3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: every aggregation method computes the reference query.
+
+use proptest::prelude::*;
+
+use invector_agg::dist::{generate, Distribution};
+use invector_agg::run::{aggregate, Method};
+use invector_agg::table::reference_aggregate;
+use invector_agg::LinearTable;
+
+fn rows_strategy() -> impl Strategy<Value = (Vec<i32>, Vec<f32>)> {
+    prop::collection::vec((0..50i32, 0..1000i32), 0..400).prop_map(|pairs| {
+        let keys: Vec<i32> = pairs.iter().map(|&(k, _)| k).collect();
+        // Small dyadic values: f32 sums are exact, so comparisons can be
+        // strict across arbitrary reduction orders.
+        let vals: Vec<f32> = pairs.iter().map(|&(_, v)| v as f32 / 8.0).collect();
+        (keys, vals)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_methods_compute_the_reference_query((keys, vals) in rows_strategy()) {
+        let expect = reference_aggregate(&keys, &vals);
+        for method in Method::ALL {
+            let out = aggregate(method, &keys, &vals, 50);
+            prop_assert_eq!(out.rows.len(), expect.len(), "{}", method);
+            for (g, e) in out.rows.iter().zip(&expect) {
+                prop_assert_eq!(g.key, e.key, "{}", method);
+                prop_assert_eq!(g.count, e.count, "{} key {}", method, g.key);
+                prop_assert!((g.sum - e.sum).abs() < 1e-3, "{} key {}: {} vs {}", method, g.key, g.sum, e.sum);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_linear_invec_is_also_correct((keys, vals) in rows_strategy()) {
+        let expect = reference_aggregate(&keys, &vals);
+        let mut t = LinearTable::for_cardinality(50);
+        let _ = t.aggregate_invec_adaptive(&keys, &vals, 50);
+        let rows = t.drain();
+        prop_assert_eq!(rows.len(), expect.len());
+        for (g, e) in rows.iter().zip(&expect) {
+            prop_assert_eq!(g.count, e.count, "key {}", g.key);
+        }
+    }
+
+    #[test]
+    fn generated_distributions_have_requested_size_and_domain(
+        dist_idx in 0usize..3,
+        n in 0usize..2000,
+        card in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let dist = Distribution::ALL[dist_idx];
+        let input = generate(dist, n, card, seed);
+        prop_assert_eq!(input.len(), n);
+        prop_assert!(input.keys.iter().all(|&k| (0..card as i32).contains(&k)));
+        prop_assert!(input.vals.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn total_count_is_preserved_by_every_method(
+        dist_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let dist = Distribution::ALL[dist_idx];
+        let input = generate(dist, 3000, 128, seed);
+        for method in Method::ALL {
+            let out = aggregate(method, &input.keys, &input.vals, 128);
+            let total: f32 = out.rows.iter().map(|r| r.count).sum();
+            prop_assert_eq!(total, 3000.0, "{}", method);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Substrate micro-benchmark: gather/scatter and compress/expand costs of
+//! the SIMD model over footprints spanning L1 / L2 / RAM — the memory
+//! behaviour that shapes every macro result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use invector_simd::{F32x16, I32x16, Mask16};
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather");
+    for log2n in [10u32, 16, 22] {
+        let n = 1usize << log2n;
+        let base: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        // A fixed pseudo-random index stream.
+        let idx: Vec<I32x16> = (0..256)
+            .map(|v| {
+                I32x16::from_array(std::array::from_fn(|l| {
+                    (((v * 16 + l) as u64).wrapping_mul(0x9E3779B97F4A7C15) % n as u64) as i32
+                }))
+            })
+            .collect();
+        group.throughput(Throughput::Elements(256 * 16));
+        group.bench_with_input(BenchmarkId::new("footprint", 1 << (log2n + 2)), &idx, |b, idx| {
+            b.iter(|| {
+                let mut acc = F32x16::zero();
+                for &v in idx {
+                    acc += F32x16::gather(&base, black_box(v));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scatter_and_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter_compress");
+    let mut base = vec![0.0f32; 1 << 16];
+    let idx = I32x16::from_array(std::array::from_fn(|l| (l * 64) as i32));
+    let vals = F32x16::splat(2.0);
+    group.bench_function("scatter", |b| {
+        b.iter(|| vals.scatter(black_box(&mut base), black_box(idx)))
+    });
+    group.bench_function("mask_scatter_half", |b| {
+        let m = Mask16::from_bits(0x5555);
+        b.iter(|| vals.mask_scatter(m, black_box(&mut base), black_box(idx)))
+    });
+    group.bench_function("compress", |b| {
+        let m = Mask16::from_bits(0x0F3C);
+        b.iter(|| black_box(black_box(vals).compress(m)))
+    });
+    group.bench_function("expand", |b| {
+        let m = Mask16::from_bits(0x0F3C);
+        b.iter(|| black_box(black_box(vals).expand(m, F32x16::zero())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gather, bench_scatter_and_compress);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: linear-probing versus bucketized table probe cost as the
+//! group cardinality approaches the table size — the mechanism behind the
+//! Figure 13 crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use invector_agg::dist::{generate, Distribution};
+use invector_agg::run::{aggregate, Method};
+
+fn bench_probe(c: &mut Criterion) {
+    let rows = 1 << 14;
+    let mut group = c.benchmark_group("hash_probe");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(rows as u64));
+    for log2card in [6u32, 10, 12] {
+        let cardinality = 1usize << log2card;
+        for dist in [Distribution::HeavyHitter, Distribution::Zipf] {
+            let input = generate(dist, rows, cardinality, 7);
+            for method in Method::ALL {
+                let id = format!("{}/{}/2^{}", method.label(), dist.label(), log2card);
+                group.bench_with_input(BenchmarkId::from_parameter(id), &input, |b, input| {
+                    b.iter(|| {
+                        black_box(aggregate(
+                            method,
+                            black_box(&input.keys),
+                            black_box(&input.vals),
+                            cardinality,
+                        ))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

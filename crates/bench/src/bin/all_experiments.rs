@@ -1,0 +1,58 @@
+//! Convenience driver: runs every table/figure harness in sequence
+//! (locating the sibling binaries next to this executable) and reports a
+//! pass/fail summary — the one-command equivalent of the paper artifact's
+//! `run.sh`.
+//!
+//! Run: `cargo run --release -p invector-bench --bin all_experiments
+//!       [--scale f | --full]`
+//! Extra arguments are forwarded to every harness.
+
+use std::process::Command;
+
+/// The harness binaries, in paper order.
+const EXPERIMENTS: [&str; 9] = [
+    "table1_datasets",
+    "fig08_pagerank",
+    "fig09_sssp",
+    "fig10_sswp",
+    "fig11_wcc",
+    "fig12_moldyn",
+    "fig13_aggregation",
+    "table2_reduce_by_key",
+    "locality_study",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let own = std::env::current_exe().expect("current executable path");
+    let dir = own.parent().expect("executable directory");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        if !path.exists() {
+            eprintln!("skipping {name}: {} not built (cargo build --release -p invector-bench --bins)", path.display());
+            failures.push(name);
+            continue;
+        }
+        println!("\n################ {name} ################");
+        match Command::new(&path).args(&forwarded).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{name} exited with {status}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e}");
+                failures.push(name);
+            }
+        }
+    }
+
+    println!("\n================ summary ================");
+    println!("{} of {} experiments completed", EXPERIMENTS.len() - failures.len(), EXPERIMENTS.len());
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

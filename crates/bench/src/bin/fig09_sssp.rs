@@ -1,0 +1,13 @@
+//! Figure 9: overall performance of different versions of wave-frontier
+//! SSSP on different inputs.
+//!
+//! Run: `cargo run --release -p invector-bench --bin fig09_sssp
+//!       [--scale f | --full]`
+
+use invector_bench::{arg_scale, wavefront_figure};
+use invector_kernels::{sssp, sssp_reuse};
+
+fn main() {
+    let scale = arg_scale(0.02);
+    wavefront_figure("Figure 9", "SSSP", scale, |g, variant| sssp(g, 0, variant, 10_000), |g| sssp_reuse(g, 0, 10_000));
+}

@@ -1,0 +1,13 @@
+//! Figure 10: overall performance of different versions of wave-frontier
+//! SSWP (Single-Source Widest Path) on different inputs.
+//!
+//! Run: `cargo run --release -p invector-bench --bin fig10_sswp
+//!       [--scale f | --full]`
+
+use invector_bench::{arg_scale, wavefront_figure};
+use invector_kernels::{sswp, sswp_reuse};
+
+fn main() {
+    let scale = arg_scale(0.02);
+    wavefront_figure("Figure 10", "SSWP", scale, |g, variant| sswp(g, 0, variant, 10_000), |g| sswp_reuse(g, 0, 10_000));
+}

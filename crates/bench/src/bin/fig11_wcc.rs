@@ -1,0 +1,13 @@
+//! Figure 11: overall performance of different versions of WCC (Weakly
+//! Connected Components) on different inputs.
+//!
+//! Run: `cargo run --release -p invector-bench --bin fig11_wcc
+//!       [--scale f | --full]`
+
+use invector_bench::{arg_scale, wavefront_figure};
+use invector_kernels::{wcc, wcc_reuse};
+
+fn main() {
+    let scale = arg_scale(0.02);
+    wavefront_figure("Figure 11", "WCC", scale, |g, variant| wcc(g, variant, 10_000), |g| wcc_reuse(g, 10_000));
+}

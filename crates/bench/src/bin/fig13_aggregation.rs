@@ -1,0 +1,61 @@
+//! Figure 13: throughput of hash-based aggregation versus group-by
+//! cardinality (x-axis `log2(cardinality)` ∈ [6, 19]) for the three skewed
+//! distributions and five method variants.
+//!
+//! Query: `SELECT G, count(*), sum(V), sum(V*V) FROM R GROUP BY G`.
+//!
+//! Run: `cargo run --release -p invector-bench --bin fig13_aggregation
+//!       [--scale f | --full]`
+//! The paper uses 32M rows; scale multiplies that row count.
+
+use invector_agg::dist::{generate, Distribution};
+use invector_agg::run::{aggregate, Method};
+use invector_bench::{arg_csv, arg_scale, header, CsvWriter};
+
+fn main() {
+    let scale = arg_scale(1.0 / 64.0);
+    let rows = ((32_000_000f64 * scale) as usize).max(1 << 14);
+    header("Figure 13", "hash aggregation throughput vs group cardinality", scale);
+    println!("rows per run: {rows}; series: throughput Mrows/s (wall) | instr/row (modeled)");
+    let mut csv =
+        CsvWriter::new(&["distribution", "method", "log2_cardinality", "mrows_per_sec", "instr_per_row"]);
+
+    // The paper sweeps log2(cardinality) in [6, 19]; at reduced scale the
+    // cardinality cannot exceed the row count, so the sweep is clipped.
+    let max_log2 = 19.min((rows as f64).log2() as u32 - 2);
+    for dist in Distribution::ALL {
+        println!("\n=== distribution: {dist} ===");
+        print!("{:<16}", "log2(card):");
+        for log2card in (6..=max_log2).step_by(1) {
+            print!(" {log2card:>12}");
+        }
+        println!();
+        for method in Method::ALL {
+            print!("{:<16}", method.label());
+            for log2card in 6..=max_log2 {
+                let cardinality = 1usize << log2card;
+                let input = generate(dist, rows, cardinality, 0xF16 + log2card as u64);
+                let out = aggregate(method, &input.keys, &input.vals, cardinality);
+                let wall = out.mrows_per_sec(rows);
+                let ipr = out.instructions as f64 / rows as f64;
+                csv.row(&[
+                    dist.label().into(),
+                    method.label().into(),
+                    log2card.to_string(),
+                    format!("{wall:.2}"),
+                    format!("{ipr:.2}"),
+                ]);
+                print!(" {:>6.1}|{:>5.1}", wall, ipr);
+            }
+            println!();
+        }
+    }
+    if let Some(path) = arg_csv() {
+        csv.write(&path).expect("write csv");
+        println!("\nwrote {} data points to {}", csv.len(), path.display());
+    }
+    println!(
+        "\npaper shape: linear_mask worst everywhere (skew serializes it); bucket_invec \
+         best until cardinality nears the table/cache size, where linear_invec takes over"
+    );
+}

@@ -1,0 +1,382 @@
+//! `invector-cachesim` — a set-associative cache-hierarchy simulator.
+//!
+//! The instruction-count model of `invector-simd` captures *work*; this
+//! crate captures *locality*. A two-level LRU hierarchy is fed the byte
+//! addresses touched by gathers/scatters (via `invector_simd::trace`) and
+//! reports hit rates and an average-memory-access-time style cost, so the
+//! paper's locality claims — tiling improves reuse, hash-table footprints
+//! cross the L1/L2/RAM boundaries of Figure 13 — can be measured instead
+//! of asserted.
+//!
+//! # Example
+//!
+//! ```
+//! use invector_cachesim::{CacheConfig, Hierarchy};
+//!
+//! let mut h = Hierarchy::knl_like();
+//! for i in 0..1000u64 {
+//!     h.access(i * 4, 4); // sequential: almost all L1 hits
+//! }
+//! assert!(h.stats().l1_hit_rate() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64-byte-line L1 (KNL/Skylake-class).
+    pub const L1: CacheConfig = CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 };
+    /// A 1 MiB, 16-way, 64-byte-line L2 (KNL-class, per-core share).
+    pub const L2: CacheConfig = CacheConfig { size_bytes: 1 << 20, ways: 16, line_bytes: 64 };
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds up to `ways` line tags in LRU order (front = MRU).
+    sets: Vec<Vec<u64>>,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/size, non-power-of-
+    /// two line size, or fewer than one set).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways > 0, "cache needs at least one way");
+        assert!(
+            config.line_bytes.is_power_of_two() && config.line_bytes >= 4,
+            "line size must be a power of two >= 4"
+        );
+        let sets = config.num_sets();
+        assert!(sets >= 1, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            set_mask: sets as u64 - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Looks up (and on miss, fills) the line containing `addr`.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&tag| tag == line) {
+            // Move to MRU position.
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            true
+        } else {
+            if set.len() == self.config.ways {
+                set.pop(); // evict LRU
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+
+    /// Lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// Where an access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Hit in the first-level cache.
+    L1,
+    /// Missed L1, hit the second-level cache.
+    L2,
+    /// Missed both: served from memory.
+    Memory,
+}
+
+/// Hit/miss accounting for a [`Hierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Line-granular accesses issued.
+    pub accesses: u64,
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses served by memory.
+    pub memory: u64,
+}
+
+impl HierarchyStats {
+    /// Fraction of accesses served by L1 (1.0 when nothing was accessed).
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses that went to memory.
+    pub fn memory_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.memory as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average access cost in cycles under a simple latency model
+    /// (L1 = 4, L2 = 14, memory = 120 — KNL-flavoured).
+    pub fn average_cost(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        (4.0 * self.l1_hits as f64 + 14.0 * self.l2_hits as f64 + 120.0 * self.memory as f64)
+            / self.accesses as f64
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.accesses += other.accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.memory += other.memory;
+    }
+}
+
+/// A two-level inclusive cache hierarchy with hit/miss accounting.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from explicit geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels have different line sizes (the fill path
+    /// assumes one line granularity).
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        assert_eq!(l1.line_bytes, l2.line_bytes, "levels must share a line size");
+        Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2), stats: HierarchyStats::default() }
+    }
+
+    /// The KNL-flavoured default: 32 KiB L1, 1 MiB L2.
+    pub fn knl_like() -> Self {
+        Hierarchy::new(CacheConfig::L1, CacheConfig::L2)
+    }
+
+    /// Simulates an access of `bytes` bytes at `addr`, touching every line
+    /// the span covers. Returns the level that served the *first* line.
+    pub fn access(&mut self, addr: u64, bytes: u32) -> Level {
+        let line_bytes = self.l1.config.line_bytes as u64;
+        let first_line = addr / line_bytes;
+        let last_line = (addr + u64::from(bytes.max(1)) - 1) / line_bytes;
+        let mut first_level = Level::Memory;
+        for line in first_line..=last_line {
+            let a = line * line_bytes;
+            self.stats.accesses += 1;
+            let level = if self.l1.access(a) {
+                self.stats.l1_hits += 1;
+                Level::L1
+            } else if self.l2.access(a) {
+                self.stats.l2_hits += 1;
+                Level::L2
+            } else {
+                self.stats.memory += 1;
+                Level::Memory
+            };
+            if line == first_line {
+                first_level = level;
+            }
+        }
+        first_level
+    }
+
+    /// The accounting so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.stats = HierarchyStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize, sets: usize) -> Cache {
+        Cache::new(CacheConfig { size_bytes: 64 * ways * sets, ways, line_bytes: 64 })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny(2, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63), "same line");
+        assert!(!c.access(64), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 1 set, 2 ways: lines map to the same set when set count is 1.
+        let mut c = tiny(2, 1);
+        assert!(!c.access(0 * 64));
+        assert!(!c.access(1 * 64));
+        // Touch line 0 so line 1 becomes LRU.
+        assert!(c.access(0 * 64));
+        // Insert line 2: evicts line 1.
+        assert!(!c.access(2 * 64));
+        assert!(c.access(0 * 64));
+        assert!(!c.access(1 * 64), "line 1 was evicted");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny(1, 2);
+        assert!(!c.access(0)); // set 0
+        assert!(!c.access(64)); // set 1
+        assert!(c.access(0));
+        assert!(c.access(64));
+    }
+
+    #[test]
+    fn resident_lines_and_flush() {
+        let mut c = tiny(4, 4);
+        for i in 0..8u64 {
+            c.access(i * 64);
+        }
+        assert_eq!(c.resident_lines(), 8);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        let _ = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 48 });
+    }
+
+    #[test]
+    fn hierarchy_serves_from_l2_after_l1_eviction() {
+        // L1: 1 set x 2 ways; L2: 1 set x 8 ways.
+        let l1 = CacheConfig { size_bytes: 128, ways: 2, line_bytes: 64 };
+        let l2 = CacheConfig { size_bytes: 512, ways: 8, line_bytes: 64 };
+        let mut h = Hierarchy::new(l1, l2);
+        assert_eq!(h.access(0, 4), Level::Memory);
+        assert_eq!(h.access(64, 4), Level::Memory);
+        assert_eq!(h.access(128, 4), Level::Memory); // evicts line 0 from L1
+        assert_eq!(h.access(0, 4), Level::L2);
+        assert_eq!(h.access(0, 4), Level::L1);
+        let s = h.stats();
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.memory, 3);
+    }
+
+    #[test]
+    fn spanning_access_touches_both_lines() {
+        let mut h = Hierarchy::knl_like();
+        h.access(60, 8); // spans lines 0 and 1
+        assert_eq!(h.stats().accesses, 2);
+    }
+
+    #[test]
+    fn sequential_stream_is_l1_friendly_random_is_not() {
+        use rand::{Rng, SeedableRng};
+        let mut h = Hierarchy::knl_like();
+        for i in 0..100_000u64 {
+            h.access(i * 4, 4);
+        }
+        let seq = h.stats().l1_hit_rate();
+        h.reset();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            h.access(rng.gen_range(0..64_000_000u64) & !3, 4);
+        }
+        let rand_rate = h.stats().l1_hit_rate();
+        assert!(seq > 0.9, "sequential {seq}");
+        assert!(rand_rate < 0.1, "random {rand_rate}");
+        assert!(h.stats().average_cost() > 50.0);
+    }
+
+    #[test]
+    fn working_set_inside_l2_eventually_hits() {
+        let mut h = Hierarchy::knl_like();
+        // 256 KiB working set: fits L2, not L1.
+        for _pass in 0..4 {
+            for i in 0..(256 << 10) / 64u64 {
+                h.access(i * 64, 4);
+            }
+        }
+        let s = h.stats();
+        assert!(s.memory_rate() < 0.3, "memory rate {}", s.memory_rate());
+        assert!(
+            s.l2_hits > s.l1_hits,
+            "L2-resident set: l2 {} l1 {}",
+            s.l2_hits,
+            s.l1_hits
+        );
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = HierarchyStats { accesses: 10, l1_hits: 5, l2_hits: 3, memory: 2 };
+        a.merge(&HierarchyStats { accesses: 10, l1_hits: 10, l2_hits: 0, memory: 0 });
+        assert_eq!(a.accesses, 20);
+        assert_eq!(a.l1_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn empty_stats_defaults() {
+        let s = HierarchyStats::default();
+        assert_eq!(s.l1_hit_rate(), 1.0);
+        assert_eq!(s.memory_rate(), 0.0);
+        assert_eq!(s.average_cost(), 0.0);
+    }
+}

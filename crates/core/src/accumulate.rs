@@ -1,0 +1,316 @@
+//! Whole-stream accumulation drivers.
+//!
+//! These are the highest-level entry points of the crate: given parallel
+//! slices of reduction indices and values, fold every value into
+//! `target[idx]` with a chosen conflict-resolution strategy. All drivers
+//! compute exactly the same result as [`serial_accumulate`]; they differ in
+//! how lane conflicts are handled, which is what the paper's evaluation
+//! measures.
+
+use invector_simd::{I32x16, SimdElement, SimdVec};
+
+use crate::adaptive::AdaptiveReducer;
+use crate::invec::reduce_alg1;
+use crate::ops::ReduceOp;
+use crate::stats::DepthHistogram;
+
+/// Statistics of one in-vector accumulation pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvecStats {
+    /// Vector iterations executed (`⌈n / 16⌉`).
+    pub vectors: u64,
+    /// Conflict-depth histogram (D1 per vector).
+    pub depth: DepthHistogram,
+}
+
+/// Scalar reference: `target[idx[j]] = Op::combine(target[idx[j]], vals[j])`
+/// for every `j` in order.
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds.
+pub fn serial_accumulate<T, Op>(target: &mut [T], idx: &[i32], vals: &[T])
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    for (&i, &v) in idx.iter().zip(vals) {
+        let slot = &mut target[i as usize];
+        *slot = Op::combine(*slot, v);
+    }
+}
+
+/// Accumulates with **in-vector reduction** (Algorithm 1): each 16-item
+/// vector is conflict-resolved internally, then committed with one masked
+/// gather-combine-scatter. SIMD utilization of the compute part is 100% by
+/// construction (§3.1).
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds for
+/// `target`.
+///
+/// # Example
+///
+/// ```
+/// use invector_core::{accumulate::invec_accumulate, ops::Sum};
+///
+/// let mut hist = vec![0.0f32; 3];
+/// let stats = invec_accumulate::<f32, Sum>(&mut hist, &[0, 0, 2, 0], &[1.0; 4]);
+/// assert_eq!(hist, vec![3.0, 0.0, 1.0]);
+/// assert_eq!(stats.vectors, 1);
+/// ```
+pub fn invec_accumulate<T, Op>(target: &mut [T], idx: &[i32], vals: &[T]) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    let mut stats = InvecStats::default();
+    let mut j = 0;
+    while j < idx.len() {
+        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
+        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
+        let (safe, d1) = reduce_alg1::<T, Op, 16>(active, vidx, &mut vval);
+        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let new = Op::combine_vec(old, vval);
+        new.mask_scatter(safe, target, vidx);
+        stats.vectors += 1;
+        stats.depth.record(d1);
+        j += 16;
+    }
+    stats
+}
+
+/// Accumulates with the **adaptive** in-vector reducer: Algorithm 1 during
+/// warm-up, then Algorithm 1 or 2 per the observed conflict depth (§3.4).
+/// The auxiliary array (if Algorithm 2 is selected) is merged before
+/// returning.
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds for
+/// `target`.
+pub fn adaptive_accumulate<T, Op>(target: &mut [T], idx: &[i32], vals: &[T]) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    let mut reducer = AdaptiveReducer::<T, Op>::new(target.len());
+    let mut stats = InvecStats::default();
+    let mut j = 0;
+    while j < idx.len() {
+        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
+        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
+        let safe = reducer.reduce(active, vidx, &mut vval);
+        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let new = Op::combine_vec(old, vval);
+        new.mask_scatter(safe, target, vidx);
+        stats.vectors += 1;
+        j += 16;
+    }
+    stats.depth.merge(reducer.depth_stats());
+    reducer.finish(target);
+    stats
+}
+
+/// Whole-stream f32 summation on the **native AVX-512 path**: the complete
+/// per-vector pipeline (conflict detection, in-vector reduction,
+/// conflict-free gather-add-scatter) executes as real AVX-512 instructions
+/// — no emulation, no instruction accounting. This is the code path whose
+/// wall-clock time is honestly comparable against scalar Rust, i.e. the
+/// deployment form of the paper's technique.
+///
+/// Returns `false` (leaving `target` untouched) when the host lacks
+/// `avx512f`/`avx512cd`; callers fall back to [`invec_accumulate`].
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or any index is out of bounds for
+/// `target`.
+///
+/// # Example
+///
+/// ```
+/// use invector_core::accumulate::{invec_accumulate, native_invec_accumulate_f32};
+/// use invector_core::ops::Sum;
+///
+/// let idx = [0, 2, 0, 1];
+/// let vals = [1.0f32, 2.0, 3.0, 4.0];
+/// let mut fast = vec![0.0f32; 3];
+/// if !native_invec_accumulate_f32(&mut fast, &idx, &vals) {
+///     invec_accumulate::<f32, Sum>(&mut fast, &idx, &vals);
+/// }
+/// assert_eq!(fast, vec![4.0, 4.0, 2.0]);
+/// ```
+pub fn native_invec_accumulate_f32(target: &mut [f32], idx: &[i32], vals: &[f32]) -> bool {
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    if !invector_simd::native::available() {
+        return false;
+    }
+    let len = target.len();
+    for &i in idx {
+        assert!(
+            i >= 0 && (i as usize) < len,
+            "index {i} out of bounds for target of length {len}"
+        );
+    }
+    // SAFETY: availability checked above; lengths equal; every index
+    // validated against `target.len()`. The whole stream runs inside one
+    // target_feature function so the hot loop stays in registers.
+    unsafe {
+        invector_simd::native::accumulate_add_f32(target, idx, vals);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Max, Min, Sum};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn invec_matches_serial_exact_integers() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let n = rng.gen_range(0..300);
+            let domain = rng.gen_range(1..40);
+            let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let vals: Vec<i32> = (0..n).map(|_| rng.gen_range(-9..9)).collect();
+            let mut a = vec![0i32; domain as usize];
+            let mut b = a.clone();
+            serial_accumulate::<i32, Sum>(&mut a, &idx, &vals);
+            invec_accumulate::<i32, Sum>(&mut b, &idx, &vals);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_serial_exact_integers() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let n = rng.gen_range(0..2000);
+            let domain = rng.gen_range(1..8); // high conflict density
+            let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let vals: Vec<i32> = (0..n).map(|_| rng.gen_range(-9..9)).collect();
+            let mut a = vec![0i32; domain as usize];
+            let mut b = a.clone();
+            serial_accumulate::<i32, Sum>(&mut a, &idx, &vals);
+            adaptive_accumulate::<i32, Sum>(&mut b, &idx, &vals);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn invec_min_max_match_serial_exactly_for_floats() {
+        // min/max are exact for floats (no reassociation error).
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let n = 500;
+        let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..13)).collect();
+        let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let mut a = vec![f32::INFINITY; 13];
+        let mut b = a.clone();
+        serial_accumulate::<f32, Min>(&mut a, &idx, &vals);
+        invec_accumulate::<f32, Min>(&mut b, &idx, &vals);
+        assert_eq!(a, b);
+
+        let mut a = vec![f32::NEG_INFINITY; 13];
+        let mut b = a.clone();
+        serial_accumulate::<f32, Max>(&mut a, &idx, &vals);
+        invec_accumulate::<f32, Max>(&mut b, &idx, &vals);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn float_sums_match_within_reassociation_tolerance() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let n = 1000;
+        let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..7)).collect();
+        let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0f32; 7];
+        let mut b = a.clone();
+        serial_accumulate::<f32, Sum>(&mut a, &idx, &vals);
+        invec_accumulate::<f32, Sum>(&mut b, &idx, &vals);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_no_op() {
+        let mut target = vec![3i32; 4];
+        let stats = invec_accumulate::<i32, Sum>(&mut target, &[], &[]);
+        assert_eq!(stats.vectors, 0);
+        assert_eq!(target, vec![3; 4]);
+    }
+
+    #[test]
+    fn tail_shorter_than_vector_width() {
+        let mut target = vec![0i32; 2];
+        invec_accumulate::<i32, Sum>(&mut target, &[1, 1, 1, 0, 1], &[1, 2, 3, 4, 5]);
+        assert_eq!(target, vec![4, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let mut target = vec![0i32; 2];
+        let _ = invec_accumulate::<i32, Sum>(&mut target, &[0, 1], &[1]);
+    }
+
+    #[test]
+    fn native_path_matches_serial_on_integer_valued_floats() {
+        if !invector_simd::native::available() {
+            eprintln!("skipping: AVX-512 not available");
+            return;
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(91);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..500);
+            let domain = rng.gen_range(1..30);
+            let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            // Small integers: exact f32 addition in any order.
+            let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-32..32) as f32).collect();
+            let mut expect = vec![0.0f32; domain as usize];
+            serial_accumulate::<f32, Sum>(&mut expect, &idx, &vals);
+            let mut got = vec![0.0f32; domain as usize];
+            assert!(native_invec_accumulate_f32(&mut got, &idx, &vals));
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn native_path_accumulates_into_existing_contents() {
+        if !invector_simd::native::available() {
+            eprintln!("skipping: AVX-512 not available");
+            return;
+        }
+        let mut target = vec![10.0f32, 20.0];
+        assert!(native_invec_accumulate_f32(&mut target, &[1, 1, 0], &[1.0, 2.0, 3.0]));
+        assert_eq!(target, vec![13.0, 23.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn native_path_rejects_bad_indices() {
+        if !invector_simd::native::available() {
+            panic!("index 9 out of bounds for target of length 2"); // keep expectation
+        }
+        let mut target = vec![0.0f32; 2];
+        let _ = native_invec_accumulate_f32(&mut target, &[9], &[1.0]);
+    }
+
+    #[test]
+    fn depth_stats_reflect_conflicts() {
+        let mut target = vec![0i32; 1];
+        let idx = vec![0i32; 32]; // every vector fully conflicted: D1 = 1
+        let vals = vec![1i32; 32];
+        let stats = invec_accumulate::<i32, Sum>(&mut target, &idx, &vals);
+        assert_eq!(stats.vectors, 2);
+        assert_eq!(stats.depth.mean(), 1.0);
+        assert_eq!(target[0], 32);
+    }
+}

@@ -1,0 +1,57 @@
+//! `invector-core` — in-vector reduction: conflict-free SIMD vectorization
+//! of associative irregular reductions.
+//!
+//! This crate implements the core contribution of *"Conflict-Free
+//! Vectorization of Associative Irregular Applications with Recent SIMD
+//! Architectural Advances"* (Jiang & Agrawal, CGO 2018): when an irregular
+//! reduction (`target[idx[j]] op= vals[j]`) is vectorized, multiple SIMD
+//! lanes may write the same location. Because the operator is associative,
+//! the conflicting lanes can be **reduced inside the vector** first — after
+//! which the surviving lanes hold distinct indices and scatter safely.
+//!
+//! * [`invec`] — Algorithms 1 and 2 of the paper plus the `invec_add` /
+//!   `invec_min` / `invec_max` programming interface of §3.5.
+//! * [`adaptive`] — the §3.4 policy choosing between the two algorithms.
+//! * [`masking`] — the conflict-masking baseline (Figure 3) the paper
+//!   compares against.
+//! * [`accumulate`] — whole-stream drivers (serial / in-vector / adaptive).
+//! * [`rbk`] — `reduce_by_key` comparators for the Table 2 experiment.
+//! * [`ops`] — the associative operators, [`stats`] — utilization and
+//!   conflict-depth accounting.
+//!
+//! # Quick start
+//!
+//! ```
+//! use invector_core::{accumulate::invec_accumulate, ops::Sum};
+//!
+//! // Histogram 10 items into 3 bins, conflict-free.
+//! let bins = [0, 1, 0, 2, 0, 1, 0, 0, 2, 0];
+//! let weights = [1.0f32; 10];
+//! let mut hist = vec![0.0f32; 3];
+//! invec_accumulate::<f32, Sum>(&mut hist, &bins, &weights);
+//! assert_eq!(hist, vec![6.0, 2.0, 2.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accumulate;
+pub mod adaptive;
+pub mod invec;
+pub mod masking;
+pub mod ops;
+pub mod parallel;
+pub mod rbk;
+pub mod stats;
+
+pub use accumulate::{
+    adaptive_accumulate, invec_accumulate, native_invec_accumulate_f32, serial_accumulate,
+};
+pub use adaptive::AdaptiveReducer;
+pub use invec::{
+    invec_add, invec_max, invec_min, reduce_alg1, reduce_alg1_arr, reduce_alg2, reduce_alg2_arr,
+    AuxArray, AuxArrays,
+};
+pub use parallel::parallel_invec_accumulate;
+pub use masking::masked_accumulate;
+pub use ops::ReduceOp;

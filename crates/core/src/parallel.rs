@@ -1,0 +1,160 @@
+//! MIMD × SIMD accumulation — the extension the paper scopes out.
+//!
+//! The paper evaluates single-core SIMD only ("MIMD parallelization is a
+//! tangential issue"). This module provides the natural composition: the
+//! input stream is partitioned across threads, each thread runs in-vector
+//! reduction into a private reduction array (so threads never contend on
+//! the target), and the private arrays are folded into the target at the
+//! end — the same privatization structure Algorithm 2 uses within a single
+//! vector, lifted to threads.
+
+use invector_simd::SimdElement;
+
+use crate::accumulate::{invec_accumulate, InvecStats};
+use crate::ops::ReduceOp;
+
+/// Accumulates `vals[j]` into `target[idx[j]]` using `threads` worker
+/// threads, each running SIMD in-vector reduction on its share of the
+/// stream. Semantically identical to
+/// [`serial_accumulate`](crate::accumulate::serial_accumulate) (exactly for
+/// integer/min/max operators; up to reassociation for float sums).
+///
+/// Returns the per-thread statistics, in stream order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, on index/value length mismatch, or if an index
+/// is out of bounds for `target`.
+///
+/// # Example
+///
+/// ```
+/// use invector_core::{ops::Sum, parallel::parallel_invec_accumulate};
+///
+/// let idx: Vec<i32> = (0..1000).map(|i| i % 10).collect();
+/// let vals = vec![1i32; 1000];
+/// let mut hist = vec![0i32; 10];
+/// parallel_invec_accumulate::<i32, Sum>(&mut hist, &idx, &vals, 4);
+/// assert!(hist.iter().all(|&c| c == 100));
+/// ```
+pub fn parallel_invec_accumulate<T, Op>(
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+    threads: usize,
+) -> Vec<InvecStats>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    if threads == 1 || idx.len() < 2 * threads {
+        return vec![invec_accumulate::<T, Op>(target, idx, vals)];
+    }
+    let chunk = idx.len().div_ceil(threads);
+    let len = target.len();
+    // Each worker reduces into a private array; the workers return both the
+    // private array and their stats.
+    let results: Vec<(Vec<T>, InvecStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = idx
+            .chunks(chunk)
+            .zip(vals.chunks(chunk))
+            .map(|(idx_part, val_part)| {
+                scope.spawn(move || {
+                    let mut private = vec![Op::identity(); len];
+                    let stats = invec_accumulate::<T, Op>(&mut private, idx_part, val_part);
+                    (private, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut all_stats = Vec::with_capacity(results.len());
+    for (private, stats) in results {
+        for (t, p) in target.iter_mut().zip(&private) {
+            *t = Op::combine(*t, *p);
+        }
+        all_stats.push(stats);
+    }
+    all_stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulate::serial_accumulate;
+    use crate::ops::{Min, Sum};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_serial_for_integers_across_thread_counts() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(55);
+        let n = 5000;
+        let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+        let vals: Vec<i32> = (0..n).map(|_| rng.gen_range(-10..10)).collect();
+        let mut expect = vec![0i32; 64];
+        serial_accumulate::<i32, Sum>(&mut expect, &idx, &vals);
+        for threads in [1, 2, 3, 8, 32] {
+            let mut got = vec![0i32; 64];
+            let stats = parallel_invec_accumulate::<i32, Sum>(&mut got, &idx, &vals, threads);
+            assert_eq!(got, expect, "{threads} threads");
+            assert!(!stats.is_empty() && stats.len() <= threads);
+        }
+    }
+
+    #[test]
+    fn min_operator_is_exact_in_parallel() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(56);
+        let idx: Vec<i32> = (0..2000).map(|_| rng.gen_range(0..16)).collect();
+        let vals: Vec<f32> = (0..2000).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut expect = vec![f32::INFINITY; 16];
+        serial_accumulate::<f32, Min>(&mut expect, &idx, &vals);
+        let mut got = vec![f32::INFINITY; 16];
+        parallel_invec_accumulate::<f32, Min>(&mut got, &idx, &vals, 4);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn preexisting_target_contents_are_combined_not_replaced() {
+        let mut target = vec![100i32, 200];
+        parallel_invec_accumulate::<i32, Sum>(&mut target, &[0, 1, 1], &[1, 2, 3], 2);
+        assert_eq!(target, vec![101, 205]);
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_one_worker() {
+        let mut target = vec![0i32; 4];
+        let stats = parallel_invec_accumulate::<i32, Sum>(&mut target, &[1, 1], &[5, 7], 8);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(target[1], 12);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut target = vec![9i32; 2];
+        parallel_invec_accumulate::<i32, Sum>(&mut target, &[], &[], 4);
+        assert_eq!(target, vec![9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let mut target = vec![0i32; 2];
+        parallel_invec_accumulate::<i32, Sum>(&mut target, &[0], &[1], 0);
+    }
+
+    #[test]
+    fn float_sums_close_to_serial() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(57);
+        let idx: Vec<i32> = (0..4000).map(|_| rng.gen_range(0..8)).collect();
+        let vals: Vec<f32> = (0..4000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut expect = vec![0.0f32; 8];
+        serial_accumulate::<f32, Sum>(&mut expect, &idx, &vals);
+        let mut got = vec![0.0f32; 8];
+        parallel_invec_accumulate::<f32, Sum>(&mut got, &idx, &vals, 4);
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Execution statistics: SIMD utilization and conflict-depth histograms.
+
+/// Lane-level SIMD utilization: the fraction of lane slots that performed
+/// useful (committed) work.
+///
+/// The paper reports this per application/dataset for the conflict-masking
+/// approach (e.g. 97.96% for PageRank on higgs-twitter, 6.67% for WCC on
+/// amazon0312) — it is the quantity that predicts masking performance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Utilization {
+    /// Lanes that committed useful work.
+    pub useful: u64,
+    /// Total lane slots across all rounds.
+    pub slots: u64,
+}
+
+impl Utilization {
+    /// Records one vector round: `useful` committed lanes out of `width`.
+    #[inline]
+    pub fn record(&mut self, useful: u64, width: u64) {
+        self.useful += useful;
+        self.slots += width;
+    }
+
+    /// Utilization ratio in `[0, 1]`; `1.0` for an empty record.
+    pub fn ratio(self) -> f64 {
+        if self.slots == 0 {
+            1.0
+        } else {
+            self.useful as f64 / self.slots as f64
+        }
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: Utilization) {
+        self.useful += other.useful;
+        self.slots += other.slots;
+    }
+}
+
+impl std::fmt::Display for Utilization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}%", self.ratio() * 100.0)
+    }
+}
+
+/// Histogram of conflict depths (the `D1`/`D2` merge-iteration counts of the
+/// in-vector reduction algorithms), bucketed per vector invocation.
+///
+/// The paper's adaptive policy (§3.4) keys off the *average* D1: graph
+/// workloads see ~10⁻⁴ while hash aggregation can reach 4, flipping the
+/// choice to Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthHistogram {
+    buckets: [u64; 17],
+    total: u64,
+    count: u64,
+}
+
+impl Default for DepthHistogram {
+    fn default() -> Self {
+        DepthHistogram { buckets: [0; 17], total: 0, count: 0 }
+    }
+}
+
+impl DepthHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation with conflict depth `d` (clamped to 16).
+    #[inline]
+    pub fn record(&mut self, d: u32) {
+        self.buckets[(d as usize).min(16)] += 1;
+        self.total += u64::from(d);
+        self.count += 1;
+    }
+
+    /// Number of recorded invocations.
+    pub fn invocations(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean conflict depth; `0.0` when nothing was recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded depth.
+    pub fn max(&self) -> u32 {
+        (0..17).rev().find(|&d| self.buckets[d] > 0).unwrap_or(0) as u32
+    }
+
+    /// Invocations with depth exactly `d` (depths above 16 land in bucket 16).
+    pub fn bucket(&self, d: u32) -> u64 {
+        self.buckets[(d as usize).min(16)]
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DepthHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_ratio() {
+        let mut u = Utilization::default();
+        u.record(8, 16);
+        u.record(16, 16);
+        assert_eq!(u.ratio(), 0.75);
+        assert_eq!(format!("{u}"), "75.00%");
+    }
+
+    #[test]
+    fn empty_utilization_is_full() {
+        assert_eq!(Utilization::default().ratio(), 1.0);
+    }
+
+    #[test]
+    fn utilization_merge_adds_components() {
+        let mut a = Utilization { useful: 4, slots: 16 };
+        a.merge(Utilization { useful: 12, slots: 16 });
+        assert_eq!(a.ratio(), 0.5);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = DepthHistogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(4);
+        assert_eq!(h.invocations(), 3);
+        assert!((h.mean() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.max(), 4);
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.bucket(9), 0);
+    }
+
+    #[test]
+    fn histogram_clamps_large_depths() {
+        let mut h = DepthHistogram::new();
+        h.record(40);
+        assert_eq!(h.bucket(16), 1);
+        assert_eq!(h.max(), 16);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = DepthHistogram::new();
+        a.record(1);
+        let mut b = DepthHistogram::new();
+        b.record(3);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.invocations(), 3);
+        assert_eq!(a.bucket(3), 2);
+        assert!((a.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_defaults() {
+        let h = DepthHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.invocations(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Compressed sparse row (CSR) adjacency, built from an [`EdgeList`].
+//!
+//! The wave-frontier algorithms need "out-edges of vertex v" to expand the
+//! active-edge list each iteration; CSR provides that in O(degree).
+
+use crate::coo::EdgeList;
+
+/// Out-adjacency of a graph in CSR form. Edge `k` of the underlying
+/// [`EdgeList`] appears once; [`Csr::edge_positions`] maps CSR slots back to
+/// edge-list positions so per-edge data (weights) stays shared.
+///
+/// # Example
+///
+/// ```
+/// use invector_graph::{Csr, EdgeList};
+///
+/// let g = EdgeList::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+/// let csr = Csr::from_edge_list(&g);
+/// assert_eq!(csr.out_edges(0).len(), 2);
+/// assert_eq!(csr.out_edges(1).len(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    /// Edge-list position of each CSR slot, grouped by source vertex.
+    positions: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the out-adjacency index of `graph` with a counting sort
+    /// (O(V + E), deterministic, preserves edge order within a vertex).
+    pub fn from_edge_list(graph: &EdgeList) -> Self {
+        let nv = graph.num_vertices();
+        let mut offsets = vec![0u32; nv + 1];
+        for &s in graph.src() {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..nv {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut positions = vec![0u32; graph.num_edges()];
+        for (pos, &s) in graph.src().iter().enumerate() {
+            let slot = &mut cursor[s as usize];
+            positions[*slot as usize] = pos as u32;
+            *slot += 1;
+        }
+        Csr { offsets, positions }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Edge-list positions of the out-edges of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn out_edges(&self, v: usize) -> &[u32] {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.positions[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// All edge positions grouped by source (the flattened CSR payload).
+    pub fn edge_positions(&self) -> &[u32] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_groups_out_edges_by_source() {
+        let g = EdgeList::from_edges(4, &[(2, 0), (0, 1), (2, 3), (0, 2), (3, 3)]);
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 5);
+        // Positions preserve edge order per vertex.
+        assert_eq!(csr.out_edges(0), &[1, 3]);
+        assert_eq!(csr.out_edges(1), &[] as &[u32]);
+        assert_eq!(csr.out_edges(2), &[0, 2]);
+        assert_eq!(csr.out_edges(3), &[4]);
+    }
+
+    #[test]
+    fn degrees_match_edge_list() {
+        let g = EdgeList::from_edges(3, &[(1, 0), (1, 2), (1, 1)]);
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.out_degree(0), 0);
+        assert_eq!(csr.out_degree(1), 3);
+        let degs = g.out_degrees();
+        for v in 0..3 {
+            assert_eq!(csr.out_degree(v), degs[v] as usize);
+        }
+    }
+
+    #[test]
+    fn every_edge_position_appears_exactly_once() {
+        let g = EdgeList::from_edges(5, &[(0, 1), (4, 2), (2, 2), (4, 0), (1, 3), (0, 0)]);
+        let csr = Csr::from_edge_list(&g);
+        let mut seen: Vec<u32> = csr.edge_positions().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeList::from_edges(3, &[]);
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.num_edges(), 0);
+        for v in 0..3 {
+            assert!(csr.out_edges(v).is_empty());
+        }
+    }
+}

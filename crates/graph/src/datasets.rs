@@ -1,0 +1,126 @@
+//! The dataset registry: synthetic stand-ins for Table 1 of the paper.
+//!
+//! Each entry records the dimensions of the SNAP graph the paper used and
+//! generates a seeded synthetic graph of the same size and skew class,
+//! scaled by a user factor so CI and laptops can run the full pipeline.
+
+use crate::coo::EdgeList;
+use crate::gen::{self, RmatParams};
+
+/// A named graph dataset: paper dimensions plus the generated stand-in.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name as in Table 1 (e.g. `"higgs-twitter"`).
+    pub name: &'static str,
+    /// Vertex count of the original SNAP graph.
+    pub paper_vertices: usize,
+    /// Edge (NNZ) count of the original SNAP graph.
+    pub paper_edges: usize,
+    /// The generated stand-in graph.
+    pub graph: EdgeList,
+}
+
+impl Dataset {
+    fn generate(
+        name: &'static str,
+        paper_vertices: usize,
+        paper_edges: usize,
+        scale: f64,
+        kind: Kind,
+    ) -> Dataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let nv = ((paper_vertices as f64 * scale) as usize).max(16);
+        let ne = ((paper_edges as f64 * scale) as usize).max(16);
+        let seed = name.bytes().fold(0xD1E5_EED5u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let graph = match kind {
+            Kind::Rmat(params) => gen::rmat(nv, ne, params, seed),
+            Kind::Uniform => gen::uniform(nv, ne, seed),
+        };
+        Dataset { name, paper_vertices, paper_edges, graph }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Rmat(RmatParams),
+    Uniform,
+}
+
+/// `higgs-twitter` stand-in: 457K × 457K, 15M NNZ, strongly skewed
+/// (follower network). `scale = 1.0` reproduces the paper dimensions.
+pub fn higgs_twitter(scale: f64) -> Dataset {
+    Dataset::generate("higgs-twitter", 457_000, 15_000_000, scale, Kind::Rmat(RmatParams::SOCIAL))
+}
+
+/// `soc-Pokec` stand-in: 1.6M × 1.6M, 31M NNZ, moderately skewed social
+/// network.
+pub fn soc_pokec(scale: f64) -> Dataset {
+    Dataset::generate("soc-Pokec", 1_600_000, 31_000_000, scale, Kind::Rmat(RmatParams::MILD))
+}
+
+/// `amazon0312` stand-in: 401K × 401K, 3.2M NNZ, near-uniform co-purchase
+/// graph.
+pub fn amazon0312(scale: f64) -> Dataset {
+    Dataset::generate("amazon0312", 401_000, 3_200_000, scale, Kind::Uniform)
+}
+
+/// All three graph datasets of Table 1 at the given scale, in paper order.
+pub fn all(scale: f64) -> Vec<Dataset> {
+    vec![higgs_twitter(scale), soc_pokec(scale), amazon0312(scale)]
+}
+
+/// A small scale suitable for unit/integration tests (fractions of a second
+/// per algorithm run).
+pub const TEST_SCALE: f64 = 0.002;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::in_degree_gini;
+
+    #[test]
+    fn registry_matches_table1_dimensions() {
+        let sets = all(TEST_SCALE);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].name, "higgs-twitter");
+        assert_eq!(sets[0].paper_vertices, 457_000);
+        assert_eq!(sets[0].paper_edges, 15_000_000);
+        assert_eq!(sets[1].name, "soc-Pokec");
+        assert_eq!(sets[2].name, "amazon0312");
+        assert_eq!(sets[2].paper_edges, 3_200_000);
+    }
+
+    #[test]
+    fn scaling_controls_generated_size() {
+        let d = higgs_twitter(0.001);
+        assert_eq!(d.graph.num_vertices(), 457);
+        assert_eq!(d.graph.num_edges(), 15_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = soc_pokec(0.0005);
+        let b = soc_pokec(0.0005);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn skew_classes_differ_as_in_paper() {
+        let higgs = higgs_twitter(0.01);
+        let amazon = amazon0312(0.01);
+        assert!(in_degree_gini(&higgs.graph) > in_degree_gini(&amazon.graph) + 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        let _ = higgs_twitter(0.0);
+    }
+
+    #[test]
+    fn tiny_scale_clamps_to_nonempty_graph() {
+        let d = amazon0312(1e-9);
+        assert!(d.graph.num_vertices() >= 16);
+        assert!(d.graph.num_edges() >= 16);
+    }
+}

@@ -1,0 +1,149 @@
+//! Wave-frontier machinery for edge-centric graph algorithms.
+//!
+//! SSSP/SSWP/WCC process only the *active* edges each iteration: the
+//! out-edges of vertices whose value changed in the previous iteration
+//! (§2.3). [`Frontier`] is the deduplicated active-vertex set and
+//! [`active_edge_positions`] expands it into the active-edge list through a
+//! CSR index. This expansion cost is shared by every algorithm variant.
+
+use crate::csr::Csr;
+
+/// A deduplicated set of active vertices with O(1) insert and membership.
+///
+/// # Example
+///
+/// ```
+/// use invector_graph::Frontier;
+///
+/// let mut f = Frontier::new(10);
+/// assert!(f.insert(3));
+/// assert!(!f.insert(3)); // duplicate
+/// assert_eq!(f.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    vertices: Vec<i32>,
+    member: Vec<bool>,
+}
+
+impl Frontier {
+    /// An empty frontier over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Frontier { vertices: Vec::new(), member: vec![false; num_vertices] }
+    }
+
+    /// Adds `v`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or out of range.
+    #[inline]
+    pub fn insert(&mut self, v: i32) -> bool {
+        let slot = &mut self.member[v as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.vertices.push(v);
+            true
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: i32) -> bool {
+        self.member[v as usize]
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when no vertex is active (the algorithms' termination test).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The active vertices, in insertion order.
+    pub fn vertices(&self) -> &[i32] {
+        &self.vertices
+    }
+
+    /// Empties the frontier (membership flags reset lazily in O(len)).
+    pub fn clear(&mut self) {
+        for &v in &self.vertices {
+            self.member[v as usize] = false;
+        }
+        self.vertices.clear();
+    }
+}
+
+/// Expands a frontier into the positions of all active edges (out-edges of
+/// active vertices), appending into `out` to allow buffer reuse across
+/// iterations.
+pub fn active_edge_positions(csr: &Csr, frontier: &Frontier, out: &mut Vec<u32>) {
+    out.clear();
+    for &v in frontier.vertices() {
+        out.extend_from_slice(csr.out_edges(v as usize));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::EdgeList;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut f = Frontier::new(5);
+        assert!(f.insert(0));
+        assert!(f.insert(4));
+        assert!(!f.insert(0));
+        assert_eq!(f.vertices(), &[0, 4]);
+        assert!(f.contains(4));
+        assert!(!f.contains(1));
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut f = Frontier::new(3);
+        f.insert(1);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(1));
+        assert!(f.insert(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_vertex_panics() {
+        let mut f = Frontier::new(2);
+        f.insert(2);
+    }
+
+    #[test]
+    fn expansion_collects_out_edges_of_active_vertices() {
+        let g = EdgeList::from_edges(4, &[(0, 1), (1, 2), (0, 3), (2, 0)]);
+        let csr = Csr::from_edge_list(&g);
+        let mut f = Frontier::new(4);
+        f.insert(0);
+        f.insert(2);
+        let mut edges = Vec::new();
+        active_edge_positions(&csr, &f, &mut edges);
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn expansion_reuses_buffer() {
+        let g = EdgeList::from_edges(2, &[(0, 1)]);
+        let csr = Csr::from_edge_list(&g);
+        let mut f = Frontier::new(2);
+        f.insert(1); // no out edges
+        let mut edges = vec![9, 9, 9];
+        active_edge_positions(&csr, &f, &mut edges);
+        assert!(edges.is_empty());
+    }
+}

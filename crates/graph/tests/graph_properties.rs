@@ -1,0 +1,96 @@
+//! Property tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use invector_graph::group::{group_by_key, WINDOW};
+use invector_graph::tile::tile_edges;
+use invector_graph::{active_edge_positions, Csr, EdgeList, Frontier};
+
+/// Strategy: a small random graph as (num_vertices, edge pairs).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(i32, i32)>)> {
+    (2usize..40).prop_flat_map(|nv| {
+        let edges = prop::collection::vec((0..nv as i32, 0..nv as i32), 0..200);
+        (Just(nv), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_every_edge_exactly_once((nv, edges) in graph_strategy()) {
+        let g = EdgeList::from_edges(nv, &edges);
+        let csr = Csr::from_edge_list(&g);
+        let mut seen = vec![false; g.num_edges()];
+        for v in 0..nv {
+            for &pos in csr.out_edges(v) {
+                prop_assert_eq!(g.src()[pos as usize], v as i32, "edge listed under wrong source");
+                prop_assert!(!std::mem::replace(&mut seen[pos as usize], true), "edge duplicated");
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "edge missing from CSR");
+    }
+
+    #[test]
+    fn tiling_is_a_permutation_and_respects_blocks(
+        (nv, edges) in graph_strategy(),
+        block in 1usize..20,
+    ) {
+        let g = EdgeList::from_edges(nv, &edges);
+        let t = tile_edges(&g, block);
+        let mut sorted = t.perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.num_edges() as u32).collect::<Vec<_>>());
+        // Tiles are contiguous, ordered, and block-homogeneous.
+        let nb = nv.div_ceil(block);
+        prop_assert_eq!(t.num_tiles(), nb * nb);
+        for tid in 0..t.num_tiles() {
+            for &pos in t.tile(tid) {
+                let s = g.src()[pos as usize] as usize / block;
+                let d = g.dst()[pos as usize] as usize / block;
+                prop_assert_eq!(d * nb + s, tid);
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_slots_count_matches_mask_population((nv, edges) in graph_strategy()) {
+        let g = EdgeList::from_edges(nv, &edges);
+        let positions: Vec<u32> = (0..g.num_edges() as u32).collect();
+        let grouping = group_by_key(&positions, g.dst());
+        let real_slots: u32 = grouping.window_masks.iter().map(|m| m.count_ones()).sum();
+        prop_assert_eq!(real_slots as usize, g.num_edges());
+        prop_assert_eq!(grouping.num_slots(), grouping.num_windows() * WINDOW);
+        // Occupancy is a valid fraction.
+        let occ = grouping.occupancy();
+        prop_assert!((0.0..=1.0).contains(&occ));
+    }
+
+    #[test]
+    fn frontier_expansion_is_exactly_the_out_edges_of_members(
+        (nv, edges) in graph_strategy(),
+        members in prop::collection::vec(0usize..40, 0..20),
+    ) {
+        let g = EdgeList::from_edges(nv, &edges);
+        let csr = Csr::from_edge_list(&g);
+        let mut f = Frontier::new(nv);
+        for &m in &members {
+            if m < nv {
+                f.insert(m as i32);
+            }
+        }
+        let mut got = Vec::new();
+        active_edge_positions(&csr, &f, &mut got);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = (0..g.num_edges())
+            .filter(|&j| f.contains(g.src()[j]))
+            .map(|j| j as u32)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn symmetrization_makes_degree_sequences_equal((nv, edges) in graph_strategy()) {
+        let g = EdgeList::from_edges(nv, &edges).symmetrized();
+        prop_assert_eq!(g.out_degrees(), g.in_degrees());
+    }
+}

@@ -1,0 +1,125 @@
+//! Shared kernel infrastructure: variants, timing breakdown, run results.
+
+use std::time::Duration;
+
+use invector_core::stats::{DepthHistogram, Utilization};
+
+/// The implementation strategies evaluated in the paper (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Scalar loop over the original edge order (`nontiling_serial`).
+    Serial,
+    /// Scalar loop over cache-tiled edges (`tiling_serial`).
+    SerialTiled,
+    /// Inspector/executor: tiling + conflict-free grouping, then unmasked
+    /// SIMD (`tiling_and_grouping` / `nontiling_and_grouping`).
+    Grouped,
+    /// Conflict-masking SIMD (`tiling_and_mask` / `nontiling_and_mask`).
+    Masked,
+    /// In-vector reduction SIMD (`tiling_and_invec` / `nontiling_and_invec`)
+    /// — the paper's contribution.
+    Invec,
+}
+
+impl Variant {
+    /// All variants in the paper's presentation order.
+    pub const ALL: [Variant; 5] =
+        [Variant::Serial, Variant::SerialTiled, Variant::Grouped, Variant::Masked, Variant::Invec];
+
+    /// Label used for tiled experiments (PageRank, Moldyn).
+    pub fn tiled_label(self) -> &'static str {
+        match self {
+            Variant::Serial => "nontiling_serial",
+            Variant::SerialTiled => "tiling_serial",
+            Variant::Grouped => "tiling_and_grouping",
+            Variant::Masked => "tiling_and_mask",
+            Variant::Invec => "tiling_and_invec",
+        }
+    }
+
+    /// Label used for wave-frontier experiments, which run untiled (§4.2).
+    pub fn frontier_label(self) -> &'static str {
+        match self {
+            Variant::Serial => "nontiling_serial",
+            Variant::SerialTiled => "tiling_serial",
+            Variant::Grouped => "nontiling_and_grouping",
+            Variant::Masked => "nontiling_and_mask",
+            Variant::Invec => "nontiling_and_invec",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tiled_label())
+    }
+}
+
+/// Wall-time breakdown matching the stacked bars of Figures 8–12:
+/// data-reorganization phases are reported separately from computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// Cache-tiling (inspector) time.
+    pub tiling: Duration,
+    /// Conflict-free grouping (inspector) time.
+    pub grouping: Duration,
+    /// Computation (executor) time.
+    pub compute: Duration,
+}
+
+impl Timings {
+    /// End-to-end time: all phases.
+    pub fn total(&self) -> Duration {
+        self.tiling + self.grouping + self.compute
+    }
+}
+
+/// The outcome of running one application variant to convergence.
+#[derive(Debug, Clone)]
+pub struct RunResult<T> {
+    /// Final per-vertex values (ranks, distances, widths, labels).
+    pub values: Vec<T>,
+    /// Iterations executed before the termination condition held.
+    pub iterations: u32,
+    /// Phase timing breakdown.
+    pub timings: Timings,
+    /// Modeled instruction count of the compute phase (SIMD instructions
+    /// for vectorized variants, the documented scalar cost model for the
+    /// serial baselines). Wall time of the emulated SIMD engine is not
+    /// comparable against native scalar code; this counter is.
+    pub instructions: u64,
+    /// SIMD lane utilization (recorded by the masked variant; `None` for
+    /// variants whose utilization is 100% by construction or meaningless).
+    pub utilization: Option<Utilization>,
+    /// Conflict-depth histogram (recorded by the in-vector variant).
+    pub depth: Option<DepthHistogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(Variant::Invec.tiled_label(), "tiling_and_invec");
+        assert_eq!(Variant::Invec.frontier_label(), "nontiling_and_invec");
+        assert_eq!(Variant::Serial.frontier_label(), "nontiling_serial");
+        assert_eq!(Variant::Grouped.to_string(), "tiling_and_grouping");
+    }
+
+    #[test]
+    fn timings_total_sums_phases() {
+        let t = Timings {
+            tiling: Duration::from_millis(1),
+            grouping: Duration::from_millis(2),
+            compute: Duration::from_millis(3),
+        };
+        assert_eq!(t.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn all_variants_listed_once() {
+        let set: std::collections::HashSet<_> = Variant::ALL.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+}

@@ -1,0 +1,405 @@
+//! Edge-based unstructured-grid solver ("Euler", §2.2).
+//!
+//! The paper lists unstructured-grid solvers like Euler (Huo et al.) among
+//! the associative irregular applications: the solver sweeps over mesh
+//! *edges*, computes a flux from the two endpoint states, and accumulates
+//! it into **both** endpoints with opposite signs — the same two-target
+//! reduction pattern as Moldyn, but with a 4-component state vector
+//! (density, x/y momentum, energy).
+//!
+//! The flux function here is a Rusanov-style diffusive exchange rather than
+//! a full compressible-flow flux — the published performance question is
+//! about the reduction/memory pattern, which is preserved exactly.
+
+use invector_core::invec::reduce_alg1_arr;
+use invector_core::ops::Sum;
+use invector_core::stats::{DepthHistogram, Utilization};
+use invector_graph::group::{group_by_two_keys, Grouping};
+use invector_graph::EdgeList;
+use invector_simd::{F32x16, I32x16, Mask16};
+
+use crate::common::Variant;
+
+/// Number of conserved components per mesh node.
+pub const COMPONENTS: usize = 4;
+
+/// Per-node state: `COMPONENTS` structure-of-arrays fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeState {
+    /// One array per conserved component.
+    pub fields: [Vec<f32>; COMPONENTS],
+}
+
+impl NodeState {
+    /// A zeroed state over `n` nodes.
+    pub fn zeroed(n: usize) -> Self {
+        NodeState { fields: std::array::from_fn(|_| vec![0.0; n]) }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.fields[0].len()
+    }
+
+    /// `true` when the mesh has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.fields[0].is_empty()
+    }
+}
+
+/// Generates a structured-triangulated `n × n` mesh: nodes on a grid,
+/// edges to the right / below / diagonal neighbors (the classic way to get
+/// an *unstructured-looking* edge list with irregular reuse).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn triangle_mesh(n: usize) -> EdgeList {
+    assert!(n >= 2, "mesh needs at least 2x2 nodes");
+    let id = |r: usize, c: usize| (r * n + c) as i32;
+    let mut edges = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < n {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+            if r + 1 < n && c + 1 < n {
+                edges.push((id(r, c), id(r + 1, c + 1)));
+            }
+        }
+    }
+    EdgeList::from_edges(n * n, &edges)
+}
+
+/// A smooth initial field: component `c` of node `v` is
+/// `sin(v · (c+1) / 7)` — deterministic and non-trivial.
+pub fn initial_state(num_nodes: usize) -> NodeState {
+    NodeState {
+        fields: std::array::from_fn(|c| {
+            (0..num_nodes).map(|v| ((v * (c + 1)) as f32 / 7.0).sin()).collect()
+        }),
+    }
+}
+
+/// Diffusive exchange coefficient.
+const KAPPA: f32 = 0.25;
+
+/// One edge-sweep: accumulates the per-edge flux into `update` (both
+/// endpoints, opposite signs) with the chosen strategy, returning recorded
+/// statistics for the vectorized variants.
+///
+/// # Panics
+///
+/// Panics if state/update sizes disagree with the mesh.
+pub fn flux_sweep(
+    mesh: &EdgeList,
+    state: &NodeState,
+    update: &mut NodeState,
+    variant: Variant,
+) -> (Option<Utilization>, Option<DepthHistogram>) {
+    assert_eq!(state.len(), mesh.num_vertices(), "state size mismatch");
+    assert_eq!(update.len(), mesh.num_vertices(), "update size mismatch");
+    match variant {
+        Variant::Serial | Variant::SerialTiled => {
+            sweep_serial(mesh, state, update);
+            (None, None)
+        }
+        Variant::Invec => {
+            let mut depth = DepthHistogram::new();
+            sweep_invec(mesh, state, update, &mut depth);
+            (None, Some(depth))
+        }
+        Variant::Masked => {
+            let mut util = Utilization::default();
+            sweep_masked(mesh, state, update, &mut util);
+            (Some(util), None)
+        }
+        Variant::Grouped => {
+            let positions: Vec<u32> = (0..mesh.num_edges() as u32).collect();
+            let grouping = group_by_two_keys(&positions, mesh.src(), mesh.dst());
+            sweep_grouped(mesh, &grouping, state, update);
+            (None, None)
+        }
+    }
+}
+
+/// Modeled scalar cost of one edge: endpoint loads, 4 state loads per side,
+/// 4 flux ops, 8 update load-add-stores.
+pub const SERIAL_EDGE_COST: u64 = 26;
+
+fn sweep_serial(mesh: &EdgeList, state: &NodeState, update: &mut NodeState) {
+    for j in 0..mesh.num_edges() {
+        let a = mesh.src()[j] as usize;
+        let b = mesh.dst()[j] as usize;
+        for c in 0..COMPONENTS {
+            let flux = KAPPA * (state.fields[c][a] - state.fields[c][b]);
+            update.fields[c][a] -= flux;
+            update.fields[c][b] += flux;
+        }
+    }
+    invector_simd::count::bump(SERIAL_EDGE_COST * mesh.num_edges() as u64);
+}
+
+/// Computes the per-component flux vectors for the active lanes.
+#[inline]
+fn flux_vectors(
+    state: &NodeState,
+    active: Mask16,
+    va: I32x16,
+    vb: I32x16,
+) -> [F32x16; COMPONENTS] {
+    let kappa = F32x16::splat(KAPPA);
+    std::array::from_fn(|c| {
+        let ua = F32x16::zero().mask_gather(active, &state.fields[c], va);
+        let ub = F32x16::zero().mask_gather(active, &state.fields[c], vb);
+        kappa * (ua - ub)
+    })
+}
+
+/// Gather-add-scatter of the flux components into one endpoint axis.
+#[inline]
+fn scatter_axis(
+    update: &mut NodeState,
+    safe: Mask16,
+    idx: I32x16,
+    flux: &[F32x16; COMPONENTS],
+    negate: bool,
+) {
+    for (c, &f) in flux.iter().enumerate() {
+        let old = F32x16::zero().mask_gather(safe, &update.fields[c], idx);
+        let new = if negate { old - f } else { old + f };
+        new.mask_scatter(safe, &mut update.fields[c], idx);
+    }
+}
+
+fn sweep_invec(
+    mesh: &EdgeList,
+    state: &NodeState,
+    update: &mut NodeState,
+    depth: &mut DepthHistogram,
+) {
+    let (src, dst) = (mesh.src(), mesh.dst());
+    let mut j = 0;
+    while j < mesh.num_edges() {
+        let (va, active) = I32x16::load_partial(&src[j..], 0);
+        let (vb, _) = I32x16::load_partial(&dst[j..], 0);
+        let flux = flux_vectors(state, active, va, vb);
+
+        let mut comps = flux;
+        let (safe_a, d1) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, va, &mut comps);
+        depth.record(d1);
+        scatter_axis(update, safe_a, va, &comps, true);
+
+        let mut comps = flux;
+        let (safe_b, d2) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, vb, &mut comps);
+        depth.record(d2);
+        scatter_axis(update, safe_b, vb, &comps, false);
+
+        j += 16;
+    }
+}
+
+fn sweep_masked(
+    mesh: &EdgeList,
+    state: &NodeState,
+    update: &mut NodeState,
+    util: &mut Utilization,
+) {
+    let (src, dst) = (mesh.src(), mesh.dst());
+    let lane_ids = I32x16::iota();
+    let mut scratch = vec![0i32; mesh.num_vertices()];
+    let mut j = 0;
+    while j < mesh.num_edges() {
+        let (va, loaded) = I32x16::load_partial(&src[j..], 0);
+        let (vb, _) = I32x16::load_partial(&dst[j..], 0);
+        let mut active = loaded;
+        let mut stuck_guard = 0u32;
+        while !active.is_empty() {
+            let flux = flux_vectors(state, active, va, vb);
+            // Gather-after-scatter conflict detection across both axes.
+            lane_ids.mask_scatter(active, &mut scratch, va);
+            lane_ids.mask_scatter(active, &mut scratch, vb);
+            let got_a = I32x16::zero().mask_gather(active, &scratch, va);
+            let got_b = I32x16::zero().mask_gather(active, &scratch, vb);
+            let safe = got_a.simd_eq(lane_ids) & got_b.simd_eq(lane_ids) & active;
+            scatter_axis(update, safe, va, &flux, true);
+            scatter_axis(update, safe, vb, &flux, false);
+            util.record(u64::from(safe.count_ones()), 16);
+            active = active.and_not(safe);
+            // Progress guarantee against gather-after-scatter starvation.
+            if safe.is_empty() {
+                stuck_guard += 1;
+                if stuck_guard > 1 {
+                    let lane = active.first_set().expect("nonempty");
+                    let pos = j + lane;
+                    let a = mesh.src()[pos] as usize;
+                    let b = mesh.dst()[pos] as usize;
+                    for c in 0..COMPONENTS {
+                        let f = KAPPA * (state.fields[c][a] - state.fields[c][b]);
+                        update.fields[c][a] -= f;
+                        update.fields[c][b] += f;
+                    }
+                    util.record(1, 16);
+                    active = active.with(lane, false);
+                }
+            } else {
+                stuck_guard = 0;
+            }
+        }
+        j += 16;
+    }
+}
+
+fn sweep_grouped(
+    mesh: &EdgeList,
+    grouping: &Grouping,
+    state: &NodeState,
+    update: &mut NodeState,
+) {
+    let (src, dst) = (mesh.src(), mesh.dst());
+    for w in 0..grouping.num_windows() {
+        let (slots, maskbits) = grouping.window(w);
+        let active = Mask16::from_bits(u32::from(maskbits));
+        let vpos = I32x16::from_array(std::array::from_fn(|i| slots[i] as i32));
+        let va = I32x16::zero().mask_gather(active, src, vpos);
+        let vb = I32x16::zero().mask_gather(active, dst, vpos);
+        let flux = flux_vectors(state, active, va, vb);
+        scatter_axis(update, active, va, &flux, true);
+        scatter_axis(update, active, vb, &flux, false);
+    }
+}
+
+/// Runs `iterations` explicit edge-sweep steps (`state += dt · update`)
+/// and returns the final state.
+///
+/// # Panics
+///
+/// Panics if `state.len() != mesh.num_vertices()`.
+pub fn euler_run(
+    mesh: &EdgeList,
+    state: &NodeState,
+    variant: Variant,
+    iterations: u32,
+    dt: f32,
+) -> NodeState {
+    let mut state = state.clone();
+    let mut update = NodeState::zeroed(state.len());
+    for _ in 0..iterations {
+        for field in &mut update.fields {
+            field.fill(0.0);
+        }
+        let _ = flux_sweep(mesh, &state, &mut update, variant);
+        for c in 0..COMPONENTS {
+            for (s, u) in state.fields[c].iter_mut().zip(&update.fields[c]) {
+                *s += dt * u;
+            }
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_state_close(a: &NodeState, b: &NodeState, tol: f32) {
+        for c in 0..COMPONENTS {
+            for (v, (x, y)) in a.fields[c].iter().zip(&b.fields[c]).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol * (x.abs() + y.abs() + 1e-3),
+                    "component {c} node {v}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_has_expected_shape() {
+        let mesh = triangle_mesh(4);
+        assert_eq!(mesh.num_vertices(), 16);
+        // 12 horizontal + 12 vertical + 9 diagonal edges.
+        assert_eq!(mesh.num_edges(), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_mesh_rejected() {
+        let _ = triangle_mesh(1);
+    }
+
+    #[test]
+    fn flux_conserves_every_component() {
+        // Diffusive exchange moves mass between nodes, never creates it.
+        let mesh = triangle_mesh(6);
+        let state = initial_state(36);
+        let mut update = NodeState::zeroed(36);
+        flux_sweep(&mesh, &state, &mut update, Variant::Serial);
+        for c in 0..COMPONENTS {
+            let net: f32 = update.fields[c].iter().sum();
+            assert!(net.abs() < 1e-4, "component {c} net {net}");
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_one_sweep() {
+        let mesh = triangle_mesh(8);
+        let state = initial_state(64);
+        let mut reference = NodeState::zeroed(64);
+        flux_sweep(&mesh, &state, &mut reference, Variant::Serial);
+        for variant in Variant::ALL {
+            let mut update = NodeState::zeroed(64);
+            let (util, depth) = flux_sweep(&mesh, &state, &mut update, variant);
+            assert_state_close(&update, &reference, 1e-3);
+            match variant {
+                Variant::Masked => assert!(util.expect("util").slots > 0),
+                Variant::Invec => assert!(depth.expect("depth").invocations() > 0),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn multi_step_runs_agree_and_diffuse() {
+        let mesh = triangle_mesh(6);
+        let state = initial_state(36);
+        let serial = euler_run(&mesh, &state, Variant::Serial, 10, 0.05);
+        for variant in [Variant::Invec, Variant::Masked, Variant::Grouped] {
+            let got = euler_run(&mesh, &state, variant, 10, 0.05);
+            assert_state_close(&got, &serial, 2e-3);
+        }
+        // Diffusion shrinks the field's variance.
+        let var = |f: &[f32]| {
+            let mean: f32 = f.iter().sum::<f32>() / f.len() as f32;
+            f.iter().map(|x| (x - mean).powi(2)).sum::<f32>()
+        };
+        assert!(var(&serial.fields[0]) < var(&state.fields[0]));
+    }
+
+    #[test]
+    fn invec_cheaper_than_masked_in_model() {
+        let mesh = triangle_mesh(24);
+        let state = initial_state(mesh.num_vertices());
+        let mut u1 = NodeState::zeroed(state.len());
+        invector_simd::count::reset();
+        flux_sweep(&mesh, &state, &mut u1, Variant::Invec);
+        let invec_cost = invector_simd::count::take();
+        let mut u2 = NodeState::zeroed(state.len());
+        flux_sweep(&mesh, &state, &mut u2, Variant::Masked);
+        let masked_cost = invector_simd::count::take();
+        assert!(invec_cost < masked_cost, "{invec_cost} !< {masked_cost}");
+    }
+
+    #[test]
+    fn grid_edges_conflict_heavily_in_vectors() {
+        // Consecutive mesh edges share endpoints: the invec depth must be
+        // substantial (this is why the app class needs conflict handling).
+        let mesh = triangle_mesh(16);
+        let state = initial_state(mesh.num_vertices());
+        let mut update = NodeState::zeroed(state.len());
+        let (_, depth) = flux_sweep(&mesh, &state, &mut update, Variant::Invec);
+        assert!(depth.expect("depth").mean() > 1.0);
+    }
+}

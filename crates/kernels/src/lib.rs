@@ -1,0 +1,39 @@
+//! `invector-kernels` — the paper's graph applications in every
+//! implementation strategy.
+//!
+//! Four applications ([`pagerank`], [`sssp`], [`sswp`], [`wcc`]), each
+//! runnable as any [`Variant`]: scalar baselines, inspector/executor
+//! (`tiling_and_grouping`), conflict-masking, and the paper's in-vector
+//! reduction. Every vectorized variant is differential-tested against the
+//! serial baseline (and against textbook references: Dijkstra, union-find).
+//!
+//! # Example
+//!
+//! ```
+//! use invector_graph::gen::{rmat, RmatParams};
+//! use invector_kernels::{pagerank, PageRankConfig, Variant};
+//!
+//! let g = rmat(1 << 8, 2_000, RmatParams::SOCIAL, 1);
+//! let result = pagerank(&g, Variant::Invec, &PageRankConfig::default());
+//! assert_eq!(result.values.len(), g.num_vertices());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod common;
+pub mod euler;
+mod pagerank;
+pub mod relax;
+mod spmv;
+mod sssp;
+mod sswp;
+pub mod wavefront;
+mod wcc;
+
+pub use common::{RunResult, Timings, Variant};
+pub use pagerank::{pagerank, PageRankConfig};
+pub use spmv::spmv;
+pub use sssp::{sssp, sssp_reuse};
+pub use sswp::{sswp, sswp_reuse};
+pub use wcc::{wcc, wcc_reuse};

@@ -1,0 +1,328 @@
+//! PageRank — the paper's motivating application (Figure 1, Figure 8).
+//!
+//! The inner loop is an associative irregular reduction: for every edge,
+//! `sum[ny] += rank[nx] / nneighbor[nx]`. Because the edge set is static,
+//! the inspector phases run once: tiling for all vectorized variants, plus
+//! conflict-free grouping for the `tiling_and_grouping` variant.
+
+use std::time::Instant;
+
+use invector_core::masking::PositionFeeder;
+use invector_core::reduce_alg1;
+use invector_core::stats::{DepthHistogram, Utilization};
+use invector_graph::group::{group_by_key, Grouping};
+use invector_graph::tile::{tile_edges, DEFAULT_BLOCK_VERTICES};
+use invector_graph::EdgeList;
+use invector_simd::{conflict_free_subset, F32x16, I32x16, Mask16};
+
+use crate::common::{RunResult, Timings, Variant};
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor (0.85 in the classic formulation).
+    pub damping: f32,
+    /// Convergence threshold on the relative total rank change — the paper
+    /// terminates when the change drops below 0.1% (`1e-3`).
+    pub tolerance: f32,
+    /// Iteration cap.
+    pub max_iters: u32,
+    /// Cache-tile block side for the tiled variants.
+    pub block_vertices: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-3,
+            max_iters: 500,
+            block_vertices: DEFAULT_BLOCK_VERTICES,
+        }
+    }
+}
+
+/// Runs PageRank with the chosen implementation strategy.
+///
+/// Returns per-vertex ranks plus the phase timing breakdown of Figure 8
+/// (`tiling` / `grouping` / `computing`). The masked variant reports SIMD
+/// utilization; the in-vector variant reports the conflict-depth histogram.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> RunResult<f32> {
+    let nv = graph.num_vertices();
+    assert!(nv > 0, "PageRank needs at least one vertex");
+    let mut timings = Timings::default();
+
+    // Inspector: tiling (all vectorized variants + tiling_serial).
+    let working = match variant {
+        Variant::Serial => graph.clone(),
+        _ => {
+            let t0 = Instant::now();
+            let tiling = tile_edges(graph, config.block_vertices);
+            let tiled = graph.permuted(&tiling.perm);
+            timings.tiling = t0.elapsed();
+            tiled
+        }
+    };
+
+    // Inspector: grouping (tiling_and_grouping only; reused every iteration
+    // because PageRank's edge set is static).
+    let grouping: Option<Grouping> = match variant {
+        Variant::Grouped => {
+            let t0 = Instant::now();
+            let positions: Vec<u32> = (0..working.num_edges() as u32).collect();
+            let g = group_by_key(&positions, working.dst());
+            timings.grouping = t0.elapsed();
+            Some(g)
+        }
+        _ => None,
+    };
+
+    let deg: Vec<f32> = graph.out_degrees().iter().map(|&d| d as f32).collect();
+    let mut rank = vec![1.0 / nv as f32; nv];
+    let mut sum = vec![0.0f32; nv];
+    let mut utilization = Utilization::default();
+    let mut depth = DepthHistogram::new();
+    let mut iterations = 0;
+
+    let instr_before = invector_simd::count::read();
+    let t_compute = Instant::now();
+    while iterations < config.max_iters {
+        iterations += 1;
+        sum.fill(0.0);
+        match variant {
+            Variant::Serial | Variant::SerialTiled => {
+                edge_phase_serial(&working, &rank, &deg, &mut sum);
+            }
+            Variant::Invec => {
+                edge_phase_invec(&working, &rank, &deg, &mut sum, &mut depth);
+            }
+            Variant::Masked => {
+                edge_phase_masked(&working, &rank, &deg, &mut sum, &mut utilization);
+            }
+            Variant::Grouped => {
+                edge_phase_grouped(
+                    &working,
+                    grouping.as_ref().expect("grouping built above"),
+                    &rank,
+                    &deg,
+                    &mut sum,
+                );
+            }
+        }
+        // Vertex phase + convergence test (identical across variants).
+        let base = (1.0 - config.damping) / nv as f32;
+        let mut delta = 0.0f64;
+        let mut mass = 0.0f64;
+        for v in 0..nv {
+            let new = base + config.damping * sum[v];
+            delta += f64::from((new - rank[v]).abs());
+            mass += f64::from(rank[v]);
+            rank[v] = new;
+        }
+        if delta < f64::from(config.tolerance) * mass {
+            break;
+        }
+    }
+    timings.compute = t_compute.elapsed();
+
+    RunResult {
+        values: rank,
+        iterations,
+        timings,
+        instructions: invector_simd::count::read().wrapping_sub(instr_before),
+        utilization: (variant == Variant::Masked).then_some(utilization),
+        depth: (variant == Variant::Invec).then_some(depth),
+    }
+}
+
+/// Modeled scalar cost of one edge of the Figure 1 loop: two index loads,
+/// rank and degree loads, a divide, and the load-add-store on `sum`.
+pub const SERIAL_EDGE_COST: u64 = 8;
+
+/// Scalar edge phase: the paper's Figure 1 loop.
+fn edge_phase_serial(g: &EdgeList, rank: &[f32], deg: &[f32], sum: &mut [f32]) {
+    let (src, dst) = (g.src(), g.dst());
+    for j in 0..g.num_edges() {
+        let nx = src[j] as usize;
+        let ny = dst[j] as usize;
+        sum[ny] += rank[nx] / deg[nx];
+    }
+    invector_simd::count::bump(SERIAL_EDGE_COST * g.num_edges() as u64);
+}
+
+/// In-vector reduction edge phase: the vectorized loop of Figure 7.
+fn edge_phase_invec(
+    g: &EdgeList,
+    rank: &[f32],
+    deg: &[f32],
+    sum: &mut [f32],
+    depth: &mut DepthHistogram,
+) {
+    let (src, dst) = (g.src(), g.dst());
+    let mut j = 0;
+    while j < g.num_edges() {
+        let (vnx, active) = I32x16::load_partial(&src[j..], 0);
+        let (vny, _) = I32x16::load_partial(&dst[j..], 0);
+        let vrank = F32x16::zero().mask_gather(active, rank, vnx);
+        let vdeg = F32x16::splat(1.0).mask_gather(active, deg, vnx);
+        let mut vadd = vrank / vdeg;
+        let (safe, d) = reduce_alg1::<f32, invector_core::ops::Sum, 16>(active, vny, &mut vadd);
+        depth.record(d);
+        let vsum = F32x16::zero().mask_gather(safe, sum, vny);
+        (vsum + vadd).mask_scatter(safe, sum, vny);
+        j += 16;
+    }
+}
+
+/// Conflict-masking edge phase (Figure 3 applied to PageRank).
+fn edge_phase_masked(
+    g: &EdgeList,
+    rank: &[f32],
+    deg: &[f32],
+    sum: &mut [f32],
+    util: &mut Utilization,
+) {
+    let (src, dst) = (g.src(), g.dst());
+    let mut feeder = PositionFeeder::new(0, g.num_edges());
+    let mut vpos = I32x16::zero();
+    let mut active = Mask16::none();
+    loop {
+        active |= feeder.refill(!active, &mut vpos);
+        if active.is_empty() {
+            break;
+        }
+        let vnx = I32x16::zero().mask_gather(active, src, vpos);
+        let vny = I32x16::zero().mask_gather(active, dst, vpos);
+        let vrank = F32x16::zero().mask_gather(active, rank, vnx);
+        let vdeg = F32x16::splat(1.0).mask_gather(active, deg, vnx);
+        let vadd = vrank / vdeg;
+        let safe = conflict_free_subset(active, vny);
+        let vsum = F32x16::zero().mask_gather(safe, sum, vny);
+        (vsum + vadd).mask_scatter(safe, sum, vny);
+        util.record(u64::from(safe.count_ones()), 16);
+        active = active.and_not(safe);
+    }
+}
+
+/// Grouped (inspector/executor) edge phase: unmasked SIMD over
+/// conflict-free windows.
+fn edge_phase_grouped(
+    g: &EdgeList,
+    grouping: &Grouping,
+    rank: &[f32],
+    deg: &[f32],
+    sum: &mut [f32],
+) {
+    let (src, dst) = (g.src(), g.dst());
+    for w in 0..grouping.num_windows() {
+        let (slots, maskbits) = grouping.window(w);
+        let active = Mask16::from_bits(u32::from(maskbits));
+        let vpos = I32x16::from_array(std::array::from_fn(|i| slots[i] as i32));
+        let vnx = I32x16::zero().mask_gather(active, src, vpos);
+        let vny = I32x16::zero().mask_gather(active, dst, vpos);
+        let vrank = F32x16::zero().mask_gather(active, rank, vnx);
+        let vdeg = F32x16::splat(1.0).mask_gather(active, deg, vnx);
+        let vadd = vrank / vdeg;
+        let vsum = F32x16::zero().mask_gather(active, sum, vny);
+        (vsum + vadd).mask_scatter(active, sum, vny);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invector_graph::gen;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (x.abs() + y.abs() + 1e-6), "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn two_vertex_cycle_has_uniform_rank() {
+        let g = EdgeList::from_edges(2, &[(0, 1), (1, 0)]);
+        for variant in Variant::ALL {
+            let r = pagerank(&g, variant, &PageRankConfig::default());
+            assert_close(&r.values, &[0.5, 0.5], 1e-3);
+        }
+    }
+
+    #[test]
+    fn star_graph_center_accumulates_rank() {
+        // 8 leaves all pointing at vertex 0.
+        let edges: Vec<(i32, i32)> = (1..9).map(|v| (v, 0)).collect();
+        let g = EdgeList::from_edges(9, &edges);
+        let serial = pagerank(&g, Variant::Serial, &PageRankConfig::default());
+        assert!(serial.values[0] > 5.0 * serial.values[1]);
+        for variant in Variant::ALL {
+            let r = pagerank(&g, variant, &PageRankConfig::default());
+            assert_close(&r.values, &serial.values, 1e-3);
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_random_power_law_graph() {
+        let g = gen::rmat(512, 4000, gen::RmatParams::SOCIAL, 17);
+        let config = PageRankConfig { block_vertices: 128, ..PageRankConfig::default() };
+        let serial = pagerank(&g, Variant::Serial, &config);
+        for variant in Variant::ALL {
+            let r = pagerank(&g, variant, &config);
+            assert_close(&r.values, &serial.values, 5e-3);
+            assert_eq!(r.iterations, serial.iterations, "{variant}");
+        }
+    }
+
+    #[test]
+    fn ranks_are_positive_and_bounded() {
+        let g = gen::uniform(256, 2000, 5);
+        let r = pagerank(&g, Variant::Invec, &PageRankConfig::default());
+        let total: f32 = r.values.iter().sum();
+        assert!(r.values.iter().all(|&x| x > 0.0));
+        assert!(total <= 1.0 + 1e-3, "rank mass {total}");
+    }
+
+    #[test]
+    fn masked_reports_utilization_invec_reports_depth() {
+        let g = gen::rmat(256, 2000, gen::RmatParams::SOCIAL, 8);
+        let m = pagerank(&g, Variant::Masked, &PageRankConfig::default());
+        let util = m.utilization.expect("masked utilization");
+        assert!(util.ratio() > 0.0 && util.ratio() <= 1.0);
+        let i = pagerank(&g, Variant::Invec, &PageRankConfig::default());
+        assert!(i.depth.expect("depth histogram").invocations() > 0);
+    }
+
+    #[test]
+    fn tiled_variants_record_tiling_time_and_grouped_records_grouping() {
+        let g = gen::uniform(512, 4000, 6);
+        let config = PageRankConfig { block_vertices: 64, ..PageRankConfig::default() };
+        let r = pagerank(&g, Variant::Grouped, &config);
+        assert!(r.timings.grouping > std::time::Duration::ZERO);
+        let s = pagerank(&g, Variant::Serial, &config);
+        assert_eq!(s.timings.tiling, std::time::Duration::ZERO);
+        assert_eq!(s.timings.grouping, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let g = gen::uniform(64, 400, 7);
+        let config = PageRankConfig { max_iters: 2, ..PageRankConfig::default() };
+        let r = pagerank(&g, Variant::Serial, &config);
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_are_handled() {
+        let g = EdgeList::from_edges(3, &[(0, 0), (1, 2), (1, 2), (2, 1)]);
+        let serial = pagerank(&g, Variant::Serial, &PageRankConfig::default());
+        for variant in Variant::ALL {
+            let r = pagerank(&g, variant, &PageRankConfig::default());
+            assert_close(&r.values, &serial.values, 1e-3);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Energy diagnostics for the Moldyn simulation.
+//!
+//! The original Moldyn code reports kinetic and potential energy per
+//! iteration; beyond matching the paper's application, the total energy is
+//! the standard physical validation of a force kernel — a correct
+//! integrator conserves it (up to the explicit-Euler drift of the small
+//! time step).
+
+use crate::input::Molecules;
+use crate::neighbor::PairList;
+
+/// Energy snapshot of a molecular system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Energy {
+    /// Kinetic energy `Σ ½·v²` (unit mass).
+    pub kinetic: f64,
+    /// Lennard-Jones potential energy over the pair list (ε = σ = 1).
+    pub potential: f64,
+}
+
+impl Energy {
+    /// Total mechanical energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.potential
+    }
+}
+
+/// Computes the kinetic energy of the system.
+pub fn kinetic_energy(m: &Molecules) -> f64 {
+    let mut ke = 0.0f64;
+    for k in 0..m.len() {
+        let v2 = f64::from(m.vx[k]) * f64::from(m.vx[k])
+            + f64::from(m.vy[k]) * f64::from(m.vy[k])
+            + f64::from(m.vz[k]) * f64::from(m.vz[k]);
+        ke += 0.5 * v2;
+    }
+    ke
+}
+
+/// Computes the Lennard-Jones potential energy `Σ 4(r⁻¹² − r⁻⁶)` over the
+/// in-cutoff pairs.
+pub fn potential_energy(m: &Molecules, pairs: &PairList, cutoff: f32) -> f64 {
+    let cutoff2 = f64::from(cutoff) * f64::from(cutoff);
+    let mut pe = 0.0f64;
+    for (&a, &b) in pairs.i.iter().zip(&pairs.j) {
+        let (a, b) = (a as usize, b as usize);
+        let dx = f64::from(m.px[a]) - f64::from(m.px[b]);
+        let dy = f64::from(m.py[a]) - f64::from(m.py[b]);
+        let dz = f64::from(m.pz[a]) - f64::from(m.pz[b]);
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 <= cutoff2 && r2 > 0.0 {
+            let sr6 = 1.0 / (r2 * r2 * r2);
+            pe += 4.0 * (sr6 * sr6 - sr6);
+        }
+    }
+    pe
+}
+
+/// Computes the full energy snapshot.
+pub fn energy(m: &Molecules, pairs: &PairList, cutoff: f32) -> Energy {
+    Energy { kinetic: kinetic_energy(m), potential: potential_energy(m, pairs, cutoff) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{fcc_lattice, CUTOFF};
+    use crate::neighbor::build_pairs;
+    use crate::sim::simulate;
+    use invector_kernels::Variant;
+
+    #[test]
+    fn kinetic_energy_of_resting_system_is_zero() {
+        let mut m = fcc_lattice(2, 1);
+        m.vx.fill(0.0);
+        m.vy.fill(0.0);
+        m.vz.fill(0.0);
+        assert_eq!(kinetic_energy(&m), 0.0);
+    }
+
+    #[test]
+    fn lj_potential_minimum_at_r_min() {
+        // Two molecules at r = 2^(1/6): U = -1 exactly.
+        let r = 2.0f32.powf(1.0 / 6.0);
+        let m = Molecules {
+            px: vec![0.0, r],
+            py: vec![0.0; 2],
+            pz: vec![0.0; 2],
+            vx: vec![0.0; 2],
+            vy: vec![0.0; 2],
+            vz: vec![0.0; 2],
+            box_size: 10.0,
+        };
+        let pairs = PairList { i: vec![0], j: vec![1] };
+        let pe = potential_energy(&m, &pairs, CUTOFF);
+        assert!((pe + 1.0).abs() < 1e-5, "U(r_min) = {pe}");
+    }
+
+    #[test]
+    fn out_of_cutoff_pairs_contribute_nothing() {
+        let m = Molecules {
+            px: vec![0.0, 10.0],
+            py: vec![0.0; 2],
+            pz: vec![0.0; 2],
+            vx: vec![0.0; 2],
+            vy: vec![0.0; 2],
+            vz: vec![0.0; 2],
+            box_size: 20.0,
+        };
+        let pairs = PairList { i: vec![0], j: vec![1] };
+        assert_eq!(potential_energy(&m, &pairs, CUTOFF), 0.0);
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved_over_a_short_run() {
+        let initial = fcc_lattice(3, 77);
+        let pairs = build_pairs(&initial, CUTOFF);
+        let e0 = energy(&initial, &pairs, CUTOFF);
+
+        let result = simulate(&initial, Variant::Invec, 20);
+        let pairs_end = build_pairs(&result.molecules, CUTOFF);
+        let e1 = energy(&result.molecules, &pairs_end, CUTOFF);
+
+        // Explicit Euler with dt = 1e-3 over 20 steps: small relative drift.
+        let scale = e0.kinetic.abs() + e0.potential.abs() + 1.0;
+        let drift = (e1.total() - e0.total()).abs() / scale;
+        assert!(drift < 0.05, "energy drift {drift} (e0 {e0:?}, e1 {e1:?})");
+    }
+
+    #[test]
+    fn energy_identical_across_variants() {
+        let initial = fcc_lattice(2, 78);
+        let mut totals = Vec::new();
+        for variant in [Variant::Serial, Variant::Invec, Variant::Masked, Variant::Grouped] {
+            let r = simulate(&initial, variant, 10);
+            let pairs = build_pairs(&r.molecules, CUTOFF);
+            totals.push(energy(&r.molecules, &pairs, CUTOFF).total());
+        }
+        for t in &totals[1..] {
+            assert!((t - totals[0]).abs() < 1e-2 * (totals[0].abs() + 1.0), "{t} vs {}", totals[0]);
+        }
+    }
+}

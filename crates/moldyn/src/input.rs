@@ -1,0 +1,166 @@
+//! Moldyn input generation.
+//!
+//! The paper's inputs (`16-3.0r`, `32-3.0r`) come from the generator
+//! distributed with the original serial Moldyn code: molecules on an FCC
+//! lattice with a cutoff radius of 3.0σ. This module reproduces that
+//! generator: `4·n³` molecules in a cubic box, plus a small deterministic
+//! thermal velocity perturbation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Structure-of-arrays molecule state: positions and velocities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecules {
+    /// X coordinates.
+    pub px: Vec<f32>,
+    /// Y coordinates.
+    pub py: Vec<f32>,
+    /// Z coordinates.
+    pub pz: Vec<f32>,
+    /// X velocities.
+    pub vx: Vec<f32>,
+    /// Y velocities.
+    pub vy: Vec<f32>,
+    /// Z velocities.
+    pub vz: Vec<f32>,
+    /// Cubic box edge length.
+    pub box_size: f32,
+}
+
+impl Molecules {
+    /// Number of molecules.
+    pub fn len(&self) -> usize {
+        self.px.len()
+    }
+
+    /// `true` if the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.px.is_empty()
+    }
+}
+
+/// FCC lattice constant used by the generator (reduced units; density
+/// `4 / a³ ≈ 1.0`).
+pub const LATTICE_CONSTANT: f32 = 1.587;
+
+/// The interaction cutoff radius the paper's inputs use (the `3.0r` suffix).
+pub const CUTOFF: f32 = 3.0;
+
+/// Generates `4·cells³` molecules on an FCC lattice with a deterministic
+/// Maxwell-ish velocity perturbation.
+///
+/// # Panics
+///
+/// Panics if `cells == 0`.
+///
+/// # Example
+///
+/// ```
+/// use invector_moldyn::input::fcc_lattice;
+///
+/// let m = fcc_lattice(4, 42);
+/// assert_eq!(m.len(), 4 * 4 * 4 * 4);
+/// ```
+pub fn fcc_lattice(cells: usize, seed: u64) -> Molecules {
+    assert!(cells > 0, "lattice must have at least one cell");
+    let n = 4 * cells * cells * cells;
+    let a = LATTICE_CONSTANT;
+    let box_size = a * cells as f32;
+    let mut m = Molecules {
+        px: Vec::with_capacity(n),
+        py: Vec::with_capacity(n),
+        pz: Vec::with_capacity(n),
+        vx: Vec::with_capacity(n),
+        vy: Vec::with_capacity(n),
+        vz: Vec::with_capacity(n),
+        box_size,
+    };
+    // The four basis positions of an FCC unit cell.
+    let basis = [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for ix in 0..cells {
+        for iy in 0..cells {
+            for iz in 0..cells {
+                for b in basis {
+                    m.px.push((ix as f32 + b[0]) * a);
+                    m.py.push((iy as f32 + b[1]) * a);
+                    m.pz.push((iz as f32 + b[2]) * a);
+                    m.vx.push(rng.gen_range(-0.1..0.1));
+                    m.vy.push(rng.gen_range(-0.1..0.1));
+                    m.vz.push(rng.gen_range(-0.1..0.1));
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The paper's `16-3.0r` input scaled by `scale`: 131 072 molecules
+/// (`4·32³`) at `scale = 1.0`.
+pub fn input_16_3_0r(scale: f64) -> Molecules {
+    fcc_lattice(scaled_cells(32, scale), 16)
+}
+
+/// The paper's `32-3.0r` input scaled by `scale`: 364 500 molecules
+/// (`4·45³`) at `scale = 1.0`.
+pub fn input_32_3_0r(scale: f64) -> Molecules {
+    fcc_lattice(scaled_cells(45, scale), 32)
+}
+
+fn scaled_cells(cells: usize, scale: f64) -> usize {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+    ((cells as f64 * scale.cbrt()).round() as usize).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_inputs_match_molecule_counts() {
+        assert_eq!(input_16_3_0r(1.0).len(), 131_072);
+        assert_eq!(input_32_3_0r(1.0).len(), 364_500);
+    }
+
+    #[test]
+    fn scaling_shrinks_by_volume() {
+        let m = input_16_3_0r(0.001);
+        // 32 * 0.1 = 3.2 -> 3 cells -> 108 molecules.
+        assert_eq!(m.len(), 108);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(fcc_lattice(3, 7), fcc_lattice(3, 7));
+        assert_ne!(fcc_lattice(3, 7).vx, fcc_lattice(3, 8).vx);
+    }
+
+    #[test]
+    fn molecules_lie_inside_the_box() {
+        let m = fcc_lattice(5, 1);
+        for i in 0..m.len() {
+            assert!(m.px[i] >= 0.0 && m.px[i] < m.box_size);
+            assert!(m.py[i] >= 0.0 && m.py[i] < m.box_size);
+            assert!(m.pz[i] >= 0.0 && m.pz[i] < m.box_size);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_distance_matches_fcc_geometry() {
+        let m = fcc_lattice(2, 3);
+        // FCC nearest-neighbor distance is a/sqrt(2).
+        let expect = LATTICE_CONSTANT / 2.0_f32.sqrt();
+        let d01 = ((m.px[0] - m.px[1]).powi(2)
+            + (m.py[0] - m.py[1]).powi(2)
+            + (m.pz[0] - m.pz[1]).powi(2))
+        .sqrt();
+        assert!((d01 - expect).abs() < 1e-5, "{d01} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        let _ = fcc_lattice(0, 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cell-list neighbor list construction.
+//!
+//! Builds the interaction pair list (the "sparse matrix" of the particle
+//! simulation) by binning molecules into cells of at least the cutoff
+//! radius and scanning the 27-cell neighborhood. Rebuilt every 20
+//! iterations in the paper's experimental setup; the paper charges this
+//! cost (together with tiling) to all variants alike.
+
+use crate::input::Molecules;
+
+/// An interaction pair list: parallel arrays of endpoints with `i < j`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairList {
+    /// First endpoints.
+    pub i: Vec<i32>,
+    /// Second endpoints.
+    pub j: Vec<i32>,
+}
+
+impl PairList {
+    /// Number of interaction pairs.
+    pub fn len(&self) -> usize {
+        self.i.len()
+    }
+
+    /// `true` if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.i.is_empty()
+    }
+}
+
+/// Builds the pair list of all molecule pairs within `cutoff` of each other
+/// (no periodic images; the simulation box is open). Pairs are emitted with
+/// `i < j`, ordered by cell traversal — the locality-friendly order the
+/// paper's tiling produces.
+///
+/// # Panics
+///
+/// Panics if `cutoff <= 0`.
+pub fn build_pairs(m: &Molecules, cutoff: f32) -> PairList {
+    assert!(cutoff > 0.0, "cutoff must be positive");
+    let n = m.len();
+    if n == 0 {
+        return PairList::default();
+    }
+    // Actual coordinate bounds (molecules may have drifted outside the box).
+    let (mut lo, mut hi) = ([f32::INFINITY; 3], [f32::NEG_INFINITY; 3]);
+    for k in 0..n {
+        let p = [m.px[k], m.py[k], m.pz[k]];
+        for d in 0..3 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let cells_per_dim: [usize; 3] =
+        std::array::from_fn(|d| (((hi[d] - lo[d]) / cutoff).floor() as usize + 1).max(1));
+    let cell_of = |k: usize| -> usize {
+        let cx = (((m.px[k] - lo[0]) / cutoff) as usize).min(cells_per_dim[0] - 1);
+        let cy = (((m.py[k] - lo[1]) / cutoff) as usize).min(cells_per_dim[1] - 1);
+        let cz = (((m.pz[k] - lo[2]) / cutoff) as usize).min(cells_per_dim[2] - 1);
+        (cx * cells_per_dim[1] + cy) * cells_per_dim[2] + cz
+    };
+    // Counting-sort molecules into cells.
+    let num_cells = cells_per_dim.iter().product::<usize>();
+    let mut counts = vec![0u32; num_cells + 1];
+    for k in 0..n {
+        counts[cell_of(k) + 1] += 1;
+    }
+    for c in 0..num_cells {
+        counts[c + 1] += counts[c];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut members = vec![0u32; n];
+    for k in 0..n {
+        let c = cell_of(k);
+        members[cursor[c] as usize] = k as u32;
+        cursor[c] += 1;
+    }
+
+    let cutoff2 = cutoff * cutoff;
+    let mut pairs = PairList::default();
+    let dist2 = |a: usize, b: usize| -> f32 {
+        let dx = m.px[a] - m.px[b];
+        let dy = m.py[a] - m.py[b];
+        let dz = m.pz[a] - m.pz[b];
+        dx * dx + dy * dy + dz * dz
+    };
+    for cx in 0..cells_per_dim[0] {
+        for cy in 0..cells_per_dim[1] {
+            for cz in 0..cells_per_dim[2] {
+                let c = (cx * cells_per_dim[1] + cy) * cells_per_dim[2] + cz;
+                let cell = &members[offsets[c] as usize..offsets[c + 1] as usize];
+                // Pairs within the cell.
+                for (a_idx, &a) in cell.iter().enumerate() {
+                    for &b in &cell[a_idx + 1..] {
+                        if dist2(a as usize, b as usize) <= cutoff2 {
+                            pairs.i.push(a.min(b) as i32);
+                            pairs.j.push(a.max(b) as i32);
+                        }
+                    }
+                }
+                // Pairs with forward neighbor cells (each cell pair visited once).
+                for dx in 0..2usize {
+                    for dy in -1i64..2 {
+                        for dz in -1i64..2 {
+                            if (dx, dy, dz) <= (0, 0, 0) {
+                                continue;
+                            }
+                            let nx = cx as i64 + dx as i64;
+                            let ny = cy as i64 + dy;
+                            let nz = cz as i64 + dz;
+                            if nx < 0
+                                || ny < 0
+                                || nz < 0
+                                || nx >= cells_per_dim[0] as i64
+                                || ny >= cells_per_dim[1] as i64
+                                || nz >= cells_per_dim[2] as i64
+                            {
+                                continue;
+                            }
+                            let nc = ((nx as usize) * cells_per_dim[1] + ny as usize)
+                                * cells_per_dim[2]
+                                + nz as usize;
+                            let other = &members[offsets[nc] as usize..offsets[nc + 1] as usize];
+                            for &a in cell {
+                                for &b in other {
+                                    if dist2(a as usize, b as usize) <= cutoff2 {
+                                        pairs.i.push(a.min(b) as i32);
+                                        pairs.j.push(a.max(b) as i32);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{fcc_lattice, CUTOFF};
+
+    /// O(n²) reference pair enumeration.
+    fn brute_force(m: &Molecules, cutoff: f32) -> std::collections::BTreeSet<(i32, i32)> {
+        let mut set = std::collections::BTreeSet::new();
+        for a in 0..m.len() {
+            for b in a + 1..m.len() {
+                let dx = m.px[a] - m.px[b];
+                let dy = m.py[a] - m.py[b];
+                let dz = m.pz[a] - m.pz[b];
+                if dx * dx + dy * dy + dz * dz <= cutoff * cutoff {
+                    set.insert((a as i32, b as i32));
+                }
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn matches_brute_force_on_lattice() {
+        let m = fcc_lattice(3, 5);
+        let pairs = build_pairs(&m, CUTOFF);
+        let expect = brute_force(&m, CUTOFF);
+        let got: std::collections::BTreeSet<(i32, i32)> =
+            pairs.i.iter().zip(&pairs.j).map(|(&a, &b)| (a, b)).collect();
+        assert_eq!(got.len(), pairs.len(), "duplicate pairs emitted");
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_positions() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let n = 200;
+        let m = Molecules {
+            px: (0..n).map(|_| rng.gen_range(0.0..10.0)).collect(),
+            py: (0..n).map(|_| rng.gen_range(0.0..10.0)).collect(),
+            pz: (0..n).map(|_| rng.gen_range(0.0..10.0)).collect(),
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            vz: vec![0.0; n],
+            box_size: 10.0,
+        };
+        for cutoff in [1.0, 2.5, 4.0] {
+            let pairs = build_pairs(&m, cutoff);
+            let expect = brute_force(&m, cutoff);
+            let got: std::collections::BTreeSet<(i32, i32)> =
+                pairs.i.iter().zip(&pairs.j).map(|(&a, &b)| (a, b)).collect();
+            assert_eq!(got.len(), pairs.len(), "cutoff {cutoff}: duplicates");
+            assert_eq!(got, expect, "cutoff {cutoff}");
+        }
+    }
+
+    #[test]
+    fn pair_density_matches_paper_ballpark() {
+        // ~40-100 pairs per molecule at cutoff 3.0 and density ~1.
+        let m = fcc_lattice(5, 2);
+        let pairs = build_pairs(&m, CUTOFF);
+        let per_mol = pairs.len() as f64 / m.len() as f64;
+        assert!((20.0..120.0).contains(&per_mol), "pairs per molecule {per_mol}");
+    }
+
+    #[test]
+    fn pairs_are_canonical() {
+        let m = fcc_lattice(3, 4);
+        let pairs = build_pairs(&m, CUTOFF);
+        assert!(pairs.i.iter().zip(&pairs.j).all(|(&a, &b)| a < b));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_pairs() {
+        let m = Molecules {
+            px: vec![],
+            py: vec![],
+            pz: vec![],
+            vx: vec![],
+            vy: vec![],
+            vz: vec![],
+            box_size: 1.0,
+        };
+        assert!(build_pairs(&m, 1.0).is_empty());
+    }
+}

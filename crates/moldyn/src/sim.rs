@@ -1,0 +1,216 @@
+//! The Moldyn simulation driver (Figure 12's experimental setup).
+//!
+//! Each iteration updates coordinates, evaluates pair forces, and updates
+//! velocities. The neighbor list is rebuilt every
+//! [`REBUILD_INTERVAL`] iterations; the paper charges that rebuild
+//! (plus tiling, which our cell-list construction already performs by
+//! emitting pairs in cell order) to all variants, and the grouped variant
+//! additionally re-groups after every rebuild.
+
+use std::time::Instant;
+
+use invector_core::stats::{DepthHistogram, Utilization};
+use invector_graph::group::{group_by_two_keys, Grouping};
+use invector_kernels::{Timings, Variant};
+
+use crate::force::{forces_grouped, forces_invec, forces_masked, forces_serial, Forces};
+use crate::input::{Molecules, CUTOFF};
+use crate::neighbor::{build_pairs, PairList};
+
+/// Iterations between neighbor-list rebuilds (the paper's setting).
+pub const REBUILD_INTERVAL: u32 = 20;
+
+/// Integration time step (reduced units).
+pub const DT: f32 = 0.001;
+
+/// Simulation outcome: final state plus the Figure 12 timing breakdown.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Final molecule state.
+    pub molecules: Molecules,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Phase breakdown (`tiling` = neighbor-list rebuilds, `grouping` =
+    /// conflict-free grouping, `compute` = forces + integration).
+    pub timings: Timings,
+    /// Interaction pairs in the final neighbor list.
+    pub num_pairs: usize,
+    /// Modeled instruction count of the force evaluations (SIMD
+    /// instructions for vectorized variants, the scalar cost model for the
+    /// serial baselines).
+    pub instructions: u64,
+    /// Masked-variant SIMD utilization.
+    pub utilization: Option<Utilization>,
+    /// In-vector conflict-depth histogram.
+    pub depth: Option<DepthHistogram>,
+}
+
+/// Runs `iterations` Moldyn steps with the chosen strategy, starting from
+/// `initial`.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty.
+pub fn simulate(initial: &Molecules, variant: Variant, iterations: u32) -> SimResult {
+    assert!(!initial.is_empty(), "simulation needs molecules");
+    let mut m = initial.clone();
+    let n = m.len();
+    let mut forces = Forces::zeroed(n);
+    let mut scratch = vec![0i32; n];
+    let mut timings = Timings::default();
+    let mut utilization = Utilization::default();
+    let mut depth = DepthHistogram::new();
+    let mut pairs = PairList::default();
+    let mut grouping: Option<Grouping> = None;
+    let instr_before = invector_simd::count::read();
+
+    for iter in 0..iterations {
+        // Neighbor list rebuild (the "tiling" bar of Figure 12): cell-list
+        // construction already emits pairs in cache-friendly cell order.
+        if iter % REBUILD_INTERVAL == 0 {
+            let t = Instant::now();
+            pairs = build_pairs(&m, CUTOFF);
+            timings.tiling += t.elapsed();
+            if variant == Variant::Grouped {
+                let t = Instant::now();
+                let positions: Vec<u32> = (0..pairs.len() as u32).collect();
+                grouping = Some(group_by_two_keys(&positions, &pairs.i, &pairs.j));
+                timings.grouping += t.elapsed();
+            }
+        }
+
+        let t = Instant::now();
+        // Coordinate update (regular SIMD: aligned loads/stores, no
+        // conflicts — the easy part of the simulation).
+        axpy(&mut m.px, &m.vx, DT);
+        axpy(&mut m.py, &m.vy, DT);
+        axpy(&mut m.pz, &m.vz, DT);
+        // Force evaluation.
+        forces.clear();
+        match variant {
+            Variant::Serial | Variant::SerialTiled => {
+                forces_serial(&m, &pairs, CUTOFF, &mut forces);
+            }
+            Variant::Invec => forces_invec(&m, &pairs, CUTOFF, &mut forces, &mut depth),
+            Variant::Masked => {
+                forces_masked(&m, &pairs, CUTOFF, &mut forces, &mut scratch, &mut utilization);
+            }
+            Variant::Grouped => forces_grouped(
+                &m,
+                &pairs,
+                grouping.as_ref().expect("grouping built at rebuild"),
+                CUTOFF,
+                &mut forces,
+            ),
+        }
+        // Velocity update (regular SIMD).
+        axpy(&mut m.vx, &forces.fx, DT);
+        axpy(&mut m.vy, &forces.fy, DT);
+        axpy(&mut m.vz, &forces.fz, DT);
+        timings.compute += t.elapsed();
+    }
+
+    SimResult {
+        molecules: m,
+        iterations,
+        timings,
+        num_pairs: pairs.len(),
+        instructions: invector_simd::count::read().wrapping_sub(instr_before),
+        utilization: (variant == Variant::Masked).then_some(utilization),
+        depth: (variant == Variant::Invec).then_some(depth),
+    }
+}
+
+/// Vectorized `out[k] += scale * addend[k]` with a scalar tail — the
+/// regular (conflict-free) SIMD pattern of the integration phases.
+fn axpy(out: &mut [f32], addend: &[f32], scale: f32) {
+    use invector_simd::F32x16;
+    debug_assert_eq!(out.len(), addend.len());
+    let vscale = F32x16::splat(scale);
+    let mut k = 0;
+    while k + 16 <= out.len() {
+        let a = F32x16::load(&out[k..]);
+        let b = F32x16::load(&addend[k..]);
+        (a + b * vscale).store(&mut out[k..]);
+        k += 16;
+    }
+    for k in k..out.len() {
+        out[k] += addend[k] * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::fcc_lattice;
+
+    #[test]
+    fn axpy_matches_scalar_including_tail() {
+        let mut a: Vec<f32> = (0..37).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i * 2) as f32).collect();
+        let mut expect = a.clone();
+        for (x, y) in expect.iter_mut().zip(&b) {
+            *x += y * 0.5;
+        }
+        axpy(&mut a, &b, 0.5);
+        assert_eq!(a, expect);
+    }
+
+    fn max_velocity_delta(a: &Molecules, b: &Molecules) -> f32 {
+        a.vx.iter()
+            .zip(&b.vx)
+            .chain(a.vy.iter().zip(&b.vy))
+            .chain(a.vz.iter().zip(&b.vz))
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn all_variants_track_the_serial_trajectory() {
+        let initial = fcc_lattice(3, 13);
+        let reference = simulate(&initial, Variant::Serial, 20);
+        for variant in [Variant::Invec, Variant::Masked, Variant::Grouped] {
+            let r = simulate(&initial, variant, 20);
+            let dv = max_velocity_delta(&r.molecules, &reference.molecules);
+            assert!(dv < 1e-2, "{variant}: max velocity delta {dv}");
+            assert_eq!(r.num_pairs, reference.num_pairs, "{variant}");
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let initial = fcc_lattice(2, 14);
+        let a = simulate(&initial, Variant::Invec, 10);
+        let b = simulate(&initial, Variant::Invec, 10);
+        assert_eq!(a.molecules, b.molecules);
+    }
+
+    #[test]
+    fn neighbor_rebuild_counts_as_tiling_time() {
+        let initial = fcc_lattice(2, 15);
+        let r = simulate(&initial, Variant::Serial, 5);
+        assert!(r.timings.tiling > std::time::Duration::ZERO);
+        assert_eq!(r.timings.grouping, std::time::Duration::ZERO);
+        let g = simulate(&initial, Variant::Grouped, 5);
+        assert!(g.timings.grouping > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn lattice_stays_bound_over_short_run() {
+        // The FCC lattice is near equilibrium: 20 small-dt steps should not
+        // blow molecules far out of the box.
+        let initial = fcc_lattice(3, 16);
+        let r = simulate(&initial, Variant::Invec, 20);
+        let bound = initial.box_size * 1.5;
+        assert!(r.molecules.px.iter().all(|&x| (-bound..2.0 * bound).contains(&x)));
+    }
+
+    #[test]
+    fn masked_utilization_and_invec_depth_are_reported() {
+        let initial = fcc_lattice(2, 17);
+        let mr = simulate(&initial, Variant::Masked, 3);
+        assert!(mr.utilization.expect("utilization").slots > 0);
+        let ir = simulate(&initial, Variant::Invec, 3);
+        assert!(ir.depth.expect("depth").invocations() > 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Thread-local accounting of executed (emulated) SIMD instructions.
+//!
+//! The portable model charges every operation that would be a single AVX-512
+//! instruction exactly one unit. This lets benchmarks verify the paper's
+//! analytic instruction-count claims — e.g. that an invocation of in-vector
+//! reduction Algorithm 1 costs about `2 + 8 · D1` instructions — by
+//! measuring, not estimating.
+//!
+//! Counting a thread-local `Cell<u64>` bump is a couple of cycles; it is
+//! always enabled so that statistics never silently disagree with what the
+//! benchmarks executed.
+//!
+//! # Example
+//!
+//! ```
+//! use invector_simd::{count, F32x16};
+//!
+//! count::reset();
+//! let v = F32x16::splat(1.0) + F32x16::splat(2.0);
+//! assert!(count::read() >= 1);
+//! assert_eq!(v.extract(0), 3.0);
+//! ```
+
+use std::cell::Cell;
+
+/// Modeled cost of one 16-lane gather, in instruction units.
+///
+/// Register-register AVX-512 operations cost 1 unit; hardware
+/// gathers/scatters touch up to 16 cache lines and retire far slower
+/// (tens of cycles on KNL/Skylake). Weighting them at 8 units keeps the
+/// serial-versus-SIMD instruction model honest: a 16-lane gather does the
+/// memory work of 16 scalar random loads at roughly half the cost.
+pub const GATHER_COST: u64 = 8;
+
+/// Modeled cost of one 16-lane scatter (see [`GATHER_COST`]).
+pub const SCATTER_COST: u64 = 8;
+
+thread_local! {
+    static SIMD_INSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records `n` executed SIMD instructions on the current thread.
+#[inline(always)]
+pub fn bump(n: u64) {
+    SIMD_INSTRUCTIONS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Returns the number of SIMD instructions recorded on this thread since the
+/// last [`reset`].
+#[inline]
+pub fn read() -> u64 {
+    SIMD_INSTRUCTIONS.with(Cell::get)
+}
+
+/// Resets this thread's instruction counter to zero.
+#[inline]
+pub fn reset() {
+    SIMD_INSTRUCTIONS.with(|c| c.set(0));
+}
+
+/// Returns the current count and resets the counter in one step.
+#[inline]
+pub fn take() -> u64 {
+    SIMD_INSTRUCTIONS.with(|c| c.replace(0))
+}
+
+/// Runs `f` and returns its result together with the number of SIMD
+/// instructions it executed on this thread.
+///
+/// The surrounding count is preserved: instructions recorded by `f` are also
+/// visible to any enclosing [`with`] or [`read`].
+///
+/// # Example
+///
+/// ```
+/// use invector_simd::{count, I32x16};
+///
+/// let (_, n) = count::with(|| I32x16::splat(3) + I32x16::splat(4));
+/// assert!(n >= 1);
+/// ```
+pub fn with<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = read();
+    let result = f();
+    (result, read().wrapping_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_read_round_trip() {
+        reset();
+        bump(3);
+        bump(4);
+        assert_eq!(read(), 7);
+        assert_eq!(take(), 7);
+        assert_eq!(read(), 0);
+    }
+
+    #[test]
+    fn with_reports_nested_cost_without_losing_outer_count() {
+        reset();
+        bump(5);
+        let ((), inner) = with(|| bump(11));
+        assert_eq!(inner, 11);
+        assert_eq!(read(), 16);
+    }
+
+    #[test]
+    fn counters_are_per_thread() {
+        reset();
+        bump(9);
+        let other = std::thread::spawn(|| {
+            bump(1);
+            read()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1);
+        assert_eq!(read(), 9);
+    }
+}

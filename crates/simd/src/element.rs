@@ -1,0 +1,114 @@
+//! The sealed trait implemented by types that can occupy SIMD lanes.
+
+use std::fmt::Debug;
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for i32 {}
+    impl Sealed for u32 {}
+    impl Sealed for f32 {}
+    impl Sealed for i64 {}
+    impl Sealed for u64 {}
+    impl Sealed for f64 {}
+}
+
+/// A scalar type that can be an element of a [`SimdVec`](crate::SimdVec).
+///
+/// This trait is sealed: the AVX-512 model covers 32-bit lanes (`i32`,
+/// `u32`, `f32` — the element types the CGO'18 evaluation uses, sixteen per
+/// vector) and 64-bit lanes (`i64`, `u64`, `f64` — eight per vector, the
+/// `vpconflictq`/`vgatherdpd` side of the ISA); it cannot be implemented
+/// outside the crate.
+pub trait SimdElement:
+    Copy + Default + PartialEq + PartialOrd + Debug + Send + Sync + private::Sealed + 'static
+{
+    /// Lane-wise minimum; uses IEEE semantics of `f32::min` for floats.
+    fn lane_min(self, other: Self) -> Self;
+    /// Lane-wise maximum; uses IEEE semantics of `f32::max` for floats.
+    fn lane_max(self, other: Self) -> Self;
+}
+
+impl SimdElement for i32 {
+    #[inline(always)]
+    fn lane_min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn lane_max(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl SimdElement for u32 {
+    #[inline(always)]
+    fn lane_min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn lane_max(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl SimdElement for f32 {
+    #[inline(always)]
+    fn lane_min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn lane_max(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl SimdElement for i64 {
+    #[inline(always)]
+    fn lane_min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn lane_max(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl SimdElement for u64 {
+    #[inline(always)]
+    fn lane_min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn lane_max(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl SimdElement for f64 {
+    #[inline(always)]
+    fn lane_min(self, other: Self) -> Self {
+        self.min(other)
+    }
+    #[inline(always)]
+    fn lane_max(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_min_max() {
+        assert_eq!(3i32.lane_min(-4), -4);
+        assert_eq!(3u32.lane_max(4), 4);
+    }
+
+    #[test]
+    fn float_min_max_ignores_nan_like_vminps() {
+        // f32::min/max return the non-NaN operand, matching the behaviour we
+        // rely on when seeding reductions with identity values.
+        assert_eq!(f32::NAN.lane_min(2.0), 2.0);
+        assert_eq!(2.0f32.lane_max(f32::NAN), 2.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! AVX-512-style write masks (`__mmask16` model).
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+use crate::count;
+
+/// A lane mask with one bit per SIMD lane, modelling an AVX-512 `k` register.
+///
+/// Bit `i` corresponds to lane `i`; bits at positions `>= N` are always zero
+/// (the type maintains this invariant across all operations).
+///
+/// # Example
+///
+/// ```
+/// use invector_simd::Mask;
+///
+/// let m = Mask::<16>::from_bits(0b1010);
+/// assert_eq!(m.count_ones(), 2);
+/// assert_eq!(m.first_set(), Some(1));
+/// assert!((m | Mask::from_bits(0b0001)).test(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mask<const N: usize>(u32);
+
+impl<const N: usize> Mask<N> {
+    const VALID: u32 = if N >= 32 { u32::MAX } else { (1u32 << N) - 1 };
+
+    /// The empty mask (no lane selected).
+    #[inline]
+    pub const fn none() -> Self {
+        Mask(0)
+    }
+
+    /// The full mask (all `N` lanes selected).
+    #[inline]
+    pub const fn all() -> Self {
+        Mask(Self::VALID)
+    }
+
+    /// Builds a mask from raw bits. Bits at positions `>= N` are discarded.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        Mask(bits & Self::VALID)
+    }
+
+    /// Builds a mask with exactly the first `n` lanes set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > N`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= N, "first_n({n}) out of range for Mask<{N}>");
+        if n == 0 {
+            Mask(0)
+        } else {
+            Mask(Self::VALID >> (N - n))
+        }
+    }
+
+    /// Returns the raw bit pattern (only the low `N` bits can be set).
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Tests lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[inline]
+    pub fn test(self, i: usize) -> bool {
+        assert!(i < N, "lane {i} out of range for Mask<{N}>");
+        self.0 & (1 << i) != 0
+    }
+
+    /// Returns a copy of the mask with lane `i` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[inline]
+    #[must_use]
+    pub fn with(self, i: usize, value: bool) -> Self {
+        assert!(i < N, "lane {i} out of range for Mask<{N}>");
+        if value {
+            Mask(self.0 | (1 << i))
+        } else {
+            Mask(self.0 & !(1 << i))
+        }
+    }
+
+    /// Number of selected lanes (`kpopcnt`).
+    #[inline]
+    pub const fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` if no lane is selected (`kortest` reporting ZF).
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if every lane is selected.
+    #[inline]
+    pub const fn is_full(self) -> bool {
+        self.0 == Self::VALID
+    }
+
+    /// Index of the lowest selected lane, if any (`tzcnt`).
+    #[inline]
+    pub const fn first_set(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// A mask containing only the lowest selected lane: `m & (!m + 1)`.
+    ///
+    /// This is the `mreduce & (~mreduce + 1)` idiom from Algorithm 1 of the
+    /// paper, used to pick the lane that receives a merged partial result.
+    #[inline]
+    pub const fn lowest_set(self) -> Self {
+        Mask(self.0 & self.0.wrapping_neg())
+    }
+
+    /// `self & !other` (`kandn`).
+    #[inline]
+    #[must_use]
+    pub const fn and_not(self, other: Self) -> Self {
+        Mask(self.0 & !other.0)
+    }
+
+    /// Iterates over the indices of selected lanes, lowest first.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use invector_simd::Mask;
+    /// let lanes: Vec<usize> = Mask::<8>::from_bits(0b1001).iter_set().collect();
+    /// assert_eq!(lanes, vec![0, 3]);
+    /// ```
+    #[inline]
+    pub fn iter_set(self) -> IterSet<N> {
+        IterSet { bits: self.0 }
+    }
+
+    /// Converts to a per-lane boolean array.
+    #[inline]
+    pub fn to_array(self) -> [bool; N] {
+        std::array::from_fn(|i| self.0 & (1 << i) != 0)
+    }
+
+    /// Builds a mask from a per-lane boolean array.
+    #[inline]
+    pub fn from_array(lanes: [bool; N]) -> Self {
+        let mut bits = 0u32;
+        for (i, &b) in lanes.iter().enumerate() {
+            bits |= (b as u32) << i;
+        }
+        Mask(bits)
+    }
+}
+
+impl<const N: usize> BitAnd for Mask<N> {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        count::bump(1); // kand
+        Mask(self.0 & rhs.0)
+    }
+}
+
+impl<const N: usize> BitOr for Mask<N> {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        count::bump(1); // kor
+        Mask(self.0 | rhs.0)
+    }
+}
+
+impl<const N: usize> BitXor for Mask<N> {
+    type Output = Self;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        count::bump(1); // kxor
+        Mask(self.0 ^ rhs.0)
+    }
+}
+
+impl<const N: usize> Not for Mask<N> {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        count::bump(1); // knot
+        Mask(!self.0 & Self::VALID)
+    }
+}
+
+impl<const N: usize> BitAndAssign for Mask<N> {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        *self = *self & rhs;
+    }
+}
+
+impl<const N: usize> BitOrAssign for Mask<N> {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = *self | rhs;
+    }
+}
+
+impl<const N: usize> BitXorAssign for Mask<N> {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Self) {
+        *self = *self ^ rhs;
+    }
+}
+
+impl<const N: usize> fmt::Debug for Mask<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mask<{N}>({:0width$b})", self.0, width = N)
+    }
+}
+
+impl<const N: usize> fmt::Display for Mask<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.0, width = N)
+    }
+}
+
+impl<const N: usize> fmt::Binary for Mask<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl<const N: usize> fmt::LowerHex for Mask<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Iterator over set lane indices of a [`Mask`], produced by
+/// [`Mask::iter_set`].
+#[derive(Debug, Clone)]
+pub struct IterSet<const N: usize> {
+    bits: u32,
+}
+
+impl<const N: usize> Iterator for IterSet<N> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            let lane = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(lane)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl<const N: usize> ExactSizeIterator for IterSet<N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M16 = Mask<16>;
+
+    #[test]
+    fn all_and_none() {
+        assert_eq!(M16::all().bits(), 0xFFFF);
+        assert!(M16::none().is_empty());
+        assert!(M16::all().is_full());
+        assert_eq!(M16::all().count_ones(), 16);
+    }
+
+    #[test]
+    fn from_bits_truncates_out_of_range_bits() {
+        let m = Mask::<4>::from_bits(0xFF);
+        assert_eq!(m.bits(), 0xF);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn not_respects_width() {
+        let m = !Mask::<4>::from_bits(0b0101);
+        assert_eq!(m.bits(), 0b1010);
+    }
+
+    #[test]
+    fn first_n_boundaries() {
+        assert_eq!(M16::first_n(0).bits(), 0);
+        assert_eq!(M16::first_n(3).bits(), 0b111);
+        assert_eq!(M16::first_n(16), M16::all());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn first_n_past_width_panics() {
+        let _ = M16::first_n(17);
+    }
+
+    #[test]
+    fn lowest_set_matches_neg_and_idiom() {
+        let m = M16::from_bits(0b0110_1000);
+        assert_eq!(m.lowest_set().bits(), 0b1000);
+        assert_eq!(M16::none().lowest_set(), M16::none());
+    }
+
+    #[test]
+    fn first_set_and_iteration_agree() {
+        let m = M16::from_bits(0b1001_0010);
+        assert_eq!(m.first_set(), Some(1));
+        let lanes: Vec<_> = m.iter_set().collect();
+        assert_eq!(lanes, vec![1, 4, 7]);
+        assert_eq!(m.iter_set().len(), 3);
+    }
+
+    #[test]
+    fn with_and_test() {
+        let m = M16::none().with(5, true).with(2, true).with(5, false);
+        assert!(m.test(2));
+        assert!(!m.test(5));
+    }
+
+    #[test]
+    fn boolean_array_round_trip() {
+        let m = M16::from_bits(0b1100_0011);
+        assert_eq!(M16::from_array(m.to_array()), m);
+    }
+
+    #[test]
+    fn and_not_excludes_lanes() {
+        let a = M16::from_bits(0b1111);
+        let b = M16::from_bits(0b0101);
+        assert_eq!(a.and_not(b).bits(), 0b1010);
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = M16::from_bits(0b1100);
+        let b = M16::from_bits(0b1010);
+        assert_eq!((a & b).bits(), 0b1000);
+        assert_eq!((a | b).bits(), 0b1110);
+        assert_eq!((a ^ b).bits(), 0b0110);
+        let mut c = a;
+        c |= b;
+        assert_eq!(c.bits(), 0b1110);
+    }
+
+    #[test]
+    fn display_is_fixed_width() {
+        assert_eq!(format!("{}", Mask::<8>::from_bits(0b101)), "00000101");
+    }
+}

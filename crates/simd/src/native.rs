@@ -1,0 +1,543 @@
+//! Native AVX-512 implementations of the hot primitives.
+//!
+//! When the host CPU supports `avx512f` + `avx512cd`, [`available`] returns
+//! `true` and the portable model routes conflict detection and gathers
+//! through the real instructions (`_mm512_conflict_epi32`,
+//! `_mm512_i32gather_*`). The portable model defines the semantics; this
+//! module must agree with it bit-for-bit (see the differential tests at the
+//! bottom of this file).
+//!
+//! All functions here are `unsafe`: callers must have validated lane indices
+//! against the backing slice, and must only call them when [`available`]
+//! reports support.
+
+use std::sync::OnceLock;
+
+/// Returns `true` when the running CPU supports the AVX-512 subset this
+/// module needs (`avx512f` and `avx512cd`). The result is computed once and
+/// cached.
+#[inline]
+pub fn available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(detect)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> bool {
+    std::is_x86_feature_detected!("avx512f") && std::is_x86_feature_detected!("avx512cd")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use std::arch::x86_64::*;
+
+    /// `vpconflictd`: for each lane `i`, a bitset of preceding lanes `j < i`
+    /// holding the same 32-bit value.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd` (check [`super::available`]).
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn conflict_i32(idx: [i32; 16]) -> [i32; 16] {
+        // SAFETY: caller guarantees the required target features; loads and
+        // stores go through unaligned intrinsics on locals we own.
+        unsafe {
+            let v = _mm512_loadu_si512(idx.as_ptr().cast());
+            let c = _mm512_conflict_epi32(v);
+            let mut out = [0i32; 16];
+            _mm512_storeu_si512(out.as_mut_ptr().cast(), c);
+            out
+        }
+    }
+
+    /// Hardware gather of sixteen `f32` elements.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every `idx[i]` must be in `0..base.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_f32(base: &[f32], idx: [i32; 16]) -> [f32; 16] {
+        // SAFETY: caller validated every index against `base.len()`.
+        unsafe {
+            let vi = _mm512_loadu_si512(idx.as_ptr().cast());
+            let g = _mm512_i32gather_ps::<4>(vi, base.as_ptr().cast());
+            let mut out = [0f32; 16];
+            _mm512_storeu_ps(out.as_mut_ptr(), g);
+            out
+        }
+    }
+
+    /// Hardware gather of sixteen `i32` elements.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every `idx[i]` must be in `0..base.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_i32(base: &[i32], idx: [i32; 16]) -> [i32; 16] {
+        // SAFETY: caller validated every index against `base.len()`.
+        unsafe {
+            let vi = _mm512_loadu_si512(idx.as_ptr().cast());
+            let g = _mm512_i32gather_epi32::<4>(vi, base.as_ptr().cast());
+            let mut out = [0i32; 16];
+            _mm512_storeu_si512(out.as_mut_ptr().cast(), g);
+            out
+        }
+    }
+
+    /// The paper's conflict-free-subset primitive, fully in hardware:
+    /// `vpconflictd` + masked test against the broadcast active mask.
+    /// Returns the mask of active lanes with no earlier active duplicate.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd`.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn conflict_free_subset_u16(active: u16, idx: [i32; 16]) -> u16 {
+        // SAFETY: register-only intrinsics; loads from a local array.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let conflicts = _mm512_conflict_epi32(vidx);
+            let act = _mm512_set1_epi32(active as u32 as i32);
+            let masked = _mm512_and_si512(conflicts, act);
+            _mm512_mask_cmpeq_epi32_mask(active, masked, _mm512_setzero_si512())
+        }
+    }
+
+    /// **In-vector reduction, Algorithm 1, entirely in AVX-512**: folds the
+    /// active lanes of `data` by the indices in `idx` (summation) and
+    /// returns the conflict-free mask — the native counterpart of the
+    /// portable `reduce_alg1::<f32, Sum, 16>` and the code the paper's
+    /// artifact implements with ICC intrinsics.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd`.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn invec_add_f32(active: u16, idx: [i32; 16], data: &mut [f32; 16]) -> u16 {
+        // SAFETY: register-only intrinsics; loads/stores on caller arrays.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let mut vdata = _mm512_loadu_ps(data.as_ptr());
+            let mret = conflict_free_subset_u16(active, idx);
+            let mut todo = active & !mret;
+            while todo != 0 {
+                let i = todo.trailing_zeros();
+                // Broadcast idx[i] to all lanes and find its group.
+                let key = _mm512_permutexvar_epi32(_mm512_set1_epi32(i as i32), vidx);
+                let mreduce = _mm512_mask_cmpeq_epi32_mask(active, vidx, key);
+                // Horizontal masked reduce, parked in the group's first lane.
+                let sum = _mm512_mask_reduce_add_ps(mreduce, vdata);
+                let first = mreduce.trailing_zeros();
+                vdata = _mm512_mask_blend_ps(1u16 << first, vdata, _mm512_set1_ps(sum));
+                todo &= !mreduce;
+            }
+            _mm512_storeu_ps(data.as_mut_ptr(), vdata);
+            mret
+        }
+    }
+
+    /// Generates the Algorithm-1 loop body for one reduction operator.
+    macro_rules! native_invec {
+        ($(#[$doc:meta])* $name:ident, $reduce:ident, $identity:expr) => {
+            $(#[$doc])*
+            ///
+            /// # Safety
+            ///
+            /// Requires `avx512f` and `avx512cd`.
+            #[target_feature(enable = "avx512f,avx512cd")]
+            pub unsafe fn $name(active: u16, idx: [i32; 16], data: &mut [f32; 16]) -> u16 {
+                let _ = $identity; // identity is implicit in the masked reduce
+                // SAFETY: register-only intrinsics on caller-owned arrays.
+                unsafe {
+                    let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+                    let mut vdata = _mm512_loadu_ps(data.as_ptr());
+                    let mret = conflict_free_subset_u16(active, idx);
+                    let mut todo = active & !mret;
+                    while todo != 0 {
+                        let i = todo.trailing_zeros();
+                        let key = _mm512_permutexvar_epi32(_mm512_set1_epi32(i as i32), vidx);
+                        let mreduce = _mm512_mask_cmpeq_epi32_mask(active, vidx, key);
+                        let folded = $reduce(mreduce, vdata);
+                        let first = mreduce.trailing_zeros();
+                        vdata = _mm512_mask_blend_ps(1u16 << first, vdata, _mm512_set1_ps(folded));
+                        todo &= !mreduce;
+                    }
+                    _mm512_storeu_ps(data.as_mut_ptr(), vdata);
+                    mret
+                }
+            }
+        };
+    }
+
+    native_invec!(
+        /// Native Algorithm 1 with the **min** operator (`invec_min`): the
+        /// SSSP relaxation fold, entirely in AVX-512.
+        invec_min_f32,
+        _mm512_mask_reduce_min_ps,
+        f32::INFINITY
+    );
+    native_invec!(
+        /// Native Algorithm 1 with the **max** operator (`invec_max`): the
+        /// SSWP relaxation fold, entirely in AVX-512.
+        invec_max_f32,
+        _mm512_mask_reduce_max_ps,
+        f32::NEG_INFINITY
+    );
+
+    /// Whole-stream `target[idx[j]] += vals[j]` with the full in-vector
+    /// reduction pipeline in one `target_feature` function (so the hot
+    /// loop stays in registers: per-chunk function-call boundaries would
+    /// otherwise force spills and block inlining).
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`+`avx512cd`; `idx.len() == vals.len()`; every
+    /// index in `0..target.len()`.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn accumulate_add_f32(target: &mut [f32], idx: &[i32], vals: &[f32]) {
+        // SAFETY: caller validated lengths and index ranges.
+        unsafe {
+            let n = idx.len();
+            let mut j = 0;
+            while j + 16 <= n {
+                let vidx = _mm512_loadu_si512(idx.as_ptr().add(j).cast());
+                let mut vdata = _mm512_loadu_ps(vals.as_ptr().add(j));
+                // Conflict-free subset.
+                let conflicts = _mm512_conflict_epi32(vidx);
+                let mret =
+                    _mm512_cmpeq_epi32_mask(conflicts, _mm512_setzero_si512());
+                // Merge conflicting groups (usually zero iterations).
+                let mut todo = !mret;
+                while todo != 0 {
+                    let i = todo.trailing_zeros();
+                    let key = _mm512_permutexvar_epi32(_mm512_set1_epi32(i as i32), vidx);
+                    let mreduce = _mm512_cmpeq_epi32_mask(vidx, key);
+                    let sum = _mm512_mask_reduce_add_ps(mreduce, vdata);
+                    let first = mreduce.trailing_zeros();
+                    vdata = _mm512_mask_blend_ps(1u16 << first, vdata, _mm512_set1_ps(sum));
+                    todo &= !mreduce;
+                }
+                // Conflict-free gather-add-scatter.
+                let old = _mm512_mask_i32gather_ps::<4>(
+                    _mm512_setzero_ps(),
+                    mret,
+                    vidx,
+                    target.as_ptr().cast(),
+                );
+                let new = _mm512_add_ps(old, vdata);
+                _mm512_mask_i32scatter_ps::<4>(target.as_mut_ptr().cast(), mret, vidx, new);
+                j += 16;
+            }
+            // Scalar tail.
+            for k in j..n {
+                *target.get_unchecked_mut(*idx.get_unchecked(k) as usize) +=
+                    *vals.get_unchecked(k);
+            }
+        }
+    }
+
+    /// Hardware masked scatter-add of sixteen `f32` lanes:
+    /// `base[idx[l]] += data[l]` for the selected lanes, which **must hold
+    /// distinct indices** (e.g. the mask returned by [`invec_add_f32`]).
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every selected `idx[l]` must be in
+    /// `0..base.len()` and the selected indices must be pairwise distinct
+    /// (otherwise updates are lost, as with any gather-add-scatter).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scatter_add_f32(mask: u16, base: &mut [f32], idx: [i32; 16], data: [f32; 16]) {
+        // SAFETY: caller validated indices and distinctness.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let vdata = _mm512_loadu_ps(data.as_ptr());
+            let old = _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), mask, vidx, base.as_ptr().cast());
+            let new = _mm512_add_ps(old, vdata);
+            _mm512_mask_i32scatter_ps::<4>(base.as_mut_ptr().cast(), mask, vidx, new);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use imp::{
+    accumulate_add_f32, conflict_free_subset_u16, conflict_i32, gather_f32, gather_i32,
+    invec_add_f32, invec_max_f32, invec_min_f32, scatter_add_f32,
+};
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp_stub {
+    /// Stub for non-x86_64 targets; never called because
+    /// [`super::available`] is `false` there.
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn conflict_i32(_idx: [i32; 16]) -> [i32; 16] {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn gather_f32(_base: &[f32], _idx: [i32; 16]) -> [f32; 16] {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn gather_i32(_base: &[i32], _idx: [i32; 16]) -> [i32; 16] {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn conflict_free_subset_u16(_active: u16, _idx: [i32; 16]) -> u16 {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn invec_add_f32(_active: u16, _idx: [i32; 16], _data: &mut [f32; 16]) -> u16 {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn scatter_add_f32(_mask: u16, _base: &mut [f32], _idx: [i32; 16], _data: [f32; 16]) {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn invec_min_f32(_active: u16, _idx: [i32; 16], _data: &mut [f32; 16]) -> u16 {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn invec_max_f32(_active: u16, _idx: [i32; 16], _data: &mut [f32; 16]) -> u16 {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+
+    /// See [`conflict_i32`].
+    ///
+    /// # Safety
+    ///
+    /// Must not be called.
+    pub unsafe fn accumulate_add_f32(_target: &mut [f32], _idx: &[i32], _vals: &[f32]) {
+        unreachable!("native backend is unavailable on this architecture")
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub use imp_stub::{
+    accumulate_add_f32, conflict_free_subset_u16, conflict_i32, gather_f32, gather_i32,
+    invec_add_f32, invec_max_f32, invec_min_f32, scatter_add_f32,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_conflict(idx: [i32; 16]) -> [i32; 16] {
+        std::array::from_fn(|i| {
+            let mut bits = 0i32;
+            for j in 0..i {
+                if idx[j] == idx[i] {
+                    bits |= 1 << j;
+                }
+            }
+            bits
+        })
+    }
+
+    #[test]
+    fn native_conflict_matches_reference_when_available() {
+        if !available() {
+            eprintln!("skipping: AVX-512 not available on this host");
+            return;
+        }
+        let cases: [[i32; 16]; 4] = [
+            std::array::from_fn(|i| i as i32),
+            [7; 16],
+            std::array::from_fn(|i| (i % 3) as i32),
+            std::array::from_fn(|i| if i % 2 == 0 { -5 } else { i as i32 }),
+        ];
+        for idx in cases {
+            // SAFETY: guarded by `available()`.
+            let native = unsafe { conflict_i32(idx) };
+            assert_eq!(native, reference_conflict(idx), "input {idx:?}");
+        }
+    }
+
+    #[test]
+    fn native_invec_add_matches_portable_model() {
+        use rand::{Rng, SeedableRng};
+        if !available() {
+            eprintln!("skipping: AVX-512 not available on this host");
+            return;
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1601);
+        for _ in 0..500 {
+            let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(0..6));
+            // Small integers: f32 addition is exact in any order, so the
+            // hardware tree reduction and the portable fold agree exactly.
+            let data: [f32; 16] = std::array::from_fn(|_| rng.gen_range(-64..64) as f32);
+            let active: u16 = rng.gen();
+
+            let mut native_data = data;
+            // SAFETY: guarded by `available()`.
+            let native_mask = unsafe { invec_add_f32(active, idx, &mut native_data) };
+
+            // Portable reference: conflict-free subset + per-group sums.
+            let portable_mask = {
+                let mut m = 0u16;
+                for i in 0..16 {
+                    let act = active & (1 << i) != 0;
+                    let first = (0..i).all(|j| active & (1 << j) == 0 || idx[j] != idx[i]);
+                    if act && first {
+                        m |= 1 << i;
+                    }
+                }
+                m
+            };
+            assert_eq!(native_mask, portable_mask, "mask for idx {idx:?} active {active:#06x}");
+            for lane in 0..16 {
+                if native_mask & (1 << lane) != 0 {
+                    let expect: f32 = (0..16)
+                        .filter(|&l| active & (1 << l) != 0 && idx[l] == idx[lane])
+                        .map(|l| data[l])
+                        .sum();
+                    assert_eq!(native_data[lane], expect, "lane {lane} idx {idx:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_invec_min_max_match_scalar_reference() {
+        use rand::{Rng, SeedableRng};
+        if !available() {
+            eprintln!("skipping: AVX-512 not available on this host");
+            return;
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1602);
+        for _ in 0..300 {
+            let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(0..5));
+            let data: [f32; 16] = std::array::from_fn(|_| rng.gen_range(-100.0..100.0));
+            let active: u16 = rng.gen::<u16>() | 1; // keep at least one lane
+
+            for minimize in [true, false] {
+                let mut out = data;
+                // SAFETY: guarded by `available()`.
+                let mask = unsafe {
+                    if minimize {
+                        invec_min_f32(active, idx, &mut out)
+                    } else {
+                        invec_max_f32(active, idx, &mut out)
+                    }
+                };
+                for lane in 0..16 {
+                    if mask & (1 << lane) != 0 {
+                        let group = (0..16)
+                            .filter(|&l| active & (1 << l) != 0 && idx[l] == idx[lane])
+                            .map(|l| data[l]);
+                        let expect = if minimize {
+                            group.fold(f32::INFINITY, f32::min)
+                        } else {
+                            group.fold(f32::NEG_INFINITY, f32::max)
+                        };
+                        assert_eq!(out[lane], expect, "lane {lane} minimize={minimize}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_conflict_free_subset_matches_portable() {
+        use rand::{Rng, SeedableRng};
+        if !available() {
+            eprintln!("skipping: AVX-512 not available on this host");
+            return;
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xC0DE);
+        for _ in 0..500 {
+            let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(-3..5));
+            let active: u16 = rng.gen();
+            // SAFETY: guarded by `available()`.
+            let native = unsafe { conflict_free_subset_u16(active, idx) };
+            let mut expect = 0u16;
+            for i in 0..16 {
+                let act = active & (1 << i) != 0;
+                let first = (0..i).all(|j| active & (1 << j) == 0 || idx[j] != idx[i]);
+                if act && first {
+                    expect |= 1 << i;
+                }
+            }
+            assert_eq!(native, expect, "idx {idx:?} active {active:#06x}");
+        }
+    }
+
+    #[test]
+    fn native_scatter_add_accumulates_distinct_lanes() {
+        if !available() {
+            eprintln!("skipping: AVX-512 not available on this host");
+            return;
+        }
+        let mut base = vec![1.0f32; 32];
+        let idx: [i32; 16] = std::array::from_fn(|i| (i * 2) as i32);
+        let data: [f32; 16] = std::array::from_fn(|i| i as f32);
+        // SAFETY: indices in range and pairwise distinct; guarded above.
+        unsafe { scatter_add_f32(0b0000_0000_1010_0101, &mut base, idx, data) };
+        assert_eq!(base[0], 1.0 + 0.0);
+        assert_eq!(base[4], 1.0 + 2.0);
+        assert_eq!(base[10], 1.0 + 5.0);
+        assert_eq!(base[14], 1.0 + 7.0);
+        assert_eq!(base[2], 1.0, "unselected lane wrote");
+        assert_eq!(base[6], 1.0, "unselected lane wrote");
+    }
+
+    #[test]
+    fn native_gathers_match_scalar_when_available() {
+        if !available() {
+            eprintln!("skipping: AVX-512 not available on this host");
+            return;
+        }
+        let base_f: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+        let base_i: Vec<i32> = (0..64).map(|i| i * 3).collect();
+        let idx: [i32; 16] = std::array::from_fn(|i| ((i * 37) % 64) as i32);
+        // SAFETY: all indices in range; guarded by `available()`.
+        let gf = unsafe { gather_f32(&base_f, idx) };
+        let gi = unsafe { gather_i32(&base_i, idx) };
+        for lane in 0..16 {
+            assert_eq!(gf[lane], base_f[idx[lane] as usize]);
+            assert_eq!(gi[lane], base_i[idx[lane] as usize]);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests pinning the AVX-512 model's semantics against scalar
+//! reference implementations.
+
+use proptest::prelude::*;
+
+use invector_simd::{conflict_detect, F32x16, I32x16, Mask16, SimdVec};
+
+fn any_mask() -> impl Strategy<Value = Mask16> {
+    (0u32..=0xFFFF).prop_map(Mask16::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn gather_reads_what_scalar_indexing_reads(
+        base in prop::collection::vec(-100.0f32..100.0, 1..64),
+        seed in any::<u64>(),
+    ) {
+        let n = base.len() as i32;
+        let idx: [i32; 16] = std::array::from_fn(|i| {
+            ((seed.wrapping_mul(i as u64 + 1).wrapping_mul(2654435761)) % n as u64) as i32
+        });
+        let v = F32x16::gather(&base, I32x16::from_array(idx));
+        for lane in 0..16 {
+            prop_assert_eq!(v.extract(lane), base[idx[lane] as usize]);
+        }
+    }
+
+    #[test]
+    fn scatter_last_writer_wins(
+        idx in prop::array::uniform16(0..8i32),
+        vals in prop::array::uniform16(-100..100i32),
+    ) {
+        let mut base = [0i32; 8];
+        SimdVec::from_array(vals).scatter(&mut base, I32x16::from_array(idx));
+        // Scalar model: ascending lane order, later lanes overwrite.
+        let mut expect = [0i32; 8];
+        for lane in 0..16 {
+            expect[idx[lane] as usize] = vals[lane];
+        }
+        prop_assert_eq!(base, expect);
+    }
+
+    #[test]
+    fn mask_scatter_touches_only_selected_slots(
+        idx in prop::array::uniform16(0..8i32),
+        mask in any_mask(),
+    ) {
+        let mut base = [-1i32; 8];
+        SimdVec::splat(7).mask_scatter(mask, &mut base, I32x16::from_array(idx));
+        let touched: std::collections::HashSet<i32> =
+            mask.iter_set().map(|lane| idx[lane]).collect();
+        for (slot, &v) in base.iter().enumerate() {
+            if touched.contains(&(slot as i32)) {
+                prop_assert_eq!(v, 7);
+            } else {
+                prop_assert_eq!(v, -1);
+            }
+        }
+    }
+
+    #[test]
+    fn compress_then_expand_restores_selected_lanes(
+        vals in prop::array::uniform16(-1000..1000i32),
+        mask in any_mask(),
+    ) {
+        let v = SimdVec::from_array(vals);
+        let round = v.compress(mask).expand(mask, SimdVec::splat(0));
+        for lane in 0..16 {
+            let expect = if mask.test(lane) { vals[lane] } else { 0 };
+            prop_assert_eq!(round.extract(lane), expect);
+        }
+    }
+
+    #[test]
+    fn compress_store_equals_scalar_filter(
+        vals in prop::array::uniform16(-1000..1000i32),
+        mask in any_mask(),
+    ) {
+        let mut out = [0i32; 16];
+        let n = SimdVec::from_array(vals).compress_store(mask, &mut out);
+        let expect: Vec<i32> = mask.iter_set().map(|lane| vals[lane]).collect();
+        prop_assert_eq!(&out[..n], &expect[..]);
+    }
+
+    #[test]
+    fn conflict_detect_is_permutation_sensitive_but_value_consistent(
+        idx in prop::array::uniform16(0..6i32),
+    ) {
+        // Total number of conflict bits equals sum over values of C(k, 2)
+        // where k is the value's multiplicity — independent of lane order.
+        let c = conflict_detect(I32x16::from_array(idx));
+        let total_bits: u32 = c.to_array().iter().map(|b| b.count_ones()).sum();
+        let mut counts = std::collections::HashMap::new();
+        for &v in &idx {
+            *counts.entry(v).or_insert(0u32) += 1;
+        }
+        let expect: u32 = counts.values().map(|&k| k * (k - 1) / 2).sum();
+        prop_assert_eq!(total_bits, expect);
+    }
+
+    #[test]
+    fn mask_ops_agree_with_u32_bit_ops(a in 0u32..=0xFFFF, b in 0u32..=0xFFFF) {
+        let (ma, mb) = (Mask16::from_bits(a), Mask16::from_bits(b));
+        prop_assert_eq!((ma & mb).bits(), a & b);
+        prop_assert_eq!((ma | mb).bits(), a | b);
+        prop_assert_eq!((ma ^ mb).bits(), a ^ b);
+        prop_assert_eq!((!ma).bits(), !a & 0xFFFF);
+        prop_assert_eq!(ma.and_not(mb).bits(), a & !b);
+        prop_assert_eq!(ma.count_ones(), a.count_ones());
+        prop_assert_eq!(ma.lowest_set().bits(), a & a.wrapping_neg());
+    }
+
+    #[test]
+    fn blend_merges_by_mask(
+        a in prop::array::uniform16(-100..100i32),
+        b in prop::array::uniform16(-100..100i32),
+        mask in any_mask(),
+    ) {
+        let v = SimdVec::from_array(a).blend(mask, SimdVec::from_array(b));
+        for lane in 0..16 {
+            prop_assert_eq!(v.extract(lane), if mask.test(lane) { a[lane] } else { b[lane] });
+        }
+    }
+
+    #[test]
+    fn reduce_is_order_insensitive_for_integers(
+        vals in prop::array::uniform16(-100..100i32),
+        mask in any_mask(),
+    ) {
+        let v = SimdVec::from_array(vals);
+        let sum = v.reduce(mask, 0, |x, y| x.wrapping_add(y));
+        let expect: i32 = mask.iter_set().map(|lane| vals[lane]).sum();
+        prop_assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn load_partial_mask_matches_available_data(
+        data in prop::collection::vec(-50..50i32, 0..40),
+    ) {
+        let (v, m) = SimdVec::<i32, 16>::load_partial(&data, -99);
+        prop_assert_eq!(m.count_ones() as usize, data.len().min(16));
+        for lane in 0..16 {
+            if lane < data.len().min(16) {
+                prop_assert!(m.test(lane));
+                prop_assert_eq!(v.extract(lane), data[lane]);
+            } else {
+                prop_assert!(!m.test(lane));
+                prop_assert_eq!(v.extract(lane), -99);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! PageRank on a synthetic higgs-twitter stand-in, all five strategies —
+//! a miniature of the paper's Figure 8.
+//!
+//! Run with: `cargo run --release --example pagerank [scale]`
+//! (`scale` in (0, 1]; default 0.01 ≈ 150K edges.)
+
+use invector::graph::datasets;
+use invector::kernels::{pagerank, PageRankConfig, Variant};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let dataset = datasets::higgs_twitter(scale);
+    println!(
+        "PageRank on {} stand-in: {} vertices, {} edges (scale {scale})\n",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges()
+    );
+
+    let config = PageRankConfig::default();
+    let mut reference: Option<Vec<f32>> = None;
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>6} {:>10}",
+        "version", "tiling(ms)", "group(ms)", "comp(ms)", "iters", "simd_util"
+    );
+    for variant in Variant::ALL {
+        let r = pagerank(&dataset.graph, variant, &config);
+        let util = r
+            .utilization
+            .map(|u| format!("{:.2}%", u.ratio() * 100.0))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>10.2} {:>6} {:>10}",
+            variant.tiled_label(),
+            r.timings.tiling.as_secs_f64() * 1e3,
+            r.timings.grouping.as_secs_f64() * 1e3,
+            r.timings.compute.as_secs_f64() * 1e3,
+            r.iterations,
+            util
+        );
+        // Every strategy computes the same ranks (up to f32 reassociation).
+        match &reference {
+            None => reference = Some(r.values),
+            Some(expect) => {
+                for (a, b) in r.values.iter().zip(expect) {
+                    assert!((a - b).abs() <= 1e-3 * (a.abs() + b.abs() + 1e-6));
+                }
+            }
+        }
+    }
+
+    let ranks = reference.expect("at least one run");
+    let mut top: Vec<(usize, f32)> = ranks.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop-5 vertices by rank:");
+    for (v, r) in top.into_iter().take(5) {
+        println!("  vertex {v:>8}  rank {r:.6}");
+    }
+}

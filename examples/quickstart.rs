@@ -1,0 +1,53 @@
+//! Quickstart: in-vector reduction on one SIMD vector, and on a stream.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use invector::core::{invec_accumulate, invec_add, masked_accumulate, ops::Sum};
+use invector::simd::{count, F32x16, I32x16, Mask16};
+
+fn main() {
+    // --- One vector, by hand (the paper's Figure 5 running example) ---
+    // Sixteen lanes want to add 1.0 to these indices; several collide.
+    let idx = I32x16::from_array([0, 1, 1, 1, 2, 2, 2, 2, 5, 0, 1, 1, 1, 5, 5, 5]);
+    let mut data = F32x16::splat(1.0);
+
+    // invec_add folds conflicting lanes inside the vector (legal because +
+    // is associative) and returns the lanes that survived — all with
+    // distinct indices, so the scatter below cannot self-conflict.
+    let safe = invec_add(Mask16::all(), idx, &mut data);
+    println!("conflict-free lanes: {safe}");
+
+    let mut sums = vec![0.0f32; 6];
+    data.mask_scatter(safe, &mut sums, idx);
+    println!("per-index sums:      {sums:?}");
+    assert_eq!(sums, vec![2.0, 6.0, 4.0, 0.0, 0.0, 4.0]);
+
+    // --- A whole stream, with the driver ---
+    let bins: Vec<i32> = (0..10_000).map(|i| (i * i) % 7).collect();
+    let weights = vec![1.0f32; bins.len()];
+    let mut hist = vec![0.0f32; 7];
+
+    count::reset();
+    let stats = invec_accumulate::<f32, Sum>(&mut hist, &bins, &weights);
+    let instructions = count::take();
+    println!(
+        "\ninvec:  {} vectors, mean conflict depth D1 = {:.2}, {} SIMD instructions",
+        stats.vectors,
+        stats.depth.mean(),
+        instructions
+    );
+
+    // The same stream with the conflict-masking baseline, for contrast.
+    let mut hist_mask = vec![0.0f32; 7];
+    count::reset();
+    let mstats = masked_accumulate::<f32, Sum>(&mut hist_mask, &bins, &weights);
+    println!(
+        "masked: {} rounds, SIMD utilization {}, {} SIMD instructions",
+        mstats.rounds,
+        mstats.utilization,
+        count::take()
+    );
+
+    assert_eq!(hist, hist_mask);
+    println!("\nhistogram: {hist:?}");
+}

@@ -1,0 +1,53 @@
+//! Wave-frontier SSSP (the paper's Figure 2 application), all strategies —
+//! a miniature of Figure 9. Distances are bit-identical across strategies
+//! because `min` is exact in `f32`.
+//!
+//! Run with: `cargo run --release --example sssp_frontier [scale]`
+
+use invector::graph::datasets;
+use invector::kernels::{sssp, Variant};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let dataset = datasets::soc_pokec(scale);
+    println!(
+        "wave-frontier SSSP on {} stand-in: {} vertices, {} edges\n",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges()
+    );
+
+    let source = 0;
+    let mut reference: Option<Vec<f32>> = None;
+    println!(
+        "{:<24} {:>12} {:>12} {:>6} {:>10}",
+        "version", "group(ms)", "compute(ms)", "iters", "simd_util"
+    );
+    for variant in Variant::ALL {
+        let r = sssp(&dataset.graph, source, variant, 10_000);
+        let util = r
+            .utilization
+            .map(|u| format!("{:.2}%", u.ratio() * 100.0))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>6} {:>10}",
+            variant.frontier_label(),
+            r.timings.grouping.as_secs_f64() * 1e3,
+            r.timings.compute.as_secs_f64() * 1e3,
+            r.iterations,
+            util
+        );
+        match &reference {
+            None => reference = Some(r.values),
+            Some(expect) => assert_eq!(&r.values, expect, "{variant} diverged"),
+        }
+    }
+
+    let dist = reference.expect("at least one run");
+    let reached = dist.iter().filter(|d| d.is_finite()).count();
+    let max = dist.iter().filter(|d| d.is_finite()).fold(0.0f32, |a, &b| a.max(b));
+    println!(
+        "\nreached {reached}/{} vertices from source {source}; eccentricity {max:.2}",
+        dist.len()
+    );
+}

@@ -1,0 +1,483 @@
+//! Command-line interface: parse-and-dispatch for the `invector` binary.
+//!
+//! Hand-rolled argument parsing (no external dependencies) split from
+//! `main.rs` so it is unit-testable.
+
+use invector_agg::dist::Distribution;
+use invector_agg::run::Method;
+use invector_graph::datasets::{self, Dataset};
+use invector_kernels::Variant;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print dataset registry and host capabilities.
+    Info {
+        /// Dataset scale factor.
+        scale: f64,
+    },
+    /// Run a graph application.
+    Graph {
+        /// Which application.
+        app: GraphApp,
+        /// Dataset name.
+        dataset: String,
+        /// Variants to run.
+        variants: Vec<Variant>,
+        /// Dataset scale factor.
+        scale: f64,
+        /// Source vertex for SSSP/SSWP.
+        source: i32,
+    },
+    /// Run the Moldyn simulation.
+    Moldyn {
+        /// Variants to run.
+        variants: Vec<Variant>,
+        /// Dataset scale factor.
+        scale: f64,
+        /// Simulation iterations.
+        iters: u32,
+    },
+    /// Run hash aggregation.
+    Agg {
+        /// Input distribution.
+        dist: Distribution,
+        /// Number of rows.
+        rows: usize,
+        /// Group-by cardinality.
+        cardinality: usize,
+    },
+    /// Run the Euler-style mesh solver.
+    Euler {
+        /// Mesh side length (nodes per edge).
+        mesh: usize,
+        /// Sweep iterations.
+        iters: u32,
+        /// Variants to run.
+        variants: Vec<Variant>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// The graph applications the CLI can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphApp {
+    /// PageRank (Figure 8).
+    PageRank,
+    /// Single-source shortest path (Figure 9).
+    Sssp,
+    /// Single-source widest path (Figure 10).
+    Sswp,
+    /// Weakly connected components (Figure 11).
+    Wcc,
+    /// Sparse matrix-vector multiplication (library extension).
+    Spmv,
+}
+
+/// The usage text shown by `invector help`.
+pub const USAGE: &str = "\
+invector — conflict-free SIMD vectorization of irregular reductions (CGO'18)
+
+USAGE:
+  invector <command> [options]
+
+COMMANDS:
+  info                          dataset registry and host SIMD capabilities
+  pagerank|sssp|sswp|wcc|spmv   run a graph application
+  moldyn                        run the molecular-dynamics simulation
+  euler                         run the edge-based mesh solver
+  agg                           run hash-based aggregation
+  help                          this text
+
+OPTIONS:
+  --dataset <name>     higgs-twitter | soc-pokec | amazon0312   [higgs-twitter]
+  --variant <v>        serial | tiled | grouped | masked | invec | all   [all]
+  --scale <f>          dataset scale in (0, 1]                  [0.01]
+  --source <v>         source vertex for sssp/sswp              [0]
+  --iters <n>          moldyn/euler iterations                  [20]
+  --mesh <n>           euler mesh side (n x n nodes)            [64]
+  --dist <d>           heavy-hitter | zipf | moving-cluster     [heavy-hitter]
+  --rows <n>           aggregation input rows                   [1000000]
+  --cardinality <n>    aggregation group count                  [1024]
+";
+
+fn parse_variant(s: &str) -> Result<Vec<Variant>, String> {
+    Ok(match s {
+        "serial" => vec![Variant::Serial],
+        "tiled" => vec![Variant::SerialTiled],
+        "grouped" => vec![Variant::Grouped],
+        "masked" => vec![Variant::Masked],
+        "invec" => vec![Variant::Invec],
+        "all" => Variant::ALL.to_vec(),
+        other => return Err(format!("unknown variant '{other}'")),
+    })
+}
+
+fn parse_dist(s: &str) -> Result<Distribution, String> {
+    Ok(match s {
+        "heavy-hitter" => Distribution::HeavyHitter,
+        "zipf" => Distribution::Zipf,
+        "moving-cluster" => Distribution::MovingCluster,
+        other => return Err(format!("unknown distribution '{other}'")),
+    })
+}
+
+fn lookup<T: std::str::FromStr>(opts: &[(String, String)], key: &str, default: T) -> Result<T, String> {
+    match opts.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+    }
+}
+
+/// Parses a full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown commands, options, or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    // Collect --key value pairs.
+    let mut opts: Vec<(String, String)> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected an option, got '{}'", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.push((key.to_string(), value.clone()));
+        i += 2;
+    }
+    const KNOWN: [&str; 9] =
+        ["dataset", "variant", "scale", "source", "iters", "dist", "rows", "cardinality", "mesh"];
+    if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+        return Err(format!("unknown option --{k}"));
+    }
+
+    let scale: f64 = lookup(&opts, "scale", 0.01)?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("--scale must be in (0, 1], got {scale}"));
+    }
+    let variants = match opts.iter().find(|(k, _)| k == "variant") {
+        None => Variant::ALL.to_vec(),
+        Some((_, v)) => parse_variant(v)?,
+    };
+    let dataset = lookup(&opts, "dataset", "higgs-twitter".to_string())?;
+
+    let app = match command.as_str() {
+        "help" | "--help" | "-h" => return Ok(Command::Help),
+        "info" => return Ok(Command::Info { scale }),
+        "moldyn" => {
+            return Ok(Command::Moldyn { variants, scale, iters: lookup(&opts, "iters", 20)? })
+        }
+        "euler" => {
+            return Ok(Command::Euler {
+                mesh: lookup(&opts, "mesh", 64)?,
+                iters: lookup(&opts, "iters", 20)?,
+                variants,
+            })
+        }
+        "agg" => {
+            let dist = match opts.iter().find(|(k, _)| k == "dist") {
+                None => Distribution::HeavyHitter,
+                Some((_, v)) => parse_dist(v)?,
+            };
+            return Ok(Command::Agg {
+                dist,
+                rows: lookup(&opts, "rows", 1_000_000)?,
+                cardinality: lookup(&opts, "cardinality", 1024)?,
+            });
+        }
+        "pagerank" => GraphApp::PageRank,
+        "sssp" => GraphApp::Sssp,
+        "sswp" => GraphApp::Sswp,
+        "wcc" => GraphApp::Wcc,
+        "spmv" => GraphApp::Spmv,
+        other => return Err(format!("unknown command '{other}' (try 'invector help')")),
+    };
+    Ok(Command::Graph { app, dataset, variants, scale, source: lookup(&opts, "source", 0)? })
+}
+
+fn load_dataset(name: &str, scale: f64) -> Result<Dataset, String> {
+    match name {
+        "higgs-twitter" => Ok(datasets::higgs_twitter(scale)),
+        "soc-pokec" | "soc-Pokec" => Ok(datasets::soc_pokec(scale)),
+        "amazon0312" => Ok(datasets::amazon0312(scale)),
+        other => Err(format!("unknown dataset '{other}'")),
+    }
+}
+
+/// Executes a parsed command, printing results to stdout.
+///
+/// # Errors
+///
+/// Returns a message for invalid dataset names or out-of-range sources.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => println!("{USAGE}"),
+        Command::Info { scale } => run_info(scale),
+        Command::Graph { app, dataset, variants, scale, source } => {
+            let d = load_dataset(&dataset, scale)?;
+            if app != GraphApp::Wcc
+                && app != GraphApp::PageRank
+                && !(0..d.graph.num_vertices() as i32).contains(&source)
+            {
+                return Err(format!("source {source} out of range"));
+            }
+            run_graph(app, &d, &variants, source);
+        }
+        Command::Moldyn { variants, scale, iters } => run_moldyn(&variants, scale, iters),
+        Command::Euler { mesh, iters, variants } => run_euler(mesh, iters, &variants)?,
+        Command::Agg { dist, rows, cardinality } => run_agg(dist, rows, cardinality),
+    }
+    Ok(())
+}
+
+fn run_info(scale: f64) {
+    println!("host AVX-512 (avx512f+cd): {}", invector_simd::native::available());
+    println!("\ndatasets at scale {scale}:");
+    for d in datasets::all(scale) {
+        println!(
+            "  {:<16} {:>9} vertices {:>11} edges (paper: {}x{}, {} NNZ)",
+            d.name,
+            d.graph.num_vertices(),
+            d.graph.num_edges(),
+            d.paper_vertices,
+            d.paper_vertices,
+            d.paper_edges
+        );
+    }
+}
+
+fn print_run_row(label: &str, r: &invector_kernels::RunResult<impl std::fmt::Debug>) {
+    let util = r
+        .utilization
+        .map(|u| format!("{:.2}%", u.ratio() * 100.0))
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "{:<24} tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  iters {:>5}  {:>10.2} Minstr  util {}",
+        label,
+        r.timings.tiling.as_secs_f64() * 1e3,
+        r.timings.grouping.as_secs_f64() * 1e3,
+        r.timings.compute.as_secs_f64() * 1e3,
+        r.iterations,
+        r.instructions as f64 / 1e6,
+        util
+    );
+}
+
+fn run_graph(app: GraphApp, d: &Dataset, variants: &[Variant], source: i32) {
+    println!(
+        "{:?} on {} ({} vertices, {} edges)",
+        app,
+        d.name,
+        d.graph.num_vertices(),
+        d.graph.num_edges()
+    );
+    for &variant in variants {
+        match app {
+            GraphApp::PageRank => {
+                let r = invector_kernels::pagerank(
+                    &d.graph,
+                    variant,
+                    &invector_kernels::PageRankConfig::default(),
+                );
+                print_run_row(variant.tiled_label(), &r);
+            }
+            GraphApp::Sssp => {
+                let r = invector_kernels::sssp(&d.graph, source, variant, 10_000);
+                print_run_row(variant.frontier_label(), &r);
+            }
+            GraphApp::Sswp => {
+                let r = invector_kernels::sswp(&d.graph, source, variant, 10_000);
+                print_run_row(variant.frontier_label(), &r);
+            }
+            GraphApp::Wcc => {
+                let r = invector_kernels::wcc(&d.graph, variant, 10_000);
+                print_run_row(variant.frontier_label(), &r);
+            }
+            GraphApp::Spmv => {
+                let x = vec![1.0f32; d.graph.num_vertices()];
+                let r = invector_kernels::spmv(&d.graph, &x, variant);
+                print_run_row(variant.tiled_label(), &r);
+            }
+        }
+    }
+}
+
+fn run_moldyn(variants: &[Variant], scale: f64, iters: u32) {
+    let molecules = invector_moldyn::input::input_16_3_0r(scale);
+    println!("moldyn 16-3.0r at scale {scale}: {} molecules, {iters} iterations", molecules.len());
+    for &variant in variants {
+        let r = invector_moldyn::sim::simulate(&molecules, variant, iters);
+        let util = r
+            .utilization
+            .map(|u| format!("{:.2}%", u.ratio() * 100.0))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<24} tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  pairs {:>9}  {:>10.2} Minstr  util {}",
+            variant.tiled_label(),
+            r.timings.tiling.as_secs_f64() * 1e3,
+            r.timings.grouping.as_secs_f64() * 1e3,
+            r.timings.compute.as_secs_f64() * 1e3,
+            r.num_pairs,
+            r.instructions as f64 / 1e6,
+            util
+        );
+    }
+}
+
+fn run_euler(mesh: usize, iters: u32, variants: &[Variant]) -> Result<(), String> {
+    use invector_kernels::euler::{euler_run, initial_state, triangle_mesh};
+    if mesh < 2 {
+        return Err("mesh side must be at least 2".into());
+    }
+    let grid = triangle_mesh(mesh);
+    let state = initial_state(grid.num_vertices());
+    println!(
+        "euler: {}x{} mesh ({} nodes, {} edges), {iters} sweeps",
+        mesh,
+        mesh,
+        grid.num_vertices(),
+        grid.num_edges()
+    );
+    for &variant in variants {
+        let t = std::time::Instant::now();
+        invector_simd::count::reset();
+        let out = euler_run(&grid, &state, variant, iters, 0.05);
+        let instr = invector_simd::count::take();
+        let checksum: f32 = out.fields[0].iter().sum();
+        println!(
+            "{:<24} {:>10.2} ms  {:>12.2} Minstr  density checksum {:.4}",
+            variant.tiled_label(),
+            t.elapsed().as_secs_f64() * 1e3,
+            instr as f64 / 1e6,
+            checksum
+        );
+    }
+    Ok(())
+}
+
+fn run_agg(dist: Distribution, rows: usize, cardinality: usize) {
+    let input = invector_agg::dist::generate(dist, rows, cardinality, 1);
+    println!("aggregation: {dist}, {rows} rows, {cardinality} groups");
+    for method in Method::ALL {
+        let out = invector_agg::run::aggregate(method, &input.keys, &input.vals, cardinality);
+        println!(
+            "{:<16} {:>10.1} Mrows/s wall   {:>8.1} instr/row   {:>6} groups out",
+            method.label(),
+            out.mrows_per_sec(rows),
+            out.instructions as f64 / rows as f64,
+            out.rows.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_graph_command_with_options() {
+        let cmd = parse(&args("sssp --dataset amazon0312 --variant invec --scale 0.5 --source 3"))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Graph {
+                app: GraphApp::Sssp,
+                dataset: "amazon0312".into(),
+                variants: vec![Variant::Invec],
+                scale: 0.5,
+                source: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cmd = parse(&args("pagerank")).unwrap();
+        match cmd {
+            Command::Graph { app, dataset, variants, scale, source } => {
+                assert_eq!(app, GraphApp::PageRank);
+                assert_eq!(dataset, "higgs-twitter");
+                assert_eq!(variants.len(), 5);
+                assert_eq!(scale, 0.01);
+                assert_eq!(source, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_agg_command() {
+        let cmd = parse(&args("agg --dist zipf --rows 5000 --cardinality 64")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Agg { dist: Distribution::Zipf, rows: 5000, cardinality: 64 }
+        );
+    }
+
+    #[test]
+    fn parses_moldyn_command() {
+        let cmd = parse(&args("moldyn --iters 5 --variant masked")).unwrap();
+        assert_eq!(cmd, Command::Moldyn { variants: vec![Variant::Masked], scale: 0.01, iters: 5 });
+    }
+
+    #[test]
+    fn rejects_unknown_command_option_and_values() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("sssp --bogus 1")).is_err());
+        assert!(parse(&args("sssp --variant warp")).is_err());
+        assert!(parse(&args("agg --dist normal")).is_err());
+        assert!(parse(&args("sssp --scale 0")).is_err());
+        assert!(parse(&args("sssp --scale")).is_err());
+        assert!(parse(&args("sssp extra")).is_err());
+    }
+
+    #[test]
+    fn parses_euler_command() {
+        let cmd = parse(&args("euler --mesh 8 --iters 3 --variant invec")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Euler { mesh: 8, iters: 3, variants: vec![Variant::Invec] }
+        );
+    }
+
+    #[test]
+    fn euler_rejects_degenerate_mesh() {
+        assert!(run(parse(&args("euler --mesh 1")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn run_executes_small_commands() {
+        run(Command::Info { scale: 0.001 }).unwrap();
+        run(parse(&args("wcc --dataset amazon0312 --variant invec --scale 0.002")).unwrap())
+            .unwrap();
+        run(parse(&args("agg --rows 2000 --cardinality 16")).unwrap()).unwrap();
+        run(parse(&args("moldyn --iters 2 --variant serial --scale 0.001")).unwrap()).unwrap();
+        run(parse(&args("spmv --dataset soc-pokec --variant invec --scale 0.001")).unwrap())
+            .unwrap();
+        run(parse(&args("euler --mesh 6 --iters 2 --variant masked")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_dataset_and_source() {
+        assert!(run(parse(&args("sssp --dataset nope")).unwrap()).is_err());
+        assert!(run(parse(&args("sssp --dataset amazon0312 --scale 0.002 --source 999999"))
+            .unwrap())
+        .is_err());
+    }
+}

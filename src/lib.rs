@@ -1,0 +1,45 @@
+//! `invector` — conflict-free SIMD vectorization of associative irregular
+//! reductions.
+//!
+//! This is the façade crate of a full reproduction of *"Conflict-Free
+//! Vectorization of Associative Irregular Applications with Recent SIMD
+//! Architectural Advances"* (Jiang & Agrawal, CGO 2018). It re-exports the
+//! workspace crates:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`simd`] | AVX-512 model: vectors, k-masks, `vpconflictd`, gather/scatter, native backend |
+//! | [`core`] | in-vector reduction (Algorithms 1 & 2, adaptive), conflict-masking, reduce-by-key |
+//! | [`graph`] | COO/CSR, synthetic SNAP stand-ins, tiling, grouping, frontiers |
+//! | [`kernels`] | PageRank, SSSP, SSWP, WCC in all five implementation strategies |
+//! | [`moldyn`] | molecular dynamics: inputs, neighbor lists, LJ force kernels |
+//! | [`agg`] | hash aggregation: linear & bucketized tables, skewed generators |
+//!
+//! # Quick start
+//!
+//! The core primitive: fold SIMD lanes that target the same index *inside*
+//! the vector, then scatter without conflicts.
+//!
+//! ```
+//! use invector::core::{invec_accumulate, ops::Sum};
+//!
+//! // Histogram with duplicate bins, vectorized conflict-free:
+//! let bins = [0, 3, 0, 1, 0, 3, 2, 0];
+//! let weights = [1.0f32; 8];
+//! let mut hist = vec![0.0f32; 4];
+//! invec_accumulate::<f32, Sum>(&mut hist, &bins, &weights);
+//! assert_eq!(hist, vec![4.0, 1.0, 1.0, 2.0]);
+//! ```
+//!
+//! See `examples/` for complete applications (PageRank, wave-frontier SSSP,
+//! hash aggregation, molecular dynamics) and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+pub mod cli;
+
+pub use invector_agg as agg;
+pub use invector_core as core;
+pub use invector_graph as graph;
+pub use invector_kernels as kernels;
+pub use invector_moldyn as moldyn;
+pub use invector_simd as simd;

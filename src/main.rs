@@ -1,0 +1,11 @@
+//! The `invector` command-line driver. All logic lives in [`invector::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = invector::cli::parse(&args).and_then(invector::cli::run);
+    if let Err(message) = outcome {
+        eprintln!("error: {message}");
+        eprintln!("run 'invector help' for usage");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration: every vectorized implementation strategy must agree with
+//! its serial baseline on the (scaled) Table 1 datasets, end to end.
+
+use invector::agg::dist::{generate, Distribution};
+use invector::agg::run::{aggregate, Method};
+use invector::agg::table::reference_aggregate;
+use invector::graph::datasets;
+use invector::kernels::{pagerank, sssp, sswp, wcc, PageRankConfig, Variant};
+use invector::moldyn::input::fcc_lattice;
+use invector::moldyn::sim::simulate;
+
+#[test]
+fn pagerank_variants_agree_on_all_datasets() {
+    for dataset in datasets::all(datasets::TEST_SCALE) {
+        let config = PageRankConfig { max_iters: 30, ..PageRankConfig::default() };
+        let reference = pagerank(&dataset.graph, Variant::Serial, &config);
+        for variant in Variant::ALL {
+            let r = pagerank(&dataset.graph, variant, &config);
+            assert_eq!(r.iterations, reference.iterations, "{} {variant}", dataset.name);
+            for (v, (a, b)) in r.values.iter().zip(&reference.values).enumerate() {
+                assert!(
+                    (a - b).abs() <= 5e-3 * (a.abs() + b.abs() + 1e-6),
+                    "{} {variant} vertex {v}: {a} vs {b}",
+                    dataset.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_variants_are_bit_identical_on_all_datasets() {
+    for dataset in datasets::all(datasets::TEST_SCALE) {
+        let reference = sssp(&dataset.graph, 0, Variant::Serial, 10_000);
+        for variant in Variant::ALL {
+            let r = sssp(&dataset.graph, 0, variant, 10_000);
+            assert_eq!(r.values, reference.values, "{} {variant}", dataset.name);
+        }
+    }
+}
+
+#[test]
+fn sswp_variants_are_bit_identical_on_all_datasets() {
+    for dataset in datasets::all(datasets::TEST_SCALE) {
+        let reference = sswp(&dataset.graph, 0, Variant::Serial, 10_000);
+        for variant in Variant::ALL {
+            let r = sswp(&dataset.graph, 0, variant, 10_000);
+            assert_eq!(r.values, reference.values, "{} {variant}", dataset.name);
+        }
+    }
+}
+
+#[test]
+fn wcc_variants_are_bit_identical_on_all_datasets() {
+    for dataset in datasets::all(datasets::TEST_SCALE) {
+        let reference = wcc(&dataset.graph, Variant::Serial, 10_000);
+        for variant in Variant::ALL {
+            let r = wcc(&dataset.graph, variant, 10_000);
+            assert_eq!(r.values, reference.values, "{} {variant}", dataset.name);
+        }
+    }
+}
+
+#[test]
+fn moldyn_variants_track_serial_trajectory() {
+    let molecules = fcc_lattice(4, 99); // 256 molecules
+    let reference = simulate(&molecules, Variant::Serial, 25); // spans a rebuild
+    for variant in Variant::ALL {
+        let r = simulate(&molecules, variant, 25);
+        assert_eq!(r.num_pairs, reference.num_pairs, "{variant}");
+        let max_dv = r
+            .molecules
+            .vx
+            .iter()
+            .zip(&reference.molecules.vx)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_dv < 1e-2, "{variant}: velocity divergence {max_dv}");
+    }
+}
+
+#[test]
+fn aggregation_methods_agree_across_distributions_and_cardinalities() {
+    for dist in Distribution::ALL {
+        for cardinality in [1usize, 16, 300, 4096] {
+            let input = generate(dist, 5000, cardinality, 31);
+            let expect = reference_aggregate(&input.keys, &input.vals);
+            for method in Method::ALL {
+                let out = aggregate(method, &input.keys, &input.vals, cardinality);
+                assert_eq!(out.rows.len(), expect.len(), "{dist} {method} card {cardinality}");
+                for (g, e) in out.rows.iter().zip(&expect) {
+                    assert_eq!(g.key, e.key, "{dist} {method}");
+                    assert_eq!(g.count, e.count, "{dist} {method} key {}", g.key);
+                    assert!(
+                        (g.sum - e.sum).abs() <= 1e-3 * (g.sum.abs() + e.sum.abs() + 1.0),
+                        "{dist} {method} key {} sum {} vs {}",
+                        g.key,
+                        g.sum,
+                        e.sum
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests pinning the paper's quantitative and qualitative
+//! claims that are properties of the algorithms (not of the hardware).
+
+use invector::agg::dist::{generate, Distribution};
+use invector::agg::run::{aggregate, Method};
+use invector::core::adaptive::{AdaptiveReducer, Algorithm};
+use invector::core::invec::{reduce_alg1, reduce_alg2, AuxArray};
+use invector::core::ops::Sum;
+use invector::graph::datasets;
+use invector::kernels::{pagerank, sssp, PageRankConfig, Variant};
+use invector::simd::{count, F32x16, I32x16, Mask16};
+
+/// §3.3: "an invocation of Algorithm 1 takes no more than 2 + 8·D1
+/// instructions" — our model charges every SIMD op, so validate the
+/// linear-in-D1 structure within a small constant band.
+#[test]
+fn alg1_cost_is_linear_in_d1() {
+    let mut costs = Vec::new();
+    for d in 0..=8usize {
+        let mut idx = [0i32; 16];
+        for g in 0..d {
+            idx[2 * g] = g as i32;
+            idx[2 * g + 1] = g as i32;
+        }
+        for (off, slot) in (2 * d..16).enumerate() {
+            idx[slot] = 100 + off as i32;
+        }
+        let mut v = F32x16::splat(1.0);
+        count::reset();
+        let (_, d1) = reduce_alg1::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v);
+        let cost = count::take();
+        assert_eq!(d1 as usize, d);
+        costs.push(cost);
+    }
+    // Constant increment per extra conflicting group, ~8 instructions.
+    let increments: Vec<u64> = costs.windows(2).map(|w| w[1] - w[0]).collect();
+    for &inc in &increments {
+        assert!((5..=12).contains(&inc), "per-D1 increment {inc} outside the 8-ish band");
+    }
+    assert!(costs[0] <= 8, "D1=0 base cost {} should be ~2", costs[0]);
+}
+
+/// §3.4: "if a vector has two identical groups of eight distinct lanes,
+/// Algorithm 1 needs 8 iterations ... while Algorithm 2 needs none".
+#[test]
+fn two_identical_groups_of_eight_extreme_case() {
+    let idx = I32x16::from_array(std::array::from_fn(|i| (i % 8) as i32));
+    let mut v = F32x16::splat(1.0);
+    let (_, d1) = reduce_alg1::<f32, Sum, 16>(Mask16::all(), idx, &mut v);
+    assert_eq!(d1, 8);
+    let mut v = F32x16::splat(1.0);
+    let mut aux = AuxArray::<f32, Sum>::new(8);
+    let (_, d2) = reduce_alg2::<f32, Sum, 16>(Mask16::all(), idx, &mut v, &mut aux);
+    assert_eq!(d2, 0);
+}
+
+/// §3.4: graph workloads see average D1 near zero; hash aggregation can
+/// reach D1 ≈ 4, flipping the adaptive choice to Algorithm 2.
+#[test]
+fn adaptive_policy_matches_workload_classes() {
+    // Graph-like: PageRank edge stream over a scaled higgs stand-in. The
+    // paper reports mean D1 ≈ 1e-4 at full graph size; D1 shrinks with
+    // vertex count, so at 1% scale "well below the Algorithm-2 threshold"
+    // is the right form of the claim.
+    let dataset = datasets::higgs_twitter(0.01);
+    let config = PageRankConfig { max_iters: 3, ..PageRankConfig::default() };
+    let r = pagerank(&dataset.graph, Variant::Invec, &config);
+    let d1 = r.depth.expect("invec depth").mean();
+    assert!(d1 < 0.5, "graph workload mean D1 {d1} should be small");
+
+    // Aggregation-like: heavy-hitter keys drive D1 over the threshold.
+    let input = generate(Distribution::HeavyHitter, 10_000, 64, 3);
+    let mut reducer = AdaptiveReducer::<f32, Sum>::with_warmup(64, 16);
+    let mut target = vec![0.0f32; 64];
+    let mut j = 0;
+    while j < input.keys.len() {
+        let (vidx, active) = I32x16::load_partial(&input.keys[j..], 0);
+        let (mut vval, _) = F32x16::load_partial(&input.vals[j..], 0.0);
+        let safe = reducer.reduce(active, vidx, &mut vval);
+        let old = F32x16::zero().mask_gather(safe, &target, vidx);
+        (old + vval).mask_scatter(safe, &mut target, vidx);
+        j += 16;
+    }
+    reducer.finish(&mut target);
+    assert_eq!(reducer.algorithm(), Algorithm::Alg2, "heavy hitter should select Algorithm 2");
+}
+
+/// §4.2/§4.4 shape: in-vector reduction beats conflict-masking in modeled
+/// instructions, with the margin growing as skew rises.
+#[test]
+fn invec_beats_masking_and_margin_grows_with_skew() {
+    let dataset = datasets::higgs_twitter(datasets::TEST_SCALE);
+    let mask = sssp(&dataset.graph, 0, Variant::Masked, 10_000);
+    let invec = sssp(&dataset.graph, 0, Variant::Invec, 10_000);
+    assert!(
+        invec.instructions < mask.instructions,
+        "invec {} !< mask {}",
+        invec.instructions,
+        mask.instructions
+    );
+
+    // Aggregation under a 50% hot key: the masked linear table serializes.
+    let input = generate(Distribution::HeavyHitter, 20_000, 256, 5);
+    let m = aggregate(Method::LinearMask, &input.keys, &input.vals, 256);
+    let i = aggregate(Method::LinearInvec, &input.keys, &input.vals, 256);
+    let ratio = m.instructions as f64 / i.instructions as f64;
+    assert!(ratio > 3.0, "heavy-hitter masking should lose big; ratio {ratio:.2}");
+}
+
+/// §4.4 shape: the bucketized table rescues conflict-masking's utilization
+/// under skew, and the linear table overtakes the bucketized one as group
+/// cardinality approaches the table size.
+#[test]
+fn figure13_crossovers() {
+    let input = generate(Distribution::HeavyHitter, 20_000, 256, 6);
+    let lm = aggregate(Method::LinearMask, &input.keys, &input.vals, 256);
+    let bm = aggregate(Method::BucketMask, &input.keys, &input.vals, 256);
+    assert!(
+        bm.stats.util.ratio() > 2.0 * lm.stats.util.ratio(),
+        "bucketization should lift masked utilization: {} vs {}",
+        bm.stats.util.ratio(),
+        lm.stats.util.ratio()
+    );
+
+    // At cardinality near the row count, every group is tiny and the
+    // bucketized table's probing/footprint overhead shows up in rounds per
+    // vector relative to the linear design.
+    let big = generate(Distribution::MovingCluster, 20_000, 8192, 7);
+    let li = aggregate(Method::LinearInvec, &big.keys, &big.vals, 8192);
+    let bi = aggregate(Method::BucketInvec, &big.keys, &big.vals, 8192);
+    assert!(
+        bi.stats.rounds as f64 >= 0.9 * li.stats.rounds as f64,
+        "bucket table should not probe fewer rounds at high cardinality: {} vs {}",
+        bi.stats.rounds,
+        li.stats.rounds
+    );
+}
+
+/// §4.2: utilization of conflict-masking depends on the input distribution
+/// (PageRank's static edge stream utilizes far better than Moldyn's
+/// conflict-dense pair stream).
+#[test]
+fn masked_utilization_is_distribution_dependent() {
+    let dataset = datasets::soc_pokec(datasets::TEST_SCALE);
+    let pr = pagerank(&dataset.graph, Variant::Masked, &PageRankConfig::default());
+    let pr_util = pr.utilization.expect("masked utilization").ratio();
+
+    let molecules = invector::moldyn::input::fcc_lattice(3, 1);
+    let md = invector::moldyn::sim::simulate(&molecules, Variant::Masked, 5);
+    let md_util = md.utilization.expect("masked utilization").ratio();
+
+    assert!(
+        pr_util > 2.0 * md_util,
+        "PageRank utilization {pr_util:.3} should dwarf Moldyn's {md_util:.3}"
+    );
+}
+
+/// Appendix A.5: "some of the computation results (e.g. rank values in
+/// PageRank, shortest distance in SSSP) are printed out to check the
+/// correctness" — our equivalent: deterministic digests across variants.
+#[test]
+fn results_are_deterministic_across_runs() {
+    let dataset = datasets::amazon0312(datasets::TEST_SCALE);
+    let a = sssp(&dataset.graph, 0, Variant::Invec, 10_000);
+    let b = sssp(&dataset.graph, 0, Variant::Invec, 10_000);
+    assert_eq!(a.values, b.values);
+    assert_eq!(a.instructions, b.instructions, "instruction model is deterministic");
+}

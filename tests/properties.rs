@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) over the core invariants of the system.
+
+use proptest::prelude::*;
+
+use invector::core::invec::{reduce_alg1, reduce_alg2, AuxArray};
+use invector::core::ops::{Max, Min, Sum};
+use invector::core::{
+    adaptive_accumulate, invec_accumulate, masked_accumulate, serial_accumulate,
+};
+use invector::graph::group::{group_by_key, group_by_two_keys};
+use invector::simd::{conflict_detect, conflict_free_subset, I32x16, Mask16, SimdVec};
+
+/// An arbitrary 16-lane index vector with a small domain (to force
+/// conflicts) and an arbitrary active mask.
+fn vec_and_mask() -> impl Strategy<Value = ([i32; 16], u32)> {
+    (prop::array::uniform16(0..8i32), 0u32..=0xFFFF)
+}
+
+proptest! {
+    #[test]
+    fn conflict_detect_reports_exactly_earlier_equal_lanes(idx in prop::array::uniform16(-5..10i32)) {
+        let c = conflict_detect(I32x16::from_array(idx));
+        for i in 0..16 {
+            for j in 0..16 {
+                let bit = c.extract(i) & (1 << j) != 0;
+                prop_assert_eq!(bit, j < i && idx[j] == idx[i], "lane {} bit {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_free_subset_is_first_active_occurrence((idx, mask) in vec_and_mask()) {
+        let active = Mask16::from_bits(mask);
+        let safe = conflict_free_subset(active, I32x16::from_array(idx));
+        // safe ⊆ active, and lane i is safe iff no earlier active lane
+        // holds the same index.
+        for i in 0..16 {
+            let expect = active.test(i)
+                && (0..i).all(|j| !active.test(j) || idx[j] != idx[i]);
+            prop_assert_eq!(safe.test(i), expect, "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn alg1_equals_scalar_per_index_reduction(
+        (idx, mask) in vec_and_mask(),
+        data in prop::array::uniform16(-100..100i32),
+    ) {
+        let active = Mask16::from_bits(mask);
+        let mut v = SimdVec::from_array(data);
+        let (safe, d1) = reduce_alg1::<i32, Sum, 16>(active, I32x16::from_array(idx), &mut v);
+        prop_assert!(d1 <= 8, "D1 bound (§3.3)");
+        // Safe lanes hold exactly the per-index scalar reduction.
+        let mut seen = std::collections::HashSet::new();
+        for lane in safe.iter_set() {
+            prop_assert!(active.test(lane));
+            prop_assert!(seen.insert(idx[lane]), "distinct indices in safe mask");
+            let expect: i32 = (0..16)
+                .filter(|&l| active.test(l) && idx[l] == idx[lane])
+                .map(|l| data[l])
+                .sum();
+            prop_assert_eq!(v.extract(lane), expect);
+        }
+        prop_assert_eq!(seen.len() as u32, safe.count_ones());
+    }
+
+    #[test]
+    fn alg2_with_merge_equals_alg1(
+        (idx, mask) in vec_and_mask(),
+        data in prop::array::uniform16(-100..100i32),
+    ) {
+        let active = Mask16::from_bits(mask);
+        let vidx = I32x16::from_array(idx);
+
+        let mut v1 = SimdVec::from_array(data);
+        let (safe1, _) = reduce_alg1::<i32, Sum, 16>(active, vidx, &mut v1);
+        let mut t1 = vec![0i32; 8];
+        v1.mask_scatter(safe1, &mut t1, vidx);
+
+        let mut v2 = SimdVec::from_array(data);
+        let mut aux = AuxArray::<i32, Sum>::new(8);
+        let (safe2, d2) = reduce_alg2::<i32, Sum, 16>(active, vidx, &mut v2, &mut aux);
+        prop_assert!(d2 <= 5, "D2 bound (§3.4)");
+        let mut t2 = vec![0i32; 8];
+        v2.mask_scatter(safe2, &mut t2, vidx);
+        aux.merge_into(&mut t2);
+
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn accumulate_strategies_agree_for_integers(
+        idx in prop::collection::vec(0..32i32, 0..400),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let vals: Vec<i32> = idx.iter().map(|_| rng.gen_range(-50..50)).collect();
+        let mut serial = vec![0i32; 32];
+        serial_accumulate::<i32, Sum>(&mut serial, &idx, &vals);
+        let mut invec = vec![0i32; 32];
+        invec_accumulate::<i32, Sum>(&mut invec, &idx, &vals);
+        let mut masked = vec![0i32; 32];
+        masked_accumulate::<i32, Sum>(&mut masked, &idx, &vals);
+        let mut adaptive = vec![0i32; 32];
+        adaptive_accumulate::<i32, Sum>(&mut adaptive, &idx, &vals);
+        prop_assert_eq!(&serial, &invec);
+        prop_assert_eq!(&serial, &masked);
+        prop_assert_eq!(&serial, &adaptive);
+    }
+
+    #[test]
+    fn min_max_accumulation_is_exact_for_floats(
+        idx in prop::collection::vec(0..16i32, 0..200),
+        raw in prop::collection::vec(-1000..1000i32, 0..200),
+    ) {
+        let n = idx.len().min(raw.len());
+        let idx = &idx[..n];
+        let vals: Vec<f32> = raw[..n].iter().map(|&x| x as f32 / 7.0).collect();
+        for op in ["min", "max"] {
+            let (mut a, mut b) = if op == "min" {
+                (vec![f32::INFINITY; 16], vec![f32::INFINITY; 16])
+            } else {
+                (vec![f32::NEG_INFINITY; 16], vec![f32::NEG_INFINITY; 16])
+            };
+            if op == "min" {
+                serial_accumulate::<f32, Min>(&mut a, idx, &vals);
+                invec_accumulate::<f32, Min>(&mut b, idx, &vals);
+            } else {
+                serial_accumulate::<f32, Max>(&mut a, idx, &vals);
+                invec_accumulate::<f32, Max>(&mut b, idx, &vals);
+            }
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn grouping_produces_conflict_free_windows(
+        keys in prop::collection::vec(0..20i32, 0..300),
+    ) {
+        let positions: Vec<u32> = (0..keys.len() as u32).collect();
+        let g = group_by_key(&positions, &keys);
+        // Permutation of the input positions.
+        let mut real: Vec<u32> = g.slots.iter().copied().filter(|&p| p != u32::MAX).collect();
+        real.sort_unstable();
+        prop_assert_eq!(real, positions);
+        // Conflict-free windows, masks consistent with padding.
+        for w in 0..g.num_windows() {
+            let (slots, mask) = g.window(w);
+            let mut seen = std::collections::HashSet::new();
+            for (lane, &p) in slots.iter().enumerate() {
+                prop_assert_eq!(mask & (1 << lane) != 0, p != u32::MAX);
+                if p != u32::MAX {
+                    prop_assert!(seen.insert(keys[p as usize]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_key_grouping_windows_have_disjoint_endpoints(
+        pairs in prop::collection::vec((0..15i32, 0..15i32), 0..200),
+    ) {
+        let ka: Vec<i32> = pairs.iter().map(|&(a, _)| a).collect();
+        let kb: Vec<i32> = pairs.iter().map(|&(_, b)| b).collect();
+        let positions: Vec<u32> = (0..pairs.len() as u32).collect();
+        let g = group_by_two_keys(&positions, &ka, &kb);
+        for w in 0..g.num_windows() {
+            let (slots, mask) = g.window(w);
+            // No endpoint may be touched by two different lanes (a single
+            // lane touching the same vertex twice — a self-pair — is fine:
+            // its two scatters are separate instructions).
+            let mut owner: std::collections::HashMap<i32, usize> = std::collections::HashMap::new();
+            for (lane, &p) in slots.iter().enumerate() {
+                if mask & (1 << lane) != 0 {
+                    for key in [ka[p as usize], kb[p as usize]] {
+                        let prev = owner.insert(key, lane);
+                        prop_assert!(
+                            prev.is_none() || prev == Some(lane),
+                            "endpoint {} shared by lanes {:?} and {}",
+                            key,
+                            prev,
+                            lane
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_accumulate_utilization_is_sane(
+        idx in prop::collection::vec(0..8i32, 1..300),
+    ) {
+        let vals = vec![1.0f32; idx.len()];
+        let mut target = vec![0.0f32; 8];
+        let stats = masked_accumulate::<f32, Sum>(&mut target, &idx, &vals);
+        let u = stats.utilization.ratio();
+        prop_assert!((0.0..=1.0).contains(&u));
+        // Every item commits exactly once.
+        prop_assert_eq!(stats.utilization.useful, idx.len() as u64);
+        let total: f32 = target.iter().sum();
+        prop_assert_eq!(total, idx.len() as f32);
+    }
+}

@@ -1,0 +1,80 @@
+//! The in-vector reduction machinery is generic over vector width; the
+//! paper's evaluation uses 16×32-bit lanes, but narrower SIMD (SSE/AVX2
+//! classes) and the 8×64-bit AVX-512 side must behave identically.
+
+use invector::core::invec::reduce_alg1;
+use invector::core::ops::{Min, Sum};
+use invector::simd::{conflict_free_subset, Mask, SimdVec};
+
+fn scalar_reference<const N: usize>(
+    active: Mask<N>,
+    idx: [i32; N],
+    data: [i32; N],
+) -> std::collections::HashMap<i32, i32> {
+    let mut out = std::collections::HashMap::new();
+    for lane in active.iter_set() {
+        *out.entry(idx[lane]).or_insert(0) += data[lane];
+    }
+    out
+}
+
+fn check_width<const N: usize>(seed: u64) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    for _ in 0..200 {
+        let idx: [i32; N] = std::array::from_fn(|_| rng.gen_range(0..(N as i32 / 2 + 1)));
+        let data: [i32; N] = std::array::from_fn(|_| rng.gen_range(-50..50));
+        let active = Mask::<N>::from_bits(rng.gen::<u32>());
+        let mut v = SimdVec::from_array(data);
+        let (safe, d) = reduce_alg1::<i32, Sum, N>(active, SimdVec::from_array(idx), &mut v);
+        assert!(d as usize <= N / 2, "D1 bound at width {N}");
+        let expect = scalar_reference(active, idx, data);
+        assert_eq!(safe.count_ones() as usize, expect.len(), "width {N}");
+        for lane in safe.iter_set() {
+            assert_eq!(v.extract(lane), expect[&idx[lane]], "width {N} lane {lane}");
+        }
+    }
+}
+
+#[test]
+fn algorithm1_is_width_generic() {
+    check_width::<4>(1);
+    check_width::<8>(2);
+    check_width::<16>(3);
+}
+
+#[test]
+fn conflict_free_subset_is_width_generic() {
+    // At any width, the subset is the first active occurrence per index.
+    let idx4 = SimdVec::<i32, 4>::from_array([5, 5, 2, 5]);
+    let safe = conflict_free_subset(Mask::<4>::all(), idx4);
+    assert_eq!(safe.bits(), 0b0101);
+
+    let idx8 = SimdVec::<i32, 8>::from_array([1, 1, 1, 1, 1, 1, 1, 9]);
+    let safe = conflict_free_subset(Mask::<8>::from_bits(0b1111_1110), idx8);
+    assert_eq!(safe.bits(), 0b1000_0010);
+}
+
+#[test]
+fn min_reduction_works_on_eight_wide_f64() {
+    use invector::simd::{F64x8, I32x8, Mask8};
+    let idx = I32x8::from_array([0, 0, 1, 1, 0, 1, 2, 2]);
+    let mut v = F64x8::from_array([5.0, 2.0, 8.0, 3.0, 9.0, 1.0, 4.0, 7.0]);
+    let (safe, d) = reduce_alg1::<f64, Min, 8>(Mask8::all(), idx, &mut v);
+    assert_eq!(d, 3);
+    assert_eq!(safe.count_ones(), 3);
+    assert_eq!(v.extract(0), 2.0);
+    assert_eq!(v.extract(2), 1.0);
+    assert_eq!(v.extract(6), 4.0);
+}
+
+#[test]
+fn scalar_width_one_degenerates_gracefully() {
+    // N = 1: nothing can conflict; the algorithm is a no-op pass.
+    let idx = SimdVec::<i32, 1>::from_array([3]);
+    let mut v = SimdVec::<i32, 1>::from_array([42]);
+    let (safe, d) = reduce_alg1::<i32, Sum, 1>(Mask::<1>::all(), idx, &mut v);
+    assert_eq!(d, 0);
+    assert!(safe.is_full());
+    assert_eq!(v.extract(0), 42);
+}
