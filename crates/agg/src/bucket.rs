@@ -235,7 +235,8 @@ impl BucketTable {
     /// Extracts all result rows sorted by key, merging the duplicate slots
     /// the lane-staggered insertion creates, and empties the table.
     pub fn drain(&mut self) -> Vec<AggRow> {
-        let mut map: std::collections::BTreeMap<i32, (f32, f32, f32)> = std::collections::BTreeMap::new();
+        let mut map: std::collections::BTreeMap<i32, (f32, f32, f32)> =
+            std::collections::BTreeMap::new();
         for s in 0..self.keys.len() {
             if self.keys[s] != EMPTY {
                 let e = map.entry(self.keys[s]).or_insert((0.0, 0.0, 0.0));

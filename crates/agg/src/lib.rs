@@ -33,5 +33,5 @@ pub mod table;
 pub use bucket::BucketTable;
 pub use dist::{Distribution, Input};
 pub use linear::LinearTable;
-pub use run::{aggregate, AggOutcome, Method};
+pub use run::{aggregate, aggregate_with_policy, AggOutcome, Method};
 pub use table::{AggRow, ProbeStats};

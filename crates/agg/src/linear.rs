@@ -226,11 +226,8 @@ impl LinearTable {
         }
         // Fold the per-key shadow arrays into the table (once, scalar).
         if let Some(mut aux) = aux {
-            let (mut c, mut s, mut q) = (
-                vec![0.0f32; key_domain],
-                vec![0.0f32; key_domain],
-                vec![0.0f32; key_domain],
-            );
+            let (mut c, mut s, mut q) =
+                (vec![0.0f32; key_domain], vec![0.0f32; key_domain], vec![0.0f32; key_domain]);
             aux.merge_into([&mut c, &mut s, &mut q]);
             for k in 0..key_domain {
                 if c[k] != 0.0 || s[k] != 0.0 || q[k] != 0.0 {

@@ -32,6 +32,16 @@ pub struct ProbeStats {
     pub depth: DepthHistogram,
 }
 
+impl ProbeStats {
+    /// Folds another pass's statistics into this one (used when merging
+    /// per-worker aggregation passes).
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.rounds += other.rounds;
+        self.util.merge(other.util);
+        self.depth.merge(&other.depth);
+    }
+}
+
 /// Fibonacci multiplicative hash of a key.
 #[inline(always)]
 pub fn hash_key(key: i32, shift: u32) -> u32 {
@@ -66,7 +76,8 @@ pub fn bucket_slots(vkey: I32x16, vt: I32x16, shift: u32, bucket_mask: u32) -> I
 /// Scalar reference aggregation via `std::collections::HashMap`, sorted by
 /// key — the ground truth every table implementation is tested against.
 pub fn reference_aggregate(keys: &[i32], vals: &[f32]) -> Vec<AggRow> {
-    let mut map: std::collections::BTreeMap<i32, (f64, f64, f64)> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<i32, (f64, f64, f64)> =
+        std::collections::BTreeMap::new();
     for (&k, &v) in keys.iter().zip(vals) {
         let e = map.entry(k).or_insert((0.0, 0.0, 0.0));
         e.0 += 1.0;

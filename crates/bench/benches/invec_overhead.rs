@@ -34,7 +34,8 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("alg1", d), &idx, |b, &idx| {
             b.iter(|| {
                 let mut data = F32x16::splat(1.0);
-                let (safe, d1) = reduce_alg1::<f32, Sum, 16>(Mask16::all(), black_box(idx), &mut data);
+                let (safe, d1) =
+                    reduce_alg1::<f32, Sum, 16>(Mask16::all(), black_box(idx), &mut data);
                 black_box((safe, d1, data))
             })
         });
@@ -78,7 +79,12 @@ fn bench_algorithms(c: &mut Criterion) {
         let mut aux = AuxArray::<f32, Sum>::new(8);
         b.iter(|| {
             let mut data = F32x16::splat(1.0);
-            black_box(reduce_alg2::<f32, Sum, 16>(Mask16::all(), black_box(extreme), &mut data, &mut aux))
+            black_box(reduce_alg2::<f32, Sum, 16>(
+                Mask16::all(),
+                black_box(extreme),
+                &mut data,
+                &mut aux,
+            ))
         })
     });
     group.finish();

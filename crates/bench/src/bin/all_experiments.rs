@@ -31,7 +31,10 @@ fn main() {
     for name in EXPERIMENTS {
         let path = dir.join(name);
         if !path.exists() {
-            eprintln!("skipping {name}: {} not built (cargo build --release -p invector-bench --bins)", path.display());
+            eprintln!(
+                "skipping {name}: {} not built (cargo build --release -p invector-bench --bins)",
+                path.display()
+            );
             failures.push(name);
             continue;
         }
@@ -50,7 +53,11 @@ fn main() {
     }
 
     println!("\n================ summary ================");
-    println!("{} of {} experiments completed", EXPERIMENTS.len() - failures.len(), EXPERIMENTS.len());
+    println!(
+        "{} of {} experiments completed",
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
     if !failures.is_empty() {
         eprintln!("failed: {failures:?}");
         std::process::exit(1);

@@ -23,7 +23,13 @@ fn main() {
         );
         println!(
             "{:<22} {:>10} {:>10} {:>11} {:>7} {:>15} {:>10}",
-            "version", "tiling(ms)", "group(ms)", "compute(ms)", "iters", "model(Minstr)", "simd_util"
+            "version",
+            "tiling(ms)",
+            "group(ms)",
+            "compute(ms)",
+            "iters",
+            "model(Minstr)",
+            "simd_util"
         );
         let mut serial_instr = 0u64;
         let mut mask_instr = 0u64;

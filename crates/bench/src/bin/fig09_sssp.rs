@@ -9,5 +9,11 @@ use invector_kernels::{sssp, sssp_reuse};
 
 fn main() {
     let scale = arg_scale(0.02);
-    wavefront_figure("Figure 9", "SSSP", scale, |g, variant| sssp(g, 0, variant, 10_000), |g| sssp_reuse(g, 0, 10_000));
+    wavefront_figure(
+        "Figure 9",
+        "SSSP",
+        scale,
+        |g, variant| sssp(g, 0, variant, 10_000),
+        |g| sssp_reuse(g, 0, 10_000),
+    );
 }

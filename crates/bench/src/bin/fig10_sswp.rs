@@ -9,5 +9,11 @@ use invector_kernels::{sswp, sswp_reuse};
 
 fn main() {
     let scale = arg_scale(0.02);
-    wavefront_figure("Figure 10", "SSWP", scale, |g, variant| sswp(g, 0, variant, 10_000), |g| sswp_reuse(g, 0, 10_000));
+    wavefront_figure(
+        "Figure 10",
+        "SSWP",
+        scale,
+        |g, variant| sswp(g, 0, variant, 10_000),
+        |g| sswp_reuse(g, 0, 10_000),
+    );
 }

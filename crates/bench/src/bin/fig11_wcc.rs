@@ -9,5 +9,11 @@ use invector_kernels::{wcc, wcc_reuse};
 
 fn main() {
     let scale = arg_scale(0.02);
-    wavefront_figure("Figure 11", "WCC", scale, |g, variant| wcc(g, variant, 10_000), |g| wcc_reuse(g, 10_000));
+    wavefront_figure(
+        "Figure 11",
+        "WCC",
+        scale,
+        |g, variant| wcc(g, variant, 10_000),
+        |g| wcc_reuse(g, 10_000),
+    );
 }

@@ -12,7 +12,11 @@ use invector_moldyn::sim::simulate;
 
 fn main() {
     let scale = arg_scale(0.002);
-    header("Figure 12", "Moldyn, 20 iterations, 5 versions x 2 inputs (log2-scale in paper)", scale);
+    header(
+        "Figure 12",
+        "Moldyn, 20 iterations, 5 versions x 2 inputs (log2-scale in paper)",
+        scale,
+    );
 
     let inputs: [(&str, Molecules); 2] =
         [("16-3.0r", input_16_3_0r(scale)), ("32-3.0r", input_32_3_0r(scale))];
@@ -20,7 +24,13 @@ fn main() {
         println!("\n--- {} ({} molecules) ---", name, human(molecules.len() as u64));
         println!(
             "{:<22} {:>10} {:>10} {:>10} {:>11} {:>15} {:>10}",
-            "version", "pairs", "tiling(ms)", "group(ms)", "compute(ms)", "model(Minstr)", "simd_util"
+            "version",
+            "pairs",
+            "tiling(ms)",
+            "group(ms)",
+            "compute(ms)",
+            "model(Minstr)",
+            "simd_util"
         );
         let mut serial_instr = 0u64;
         let mut mask_instr = 0u64;

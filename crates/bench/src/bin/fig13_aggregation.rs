@@ -17,8 +17,13 @@ fn main() {
     let rows = ((32_000_000f64 * scale) as usize).max(1 << 14);
     header("Figure 13", "hash aggregation throughput vs group cardinality", scale);
     println!("rows per run: {rows}; series: throughput Mrows/s (wall) | instr/row (modeled)");
-    let mut csv =
-        CsvWriter::new(&["distribution", "method", "log2_cardinality", "mrows_per_sec", "instr_per_row"]);
+    let mut csv = CsvWriter::new(&[
+        "distribution",
+        "method",
+        "log2_cardinality",
+        "mrows_per_sec",
+        "instr_per_row",
+    ]);
 
     // The paper sweeps log2(cardinality) in [6, 19]; at reduced scale the
     // cardinality cannot exceed the row count, so the sweep is clipped.

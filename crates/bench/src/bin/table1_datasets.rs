@@ -59,10 +59,14 @@ fn main() {
 
     println!("\nData aggregation (hash-based, 32M rows at full scale):");
     for dist in Distribution::ALL {
-        println!("  {:<16} 1*32M keys/values, {}", dist.label(), match dist {
-            Distribution::HeavyHitter => "one key holds 50% of rows",
-            Distribution::Zipf => "Zipf exponent 0.5",
-            Distribution::MovingCluster => "64-wide sliding locality window",
-        });
+        println!(
+            "  {:<16} 1*32M keys/values, {}",
+            dist.label(),
+            match dist {
+                Distribution::HeavyHitter => "one key holds 50% of rows",
+                Distribution::Zipf => "Zipf exponent 0.5",
+                Distribution::MovingCluster => "64-wide sliding locality window",
+            }
+        );
     }
 }

@@ -28,7 +28,13 @@ fn main() {
     println!("iterations per measurement: {iterations} (paper: 1000)\n");
     println!(
         "{:<16} {:>10} {:>14} {:>16} {:>16} {:>16} {:>9}",
-        "graph", "edges", "invec(s)", "invec seg(s)", "rbk presorted(s)", "rbk w/ sort(s)", "speedup"
+        "graph",
+        "edges",
+        "invec(s)",
+        "invec seg(s)",
+        "rbk presorted(s)",
+        "rbk w/ sort(s)",
+        "speedup"
     );
 
     for dataset in datasets::all(scale) {

@@ -46,7 +46,7 @@ pub fn human(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -146,11 +146,18 @@ pub fn wavefront_figure<T: PartialEq + std::fmt::Debug>(
     figure: &str,
     app: &str,
     scale: f64,
-    runner: impl Fn(&invector_graph::EdgeList, invector_kernels::Variant) -> invector_kernels::RunResult<T>,
+    runner: impl Fn(
+        &invector_graph::EdgeList,
+        invector_kernels::Variant,
+    ) -> invector_kernels::RunResult<T>,
     reuse_runner: impl Fn(&invector_graph::EdgeList) -> invector_kernels::RunResult<T>,
 ) {
     use invector_kernels::Variant;
-    header(figure, &format!("wave-frontier {app}, 5 versions x 3 graphs (log2-scale in paper)"), scale);
+    header(
+        figure,
+        &format!("wave-frontier {app}, 5 versions x 3 graphs (log2-scale in paper)"),
+        scale,
+    );
     for dataset in invector_graph::datasets::all(scale) {
         println!(
             "\n--- {} ({} vertices, {} edges) ---",

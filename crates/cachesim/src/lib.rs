@@ -265,14 +265,15 @@ mod tests {
     fn lru_evicts_least_recently_used() {
         // 1 set, 2 ways: lines map to the same set when set count is 1.
         let mut c = tiny(2, 1);
-        assert!(!c.access(0 * 64));
-        assert!(!c.access(1 * 64));
+        let line = |n: u64| n * 64;
+        assert!(!c.access(line(0)));
+        assert!(!c.access(line(1)));
         // Touch line 0 so line 1 becomes LRU.
-        assert!(c.access(0 * 64));
+        assert!(c.access(line(0)));
         // Insert line 2: evicts line 1.
-        assert!(!c.access(2 * 64));
-        assert!(c.access(0 * 64));
-        assert!(!c.access(1 * 64), "line 1 was evicted");
+        assert!(!c.access(line(2)));
+        assert!(c.access(line(0)));
+        assert!(!c.access(line(1)), "line 1 was evicted");
     }
 
     #[test]
@@ -356,12 +357,7 @@ mod tests {
         }
         let s = h.stats();
         assert!(s.memory_rate() < 0.3, "memory rate {}", s.memory_rate());
-        assert!(
-            s.l2_hits > s.l1_hits,
-            "L2-resident set: l2 {} l1 {}",
-            s.l2_hits,
-            s.l1_hits
-        );
+        assert!(s.l2_hits > s.l1_hits, "L2-resident set: l2 {} l1 {}", s.l2_hits, s.l1_hits);
     }
 
     #[test]

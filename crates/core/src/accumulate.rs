@@ -23,6 +23,15 @@ pub struct InvecStats {
     pub depth: DepthHistogram,
 }
 
+impl InvecStats {
+    /// Folds another pass's statistics into this one (used by the execution
+    /// engine to merge per-worker reports).
+    pub fn merge(&mut self, other: &InvecStats) {
+        self.vectors += other.vectors;
+        self.depth.merge(&other.depth);
+    }
+}
+
 /// Scalar reference: `target[idx[j]] = Op::combine(target[idx[j]], vals[j])`
 /// for every `j` in order.
 ///
@@ -152,10 +161,7 @@ pub fn native_invec_accumulate_f32(target: &mut [f32], idx: &[i32], vals: &[f32]
     }
     let len = target.len();
     for &i in idx {
-        assert!(
-            i >= 0 && (i as usize) < len,
-            "index {i} out of bounds for target of length {len}"
-        );
+        assert!(i >= 0 && (i as usize) < len, "index {i} out of bounds for target of length {len}");
     }
     // SAFETY: availability checked above; lengths equal; every index
     // validated against `target.len()`. The whole stream runs inside one

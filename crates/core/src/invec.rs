@@ -97,7 +97,11 @@ pub struct AuxArray<T, Op> {
 impl<T: SimdElement, Op: ReduceOp<T>> AuxArray<T, Op> {
     /// Creates a shadow array of `len` identity elements.
     pub fn new(len: usize) -> Self {
-        AuxArray { data: vec![Op::identity(); len], touched: Vec::new(), _op: std::marker::PhantomData }
+        AuxArray {
+            data: vec![Op::identity(); len],
+            touched: Vec::new(),
+            _op: std::marker::PhantomData,
+        }
     }
 
     /// The shadow array length.
@@ -446,7 +450,8 @@ mod tests {
         let idx: [i32; 16] = std::array::from_fn(|i| i as i32);
         let data: [f32; 16] = std::array::from_fn(|i| i as f32);
         let mut v = F32x16::from_array(data);
-        let (safe, d1) = reduce_alg1::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v);
+        let (safe, d1) =
+            reduce_alg1::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v);
         assert_eq!(safe, Mask16::all());
         assert_eq!(d1, 0);
         assert_eq!(v.to_array(), data);
@@ -457,7 +462,8 @@ mod tests {
         // Index vector from Figure 5 with unit data: group sizes become sums.
         let idx = [0, 1, 1, 1, 2, 2, 2, 2, 5, 0, 1, 1, 1, 5, 5, 5];
         let mut v = F32x16::splat(1.0);
-        let (safe, d1) = reduce_alg1::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v);
+        let (safe, d1) =
+            reduce_alg1::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v);
         // Four distinct conflicting groups -> four iterations, as the figure shows.
         assert_eq!(d1, 4);
         assert_eq!(safe.bits(), 0b0000_0001_0001_0011);
@@ -546,7 +552,8 @@ mod tests {
         let idx: [i32; 16] = std::array::from_fn(|i| (i % 8) as i32);
         let mut v = F32x16::splat(2.0);
         let mut aux = AuxArray::<f32, Sum>::new(8);
-        let (safe, d2) = reduce_alg2::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v, &mut aux);
+        let (safe, d2) =
+            reduce_alg2::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v, &mut aux);
         assert_eq!(d2, 0);
         assert_eq!(safe.count_ones(), 8);
         assert_eq!(aux.touched(), 8);
@@ -563,7 +570,8 @@ mod tests {
 
             let mut v = SimdVec::from_array(data);
             let mut aux = AuxArray::<i32, Sum>::new(6);
-            let (safe, d2) = reduce_alg2::<i32, Sum, 16>(active, I32x16::from_array(idx), &mut v, &mut aux);
+            let (safe, d2) =
+                reduce_alg2::<i32, Sum, 16>(active, I32x16::from_array(idx), &mut v, &mut aux);
             assert!(d2 as usize <= 16 / 3, "D2 bound from §3.4");
 
             let mut target = vec![0i32; 6];
@@ -582,7 +590,8 @@ mod tests {
         let idx = [3, 3, 3, 3, 3, 3, 3, 3, 1, 1, 1, 1, 2, 2, 2, 2];
         let mut v = F32x16::splat(1.0);
         let mut aux = AuxArray::<f32, Sum>::new(4);
-        let (safe, _) = reduce_alg2::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v, &mut aux);
+        let (safe, _) =
+            reduce_alg2::<f32, Sum, 16>(Mask16::all(), I32x16::from_array(idx), &mut v, &mut aux);
         assert_eq!(safe.bits(), 0b0001_0001_0000_0001);
     }
 

@@ -15,6 +15,10 @@
 //! * [`masking`] — the conflict-masking baseline (Figure 3) the paper
 //!   compares against.
 //! * [`accumulate`] — whole-stream drivers (serial / in-vector / adaptive).
+//! * [`exec`] — the execution engine: a persistent thread pool running any
+//!   of the drivers across workers under an [`ExecPolicy`] (owner-computes
+//!   or privatized partitioning) — the MIMD × SIMD composition the paper
+//!   scopes out.
 //! * [`rbk`] — `reduce_by_key` comparators for the Table 2 experiment.
 //! * [`ops`] — the associative operators, [`stats`] — utilization and
 //!   conflict-depth accounting.
@@ -37,6 +41,7 @@
 
 pub mod accumulate;
 pub mod adaptive;
+pub mod exec;
 pub mod invec;
 pub mod masking;
 pub mod ops;
@@ -48,10 +53,14 @@ pub use accumulate::{
     adaptive_accumulate, invec_accumulate, native_invec_accumulate_f32, serial_accumulate,
 };
 pub use adaptive::AdaptiveReducer;
+pub use exec::{
+    execute, parallel_chunks, pool_initializations, ExecPlan, ExecPolicy, ExecReport, ExecVariant,
+    Partition, TaskCtx, TaskItems, WorkerReport,
+};
 pub use invec::{
     invec_add, invec_max, invec_min, reduce_alg1, reduce_alg1_arr, reduce_alg2, reduce_alg2_arr,
     AuxArray, AuxArrays,
 };
-pub use parallel::parallel_invec_accumulate;
 pub use masking::masked_accumulate;
 pub use ops::ReduceOp;
+pub use parallel::parallel_invec_accumulate;

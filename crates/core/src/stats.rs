@@ -50,17 +50,11 @@ impl std::fmt::Display for Utilization {
 /// The paper's adaptive policy (§3.4) keys off the *average* D1: graph
 /// workloads see ~10⁻⁴ while hash aggregation can reach 4, flipping the
 /// choice to Algorithm 2.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DepthHistogram {
     buckets: [u64; 17],
     total: u64,
     count: u64,
-}
-
-impl Default for DepthHistogram {
-    fn default() -> Self {
-        DepthHistogram { buckets: [0; 17], total: 0, count: 0 }
-    }
 }
 
 impl DepthHistogram {

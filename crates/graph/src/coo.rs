@@ -69,7 +69,12 @@ impl EdgeList {
     /// # Panics
     ///
     /// Panics on length mismatch or out-of-range endpoints.
-    pub fn from_arrays(num_vertices: usize, src: Vec<i32>, dst: Vec<i32>, weight: Vec<f32>) -> Self {
+    pub fn from_arrays(
+        num_vertices: usize,
+        src: Vec<i32>,
+        dst: Vec<i32>,
+        weight: Vec<f32>,
+    ) -> Self {
         assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
         assert_eq!(src.len(), weight.len(), "src/weight length mismatch");
         for (&s, &d) in src.iter().zip(&dst) {
@@ -151,7 +156,10 @@ impl EdgeList {
         assert_eq!(perm.len(), self.num_edges(), "permutation length mismatch");
         let mut seen = vec![false; perm.len()];
         for &p in perm {
-            assert!(!std::mem::replace(&mut seen[p as usize], true), "duplicate index {p} in permutation");
+            assert!(
+                !std::mem::replace(&mut seen[p as usize], true),
+                "duplicate index {p} in permutation"
+            );
         }
         EdgeList {
             num_vertices: self.num_vertices,

@@ -108,8 +108,8 @@ mod tests {
         assert_eq!(csr.out_degree(0), 0);
         assert_eq!(csr.out_degree(1), 3);
         let degs = g.out_degrees();
-        for v in 0..3 {
-            assert_eq!(csr.out_degree(v), degs[v] as usize);
+        for (v, &d) in degs.iter().enumerate() {
+            assert_eq!(csr.out_degree(v), d as usize);
         }
     }
 

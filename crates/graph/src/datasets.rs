@@ -31,7 +31,8 @@ impl Dataset {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
         let nv = ((paper_vertices as f64 * scale) as usize).max(16);
         let ne = ((paper_edges as f64 * scale) as usize).max(16);
-        let seed = name.bytes().fold(0xD1E5_EED5u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let seed =
+            name.bytes().fold(0xD1E5_EED5u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
         let graph = match kind {
             Kind::Rmat(params) => gen::rmat(nv, ne, params, seed),
             Kind::Uniform => gen::uniform(nv, ne, seed),

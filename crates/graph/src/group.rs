@@ -154,7 +154,10 @@ pub fn group_by_two_keys(positions: &[u32], keys_a: &[i32], keys_b: &[i32]) -> G
         while filled < WINDOW {
             let Some(p) = pending.pop_front() else { break };
             let (ka, kb) = (keys_a[p as usize], keys_b[p as usize]);
-            if used_a.contains(&ka) || used_b.contains(&kb) || used_a.contains(&kb) || used_b.contains(&ka)
+            if used_a.contains(&ka)
+                || used_b.contains(&kb)
+                || used_a.contains(&kb)
+                || used_b.contains(&ka)
             {
                 deferred.push(p);
             } else {
@@ -181,8 +184,7 @@ mod tests {
 
     fn check_single_key_invariants(g: &Grouping, positions: &[u32], keys: &[i32]) {
         // Every real position appears exactly once.
-        let mut real: Vec<u32> =
-            g.slots.iter().copied().filter(|&p| p != u32::MAX).collect();
+        let mut real: Vec<u32> = g.slots.iter().copied().filter(|&p| p != u32::MAX).collect();
         real.sort_unstable();
         let mut expect = positions.to_vec();
         expect.sort_unstable();

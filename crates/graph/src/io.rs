@@ -128,7 +128,12 @@ pub fn read_edges_file(path: impl AsRef<Path>) -> Result<EdgeList, ReadEdgesErro
 /// Propagates I/O failures.
 pub fn write_edges<W: Write>(graph: &EdgeList, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# invector edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# invector edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for j in 0..graph.num_edges() {
         writeln!(w, "{}\t{}\t{}", graph.src()[j], graph.dst()[j], graph.weight()[j])?;
     }
@@ -174,10 +179,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert!(matches!(
-            read_edges("0\n".as_bytes()),
-            Err(ReadEdgesError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_edges("0\n".as_bytes()), Err(ReadEdgesError::Parse { line: 1, .. })));
         assert!(matches!(
             read_edges("0 x\n".as_bytes()),
             Err(ReadEdgesError::Parse { line: 1, .. })
@@ -202,7 +204,8 @@ mod tests {
     #[test]
     fn round_trip_through_a_file() {
         let g = crate::gen::rmat(64, 300, crate::gen::RmatParams::SOCIAL, 5);
-        let path = std::env::temp_dir().join(format!("invector_io_test_{}.txt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("invector_io_test_{}.txt", std::process::id()));
         write_edges_file(&g, &path).unwrap();
         let back = read_edges_file(&path).unwrap();
         std::fs::remove_file(&path).ok();

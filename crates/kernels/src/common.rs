@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use invector_core::stats::{DepthHistogram, Utilization};
 
+pub use invector_core::exec::{ExecPolicy, ExecVariant, Partition};
+
 /// The implementation strategies evaluated in the paper (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
@@ -47,6 +49,20 @@ impl Variant {
             Variant::Invec => "nontiling_and_invec",
         }
     }
+
+    /// The in-worker reduction strategy the execution engine runs when this
+    /// variant is parallelised. The scalar baselines stay scalar; the
+    /// vectorized variants all map to in-vector reduction, because the
+    /// masked and grouped strategies handle conflicts *within one target
+    /// array* and the engine's partitioning already removes cross-worker
+    /// conflicts — in-vector reduction is the per-worker strategy the paper
+    /// shows dominating once conflicts are local.
+    pub fn exec_variant(self) -> ExecVariant {
+        match self {
+            Variant::Serial | Variant::SerialTiled => ExecVariant::Serial,
+            Variant::Grouped | Variant::Masked | Variant::Invec => ExecVariant::Invec,
+        }
+    }
 }
 
 impl std::fmt::Display for Variant {
@@ -63,6 +79,10 @@ pub struct Timings {
     pub tiling: Duration,
     /// Conflict-free grouping (inspector) time.
     pub grouping: Duration,
+    /// Execution-engine partitioning time (building / rebuilding the
+    /// [`ExecPlan`](invector_core::exec::ExecPlan) for parallel runs; zero
+    /// for single-threaded runs).
+    pub partition: Duration,
     /// Computation (executor) time.
     pub compute: Duration,
 }
@@ -70,7 +90,7 @@ pub struct Timings {
 impl Timings {
     /// End-to-end time: all phases.
     pub fn total(&self) -> Duration {
-        self.tiling + self.grouping + self.compute
+        self.tiling + self.grouping + self.partition + self.compute
     }
 }
 
@@ -93,6 +113,9 @@ pub struct RunResult<T> {
     pub utilization: Option<Utilization>,
     /// Conflict-depth histogram (recorded by the in-vector variant).
     pub depth: Option<DepthHistogram>,
+    /// Worker threads the execution engine used (1 for the paper's
+    /// single-core configuration).
+    pub threads: usize,
 }
 
 #[cfg(test)]
@@ -112,9 +135,19 @@ mod tests {
         let t = Timings {
             tiling: Duration::from_millis(1),
             grouping: Duration::from_millis(2),
+            partition: Duration::from_millis(4),
             compute: Duration::from_millis(3),
         };
-        assert_eq!(t.total(), Duration::from_millis(6));
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn exec_variant_mapping_keeps_scalar_baselines_scalar() {
+        assert_eq!(Variant::Serial.exec_variant(), ExecVariant::Serial);
+        assert_eq!(Variant::SerialTiled.exec_variant(), ExecVariant::Serial);
+        assert_eq!(Variant::Invec.exec_variant(), ExecVariant::Invec);
+        assert_eq!(Variant::Masked.exec_variant(), ExecVariant::Invec);
+        assert_eq!(Variant::Grouped.exec_variant(), ExecVariant::Invec);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! a full compressible-flow flux — the published performance question is
 //! about the reduction/memory pattern, which is preserved exactly.
 
+use invector_core::exec::parallel_chunks;
 use invector_core::invec::reduce_alg1_arr;
 use invector_core::ops::Sum;
 use invector_core::stats::{DepthHistogram, Utilization};
@@ -18,7 +19,7 @@ use invector_graph::group::{group_by_two_keys, Grouping};
 use invector_graph::EdgeList;
 use invector_simd::{F32x16, I32x16, Mask16};
 
-use crate::common::Variant;
+use crate::common::{ExecPolicy, ExecVariant, Variant};
 
 /// Number of conserved components per mesh node.
 pub const COMPONENTS: usize = 4;
@@ -145,12 +146,7 @@ fn sweep_serial(mesh: &EdgeList, state: &NodeState, update: &mut NodeState) {
 
 /// Computes the per-component flux vectors for the active lanes.
 #[inline]
-fn flux_vectors(
-    state: &NodeState,
-    active: Mask16,
-    va: I32x16,
-    vb: I32x16,
-) -> [F32x16; COMPONENTS] {
+fn flux_vectors(state: &NodeState, active: Mask16, va: I32x16, vb: I32x16) -> [F32x16; COMPONENTS] {
     let kappa = F32x16::splat(KAPPA);
     std::array::from_fn(|c| {
         let ua = F32x16::zero().mask_gather(active, &state.fields[c], va);
@@ -253,12 +249,124 @@ fn sweep_masked(
     }
 }
 
-fn sweep_grouped(
+/// One edge-sweep distributed over the execution engine's thread pool.
+///
+/// Every edge writes **two** endpoints, so the single-target owner-computes
+/// partition does not apply; instead edges are chunked in stream order via
+/// [`parallel_chunks`] and each worker accumulates into a private
+/// [`NodeState`] bounded to the node range its chunk touches (not the whole
+/// mesh). Private states are folded into `update` in task order, so results
+/// are deterministic across runs at a fixed thread count (and within the
+/// usual float-reassociation tolerance of the serial sweep).
+///
+/// The per-worker strategy follows [`Variant::exec_variant`]; one thread
+/// delegates to [`flux_sweep`]. Returns the depth histogram (in-vector
+/// workers) and the number of workers used.
+pub fn flux_sweep_parallel(
     mesh: &EdgeList,
-    grouping: &Grouping,
     state: &NodeState,
     update: &mut NodeState,
+    variant: Variant,
+    policy: &ExecPolicy,
+) -> (Option<DepthHistogram>, usize) {
+    assert_eq!(state.len(), mesh.num_vertices(), "state size mismatch");
+    assert_eq!(update.len(), mesh.num_vertices(), "update size mismatch");
+    if policy.threads <= 1 {
+        let (_, depth) = flux_sweep(mesh, state, update, variant);
+        return (depth, 1);
+    }
+    let worker = variant.exec_variant();
+    let (src, dst) = (mesh.src(), mesh.dst());
+    let results = parallel_chunks(mesh.num_edges(), policy.threads, |_, range| {
+        // Bound the private state to the chunk's touched node range.
+        let (mut lo, mut hi) = (0usize, 0usize);
+        if !range.is_empty() {
+            let (mut min_n, mut max_n) = (i32::MAX, i32::MIN);
+            for p in range.clone() {
+                min_n = min_n.min(src[p]).min(dst[p]);
+                max_n = max_n.max(src[p]).max(dst[p]);
+            }
+            lo = min_n as usize;
+            hi = max_n as usize + 1;
+        }
+        let mut private = NodeState::zeroed(hi - lo);
+        let mut depth = DepthHistogram::new();
+        match worker {
+            ExecVariant::Serial => sweep_serial_ranged(mesh, state, &mut private, lo, &range),
+            _ => sweep_invec_ranged(mesh, state, &mut private, lo, &range, &mut depth),
+        }
+        (lo, private, depth)
+    });
+    let threads = results.len();
+    let mut depth = DepthHistogram::new();
+    for (lo, private, d) in results {
+        for c in 0..COMPONENTS {
+            for (slot, p) in
+                update.fields[c][lo..lo + private.len()].iter_mut().zip(&private.fields[c])
+            {
+                *slot += p;
+            }
+        }
+        depth.merge(&d);
+    }
+    ((worker == ExecVariant::Invec).then_some(depth), threads)
+}
+
+/// Scalar sweep of one edge range into a private window whose index space
+/// starts at node `base`.
+fn sweep_serial_ranged(
+    mesh: &EdgeList,
+    state: &NodeState,
+    update: &mut NodeState,
+    base: usize,
+    range: &std::ops::Range<usize>,
 ) {
+    for j in range.clone() {
+        let a = mesh.src()[j] as usize;
+        let b = mesh.dst()[j] as usize;
+        for c in 0..COMPONENTS {
+            let flux = KAPPA * (state.fields[c][a] - state.fields[c][b]);
+            update.fields[c][a - base] -= flux;
+            update.fields[c][b - base] += flux;
+        }
+    }
+    invector_simd::count::bump(SERIAL_EDGE_COST * range.len() as u64);
+}
+
+/// In-vector sweep of one edge range: state is gathered with the global
+/// node ids, the update scatters through ids rebased by `base`.
+fn sweep_invec_ranged(
+    mesh: &EdgeList,
+    state: &NodeState,
+    update: &mut NodeState,
+    base: usize,
+    range: &std::ops::Range<usize>,
+    depth: &mut DepthHistogram,
+) {
+    let (src, dst) = (mesh.src(), mesh.dst());
+    let vbase = I32x16::splat(base as i32);
+    let mut j = range.start;
+    while j < range.end {
+        let (va, active) = I32x16::load_partial(&src[j..range.end], 0);
+        let (vb, _) = I32x16::load_partial(&dst[j..range.end], 0);
+        let flux = flux_vectors(state, active, va, vb);
+        let (ra, rb) = (va - vbase, vb - vbase);
+
+        let mut comps = flux;
+        let (safe_a, d1) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, ra, &mut comps);
+        depth.record(d1);
+        scatter_axis(update, safe_a, ra, &comps, true);
+
+        let mut comps = flux;
+        let (safe_b, d2) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, rb, &mut comps);
+        depth.record(d2);
+        scatter_axis(update, safe_b, rb, &comps, false);
+
+        j += 16;
+    }
+}
+
+fn sweep_grouped(mesh: &EdgeList, grouping: &Grouping, state: &NodeState, update: &mut NodeState) {
     let (src, dst) = (mesh.src(), mesh.dst());
     for w in 0..grouping.num_windows() {
         let (slots, maskbits) = grouping.window(w);
@@ -299,6 +407,39 @@ pub fn euler_run(
         }
     }
     state
+}
+
+/// Runs `iterations` explicit edge-sweep steps with every sweep distributed
+/// over the execution engine; one thread delegates to the serial driver.
+/// Returns the final state and the number of workers used.
+///
+/// # Panics
+///
+/// Panics if `state.len() != mesh.num_vertices()`.
+pub fn euler_run_with_policy(
+    mesh: &EdgeList,
+    state: &NodeState,
+    variant: Variant,
+    iterations: u32,
+    dt: f32,
+    policy: &ExecPolicy,
+) -> (NodeState, usize) {
+    let mut state = state.clone();
+    let mut update = NodeState::zeroed(state.len());
+    let mut threads = 1;
+    for _ in 0..iterations {
+        for field in &mut update.fields {
+            field.fill(0.0);
+        }
+        let (_, used) = flux_sweep_parallel(mesh, &state, &mut update, variant, policy);
+        threads = threads.max(used);
+        for c in 0..COMPONENTS {
+            for (s, u) in state.fields[c].iter_mut().zip(&update.fields[c]) {
+                *s += dt * u;
+            }
+        }
+    }
+    (state, threads)
 }
 
 #[cfg(test)]
@@ -390,6 +531,40 @@ mod tests {
         flux_sweep(&mesh, &state, &mut u2, Variant::Masked);
         let masked_cost = invector_simd::count::take();
         assert!(invec_cost < masked_cost, "{invec_cost} !< {masked_cost}");
+    }
+
+    #[test]
+    fn parallel_sweeps_agree_with_serial_across_thread_counts() {
+        let mesh = triangle_mesh(10);
+        let state = initial_state(100);
+        let mut reference = NodeState::zeroed(100);
+        flux_sweep(&mesh, &state, &mut reference, Variant::Serial);
+        for threads in [2, 3, 8] {
+            for variant in [Variant::Serial, Variant::Invec] {
+                let mut update = NodeState::zeroed(100);
+                let policy = ExecPolicy::with_threads(threads);
+                let (depth, used) =
+                    flux_sweep_parallel(&mesh, &state, &mut update, variant, &policy);
+                assert_state_close(&update, &reference, 1e-3);
+                assert!(used > 1, "{variant} {threads} threads");
+                assert_eq!(depth.is_some(), variant == Variant::Invec);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_multi_step_run_is_deterministic_and_tracks_serial() {
+        let mesh = triangle_mesh(8);
+        let state = initial_state(64);
+        let serial = euler_run(&mesh, &state, Variant::Serial, 10, 0.05);
+        let policy = ExecPolicy::with_threads(4);
+        let (par, threads) =
+            euler_run_with_policy(&mesh, &state, Variant::Invec, 10, 0.05, &policy);
+        assert!(threads > 1);
+        assert_state_close(&par, &serial, 2e-3);
+        // Fixed thread count, fold in task order: reruns are bit-identical.
+        let (again, _) = euler_run_with_policy(&mesh, &state, Variant::Invec, 10, 0.05, &policy);
+        assert_eq!(par, again);
     }
 
     #[test]

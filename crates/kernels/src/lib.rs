@@ -31,9 +31,9 @@ mod sswp;
 pub mod wavefront;
 mod wcc;
 
-pub use common::{RunResult, Timings, Variant};
+pub use common::{ExecPolicy, ExecVariant, Partition, RunResult, Timings, Variant};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use spmv::spmv;
-pub use sssp::{sssp, sssp_reuse};
-pub use sswp::{sswp, sswp_reuse};
-pub use wcc::{wcc, wcc_reuse};
+pub use sssp::{sssp, sssp_reuse, sssp_with_policy};
+pub use sswp::{sswp, sswp_reuse, sswp_with_policy};
+pub use wcc::{wcc, wcc_reuse, wcc_with_policy};

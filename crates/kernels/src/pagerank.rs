@@ -7,15 +7,18 @@
 
 use std::time::Instant;
 
+use invector_core::accumulate::{adaptive_accumulate, invec_accumulate, InvecStats};
+use invector_core::exec::{run_plan, ExecPlan, ExecVariant, TaskItems};
 use invector_core::masking::PositionFeeder;
-use invector_core::reduce_alg1;
+use invector_core::ops::Sum;
 use invector_core::stats::{DepthHistogram, Utilization};
+use invector_core::{reduce_alg1, serial_accumulate};
 use invector_graph::group::{group_by_key, Grouping};
 use invector_graph::tile::{tile_edges, DEFAULT_BLOCK_VERTICES};
 use invector_graph::EdgeList;
 use invector_simd::{conflict_free_subset, F32x16, I32x16, Mask16};
 
-use crate::common::{RunResult, Timings, Variant};
+use crate::common::{ExecPolicy, RunResult, Timings, Variant};
 
 /// PageRank parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +32,12 @@ pub struct PageRankConfig {
     pub max_iters: u32,
     /// Cache-tile block side for the tiled variants.
     pub block_vertices: usize,
+    /// Execution-engine policy. `threads == 1` (the default) reproduces the
+    /// paper's single-core runs; `threads > 1` partitions the edge phase
+    /// across the persistent pool (the plan is built once, the edge set
+    /// being static). In parallel runs the per-worker strategy follows
+    /// [`Variant::exec_variant`]; `policy.variant` is overridden.
+    pub exec: ExecPolicy,
 }
 
 impl Default for PageRankConfig {
@@ -38,6 +47,7 @@ impl Default for PageRankConfig {
             tolerance: 1e-3,
             max_iters: 500,
             block_vertices: DEFAULT_BLOCK_VERTICES,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -81,6 +91,17 @@ pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> 
         _ => None,
     };
 
+    // Engine plan (parallel runs only): the edge set is static, so the
+    // stream partition is built once and reused by every iteration.
+    let plan: Option<ExecPlan> = if config.exec.threads > 1 {
+        let t0 = Instant::now();
+        let p = ExecPlan::new(working.dst(), nv, &config.exec);
+        timings.partition = t0.elapsed();
+        Some(p)
+    } else {
+        None
+    };
+
     let deg: Vec<f32> = graph.out_degrees().iter().map(|&d| d as f32).collect();
     let mut rank = vec![1.0 / nv as f32; nv];
     let mut sum = vec![0.0f32; nv];
@@ -93,17 +114,29 @@ pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> 
     while iterations < config.max_iters {
         iterations += 1;
         sum.fill(0.0);
-        match variant {
-            Variant::Serial | Variant::SerialTiled => {
+        match (&plan, variant) {
+            (Some(plan), _) => {
+                edge_phase_parallel(
+                    plan,
+                    &config.exec,
+                    variant,
+                    &working,
+                    &rank,
+                    &deg,
+                    &mut sum,
+                    &mut depth,
+                );
+            }
+            (None, Variant::Serial | Variant::SerialTiled) => {
                 edge_phase_serial(&working, &rank, &deg, &mut sum);
             }
-            Variant::Invec => {
+            (None, Variant::Invec) => {
                 edge_phase_invec(&working, &rank, &deg, &mut sum, &mut depth);
             }
-            Variant::Masked => {
+            (None, Variant::Masked) => {
                 edge_phase_masked(&working, &rank, &deg, &mut sum, &mut utilization);
             }
-            Variant::Grouped => {
+            (None, Variant::Grouped) => {
                 edge_phase_grouped(
                     &working,
                     grouping.as_ref().expect("grouping built above"),
@@ -129,13 +162,60 @@ pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> 
     }
     timings.compute = t_compute.elapsed();
 
+    let threads = plan.as_ref().map_or(1, ExecPlan::num_tasks);
     RunResult {
         values: rank,
         iterations,
         timings,
         instructions: invector_simd::count::read().wrapping_sub(instr_before),
-        utilization: (variant == Variant::Masked).then_some(utilization),
-        depth: (variant == Variant::Invec).then_some(depth),
+        utilization: (plan.is_none() && variant == Variant::Masked).then_some(utilization),
+        depth: (variant.exec_variant() == ExecVariant::Invec
+            && (plan.is_some() || variant == Variant::Invec))
+            .then_some(depth),
+        threads,
+    }
+}
+
+/// Parallel edge phase: each engine worker reduces its share of the edge
+/// stream into its partition of `sum` (owner-computes: a disjoint slice of
+/// `sum` itself; privatized: a touched-range-bounded scratch array).
+#[allow(clippy::too_many_arguments)]
+fn edge_phase_parallel(
+    plan: &ExecPlan,
+    exec: &ExecPolicy,
+    variant: Variant,
+    g: &EdgeList,
+    rank: &[f32],
+    deg: &[f32],
+    sum: &mut [f32],
+    depth: &mut DepthHistogram,
+) {
+    let (src, dst) = (g.src(), g.dst());
+    let worker = variant.exec_variant();
+    let stats = run_plan::<f32, Sum, InvecStats, _>(plan, sum, exec.deterministic, |ctx, view| {
+        let lo = ctx.lo as i32;
+        // Gather this task's share of the stream: rebased destination keys
+        // plus the per-edge contributions of Figure 1's loop body.
+        let contribution = |p: usize| {
+            let nx = src[p] as usize;
+            (dst[p] - lo, rank[nx] / deg[nx])
+        };
+        let (keys, vals): (Vec<i32>, Vec<f32>) = match &ctx.items {
+            TaskItems::Span(range) => range.clone().map(contribution).unzip(),
+            TaskItems::Picked(picked) => picked.iter().map(|&p| contribution(p as usize)).unzip(),
+        };
+        match worker {
+            ExecVariant::Serial => {
+                serial_accumulate::<f32, Sum>(view, &keys, &vals);
+                invector_simd::count::bump(SERIAL_EDGE_COST * keys.len() as u64);
+                InvecStats::default()
+            }
+            ExecVariant::Invec => invec_accumulate::<f32, Sum>(view, &keys, &vals),
+            ExecVariant::Adaptive => adaptive_accumulate::<f32, Sum>(view, &keys, &vals),
+        }
+    });
+    for s in &stats {
+        depth.merge(&s.depth);
     }
 }
 
@@ -314,6 +394,52 @@ mod tests {
         let config = PageRankConfig { max_iters: 2, ..PageRankConfig::default() };
         let r = pagerank(&g, Variant::Serial, &config);
         assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn parallel_runs_agree_with_serial_under_both_partitions() {
+        use crate::common::Partition;
+        let g = gen::rmat(512, 4000, gen::RmatParams::SOCIAL, 23);
+        let serial = pagerank(&g, Variant::Serial, &PageRankConfig::default());
+        for threads in [2, 4] {
+            for partition in [Partition::OwnerComputes, Partition::Privatized] {
+                let config = PageRankConfig {
+                    exec: ExecPolicy::with_threads(threads)
+                        .partition(partition)
+                        .deterministic(true),
+                    ..PageRankConfig::default()
+                };
+                for variant in [Variant::Serial, Variant::Invec] {
+                    let r = pagerank(&g, variant, &config);
+                    assert_close(&r.values, &serial.values, 5e-3);
+                    assert_eq!(r.threads, threads, "{variant} {partition:?}");
+                    assert!(r.timings.partition > std::time::Duration::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_owner_computes_scalar_workers_are_bitwise_serial() {
+        // Owner-computes preserves per-vertex update order, so scalar
+        // workers reproduce the serial ranks bit for bit.
+        let g = gen::rmat(256, 3000, gen::RmatParams::SOCIAL, 24);
+        let serial = pagerank(&g, Variant::Serial, &PageRankConfig::default());
+        let config =
+            PageRankConfig { exec: ExecPolicy::with_threads(4), ..PageRankConfig::default() };
+        let r = pagerank(&g, Variant::Serial, &config);
+        assert_eq!(r.iterations, serial.iterations);
+        assert!(r.values.iter().zip(&serial.values).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn parallel_invec_reports_conflict_depth() {
+        let g = gen::rmat(256, 2000, gen::RmatParams::SOCIAL, 25);
+        let config =
+            PageRankConfig { exec: ExecPolicy::with_threads(4), ..PageRankConfig::default() };
+        let r = pagerank(&g, Variant::Invec, &config);
+        assert!(r.depth.expect("depth histogram").invocations() > 0);
+        assert!(r.utilization.is_none());
     }
 
     #[test]

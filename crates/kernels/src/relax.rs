@@ -46,10 +46,7 @@ pub trait RelaxRule: Copy + Send + Sync + 'static {
 
     /// Vector improvement test (one SIMD compare by default).
     #[inline]
-    fn improves_vec(
-        cand: SimdVec<Self::Value, 16>,
-        current: SimdVec<Self::Value, 16>,
-    ) -> Mask16 {
+    fn improves_vec(cand: SimdVec<Self::Value, 16>, current: SimdVec<Self::Value, 16>) -> Mask16 {
         count::bump(1);
         let (c, u) = (cand.as_array(), current.as_array());
         Mask16::from_array(std::array::from_fn(|i| Self::improves(c[i], u[i])))
@@ -123,6 +120,7 @@ fn gather_edge<R: RelaxRule>(
 
 /// In-vector-reduction relaxation: 16 edges per vector, conflicts folded
 /// with `invec_min`/`invec_max` before one conflict-free masked scatter.
+#[allow(clippy::too_many_arguments)]
 pub fn relax_invec<R: RelaxRule>(
     positions: &[u32],
     src: &[i32],
@@ -153,6 +151,7 @@ pub fn relax_invec<R: RelaxRule>(
 
 /// Conflict-masking relaxation (Figure 3): only the conflict-free subset of
 /// lanes that need an update commits each round; the rest retry.
+#[allow(clippy::too_many_arguments)]
 pub fn relax_masked<R: RelaxRule>(
     positions: &[u32],
     src: &[i32],
@@ -196,6 +195,7 @@ pub fn relax_masked<R: RelaxRule>(
 /// slots are masked out of `active`), and within the window all
 /// destinations are distinct, so improved lanes scatter unchecked.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn relax_window<R: RelaxRule>(
     slots: &[u32],
     active: Mask16,
@@ -410,8 +410,9 @@ mod tests {
             let src: Vec<i32> = (0..ne).map(|_| rng.gen_range(0..nv)).collect();
             let dst: Vec<i32> = (0..ne).map(|_| rng.gen_range(0..nv)).collect();
             let w: Vec<f32> = (0..ne).map(|_| rng.gen_range(0.5..5.0)).collect();
-            let vals: Vec<f32> =
-                (0..nv).map(|_| if rng.gen_bool(0.3) { f32::INFINITY } else { rng.gen_range(0.0..10.0) }).collect();
+            let vals: Vec<f32> = (0..nv)
+                .map(|_| if rng.gen_bool(0.3) { f32::INFINITY } else { rng.gen_range(0.0..10.0) })
+                .collect();
             let outs = run_all_kernels::<SsspRule>(&src, &dst, &w, &vals, &vals.clone());
             let (reference, ref_frontier) = &outs[0];
             for (i, (out, frontier)) in outs.iter().enumerate().skip(1) {
@@ -434,12 +435,30 @@ mod tests {
         let mut util_c = Utilization::default();
         let mut nv = vec![f32::INFINITY; 256];
         let mut f = Frontier::new(256);
-        relax_masked::<SsspRule>(&positions, &src, &dst_conflict, &w, &vals, &mut nv, &mut f, &mut util_c);
+        relax_masked::<SsspRule>(
+            &positions,
+            &src,
+            &dst_conflict,
+            &w,
+            &vals,
+            &mut nv,
+            &mut f,
+            &mut util_c,
+        );
 
         let mut util_s = Utilization::default();
         let mut nv = vec![f32::INFINITY; 256];
         let mut f = Frontier::new(256);
-        relax_masked::<SsspRule>(&positions, &src, &dst_spread, &w, &vals, &mut nv, &mut f, &mut util_s);
+        relax_masked::<SsspRule>(
+            &positions,
+            &src,
+            &dst_spread,
+            &w,
+            &vals,
+            &mut nv,
+            &mut f,
+            &mut util_s,
+        );
 
         assert!(util_c.ratio() < util_s.ratio(), "{} !< {}", util_c.ratio(), util_s.ratio());
     }

@@ -75,6 +75,7 @@ pub fn spmv(graph: &EdgeList, x: &[f32], variant: Variant) -> RunResult<f32> {
         instructions: invector_simd::count::read().wrapping_sub(instr_before),
         utilization: (variant == Variant::Masked).then_some(utilization),
         depth: (variant == Variant::Invec).then_some(depth),
+        threads: 1,
     }
 }
 

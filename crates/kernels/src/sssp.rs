@@ -42,6 +42,22 @@ pub fn sssp_reuse(graph: &EdgeList, source: i32, max_iters: u32) -> RunResult<f3
     })
 }
 
+/// Runs SSSP with each wave's relaxations distributed over the execution
+/// engine (see [`wavefront::run_with_policy`]); distances are identical to
+/// [`sssp`] at any thread count.
+pub fn sssp_with_policy(
+    graph: &EdgeList,
+    source: i32,
+    variant: Variant,
+    max_iters: u32,
+    policy: &crate::common::ExecPolicy,
+) -> RunResult<f32> {
+    wavefront::run_with_policy::<SsspRule>(graph, variant, max_iters, policy, |vals, frontier| {
+        vals[source as usize] = 0.0;
+        frontier.insert(source);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,7 +74,7 @@ mod tests {
         let mut heap = BinaryHeap::new();
         heap.push(Reverse((ordered_float(0.0), source)));
         while let Some(Reverse((d, v))) = heap.pop() {
-            let d = f32::from_bits(d) ;
+            let d = f32::from_bits(d);
             if d > dist[v as usize] {
                 continue;
             }

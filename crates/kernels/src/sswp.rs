@@ -45,6 +45,22 @@ pub fn sswp_reuse(graph: &EdgeList, source: i32, max_iters: u32) -> RunResult<f3
     })
 }
 
+/// Runs SSWP with each wave's relaxations distributed over the execution
+/// engine (see [`wavefront::run_with_policy`]); widths are identical to
+/// [`sswp`] at any thread count.
+pub fn sswp_with_policy(
+    graph: &EdgeList,
+    source: i32,
+    variant: Variant,
+    max_iters: u32,
+    policy: &crate::common::ExecPolicy,
+) -> RunResult<f32> {
+    wavefront::run_with_policy::<SswpRule>(graph, variant, max_iters, policy, |vals, frontier| {
+        vals[source as usize] = f32::INFINITY;
+        frontier.insert(source);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

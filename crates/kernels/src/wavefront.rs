@@ -7,14 +7,13 @@
 
 use std::time::Instant;
 
+use invector_core::exec::{run_plan, ExecPlan, ExecVariant, TaskItems};
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::group_by_key;
 use invector_graph::{active_edge_positions, Csr, EdgeList, Frontier};
 
-use crate::common::{RunResult, Timings, Variant};
-use crate::relax::{
-    relax_grouped, relax_invec, relax_masked, relax_serial, RelaxRule,
-};
+use crate::common::{ExecPolicy, Partition, RunResult, Timings, Variant};
+use crate::relax::{relax_grouped, relax_invec, relax_masked, relax_serial, RelaxRule};
 
 /// Iteration cap guarding against non-terminating configurations.
 pub const DEFAULT_MAX_ITERS: u32 = 10_000;
@@ -68,14 +67,28 @@ pub fn run<R: RelaxRule>(
             Variant::Invec => {
                 let t = Instant::now();
                 relax_invec::<R>(
-                    &positions, src, dst, weight, &vals, &mut new_vals, &mut next, &mut depth,
+                    &positions,
+                    src,
+                    dst,
+                    weight,
+                    &vals,
+                    &mut new_vals,
+                    &mut next,
+                    &mut depth,
                 );
                 timings.compute += t.elapsed() + expand_time;
             }
             Variant::Masked => {
                 let t = Instant::now();
                 relax_masked::<R>(
-                    &positions, src, dst, weight, &vals, &mut new_vals, &mut next, &mut utilization,
+                    &positions,
+                    src,
+                    dst,
+                    weight,
+                    &vals,
+                    &mut new_vals,
+                    &mut next,
+                    &mut utilization,
                 );
                 timings.compute += t.elapsed() + expand_time;
             }
@@ -103,6 +116,147 @@ pub fn run<R: RelaxRule>(
         instructions: invector_simd::count::read().wrapping_sub(instr_before),
         utilization: (variant == Variant::Masked).then_some(utilization),
         depth: (variant == Variant::Invec).then_some(depth),
+        threads: 1,
+    }
+}
+
+/// Runs rule `R` with the edge relaxations of every wave distributed over
+/// the execution engine's thread pool.
+///
+/// The active edge set changes each wave, so the engine partition is
+/// rebuilt per iteration from the destinations of the active edges
+/// (charged to `timings.partition`). The wave drivers always run
+/// **owner-computes** partitioning regardless of `policy.partition`: a
+/// relaxation must compare its candidate against the *live* destination
+/// value, so workers need the target itself, not an identity-filled private
+/// array. Because each destination is owned by exactly one worker and
+/// min/max are exact in floating point, results (values, frontiers, and
+/// iteration counts) are identical to [`run`] at any thread count.
+///
+/// The per-worker strategy follows [`Variant::exec_variant`];
+/// `policy.threads == 1` delegates to [`run`] unchanged.
+pub fn run_with_policy<R: RelaxRule>(
+    graph: &EdgeList,
+    variant: Variant,
+    max_iters: u32,
+    policy: &ExecPolicy,
+    init: impl FnOnce(&mut [R::Value], &mut Frontier),
+) -> RunResult<R::Value> {
+    if policy.threads <= 1 {
+        return run::<R>(graph, variant, max_iters, init);
+    }
+    let nv = graph.num_vertices();
+    let csr = Csr::from_edge_list(graph);
+
+    let mut vals = vec![R::unreached(); nv];
+    let mut frontier = Frontier::new(nv);
+    init(&mut vals, &mut frontier);
+    let mut new_vals = vals.clone();
+    let mut next = Frontier::new(nv);
+    let mut positions: Vec<u32> = Vec::new();
+    let mut keys: Vec<i32> = Vec::new();
+
+    let mut timings = Timings::default();
+    let mut depth = DepthHistogram::new();
+    let mut iterations = 0;
+    let mut threads_used = 1;
+    let instr_before = invector_simd::count::read();
+    let plan_policy = ExecPolicy { partition: Partition::OwnerComputes, ..*policy };
+    let worker = variant.exec_variant();
+
+    while !frontier.is_empty() && iterations < max_iters {
+        iterations += 1;
+        let t0 = Instant::now();
+        active_edge_positions(&csr, &frontier, &mut positions);
+        let expand_time = t0.elapsed();
+
+        let (src, dst, weight) = (graph.src(), graph.dst(), graph.weight());
+
+        let tp = Instant::now();
+        keys.clear();
+        keys.extend(positions.iter().map(|&p| dst[p as usize]));
+        let plan = ExecPlan::new(&keys, nv, &plan_policy);
+        timings.partition += tp.elapsed();
+        threads_used = threads_used.max(plan.num_tasks());
+
+        let t = Instant::now();
+        let results = run_plan::<R::Value, R::Op, (Vec<i32>, DepthHistogram), _>(
+            &plan,
+            &mut new_vals,
+            policy.deterministic,
+            |ctx, view| {
+                // Gather this task's active edges, destinations rebased
+                // into its owned view. Stream item `k` is the active edge
+                // `positions[k]`.
+                let lo = ctx.lo as i32;
+                let edge_ids: Vec<usize> = match &ctx.items {
+                    TaskItems::Span(range) => {
+                        range.clone().map(|k| positions[k] as usize).collect()
+                    }
+                    TaskItems::Picked(picked) => {
+                        picked.iter().map(|&k| positions[k as usize] as usize).collect()
+                    }
+                };
+                let t_pos: Vec<u32> = (0..edge_ids.len() as u32).collect();
+                let t_src: Vec<i32> = edge_ids.iter().map(|&p| src[p]).collect();
+                let t_dst: Vec<i32> = edge_ids.iter().map(|&p| dst[p] - lo).collect();
+                let t_w: Vec<f32> = if R::USES_WEIGHT {
+                    edge_ids.iter().map(|&p| weight[p]).collect()
+                } else {
+                    vec![0.0; edge_ids.len()]
+                };
+                let mut local_next = Frontier::new(view.len());
+                let mut local_depth = DepthHistogram::new();
+                match worker {
+                    ExecVariant::Serial => {
+                        relax_serial::<R>(
+                            &t_pos,
+                            &t_src,
+                            &t_dst,
+                            &t_w,
+                            &vals,
+                            view,
+                            &mut local_next,
+                        );
+                    }
+                    _ => {
+                        relax_invec::<R>(
+                            &t_pos,
+                            &t_src,
+                            &t_dst,
+                            &t_w,
+                            &vals,
+                            view,
+                            &mut local_next,
+                            &mut local_depth,
+                        );
+                    }
+                }
+                let improved: Vec<i32> = local_next.vertices().iter().map(|&v| v + lo).collect();
+                (improved, local_depth)
+            },
+        );
+        for (improved, local_depth) in results {
+            for v in improved {
+                next.insert(v);
+            }
+            depth.merge(&local_depth);
+        }
+        timings.compute += t.elapsed() + expand_time;
+
+        vals.copy_from_slice(&new_vals);
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+
+    RunResult {
+        values: vals,
+        iterations,
+        timings,
+        instructions: invector_simd::count::read().wrapping_sub(instr_before),
+        utilization: None,
+        depth: (worker == ExecVariant::Invec).then_some(depth),
+        threads: threads_used,
     }
 }
 
@@ -188,6 +342,7 @@ pub fn run_reuse<R: RelaxRule>(
         instructions: invector_simd::count::read().wrapping_sub(instr_before),
         utilization: None,
         depth: None,
+        threads: 1,
     }
 }
 
@@ -199,10 +354,7 @@ mod tests {
 
     fn line_graph() -> EdgeList {
         // 0 -1.0-> 1 -2.0-> 2 -3.0-> 3, plus shortcut 0 -10.0-> 3.
-        EdgeList::from_weighted_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 10.0)],
-        )
+        EdgeList::from_weighted_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 10.0)])
     }
 
     #[test]
@@ -235,8 +387,8 @@ mod tests {
         let g = EdgeList::from_edges(5, &[(1, 0), (1, 2), (4, 3)]).symmetrized();
         for variant in Variant::ALL {
             let r = run::<WccRule>(&g, variant, DEFAULT_MAX_ITERS, |vals, f| {
-                for v in 0..5 {
-                    vals[v] = v as i32;
+                for (v, val) in vals.iter_mut().enumerate() {
+                    *val = v as i32;
                     f.insert(v as i32);
                 }
             });
@@ -345,18 +497,77 @@ mod tests {
     fn reuse_variant_on_wcc_rule_with_all_vertices_active() {
         let g = gen::uniform(100, 120, 51).symmetrized();
         let reference = run::<WccRule>(&g, Variant::Serial, DEFAULT_MAX_ITERS, |vals, f| {
-            for v in 0..vals.len() {
-                vals[v] = v as i32;
+            for (v, val) in vals.iter_mut().enumerate() {
+                *val = v as i32;
                 f.insert(v as i32);
             }
         });
         let reuse = run_reuse::<WccRule>(&g, DEFAULT_MAX_ITERS, |vals, f| {
-            for v in 0..vals.len() {
-                vals[v] = v as i32;
+            for (v, val) in vals.iter_mut().enumerate() {
+                *val = v as i32;
                 f.insert(v as i32);
             }
         });
         assert_eq!(reuse.values, reference.values);
+    }
+
+    #[test]
+    fn parallel_waves_match_serial_exactly() {
+        for seed in 0..3 {
+            let g = gen::rmat(256, 2500, gen::RmatParams::SOCIAL, seed + 60);
+            let reference = run::<SsspRule>(&g, Variant::Serial, DEFAULT_MAX_ITERS, |vals, f| {
+                vals[0] = 0.0;
+                f.insert(0);
+            });
+            for threads in [2, 3, 7] {
+                for variant in [Variant::Serial, Variant::Invec] {
+                    let policy = ExecPolicy::with_threads(threads);
+                    let r = run_with_policy::<SsspRule>(
+                        &g,
+                        variant,
+                        DEFAULT_MAX_ITERS,
+                        &policy,
+                        |vals, f| {
+                            vals[0] = 0.0;
+                            f.insert(0);
+                        },
+                    );
+                    // Min relaxation is exact, and owner-computes preserves
+                    // per-destination order: bitwise agreement.
+                    assert_eq!(r.values, reference.values, "{variant} {threads} threads");
+                    assert_eq!(r.iterations, reference.iterations, "{variant} {threads}");
+                    assert!(r.threads >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_wcc_with_dense_frontier_uses_multiple_workers() {
+        let g = gen::uniform(400, 3000, 61).symmetrized();
+        let reference = run::<WccRule>(&g, Variant::Serial, DEFAULT_MAX_ITERS, |vals, f| {
+            for (v, val) in vals.iter_mut().enumerate() {
+                *val = v as i32;
+                f.insert(v as i32);
+            }
+        });
+        let policy = ExecPolicy::with_threads(4);
+        let r = run_with_policy::<WccRule>(
+            &g,
+            Variant::Invec,
+            DEFAULT_MAX_ITERS,
+            &policy,
+            |vals, f| {
+                for (v, val) in vals.iter_mut().enumerate() {
+                    *val = v as i32;
+                    f.insert(v as i32);
+                }
+            },
+        );
+        assert_eq!(r.values, reference.values);
+        assert!(r.threads > 1, "dense frontier should fan out, used {}", r.threads);
+        assert!(r.timings.partition > std::time::Duration::ZERO);
+        assert!(r.depth.is_some());
     }
 
     #[test]

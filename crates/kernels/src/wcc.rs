@@ -29,8 +29,8 @@ use crate::wavefront;
 pub fn wcc(graph: &EdgeList, variant: Variant, max_iters: u32) -> RunResult<i32> {
     let sym = graph.symmetrized();
     wavefront::run::<WccRule>(&sym, variant, max_iters, |vals, frontier| {
-        for v in 0..vals.len() {
-            vals[v] = v as i32;
+        for (v, val) in vals.iter_mut().enumerate() {
+            *val = v as i32;
             frontier.insert(v as i32);
         }
     })
@@ -41,8 +41,26 @@ pub fn wcc(graph: &EdgeList, variant: Variant, max_iters: u32) -> RunResult<i32>
 pub fn wcc_reuse(graph: &EdgeList, max_iters: u32) -> RunResult<i32> {
     let sym = graph.symmetrized();
     wavefront::run_reuse::<WccRule>(&sym, max_iters, |vals, frontier| {
-        for v in 0..vals.len() {
-            vals[v] = v as i32;
+        for (v, val) in vals.iter_mut().enumerate() {
+            *val = v as i32;
+            frontier.insert(v as i32);
+        }
+    })
+}
+
+/// Runs WCC with each wave's label propagations distributed over the
+/// execution engine (see [`wavefront::run_with_policy`]); labels are
+/// identical to [`wcc`] at any thread count.
+pub fn wcc_with_policy(
+    graph: &EdgeList,
+    variant: Variant,
+    max_iters: u32,
+    policy: &crate::common::ExecPolicy,
+) -> RunResult<i32> {
+    let sym = graph.symmetrized();
+    wavefront::run_with_policy::<WccRule>(&sym, variant, max_iters, policy, |vals, frontier| {
+        for (v, val) in vals.iter_mut().enumerate() {
+            *val = v as i32;
             frontier.insert(v as i32);
         }
     })

@@ -13,10 +13,14 @@
 //!   components, sharing each axis's merge schedule via
 //!   [`invector_core::invec::reduce_alg1_arr`].
 
+use std::ops::Range;
+
+use invector_core::exec::parallel_chunks;
 use invector_core::invec::reduce_alg1_arr;
 use invector_core::ops::Sum;
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::Grouping;
+use invector_kernels::{ExecPolicy, ExecVariant, Variant};
 use invector_simd::{F32x16, I32x16, Mask16};
 
 use crate::input::Molecules;
@@ -165,6 +169,144 @@ fn scatter_add(out: &mut Forces, safe: Mask16, idx: I32x16, comps: &[F32x16; 3],
     }
 }
 
+/// Force accumulation distributed over the execution engine's thread pool.
+///
+/// Each pair writes **two** molecules, so the single-target owner-computes
+/// partition does not apply; pairs are chunked in stream order via
+/// [`parallel_chunks`] and each worker accumulates into a private
+/// [`Forces`] window bounded to the molecule range its chunk touches (not
+/// all molecules — the engine's touched-range rule). Private windows are
+/// folded into `out` in task order: deterministic across runs at a fixed
+/// thread count, within float-reassociation tolerance of [`forces_serial`].
+///
+/// The per-worker strategy follows [`Variant::exec_variant`] (scalar
+/// baselines stay scalar, vectorized variants run in-vector reduction); one
+/// thread delegates to the serial or in-vector kernel directly. Returns the
+/// conflict-depth histogram (in-vector workers) and the workers used.
+pub fn forces_parallel(
+    m: &Molecules,
+    pairs: &PairList,
+    cutoff: f32,
+    out: &mut Forces,
+    variant: Variant,
+    policy: &ExecPolicy,
+) -> (Option<DepthHistogram>, usize) {
+    let worker = variant.exec_variant();
+    if policy.threads <= 1 {
+        let mut depth = DepthHistogram::new();
+        match worker {
+            ExecVariant::Serial => forces_serial(m, pairs, cutoff, out),
+            _ => forces_invec(m, pairs, cutoff, out, &mut depth),
+        }
+        return ((worker == ExecVariant::Invec).then_some(depth), 1);
+    }
+    let results = parallel_chunks(pairs.len(), policy.threads, |_, range| {
+        // Bound the private window to the chunk's touched molecule range.
+        let (mut lo, mut hi) = (0usize, 0usize);
+        if !range.is_empty() {
+            let (mut min_i, mut max_i) = (i32::MAX, i32::MIN);
+            for p in range.clone() {
+                min_i = min_i.min(pairs.i[p]).min(pairs.j[p]);
+                max_i = max_i.max(pairs.i[p]).max(pairs.j[p]);
+            }
+            lo = min_i as usize;
+            hi = max_i as usize + 1;
+        }
+        let mut private = Forces::zeroed(hi - lo);
+        let mut depth = DepthHistogram::new();
+        match worker {
+            ExecVariant::Serial => {
+                forces_serial_ranged(m, pairs, cutoff, &range, lo, &mut private);
+            }
+            _ => forces_invec_ranged(m, pairs, cutoff, &range, lo, &mut private, &mut depth),
+        }
+        (lo, private, depth)
+    });
+    let threads = results.len();
+    let mut depth = DepthHistogram::new();
+    for (lo, private, d) in results {
+        for (slot, p) in out.fx[lo..lo + private.fx.len()].iter_mut().zip(&private.fx) {
+            *slot += p;
+        }
+        for (slot, p) in out.fy[lo..lo + private.fy.len()].iter_mut().zip(&private.fy) {
+            *slot += p;
+        }
+        for (slot, p) in out.fz[lo..lo + private.fz.len()].iter_mut().zip(&private.fz) {
+            *slot += p;
+        }
+        depth.merge(&d);
+    }
+    ((worker == ExecVariant::Invec).then_some(depth), threads)
+}
+
+/// Scalar force evaluation of one pair range into a private window whose
+/// index space starts at molecule `base`.
+fn forces_serial_ranged(
+    m: &Molecules,
+    pairs: &PairList,
+    cutoff: f32,
+    range: &Range<usize>,
+    base: usize,
+    out: &mut Forces,
+) {
+    let mut near = 0u64;
+    let cutoff2 = cutoff * cutoff;
+    for p in range.clone() {
+        let (a, b) = (pairs.i[p] as usize, pairs.j[p] as usize);
+        let dx = m.px[a] - m.px[b];
+        let dy = m.py[a] - m.py[b];
+        let dz = m.pz[a] - m.pz[b];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 <= cutoff2 && r2 > 0.0 {
+            let s = lj_scalar(r2);
+            let (a, b) = (a - base, b - base);
+            out.fx[a] += s * dx;
+            out.fy[a] += s * dy;
+            out.fz[a] += s * dz;
+            out.fx[b] -= s * dx;
+            out.fy[b] -= s * dy;
+            out.fz[b] -= s * dz;
+            near += 1;
+        }
+    }
+    invector_simd::count::bump(SERIAL_PAIR_COST * range.len() as u64 + SERIAL_NEAR_COST * near);
+}
+
+/// In-vector force evaluation of one pair range: positions are gathered
+/// with the global molecule ids, forces scatter through ids rebased by
+/// `base` into the private window.
+fn forces_invec_ranged(
+    m: &Molecules,
+    pairs: &PairList,
+    cutoff: f32,
+    range: &Range<usize>,
+    base: usize,
+    out: &mut Forces,
+    depth: &mut DepthHistogram,
+) {
+    let cutoff2 = cutoff * cutoff;
+    let vbase = I32x16::splat(base as i32);
+    let mut k = range.start;
+    while k < range.end {
+        let (vi, active) = I32x16::load_partial(&pairs.i[k..range.end], 0);
+        let (vj, _) = I32x16::load_partial(&pairs.j[k..range.end], 0);
+        let (near, sx, sy, sz) = pair_forces(m, active, vi, vj, cutoff2);
+        let (ri, rj) = (vi - vbase, vj - vbase);
+
+        let mut comps = [sx, sy, sz];
+        let (safe_i, d1) = reduce_alg1_arr::<f32, Sum, 3, 16>(near, ri, &mut comps);
+        depth.record(d1);
+        scatter_add(out, safe_i, ri, &comps, false);
+
+        let mut comps = [sx, sy, sz];
+        let (safe_j, d2) = reduce_alg1_arr::<f32, Sum, 3, 16>(near, rj, &mut comps);
+        depth.record(d2);
+        scatter_add(out, safe_j, rj, &comps, true);
+
+        k += 16;
+    }
+}
+
 /// Force evaluation with **conflict-masking** using gather-after-scatter
 /// detection across both write axes: each lane scatters its id through both
 /// endpoint indices into a scratch array and commits only if it reads its
@@ -269,7 +411,8 @@ mod tests {
     use invector_graph::group::group_by_two_keys;
 
     fn assert_forces_close(a: &Forces, b: &Forces, tol: f32) {
-        for (x, y) in a.fx.iter().zip(&b.fx).chain(a.fy.iter().zip(&b.fy)).chain(a.fz.iter().zip(&b.fz))
+        for (x, y) in
+            a.fx.iter().zip(&b.fx).chain(a.fy.iter().zip(&b.fy)).chain(a.fz.iter().zip(&b.fz))
         {
             assert!((x - y).abs() <= tol * (x.abs() + y.abs() + 1.0), "{x} vs {y}");
         }

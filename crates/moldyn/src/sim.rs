@@ -11,9 +11,11 @@ use std::time::Instant;
 
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::{group_by_two_keys, Grouping};
-use invector_kernels::{Timings, Variant};
+use invector_kernels::{ExecPolicy, Timings, Variant};
 
-use crate::force::{forces_grouped, forces_invec, forces_masked, forces_serial, Forces};
+use crate::force::{
+    forces_grouped, forces_invec, forces_masked, forces_parallel, forces_serial, Forces,
+};
 use crate::input::{Molecules, CUTOFF};
 use crate::neighbor::{build_pairs, PairList};
 
@@ -43,6 +45,8 @@ pub struct SimResult {
     pub utilization: Option<Utilization>,
     /// In-vector conflict-depth histogram.
     pub depth: Option<DepthHistogram>,
+    /// Worker threads used by the force phase (1 = serial driver).
+    pub threads: usize,
 }
 
 /// Runs `iterations` Moldyn steps with the chosen strategy, starting from
@@ -52,6 +56,25 @@ pub struct SimResult {
 ///
 /// Panics if `initial` is empty.
 pub fn simulate(initial: &Molecules, variant: Variant, iterations: u32) -> SimResult {
+    simulate_with_policy(initial, variant, iterations, &ExecPolicy::default())
+}
+
+/// [`simulate`] with an explicit [`ExecPolicy`]: when `policy.threads > 1`
+/// the force phase fans out over the persistent thread pool
+/// ([`forces_parallel`]), with the per-worker strategy still chosen by
+/// `variant`. Grouped and masked variants keep their serial drivers (their
+/// conflict-resolution state is whole-array), so thread counts apply to the
+/// serial and in-vector paths.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty.
+pub fn simulate_with_policy(
+    initial: &Molecules,
+    variant: Variant,
+    iterations: u32,
+    policy: &ExecPolicy,
+) -> SimResult {
     assert!(!initial.is_empty(), "simulation needs molecules");
     let mut m = initial.clone();
     let n = m.len();
@@ -62,6 +85,9 @@ pub fn simulate(initial: &Molecules, variant: Variant, iterations: u32) -> SimRe
     let mut depth = DepthHistogram::new();
     let mut pairs = PairList::default();
     let mut grouping: Option<Grouping> = None;
+    let mut threads_used = 1usize;
+    let parallel = policy.threads > 1
+        && matches!(variant, Variant::Serial | Variant::SerialTiled | Variant::Invec);
     let instr_before = invector_simd::count::read();
 
     for iter in 0..iterations {
@@ -87,21 +113,29 @@ pub fn simulate(initial: &Molecules, variant: Variant, iterations: u32) -> SimRe
         axpy(&mut m.pz, &m.vz, DT);
         // Force evaluation.
         forces.clear();
-        match variant {
-            Variant::Serial | Variant::SerialTiled => {
-                forces_serial(&m, &pairs, CUTOFF, &mut forces);
+        if parallel {
+            let (d, used) = forces_parallel(&m, &pairs, CUTOFF, &mut forces, variant, policy);
+            if let Some(d) = d {
+                depth.merge(&d);
             }
-            Variant::Invec => forces_invec(&m, &pairs, CUTOFF, &mut forces, &mut depth),
-            Variant::Masked => {
-                forces_masked(&m, &pairs, CUTOFF, &mut forces, &mut scratch, &mut utilization);
+            threads_used = threads_used.max(used);
+        } else {
+            match variant {
+                Variant::Serial | Variant::SerialTiled => {
+                    forces_serial(&m, &pairs, CUTOFF, &mut forces);
+                }
+                Variant::Invec => forces_invec(&m, &pairs, CUTOFF, &mut forces, &mut depth),
+                Variant::Masked => {
+                    forces_masked(&m, &pairs, CUTOFF, &mut forces, &mut scratch, &mut utilization);
+                }
+                Variant::Grouped => forces_grouped(
+                    &m,
+                    &pairs,
+                    grouping.as_ref().expect("grouping built at rebuild"),
+                    CUTOFF,
+                    &mut forces,
+                ),
             }
-            Variant::Grouped => forces_grouped(
-                &m,
-                &pairs,
-                grouping.as_ref().expect("grouping built at rebuild"),
-                CUTOFF,
-                &mut forces,
-            ),
         }
         // Velocity update (regular SIMD).
         axpy(&mut m.vx, &forces.fx, DT);
@@ -118,6 +152,7 @@ pub fn simulate(initial: &Molecules, variant: Variant, iterations: u32) -> SimRe
         instructions: invector_simd::count::read().wrapping_sub(instr_before),
         utilization: (variant == Variant::Masked).then_some(utilization),
         depth: (variant == Variant::Invec).then_some(depth),
+        threads: threads_used,
     }
 }
 
@@ -203,6 +238,32 @@ mod tests {
         let r = simulate(&initial, Variant::Invec, 20);
         let bound = initial.box_size * 1.5;
         assert!(r.molecules.px.iter().all(|&x| (-bound..2.0 * bound).contains(&x)));
+    }
+
+    #[test]
+    fn parallel_forces_track_the_serial_trajectory() {
+        let initial = fcc_lattice(3, 21);
+        let reference = simulate(&initial, Variant::Serial, 20);
+        for threads in [2, 3, 8] {
+            let policy = ExecPolicy::with_threads(threads);
+            for variant in [Variant::Serial, Variant::Invec] {
+                let r = simulate_with_policy(&initial, variant, 20, &policy);
+                let dv = max_velocity_delta(&r.molecules, &reference.molecules);
+                assert!(dv < 1e-2, "{variant} x{threads}: max velocity delta {dv}");
+                assert!(r.threads > 1, "{variant} x{threads}: pool unused");
+                assert_eq!(r.num_pairs, reference.num_pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_simulation_is_deterministic_and_reports_depth() {
+        let initial = fcc_lattice(3, 22);
+        let policy = ExecPolicy::with_threads(4);
+        let a = simulate_with_policy(&initial, Variant::Invec, 10, &policy);
+        let b = simulate_with_policy(&initial, Variant::Invec, 10, &policy);
+        assert_eq!(a.molecules, b.molecules, "task-order fold must be deterministic");
+        assert!(a.depth.expect("depth").invocations() > 0);
     }
 
     #[test]

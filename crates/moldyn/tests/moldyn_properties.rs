@@ -4,9 +4,7 @@ use proptest::prelude::*;
 
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::group_by_two_keys;
-use invector_moldyn::force::{
-    forces_grouped, forces_invec, forces_masked, forces_serial, Forces,
-};
+use invector_moldyn::force::{forces_grouped, forces_invec, forces_masked, forces_serial, Forces};
 use invector_moldyn::neighbor::{build_pairs, PairList};
 use invector_moldyn::Molecules;
 

@@ -39,10 +39,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod count;
-pub mod trace;
 mod element;
 mod mask;
 pub mod native;
+pub mod trace;
 mod vector;
 
 mod conflict;

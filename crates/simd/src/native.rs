@@ -209,8 +209,7 @@ mod imp {
                 let mut vdata = _mm512_loadu_ps(vals.as_ptr().add(j));
                 // Conflict-free subset.
                 let conflicts = _mm512_conflict_epi32(vidx);
-                let mret =
-                    _mm512_cmpeq_epi32_mask(conflicts, _mm512_setzero_si512());
+                let mret = _mm512_cmpeq_epi32_mask(conflicts, _mm512_setzero_si512());
                 // Merge conflicting groups (usually zero iterations).
                 let mut todo = !mret;
                 while todo != 0 {
@@ -235,8 +234,7 @@ mod imp {
             }
             // Scalar tail.
             for k in j..n {
-                *target.get_unchecked_mut(*idx.get_unchecked(k) as usize) +=
-                    *vals.get_unchecked(k);
+                *target.get_unchecked_mut(*idx.get_unchecked(k) as usize) += *vals.get_unchecked(k);
             }
         }
     }
@@ -256,7 +254,12 @@ mod imp {
         unsafe {
             let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
             let vdata = _mm512_loadu_ps(data.as_ptr());
-            let old = _mm512_mask_i32gather_ps::<4>(_mm512_setzero_ps(), mask, vidx, base.as_ptr().cast());
+            let old = _mm512_mask_i32gather_ps::<4>(
+                _mm512_setzero_ps(),
+                mask,
+                vidx,
+                base.as_ptr().cast(),
+            );
             let new = _mm512_add_ps(old, vdata);
             _mm512_mask_i32scatter_ps::<4>(base.as_mut_ptr().cast(), mask, vidx, new);
         }
@@ -322,7 +325,12 @@ mod imp_stub {
     /// # Safety
     ///
     /// Must not be called.
-    pub unsafe fn scatter_add_f32(_mask: u16, _base: &mut [f32], _idx: [i32; 16], _data: [f32; 16]) {
+    pub unsafe fn scatter_add_f32(
+        _mask: u16,
+        _base: &mut [f32],
+        _idx: [i32; 16],
+        _data: [f32; 16],
+    ) {
         unreachable!("native backend is unavailable on this architecture")
     }
 

@@ -401,7 +401,10 @@ fn native_gather<T: SimdElement, const N: usize>(
     if TypeId::of::<T>() == TypeId::of::<f32>() {
         // SAFETY: T == f32 (checked via TypeId); indices validated above.
         let out = unsafe {
-            native::gather_f32(std::slice::from_raw_parts(base.as_ptr().cast::<f32>(), base.len()), idx16)
+            native::gather_f32(
+                std::slice::from_raw_parts(base.as_ptr().cast::<f32>(), base.len()),
+                idx16,
+            )
         };
         let lanes = unsafe { std::mem::transmute_copy::<[f32; 16], [T; N]>(&out) };
         return Some(SimdVec(lanes));
@@ -409,7 +412,10 @@ fn native_gather<T: SimdElement, const N: usize>(
     if TypeId::of::<T>() == TypeId::of::<i32>() || TypeId::of::<T>() == TypeId::of::<u32>() {
         // SAFETY: T is a 32-bit integer (checked via TypeId); indices validated.
         let out = unsafe {
-            native::gather_i32(std::slice::from_raw_parts(base.as_ptr().cast::<i32>(), base.len()), idx16)
+            native::gather_i32(
+                std::slice::from_raw_parts(base.as_ptr().cast::<i32>(), base.len()),
+                idx16,
+            )
         };
         let lanes = unsafe { std::mem::transmute_copy::<[i32; 16], [T; N]>(&out) };
         return Some(SimdVec(lanes));
@@ -532,8 +538,11 @@ macro_rules! impl_bitwise {
         }
         impl<const N: usize> SimdVec<$t, N> {
             /// Lane-wise logical shift left by `count` bits (`vpslld`).
+            /// Not the `Shl` operator impl: takes a bit count, not a
+            /// lane-wise shift vector.
             #[inline]
             #[must_use]
+            #[allow(clippy::should_implement_trait)]
             pub fn shl(self, count_bits: u32) -> Self {
                 count::bump(1);
                 SimdVec(std::array::from_fn(|i| self.0[i] << count_bits))
@@ -541,8 +550,11 @@ macro_rules! impl_bitwise {
 
             /// Lane-wise **logical** shift right by `count` bits
             /// (`vpsrld` — zero-filling, even for signed lanes).
+            /// Not the `Shr` operator impl: takes a bit count, not a
+            /// lane-wise shift vector.
             #[inline]
             #[must_use]
+            #[allow(clippy::should_implement_trait)]
             pub fn shr(self, count_bits: u32) -> Self {
                 count::bump(1);
                 SimdVec(std::array::from_fn(|i| ((self.0[i] as $u) >> count_bits) as $t))

@@ -65,8 +65,8 @@ proptest! {
     ) {
         let v = SimdVec::from_array(vals);
         let round = v.compress(mask).expand(mask, SimdVec::splat(0));
-        for lane in 0..16 {
-            let expect = if mask.test(lane) { vals[lane] } else { 0 };
+        for (lane, &val) in vals.iter().enumerate() {
+            let expect = if mask.test(lane) { val } else { 0 };
             prop_assert_eq!(round.extract(lane), expect);
         }
     }

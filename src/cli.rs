@@ -123,7 +123,11 @@ fn parse_dist(s: &str) -> Result<Distribution, String> {
     })
 }
 
-fn lookup<T: std::str::FromStr>(opts: &[(String, String)], key: &str, default: T) -> Result<T, String> {
+fn lookup<T: std::str::FromStr>(
+    opts: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.iter().find(|(k, _)| k == key) {
         None => Ok(default),
         Some((_, v)) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
@@ -253,10 +257,8 @@ fn run_info(scale: f64) {
 }
 
 fn print_run_row(label: &str, r: &invector_kernels::RunResult<impl std::fmt::Debug>) {
-    let util = r
-        .utilization
-        .map(|u| format!("{:.2}%", u.ratio() * 100.0))
-        .unwrap_or_else(|| "-".into());
+    let util =
+        r.utilization.map(|u| format!("{:.2}%", u.ratio() * 100.0)).unwrap_or_else(|| "-".into());
     println!(
         "{:<24} tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  iters {:>5}  {:>10.2} Minstr  util {}",
         label,
@@ -424,10 +426,7 @@ mod tests {
     #[test]
     fn parses_agg_command() {
         let cmd = parse(&args("agg --dist zipf --rows 5000 --cardinality 64")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Agg { dist: Distribution::Zipf, rows: 5000, cardinality: 64 }
-        );
+        assert_eq!(cmd, Command::Agg { dist: Distribution::Zipf, rows: 5000, cardinality: 64 });
     }
 
     #[test]
@@ -450,10 +449,7 @@ mod tests {
     #[test]
     fn parses_euler_command() {
         let cmd = parse(&args("euler --mesh 8 --iters 3 --variant invec")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Euler { mesh: 8, iters: 3, variants: vec![Variant::Invec] }
-        );
+        assert_eq!(cmd, Command::Euler { mesh: 8, iters: 3, variants: vec![Variant::Invec] });
     }
 
     #[test]
@@ -476,8 +472,9 @@ mod tests {
     #[test]
     fn run_rejects_bad_dataset_and_source() {
         assert!(run(parse(&args("sssp --dataset nope")).unwrap()).is_err());
-        assert!(run(parse(&args("sssp --dataset amazon0312 --scale 0.002 --source 999999"))
-            .unwrap())
+        assert!(run(
+            parse(&args("sssp --dataset amazon0312 --scale 0.002 --source 999999")).unwrap()
+        )
         .is_err());
     }
 }

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 
 use invector::core::invec::{reduce_alg1, reduce_alg2, AuxArray};
 use invector::core::ops::{Max, Min, Sum};
-use invector::core::{
-    adaptive_accumulate, invec_accumulate, masked_accumulate, serial_accumulate,
-};
+use invector::core::{adaptive_accumulate, invec_accumulate, masked_accumulate, serial_accumulate};
 use invector::graph::group::{group_by_key, group_by_two_keys};
 use invector::simd::{conflict_detect, conflict_free_subset, I32x16, Mask16, SimdVec};
 
@@ -201,5 +199,72 @@ proptest! {
         prop_assert_eq!(stats.utilization.useful, idx.len() as u64);
         let total: f32 = target.iter().sum();
         prop_assert_eq!(total, idx.len() as f32);
+    }
+}
+
+// --- Execution engine: MIMD partitions must be exact for integer ops -----
+
+/// Thread counts exercising the pool: serial short-circuit, even splits,
+/// odd splits, and more workers than the pool has cores.
+const ENGINE_THREADS: [usize; 5] = [1, 2, 3, 7, 16];
+
+proptest! {
+    #[test]
+    fn engine_parallel_matches_serial_exactly_for_integer_ops(
+        keys in prop::collection::vec(0..32i32, 0..400),
+        tix in 0usize..5,
+        privatized in any::<bool>(),
+    ) {
+        use invector::core::exec::{execute, ExecPolicy, Partition};
+        let threads = ENGINE_THREADS[tix];
+        let partition = if privatized { Partition::Privatized } else { Partition::OwnerComputes };
+        let vals: Vec<i32> = (0..keys.len() as i32).map(|v| v * 3 - 100).collect();
+        let init: Vec<i32> = (0..32).map(|k| k % 7 - 3).collect();
+        macro_rules! check {
+            ($op:ty) => {{
+                let mut expect = init.clone();
+                serial_accumulate::<i32, $op>(&mut expect, &keys, &vals);
+                let mut got = init.clone();
+                let policy = ExecPolicy::with_threads(threads).partition(partition);
+                let report = execute::<i32, $op>(&mut got, &keys, &vals, &policy);
+                prop_assert_eq!(&got, &expect,
+                    "{} threads={} partition={:?}", stringify!($op), threads, partition);
+                prop_assert!(report.threads_used() >= 1);
+            }};
+        }
+        check!(Sum);
+        check!(Min);
+        check!(Max);
+    }
+
+    #[test]
+    fn engine_handles_all_conflict_streams_exactly(
+        key in 0..16i32,
+        len in 0usize..200,
+        tix in 0usize..5,
+        privatized in any::<bool>(),
+    ) {
+        use invector::core::exec::{execute, ExecPolicy, Partition};
+        let threads = ENGINE_THREADS[tix];
+        let partition = if privatized { Partition::Privatized } else { Partition::OwnerComputes };
+        // Every stream element hits the same target index: the worst case
+        // for conflict handling, and (with len 0 and 1) the degenerate
+        // empty and single-element streams.
+        let keys = vec![key; len];
+        let vals: Vec<i32> = (0..len as i32).map(|v| v - 7).collect();
+        macro_rules! check {
+            ($op:ty) => {{
+                let mut expect = vec![1i32; 16];
+                serial_accumulate::<i32, $op>(&mut expect, &keys, &vals);
+                let mut got = vec![1i32; 16];
+                let policy = ExecPolicy::with_threads(threads).partition(partition);
+                execute::<i32, $op>(&mut got, &keys, &vals, &policy);
+                prop_assert_eq!(&got, &expect,
+                    "{} threads={} partition={:?} len={}", stringify!($op), threads, partition, len);
+            }};
+        }
+        check!(Sum);
+        check!(Min);
+        check!(Max);
     }
 }

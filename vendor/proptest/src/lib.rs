@@ -1,0 +1,442 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest it uses: the `proptest!` test macro, `Strategy` with
+//! `prop_map`/`prop_flat_map`, range/tuple/`Just` strategies,
+//! `prop::array::uniform16`, `prop::collection::vec`, `any`, and the
+//! `prop_assert*` macros. Unlike upstream there is no shrinking and no
+//! failure persistence: each test runs a fixed number of deterministic
+//! cases seeded from the test's name, and the first failing case panics with
+//! its case number (re-running reproduces it exactly).
+
+use rand::SmallRng;
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use rand::{Rng, SampleUniform, SmallRng};
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Upstream proptest separates strategies from value trees to support
+    /// shrinking; this shim only ever samples.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut SmallRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: SampleUniform + Clone> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform + Clone> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F2);
+    impl_tuple_strategy!(A, B, C, D, E, F2, G);
+    impl_tuple_strategy!(A, B, C, D, E, F2, G, H);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::{Rng, RngCore, SmallRng};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_sample(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+            rng.gen_range(-1.0e6f32..1.0e6)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+            rng.gen_range(-1.0e9f64..1.0e9)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::SmallRng;
+
+    /// The strategy returned by [`uniform16`].
+    #[derive(Debug, Clone)]
+    pub struct UniformArray16<S>(S);
+
+    impl<S: Strategy> Strategy for UniformArray16<S> {
+        type Value = [S::Value; 16];
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    /// A 16-element array drawn element-wise from `strategy`.
+    pub fn uniform16<S: Strategy>(strategy: S) -> UniformArray16<S> {
+        UniformArray16(strategy)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::{Rng, SmallRng};
+
+    /// An inclusive-exclusive length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi_exclusive: hi + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Test-runner configuration and deterministic seeding.
+pub mod test_runner {
+    /// Subset of upstream's runner configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each `proptest!` test executes.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Deterministic per-test generator: FNV-1a over the test name, so runs are
+/// reproducible without persistence files.
+pub fn rng_for_test(name: &str) -> SmallRng {
+    use rand::SeedableRng;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::array`, `prop::collection`).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let mut rng = $crate::rng_for_test(stringify!($name));
+            for case in 0..config.cases {
+                let sampled = $crate::strategy::Strategy::sample(&strategy, &mut rng);
+                // Body runs as a `Result` closure so `return Ok(())` works,
+                // exactly as under upstream proptest; assertion macros panic,
+                // so the error arm is only reachable through explicit `Err`.
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ::std::string::String> {
+                        let ($($pat,)+) = sampled;
+                        let _ = { $body };
+                        Ok(())
+                    },
+                ));
+                if let Ok(Err(rejection)) = &outcome {
+                    panic!("proptest {}: case returned Err: {}", stringify!($name), rejection);
+                }
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest {}: failed at case {} of {} (deterministic; rerun reproduces)",
+                        stringify!($name),
+                        case,
+                        config.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            (a, b) in (0i32..10, 5u32..=6),
+            v in prop::collection::vec(0usize..4, 0..9),
+        ) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn flat_map_and_just_compose(n in (1usize..5).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0..n as i32, n..n + 1))
+        })) {
+            let (n, v) = n;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn uniform16_fills_every_lane() {
+        let mut rng = crate::rng_for_test("uniform16");
+        let arr = crate::strategy::Strategy::sample(&prop::array::uniform16(3i32..7), &mut rng);
+        assert_eq!(arr.len(), 16);
+        assert!(arr.iter().all(|&x| (3..7).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use rand::RngCore;
+        let a = crate::rng_for_test("x").next_u64();
+        let b = crate::rng_for_test("x").next_u64();
+        let c = crate::rng_for_test("y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
