@@ -9,7 +9,7 @@
 //! chains as the group cardinality approaches the table size — exactly the
 //! crossover Figure 13 shows.
 
-use invector_core::invec::reduce_alg1_arr;
+use invector_core::invec::reduce_alg1_arr_with;
 use invector_core::masking::PositionFeeder;
 use invector_core::ops::Sum;
 use invector_simd::{conflict_free_subset, F32x16, I32x16, Mask16};
@@ -147,12 +147,15 @@ impl BucketTable {
         assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
         assert!(keys.iter().all(|&k| k >= 0), "group-by keys must be non-negative");
         let mut stats = ProbeStats::default();
+        // Resolved once per aggregation run.
+        let backend = invector_core::backend::current();
         let mut j = 0;
         while j < keys.len() {
             let (vkey, active) = I32x16::load_partial(&keys[j..], EMPTY);
             let (vval, _) = F32x16::load_partial(&vals[j..], 0.0);
             let mut comps = [F32x16::splat(1.0), vval, vval * vval];
-            let (distinct, d1) = reduce_alg1_arr::<f32, Sum, 3, 16>(active, vkey, &mut comps);
+            let (distinct, d1) =
+                reduce_alg1_arr_with::<f32, Sum, 3, 16>(backend, active, vkey, &mut comps);
             stats.depth.record(d1);
             let mut rem = distinct;
             let mut vt = I32x16::zero();

@@ -2,7 +2,7 @@
 //! aggregation (the `linear_serial` / `linear_mask` / `linear_invec`
 //! variants of §4.4).
 
-use invector_core::invec::{reduce_alg1_arr, reduce_alg2_arr, AuxArrays};
+use invector_core::invec::{reduce_alg1_arr, reduce_alg1_arr_with, reduce_alg2_arr, AuxArrays};
 use invector_core::masking::PositionFeeder;
 use invector_core::ops::Sum;
 use invector_simd::{conflict_free_subset, F32x16, I32x16, Mask16};
@@ -159,12 +159,15 @@ impl LinearTable {
         assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
         assert!(keys.iter().all(|&k| k >= 0), "group-by keys must be non-negative");
         let mut stats = ProbeStats::default();
+        // Resolved once per aggregation run.
+        let backend = invector_core::backend::current();
         let mut j = 0;
         while j < keys.len() {
             let (vkey, active) = I32x16::load_partial(&keys[j..], EMPTY);
             let (vval, _) = F32x16::load_partial(&vals[j..], 0.0);
             let mut comps = [F32x16::splat(1.0), vval, vval * vval];
-            let (distinct, d1) = reduce_alg1_arr::<f32, Sum, 3, 16>(active, vkey, &mut comps);
+            let (distinct, d1) =
+                reduce_alg1_arr_with::<f32, Sum, 3, 16>(backend, active, vkey, &mut comps);
             stats.depth.record(d1);
             self.probe_and_commit(vkey, distinct, &comps, &mut stats);
             j += 16;

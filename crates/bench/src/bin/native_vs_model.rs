@@ -1,0 +1,184 @@
+//! Native AVX-512 backend vs the portable software model: wall-clock of
+//! the fused whole-stream accumulation drivers that back every kernel's
+//! in-vector hot loop (sum/min/max over `f32` and `i32`), on a uniform and
+//! a skewed (hotspot-mixture) index distribution.
+//!
+//! Emits one JSON document on stdout. The `count_feature` field records
+//! whether the portable model charged its instruction counter, so the
+//! counter-on vs counter-off comparison is two runs of this binary:
+//!
+//! ```text
+//! cargo run --release -p invector-bench --bin native_vs_model
+//! cargo run --release -p invector-bench --bin native_vs_model --no-default-features
+//! ```
+//!
+//! `BENCH_native.json` at the repo root holds both runs.
+
+use std::time::{Duration, Instant};
+
+use invector_bench::arg_scale;
+use invector_core::backend::Backend;
+use invector_core::ops::{Max, Min, Sum};
+use invector_core::{invec_accumulate, invec_accumulate_with};
+use invector_simd::native;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Target slots, L1-resident so both paths measure the conflict-resolution
+/// pipeline rather than DRAM latency (shared across generators so speedups
+/// are comparable).
+const TARGET_LEN: usize = 1 << 12;
+
+/// Hot slots of the skewed generator: a power-law-style hotspot mixture
+/// (most items uniform, a heavy tail landing on a few slots), the regime of
+/// the paper's real graph datasets — conflicts are frequent but small, so
+/// the merge loop runs without dominating.
+const HOT_SLOTS: i32 = 12;
+
+/// Fraction (percent) of skewed items routed to the hot slots.
+const HOT_PERCENT: u32 = 8;
+
+struct Row {
+    kernel: &'static str,
+    generator: &'static str,
+    portable_secs: f64,
+    native_secs: Option<f64>,
+    speedup: Option<f64>,
+}
+
+fn main() {
+    let scale = arg_scale(0.1);
+    let items = ((4 << 20) as f64 * scale) as usize + 16;
+    let mut rng = SmallRng::seed_from_u64(0x1605);
+
+    let generators: [(&'static str, Vec<i32>); 2] = [
+        ("uniform", (0..items).map(|_| rng.gen_range(0..TARGET_LEN as i32)).collect()),
+        (
+            "skewed",
+            (0..items)
+                .map(|_| {
+                    if rng.gen_range(0..100u32) < HOT_PERCENT {
+                        rng.gen_range(0..HOT_SLOTS)
+                    } else {
+                        rng.gen_range(0..TARGET_LEN as i32)
+                    }
+                })
+                .collect(),
+        ),
+    ];
+    let fvals: Vec<f32> = (0..items).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ivals: Vec<i32> = (0..items).map(|_| rng.gen_range(-100..100)).collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    // One measurement per (kernel, generator): the portable model's whole
+    // stream vs the same stream through the native fused driver. Each
+    // repetition times the two paths back to back, so scheduler noise
+    // (steal time, frequency shifts) hits both halves of a pair alike; the
+    // reported speedup is the median of the per-repetition ratios, which a
+    // few disturbed repetitions cannot drag around.
+    macro_rules! bench {
+        ($name:literal, $t:ty, $op:ty, $vals:expr, $init:expr) => {
+            for (generator, idx) in &generators {
+                let base: Vec<$t> = vec![$init; TARGET_LEN];
+                let vals: &[$t] = $vals;
+                let mut portable_secs = f64::INFINITY;
+                let mut native_best = f64::INFINITY;
+                let mut ratios: Vec<f64> = Vec::with_capacity(REPS);
+                // One untimed pass per path pages the streams in and warms
+                // the caches so the first timed repetition is not an outlier.
+                {
+                    let mut target = base.clone();
+                    invec_accumulate::<$t, $op>(&mut target, idx, vals);
+                    if native::available() {
+                        let mut target = base.clone();
+                        invec_accumulate_with::<$t, $op>(Backend::Native, &mut target, idx, vals);
+                    }
+                }
+                for _ in 0..REPS {
+                    let p = once(|| {
+                        let mut target = base.clone();
+                        let start = Instant::now();
+                        invec_accumulate::<$t, $op>(&mut target, idx, vals);
+                        start.elapsed()
+                    });
+                    portable_secs = portable_secs.min(p);
+                    if native::available() {
+                        let n = once(|| {
+                            let mut target = base.clone();
+                            let start = Instant::now();
+                            invec_accumulate_with::<$t, $op>(
+                                Backend::Native,
+                                &mut target,
+                                idx,
+                                vals,
+                            );
+                            start.elapsed()
+                        });
+                        native_best = native_best.min(n);
+                        ratios.push(p / n.max(1e-12));
+                    }
+                }
+                let native_secs = native::available().then_some(native_best);
+                let speedup = native::available().then(|| median(&mut ratios));
+                rows.push(Row { kernel: $name, generator, portable_secs, native_secs, speedup });
+            }
+        };
+    }
+    bench!("add_f32", f32, Sum, &fvals, 0.0);
+    bench!("min_f32", f32, Min, &fvals, f32::INFINITY);
+    bench!("max_f32", f32, Max, &fvals, f32::NEG_INFINITY);
+    bench!("add_i32", i32, Sum, &ivals, 0);
+    bench!("min_i32", i32, Min, &ivals, i32::MAX);
+    bench!("max_i32", i32, Max, &ivals, i32::MIN);
+
+    print_json(scale, items, &rows);
+}
+
+/// Interleaved repetitions per (kernel, generator, path).
+const REPS: usize = 31;
+
+/// One measured duration, in seconds.
+fn once(f: impl FnOnce() -> Duration) -> f64 {
+    f().as_secs_f64()
+}
+
+/// Median of the paired per-repetition ratios.
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        0.5 * (xs[mid - 1] + xs[mid])
+    }
+}
+
+fn print_json(scale: f64, items: usize, rows: &[Row]) {
+    println!("{{");
+    println!("  \"experiment\": \"native_vs_model\",");
+    println!("  \"scale\": {scale},");
+    println!("  \"items\": {items},");
+    println!("  \"target_len\": {TARGET_LEN},");
+    println!("  \"count_feature\": {},", cfg!(feature = "count"));
+    println!("  \"native_available\": {},", native::available());
+    println!("  \"kernels\": [");
+    for (i, r) in rows.iter().enumerate() {
+        println!("    {{");
+        println!("      \"kernel\": \"{}\",", r.kernel);
+        println!("      \"generator\": \"{}\",", r.generator);
+        println!("      \"portable_secs\": {:.6},", r.portable_secs);
+        match (r.native_secs, r.speedup) {
+            (Some(n), Some(s)) => {
+                println!("      \"native_secs\": {n:.6},");
+                println!("      \"speedup\": {s:.2}");
+            }
+            _ => {
+                println!("      \"native_secs\": null,");
+                println!("      \"speedup\": null");
+            }
+        }
+        println!("    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -10,7 +10,8 @@
 use invector_simd::{I32x16, SimdElement, SimdVec};
 
 use crate::adaptive::AdaptiveReducer;
-use crate::invec::reduce_alg1;
+use crate::backend::Backend;
+use crate::invec::{reduce_alg1, reduce_alg1_with};
 use crate::ops::ReduceOp;
 use crate::stats::DepthHistogram;
 
@@ -92,6 +93,113 @@ where
     stats
 }
 
+/// Backend-dispatched [`invec_accumulate`].
+///
+/// With [`Backend::Native`] and a supported `(T, Op)` — sum/min/max over
+/// `f32` or `i32`, i.e. every kernel in this workspace — the **whole
+/// stream** runs inside one fused `target_feature` function
+/// (`invector_simd::native::accumulate_*`): gather, conflict detection,
+/// in-vector reduce, and scatter never leave AVX-512 registers, and tails
+/// run as masked vectors. Unsupported combinations fall back to the
+/// per-vector loop, which still dispatches the reduction itself through
+/// [`reduce_alg1_with`]. Results and depth statistics are identical to the
+/// portable driver for min/max and integer sums, and identical per-vector
+/// (same reduction order) for float sums.
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds for
+/// `target`.
+pub fn invec_accumulate_with<T, Op>(
+    backend: Backend,
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    if backend.is_native() {
+        if let Some(stats) = native_fused_accumulate::<T, Op>(target, idx, vals) {
+            return stats;
+        }
+    }
+    let mut stats = InvecStats::default();
+    let mut j = 0;
+    while j < idx.len() {
+        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
+        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
+        let (safe, d1) = reduce_alg1_with::<T, Op, 16>(backend, active, vidx, &mut vval);
+        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let new = Op::combine_vec(old, vval);
+        new.mask_scatter(safe, target, vidx);
+        stats.vectors += 1;
+        stats.depth.record(d1);
+        j += 16;
+    }
+    stats
+}
+
+/// Runs the fused native driver for `(T, Op)` when one exists. The drivers
+/// bounds-check indices themselves (one masked unsigned compare per
+/// vector), panicking like the portable model, so no scalar prevalidation
+/// pass runs here. Returns `None` when AVX-512 is absent or the combination
+/// has no fused realization.
+#[cfg(target_arch = "x86_64")]
+fn native_fused_accumulate<T, Op>(target: &mut [T], idx: &[i32], vals: &[T]) -> Option<InvecStats>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    use std::any::TypeId;
+    if !invector_simd::native::available() || target.len() > i32::MAX as usize {
+        return None;
+    }
+    let t = TypeId::of::<T>();
+    let op = TypeId::of::<Op>();
+    macro_rules! dispatch {
+        ($ty:ty, $opty:ty, $f:path) => {
+            if t == TypeId::of::<$ty>() && op == TypeId::of::<$opty>() {
+                // SAFETY: T == $ty per the TypeId check, so the slice
+                // layouts are identical.
+                let target: &mut [$ty] =
+                    unsafe { &mut *(std::ptr::from_mut::<[T]>(&mut *target) as *mut [$ty]) };
+                let vals: &[$ty] = unsafe { &*(std::ptr::from_ref::<[T]>(vals) as *const [$ty]) };
+                let mut buckets = [0u64; 17];
+                // SAFETY: availability checked; lengths equal (asserted by
+                // the caller); target length fits i32; the driver
+                // bounds-checks every index itself.
+                let vectors = unsafe { $f(target, idx, vals, &mut buckets) };
+                let mut depth = DepthHistogram::new();
+                depth.absorb_buckets(&buckets);
+                return Some(InvecStats { vectors, depth });
+            }
+        };
+    }
+    dispatch!(f32, crate::ops::Sum, invector_simd::native::accumulate_add_f32);
+    dispatch!(f32, crate::ops::Min, invector_simd::native::accumulate_min_f32);
+    dispatch!(f32, crate::ops::Max, invector_simd::native::accumulate_max_f32);
+    dispatch!(i32, crate::ops::Sum, invector_simd::native::accumulate_add_i32);
+    dispatch!(i32, crate::ops::Min, invector_simd::native::accumulate_min_i32);
+    dispatch!(i32, crate::ops::Max, invector_simd::native::accumulate_max_i32);
+    None
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn native_fused_accumulate<T, Op>(
+    _target: &mut [T],
+    _idx: &[i32],
+    _vals: &[T],
+) -> Option<InvecStats>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    None
+}
+
 /// Accumulates with the **adaptive** in-vector reducer: Algorithm 1 during
 /// warm-up, then Algorithm 1 or 2 per the observed conflict depth (§3.4).
 /// The auxiliary array (if Algorithm 2 is selected) is merged before
@@ -114,6 +222,44 @@ where
         let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
         let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
         let safe = reducer.reduce(active, vidx, &mut vval);
+        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let new = Op::combine_vec(old, vval);
+        new.mask_scatter(safe, target, vidx);
+        stats.vectors += 1;
+        j += 16;
+    }
+    stats.depth.merge(reducer.depth_stats());
+    reducer.finish(target);
+    stats
+}
+
+/// Backend-dispatched [`adaptive_accumulate`]: the warm-up, the decision,
+/// and the depth statistics are identical across backends (the native
+/// reduction reports the same per-vector depths), but each per-vector fold
+/// runs through the selected backend's Algorithm 1 or 2 realization.
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds for
+/// `target`.
+pub fn adaptive_accumulate_with<T, Op>(
+    backend: Backend,
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    let mut reducer = AdaptiveReducer::<T, Op>::new(target.len());
+    let mut stats = InvecStats::default();
+    let mut j = 0;
+    while j < idx.len() {
+        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
+        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
+        let safe = reducer.reduce_with(backend, active, vidx, &mut vval);
         let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
         let new = Op::combine_vec(old, vval);
         new.mask_scatter(safe, target, vidx);
@@ -156,20 +302,26 @@ where
 /// ```
 pub fn native_invec_accumulate_f32(target: &mut [f32], idx: &[i32], vals: &[f32]) -> bool {
     assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
-    if !invector_simd::native::available() {
+    if !invector_simd::native::available() || target.len() > i32::MAX as usize {
         return false;
     }
-    let len = target.len();
-    for &i in idx {
-        assert!(i >= 0 && (i as usize) < len, "index {i} out of bounds for target of length {len}");
+    // Off x86_64 `available()` is a compile-time false, so the native call
+    // below only exists where the native module does.
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: availability checked above; lengths equal; target length
+        // fits i32; the driver bounds-checks every index itself (one masked
+        // unsigned compare per vector), panicking like the portable model.
+        // The whole stream runs inside one target_feature function so the
+        // hot loop stays in registers.
+        let mut depth = [0u64; 17];
+        unsafe {
+            invector_simd::native::accumulate_add_f32(target, idx, vals, &mut depth);
+        }
+        true
     }
-    // SAFETY: availability checked above; lengths equal; every index
-    // validated against `target.len()`. The whole stream runs inside one
-    // target_feature function so the hot loop stays in registers.
-    unsafe {
-        invector_simd::native::accumulate_add_f32(target, idx, vals);
-    }
-    true
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("native availability is compile-time false off x86_64")
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use invector_simd::{Mask, SimdElement, SimdVec};
 
-use crate::invec::{reduce_alg1, reduce_alg2, AuxArray};
+use crate::invec::{reduce_alg1_with, reduce_alg2_with, AuxArray};
 use crate::ops::ReduceOp;
 use crate::stats::DepthHistogram;
 
@@ -115,6 +115,21 @@ where
         vindex: SimdVec<i32, N>,
         vdata: &mut SimdVec<T, N>,
     ) -> Mask<N> {
+        self.reduce_with(crate::backend::Backend::Portable, active, vindex, vdata)
+    }
+
+    /// Backend-dispatched [`reduce`](Self::reduce): per-vector folds run
+    /// through `reduce_alg1_with` / `reduce_alg2_with`, so the selected
+    /// backend's realization executes while the sampling, the decision, and
+    /// the recorded depths stay identical across backends (the native paths
+    /// report the same D1/D2 as the portable model).
+    pub fn reduce_with<const N: usize>(
+        &mut self,
+        backend: crate::backend::Backend,
+        active: Mask<N>,
+        vindex: SimdVec<i32, N>,
+        vdata: &mut SimdVec<T, N>,
+    ) -> Mask<N> {
         let use_alg2 = match self.decided {
             Some(choice) => choice,
             None => {
@@ -129,12 +144,13 @@ where
             }
         };
         if use_alg2 {
-            let (safe, d2) = reduce_alg2::<T, Op, N>(active, vindex, vdata, &mut self.aux);
+            let (safe, d2) =
+                reduce_alg2_with::<T, Op, N>(backend, active, vindex, vdata, &mut self.aux);
             self.depth.record(d2);
             self.pending_merge = true;
             safe
         } else {
-            let (safe, d1) = reduce_alg1::<T, Op, N>(active, vindex, vdata);
+            let (safe, d1) = reduce_alg1_with::<T, Op, N>(backend, active, vindex, vdata);
             self.depth.record(d1);
             safe
         }

@@ -1,0 +1,167 @@
+//! Backend selection: portable software model vs. native AVX-512.
+//!
+//! Every kernel's hot loop runs against one of two backends:
+//!
+//! * [`Backend::Portable`] — the scalar software model in
+//!   `invector-simd`, which defines the semantics and (with the `count`
+//!   feature) charges the paper's instruction model.
+//! * [`Backend::Native`] — the real `vpconflictd` / gather / scatter
+//!   paths in `invector_simd::native`, bitwise-identical to the portable
+//!   model but running on hardware SIMD.
+//!
+//! Selection is resolved **once per run**, not per vector: callers hold a
+//! [`BackendChoice`] (usually inside an `ExecPolicy`), call
+//! [`BackendChoice::resolve`] at the top of the kernel, and thread the
+//! resulting [`Backend`] through the hot loop. Code paths without a policy
+//! use the process-wide [`current`] default, which honors the
+//! `INVECTOR_BACKEND` environment variable (`auto` / `portable` /
+//! `native`) and is detected once.
+
+use std::sync::OnceLock;
+
+/// A resolved backend: which implementation the hot loop actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The portable software model (always available).
+    Portable,
+    /// Real AVX-512 (`avx512f` + `avx512cd`) instructions.
+    Native,
+}
+
+impl Backend {
+    /// `true` for [`Backend::Native`].
+    #[inline]
+    #[must_use]
+    pub fn is_native(self) -> bool {
+        self == Backend::Native
+    }
+
+    /// Stable lowercase name, for logs and benchmark output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Portable => "portable",
+            Backend::Native => "native",
+        }
+    }
+}
+
+/// A backend *request*, resolved against CPU capabilities at run start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// Use [`Backend::Native`] when the CPU supports it, otherwise fall
+    /// back to [`Backend::Portable`]. The default.
+    #[default]
+    Auto,
+    /// Always use the portable software model.
+    Portable,
+    /// Require the native backend.
+    ///
+    /// [`BackendChoice::resolve`] panics when AVX-512 is unavailable —
+    /// forcing `Native` on an unsupported host is a configuration error,
+    /// and failing at the dispatch layer (with a message naming the
+    /// missing features) beats faulting inside an `unsafe fn`.
+    Native,
+}
+
+impl BackendChoice {
+    /// Resolves the request against the running CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`BackendChoice::Native`] is requested on a host without
+    /// `avx512f` + `avx512cd`.
+    #[must_use]
+    pub fn resolve(self) -> Backend {
+        match self {
+            BackendChoice::Portable => Backend::Portable,
+            BackendChoice::Auto => {
+                if invector_simd::native::available() {
+                    Backend::Native
+                } else {
+                    Backend::Portable
+                }
+            }
+            BackendChoice::Native => {
+                assert!(
+                    invector_simd::native::available(),
+                    "native backend requested but this host lacks AVX-512 \
+                     (avx512f + avx512cd); use BackendChoice::Auto to fall back \
+                     to the portable model, or unset INVECTOR_BACKEND"
+                );
+                Backend::Native
+            }
+        }
+    }
+}
+
+/// The process-wide default backend, for call sites that do not carry an
+/// `ExecPolicy`. Resolved once from the `INVECTOR_BACKEND` environment
+/// variable (`auto` when unset) and cached.
+///
+/// # Panics
+///
+/// First call panics if `INVECTOR_BACKEND` is set to an unrecognized
+/// value, or to `native` on a host without AVX-512.
+#[must_use]
+pub fn current() -> Backend {
+    static CURRENT: OnceLock<Backend> = OnceLock::new();
+    *CURRENT.get_or_init(|| choice_from_env().resolve())
+}
+
+fn choice_from_env() -> BackendChoice {
+    match std::env::var("INVECTOR_BACKEND") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "auto" => BackendChoice::Auto,
+            "portable" => BackendChoice::Portable,
+            "native" => BackendChoice::Native,
+            other => panic!(
+                "unrecognized INVECTOR_BACKEND value {other:?} \
+                 (expected \"auto\", \"portable\", or \"native\")"
+            ),
+        },
+        Err(_) => BackendChoice::Auto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_is_always_resolvable() {
+        assert_eq!(BackendChoice::Portable.resolve(), Backend::Portable);
+    }
+
+    #[test]
+    fn auto_matches_cpu_detection() {
+        let expect =
+            if invector_simd::native::available() { Backend::Native } else { Backend::Portable };
+        assert_eq!(BackendChoice::Auto.resolve(), expect);
+    }
+
+    #[test]
+    fn forced_native_resolves_or_panics_with_useful_message() {
+        if invector_simd::native::available() {
+            assert_eq!(BackendChoice::Native.resolve(), Backend::Native);
+        } else {
+            let err = std::panic::catch_unwind(|| BackendChoice::Native.resolve())
+                .expect_err("forcing native without AVX-512 must panic");
+            let msg = err.downcast_ref::<String>().expect("panic carries a message");
+            assert!(msg.contains("avx512f"), "message should name the features: {msg}");
+        }
+    }
+
+    #[test]
+    fn current_is_stable_across_calls() {
+        assert_eq!(current(), current());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Backend::Portable.name(), "portable");
+        assert_eq!(Backend::Native.name(), "native");
+        assert!(Backend::Native.is_native());
+        assert!(!Backend::Portable.is_native());
+    }
+}

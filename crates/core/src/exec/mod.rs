@@ -31,7 +31,8 @@
 //! The entry points, from most to least packaged:
 //!
 //! - [`execute`] — whole-stream accumulate (the parallel form of
-//!   [`invec_accumulate`]), returning an [`ExecReport`].
+//!   [`invec_accumulate`](crate::accumulate::invec_accumulate)), returning
+//!   an [`ExecReport`].
 //! - [`run_plan`] — run an arbitrary per-task body against partitioned
 //!   views of a target array; kernels with custom edge phases (PageRank,
 //!   the relax family) build an [`ExecPlan`] once per index set and reuse
@@ -54,8 +55,12 @@ use std::sync::Mutex;
 
 use invector_simd::{count, SimdElement};
 
-use crate::accumulate::{adaptive_accumulate, invec_accumulate, serial_accumulate, InvecStats};
+use crate::accumulate::{
+    adaptive_accumulate_with, invec_accumulate_with, serial_accumulate, InvecStats,
+};
 use crate::ops::ReduceOp;
+
+pub use crate::backend::{Backend, BackendChoice};
 
 /// Which of the paper's reduction strategies each worker runs on its share
 /// of the stream.
@@ -91,11 +96,12 @@ pub enum Partition {
 /// # Example
 ///
 /// ```
-/// use invector_core::exec::{ExecPolicy, Partition};
+/// use invector_core::exec::{BackendChoice, ExecPolicy, Partition};
 ///
 /// let policy = ExecPolicy::with_threads(8)
 ///     .partition(Partition::Privatized)
-///     .deterministic(true);
+///     .deterministic(true)
+///     .backend(BackendChoice::Auto);
 /// assert_eq!(policy.threads, 8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,16 +116,23 @@ pub struct ExecPolicy {
     /// Fold privatized results in task order so float outputs are
     /// bit-identical across runs at a fixed thread count.
     pub deterministic: bool,
+    /// Which reduction backend the workers run (portable software model vs
+    /// native AVX-512). Resolved once per [`execute`] call, composing with
+    /// every variant/partition: `Auto` (the default) uses native when the
+    /// CPU supports it.
+    pub backend: BackendChoice,
 }
 
 impl Default for ExecPolicy {
-    /// Single-threaded in-vector reduction — the paper's configuration.
+    /// Single-threaded in-vector reduction — the paper's configuration —
+    /// on the best backend the CPU offers.
     fn default() -> Self {
         ExecPolicy {
             variant: ExecVariant::Invec,
             threads: 1,
             partition: Partition::OwnerComputes,
             deterministic: false,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -145,6 +158,12 @@ impl ExecPolicy {
     /// Returns `self` with the deterministic flag replaced.
     pub fn deterministic(mut self, deterministic: bool) -> Self {
         self.deterministic = deterministic;
+        self
+    }
+
+    /// Returns `self` with the backend request replaced.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -601,6 +620,9 @@ where
     assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
     let plan = ExecPlan::new(idx, target.len(), policy);
     let variant = policy.variant;
+    // Resolve the backend once; every worker closure captures the resolved
+    // value instead of re-probing CPU features per task.
+    let backend = policy.backend.resolve();
     let workers =
         run_plan::<T, Op, WorkerReport, _>(&plan, target, policy.deterministic, |ctx, view| {
             let lo = ctx.lo as i32;
@@ -609,11 +631,11 @@ where
                 TaskItems::Span(range) => {
                     let vals_part = &vals[range.clone()];
                     let stats = if lo == 0 {
-                        run_variant::<T, Op>(variant, view, &idx[range.clone()], vals_part)
+                        run_variant::<T, Op>(variant, backend, view, &idx[range.clone()], vals_part)
                     } else {
                         let rebased: Vec<i32> =
                             idx[range.clone()].iter().map(|&k| k - lo).collect();
-                        run_variant::<T, Op>(variant, view, &rebased, vals_part)
+                        run_variant::<T, Op>(variant, backend, view, &rebased, vals_part)
                     };
                     (stats, range.len())
                 }
@@ -623,7 +645,10 @@ where
                     let rebased: Vec<i32> =
                         positions.iter().map(|&p| idx[p as usize] - lo).collect();
                     let gathered: Vec<T> = positions.iter().map(|&p| vals[p as usize]).collect();
-                    (run_variant::<T, Op>(variant, view, &rebased, &gathered), positions.len())
+                    (
+                        run_variant::<T, Op>(variant, backend, view, &rebased, &gathered),
+                        positions.len(),
+                    )
                 }
             };
             WorkerReport { stats, items, touched_lo: ctx.lo, touched_hi: ctx.hi, private_len }
@@ -636,7 +661,13 @@ where
 }
 
 /// Runs one in-worker reduction variant on a (possibly rebased) view.
-fn run_variant<T, Op>(variant: ExecVariant, view: &mut [T], idx: &[i32], vals: &[T]) -> InvecStats
+fn run_variant<T, Op>(
+    variant: ExecVariant,
+    backend: Backend,
+    view: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
 where
     T: SimdElement,
     Op: ReduceOp<T>,
@@ -646,8 +677,8 @@ where
             serial_accumulate::<T, Op>(view, idx, vals);
             InvecStats::default()
         }
-        ExecVariant::Invec => invec_accumulate::<T, Op>(view, idx, vals),
-        ExecVariant::Adaptive => adaptive_accumulate::<T, Op>(view, idx, vals),
+        ExecVariant::Invec => invec_accumulate_with::<T, Op>(backend, view, idx, vals),
+        ExecVariant::Adaptive => adaptive_accumulate_with::<T, Op>(backend, view, idx, vals),
     }
 }
 
@@ -864,13 +895,17 @@ mod tests {
         execute::<i32, Sum>(&mut target, &[0], &[1], &policy);
     }
 
+    #[cfg(feature = "count")]
     #[test]
     fn worker_instruction_counts_are_charged_to_the_caller() {
         let idx: Vec<i32> = (0..4096).map(|i| i % 64).collect();
         let vals = vec![1i32; idx.len()];
         let mut target = vec![0i32; 64];
+        // Pin the portable backend: the native path does not run the
+        // emulated instruction stream at all.
+        let policy = ExecPolicy::with_threads(4).backend(BackendChoice::Portable);
         let ((), counted) = invector_simd::count::with(|| {
-            execute::<i32, Sum>(&mut target, &idx, &vals, &ExecPolicy::with_threads(4));
+            execute::<i32, Sum>(&mut target, &idx, &vals, &policy);
         });
         assert!(counted > 0, "parallel SIMD work must surface in the caller's counter");
     }

@@ -408,6 +408,248 @@ pub fn invec_max<const N: usize>(
     reduce_alg1::<f32, crate::ops::Max, N>(active, vindex, vdata).0
 }
 
+// ---------------------------------------------------------------------------
+// Backend dispatch: route the per-vector fold to real AVX-512 when selected.
+// ---------------------------------------------------------------------------
+
+/// Backend-dispatched [`reduce_alg1`].
+///
+/// With [`Backend::Native`](crate::backend::Backend::Native), the conflict
+/// detection and merge schedule run on real `vpconflictd`
+/// (`invector_simd::native`) whenever a native realization exists for
+/// `(T, Op, N)` — currently sum/min/max over `f32` and `i32` at `N = 16`,
+/// covering every kernel in this workspace. Other combinations, and
+/// [`Backend::Portable`](crate::backend::Backend::Portable), run the
+/// portable model.
+///
+/// Results are bitwise identical across backends (the native merge uses
+/// the same sequential identity-seeded fold); the only observable
+/// difference is that the native path does not charge the portable
+/// instruction counter.
+pub fn reduce_alg1_with<T, Op, const N: usize>(
+    backend: crate::backend::Backend,
+    active: Mask<N>,
+    vindex: SimdVec<i32, N>,
+    vdata: &mut SimdVec<T, N>,
+) -> (Mask<N>, u32)
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    if backend.is_native() {
+        if let Some(out) = native_alg1::<T, Op, N>(active, vindex, vdata) {
+            return out;
+        }
+    }
+    reduce_alg1::<T, Op, N>(active, vindex, vdata)
+}
+
+/// Backend-dispatched [`reduce_alg1_arr`]; the native realization covers
+/// `f32` sums at `N = 16` for any component count `K` (the Moldyn / Euler /
+/// aggregation shape).
+pub fn reduce_alg1_arr_with<T, Op, const K: usize, const N: usize>(
+    backend: crate::backend::Backend,
+    active: Mask<N>,
+    vindex: SimdVec<i32, N>,
+    vdata: &mut [SimdVec<T, N>; K],
+) -> (Mask<N>, u32)
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    if backend.is_native() {
+        if let Some(out) = native_alg1_arr::<T, Op, K, N>(active, vindex, vdata) {
+            return out;
+        }
+    }
+    reduce_alg1_arr::<T, Op, K, N>(active, vindex, vdata)
+}
+
+/// Backend-dispatched [`reduce_alg2`]; the native realization covers `f32`
+/// sums at `N = 16` and reproduces the portable aux-array bookkeeping
+/// (touched-slot tracking included) exactly.
+pub fn reduce_alg2_with<T, Op, const N: usize>(
+    backend: crate::backend::Backend,
+    active: Mask<N>,
+    vindex: SimdVec<i32, N>,
+    vdata: &mut SimdVec<T, N>,
+    aux: &mut AuxArray<T, Op>,
+) -> (Mask<N>, u32)
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    if backend.is_native() {
+        if let Some(out) = native_alg2::<T, Op, N>(active, vindex, vdata, aux) {
+            return out;
+        }
+    }
+    reduce_alg2::<T, Op, N>(active, vindex, vdata, aux)
+}
+
+/// Reinterprets a lane array as its concrete type after a `TypeId` match.
+///
+/// # Safety
+///
+/// Caller must have checked `TypeId::of::<Src>() == TypeId::of::<Dst>()`
+/// (modulo the array layer), making this a same-type copy.
+#[cfg(target_arch = "x86_64")]
+unsafe fn reinterpret_lanes<Src: Copy, Dst: Copy>(src: &Src) -> Dst {
+    debug_assert_eq!(std::mem::size_of::<Src>(), std::mem::size_of::<Dst>());
+    // SAFETY: caller guarantees Src and Dst are the same type.
+    unsafe { std::mem::transmute_copy::<Src, Dst>(src) }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn native_alg1<T, Op, const N: usize>(
+    active: Mask<N>,
+    vindex: SimdVec<i32, N>,
+    vdata: &mut SimdVec<T, N>,
+) -> Option<(Mask<N>, u32)>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    use invector_simd::native;
+    use std::any::TypeId;
+    if N != 16 || !native::available() {
+        return None;
+    }
+    // SAFETY: N == 16 checked above, so [i32; N] is [i32; 16].
+    let idx: [i32; 16] = unsafe { reinterpret_lanes(vindex.as_array()) };
+    let bits = active.bits() as u16;
+    let t = TypeId::of::<T>();
+    let op = TypeId::of::<Op>();
+    macro_rules! dispatch {
+        ($ty:ty, $opty:ty, $f:path) => {
+            if t == TypeId::of::<$ty>() && op == TypeId::of::<$opty>() {
+                // SAFETY: T == $ty and N == 16 per the checks above.
+                let mut buf: [$ty; 16] = unsafe { reinterpret_lanes(vdata.as_array()) };
+                // SAFETY: availability checked; the primitive touches no
+                // memory beyond `buf`, so indices need no validation.
+                let (mask, d1) = unsafe { $f(bits, idx, &mut buf) };
+                // SAFETY: same-type copy back (see above).
+                *vdata = SimdVec::from_array(unsafe { reinterpret_lanes(&buf) });
+                return Some((Mask::from_bits(u32::from(mask)), d1));
+            }
+        };
+    }
+    dispatch!(f32, crate::ops::Sum, native::invec_add_f32);
+    dispatch!(f32, crate::ops::Min, native::invec_min_f32);
+    dispatch!(f32, crate::ops::Max, native::invec_max_f32);
+    dispatch!(i32, crate::ops::Sum, native::invec_add_i32);
+    dispatch!(i32, crate::ops::Min, native::invec_min_i32);
+    dispatch!(i32, crate::ops::Max, native::invec_max_i32);
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+fn native_alg1_arr<T, Op, const K: usize, const N: usize>(
+    active: Mask<N>,
+    vindex: SimdVec<i32, N>,
+    vdata: &mut [SimdVec<T, N>; K],
+) -> Option<(Mask<N>, u32)>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    use invector_simd::native;
+    use std::any::TypeId;
+    if N != 16
+        || !native::available()
+        || TypeId::of::<T>() != TypeId::of::<f32>()
+        || TypeId::of::<Op>() != TypeId::of::<crate::ops::Sum>()
+    {
+        return None;
+    }
+    // SAFETY: N == 16 and T == f32 per the checks above.
+    let idx: [i32; 16] = unsafe { reinterpret_lanes(vindex.as_array()) };
+    let mut bufs: [[f32; 16]; K] =
+        std::array::from_fn(|c| unsafe { reinterpret_lanes(vdata[c].as_array()) });
+    // SAFETY: availability checked; no memory beyond `bufs` is touched.
+    let (mask, d1) = unsafe { native::invec_add_arr_f32(active.bits() as u16, idx, &mut bufs) };
+    for (c, buf) in bufs.iter().enumerate() {
+        // SAFETY: same-type copy back.
+        vdata[c] = SimdVec::from_array(unsafe { reinterpret_lanes(buf) });
+    }
+    Some((Mask::from_bits(u32::from(mask)), d1))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn native_alg2<T, Op, const N: usize>(
+    active: Mask<N>,
+    vindex: SimdVec<i32, N>,
+    vdata: &mut SimdVec<T, N>,
+    aux: &mut AuxArray<T, Op>,
+) -> Option<(Mask<N>, u32)>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    use invector_simd::native;
+    use std::any::TypeId;
+    if N != 16
+        || !native::available()
+        || TypeId::of::<T>() != TypeId::of::<f32>()
+        || TypeId::of::<Op>() != TypeId::of::<crate::ops::Sum>()
+    {
+        return None;
+    }
+    // SAFETY: N == 16 and T == f32 per the checks above.
+    let idx: [i32; 16] = unsafe { reinterpret_lanes(vindex.as_array()) };
+    let mut buf: [f32; 16] = unsafe { reinterpret_lanes(vdata.as_array()) };
+    // SAFETY: T == f32, so Vec<T> is Vec<f32>; the slice cast preserves
+    // length and the element layout is identical.
+    let aux_data: &mut [f32] = unsafe { &mut *(aux.data.as_mut_slice() as *mut [T] as *mut [f32]) };
+    // SAFETY: availability checked; aux writes inside are bounds-checked.
+    let (mask, d2) = unsafe {
+        native::alg2_add_f32(active.bits() as u16, idx, &mut buf, aux_data, &mut aux.touched)
+    };
+    // SAFETY: same-type copy back.
+    *vdata = SimdVec::from_array(unsafe { reinterpret_lanes(&buf) });
+    Some((Mask::from_bits(u32::from(mask)), d2))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn native_alg1<T, Op, const N: usize>(
+    _active: Mask<N>,
+    _vindex: SimdVec<i32, N>,
+    _vdata: &mut SimdVec<T, N>,
+) -> Option<(Mask<N>, u32)>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    None
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn native_alg1_arr<T, Op, const K: usize, const N: usize>(
+    _active: Mask<N>,
+    _vindex: SimdVec<i32, N>,
+    _vdata: &mut [SimdVec<T, N>; K],
+) -> Option<(Mask<N>, u32)>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    None
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn native_alg2<T, Op, const N: usize>(
+    _active: Mask<N>,
+    _vindex: SimdVec<i32, N>,
+    _vdata: &mut SimdVec<T, N>,
+    _aux: &mut AuxArray<T, Op>,
+) -> Option<(Mask<N>, u32)>
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -732,6 +974,7 @@ mod tests {
         assert_eq!(v.extract(7), 0.5);
     }
 
+    #[cfg(feature = "count")]
     #[test]
     fn alg1_instruction_cost_tracks_paper_model() {
         // Paper §3.3: ~2 + 8·D1 instructions. Our emulation counts every

@@ -15,6 +15,13 @@
 //! * [`masking`] — the conflict-masking baseline (Figure 3) the paper
 //!   compares against.
 //! * [`accumulate`] — whole-stream drivers (serial / in-vector / adaptive).
+//! * [`backend`] — backend dispatch: [`Backend`] is resolved once per run
+//!   ([`backend::current`], or [`BackendChoice::resolve`] from a policy)
+//!   and routes the hot loops onto the fused native
+//!   AVX-512 drivers when the CPU has `avx512f`+`avx512cd`, falling back to
+//!   the portable model otherwise — with bitwise-identical results either
+//!   way. Every driver has a `_with(backend, …)` variant; the engine takes
+//!   the choice through [`ExecPolicy::backend`](exec::ExecPolicy).
 //! * [`exec`] — the execution engine: a persistent thread pool running any
 //!   of the drivers across workers under an [`ExecPolicy`] (owner-computes
 //!   or privatized partitioning) — the MIMD × SIMD composition the paper
@@ -26,7 +33,8 @@
 //! # Quick start
 //!
 //! ```
-//! use invector_core::{accumulate::invec_accumulate, ops::Sum};
+//! use invector_core::backend;
+//! use invector_core::{invec_accumulate, invec_accumulate_with, ops::Sum};
 //!
 //! // Histogram 10 items into 3 bins, conflict-free.
 //! let bins = [0, 1, 0, 2, 0, 1, 0, 0, 2, 0];
@@ -34,6 +42,12 @@
 //! let mut hist = vec![0.0f32; 3];
 //! invec_accumulate::<f32, Sum>(&mut hist, &bins, &weights);
 //! assert_eq!(hist, vec![6.0, 2.0, 2.0]);
+//!
+//! // Same stream on an explicit backend: `backend::current()` picks the
+//! // native AVX-512 path when the CPU has one; results are bitwise equal.
+//! let mut hist2 = vec![0.0f32; 3];
+//! invec_accumulate_with::<f32, Sum>(backend::current(), &mut hist2, &bins, &weights);
+//! assert_eq!(hist2, hist);
 //! ```
 
 #![warn(missing_docs)]
@@ -41,6 +55,7 @@
 
 pub mod accumulate;
 pub mod adaptive;
+pub mod backend;
 pub mod exec;
 pub mod invec;
 pub mod masking;
@@ -50,16 +65,18 @@ pub mod rbk;
 pub mod stats;
 
 pub use accumulate::{
-    adaptive_accumulate, invec_accumulate, native_invec_accumulate_f32, serial_accumulate,
+    adaptive_accumulate, adaptive_accumulate_with, invec_accumulate, invec_accumulate_with,
+    native_invec_accumulate_f32, serial_accumulate,
 };
 pub use adaptive::AdaptiveReducer;
+pub use backend::{Backend, BackendChoice};
 pub use exec::{
     execute, parallel_chunks, pool_initializations, ExecPlan, ExecPolicy, ExecReport, ExecVariant,
     Partition, TaskCtx, TaskItems, WorkerReport,
 };
 pub use invec::{
-    invec_add, invec_max, invec_min, reduce_alg1, reduce_alg1_arr, reduce_alg2, reduce_alg2_arr,
-    AuxArray, AuxArrays,
+    invec_add, invec_max, invec_min, reduce_alg1, reduce_alg1_arr, reduce_alg1_arr_with,
+    reduce_alg1_with, reduce_alg2, reduce_alg2_arr, reduce_alg2_with, AuxArray, AuxArrays,
 };
 pub use masking::masked_accumulate;
 pub use ops::ReduceOp;

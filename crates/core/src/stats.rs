@@ -95,6 +95,18 @@ impl DepthHistogram {
         self.buckets[(d as usize).min(16)]
     }
 
+    /// Absorbs a raw bucket array produced by a fused native driver
+    /// (`buckets[d]` invocations of depth `d`). Depths recorded this way
+    /// are ≤ 16 by construction (a 16-lane vector merges at most 8
+    /// groups), so the mean is exact.
+    pub fn absorb_buckets(&mut self, buckets: &[u64; 17]) {
+        for (d, &n) in buckets.iter().enumerate() {
+            self.buckets[d] += n;
+            self.total += d as u64 * n;
+            self.count += n;
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &DepthHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {

@@ -11,8 +11,9 @@
 //! a full compressible-flow flux — the published performance question is
 //! about the reduction/memory pattern, which is preserved exactly.
 
+use invector_core::backend::Backend;
 use invector_core::exec::parallel_chunks;
-use invector_core::invec::reduce_alg1_arr;
+use invector_core::invec::reduce_alg1_arr_with;
 use invector_core::ops::Sum;
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::{group_by_two_keys, Grouping};
@@ -110,7 +111,7 @@ pub fn flux_sweep(
         }
         Variant::Invec => {
             let mut depth = DepthHistogram::new();
-            sweep_invec(mesh, state, update, &mut depth);
+            sweep_invec(mesh, invector_core::backend::current(), state, update, &mut depth);
             (None, Some(depth))
         }
         Variant::Masked => {
@@ -173,6 +174,7 @@ fn scatter_axis(
 
 fn sweep_invec(
     mesh: &EdgeList,
+    backend: Backend,
     state: &NodeState,
     update: &mut NodeState,
     depth: &mut DepthHistogram,
@@ -185,12 +187,14 @@ fn sweep_invec(
         let flux = flux_vectors(state, active, va, vb);
 
         let mut comps = flux;
-        let (safe_a, d1) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, va, &mut comps);
+        let (safe_a, d1) =
+            reduce_alg1_arr_with::<f32, Sum, COMPONENTS, 16>(backend, active, va, &mut comps);
         depth.record(d1);
         scatter_axis(update, safe_a, va, &comps, true);
 
         let mut comps = flux;
-        let (safe_b, d2) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, vb, &mut comps);
+        let (safe_b, d2) =
+            reduce_alg1_arr_with::<f32, Sum, COMPONENTS, 16>(backend, active, vb, &mut comps);
         depth.record(d2);
         scatter_axis(update, safe_b, vb, &comps, false);
 
@@ -276,6 +280,8 @@ pub fn flux_sweep_parallel(
         return (depth, 1);
     }
     let worker = variant.exec_variant();
+    // Resolved once per sweep; worker closures capture the resolved value.
+    let backend = policy.backend.resolve();
     let (src, dst) = (mesh.src(), mesh.dst());
     let results = parallel_chunks(mesh.num_edges(), policy.threads, |_, range| {
         // Bound the private state to the chunk's touched node range.
@@ -293,7 +299,7 @@ pub fn flux_sweep_parallel(
         let mut depth = DepthHistogram::new();
         match worker {
             ExecVariant::Serial => sweep_serial_ranged(mesh, state, &mut private, lo, &range),
-            _ => sweep_invec_ranged(mesh, state, &mut private, lo, &range, &mut depth),
+            _ => sweep_invec_ranged(mesh, backend, state, &mut private, lo, &range, &mut depth),
         }
         (lo, private, depth)
     });
@@ -337,6 +343,7 @@ fn sweep_serial_ranged(
 /// node ids, the update scatters through ids rebased by `base`.
 fn sweep_invec_ranged(
     mesh: &EdgeList,
+    backend: Backend,
     state: &NodeState,
     update: &mut NodeState,
     base: usize,
@@ -353,12 +360,14 @@ fn sweep_invec_ranged(
         let (ra, rb) = (va - vbase, vb - vbase);
 
         let mut comps = flux;
-        let (safe_a, d1) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, ra, &mut comps);
+        let (safe_a, d1) =
+            reduce_alg1_arr_with::<f32, Sum, COMPONENTS, 16>(backend, active, ra, &mut comps);
         depth.record(d1);
         scatter_axis(update, safe_a, ra, &comps, true);
 
         let mut comps = flux;
-        let (safe_b, d2) = reduce_alg1_arr::<f32, Sum, COMPONENTS, 16>(active, rb, &mut comps);
+        let (safe_b, d2) =
+            reduce_alg1_arr_with::<f32, Sum, COMPONENTS, 16>(backend, active, rb, &mut comps);
         depth.record(d2);
         scatter_axis(update, safe_b, rb, &comps, false);
 
@@ -519,6 +528,7 @@ mod tests {
         assert!(var(&serial.fields[0]) < var(&state.fields[0]));
     }
 
+    #[cfg(feature = "count")]
     #[test]
     fn invec_cheaper_than_masked_in_model() {
         let mesh = triangle_mesh(24);

@@ -7,12 +7,13 @@
 
 use std::time::Instant;
 
-use invector_core::accumulate::{adaptive_accumulate, invec_accumulate, InvecStats};
+use invector_core::accumulate::{adaptive_accumulate_with, invec_accumulate_with, InvecStats};
+use invector_core::backend::Backend;
 use invector_core::exec::{run_plan, ExecPlan, ExecVariant, TaskItems};
 use invector_core::masking::PositionFeeder;
 use invector_core::ops::Sum;
 use invector_core::stats::{DepthHistogram, Utilization};
-use invector_core::{reduce_alg1, serial_accumulate};
+use invector_core::{reduce_alg1_with, serial_accumulate};
 use invector_graph::group::{group_by_key, Grouping};
 use invector_graph::tile::{tile_edges, DEFAULT_BLOCK_VERTICES};
 use invector_graph::EdgeList;
@@ -108,6 +109,9 @@ pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> 
     let mut utilization = Utilization::default();
     let mut depth = DepthHistogram::new();
     let mut iterations = 0;
+    // Resolve the reduction backend once per run (Auto → native when the
+    // CPU supports AVX-512); the hot loops below never re-probe.
+    let backend = config.exec.backend.resolve();
 
     let instr_before = invector_simd::count::read();
     let t_compute = Instant::now();
@@ -120,6 +124,7 @@ pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> 
                     plan,
                     &config.exec,
                     variant,
+                    backend,
                     &working,
                     &rank,
                     &deg,
@@ -131,7 +136,7 @@ pub fn pagerank(graph: &EdgeList, variant: Variant, config: &PageRankConfig) -> 
                 edge_phase_serial(&working, &rank, &deg, &mut sum);
             }
             (None, Variant::Invec) => {
-                edge_phase_invec(&working, &rank, &deg, &mut sum, &mut depth);
+                edge_phase_invec(&working, backend, &rank, &deg, &mut sum, &mut depth);
             }
             (None, Variant::Masked) => {
                 edge_phase_masked(&working, &rank, &deg, &mut sum, &mut utilization);
@@ -184,6 +189,7 @@ fn edge_phase_parallel(
     plan: &ExecPlan,
     exec: &ExecPolicy,
     variant: Variant,
+    backend: Backend,
     g: &EdgeList,
     rank: &[f32],
     deg: &[f32],
@@ -210,8 +216,10 @@ fn edge_phase_parallel(
                 invector_simd::count::bump(SERIAL_EDGE_COST * keys.len() as u64);
                 InvecStats::default()
             }
-            ExecVariant::Invec => invec_accumulate::<f32, Sum>(view, &keys, &vals),
-            ExecVariant::Adaptive => adaptive_accumulate::<f32, Sum>(view, &keys, &vals),
+            ExecVariant::Invec => invec_accumulate_with::<f32, Sum>(backend, view, &keys, &vals),
+            ExecVariant::Adaptive => {
+                adaptive_accumulate_with::<f32, Sum>(backend, view, &keys, &vals)
+            }
         }
     });
     for s in &stats {
@@ -237,6 +245,7 @@ fn edge_phase_serial(g: &EdgeList, rank: &[f32], deg: &[f32], sum: &mut [f32]) {
 /// In-vector reduction edge phase: the vectorized loop of Figure 7.
 fn edge_phase_invec(
     g: &EdgeList,
+    backend: Backend,
     rank: &[f32],
     deg: &[f32],
     sum: &mut [f32],
@@ -250,7 +259,8 @@ fn edge_phase_invec(
         let vrank = F32x16::zero().mask_gather(active, rank, vnx);
         let vdeg = F32x16::splat(1.0).mask_gather(active, deg, vnx);
         let mut vadd = vrank / vdeg;
-        let (safe, d) = reduce_alg1::<f32, invector_core::ops::Sum, 16>(active, vny, &mut vadd);
+        let (safe, d) =
+            reduce_alg1_with::<f32, invector_core::ops::Sum, 16>(backend, active, vny, &mut vadd);
         depth.record(d);
         let vsum = F32x16::zero().mask_gather(safe, sum, vny);
         (vsum + vadd).mask_scatter(safe, sum, vny);

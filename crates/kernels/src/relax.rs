@@ -7,9 +7,10 @@
 //! implementation strategy; the drivers in [`crate::wavefront`] iterate them
 //! to convergence.
 
+use invector_core::backend::Backend;
 use invector_core::masking::PositionFeeder;
 use invector_core::ops::ReduceOp;
-use invector_core::reduce_alg1;
+use invector_core::reduce_alg1_with;
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::Grouping;
 use invector_graph::Frontier;
@@ -122,6 +123,7 @@ fn gather_edge<R: RelaxRule>(
 /// with `invec_min`/`invec_max` before one conflict-free masked scatter.
 #[allow(clippy::too_many_arguments)]
 pub fn relax_invec<R: RelaxRule>(
+    backend: Backend,
     positions: &[u32],
     src: &[i32],
     dst: &[i32],
@@ -137,7 +139,7 @@ pub fn relax_invec<R: RelaxRule>(
         let (vpos, active) = I32x16::load_partial(&pos[j..], 0);
         let (vny, vsrc, vw) = gather_edge::<R>(active, vpos, src, dst, weight, vals);
         let mut cand = R::candidate_vec(vsrc, vw);
-        let (safe, d) = reduce_alg1::<R::Value, R::Op, 16>(active, vny, &mut cand);
+        let (safe, d) = reduce_alg1_with::<R::Value, R::Op, 16>(backend, active, vny, &mut cand);
         depth.record(d);
         let cur = SimdVec::<R::Value, 16>::zero().mask_gather(safe, new_vals, vny);
         let improved = R::improves_vec(cand, cur) & safe;
@@ -335,7 +337,17 @@ mod tests {
         let mut nv2 = init_new.to_vec();
         let mut f2 = Frontier::new(nv);
         let mut depth = DepthHistogram::new();
-        relax_invec::<R>(&positions, src, dst, weight, vals, &mut nv2, &mut f2, &mut depth);
+        relax_invec::<R>(
+            Backend::Portable,
+            &positions,
+            src,
+            dst,
+            weight,
+            vals,
+            &mut nv2,
+            &mut f2,
+            &mut depth,
+        );
         outs.push((nv2, sorted(f2)));
 
         let mut nv3 = init_new.to_vec();
@@ -473,7 +485,17 @@ mod tests {
         let mut f = Frontier::new(4);
         let mut depth = DepthHistogram::new();
         let positions: Vec<u32> = (0..16).collect();
-        relax_invec::<SsspRule>(&positions, &src, &dst, &w, &vals, &mut nv, &mut f, &mut depth);
+        relax_invec::<SsspRule>(
+            Backend::Portable,
+            &positions,
+            &src,
+            &dst,
+            &w,
+            &vals,
+            &mut nv,
+            &mut f,
+            &mut depth,
+        );
         assert_eq!(depth.invocations(), 1);
         assert_eq!(depth.mean(), 1.0);
         assert_eq!(nv[3], 1.0);
@@ -506,7 +528,17 @@ mod tests {
         let mut nv = vals.clone();
         let mut f = Frontier::new(4);
         let mut depth = DepthHistogram::new();
-        relax_invec::<SsspRule>(&positions, &src, &dst, &w, &vals, &mut nv, &mut f, &mut depth);
+        relax_invec::<SsspRule>(
+            Backend::Portable,
+            &positions,
+            &src,
+            &dst,
+            &w,
+            &vals,
+            &mut nv,
+            &mut f,
+            &mut depth,
+        );
         assert_eq!(nv, expect);
 
         let mut nv = vals.clone();

@@ -9,8 +9,9 @@
 
 use std::time::Instant;
 
+use invector_core::backend::Backend;
 use invector_core::masking::PositionFeeder;
-use invector_core::reduce_alg1;
+use invector_core::reduce_alg1_with;
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::{group_by_key, Grouping};
 use invector_graph::tile::{tile_edges, DEFAULT_BLOCK_VERTICES};
@@ -60,7 +61,9 @@ pub fn spmv(graph: &EdgeList, x: &[f32], variant: Variant) -> RunResult<f32> {
     let t = Instant::now();
     match variant {
         Variant::Serial | Variant::SerialTiled => spmv_serial(&working, x, &mut y),
-        Variant::Invec => spmv_invec(&working, x, &mut y, &mut depth),
+        Variant::Invec => {
+            spmv_invec(&working, invector_core::backend::current(), x, &mut y, &mut depth)
+        }
         Variant::Masked => spmv_masked(&working, x, &mut y, &mut utilization),
         Variant::Grouped => {
             spmv_grouped(&working, grouping.as_ref().expect("grouping built above"), x, &mut y)
@@ -91,7 +94,13 @@ fn spmv_serial(g: &EdgeList, x: &[f32], y: &mut [f32]) {
     invector_simd::count::bump(SERIAL_NNZ_COST * g.num_edges() as u64);
 }
 
-fn spmv_invec(g: &EdgeList, x: &[f32], y: &mut [f32], depth: &mut DepthHistogram) {
+fn spmv_invec(
+    g: &EdgeList,
+    backend: Backend,
+    x: &[f32],
+    y: &mut [f32],
+    depth: &mut DepthHistogram,
+) {
     let (src, dst, w) = (g.src(), g.dst(), g.weight());
     let mut j = 0;
     while j < g.num_edges() {
@@ -100,7 +109,8 @@ fn spmv_invec(g: &EdgeList, x: &[f32], y: &mut [f32], depth: &mut DepthHistogram
         let (vw, _) = F32x16::load_partial(&w[j..], 0.0);
         let vx = F32x16::zero().mask_gather(active, x, vsrc);
         let mut prod = vw * vx;
-        let (safe, d) = reduce_alg1::<f32, invector_core::ops::Sum, 16>(active, vdst, &mut prod);
+        let (safe, d) =
+            reduce_alg1_with::<f32, invector_core::ops::Sum, 16>(backend, active, vdst, &mut prod);
         depth.record(d);
         let old = F32x16::zero().mask_gather(safe, y, vdst);
         (old + prod).mask_scatter(safe, y, vdst);
@@ -209,6 +219,7 @@ mod tests {
         let _ = spmv(&g, &[1.0], Variant::Serial);
     }
 
+    #[cfg(feature = "count")]
     #[test]
     fn invec_cheaper_than_masked_in_model() {
         let g = gen::rmat(512, 8000, gen::RmatParams::SOCIAL, 62);

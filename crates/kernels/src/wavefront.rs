@@ -49,6 +49,8 @@ pub fn run<R: RelaxRule>(
     let mut utilization = Utilization::default();
     let mut depth = DepthHistogram::new();
     let mut iterations = 0;
+    // Resolved once per run: native AVX-512 when available, else portable.
+    let backend = invector_core::backend::current();
     let instr_before = invector_simd::count::read();
 
     while !frontier.is_empty() && iterations < max_iters {
@@ -67,6 +69,7 @@ pub fn run<R: RelaxRule>(
             Variant::Invec => {
                 let t = Instant::now();
                 relax_invec::<R>(
+                    backend,
                     &positions,
                     src,
                     dst,
@@ -163,6 +166,8 @@ pub fn run_with_policy<R: RelaxRule>(
     let instr_before = invector_simd::count::read();
     let plan_policy = ExecPolicy { partition: Partition::OwnerComputes, ..*policy };
     let worker = variant.exec_variant();
+    // Resolved once per run; worker closures capture the resolved value.
+    let backend = policy.backend.resolve();
 
     while !frontier.is_empty() && iterations < max_iters {
         iterations += 1;
@@ -221,6 +226,7 @@ pub fn run_with_policy<R: RelaxRule>(
                     }
                     _ => {
                         relax_invec::<R>(
+                            backend,
                             &t_pos,
                             &t_src,
                             &t_dst,

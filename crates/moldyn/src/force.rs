@@ -15,8 +15,9 @@
 
 use std::ops::Range;
 
+use invector_core::backend::Backend;
 use invector_core::exec::parallel_chunks;
-use invector_core::invec::reduce_alg1_arr;
+use invector_core::invec::reduce_alg1_arr_with;
 use invector_core::ops::Sum;
 use invector_core::stats::{DepthHistogram, Utilization};
 use invector_graph::group::Grouping;
@@ -128,6 +129,7 @@ fn pair_forces(
 /// lanes are folded in-vector, then committed with one conflict-free
 /// gather-add-scatter per axis.
 pub fn forces_invec(
+    backend: Backend,
     m: &Molecules,
     pairs: &PairList,
     cutoff: f32,
@@ -143,14 +145,14 @@ pub fn forces_invec(
 
         // Axis i: accumulate +f.
         let mut comps = [sx, sy, sz];
-        let (safe_i, d1) = reduce_alg1_arr::<f32, Sum, 3, 16>(near, vi, &mut comps);
+        let (safe_i, d1) = reduce_alg1_arr_with::<f32, Sum, 3, 16>(backend, near, vi, &mut comps);
         depth.record(d1);
         scatter_add(out, safe_i, vi, &comps, false);
 
         // Axis j: accumulate -f (fresh copies; the i-axis reduction mutated
         // its lanes).
         let mut comps = [sx, sy, sz];
-        let (safe_j, d2) = reduce_alg1_arr::<f32, Sum, 3, 16>(near, vj, &mut comps);
+        let (safe_j, d2) = reduce_alg1_arr_with::<f32, Sum, 3, 16>(backend, near, vj, &mut comps);
         depth.record(d2);
         scatter_add(out, safe_j, vj, &comps, true);
 
@@ -192,11 +194,14 @@ pub fn forces_parallel(
     policy: &ExecPolicy,
 ) -> (Option<DepthHistogram>, usize) {
     let worker = variant.exec_variant();
+    // Resolved once per evaluation; worker closures capture the resolved
+    // value.
+    let backend = policy.backend.resolve();
     if policy.threads <= 1 {
         let mut depth = DepthHistogram::new();
         match worker {
             ExecVariant::Serial => forces_serial(m, pairs, cutoff, out),
-            _ => forces_invec(m, pairs, cutoff, out, &mut depth),
+            _ => forces_invec(backend, m, pairs, cutoff, out, &mut depth),
         }
         return ((worker == ExecVariant::Invec).then_some(depth), 1);
     }
@@ -218,7 +223,9 @@ pub fn forces_parallel(
             ExecVariant::Serial => {
                 forces_serial_ranged(m, pairs, cutoff, &range, lo, &mut private);
             }
-            _ => forces_invec_ranged(m, pairs, cutoff, &range, lo, &mut private, &mut depth),
+            _ => {
+                forces_invec_ranged(backend, m, pairs, cutoff, &range, lo, &mut private, &mut depth)
+            }
         }
         (lo, private, depth)
     });
@@ -275,7 +282,9 @@ fn forces_serial_ranged(
 /// In-vector force evaluation of one pair range: positions are gathered
 /// with the global molecule ids, forces scatter through ids rebased by
 /// `base` into the private window.
+#[allow(clippy::too_many_arguments)]
 fn forces_invec_ranged(
+    backend: Backend,
     m: &Molecules,
     pairs: &PairList,
     cutoff: f32,
@@ -294,12 +303,12 @@ fn forces_invec_ranged(
         let (ri, rj) = (vi - vbase, vj - vbase);
 
         let mut comps = [sx, sy, sz];
-        let (safe_i, d1) = reduce_alg1_arr::<f32, Sum, 3, 16>(near, ri, &mut comps);
+        let (safe_i, d1) = reduce_alg1_arr_with::<f32, Sum, 3, 16>(backend, near, ri, &mut comps);
         depth.record(d1);
         scatter_add(out, safe_i, ri, &comps, false);
 
         let mut comps = [sx, sy, sz];
-        let (safe_j, d2) = reduce_alg1_arr::<f32, Sum, 3, 16>(near, rj, &mut comps);
+        let (safe_j, d2) = reduce_alg1_arr_with::<f32, Sum, 3, 16>(backend, near, rj, &mut comps);
         depth.record(d2);
         scatter_add(out, safe_j, rj, &comps, true);
 
@@ -484,7 +493,7 @@ mod tests {
 
         let mut f_invec = Forces::zeroed(n);
         let mut depth = DepthHistogram::new();
-        forces_invec(&m, &pairs, CUTOFF, &mut f_invec, &mut depth);
+        forces_invec(Backend::Portable, &m, &pairs, CUTOFF, &mut f_invec, &mut depth);
         assert_forces_close(&f_invec, &reference, 1e-3);
         assert!(depth.invocations() > 0);
 
@@ -529,7 +538,7 @@ mod tests {
 
         let mut f_invec = Forces::zeroed(n);
         let mut depth = DepthHistogram::new();
-        forces_invec(&m, &pairs, CUTOFF, &mut f_invec, &mut depth);
+        forces_invec(Backend::Portable, &m, &pairs, CUTOFF, &mut f_invec, &mut depth);
         assert_forces_close(&f_invec, &reference, 1e-3);
         assert!(depth.mean() > 0.4, "i-axis fully conflicted, mean {}", depth.mean());
 
@@ -546,7 +555,7 @@ mod tests {
         let m = fcc_lattice(2, 1);
         let mut f = Forces::zeroed(m.len());
         let mut depth = DepthHistogram::new();
-        forces_invec(&m, &PairList::default(), CUTOFF, &mut f, &mut depth);
+        forces_invec(Backend::Portable, &m, &PairList::default(), CUTOFF, &mut f, &mut depth);
         assert!(f.fx.iter().all(|&x| x == 0.0));
     }
 }

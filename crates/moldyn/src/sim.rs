@@ -88,6 +88,9 @@ pub fn simulate_with_policy(
     let mut threads_used = 1usize;
     let parallel = policy.threads > 1
         && matches!(variant, Variant::Serial | Variant::SerialTiled | Variant::Invec);
+    // Resolved once per run: native AVX-512 when the policy allows and the
+    // CPU supports it, else the portable model.
+    let backend = policy.backend.resolve();
     let instr_before = invector_simd::count::read();
 
     for iter in 0..iterations {
@@ -124,7 +127,9 @@ pub fn simulate_with_policy(
                 Variant::Serial | Variant::SerialTiled => {
                     forces_serial(&m, &pairs, CUTOFF, &mut forces);
                 }
-                Variant::Invec => forces_invec(&m, &pairs, CUTOFF, &mut forces, &mut depth),
+                Variant::Invec => {
+                    forces_invec(backend, &m, &pairs, CUTOFF, &mut forces, &mut depth);
+                }
                 Variant::Masked => {
                     forces_masked(&m, &pairs, CUTOFF, &mut forces, &mut scratch, &mut utilization);
                 }

@@ -86,7 +86,7 @@ proptest! {
         };
         let mut invec = Forces::zeroed(n);
         let mut depth = DepthHistogram::new();
-        forces_invec(&m, &pairs, cutoff, &mut invec, &mut depth);
+        forces_invec(invector_core::backend::current(), &m, &pairs, cutoff, &mut invec, &mut depth);
         prop_assert!(close(&invec, &serial), "invec diverged");
 
         let mut masked = Forces::zeroed(n);

@@ -6,9 +6,14 @@
 //! reduction Algorithm 1 costs about `2 + 8 · D1` instructions — by
 //! measuring, not estimating.
 //!
-//! Counting a thread-local `Cell<u64>` bump is a couple of cycles; it is
-//! always enabled so that statistics never silently disagree with what the
-//! benchmarks executed.
+//! Counting a thread-local `Cell<u64>` bump is a couple of cycles. It is
+//! controlled by the crate's on-by-default **`count`** cargo feature: with
+//! the feature enabled (the default) every emulated operation is accounted,
+//! so statistics never silently disagree with what the benchmarks executed;
+//! building with `--no-default-features` compiles every counter call to a
+//! no-op, which is what pure wall-clock benchmarks of the portable model
+//! want. [`enabled`] reports at runtime which mode was compiled in, and all
+//! read-side functions degrade to returning `0` when counting is off.
 //!
 //! # Example
 //!
@@ -17,10 +22,11 @@
 //!
 //! count::reset();
 //! let v = F32x16::splat(1.0) + F32x16::splat(2.0);
-//! assert!(count::read() >= 1);
+//! assert!(count::read() >= 1 || !count::enabled());
 //! assert_eq!(v.extract(0), 3.0);
 //! ```
 
+#[cfg(feature = "count")]
 use std::cell::Cell;
 
 /// Modeled cost of one 16-lane gather, in instruction units.
@@ -35,37 +41,68 @@ pub const GATHER_COST: u64 = 8;
 /// Modeled cost of one 16-lane scatter (see [`GATHER_COST`]).
 pub const SCATTER_COST: u64 = 8;
 
+#[cfg(feature = "count")]
 thread_local! {
     static SIMD_INSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
 }
 
+/// `true` when the crate was compiled with the `count` feature (the
+/// default), i.e. when [`bump`] actually records and [`read`] actually
+/// reports executed instructions.
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "count")
+}
+
 /// Records `n` executed SIMD instructions on the current thread.
+///
+/// Compiles to a no-op without the `count` feature.
 #[inline(always)]
 pub fn bump(n: u64) {
+    #[cfg(feature = "count")]
     SIMD_INSTRUCTIONS.with(|c| c.set(c.get().wrapping_add(n)));
+    #[cfg(not(feature = "count"))]
+    let _ = n;
 }
 
 /// Returns the number of SIMD instructions recorded on this thread since the
-/// last [`reset`].
+/// last [`reset`] (always `0` without the `count` feature).
 #[inline]
 pub fn read() -> u64 {
-    SIMD_INSTRUCTIONS.with(Cell::get)
+    #[cfg(feature = "count")]
+    {
+        SIMD_INSTRUCTIONS.with(Cell::get)
+    }
+    #[cfg(not(feature = "count"))]
+    {
+        0
+    }
 }
 
 /// Resets this thread's instruction counter to zero.
 #[inline]
 pub fn reset() {
+    #[cfg(feature = "count")]
     SIMD_INSTRUCTIONS.with(|c| c.set(0));
 }
 
-/// Returns the current count and resets the counter in one step.
+/// Returns the current count and resets the counter in one step (always `0`
+/// without the `count` feature).
 #[inline]
 pub fn take() -> u64 {
-    SIMD_INSTRUCTIONS.with(|c| c.replace(0))
+    #[cfg(feature = "count")]
+    {
+        SIMD_INSTRUCTIONS.with(|c| c.replace(0))
+    }
+    #[cfg(not(feature = "count"))]
+    {
+        0
+    }
 }
 
 /// Runs `f` and returns its result together with the number of SIMD
-/// instructions it executed on this thread.
+/// instructions it executed on this thread (`0` without the `count`
+/// feature).
 ///
 /// The surrounding count is preserved: instructions recorded by `f` are also
 /// visible to any enclosing [`with`] or [`read`].
@@ -76,7 +113,7 @@ pub fn take() -> u64 {
 /// use invector_simd::{count, I32x16};
 ///
 /// let (_, n) = count::with(|| I32x16::splat(3) + I32x16::splat(4));
-/// assert!(n >= 1);
+/// assert!(n >= 1 || !count::enabled());
 /// ```
 pub fn with<R>(f: impl FnOnce() -> R) -> (R, u64) {
     let before = read();
@@ -89,6 +126,12 @@ mod tests {
     use super::*;
 
     #[test]
+    fn enabled_reflects_feature() {
+        assert_eq!(enabled(), cfg!(feature = "count"));
+    }
+
+    #[cfg(feature = "count")]
+    #[test]
     fn bump_and_read_round_trip() {
         reset();
         bump(3);
@@ -98,6 +141,18 @@ mod tests {
         assert_eq!(read(), 0);
     }
 
+    #[cfg(not(feature = "count"))]
+    #[test]
+    fn disabled_counting_reads_zero() {
+        reset();
+        bump(3);
+        assert_eq!(read(), 0);
+        assert_eq!(take(), 0);
+        let ((), n) = with(|| bump(11));
+        assert_eq!(n, 0);
+    }
+
+    #[cfg(feature = "count")]
     #[test]
     fn with_reports_nested_cost_without_losing_outer_count() {
         reset();
@@ -107,6 +162,7 @@ mod tests {
         assert_eq!(read(), 16);
     }
 
+    #[cfg(feature = "count")]
     #[test]
     fn counters_are_per_thread() {
         reset();

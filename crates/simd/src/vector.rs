@@ -811,6 +811,7 @@ mod tests {
         assert_eq!(arr, back);
     }
 
+    #[cfg(feature = "count")]
     #[test]
     fn instruction_counting_charges_ops() {
         count::reset();

@@ -8,11 +8,14 @@ use invector::core::invec::{reduce_alg1, reduce_alg2, AuxArray};
 use invector::core::ops::Sum;
 use invector::graph::datasets;
 use invector::kernels::{pagerank, sssp, PageRankConfig, Variant};
-use invector::simd::{count, F32x16, I32x16, Mask16};
+#[cfg(feature = "count")]
+use invector::simd::count;
+use invector::simd::{F32x16, I32x16, Mask16};
 
 /// §3.3: "an invocation of Algorithm 1 takes no more than 2 + 8·D1
 /// instructions" — our model charges every SIMD op, so validate the
 /// linear-in-D1 structure within a small constant band.
+#[cfg(feature = "count")]
 #[test]
 fn alg1_cost_is_linear_in_d1() {
     let mut costs = Vec::new();
@@ -87,6 +90,7 @@ fn adaptive_policy_matches_workload_classes() {
 
 /// §4.2/§4.4 shape: in-vector reduction beats conflict-masking in modeled
 /// instructions, with the margin growing as skew rises.
+#[cfg(feature = "count")]
 #[test]
 fn invec_beats_masking_and_margin_grows_with_skew() {
     let dataset = datasets::higgs_twitter(datasets::TEST_SCALE);
