@@ -144,11 +144,25 @@ impl BucketTable {
     ///
     /// Panics on negative keys, length mismatch, or table overflow.
     pub fn aggregate_invec(&mut self, keys: &[i32], vals: &[f32]) -> ProbeStats {
+        // Resolved once per aggregation run.
+        self.aggregate_invec_with(invector_core::backend::current(), keys, vals)
+    }
+
+    /// [`BucketTable::aggregate_invec`] against an explicitly resolved
+    /// backend (the in-vector reduction is the backend-dispatched step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative keys, length mismatch, or table overflow.
+    pub fn aggregate_invec_with(
+        &mut self,
+        backend: invector_core::backend::Backend,
+        keys: &[i32],
+        vals: &[f32],
+    ) -> ProbeStats {
         assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
         assert!(keys.iter().all(|&k| k >= 0), "group-by keys must be non-negative");
         let mut stats = ProbeStats::default();
-        // Resolved once per aggregation run.
-        let backend = invector_core::backend::current();
         let mut j = 0;
         while j < keys.len() {
             let (vkey, active) = I32x16::load_partial(&keys[j..], EMPTY);

@@ -81,7 +81,8 @@ impl AggOutcome {
 pub fn aggregate(method: Method, keys: &[i32], vals: &[f32], cardinality: usize) -> AggOutcome {
     let instr_before = invector_simd::count::read();
     let start = Instant::now();
-    let (rows, stats) = run_method(method, keys, vals, cardinality);
+    let (rows, stats) =
+        run_method(method, invector_core::backend::current(), keys, vals, cardinality);
     AggOutcome {
         rows,
         elapsed: start.elapsed(),
@@ -110,14 +111,24 @@ pub fn aggregate_with_policy(
     cardinality: usize,
     policy: &ExecPolicy,
 ) -> AggOutcome {
+    // Resolved once per run; worker closures capture the resolved value.
+    let backend = policy.backend.resolve();
     if policy.threads <= 1 {
-        return aggregate(method, keys, vals, cardinality);
+        let instr_before = invector_simd::count::read();
+        let start = Instant::now();
+        let (rows, stats) = run_method(method, backend, keys, vals, cardinality);
+        return AggOutcome {
+            rows,
+            elapsed: start.elapsed(),
+            instructions: invector_simd::count::read().wrapping_sub(instr_before),
+            stats,
+        };
     }
     assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
     let instr_before = invector_simd::count::read();
     let start = Instant::now();
     let results = parallel_chunks(keys.len(), policy.threads, |_, range| {
-        run_method(method, &keys[range.clone()], &vals[range], cardinality)
+        run_method(method, backend, &keys[range.clone()], &vals[range], cardinality)
     });
     let mut merged: std::collections::BTreeMap<i32, AggRow> = std::collections::BTreeMap::new();
     let mut stats = ProbeStats::default();
@@ -142,9 +153,12 @@ pub fn aggregate_with_policy(
     }
 }
 
-/// Builds the method's table over one key/value stream and drains it.
+/// Builds the method's table over one key/value stream and drains it. The
+/// in-vector methods reduce through `backend`; the mask/serial methods are
+/// backend-independent.
 fn run_method(
     method: Method,
+    backend: invector_core::backend::Backend,
     keys: &[i32],
     vals: &[f32],
     cardinality: usize,
@@ -162,7 +176,7 @@ fn run_method(
         }
         Method::LinearInvec => {
             let mut t = LinearTable::for_cardinality(cardinality);
-            let stats = t.aggregate_invec(keys, vals);
+            let stats = t.aggregate_invec_with(backend, keys, vals);
             (t.drain(), stats)
         }
         Method::BucketMask => {
@@ -172,7 +186,7 @@ fn run_method(
         }
         Method::BucketInvec => {
             let mut t = BucketTable::for_cardinality(cardinality);
-            let stats = t.aggregate_invec(keys, vals);
+            let stats = t.aggregate_invec_with(backend, keys, vals);
             (t.drain(), stats)
         }
     }

@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 use invector_bench::arg_scale;
 use invector_core::backend::Backend;
 use invector_core::ops::{Max, Min, Sum};
-use invector_core::{invec_accumulate, invec_accumulate_with};
+use invector_core::{invec_accumulate, invec_accumulate_with, BackendChoice};
+use invector_harness::{registry, RunSpec};
+use invector_kernels::{ExecPolicy, Variant};
 use invector_simd::native;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -131,7 +133,53 @@ fn main() {
     bench!("min_i32", i32, Min, &ivals, i32::MAX);
     bench!("max_i32", i32, Max, &ivals, i32::MIN);
 
-    print_json(scale, items, &rows);
+    print_json(scale, items, &rows, &app_rows(scale));
+}
+
+/// End-to-end registry rows: each application's in-vector variant on the
+/// portable model vs the native backend, through the harness pipeline. The
+/// micro rows above isolate the accumulation driver; these put the same
+/// backends under the full kernels.
+fn app_rows(scale: f64) -> Vec<AppRow> {
+    let spec = RunSpec { scale, iters: 20, ..RunSpec::small() };
+    let mut rows = Vec::new();
+    for app in registry::all() {
+        let workload = match app.prepare(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", app.name());
+                continue;
+            }
+        };
+        let time = |choice: BackendChoice| {
+            let policy = ExecPolicy::default().backend(choice);
+            let mut best = f64::INFINITY;
+            for _ in 0..APP_REPS {
+                best = best.min(workload.run(Variant::Invec, &policy).elapsed().as_secs_f64());
+            }
+            best
+        };
+        let portable_secs = time(BackendChoice::Portable);
+        let native_secs = native::available().then(|| time(BackendChoice::Native));
+        rows.push(AppRow {
+            app: app.name(),
+            input: workload.describe(),
+            portable_secs,
+            native_secs,
+        });
+    }
+    rows
+}
+
+/// Repetitions per (app, backend); whole-kernel runs are long enough that
+/// best-of-few is stable.
+const APP_REPS: usize = 5;
+
+struct AppRow {
+    app: &'static str,
+    input: String,
+    portable_secs: f64,
+    native_secs: Option<f64>,
 }
 
 /// Interleaved repetitions per (kernel, generator, path).
@@ -153,7 +201,7 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
-fn print_json(scale: f64, items: usize, rows: &[Row]) {
+fn print_json(scale: f64, items: usize, rows: &[Row], apps: &[AppRow]) {
     println!("{{");
     println!("  \"experiment\": \"native_vs_model\",");
     println!("  \"scale\": {scale},");
@@ -178,6 +226,25 @@ fn print_json(scale: f64, items: usize, rows: &[Row]) {
             }
         }
         println!("    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    println!("  ],");
+    println!("  \"apps\": [");
+    for (i, r) in apps.iter().enumerate() {
+        println!("    {{");
+        println!("      \"app\": \"{}\",", r.app);
+        println!("      \"input\": \"{}\",", r.input);
+        println!("      \"portable_secs\": {:.6},", r.portable_secs);
+        match r.native_secs {
+            Some(n) => {
+                println!("      \"native_secs\": {n:.6},");
+                println!("      \"speedup\": {:.2}", r.portable_secs / n.max(1e-12));
+            }
+            None => {
+                println!("      \"native_secs\": null,");
+                println!("      \"speedup\": null");
+            }
+        }
+        println!("    }}{}", if i + 1 < apps.len() { "," } else { "" });
     }
     println!("  ]");
     println!("}}");

@@ -1,90 +1,80 @@
 //! MIMD×SIMD scaling: speedup of the thread-pooled execution engine over
-//! the single-threaded driver, for the PageRank edge phase (power-law and
-//! uniform graphs) and the Moldyn force phase, per variant.
+//! the single-threaded driver, for every registered application with an
+//! engine path, per variant.
 //!
-//! Emits one JSON document on stdout — `threads → speedup` series suitable
-//! for plotting — so results can be diffed across machines.
+//! Rows come from the harness registry — any application added there shows
+//! up here with no bench changes. Emits one JSON document on stdout —
+//! `threads → speedup` series suitable for plotting — so results can be
+//! diffed across machines.
 //!
 //! Run: `cargo run --release -p invector-bench --bin parallel_scaling
 //!       [--scale f | --full]`
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use invector_bench::arg_scale;
-use invector_graph::gen::{rmat, uniform, RmatParams};
-use invector_graph::EdgeList;
-use invector_kernels::{pagerank, ExecPolicy, PageRankConfig, Variant};
-use invector_moldyn::input::input_16_3_0r;
-use invector_moldyn::sim::simulate_with_policy;
+use invector_harness::{registry, RunSpec};
+use invector_kernels::{ExecPolicy, Variant};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The engine's per-worker strategies: the scalar baseline and the
+/// in-vector reduction every vectorized variant maps onto.
 const VARIANTS: [Variant; 2] = [Variant::Serial, Variant::Invec];
 
 struct Series {
-    workload: &'static str,
-    generator: &'static str,
-    variant: Variant,
+    app: &'static str,
+    input: String,
+    label: &'static str,
     /// `(threads, seconds)` per sweep point.
     points: Vec<(usize, f64)>,
 }
 
 fn main() {
     let scale = arg_scale(0.1);
+    // The small preset at the requested dataset scale; a modest iteration
+    // budget keeps the 8-thread sweep per app tractable.
+    let spec = RunSpec { scale, iters: 20, ..RunSpec::small() };
     let mut series: Vec<Series> = Vec::new();
 
-    // PageRank edge phase on the two generator families of the paper's
-    // dataset table: skewed (RMAT, power-law degrees) and uniform.
-    let nv = ((1 << 17) as f64 * scale) as usize + 16;
-    let ne = nv * 16;
-    let graphs: [(&str, EdgeList); 2] = [
-        ("power-law", rmat(nv.next_power_of_two(), ne, RmatParams::SOCIAL, 42)),
-        ("uniform", uniform(nv, ne, 42)),
-    ];
-    for (generator, graph) in &graphs {
+    for app in registry::all() {
+        if !app.supports_threads() {
+            continue;
+        }
+        let workload = match app.prepare(&spec) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", app.name());
+                continue;
+            }
+        };
         for variant in VARIANTS {
+            if !app.variants().contains(&variant) {
+                continue;
+            }
             let mut points = Vec::new();
             for threads in THREADS {
-                let config = PageRankConfig {
-                    exec: ExecPolicy::with_threads(threads),
-                    ..PageRankConfig::default()
-                };
-                let elapsed = best_of(3, || {
-                    let r = pagerank(graph, variant, &config);
-                    r.timings.compute
-                });
+                let policy = ExecPolicy::with_threads(threads);
+                let elapsed = best_of(3, || workload.run(variant, &policy).timings.compute);
                 points.push((threads, elapsed));
             }
-            series.push(Series { workload: "pagerank", generator, variant, points });
-        }
-    }
-
-    // Moldyn force phase (pair streams are locality-windowed rather than
-    // generator-shaped; one input suffices for the sweep).
-    let molecules = input_16_3_0r(scale.min(0.02));
-    for variant in VARIANTS {
-        let mut points = Vec::new();
-        for threads in THREADS {
-            let policy = ExecPolicy::with_threads(threads);
-            let elapsed = best_of(3, || {
-                let r = simulate_with_policy(&molecules, variant, 10, &policy);
-                r.timings.compute
+            series.push(Series {
+                app: app.name(),
+                input: workload.describe(),
+                label: variant.label(app.tiling()),
+                points,
             });
-            points.push((threads, elapsed));
         }
-        series.push(Series { workload: "moldyn", generator: "16-3.0r", variant, points });
     }
 
     print_json(scale, &series);
 }
 
-/// Best (minimum) measured duration of `runs` attempts, in seconds.
+/// Best (minimum) measured compute duration of `runs` attempts, in seconds.
 fn best_of(runs: usize, mut f: impl FnMut() -> Duration) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..runs {
-        let t = Instant::now();
-        let d = f();
-        let _ = t.elapsed();
-        best = best.min(d.as_secs_f64());
+        best = best.min(f().as_secs_f64());
     }
     best
 }
@@ -97,9 +87,9 @@ fn print_json(scale: f64, series: &[Series]) {
     for (i, s) in series.iter().enumerate() {
         let base = s.points.first().map_or(f64::NAN, |&(_, t)| t);
         println!("    {{");
-        println!("      \"workload\": \"{}\",", s.workload);
-        println!("      \"generator\": \"{}\",", s.generator);
-        println!("      \"variant\": \"{}\",", s.variant.tiled_label());
+        println!("      \"app\": \"{}\",", s.app);
+        println!("      \"input\": \"{}\",", s.input);
+        println!("      \"variant\": \"{}\",", s.label);
         let threads: Vec<String> = s.points.iter().map(|&(t, _)| t.to_string()).collect();
         println!("      \"threads\": [{}],", threads.join(", "));
         let speedups: Vec<String> =

@@ -70,6 +70,23 @@ pub fn all(scale: f64) -> Vec<Dataset> {
     vec![higgs_twitter(scale), soc_pokec(scale), amazon0312(scale)]
 }
 
+/// The registered dataset names, in paper order.
+pub const NAMES: [&str; 3] = ["higgs-twitter", "soc-Pokec", "amazon0312"];
+
+/// Generates one dataset by its Table 1 name (matched case-insensitively).
+///
+/// # Errors
+///
+/// Returns a message listing the registered names.
+pub fn by_name(name: &str, scale: f64) -> Result<Dataset, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "higgs-twitter" => Ok(higgs_twitter(scale)),
+        "soc-pokec" => Ok(soc_pokec(scale)),
+        "amazon0312" => Ok(amazon0312(scale)),
+        _ => Err(format!("unknown dataset '{name}' (one of: {})", NAMES.join(" | "))),
+    }
+}
+
 /// A small scale suitable for unit/integration tests (fractions of a second
 /// per algorithm run).
 pub const TEST_SCALE: f64 = 0.002;
@@ -110,6 +127,18 @@ mod tests {
         let higgs = higgs_twitter(0.01);
         let amazon = amazon0312(0.01);
         assert!(in_degree_gini(&higgs.graph) > in_degree_gini(&amazon.graph) + 0.15);
+    }
+
+    #[test]
+    fn by_name_resolves_every_registered_dataset() {
+        for name in NAMES {
+            let d = by_name(name, TEST_SCALE).unwrap();
+            assert_eq!(d.name, name);
+        }
+        // Case-insensitive, matching the CLI's historical behaviour.
+        assert_eq!(by_name("SOC-POKEC", TEST_SCALE).unwrap().name, "soc-Pokec");
+        let err = by_name("twitter", TEST_SCALE).unwrap_err();
+        assert!(err.contains("higgs-twitter"), "{err}");
     }
 
     #[test]

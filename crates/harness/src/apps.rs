@@ -1,0 +1,572 @@
+//! The nine registered applications, each adapting one kernel crate onto
+//! the [`Kernel`] / [`Workload`] contract.
+
+use std::time::Instant;
+
+use invector_agg::{self as agg, Method};
+use invector_graph::datasets::{self, Dataset};
+use invector_kernels::euler::{self, COMPONENTS};
+use invector_kernels::{
+    bfs_with_policy, pagerank, spmv_with_policy, sssp_with_policy, sswp_with_policy,
+    wcc_with_policy, ExecPolicy, PageRankConfig, RunResult, TilingMode, Timings, Variant,
+};
+use invector_moldyn::input::{fcc_lattice, Molecules};
+use invector_moldyn::sim::simulate_with_policy;
+
+use crate::kernel::{Kernel, RunRecord, Workload};
+use crate::spec::RunSpec;
+
+/// Deterministic seed for synthesized inputs (moldyn lattice jitter, the
+/// aggregation key stream) — fixed so golden checksums are reproducible.
+const INPUT_SEED: u64 = 0x1b_f2_9d;
+
+/// Explicit-Euler step size; small enough that the tiny/small meshes stay
+/// numerically tame over the spec's iteration budget.
+const EULER_DT: f32 = 1e-3;
+
+/// Resolves the dataset a graph workload should run: the spec's request, or
+/// the kernel's first registered dataset.
+fn resolve_dataset(spec: &RunSpec, names: &'static [&'static str]) -> Result<Dataset, String> {
+    let name = spec.dataset.as_deref().unwrap_or(names[0]);
+    if !names.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+        return Err(format!("dataset '{}' not registered (one of: {})", name, names.join(" | ")));
+    }
+    datasets::by_name(name, spec.scale)
+}
+
+/// Clamps the spec's source vertex into the graph's vertex range.
+fn resolve_source(spec: &RunSpec, dataset: &Dataset) -> Result<i32, String> {
+    let n = dataset.graph.num_vertices();
+    if n == 0 {
+        return Err(format!("{} generated an empty graph at this scale", dataset.name));
+    }
+    Ok(spec.source.clamp(0, n as i32 - 1))
+}
+
+fn describe_graph(dataset: &Dataset) -> String {
+    format!(
+        "{}: {} vertices, {} edges",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges()
+    )
+}
+
+/// Widens a kernel [`RunResult`] into the harness record. `f32` and `i32`
+/// both widen to `f64` exactly, so bitwise agreement is preserved.
+fn from_run_result<T: Copy + Into<f64>>(
+    app: &'static str,
+    variant: Variant,
+    mode: TilingMode,
+    policy: &ExecPolicy,
+    r: RunResult<T>,
+) -> RunRecord {
+    RunRecord {
+        app,
+        variant,
+        label: variant.label(mode),
+        values: r.values.iter().map(|&v| v.into()).collect(),
+        iterations: r.iterations,
+        timings: r.timings,
+        instructions: r.instructions,
+        utilization: r.utilization,
+        depth: r.depth,
+        threads: r.threads,
+        backend: policy.backend.resolve(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------------
+
+/// PageRank power iteration over the Table 1 graphs (Figure 8).
+pub struct PageRankApp;
+
+struct PageRankWorkload {
+    dataset: Dataset,
+    max_iters: u32,
+}
+
+impl Kernel for PageRankApp {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+    fn summary(&self) -> &'static str {
+        "PageRank power iteration; per-vertex rank scatter-add (Fig. 8)"
+    }
+    fn datasets(&self) -> &'static [&'static str] {
+        &datasets::NAMES
+    }
+    fn variants(&self) -> &'static [Variant] {
+        &Variant::ALL
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Tiled
+    }
+    fn tolerance(&self) -> f64 {
+        5e-3
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        let dataset = resolve_dataset(spec, self.datasets())?;
+        Ok(Box::new(PageRankWorkload { dataset, max_iters: spec.iters }))
+    }
+}
+
+impl Workload for PageRankWorkload {
+    fn describe(&self) -> String {
+        describe_graph(&self.dataset)
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let config = PageRankConfig {
+            max_iters: self.max_iters,
+            exec: *policy,
+            ..PageRankConfig::default()
+        };
+        let r = pagerank(&self.dataset.graph, variant, &config);
+        from_run_result("pagerank", variant, TilingMode::Tiled, policy, r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpMV
+// ---------------------------------------------------------------------------
+
+/// Sparse matrix–vector product in scatter-add (push) form.
+pub struct SpmvApp;
+
+struct SpmvWorkload {
+    dataset: Dataset,
+    x: Vec<f32>,
+}
+
+impl Kernel for SpmvApp {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+    fn summary(&self) -> &'static str {
+        "Sparse matrix-vector product, push-style scatter-add (Fig. 9)"
+    }
+    fn datasets(&self) -> &'static [&'static str] {
+        &datasets::NAMES
+    }
+    fn variants(&self) -> &'static [Variant] {
+        &Variant::ALL
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Tiled
+    }
+    fn tolerance(&self) -> f64 {
+        1e-3
+    }
+    fn supports_threads(&self) -> bool {
+        // One sweep over a static edge set; no engine path.
+        false
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        let dataset = resolve_dataset(spec, self.datasets())?;
+        let x = (0..dataset.graph.num_vertices()).map(|i| (i as f32 * 0.37).sin()).collect();
+        Ok(Box::new(SpmvWorkload { dataset, x }))
+    }
+}
+
+impl Workload for SpmvWorkload {
+    fn describe(&self) -> String {
+        describe_graph(&self.dataset)
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let r = spmv_with_policy(&self.dataset.graph, &self.x, variant, policy);
+        from_run_result("spmv", variant, TilingMode::Tiled, policy, r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wave-frontier kernels: SSSP / SSWP / BFS / WCC
+// ---------------------------------------------------------------------------
+
+/// Shapes one wavefront kernel into an app; the four differ only in the
+/// relaxation rule behind the shared driver, so one adapter covers them.
+macro_rules! wave_app {
+    ($app:ident, $workload:ident, $name:literal, $summary:literal, $needs_source:expr,
+     $run:expr) => {
+        #[doc = $summary]
+        pub struct $app;
+
+        struct $workload {
+            dataset: Dataset,
+            source: i32,
+            max_iters: u32,
+        }
+
+        impl Kernel for $app {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn summary(&self) -> &'static str {
+                $summary
+            }
+            fn datasets(&self) -> &'static [&'static str] {
+                &datasets::NAMES
+            }
+            fn variants(&self) -> &'static [Variant] {
+                &Variant::ALL
+            }
+            fn tiling(&self) -> TilingMode {
+                TilingMode::Frontier
+            }
+            fn tolerance(&self) -> f64 {
+                // Min/max reductions are exact: demand bitwise agreement.
+                0.0
+            }
+            fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+                let dataset = resolve_dataset(spec, self.datasets())?;
+                let source = if $needs_source { resolve_source(spec, &dataset)? } else { 0 };
+                Ok(Box::new($workload { dataset, source, max_iters: spec.iters }))
+            }
+        }
+
+        impl Workload for $workload {
+            fn describe(&self) -> String {
+                if $needs_source {
+                    format!("{} (source {})", describe_graph(&self.dataset), self.source)
+                } else {
+                    describe_graph(&self.dataset)
+                }
+            }
+            fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+                #[allow(clippy::redundant_closure_call)]
+                let r = ($run)(self, variant, policy);
+                from_run_result($name, variant, TilingMode::Frontier, policy, r)
+            }
+        }
+    };
+}
+
+wave_app!(
+    SsspApp,
+    SsspWorkload,
+    "sssp",
+    "Single-source shortest paths, Bellman-Ford wavefront (Fig. 10)",
+    true,
+    |w: &SsspWorkload, variant, policy| sssp_with_policy(
+        &w.dataset.graph,
+        w.source,
+        variant,
+        w.max_iters,
+        policy
+    )
+);
+
+wave_app!(
+    SswpApp,
+    SswpWorkload,
+    "sswp",
+    "Single-source widest paths, max-min wavefront relaxation",
+    true,
+    |w: &SswpWorkload, variant, policy| sswp_with_policy(
+        &w.dataset.graph,
+        w.source,
+        variant,
+        w.max_iters,
+        policy
+    )
+);
+
+wave_app!(
+    BfsApp,
+    BfsWorkload,
+    "bfs",
+    "Breadth-first search hop counts via min-relaxation wavefront",
+    true,
+    |w: &BfsWorkload, variant, policy| bfs_with_policy(
+        &w.dataset.graph,
+        w.source,
+        variant,
+        w.max_iters,
+        policy
+    )
+);
+
+wave_app!(
+    WccApp,
+    WccWorkload,
+    "wcc",
+    "Weakly connected components by min-label propagation",
+    false,
+    |w: &WccWorkload, variant, policy| wcc_with_policy(
+        &w.dataset.graph,
+        variant,
+        w.max_iters,
+        policy
+    )
+);
+
+// ---------------------------------------------------------------------------
+// Euler
+// ---------------------------------------------------------------------------
+
+/// Explicit-Euler flux accumulation on an unstructured triangle mesh.
+pub struct EulerApp;
+
+struct EulerWorkload {
+    mesh: invector_graph::EdgeList,
+    state: euler::NodeState,
+    side: usize,
+    iterations: u32,
+}
+
+impl Kernel for EulerApp {
+    fn name(&self) -> &'static str {
+        "euler"
+    }
+    fn summary(&self) -> &'static str {
+        "Explicit Euler flux sweep over a triangle mesh (Fig. 11)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        &Variant::ALL
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Tiled
+    }
+    fn tolerance(&self) -> f64 {
+        2e-3
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.mesh < 2 {
+            return Err(format!("mesh side must be at least 2, got {}", spec.mesh));
+        }
+        let mesh = euler::triangle_mesh(spec.mesh);
+        let state = euler::initial_state(mesh.num_vertices());
+        Ok(Box::new(EulerWorkload { mesh, state, side: spec.mesh, iterations: spec.iters }))
+    }
+}
+
+impl Workload for EulerWorkload {
+    fn describe(&self) -> String {
+        format!(
+            "{0}x{0} triangle mesh: {1} nodes, {2} directed edges",
+            self.side,
+            self.mesh.num_vertices(),
+            self.mesh.num_edges()
+        )
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let instr_before = invector_simd::count::read();
+        let start = Instant::now();
+        let (state, threads) = euler::euler_run_with_policy(
+            &self.mesh,
+            &self.state,
+            variant,
+            self.iterations,
+            EULER_DT,
+            policy,
+        );
+        let timings = Timings { compute: start.elapsed(), ..Timings::default() };
+        let mut values = Vec::with_capacity(COMPONENTS * state.len());
+        for field in &state.fields {
+            values.extend(field.iter().map(|&v| f64::from(v)));
+        }
+        RunRecord {
+            app: "euler",
+            variant,
+            label: variant.label(TilingMode::Tiled),
+            values,
+            iterations: self.iterations,
+            timings,
+            instructions: invector_simd::count::read().wrapping_sub(instr_before),
+            utilization: None,
+            depth: None,
+            threads,
+            backend: policy.backend.resolve(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Moldyn
+// ---------------------------------------------------------------------------
+
+/// Lennard-Jones molecular dynamics with neighbor-list force accumulation.
+pub struct MoldynApp;
+
+struct MoldynWorkload {
+    initial: Molecules,
+    cells: usize,
+    iterations: u32,
+}
+
+impl Kernel for MoldynApp {
+    fn name(&self) -> &'static str {
+        "moldyn"
+    }
+    fn summary(&self) -> &'static str {
+        "Lennard-Jones molecular dynamics, neighbor-list forces (Fig. 12)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        &Variant::ALL
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Tiled
+    }
+    fn tolerance(&self) -> f64 {
+        1e-2
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.lattice == 0 {
+            return Err("lattice must have at least one cell".into());
+        }
+        Ok(Box::new(MoldynWorkload {
+            initial: fcc_lattice(spec.lattice, INPUT_SEED),
+            cells: spec.lattice,
+            iterations: spec.iters,
+        }))
+    }
+}
+
+impl Workload for MoldynWorkload {
+    fn describe(&self) -> String {
+        format!(
+            "{0}x{0}x{0} FCC lattice: {1} molecules, box {2:.2}",
+            self.cells,
+            self.initial.len(),
+            self.initial.box_size
+        )
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let r = simulate_with_policy(&self.initial, variant, self.iterations, policy);
+        let m = &r.molecules;
+        let mut values = Vec::with_capacity(6 * m.len());
+        for series in [&m.px, &m.py, &m.pz, &m.vx, &m.vy, &m.vz] {
+            values.extend(series.iter().map(|&v| f64::from(v)));
+        }
+        RunRecord {
+            app: "moldyn",
+            variant,
+            label: variant.label(TilingMode::Tiled),
+            values,
+            iterations: r.iterations,
+            timings: r.timings,
+            instructions: r.instructions,
+            utilization: r.utilization,
+            depth: r.depth,
+            threads: r.threads,
+            backend: policy.backend.resolve(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Hash-based group-by aggregation over skewed key streams.
+pub struct AggApp;
+
+struct AggWorkload {
+    input: agg::Input,
+    dist: agg::Distribution,
+}
+
+/// Variants map onto the aggregation methods of Figure 13: the bucketized
+/// table is the representative layout for both vectorized strategies.
+fn agg_method(variant: Variant) -> Method {
+    match variant {
+        Variant::Masked => Method::BucketMask,
+        Variant::Invec => Method::BucketInvec,
+        _ => Method::LinearSerial,
+    }
+}
+
+impl Kernel for AggApp {
+    fn name(&self) -> &'static str {
+        "agg"
+    }
+    fn summary(&self) -> &'static str {
+        "Hash group-by aggregation over skewed key streams (Fig. 13)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        const VARIANTS: [Variant; 3] = [Variant::Serial, Variant::Masked, Variant::Invec];
+        &VARIANTS
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Frontier
+    }
+    fn tolerance(&self) -> f64 {
+        1e-3
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.rows == 0 || spec.cardinality == 0 {
+            return Err("aggregation needs rows >= 1 and cardinality >= 1".into());
+        }
+        let input = agg::dist::generate(spec.dist, spec.rows, spec.cardinality, INPUT_SEED);
+        Ok(Box::new(AggWorkload { input, dist: spec.dist }))
+    }
+}
+
+impl Workload for AggWorkload {
+    fn describe(&self) -> String {
+        format!(
+            "{} rows, {} keys, {} distribution",
+            self.input.len(),
+            self.input.cardinality,
+            self.dist.label()
+        )
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let outcome = agg::aggregate_with_policy(
+            agg_method(variant),
+            &self.input.keys,
+            &self.input.vals,
+            self.input.cardinality,
+            policy,
+        );
+        let mut values = Vec::with_capacity(4 * outcome.rows.len());
+        for row in &outcome.rows {
+            values.extend([
+                f64::from(row.key),
+                f64::from(row.count),
+                f64::from(row.sum),
+                f64::from(row.sumsq),
+            ]);
+        }
+        RunRecord {
+            app: "agg",
+            variant,
+            label: variant.label(TilingMode::Frontier),
+            values,
+            iterations: 1,
+            timings: Timings { compute: outcome.elapsed, ..Timings::default() },
+            instructions: outcome.instructions,
+            utilization: None,
+            depth: None,
+            threads: policy.threads.max(1),
+            backend: policy.backend.resolve(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_prepares_at_tiny_scale_and_runs_its_serial_baseline() {
+        let spec = RunSpec::tiny();
+        for app in crate::registry::all() {
+            let workload = app.prepare(&spec).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(!workload.describe().is_empty());
+            let policy = ExecPolicy::default().backend(invector_core::BackendChoice::Portable);
+            let r = workload.run(app.variants()[0], &policy);
+            assert_eq!(r.app, app.name());
+            assert!(!r.values.is_empty(), "{} produced no values", app.name());
+            assert!(r.values.iter().all(|v| !v.is_nan()), "{} produced NaN", app.name());
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_is_rejected_with_the_registered_names() {
+        let spec = RunSpec { dataset: Some("not-a-graph".into()), ..RunSpec::tiny() };
+        let err = PageRankApp.prepare(&spec).err().expect("unknown dataset must not prepare");
+        assert!(err.contains("higgs-twitter"), "{err}");
+    }
+}

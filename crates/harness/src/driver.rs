@@ -1,0 +1,135 @@
+//! The generic smoke driver: runs every registered cell
+//! (application × variant × backend) at a given spec and cross-checks each
+//! run's values against the application's serial portable reference.
+
+use std::time::Duration;
+
+use invector_core::{Backend, BackendChoice};
+use invector_kernels::{ExecPolicy, Variant};
+
+use crate::registry;
+use crate::spec::RunSpec;
+
+/// One executed cell of the smoke matrix.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Application name.
+    pub app: &'static str,
+    /// Input description from [`Workload::describe`](crate::Workload::describe).
+    pub input: String,
+    /// Variant that ran.
+    pub variant: Variant,
+    /// Backend the run resolved to.
+    pub backend: Backend,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Order-sensitive value digest ([`RunRecord::checksum`](crate::RunRecord::checksum)).
+    pub checksum: f64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// `None` when the cell's values agree with the serial portable
+    /// reference within the application's tolerance; otherwise the
+    /// disagreement (or preparation failure) message.
+    pub error: Option<String>,
+}
+
+/// Outcome of [`run_all`]: every cell, in registry order.
+#[derive(Debug, Clone, Default)]
+pub struct SmokeReport {
+    /// All executed cells.
+    pub cells: Vec<CellReport>,
+}
+
+impl SmokeReport {
+    /// Cells whose values disagreed with the reference (or failed to run).
+    pub fn failures(&self) -> impl Iterator<Item = &CellReport> {
+        self.cells.iter().filter(|c| c.error.is_some())
+    }
+
+    /// `true` when every cell agreed with its reference.
+    pub fn all_passed(&self) -> bool {
+        self.failures().next().is_none()
+    }
+}
+
+/// The backend requests the smoke matrix covers on this host: always the
+/// portable model, plus native AVX-512 when the CPU supports it.
+pub fn backend_matrix() -> Vec<BackendChoice> {
+    let mut choices = vec![BackendChoice::Portable];
+    if invector_simd::native::available() {
+        choices.push(BackendChoice::Native);
+    }
+    choices
+}
+
+/// Runs the full registry at `spec`: for every application, a serial
+/// portable reference, then every legal variant on every available backend
+/// at one thread, then — when `threads > 1` and the application has an
+/// engine path — the scalar and in-vector variants on the engine. Every
+/// cell's values are checked against the reference within the
+/// application's tolerance.
+pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
+    let mut cells = Vec::new();
+    for app in registry::all() {
+        let workload = match app.prepare(spec) {
+            Ok(w) => w,
+            Err(e) => {
+                cells.push(CellReport {
+                    app: app.name(),
+                    input: String::new(),
+                    variant: app.variants()[0],
+                    backend: Backend::Portable,
+                    threads: 1,
+                    checksum: f64::NAN,
+                    elapsed: Duration::ZERO,
+                    error: Some(format!("prepare failed: {e}")),
+                });
+                continue;
+            }
+        };
+        let input = workload.describe();
+        let reference = workload
+            .run(app.variants()[0], &ExecPolicy::default().backend(BackendChoice::Portable));
+
+        let mut policies = Vec::new();
+        for choice in backend_matrix() {
+            for &variant in app.variants() {
+                policies.push((variant, ExecPolicy::default().backend(choice)));
+            }
+        }
+        if threads > 1 && app.supports_threads() {
+            for &variant in app.variants() {
+                if matches!(variant, Variant::Serial | Variant::Invec) {
+                    policies.push((variant, ExecPolicy::with_threads(threads)));
+                }
+            }
+        }
+
+        for (variant, policy) in policies {
+            let r = workload.run(variant, &policy);
+            cells.push(CellReport {
+                app: app.name(),
+                input: input.clone(),
+                variant,
+                backend: r.backend,
+                threads: r.threads,
+                checksum: r.checksum(),
+                elapsed: r.elapsed(),
+                error: r.agrees_with(&reference, app.tolerance()).err(),
+            });
+        }
+    }
+    SmokeReport { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_matrix_always_includes_portable_first() {
+        let m = backend_matrix();
+        assert_eq!(m[0], BackendChoice::Portable);
+        assert!(m.len() <= 2);
+    }
+}

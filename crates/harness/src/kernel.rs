@@ -1,0 +1,192 @@
+//! The harness contract: [`Kernel`] describes an application, [`Workload`]
+//! is a prepared instance, [`RunRecord`] is one run's outcome.
+
+use std::time::Duration;
+
+use invector_core::stats::{DepthHistogram, Utilization};
+use invector_core::Backend;
+use invector_kernels::{ExecPolicy, TilingMode, Timings, Variant};
+
+use crate::spec::RunSpec;
+
+/// One registered application: static metadata plus a factory for prepared
+/// workloads. Implementations live in [`crate::apps`]; the harness driver,
+/// the CLI, and the bench bins all consume applications only through this
+/// trait.
+pub trait Kernel: Sync {
+    /// Registry name (lowercase, stable): `pagerank`, `sssp`, `agg`, ...
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `list` output.
+    fn summary(&self) -> &'static str;
+
+    /// Dataset names this kernel accepts (empty for non-graph kernels,
+    /// whose inputs are synthesized from the spec alone).
+    fn datasets(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// The legal variants, in presentation order. Always starts with the
+    /// serial baseline the harness validates against.
+    fn variants(&self) -> &'static [Variant];
+
+    /// Whether the kernel's experiments charge a tiling inspector or run
+    /// untiled wave-frontier style — selects the label column.
+    fn tiling(&self) -> TilingMode;
+
+    /// Agreement tolerance against the serial reference: `0.0` demands
+    /// bitwise equality (exact min/max reductions), anything else is the
+    /// mixed absolute/relative bound of [`RunRecord::agrees_with`]
+    /// (float-sum reassociation).
+    fn tolerance(&self) -> f64;
+
+    /// Whether `ExecPolicy::threads > 1` changes execution (single-sweep
+    /// kernels without an engine path return `false`).
+    fn supports_threads(&self) -> bool {
+        true
+    }
+
+    /// Builds a workload instance (generates the graph / mesh / lattice /
+    /// key stream) sized by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown datasets or unsatisfiable sizes.
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String>;
+}
+
+/// A prepared input, ready to run any legal variant any number of times.
+pub trait Workload {
+    /// Human-readable input description (`higgs-twitter: 914 vertices,
+    /// 30000 edges`).
+    fn describe(&self) -> String;
+
+    /// Runs one variant under the policy and returns the outcome.
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord;
+}
+
+/// The harness-level outcome of running one application variant: the
+/// kernel's typed values erased to `f64` plus the statistics every kernel
+/// reports.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Registry name of the application.
+    pub app: &'static str,
+    /// The variant that ran.
+    pub variant: Variant,
+    /// The paper's series label under the kernel's tiling mode.
+    pub label: &'static str,
+    /// Final values (ranks, distances, labels, states, or flattened
+    /// aggregation rows), widened to `f64`. `i32` and `f32` widen exactly,
+    /// so bitwise agreement on the widened values is bitwise agreement on
+    /// the originals.
+    pub values: Vec<f64>,
+    /// Iterations executed (1 for single-sweep kernels).
+    pub iterations: u32,
+    /// Phase timing breakdown.
+    pub timings: Timings,
+    /// Modeled instruction count (0 without the `count` feature).
+    pub instructions: u64,
+    /// SIMD lane utilization (masked variant).
+    pub utilization: Option<Utilization>,
+    /// Conflict-depth histogram (in-vector variant).
+    pub depth: Option<DepthHistogram>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// The backend the run resolved to.
+    pub backend: Backend,
+}
+
+impl RunRecord {
+    /// Order-sensitive digest of the values, for display and cross-run
+    /// comparison: a finite sum over the finite entries plus the count of
+    /// non-finite ones (unreached `∞` distances hash by position).
+    pub fn checksum(&self) -> f64 {
+        let mut sum = 0.0f64;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v.is_finite() {
+                sum += v * (1.0 + (i % 16) as f64);
+            } else {
+                sum += i as f64;
+            }
+        }
+        sum
+    }
+
+    /// Checks this run's values against a reference run.
+    ///
+    /// `tolerance == 0.0` demands bitwise equality. Otherwise each pair
+    /// must satisfy `|a - b| <= tolerance · (|a| + |b| + 1.0)` (relative in
+    /// the large, absolute `tolerance` near zero); equal values — including
+    /// equal infinities — always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message locating the first disagreement.
+    pub fn agrees_with(&self, reference: &RunRecord, tolerance: f64) -> Result<(), String> {
+        if self.values.len() != reference.values.len() {
+            return Err(format!(
+                "{} values vs {} in reference",
+                self.values.len(),
+                reference.values.len()
+            ));
+        }
+        for (i, (&a, &b)) in self.values.iter().zip(&reference.values).enumerate() {
+            let ok = if tolerance == 0.0 {
+                a.to_bits() == b.to_bits()
+            } else {
+                a == b || (a - b).abs() <= tolerance * (a.abs() + b.abs() + 1.0)
+            };
+            if !ok {
+                return Err(format!("value {i}: {a} vs reference {b} (tolerance {tolerance})"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wall time across all recorded phases.
+    pub fn elapsed(&self) -> Duration {
+        self.timings.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(values: Vec<f64>) -> RunRecord {
+        RunRecord {
+            app: "test",
+            variant: Variant::Serial,
+            label: "nontiling_serial",
+            values,
+            iterations: 1,
+            timings: Timings::default(),
+            instructions: 0,
+            utilization: None,
+            depth: None,
+            threads: 1,
+            backend: Backend::Portable,
+        }
+    }
+
+    #[test]
+    fn bitwise_mode_rejects_any_drift() {
+        let a = record(vec![1.0, f64::INFINITY]);
+        assert!(a.agrees_with(&record(vec![1.0, f64::INFINITY]), 0.0).is_ok());
+        assert!(a.agrees_with(&record(vec![1.0 + 1e-15, f64::INFINITY]), 0.0).is_err());
+        assert!(a.agrees_with(&record(vec![1.0]), 0.0).is_err());
+    }
+
+    #[test]
+    fn tolerant_mode_accepts_reassociation_noise_and_infinities() {
+        let a = record(vec![100.0, 0.0, f64::INFINITY]);
+        assert!(a.agrees_with(&record(vec![100.01, 1e-4, f64::INFINITY]), 1e-3).is_ok());
+        assert!(a.agrees_with(&record(vec![101.0, 0.0, f64::INFINITY]), 1e-3).is_err());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(record(vec![1.0, 2.0]).checksum(), record(vec![2.0, 1.0]).checksum());
+    }
+}

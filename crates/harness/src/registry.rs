@@ -1,0 +1,97 @@
+//! The static application registry: every paper application, discoverable
+//! by name from the CLI, the benches, and the smoke driver.
+
+use crate::apps::{
+    AggApp, BfsApp, EulerApp, MoldynApp, PageRankApp, SpmvApp, SsspApp, SswpApp, WccApp,
+};
+use crate::kernel::Kernel;
+
+/// Every registered application, in the paper's presentation order
+/// (Figures 8–13, then the extra wave kernels).
+static REGISTRY: [&dyn Kernel; 9] =
+    [&PageRankApp, &SpmvApp, &SsspApp, &SswpApp, &BfsApp, &WccApp, &EulerApp, &MoldynApp, &AggApp];
+
+/// All registered applications.
+pub fn all() -> &'static [&'static dyn Kernel] {
+    &REGISTRY
+}
+
+/// Finds an application by exact (case-insensitive) name.
+pub fn find(name: &str) -> Option<&'static dyn Kernel> {
+    REGISTRY.iter().copied().find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Finds an application by name, or explains the failure — including the
+/// nearest registered name when the input looks like a typo.
+///
+/// # Errors
+///
+/// Returns a message listing the registered names, with a "did you mean"
+/// suggestion when one is within edit distance 2.
+pub fn lookup(name: &str) -> Result<&'static dyn Kernel, String> {
+    if let Some(k) = find(name) {
+        return Ok(k);
+    }
+    let names: Vec<&str> = REGISTRY.iter().map(|k| k.name()).collect();
+    let nearest = names
+        .iter()
+        .map(|n| (edit_distance(&name.to_ascii_lowercase(), n), *n))
+        .min()
+        .filter(|&(d, _)| d <= 2);
+    let mut msg = format!("unknown application '{}' (one of: {})", name, names.join(" | "));
+    if let Some((_, suggestion)) = nearest {
+        msg.push_str(&format!("; did you mean '{suggestion}'?"));
+    }
+    Err(msg)
+}
+
+/// Levenshtein distance, for nearest-name suggestions. Inputs are registry
+/// names and user typos — always tiny, so the quadratic table is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for app in all() {
+            assert!(seen.insert(app.name()), "duplicate app name {}", app.name());
+            assert!(find(app.name()).is_some());
+            assert!(find(&app.name().to_uppercase()).is_some());
+            assert!(!app.variants().is_empty());
+            assert_eq!(app.variants()[0], invector_kernels::Variant::Serial);
+        }
+        assert_eq!(all().len(), 9);
+    }
+
+    #[test]
+    fn lookup_suggests_the_nearest_name_for_typos() {
+        let err = lookup("pagernak").err().expect("typo must not resolve");
+        assert!(err.contains("did you mean 'pagerank'"), "{err}");
+        let err = lookup("zzzzzz").err().expect("garbage must not resolve");
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("moldyn"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("sssp", "sswp"), 1);
+        assert_eq!(edit_distance("", "bfs"), 3);
+        assert_eq!(edit_distance("agg", "agg"), 0);
+    }
+}

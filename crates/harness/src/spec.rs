@@ -1,0 +1,110 @@
+//! Workload sizing: one [`RunSpec`] parameterizes every application.
+
+use invector_agg::Distribution;
+
+/// Sizing knobs for [`Kernel::prepare`](crate::Kernel::prepare). One spec
+/// covers every application; each kernel reads the fields that apply to it
+/// and ignores the rest (a graph kernel never looks at `mesh`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Graph apps: dataset name from the Table 1 registry
+    /// ([`invector_graph::datasets::NAMES`]); `None` picks the kernel's
+    /// first registered dataset.
+    pub dataset: Option<String>,
+    /// Graph apps: dataset scale factor in `(0, 1]` relative to the paper's
+    /// dimensions.
+    pub scale: f64,
+    /// Wave-frontier apps: source vertex.
+    pub source: i32,
+    /// Iteration budget: PageRank's cap, the wave drivers' cap, and the
+    /// step count of the Euler / Moldyn time loops.
+    pub iters: u32,
+    /// Euler: mesh side (the solver runs on a `mesh × mesh` triangulated
+    /// grid).
+    pub mesh: usize,
+    /// Moldyn: FCC lattice cells per side (`4·cells³` molecules).
+    pub lattice: usize,
+    /// Aggregation: input rows.
+    pub rows: usize,
+    /// Aggregation: distinct group-by keys.
+    pub cardinality: usize,
+    /// Aggregation: key distribution (Figure 13's input classes).
+    pub dist: Distribution,
+}
+
+impl RunSpec {
+    /// The smoke-test size: every registered cell finishes in fractions of
+    /// a second, small enough for CI and the golden-checksum suite.
+    pub fn tiny() -> RunSpec {
+        RunSpec {
+            dataset: None,
+            scale: invector_graph::datasets::TEST_SCALE,
+            source: 0,
+            iters: 40,
+            mesh: 8,
+            lattice: 2,
+            rows: 2_000,
+            cardinality: 64,
+            dist: Distribution::Zipf,
+        }
+    }
+
+    /// A small-but-representative default for interactive `run` calls:
+    /// ~1% of the paper's dataset dimensions.
+    pub fn small() -> RunSpec {
+        RunSpec {
+            dataset: None,
+            scale: 0.01,
+            source: 0,
+            iters: 100,
+            mesh: 16,
+            lattice: 3,
+            rows: 50_000,
+            cardinality: 256,
+            dist: Distribution::Zipf,
+        }
+    }
+
+    /// Parses a scale selection: the named presets `tiny` / `small`, or a
+    /// numeric factor in `(0, 1]` applied on top of the `small` preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unknown names or out-of-range factors.
+    pub fn parse(s: &str) -> Result<RunSpec, String> {
+        match s {
+            "tiny" => Ok(RunSpec::tiny()),
+            "small" => Ok(RunSpec::small()),
+            _ => {
+                let scale: f64 = s.parse().map_err(|_| {
+                    format!("unknown scale '{s}' (tiny | small | a factor in (0, 1])")
+                })?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(format!("scale factor must be in (0, 1], got {scale}"));
+                }
+                Ok(RunSpec { scale, ..RunSpec::small() })
+            }
+        }
+    }
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_scale_factor_overrides() {
+        assert_eq!(RunSpec::parse("tiny").unwrap(), RunSpec::tiny());
+        assert_eq!(RunSpec::parse("small").unwrap(), RunSpec::small());
+        let custom = RunSpec::parse("0.05").unwrap();
+        assert_eq!(custom.scale, 0.05);
+        assert!(RunSpec::parse("2.0").is_err());
+        assert!(RunSpec::parse("huge").unwrap_err().contains("tiny"));
+    }
+}

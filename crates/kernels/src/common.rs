@@ -23,31 +23,118 @@ pub enum Variant {
     Invec,
 }
 
+/// Whether an application's experiments charge a cache-tiling inspector
+/// (static edge set: PageRank, SpMV, Moldyn, Euler) or run untiled
+/// wave-frontier style (§4.2: SSSP, SSWP, BFS, WCC). Selects the label
+/// column of [`Variant::label`] and tells the harness which phase bars a
+/// kernel reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TilingMode {
+    /// Edge set is static; vectorized variants pay a one-time tiling pass.
+    Tiled,
+    /// Active set changes per wave; variants run on the original edge order.
+    Frontier,
+}
+
+/// The single label table keyed by `(variant, tiling mode)` — the paper's
+/// series names. Rows are in [`Variant::ALL`] order; columns are
+/// `[Tiled, Frontier]`.
+const LABELS: [[&str; 2]; 5] = [
+    ["nontiling_serial", "nontiling_serial"],
+    ["tiling_serial", "tiling_serial"],
+    ["tiling_and_grouping", "nontiling_and_grouping"],
+    ["tiling_and_mask", "nontiling_and_mask"],
+    ["tiling_and_invec", "nontiling_and_invec"],
+];
+
+/// Short names accepted by [`Variant::parse`], in [`Variant::ALL`] order.
+const SHORT_NAMES: [&str; 5] = ["serial", "tiled", "grouped", "masked", "invec"];
+
 impl Variant {
     /// All variants in the paper's presentation order.
     pub const ALL: [Variant; 5] =
         [Variant::Serial, Variant::SerialTiled, Variant::Grouped, Variant::Masked, Variant::Invec];
 
+    /// Position in [`Variant::ALL`] (the label-table row).
+    const fn index(self) -> usize {
+        match self {
+            Variant::Serial => 0,
+            Variant::SerialTiled => 1,
+            Variant::Grouped => 2,
+            Variant::Masked => 3,
+            Variant::Invec => 4,
+        }
+    }
+
+    /// The paper's series label for this variant under the given tiling
+    /// mode — one table, shared by every consumer.
+    pub fn label(self, mode: TilingMode) -> &'static str {
+        LABELS[self.index()][mode as usize]
+    }
+
     /// Label used for tiled experiments (PageRank, Moldyn).
     pub fn tiled_label(self) -> &'static str {
-        match self {
-            Variant::Serial => "nontiling_serial",
-            Variant::SerialTiled => "tiling_serial",
-            Variant::Grouped => "tiling_and_grouping",
-            Variant::Masked => "tiling_and_mask",
-            Variant::Invec => "tiling_and_invec",
-        }
+        self.label(TilingMode::Tiled)
     }
 
     /// Label used for wave-frontier experiments, which run untiled (§4.2).
     pub fn frontier_label(self) -> &'static str {
-        match self {
-            Variant::Serial => "nontiling_serial",
-            Variant::SerialTiled => "tiling_serial",
-            Variant::Grouped => "nontiling_and_grouping",
-            Variant::Masked => "nontiling_and_mask",
-            Variant::Invec => "nontiling_and_invec",
+        self.label(TilingMode::Frontier)
+    }
+
+    /// The short name [`Variant::parse`] accepts (`serial`, `tiled`, ...).
+    pub fn short_name(self) -> &'static str {
+        SHORT_NAMES[self.index()]
+    }
+
+    /// Parses one short variant name — the single parser shared by the CLI
+    /// and the harness registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(s: &str) -> Result<Variant, String> {
+        Variant::ALL.into_iter().find(|v| v.short_name() == s).ok_or_else(|| {
+            format!("unknown variant '{s}' (one of: {} | all)", SHORT_NAMES.join(" | "))
+        })
+    }
+
+    /// Parses a variant selection: a short name, or `all` for the full
+    /// paper matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Variant::parse`] message on unknown names.
+    pub fn parse_selection(s: &str) -> Result<Vec<Variant>, String> {
+        if s == "all" {
+            Ok(Variant::ALL.to_vec())
+        } else {
+            Variant::parse(s).map(|v| vec![v])
         }
+    }
+
+    /// `true` for the variants that record SIMD lane utilization (the
+    /// conflict-masking strategy).
+    pub fn records_utilization(self) -> bool {
+        self == Variant::Masked
+    }
+
+    /// `true` for the variants that record the conflict-depth histogram
+    /// (the in-vector strategy).
+    pub fn records_depth(self) -> bool {
+        self == Variant::Invec
+    }
+
+    /// `true` for the variants that need a conflict-free grouping inspector.
+    pub fn needs_grouping(self) -> bool {
+        self == Variant::Grouped
+    }
+
+    /// `true` for the variants whose conflict handling is stream-local and
+    /// therefore composes with the execution engine's partitioning (the
+    /// grouped and masked strategies keep whole-array inspector state).
+    pub fn runs_on_engine(self) -> bool {
+        !matches!(self, Variant::Grouped | Variant::Masked)
     }
 
     /// The in-worker reduction strategy the execution engine runs when this
@@ -128,6 +215,27 @@ mod tests {
         assert_eq!(Variant::Invec.frontier_label(), "nontiling_and_invec");
         assert_eq!(Variant::Serial.frontier_label(), "nontiling_serial");
         assert_eq!(Variant::Grouped.to_string(), "tiling_and_grouping");
+        assert_eq!(Variant::Masked.label(TilingMode::Frontier), "nontiling_and_mask");
+    }
+
+    #[test]
+    fn parse_round_trips_short_names() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::parse(v.short_name()), Ok(v));
+        }
+        assert_eq!(Variant::parse_selection("all").unwrap(), Variant::ALL.to_vec());
+        assert_eq!(Variant::parse_selection("invec").unwrap(), vec![Variant::Invec]);
+        let err = Variant::parse("warp").unwrap_err();
+        assert!(err.contains("serial") && err.contains("invec"), "{err}");
+    }
+
+    #[test]
+    fn predicates_match_stat_ownership() {
+        assert!(Variant::Masked.records_utilization());
+        assert!(Variant::Invec.records_depth());
+        assert!(Variant::Grouped.needs_grouping());
+        assert!(!Variant::Grouped.runs_on_engine() && !Variant::Masked.runs_on_engine());
+        assert!(Variant::Serial.runs_on_engine() && Variant::Invec.runs_on_engine());
     }
 
     #[test]

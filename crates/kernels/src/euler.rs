@@ -102,6 +102,22 @@ pub fn flux_sweep(
     update: &mut NodeState,
     variant: Variant,
 ) -> (Option<Utilization>, Option<DepthHistogram>) {
+    flux_sweep_with(mesh, state, update, variant, invector_core::backend::current())
+}
+
+/// [`flux_sweep`] against an explicitly resolved backend (the in-vector
+/// variant is the only one that dispatches per backend).
+///
+/// # Panics
+///
+/// Panics if state/update sizes disagree with the mesh.
+pub fn flux_sweep_with(
+    mesh: &EdgeList,
+    state: &NodeState,
+    update: &mut NodeState,
+    variant: Variant,
+    backend: Backend,
+) -> (Option<Utilization>, Option<DepthHistogram>) {
     assert_eq!(state.len(), mesh.num_vertices(), "state size mismatch");
     assert_eq!(update.len(), mesh.num_vertices(), "update size mismatch");
     match variant {
@@ -111,7 +127,7 @@ pub fn flux_sweep(
         }
         Variant::Invec => {
             let mut depth = DepthHistogram::new();
-            sweep_invec(mesh, invector_core::backend::current(), state, update, &mut depth);
+            sweep_invec(mesh, backend, state, update, &mut depth);
             (None, Some(depth))
         }
         Variant::Masked => {
@@ -275,13 +291,13 @@ pub fn flux_sweep_parallel(
 ) -> (Option<DepthHistogram>, usize) {
     assert_eq!(state.len(), mesh.num_vertices(), "state size mismatch");
     assert_eq!(update.len(), mesh.num_vertices(), "update size mismatch");
+    // Resolved once per sweep; worker closures capture the resolved value.
+    let backend = policy.backend.resolve();
     if policy.threads <= 1 {
-        let (_, depth) = flux_sweep(mesh, state, update, variant);
+        let (_, depth) = flux_sweep_with(mesh, state, update, variant, backend);
         return (depth, 1);
     }
     let worker = variant.exec_variant();
-    // Resolved once per sweep; worker closures capture the resolved value.
-    let backend = policy.backend.resolve();
     let (src, dst) = (mesh.src(), mesh.dst());
     let results = parallel_chunks(mesh.num_edges(), policy.threads, |_, range| {
         // Bound the private state to the chunk's touched node range.

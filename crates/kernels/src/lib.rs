@@ -1,7 +1,8 @@
 //! `invector-kernels` — the paper's graph applications in every
 //! implementation strategy.
 //!
-//! Four applications ([`pagerank`], [`sssp`], [`sswp`], [`wcc`]), each
+//! The paper's graph applications ([`pagerank`], [`sssp`], [`sswp`],
+//! [`wcc`]) plus library extensions ([`bfs`], [`spmv`]), each
 //! runnable as any [`Variant`]: scalar baselines, inspector/executor
 //! (`tiling_and_grouping`), conflict-masking, and the paper's in-vector
 //! reduction. Every vectorized variant is differential-tested against the
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bfs;
 mod common;
 pub mod euler;
 mod pagerank;
@@ -31,9 +33,10 @@ mod sswp;
 pub mod wavefront;
 mod wcc;
 
-pub use common::{ExecPolicy, ExecVariant, Partition, RunResult, Timings, Variant};
+pub use bfs::{bfs, bfs_with_policy};
+pub use common::{ExecPolicy, ExecVariant, Partition, RunResult, TilingMode, Timings, Variant};
 pub use pagerank::{pagerank, PageRankConfig};
-pub use spmv::spmv;
+pub use spmv::{spmv, spmv_with_policy};
 pub use sssp::{sssp, sssp_reuse, sssp_with_policy};
 pub use sswp::{sswp, sswp_reuse, sswp_with_policy};
 pub use wcc::{wcc, wcc_reuse, wcc_with_policy};

@@ -283,6 +283,32 @@ impl RelaxRule for SswpRule {
     }
 }
 
+/// BFS rule: hop counts, `depth[ny] = min(depth[ny], depth[nx] + 1)` —
+/// the wave-frontier traversal itself, i.e. SSSP on unit weights carried in
+/// integer arithmetic (so agreement across variants is exact by
+/// construction, not by float luck).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsRule;
+
+impl RelaxRule for BfsRule {
+    type Value = i32;
+    type Op = invector_core::ops::Min;
+    const NAME: &'static str = "bfs";
+    const USES_WEIGHT: bool = false;
+
+    fn unreached() -> i32 {
+        i32::MAX
+    }
+    #[inline]
+    fn candidate(src_val: i32, _weight: f32) -> i32 {
+        src_val.saturating_add(1)
+    }
+    #[inline]
+    fn improves(cand: i32, current: i32) -> bool {
+        cand < current
+    }
+}
+
 /// WCC rule: propagate the minimum component label along (symmetrized)
 /// edges: `label[ny] = min(label[ny], label[nx])`.
 #[derive(Debug, Clone, Copy, Default)]

@@ -30,6 +30,27 @@ use crate::common::{RunResult, Timings, Variant};
 ///
 /// Panics if `x.len() != graph.num_vertices()`.
 pub fn spmv(graph: &EdgeList, x: &[f32], variant: Variant) -> RunResult<f32> {
+    spmv_single(graph, x, variant, invector_core::backend::current())
+}
+
+/// [`spmv`] under an explicit [`ExecPolicy`](crate::common::ExecPolicy):
+/// resolves `policy.backend` for the in-vector sweep. SpMV is a single
+/// edge sweep, so `policy.threads` does not apply (the result records
+/// `threads: 1`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != graph.num_vertices()`.
+pub fn spmv_with_policy(
+    graph: &EdgeList,
+    x: &[f32],
+    variant: Variant,
+    policy: &crate::common::ExecPolicy,
+) -> RunResult<f32> {
+    spmv_single(graph, x, variant, policy.backend.resolve())
+}
+
+fn spmv_single(graph: &EdgeList, x: &[f32], variant: Variant, backend: Backend) -> RunResult<f32> {
     assert_eq!(x.len(), graph.num_vertices(), "input vector length mismatch");
     let mut timings = Timings::default();
 
@@ -61,9 +82,7 @@ pub fn spmv(graph: &EdgeList, x: &[f32], variant: Variant) -> RunResult<f32> {
     let t = Instant::now();
     match variant {
         Variant::Serial | Variant::SerialTiled => spmv_serial(&working, x, &mut y),
-        Variant::Invec => {
-            spmv_invec(&working, invector_core::backend::current(), x, &mut y, &mut depth)
-        }
+        Variant::Invec => spmv_invec(&working, backend, x, &mut y, &mut depth),
         Variant::Masked => spmv_masked(&working, x, &mut y, &mut utilization),
         Variant::Grouped => {
             spmv_grouped(&working, grouping.as_ref().expect("grouping built above"), x, &mut y)
@@ -76,8 +95,8 @@ pub fn spmv(graph: &EdgeList, x: &[f32], variant: Variant) -> RunResult<f32> {
         iterations: 1,
         timings,
         instructions: invector_simd::count::read().wrapping_sub(instr_before),
-        utilization: (variant == Variant::Masked).then_some(utilization),
-        depth: (variant == Variant::Invec).then_some(depth),
+        utilization: variant.records_utilization().then_some(utilization),
+        depth: variant.records_depth().then_some(depth),
         threads: 1,
     }
 }

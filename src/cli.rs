@@ -1,78 +1,48 @@
 //! Command-line interface: parse-and-dispatch for the `invector` binary.
 //!
 //! Hand-rolled argument parsing (no external dependencies) split from
-//! `main.rs` so it is unit-testable.
+//! `main.rs` so it is unit-testable. Every application reaches execution
+//! through the harness registry ([`invector_harness::registry`]) — the CLI
+//! owns no kernel dispatch of its own.
 
 use invector_agg::dist::Distribution;
-use invector_agg::run::Method;
-use invector_graph::datasets::{self, Dataset};
-use invector_kernels::Variant;
+use invector_core::BackendChoice;
+use invector_harness::{driver, registry, RunRecord, RunSpec};
+use invector_kernels::{ExecPolicy, Variant};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
+    /// Print usage.
+    Help,
     /// Print dataset registry and host capabilities.
     Info {
         /// Dataset scale factor.
         scale: f64,
     },
-    /// Run a graph application.
-    Graph {
-        /// Which application.
-        app: GraphApp,
-        /// Dataset name.
-        dataset: String,
-        /// Variants to run.
+    /// Print the application registry.
+    List,
+    /// Run one application.
+    Run {
+        /// Registry name of the application.
+        app: String,
+        /// Variant selection (`all` resolves against the app's legal set).
         variants: Vec<Variant>,
-        /// Dataset scale factor.
-        scale: f64,
-        /// Source vertex for SSSP/SSWP.
-        source: i32,
+        /// Workload sizing.
+        spec: RunSpec,
+        /// Worker threads.
+        threads: usize,
+        /// Backend request.
+        backend: BackendChoice,
     },
-    /// Run the Moldyn simulation.
-    Moldyn {
-        /// Variants to run.
-        variants: Vec<Variant>,
-        /// Dataset scale factor.
-        scale: f64,
-        /// Simulation iterations.
-        iters: u32,
+    /// Run every registered cell and cross-check against the serial
+    /// reference.
+    RunAll {
+        /// Workload sizing.
+        spec: RunSpec,
+        /// Worker threads for the engine rows.
+        threads: usize,
     },
-    /// Run hash aggregation.
-    Agg {
-        /// Input distribution.
-        dist: Distribution,
-        /// Number of rows.
-        rows: usize,
-        /// Group-by cardinality.
-        cardinality: usize,
-    },
-    /// Run the Euler-style mesh solver.
-    Euler {
-        /// Mesh side length (nodes per edge).
-        mesh: usize,
-        /// Sweep iterations.
-        iters: u32,
-        /// Variants to run.
-        variants: Vec<Variant>,
-    },
-    /// Print usage.
-    Help,
-}
-
-/// The graph applications the CLI can run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GraphApp {
-    /// PageRank (Figure 8).
-    PageRank,
-    /// Single-source shortest path (Figure 9).
-    Sssp,
-    /// Single-source widest path (Figure 10).
-    Sswp,
-    /// Weakly connected components (Figure 11).
-    Wcc,
-    /// Sparse matrix-vector multiplication (library extension).
-    Spmv,
 }
 
 /// The usage text shown by `invector help`.
@@ -83,36 +53,29 @@ USAGE:
   invector <command> [options]
 
 COMMANDS:
-  info                          dataset registry and host SIMD capabilities
-  pagerank|sssp|sswp|wcc|spmv   run a graph application
-  moldyn                        run the molecular-dynamics simulation
-  euler                         run the edge-based mesh solver
-  agg                           run hash-based aggregation
-  help                          this text
+  list                 registered applications, variants, and datasets
+  run --app <name>     run one application (or use the app name directly:
+                       pagerank | spmv | sssp | sswp | bfs | wcc |
+                       euler | moldyn | agg)
+  run-all              every app x variant x backend, checked against the
+                       serial reference (smoke matrix)
+  info                 dataset registry and host SIMD capabilities
+  help                 this text
 
 OPTIONS:
-  --dataset <name>     higgs-twitter | soc-pokec | amazon0312   [higgs-twitter]
+  --scale <s>          tiny | small | factor in (0, 1]     [small; run-all: tiny]
   --variant <v>        serial | tiled | grouped | masked | invec | all   [all]
-  --scale <f>          dataset scale in (0, 1]                  [0.01]
-  --source <v>         source vertex for sssp/sswp              [0]
-  --iters <n>          moldyn/euler iterations                  [20]
-  --mesh <n>           euler mesh side (n x n nodes)            [64]
-  --dist <d>           heavy-hitter | zipf | moving-cluster     [heavy-hitter]
-  --rows <n>           aggregation input rows                   [1000000]
-  --cardinality <n>    aggregation group count                  [1024]
+  --threads <n>        worker threads                            [1]
+  --backend <b>        auto | portable | native                  [auto]
+  --dataset <name>     higgs-twitter | soc-Pokec | amazon0312
+  --source <v>         source vertex for sssp/sswp/bfs           [0]
+  --iters <n>          iteration budget                          [per scale]
+  --mesh <n>           euler mesh side (n x n nodes)             [per scale]
+  --lattice <n>        moldyn FCC cells per side                 [per scale]
+  --dist <d>           heavy-hitter | zipf | moving-cluster      [zipf]
+  --rows <n>           aggregation input rows                    [per scale]
+  --cardinality <n>    aggregation group count                   [per scale]
 ";
-
-fn parse_variant(s: &str) -> Result<Vec<Variant>, String> {
-    Ok(match s {
-        "serial" => vec![Variant::Serial],
-        "tiled" => vec![Variant::SerialTiled],
-        "grouped" => vec![Variant::Grouped],
-        "masked" => vec![Variant::Masked],
-        "invec" => vec![Variant::Invec],
-        "all" => Variant::ALL.to_vec(),
-        other => return Err(format!("unknown variant '{other}'")),
-    })
-}
 
 fn parse_dist(s: &str) -> Result<Distribution, String> {
     Ok(match s {
@@ -123,15 +86,46 @@ fn parse_dist(s: &str) -> Result<Distribution, String> {
     })
 }
 
-fn lookup<T: std::str::FromStr>(
-    opts: &[(String, String)],
-    key: &str,
-    default: T,
-) -> Result<T, String> {
-    match opts.iter().find(|(k, _)| k == key) {
+fn parse_backend(s: &str) -> Result<BackendChoice, String> {
+    Ok(match s {
+        "auto" => BackendChoice::Auto,
+        "portable" => BackendChoice::Portable,
+        "native" => BackendChoice::Native,
+        other => return Err(format!("unknown backend '{other}' (auto | portable | native)")),
+    })
+}
+
+/// `--key value` pairs in command order.
+type Opts = Vec<(String, String)>;
+
+fn get<'a>(opts: &'a Opts, key: &str) -> Option<&'a str> {
+    opts.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn lookup<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match get(opts, key) {
         None => Ok(default),
-        Some((_, v)) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+        Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
     }
+}
+
+/// Builds the workload spec: the `--scale` preset, then every explicit
+/// per-field override on top.
+fn build_spec(opts: &Opts, default_scale: &str) -> Result<RunSpec, String> {
+    let mut spec = RunSpec::parse(get(opts, "scale").unwrap_or(default_scale))?;
+    if let Some(name) = get(opts, "dataset") {
+        spec.dataset = Some(name.to_string());
+    }
+    spec.source = lookup(opts, "source", spec.source)?;
+    spec.iters = lookup(opts, "iters", spec.iters)?;
+    spec.mesh = lookup(opts, "mesh", spec.mesh)?;
+    spec.lattice = lookup(opts, "lattice", spec.lattice)?;
+    spec.rows = lookup(opts, "rows", spec.rows)?;
+    spec.cardinality = lookup(opts, "cardinality", spec.cardinality)?;
+    if let Some(d) = get(opts, "dist") {
+        spec.dist = parse_dist(d)?;
+    }
+    Ok(spec)
 }
 
 /// Parses a full argument list (without the program name).
@@ -139,13 +133,13 @@ fn lookup<T: std::str::FromStr>(
 /// # Errors
 ///
 /// Returns a human-readable message on unknown commands, options, or
-/// malformed values.
+/// malformed values — including a nearest-name suggestion for application
+/// typos.
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let Some(command) = args.first() else {
         return Ok(Command::Help);
     };
-    // Collect --key value pairs.
-    let mut opts: Vec<(String, String)> = Vec::new();
+    let mut opts: Opts = Vec::new();
     let mut i = 1;
     while i < args.len() {
         let key = args[i]
@@ -155,87 +149,94 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         opts.push((key.to_string(), value.clone()));
         i += 2;
     }
-    const KNOWN: [&str; 9] =
-        ["dataset", "variant", "scale", "source", "iters", "dist", "rows", "cardinality", "mesh"];
+    const KNOWN: [&str; 13] = [
+        "app",
+        "dataset",
+        "variant",
+        "scale",
+        "source",
+        "iters",
+        "mesh",
+        "lattice",
+        "dist",
+        "rows",
+        "cardinality",
+        "threads",
+        "backend",
+    ];
     if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(format!("unknown option --{k}"));
     }
 
-    let scale: f64 = lookup(&opts, "scale", 0.01)?;
-    if !(scale > 0.0 && scale <= 1.0) {
-        return Err(format!("--scale must be in (0, 1], got {scale}"));
+    let threads = lookup(&opts, "threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
-    let variants = match opts.iter().find(|(k, _)| k == "variant") {
-        None => Variant::ALL.to_vec(),
-        Some((_, v)) => parse_variant(v)?,
-    };
-    let dataset = lookup(&opts, "dataset", "higgs-twitter".to_string())?;
 
     let app = match command.as_str() {
         "help" | "--help" | "-h" => return Ok(Command::Help),
-        "info" => return Ok(Command::Info { scale }),
-        "moldyn" => {
-            return Ok(Command::Moldyn { variants, scale, iters: lookup(&opts, "iters", 20)? })
+        "list" => return Ok(Command::List),
+        "info" => {
+            let scale = build_spec(&opts, "small")?.scale;
+            return Ok(Command::Info { scale });
         }
-        "euler" => {
-            return Ok(Command::Euler {
-                mesh: lookup(&opts, "mesh", 64)?,
-                iters: lookup(&opts, "iters", 20)?,
-                variants,
-            })
-        }
-        "agg" => {
-            let dist = match opts.iter().find(|(k, _)| k == "dist") {
-                None => Distribution::HeavyHitter,
-                Some((_, v)) => parse_dist(v)?,
-            };
-            return Ok(Command::Agg {
-                dist,
-                rows: lookup(&opts, "rows", 1_000_000)?,
-                cardinality: lookup(&opts, "cardinality", 1024)?,
-            });
-        }
-        "pagerank" => GraphApp::PageRank,
-        "sssp" => GraphApp::Sssp,
-        "sswp" => GraphApp::Sswp,
-        "wcc" => GraphApp::Wcc,
-        "spmv" => GraphApp::Spmv,
-        other => return Err(format!("unknown command '{other}' (try 'invector help')")),
+        "run-all" => return Ok(Command::RunAll { spec: build_spec(&opts, "tiny")?, threads }),
+        "run" => get(&opts, "app")
+            .ok_or_else(|| "run needs --app <name> (see 'invector list')".to_string())?
+            .to_string(),
+        // An application name used as the command is shorthand for
+        // `run --app <name>`; unknown names get the registry's suggestion.
+        other => registry::lookup(other)
+            .map_err(|e| format!("{e}; try 'invector help'"))?
+            .name()
+            .to_string(),
     };
-    Ok(Command::Graph { app, dataset, variants, scale, source: lookup(&opts, "source", 0)? })
-}
 
-fn load_dataset(name: &str, scale: f64) -> Result<Dataset, String> {
-    match name {
-        "higgs-twitter" => Ok(datasets::higgs_twitter(scale)),
-        "soc-pokec" | "soc-Pokec" => Ok(datasets::soc_pokec(scale)),
-        "amazon0312" => Ok(datasets::amazon0312(scale)),
-        other => Err(format!("unknown dataset '{other}'")),
-    }
+    let app_entry = registry::lookup(&app)?;
+    let variants = match get(&opts, "variant") {
+        None | Some("all") => app_entry.variants().to_vec(),
+        Some(v) => {
+            let variant = Variant::parse(v)?;
+            if !app_entry.variants().contains(&variant) {
+                return Err(format!(
+                    "variant '{}' is not legal for {} (one of: {})",
+                    variant.short_name(),
+                    app_entry.name(),
+                    app_entry
+                        .variants()
+                        .iter()
+                        .map(|v| v.short_name())
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                ));
+            }
+            vec![variant]
+        }
+    };
+    Ok(Command::Run {
+        app,
+        variants,
+        spec: build_spec(&opts, "small")?,
+        threads,
+        backend: parse_backend(get(&opts, "backend").unwrap_or("auto"))?,
+    })
 }
 
 /// Executes a parsed command, printing results to stdout.
 ///
 /// # Errors
 ///
-/// Returns a message for invalid dataset names or out-of-range sources.
+/// Returns a message for invalid names or sizes, and for `run-all` cells
+/// that disagree with the serial reference.
 pub fn run(command: Command) -> Result<(), String> {
     match command {
         Command::Help => println!("{USAGE}"),
         Command::Info { scale } => run_info(scale),
-        Command::Graph { app, dataset, variants, scale, source } => {
-            let d = load_dataset(&dataset, scale)?;
-            if app != GraphApp::Wcc
-                && app != GraphApp::PageRank
-                && !(0..d.graph.num_vertices() as i32).contains(&source)
-            {
-                return Err(format!("source {source} out of range"));
-            }
-            run_graph(app, &d, &variants, source);
+        Command::List => run_list(),
+        Command::Run { app, variants, spec, threads, backend } => {
+            run_app(&app, &variants, &spec, threads, backend)?
         }
-        Command::Moldyn { variants, scale, iters } => run_moldyn(&variants, scale, iters),
-        Command::Euler { mesh, iters, variants } => run_euler(mesh, iters, &variants)?,
-        Command::Agg { dist, rows, cardinality } => run_agg(dist, rows, cardinality),
+        Command::RunAll { spec, threads } => run_all(&spec, threads)?,
     }
     Ok(())
 }
@@ -243,7 +244,7 @@ pub fn run(command: Command) -> Result<(), String> {
 fn run_info(scale: f64) {
     println!("host AVX-512 (avx512f+cd): {}", invector_simd::native::available());
     println!("\ndatasets at scale {scale}:");
-    for d in datasets::all(scale) {
+    for d in invector_graph::datasets::all(scale) {
         println!(
             "  {:<16} {:>9} vertices {:>11} edges (paper: {}x{}, {} NNZ)",
             d.name,
@@ -256,126 +257,80 @@ fn run_info(scale: f64) {
     }
 }
 
-fn print_run_row(label: &str, r: &invector_kernels::RunResult<impl std::fmt::Debug>) {
+fn run_list() {
+    println!("{:<10} {:<28} {:<24} summary", "app", "variants", "datasets");
+    for app in registry::all() {
+        let variants = app.variants().iter().map(|v| v.short_name()).collect::<Vec<_>>().join(",");
+        let datasets = if app.datasets().is_empty() {
+            "(synthesized)".to_string()
+        } else {
+            app.datasets().join(",")
+        };
+        println!("{:<10} {:<28} {:<24} {}", app.name(), variants, datasets, app.summary());
+    }
+}
+
+fn print_record(r: &RunRecord) {
     let util =
         r.utilization.map(|u| format!("{:.2}%", u.ratio() * 100.0)).unwrap_or_else(|| "-".into());
     println!(
-        "{:<24} tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  iters {:>5}  {:>10.2} Minstr  util {}",
-        label,
+        "{:<24} {:>8}  tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  iters {:>5}  {:>10.2} Minstr  util {:>7}  checksum {:.6}",
+        r.label,
+        r.backend.name(),
         r.timings.tiling.as_secs_f64() * 1e3,
         r.timings.grouping.as_secs_f64() * 1e3,
         r.timings.compute.as_secs_f64() * 1e3,
         r.iterations,
         r.instructions as f64 / 1e6,
-        util
+        util,
+        r.checksum()
     );
 }
 
-fn run_graph(app: GraphApp, d: &Dataset, variants: &[Variant], source: i32) {
-    println!(
-        "{:?} on {} ({} vertices, {} edges)",
-        app,
-        d.name,
-        d.graph.num_vertices(),
-        d.graph.num_edges()
-    );
+fn run_app(
+    app: &str,
+    variants: &[Variant],
+    spec: &RunSpec,
+    threads: usize,
+    backend: BackendChoice,
+) -> Result<(), String> {
+    let entry = registry::lookup(app)?;
+    let workload = entry.prepare(spec)?;
+    println!("{}: {}", entry.name(), workload.describe());
+    let policy = ExecPolicy::with_threads(threads).backend(backend);
     for &variant in variants {
-        match app {
-            GraphApp::PageRank => {
-                let r = invector_kernels::pagerank(
-                    &d.graph,
-                    variant,
-                    &invector_kernels::PageRankConfig::default(),
-                );
-                print_run_row(variant.tiled_label(), &r);
-            }
-            GraphApp::Sssp => {
-                let r = invector_kernels::sssp(&d.graph, source, variant, 10_000);
-                print_run_row(variant.frontier_label(), &r);
-            }
-            GraphApp::Sswp => {
-                let r = invector_kernels::sswp(&d.graph, source, variant, 10_000);
-                print_run_row(variant.frontier_label(), &r);
-            }
-            GraphApp::Wcc => {
-                let r = invector_kernels::wcc(&d.graph, variant, 10_000);
-                print_run_row(variant.frontier_label(), &r);
-            }
-            GraphApp::Spmv => {
-                let x = vec![1.0f32; d.graph.num_vertices()];
-                let r = invector_kernels::spmv(&d.graph, &x, variant);
-                print_run_row(variant.tiled_label(), &r);
-            }
-        }
-    }
-}
-
-fn run_moldyn(variants: &[Variant], scale: f64, iters: u32) {
-    let molecules = invector_moldyn::input::input_16_3_0r(scale);
-    println!("moldyn 16-3.0r at scale {scale}: {} molecules, {iters} iterations", molecules.len());
-    for &variant in variants {
-        let r = invector_moldyn::sim::simulate(&molecules, variant, iters);
-        let util = r
-            .utilization
-            .map(|u| format!("{:.2}%", u.ratio() * 100.0))
-            .unwrap_or_else(|| "-".into());
-        println!(
-            "{:<24} tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  pairs {:>9}  {:>10.2} Minstr  util {}",
-            variant.tiled_label(),
-            r.timings.tiling.as_secs_f64() * 1e3,
-            r.timings.grouping.as_secs_f64() * 1e3,
-            r.timings.compute.as_secs_f64() * 1e3,
-            r.num_pairs,
-            r.instructions as f64 / 1e6,
-            util
-        );
-    }
-}
-
-fn run_euler(mesh: usize, iters: u32, variants: &[Variant]) -> Result<(), String> {
-    use invector_kernels::euler::{euler_run, initial_state, triangle_mesh};
-    if mesh < 2 {
-        return Err("mesh side must be at least 2".into());
-    }
-    let grid = triangle_mesh(mesh);
-    let state = initial_state(grid.num_vertices());
-    println!(
-        "euler: {}x{} mesh ({} nodes, {} edges), {iters} sweeps",
-        mesh,
-        mesh,
-        grid.num_vertices(),
-        grid.num_edges()
-    );
-    for &variant in variants {
-        let t = std::time::Instant::now();
-        invector_simd::count::reset();
-        let out = euler_run(&grid, &state, variant, iters, 0.05);
-        let instr = invector_simd::count::take();
-        let checksum: f32 = out.fields[0].iter().sum();
-        println!(
-            "{:<24} {:>10.2} ms  {:>12.2} Minstr  density checksum {:.4}",
-            variant.tiled_label(),
-            t.elapsed().as_secs_f64() * 1e3,
-            instr as f64 / 1e6,
-            checksum
-        );
+        print_record(&workload.run(variant, &policy));
     }
     Ok(())
 }
 
-fn run_agg(dist: Distribution, rows: usize, cardinality: usize) {
-    let input = invector_agg::dist::generate(dist, rows, cardinality, 1);
-    println!("aggregation: {dist}, {rows} rows, {cardinality} groups");
-    for method in Method::ALL {
-        let out = invector_agg::run::aggregate(method, &input.keys, &input.vals, cardinality);
+fn run_all(spec: &RunSpec, threads: usize) -> Result<(), String> {
+    let report = driver::run_all(spec, threads);
+    let mut current_app = "";
+    for cell in &report.cells {
+        if cell.app != current_app {
+            current_app = cell.app;
+            println!("{}: {}", cell.app, cell.input);
+        }
         println!(
-            "{:<16} {:>10.1} Mrows/s wall   {:>8.1} instr/row   {:>6} groups out",
-            method.label(),
-            out.mrows_per_sec(rows),
-            out.instructions as f64 / rows as f64,
-            out.rows.len()
+            "  {:<24} {:>8}  t={}  {:>10.2}ms  checksum {:>18.6}  {}",
+            cell.variant.to_string(),
+            cell.backend.name(),
+            cell.threads,
+            cell.elapsed.as_secs_f64() * 1e3,
+            cell.checksum,
+            match &cell.error {
+                None => "ok".to_string(),
+                Some(e) => format!("FAIL: {e}"),
+            }
         );
     }
+    let failures = report.failures().count();
+    println!("\n{} cells, {} failures", report.cells.len(), failures);
+    if failures > 0 {
+        return Err(format!("{failures} cells disagree with the serial reference"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -390,49 +345,78 @@ mod tests {
     fn empty_args_show_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("list")).unwrap(), Command::List);
     }
 
     #[test]
-    fn parses_graph_command_with_options() {
-        let cmd = parse(&args("sssp --dataset amazon0312 --variant invec --scale 0.5 --source 3"))
-            .unwrap();
-        assert_eq!(
-            cmd,
-            Command::Graph {
-                app: GraphApp::Sssp,
-                dataset: "amazon0312".into(),
-                variants: vec![Variant::Invec],
-                scale: 0.5,
-                source: 3,
-            }
-        );
-    }
-
-    #[test]
-    fn defaults_apply() {
-        let cmd = parse(&args("pagerank")).unwrap();
-        match cmd {
-            Command::Graph { app, dataset, variants, scale, source } => {
-                assert_eq!(app, GraphApp::PageRank);
-                assert_eq!(dataset, "higgs-twitter");
-                assert_eq!(variants.len(), 5);
-                assert_eq!(scale, 0.01);
-                assert_eq!(source, 0);
+    fn app_name_is_shorthand_for_run() {
+        let direct = parse(&args("sssp --variant invec --source 3")).unwrap();
+        let explicit = parse(&args("run --app sssp --variant invec --source 3")).unwrap();
+        assert_eq!(direct, explicit);
+        match direct {
+            Command::Run { app, variants, spec, threads, backend } => {
+                assert_eq!(app, "sssp");
+                assert_eq!(variants, vec![Variant::Invec]);
+                assert_eq!(spec.source, 3);
+                assert_eq!(spec.scale, RunSpec::small().scale);
+                assert_eq!(threads, 1);
+                assert_eq!(backend, BackendChoice::Auto);
             }
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
-    fn parses_agg_command() {
-        let cmd = parse(&args("agg --dist zipf --rows 5000 --cardinality 64")).unwrap();
-        assert_eq!(cmd, Command::Agg { dist: Distribution::Zipf, rows: 5000, cardinality: 64 });
+    fn variant_all_resolves_against_the_apps_legal_set() {
+        match parse(&args("agg --variant all")).unwrap() {
+            Command::Run { variants, .. } => {
+                assert_eq!(variants, vec![Variant::Serial, Variant::Masked, Variant::Invec]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args("pagerank")).unwrap() {
+            Command::Run { variants, .. } => assert_eq!(variants.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
-    fn parses_moldyn_command() {
-        let cmd = parse(&args("moldyn --iters 5 --variant masked")).unwrap();
-        assert_eq!(cmd, Command::Moldyn { variants: vec![Variant::Masked], scale: 0.01, iters: 5 });
+    fn illegal_variant_for_app_is_rejected_with_the_legal_set() {
+        let err = parse(&args("agg --variant tiled")).expect_err("tiled agg must not parse");
+        assert!(err.contains("not legal for agg"), "{err}");
+        assert!(err.contains("serial | masked | invec"), "{err}");
+    }
+
+    #[test]
+    fn typo_in_app_name_gets_a_suggestion() {
+        let err = parse(&args("pagernak")).expect_err("typo must not parse");
+        assert!(err.contains("did you mean 'pagerank'"), "{err}");
+        let err = parse(&args("run --app ssp")).expect_err("typo must not parse");
+        assert!(err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn spec_overrides_compose_with_the_scale_preset() {
+        match parse(&args("agg --scale tiny --rows 500 --dist moving-cluster")).unwrap() {
+            Command::Run { spec, .. } => {
+                assert_eq!(spec.rows, 500);
+                assert_eq!(spec.dist, Distribution::MovingCluster);
+                assert_eq!(spec.cardinality, RunSpec::tiny().cardinality);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_all_defaults_to_tiny_and_accepts_threads() {
+        assert_eq!(
+            parse(&args("run-all")).unwrap(),
+            Command::RunAll { spec: RunSpec::tiny(), threads: 1 }
+        );
+        assert_eq!(
+            parse(&args("run-all --scale tiny --threads 2")).unwrap(),
+            Command::RunAll { spec: RunSpec::tiny(), threads: 2 }
+        );
     }
 
     #[test]
@@ -444,37 +428,29 @@ mod tests {
         assert!(parse(&args("sssp --scale 0")).is_err());
         assert!(parse(&args("sssp --scale")).is_err());
         assert!(parse(&args("sssp extra")).is_err());
-    }
-
-    #[test]
-    fn parses_euler_command() {
-        let cmd = parse(&args("euler --mesh 8 --iters 3 --variant invec")).unwrap();
-        assert_eq!(cmd, Command::Euler { mesh: 8, iters: 3, variants: vec![Variant::Invec] });
-    }
-
-    #[test]
-    fn euler_rejects_degenerate_mesh() {
-        assert!(run(parse(&args("euler --mesh 1")).unwrap()).is_err());
+        assert!(parse(&args("sssp --threads 0")).is_err());
+        assert!(parse(&args("sssp --backend gpu")).is_err());
+        assert!(parse(&args("run")).is_err());
     }
 
     #[test]
     fn run_executes_small_commands() {
+        run(Command::List).unwrap();
         run(Command::Info { scale: 0.001 }).unwrap();
-        run(parse(&args("wcc --dataset amazon0312 --variant invec --scale 0.002")).unwrap())
+        run(parse(&args("wcc --dataset amazon0312 --variant invec --scale tiny")).unwrap())
             .unwrap();
-        run(parse(&args("agg --rows 2000 --cardinality 16")).unwrap()).unwrap();
-        run(parse(&args("moldyn --iters 2 --variant serial --scale 0.001")).unwrap()).unwrap();
-        run(parse(&args("spmv --dataset soc-pokec --variant invec --scale 0.001")).unwrap())
+        run(parse(&args("agg --scale tiny --rows 2000 --cardinality 16")).unwrap()).unwrap();
+        run(parse(&args("moldyn --scale tiny --iters 2 --variant serial")).unwrap()).unwrap();
+        run(parse(&args("spmv --dataset soc-Pokec --variant invec --scale tiny")).unwrap())
             .unwrap();
-        run(parse(&args("euler --mesh 6 --iters 2 --variant masked")).unwrap()).unwrap();
+        run(parse(&args("euler --mesh 6 --iters 2 --variant masked --scale tiny")).unwrap())
+            .unwrap();
+        run(parse(&args("bfs --scale tiny --backend portable --threads 2")).unwrap()).unwrap();
     }
 
     #[test]
-    fn run_rejects_bad_dataset_and_source() {
-        assert!(run(parse(&args("sssp --dataset nope")).unwrap()).is_err());
-        assert!(run(
-            parse(&args("sssp --dataset amazon0312 --scale 0.002 --source 999999")).unwrap()
-        )
-        .is_err());
+    fn run_rejects_bad_dataset_and_degenerate_mesh() {
+        assert!(run(parse(&args("sssp --dataset nope --scale tiny")).unwrap()).is_err());
+        assert!(run(parse(&args("euler --mesh 1 --scale tiny")).unwrap()).is_err());
     }
 }

@@ -14,6 +14,7 @@
 //! | [`kernels`] | PageRank, SSSP, SSWP, WCC in all five implementation strategies |
 //! | [`moldyn`] | molecular dynamics: inputs, neighbor lists, LJ force kernels |
 //! | [`agg`] | hash aggregation: linear & bucketized tables, skewed generators |
+//! | [`harness`] | application registry, `Kernel`/`Workload` contract, smoke driver |
 //!
 //! # Quick start
 //!
@@ -40,6 +41,7 @@ pub mod cli;
 pub use invector_agg as agg;
 pub use invector_core as core;
 pub use invector_graph as graph;
+pub use invector_harness as harness;
 pub use invector_kernels as kernels;
 pub use invector_moldyn as moldyn;
 pub use invector_simd as simd;

@@ -1,0 +1,100 @@
+//! Integration: the full registry smoke matrix. Every registered cell
+//! (application × variant × backend, plus engine rows at threads > 1) must
+//! reproduce its serial portable reference at tiny scale — this is the one
+//! end-to-end agreement suite, replacing the old per-kernel variant loops.
+
+use invector::core::BackendChoice;
+use invector::harness::{driver, registry, RunSpec};
+use invector::kernels::{ExecPolicy, Variant};
+
+#[test]
+fn every_registered_cell_matches_the_serial_reference() {
+    let report = driver::run_all(&RunSpec::tiny(), 2);
+    let failures: Vec<String> = report
+        .failures()
+        .map(|c| {
+            format!(
+                "{} {} on {} (t={}): {}",
+                c.app,
+                c.variant,
+                c.backend.name(),
+                c.threads,
+                c.error.as_deref().unwrap_or("?")
+            )
+        })
+        .collect();
+    assert!(failures.is_empty(), "disagreeing cells:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn the_matrix_covers_every_app_variant_backend_and_engine_row() {
+    let report = driver::run_all(&RunSpec::tiny(), 2);
+    let backends = driver::backend_matrix().len();
+    for app in registry::all() {
+        let cells: Vec<_> = report.cells.iter().filter(|c| c.app == app.name()).collect();
+        // One row per (variant, backend) at one thread...
+        let single: Vec<_> = cells.iter().filter(|c| c.threads == 1).collect();
+        assert_eq!(
+            single.len(),
+            app.variants().len() * backends,
+            "{}: expected full single-thread matrix",
+            app.name()
+        );
+        for &variant in app.variants() {
+            assert_eq!(
+                single.iter().filter(|c| c.variant == variant).count(),
+                backends,
+                "{} {variant}: missing a backend row",
+                app.name()
+            );
+        }
+        // ...plus the scalar and in-vector engine rows when threads help.
+        let engine = cells.iter().filter(|c| c.threads > 1).count();
+        if app.supports_threads() {
+            assert!(engine > 0, "{}: no engine rows despite thread support", app.name());
+        } else {
+            assert_eq!(engine, 0, "{}: engine rows on a single-sweep kernel", app.name());
+        }
+    }
+}
+
+#[test]
+fn checksums_are_reproducible_across_independent_prepares() {
+    // Two independently prepared workloads must agree bit-for-bit on the
+    // same serial run — inputs are seeded, never wall-clock dependent.
+    let spec = RunSpec::tiny();
+    let policy = ExecPolicy::default().backend(BackendChoice::Portable);
+    for app in registry::all() {
+        let a = app.prepare(&spec).unwrap().run(Variant::Serial, &policy);
+        let b = app.prepare(&spec).unwrap().run(Variant::Serial, &policy);
+        assert_eq!(
+            a.checksum().to_bits(),
+            b.checksum().to_bits(),
+            "{}: serial checksum not reproducible",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn aggregation_rows_match_the_scalar_reference_table() {
+    // The harness validates agg against its own serial method; pin the
+    // serial method itself to the independent reference implementation.
+    let spec = RunSpec::tiny();
+    let input = invector::agg::dist::generate(spec.dist, spec.rows, spec.cardinality, 0x1b_f2_9d);
+    let expect = invector::agg::table::reference_aggregate(&input.keys, &input.vals);
+    let workload = registry::lookup("agg").unwrap().prepare(&spec).unwrap();
+    let r = workload.run(Variant::Serial, &ExecPolicy::default());
+    assert_eq!(r.values.len(), 4 * expect.len());
+    for (i, e) in expect.iter().enumerate() {
+        assert_eq!(r.values[4 * i], f64::from(e.key));
+        assert_eq!(r.values[4 * i + 1], f64::from(e.count));
+        let sum = r.values[4 * i + 2];
+        let expect_sum = f64::from(e.sum);
+        assert!(
+            (sum - expect_sum).abs() <= 1e-3 * (sum.abs() + expect_sum.abs() + 1.0),
+            "key {}: sum {sum} vs reference {expect_sum}",
+            e.key
+        );
+    }
+}
