@@ -1,0 +1,157 @@
+//! Serving-layer throughput: micro-batch size × ingest shards × backend.
+//!
+//! Drives one Zipf update stream (an i32 count table plus an f32 min
+//! table, the serving workload's table pair) through an in-process
+//! [`LocalClient`] against a fresh [`ServerCore`] per cell, and measures
+//! end-to-end ingest→apply throughput. The batch-size axis is the epoch
+//! quantum: at quantum 1 every update pays a full kernel dispatch, which
+//! is exactly the degenerate case micro-batching exists to amortize — the
+//! paper-shaped result is throughput growing with batch size until the
+//! in-vector kernel saturates.
+//!
+//! Emits one JSON document on stdout (checked in as `BENCH_serve.json`)
+//! so results can be diffed across machines.
+//!
+//! Run: `cargo run --release -p invector-bench --bin serve_throughput
+//!       [--scale f | --full]`
+
+use std::time::Instant;
+
+use invector_agg::dist::{self, Distribution};
+use invector_bench::arg_scale;
+use invector_core::BackendChoice;
+use invector_serve::{
+    LocalClient, OpKind, ServeClient, ServeConfig, ServerCore, TableSpec, Update,
+};
+
+/// Epoch quanta swept (updates per micro-batch slice).
+const QUANTA: [usize; 4] = [1, 256, 4096, 16384];
+/// Ingest shard counts swept.
+const SHARDS: [usize; 3] = [1, 4, 16];
+/// Client submission batch: how many updates each `submit` call carries.
+const CHUNK: usize = 1024;
+/// Same stream seed the harness serving workload uses.
+const SEED: u64 = 0x1b_f2_9d;
+
+struct Cell {
+    backend: &'static str,
+    shards: usize,
+    quantum: usize,
+    seconds: f64,
+    slices: u64,
+    retries: u32,
+}
+
+fn main() {
+    let scale = arg_scale(1.0);
+    let rows = ((100_000.0 * scale) as usize).max(1_000);
+    let cardinality = 4_096.min(rows);
+    let input = dist::generate(Distribution::Zipf, rows, cardinality, SEED);
+    // Two updates per row: one count increment, one min candidate.
+    let updates = 2 * rows as u64;
+
+    let mut backends = vec![("portable", BackendChoice::Portable)];
+    if invector_simd::native::available() {
+        backends.push(("native", BackendChoice::Native));
+    }
+
+    let mut cells = Vec::new();
+    for &(label, backend) in &backends {
+        for &shards in &SHARDS {
+            for &quantum in &QUANTA {
+                let cell = run_cell(&input, backend, label, shards, quantum);
+                eprintln!(
+                    "{label:>8} shards={shards:<2} quantum={quantum:<5} \
+                     {:>8.2} ms  {:>7.2} Mup/s",
+                    cell.seconds * 1e3,
+                    updates as f64 / cell.seconds / 1e6,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    print_json(scale, rows, cardinality, updates, &cells);
+}
+
+/// One swept configuration: fresh server, full stream, forced drain.
+fn run_cell(
+    input: &dist::Input,
+    backend: BackendChoice,
+    label: &'static str,
+    shards: usize,
+    quantum: usize,
+) -> Cell {
+    let tables = vec![
+        TableSpec::i32("counts", OpKind::Add, input.cardinality),
+        TableSpec::f32("mins", OpKind::Min, input.cardinality),
+    ];
+    let mut config = ServeConfig::new(tables);
+    config.backend = backend;
+    config.shards = shards;
+    config.quantum = quantum;
+    // Enough queue headroom that backpressure retries measure the apply
+    // path, not an artificially starved queue.
+    config.queue_capacity = quantum.max(4_096) * 4;
+    let core = ServerCore::new(config).expect("config is valid");
+    let mut client = LocalClient::new(core.clone());
+
+    let counts: Vec<Update> = input
+        .keys
+        .iter()
+        .enumerate()
+        .map(|(seq, &k)| Update::i32(seq as u64, k as u32, 1))
+        .collect();
+    let mins: Vec<Update> = input
+        .keys
+        .iter()
+        .zip(&input.vals)
+        .enumerate()
+        .map(|(seq, (&k, &v))| Update::f32(seq as u64, k as u32, v))
+        .collect();
+
+    let start = Instant::now();
+    let mut retries = 0u32;
+    for (chunk_c, chunk_m) in counts.chunks(CHUNK).zip(mins.chunks(CHUNK)) {
+        retries += client.submit_all(0, chunk_c).expect("local submit");
+        retries += client.submit_all(1, chunk_m).expect("local submit");
+    }
+    client.flush().expect("local flush");
+    let seconds = start.elapsed().as_secs_f64();
+
+    let stats = core.stats_summary();
+    Cell { backend: label, shards, quantum, seconds, slices: stats.slices, retries }
+}
+
+fn print_json(scale: f64, rows: usize, cardinality: usize, updates: u64, cells: &[Cell]) {
+    // Speedup baseline: quantum 1 on the same backend at the same shard
+    // count — the unbatched degenerate case.
+    let base = |c: &Cell| {
+        cells
+            .iter()
+            .find(|b| b.backend == c.backend && b.shards == c.shards && b.quantum == 1)
+            .map_or(f64::NAN, |b| b.seconds)
+    };
+    println!("{{");
+    println!("  \"experiment\": \"serve_throughput\",");
+    println!("  \"scale\": {scale},");
+    println!("  \"rows\": {rows},");
+    println!("  \"cardinality\": {cardinality},");
+    println!("  \"updates\": {updates},");
+    println!("  \"distribution\": \"zipf\",");
+    println!("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        println!("    {{");
+        println!("      \"backend\": \"{}\",", c.backend);
+        println!("      \"shards\": {},", c.shards);
+        println!("      \"quantum\": {},", c.quantum);
+        println!("      \"elapsed_ms\": {:.3},", c.seconds * 1e3);
+        println!("      \"mupdates_per_sec\": {:.3},", updates as f64 / c.seconds / 1e6);
+        println!("      \"slices\": {},", c.slices);
+        println!("      \"reject_retries\": {},", c.retries);
+        println!("      \"speedup_vs_quantum1\": {:.3}", base(c) / c.seconds.max(1e-12));
+        println!("    }}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+}

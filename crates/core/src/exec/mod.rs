@@ -660,6 +660,85 @@ where
     ExecReport { stats, workers }
 }
 
+/// Reusable split buffers for epoch-batched accumulation.
+///
+/// A serving layer that drains micro-batches through the engine submits one
+/// stream of `(index, value)` pairs per epoch. [`execute`] wants parallel
+/// slices; rebuilding them from scratch costs two allocations per epoch at
+/// a high epoch rate. An `EpochScratch` keeps the split buffers alive
+/// across epochs — capacity grows to the largest batch seen and stays
+/// there.
+#[derive(Debug, Clone, Default)]
+pub struct EpochScratch<T> {
+    idx: Vec<i32>,
+    vals: Vec<T>,
+}
+
+impl<T> EpochScratch<T> {
+    /// An empty scratch; buffers are grown by the first epoch.
+    pub fn new() -> Self {
+        EpochScratch { idx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// A scratch pre-sized for `capacity`-item epochs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EpochScratch { idx: Vec::with_capacity(capacity), vals: Vec::with_capacity(capacity) }
+    }
+
+    /// Current buffer capacity (high-water mark of past epoch sizes).
+    pub fn capacity(&self) -> usize {
+        self.idx.capacity().min(self.vals.capacity())
+    }
+}
+
+/// Accumulates one epoch's update stream into `target` under `policy` —
+/// the epoch-submission form of [`execute`].
+///
+/// `updates` yields `(index, value)` pairs in stream order; they are split
+/// into `scratch`'s reusable index/value buffers and executed in one
+/// engine call, so a long-running service pays no per-epoch allocation
+/// once the scratch has warmed up. Results are identical to calling
+/// [`execute`] on pre-split slices: for a fixed policy and epoch content
+/// the fold order is deterministic, which is what lets a serving layer
+/// offer bitwise-reproducible snapshots.
+///
+/// # Panics
+///
+/// Panics if `policy.threads == 0` or an index is out of bounds for
+/// `target`.
+///
+/// # Example
+///
+/// ```
+/// use invector_core::exec::{execute_epoch, EpochScratch, ExecPolicy};
+/// use invector_core::ops::Sum;
+///
+/// let mut hist = vec![0i32; 8];
+/// let mut scratch = EpochScratch::new();
+/// let epoch = [(3, 5i32), (3, 2), (7, 1)];
+/// execute_epoch::<i32, Sum>(&mut hist, epoch, &mut scratch, &ExecPolicy::default());
+/// assert_eq!(hist[3], 7);
+/// assert_eq!(hist[7], 1);
+/// ```
+pub fn execute_epoch<T, Op>(
+    target: &mut [T],
+    updates: impl IntoIterator<Item = (i32, T)>,
+    scratch: &mut EpochScratch<T>,
+    policy: &ExecPolicy,
+) -> ExecReport
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
+    scratch.idx.clear();
+    scratch.vals.clear();
+    for (i, v) in updates {
+        scratch.idx.push(i);
+        scratch.vals.push(v);
+    }
+    execute::<T, Op>(target, &scratch.idx, &scratch.vals, policy)
+}
+
 /// Runs one in-worker reduction variant on a (possibly rebased) view.
 fn run_variant<T, Op>(
     variant: ExecVariant,
@@ -908,6 +987,32 @@ mod tests {
             execute::<i32, Sum>(&mut target, &idx, &vals, &policy);
         });
         assert!(counted > 0, "parallel SIMD work must surface in the caller's counter");
+    }
+
+    #[test]
+    fn execute_epoch_matches_execute_and_reuses_scratch() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(105);
+        let idx: Vec<i32> = (0..3000).map(|_| rng.gen_range(0..64)).collect();
+        let vals: Vec<f32> = (0..3000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let policy = ExecPolicy::with_threads(3);
+        let mut expect = vec![0.0f32; 64];
+        execute::<f32, Sum>(&mut expect, &idx, &vals, &policy);
+
+        let mut scratch = EpochScratch::new();
+        let mut got = vec![0.0f32; 64];
+        execute_epoch::<f32, Sum>(
+            &mut got,
+            idx.iter().copied().zip(vals.iter().copied()),
+            &mut scratch,
+            &policy,
+        );
+        assert!(got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // A second, smaller epoch reuses the warmed buffers.
+        let cap = scratch.capacity();
+        assert!(cap >= 3000);
+        execute_epoch::<f32, Sum>(&mut got, [(0, 1.0f32), (1, 2.0)], &mut scratch, &policy);
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

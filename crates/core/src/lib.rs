@@ -71,8 +71,8 @@ pub use accumulate::{
 pub use adaptive::AdaptiveReducer;
 pub use backend::{Backend, BackendChoice};
 pub use exec::{
-    execute, parallel_chunks, pool_initializations, ExecPlan, ExecPolicy, ExecReport, ExecVariant,
-    Partition, TaskCtx, TaskItems, WorkerReport,
+    execute, execute_epoch, parallel_chunks, pool_initializations, EpochScratch, ExecPlan,
+    ExecPolicy, ExecReport, ExecVariant, Partition, TaskCtx, TaskItems, WorkerReport,
 };
 pub use invec::{
     invec_add, invec_max, invec_min, reduce_alg1, reduce_alg1_arr, reduce_alg1_arr_with,

@@ -1,5 +1,5 @@
-//! The nine registered applications, each adapting one kernel crate onto
-//! the [`Kernel`] / [`Workload`] contract.
+//! The registered applications, each adapting one kernel crate onto the
+//! [`Kernel`] / [`Workload`] contract.
 
 use std::time::Instant;
 
@@ -59,6 +59,7 @@ fn from_run_result<T: Copy + Into<f64>>(
     variant: Variant,
     mode: TilingMode,
     policy: &ExecPolicy,
+    updates: u64,
     r: RunResult<T>,
 ) -> RunRecord {
     RunRecord {
@@ -73,6 +74,7 @@ fn from_run_result<T: Copy + Into<f64>>(
         depth: r.depth,
         threads: r.threads,
         backend: policy.backend.resolve(),
+        updates,
     }
 }
 
@@ -124,7 +126,8 @@ impl Workload for PageRankWorkload {
             ..PageRankConfig::default()
         };
         let r = pagerank(&self.dataset.graph, variant, &config);
-        from_run_result("pagerank", variant, TilingMode::Tiled, policy, r)
+        let updates = self.dataset.graph.num_edges() as u64 * u64::from(r.iterations);
+        from_run_result("pagerank", variant, TilingMode::Tiled, policy, updates, r)
     }
 }
 
@@ -176,7 +179,8 @@ impl Workload for SpmvWorkload {
     }
     fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
         let r = spmv_with_policy(&self.dataset.graph, &self.x, variant, policy);
-        from_run_result("spmv", variant, TilingMode::Tiled, policy, r)
+        let updates = self.dataset.graph.num_edges() as u64;
+        from_run_result("spmv", variant, TilingMode::Tiled, policy, updates, r)
     }
 }
 
@@ -236,7 +240,9 @@ macro_rules! wave_app {
             fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
                 #[allow(clippy::redundant_closure_call)]
                 let r = ($run)(self, variant, policy);
-                from_run_result($name, variant, TilingMode::Frontier, policy, r)
+                // Wavefront sweeps only touch the active frontier's edges,
+                // which the kernels don't count — no meaningful total.
+                from_run_result($name, variant, TilingMode::Frontier, policy, 0, r)
             }
         }
     };
@@ -378,6 +384,7 @@ impl Workload for EulerWorkload {
             depth: None,
             threads,
             backend: policy.backend.resolve(),
+            updates: self.mesh.num_edges() as u64 * u64::from(self.iterations),
         }
     }
 }
@@ -451,6 +458,9 @@ impl Workload for MoldynWorkload {
             depth: r.depth,
             threads: r.threads,
             backend: policy.backend.resolve(),
+            // The neighbor list is rebuilt as molecules move; force-pair
+            // counts aren't surfaced, so no meaningful total.
+            updates: 0,
         }
     }
 }
@@ -541,6 +551,159 @@ impl Workload for AggWorkload {
             depth: None,
             threads: policy.threads.max(1),
             backend: policy.backend.resolve(),
+            updates: self.input.len() as u64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving
+// ---------------------------------------------------------------------------
+
+/// Epoch batch quantum for the serving workload. Fixed (not spec-derived)
+/// because it is part of the determinism configuration: both registered
+/// tables use exact operators, so snapshots are bitwise-stable under any
+/// quantum, but keeping it constant makes recorded timings comparable.
+const SERVE_QUANTUM: usize = 256;
+
+/// Client batch size for the serving workload's submissions.
+const SERVE_CHUNK: usize = 512;
+
+/// The serving layer: streams associative updates through `invector-serve`
+/// micro-batches instead of one ahead-of-time array pass.
+pub struct ServeApp;
+
+struct ServeWorkload {
+    input: agg::Input,
+    dist: agg::Distribution,
+}
+
+impl Kernel for ServeApp {
+    fn name(&self) -> &'static str {
+        "serve"
+    }
+    fn summary(&self) -> &'static str {
+        "Update-stream serving: sharded ingest + epoch micro-batches (invector-serve)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        const VARIANTS: [Variant; 2] = [Variant::Serial, Variant::Invec];
+        &VARIANTS
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Frontier
+    }
+    fn tolerance(&self) -> f64 {
+        // Integer adds and float mins are exact: the served snapshot must
+        // match the serial fold bitwise.
+        0.0
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.rows == 0 || spec.cardinality == 0 {
+            return Err("serving needs rows >= 1 and cardinality >= 1".into());
+        }
+        let input = agg::dist::generate(spec.dist, spec.rows, spec.cardinality, INPUT_SEED);
+        Ok(Box::new(ServeWorkload { input, dist: spec.dist }))
+    }
+}
+
+impl ServeWorkload {
+    /// The logical update streams: each input row becomes one count
+    /// increment and one min relaxation, keyed by the row's group.
+    fn streams(&self) -> (Vec<invector_serve::Update>, Vec<invector_serve::Update>) {
+        let counts = self
+            .input
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(seq, &k)| invector_serve::Update::i32(seq as u64, k as u32, 1))
+            .collect();
+        let mins = self
+            .input
+            .keys
+            .iter()
+            .zip(&self.input.vals)
+            .enumerate()
+            .map(|(seq, (&k, &v))| invector_serve::Update::f32(seq as u64, k as u32, v))
+            .collect();
+        (counts, mins)
+    }
+
+    /// Serial reference: fold both streams directly, no service involved.
+    fn run_serial(&self) -> Vec<f64> {
+        let card = self.input.cardinality;
+        let mut counts = vec![0i32; card];
+        let mut mins = vec![f32::INFINITY; card];
+        for (&k, &v) in self.input.keys.iter().zip(&self.input.vals) {
+            counts[k as usize] += 1;
+            if v < mins[k as usize] {
+                mins[k as usize] = v;
+            }
+        }
+        let mut values: Vec<f64> = counts.into_iter().map(f64::from).collect();
+        values.extend(mins.into_iter().map(f64::from));
+        values
+    }
+
+    /// Served path: stand up an in-process core, stream the updates
+    /// through batched submissions, drain, and snapshot.
+    fn run_served(&self, policy: &ExecPolicy) -> Result<Vec<f64>, String> {
+        use invector_serve::{
+            LocalClient, OpKind, ServeClient, ServeConfig, ServerCore, TableSpec,
+        };
+        let card = self.input.cardinality;
+        let mut config = ServeConfig::new(vec![
+            TableSpec::i32("counts", OpKind::Add, card),
+            TableSpec::f32("mins", OpKind::Min, card),
+        ]);
+        config.quantum = SERVE_QUANTUM;
+        config.threads = policy.threads.max(1);
+        config.backend = policy.backend;
+        let core = ServerCore::new(config)?;
+        let mut client = LocalClient::new(core);
+        let (counts, mins) = self.streams();
+        for (table, stream) in [(0u16, &counts), (1u16, &mins)] {
+            for chunk in stream.chunks(SERVE_CHUNK) {
+                client.submit_all(table, chunk)?;
+            }
+        }
+        client.flush()?;
+        let mut values = client.snapshot(0)?.data.to_f64();
+        values.extend(client.snapshot(1)?.data.to_f64());
+        Ok(values)
+    }
+}
+
+impl Workload for ServeWorkload {
+    fn describe(&self) -> String {
+        format!(
+            "{} rows -> 2x{} update stream, {} keys, {} distribution",
+            self.input.len(),
+            self.input.len(),
+            self.input.cardinality,
+            self.dist.label()
+        )
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let instr_before = invector_simd::count::read();
+        let start = Instant::now();
+        let values = match variant {
+            Variant::Serial => self.run_serial(),
+            _ => self.run_served(policy).unwrap_or_else(|e| panic!("serving workload failed: {e}")),
+        };
+        let timings = Timings { compute: start.elapsed(), ..Timings::default() };
+        RunRecord {
+            app: "serve",
+            variant,
+            label: variant.label(TilingMode::Frontier),
+            values,
+            iterations: 1,
+            timings,
+            instructions: invector_simd::count::read().wrapping_sub(instr_before),
+            utilization: None,
+            depth: None,
+            threads: policy.threads.max(1),
+            backend: policy.backend.resolve(),
+            updates: 2 * self.input.len() as u64,
         }
     }
 }
@@ -561,6 +724,19 @@ mod tests {
             assert!(!r.values.is_empty(), "{} produced no values", app.name());
             assert!(r.values.iter().all(|v| !v.is_nan()), "{} produced NaN", app.name());
         }
+    }
+
+    #[test]
+    fn served_snapshot_matches_the_serial_fold_bitwise() {
+        let spec = RunSpec::tiny();
+        let workload = ServeApp.prepare(&spec).expect("prepare");
+        let policy = ExecPolicy::default().backend(invector_core::BackendChoice::Portable);
+        let serial = workload.run(Variant::Serial, &policy);
+        let served = workload.run(Variant::Invec, &policy);
+        serial
+            .agrees_with(&served, ServeApp.tolerance())
+            .expect("serving layer diverged from the serial fold");
+        assert!(served.updates > 0 && served.mupdates_per_sec().is_some());
     }
 
     #[test]

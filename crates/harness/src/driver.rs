@@ -27,6 +27,9 @@ pub struct CellReport {
     pub checksum: f64,
     /// Wall time of the run.
     pub elapsed: Duration,
+    /// Throughput in million updates per second, when the application
+    /// reports update counts ([`RunRecord::mupdates_per_sec`](crate::RunRecord::mupdates_per_sec)).
+    pub mupdates: Option<f64>,
     /// `None` when the cell's values agree with the serial portable
     /// reference within the application's tolerance; otherwise the
     /// disagreement (or preparation failure) message.
@@ -49,6 +52,11 @@ impl SmokeReport {
     /// `true` when every cell agreed with its reference.
     pub fn all_passed(&self) -> bool {
         self.failures().next().is_none()
+    }
+
+    /// Total wall time across every cell.
+    pub fn total_elapsed(&self) -> Duration {
+        self.cells.iter().map(|c| c.elapsed).sum()
     }
 }
 
@@ -82,6 +90,7 @@ pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
                     threads: 1,
                     checksum: f64::NAN,
                     elapsed: Duration::ZERO,
+                    mupdates: None,
                     error: Some(format!("prepare failed: {e}")),
                 });
                 continue;
@@ -115,6 +124,7 @@ pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
                 threads: r.threads,
                 checksum: r.checksum(),
                 elapsed: r.elapsed(),
+                mupdates: r.mupdates_per_sec(),
                 error: r.agrees_with(&reference, app.tolerance()).err(),
             });
         }

@@ -95,6 +95,10 @@ pub struct RunRecord {
     pub threads: usize,
     /// The backend the run resolved to.
     pub backend: Backend,
+    /// Associative updates the run processed (edge relaxations, scatter
+    /// adds, stream rows), for throughput reporting. `0` when the kernel
+    /// cannot attribute a meaningful count.
+    pub updates: u64,
 }
 
 impl RunRecord {
@@ -148,6 +152,16 @@ impl RunRecord {
     pub fn elapsed(&self) -> Duration {
         self.timings.total()
     }
+
+    /// Throughput in million updates per second, when the kernel reported
+    /// an update count and the run took measurable time.
+    pub fn mupdates_per_sec(&self) -> Option<f64> {
+        let secs = self.elapsed().as_secs_f64();
+        if self.updates == 0 || secs <= 0.0 {
+            return None;
+        }
+        Some(self.updates as f64 / secs / 1e6)
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +181,7 @@ mod tests {
             depth: None,
             threads: 1,
             backend: Backend::Portable,
+            updates: 0,
         }
     }
 

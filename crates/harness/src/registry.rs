@@ -2,14 +2,24 @@
 //! by name from the CLI, the benches, and the smoke driver.
 
 use crate::apps::{
-    AggApp, BfsApp, EulerApp, MoldynApp, PageRankApp, SpmvApp, SsspApp, SswpApp, WccApp,
+    AggApp, BfsApp, EulerApp, MoldynApp, PageRankApp, ServeApp, SpmvApp, SsspApp, SswpApp, WccApp,
 };
 use crate::kernel::Kernel;
 
 /// Every registered application, in the paper's presentation order
-/// (Figures 8–13, then the extra wave kernels).
-static REGISTRY: [&dyn Kernel; 9] =
-    [&PageRankApp, &SpmvApp, &SsspApp, &SswpApp, &BfsApp, &WccApp, &EulerApp, &MoldynApp, &AggApp];
+/// (Figures 8–13, then the extra wave kernels and the serving layer).
+static REGISTRY: [&dyn Kernel; 10] = [
+    &PageRankApp,
+    &SpmvApp,
+    &SsspApp,
+    &SswpApp,
+    &BfsApp,
+    &WccApp,
+    &EulerApp,
+    &MoldynApp,
+    &AggApp,
+    &ServeApp,
+];
 
 /// All registered applications.
 pub fn all() -> &'static [&'static dyn Kernel] {
@@ -76,7 +86,7 @@ mod tests {
             assert!(!app.variants().is_empty());
             assert_eq!(app.variants()[0], invector_kernels::Variant::Serial);
         }
-        assert_eq!(all().len(), 9);
+        assert_eq!(all().len(), 10);
     }
 
     #[test]

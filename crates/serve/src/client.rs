@@ -1,0 +1,338 @@
+//! Clients: in-process (sharing the [`ServerCore`]) and TCP.
+//!
+//! Both speak through the same [`ServeClient`] trait so harness smoke
+//! drivers and benchmarks can mix transports. `submit_all` implements the
+//! backpressure contract from the client side: on a `Reject`, honor the
+//! retry-after backoff and resubmit the refused suffix — nothing is lost,
+//! the stream just slows down.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, ProtoError, Reply, Request, StatsSummary, Update, PROTOCOL_VERSION,
+};
+use crate::server::{ServerCore, Snapshot, SubmitOutcome};
+use crate::table::{TableData, TableSpec, ValueKind};
+
+/// Transport-independent client surface.
+pub trait ServeClient {
+    /// Submits one batch of updates for `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or server-side errors.
+    fn submit(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String>;
+
+    /// Forces a drain epoch (applies partial batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures.
+    fn flush(&mut self) -> Result<(), String>;
+
+    /// Fetches one table's snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or unknown tables.
+    fn snapshot(&mut self, table: u16) -> Result<Snapshot, String>;
+
+    /// Fetches aggregate service statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures.
+    fn stats(&mut self) -> Result<StatsSummary, String>;
+
+    /// Waits out a rejection before retrying.
+    fn backoff(&mut self, retry_after_ms: u32);
+
+    /// Submits a batch, retrying rejected suffixes until everything is
+    /// admitted. Returns the number of reject round-trips taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`submit`](Self::submit) failures and gives up if the
+    /// server starts draining.
+    fn submit_all(&mut self, table: u16, updates: &[Update]) -> Result<u32, String> {
+        let mut rest = updates;
+        let mut retries = 0u32;
+        while !rest.is_empty() {
+            match self.submit(table, rest)? {
+                SubmitOutcome::Accepted { .. } => break,
+                SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
+                    if reason == crate::protocol::RejectReason::Draining {
+                        return Err(format!(
+                            "server is draining with {} updates unsubmitted",
+                            rest.len() - accepted as usize
+                        ));
+                    }
+                    rest = &rest[accepted as usize..];
+                    retries += 1;
+                    self.backoff(retry_after_ms);
+                }
+                SubmitOutcome::Failed(m) => return Err(m),
+            }
+        }
+        Ok(retries)
+    }
+}
+
+/// In-process client: calls straight into a shared [`ServerCore`].
+///
+/// Used by the harness serving workload and the throughput benchmark,
+/// where the protocol round-trip would only add noise. On backoff it runs
+/// an epoch itself instead of sleeping, so single-threaded drivers make
+/// progress against a full queue.
+#[derive(Debug, Clone)]
+pub struct LocalClient {
+    core: Arc<ServerCore>,
+}
+
+impl LocalClient {
+    /// A client sharing `core`.
+    pub fn new(core: Arc<ServerCore>) -> LocalClient {
+        LocalClient { core }
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &Arc<ServerCore> {
+        &self.core
+    }
+}
+
+impl ServeClient for LocalClient {
+    fn submit(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String> {
+        Ok(self.core.submit(table, updates))
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        self.core.flush();
+        Ok(())
+    }
+
+    fn snapshot(&mut self, table: u16) -> Result<Snapshot, String> {
+        self.core.snapshot(table)
+    }
+
+    fn stats(&mut self) -> Result<StatsSummary, String> {
+        Ok(self.core.stats_summary())
+    }
+
+    fn backoff(&mut self, _retry_after_ms: u32) {
+        // Run the epoch ourselves: frees queue space deterministically
+        // without wall-clock sleeps.
+        self.core.tick(false);
+    }
+}
+
+/// TCP client: one connection, `Hello`-handshaken, synchronous
+/// request/reply.
+#[derive(Debug)]
+pub struct TcpClient {
+    reader: std::io::BufReader<TcpStream>,
+    writer: std::io::BufWriter<TcpStream>,
+    shards: u16,
+    quantum: u32,
+    tables: Vec<TableSpec>,
+}
+
+impl TcpClient {
+    /// Connects to `addr` and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for connection failures or a version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpClient, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_nodelay(true).map_err(|e| format!("nodelay: {e}"))?;
+        let reader =
+            std::io::BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        let writer = std::io::BufWriter::new(stream);
+        let mut client = TcpClient { reader, writer, shards: 0, quantum: 0, tables: Vec::new() };
+        match client.round_trip(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Reply::Hello { version, shards, quantum, tables } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(format!(
+                        "server speaks protocol {version}, not {PROTOCOL_VERSION}"
+                    ));
+                }
+                client.shards = shards;
+                client.quantum = quantum;
+                client.tables = tables;
+                Ok(client)
+            }
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected handshake reply {other:?}")),
+        }
+    }
+
+    /// The server's table registry, as announced in the handshake.
+    pub fn tables(&self) -> &[TableSpec] {
+        &self.tables
+    }
+
+    /// The server's epoch quantum, as announced in the handshake.
+    pub fn quantum(&self) -> u32 {
+        self.quantum
+    }
+
+    /// The server's ingest shard count, as announced in the handshake.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Reply, String> {
+        write_frame(&mut self.writer, &request.encode()).map_err(|e| format!("send: {e}"))?;
+        match read_frame(&mut self.reader) {
+            Ok(Some(body)) => Reply::decode(&body).map_err(|e| e.to_string()),
+            Ok(None) => Err("server closed the connection".into()),
+            Err(ProtoError::Io(e)) => Err(format!("receive: {e}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Asks the server to drain and stop; returns the final per-table
+    /// watermarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or unexpected replies.
+    pub fn shutdown(mut self) -> Result<Vec<u64>, String> {
+        match self.round_trip(&Request::Shutdown)? {
+            Reply::Bye { watermarks } => Ok(watermarks),
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected shutdown reply {other:?}")),
+        }
+    }
+}
+
+impl ServeClient for TcpClient {
+    fn submit(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String> {
+        match self.round_trip(&Request::Update { table, updates: updates.to_vec() })? {
+            Reply::Ack { accepted, watermark } => {
+                Ok(SubmitOutcome::Accepted { accepted, watermark })
+            }
+            Reply::Reject { accepted, retry_after_ms, reason } => {
+                Ok(SubmitOutcome::Rejected { accepted, retry_after_ms, reason })
+            }
+            Reply::Error(m) => Ok(SubmitOutcome::Failed(m)),
+            other => Err(format!("unexpected submit reply {other:?}")),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        match self.round_trip(&Request::Flush)? {
+            Reply::Ack { .. } => Ok(()),
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected flush reply {other:?}")),
+        }
+    }
+
+    fn snapshot(&mut self, table: u16) -> Result<Snapshot, String> {
+        match self.round_trip(&Request::Snapshot { table })? {
+            Reply::Snapshot { table, watermark, values } => {
+                let spec = self
+                    .tables
+                    .get(table as usize)
+                    .ok_or_else(|| format!("snapshot for unannounced table {table}"))?;
+                let data = match spec.kind {
+                    ValueKind::F32 => {
+                        TableData::F32(values.iter().map(|&b| f32::from_bits(b)).collect())
+                    }
+                    ValueKind::I32 => TableData::I32(values.iter().map(|&b| b as i32).collect()),
+                };
+                Ok(Snapshot { table, watermark, data })
+            }
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected snapshot reply {other:?}")),
+        }
+    }
+
+    fn stats(&mut self) -> Result<StatsSummary, String> {
+        match self.round_trip(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected stats reply {other:?}")),
+        }
+    }
+
+    fn backoff(&mut self, retry_after_ms: u32) {
+        std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+    use crate::table::OpKind;
+
+    fn server() -> Server {
+        let mut config = ServeConfig::new(vec![
+            TableSpec::i32("counts", OpKind::Add, 64),
+            TableSpec::f32("mins", OpKind::Min, 32),
+        ]);
+        config.quantum = 16;
+        config.epoch_interval = Duration::from_millis(1);
+        Server::bind(config, "127.0.0.1:0").expect("bind loopback")
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process_state() {
+        let server = server();
+        let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+        assert_eq!(tcp.tables().len(), 2);
+        assert_eq!(tcp.quantum(), 16);
+
+        let updates: Vec<Update> = (0..40).map(|i| Update::i32(i, (i % 64) as u32, 3)).collect();
+        tcp.submit_all(0, &updates).expect("submit");
+        tcp.flush().expect("flush");
+        let over_wire = tcp.snapshot(0).expect("snapshot");
+        assert_eq!(over_wire.watermark, 40);
+
+        let mut local = LocalClient::new(server.core());
+        let in_process = local.snapshot(0).expect("snapshot");
+        assert_eq!(over_wire.bits(), in_process.bits(), "wire and core views agree bitwise");
+
+        let stats = tcp.stats().expect("stats");
+        assert_eq!(stats.applied, 40);
+
+        let watermarks = tcp.shutdown().expect("shutdown");
+        assert_eq!(watermarks, vec![40, 0]);
+        server.join();
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_at_handshake() {
+        let server = server();
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = std::io::BufWriter::new(stream);
+        write_frame(&mut writer, &Request::Hello { version: 999 }.encode()).expect("send");
+        let body = read_frame(&mut reader).expect("read").expect("reply");
+        assert!(matches!(Reply::decode(&body).expect("decode"), Reply::Error(_)));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn local_client_retries_through_backpressure_without_loss() {
+        let mut config = ServeConfig::new(vec![TableSpec::i32("c", OpKind::Add, 16)]);
+        config.shards = 1;
+        config.queue_capacity = 8;
+        config.quantum = 4;
+        let core = ServerCore::new(config).expect("core");
+        let mut client = LocalClient::new(core);
+        let updates: Vec<Update> = (0..100).map(|i| Update::i32(i, (i % 16) as u32, 1)).collect();
+        let retries = client.submit_all(0, &updates).expect("submit all");
+        assert!(retries > 0, "tiny queue must reject at least once");
+        client.flush().expect("flush");
+        let snap = client.snapshot(0).expect("snapshot");
+        assert_eq!(snap.watermark, 100, "every rejected update was retried");
+        let TableData::I32(v) = &snap.data else { panic!("i32") };
+        assert_eq!(v.iter().sum::<i32>(), 100);
+    }
+}

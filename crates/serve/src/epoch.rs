@@ -1,0 +1,267 @@
+//! Epoch bookkeeping: the seq-ordered reorder buffer and per-epoch
+//! statistics.
+//!
+//! The service applies each table's update stream in **contiguous sequence
+//! order**, exactly like a replicated log: updates may arrive on any
+//! connection in any interleaving, but an update is only folded into the
+//! table once every earlier stream position has been. The reorder buffer
+//! is the holding pen between arrival order and application order.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use invector_core::stats::DepthHistogram;
+
+use crate::protocol::{StatsSummary, Update};
+
+/// Buffers out-of-order arrivals and releases the contiguous prefix.
+///
+/// `watermark` is the next stream position to apply; everything below it
+/// has already been folded into the table. Insertions below the watermark
+/// or at an occupied position are duplicates and are dropped (counted).
+#[derive(Debug, Default)]
+pub struct ReorderBuffer {
+    held: BTreeMap<u64, (u32, u32)>,
+    watermark: u64,
+    duplicates: u64,
+}
+
+impl ReorderBuffer {
+    /// An empty buffer at watermark 0.
+    pub fn new() -> ReorderBuffer {
+        ReorderBuffer::default()
+    }
+
+    /// Next stream position to apply.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Updates currently held (contiguous or not).
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Duplicate insertions dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Buffers one update; returns `false` for duplicates (position
+    /// already applied or already held).
+    pub fn insert(&mut self, u: Update) -> bool {
+        if u.seq < self.watermark {
+            self.duplicates += 1;
+            return false;
+        }
+        match self.held.entry(u.seq) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.duplicates += 1;
+                false
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((u.idx, u.bits));
+                true
+            }
+        }
+    }
+
+    /// Length of the contiguous run starting at the watermark.
+    pub fn contiguous_len(&self) -> usize {
+        let mut expect = self.watermark;
+        for &seq in self.held.keys() {
+            if seq != expect {
+                break;
+            }
+            expect += 1;
+        }
+        (expect - self.watermark) as usize
+    }
+
+    /// Removes exactly `n` updates from the contiguous run into `out`
+    /// (cleared first), advancing the watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` contiguous updates are available — callers
+    /// size `n` from [`contiguous_len`](Self::contiguous_len) under the
+    /// same lock.
+    pub fn pop_run(&mut self, n: usize, out: &mut Vec<Update>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            let (seq, (idx, bits)) =
+                self.held.pop_first().expect("pop_run past the buffered updates");
+            assert_eq!(seq, self.watermark, "pop_run past the contiguous run");
+            out.push(Update { seq, idx, bits });
+            self.watermark += 1;
+        }
+    }
+}
+
+/// One epoch's outcome: what [`tick`](crate::server::ServerCore::tick)
+/// applied.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Updates applied across all tables.
+    pub applied: usize,
+    /// Batch slices executed.
+    pub slices: usize,
+    /// Wall time of the tick.
+    pub elapsed: Duration,
+}
+
+/// Bounded ring of recent epoch latencies for percentile reporting.
+const LATENCY_RING: usize = 4096;
+
+/// Running service statistics, updated by the epoch executor and admission
+/// path, summarized on a `Stats` request.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Epochs that applied at least one slice.
+    pub epochs: u64,
+    /// Batch slices executed.
+    pub slices: u64,
+    /// Updates applied.
+    pub applied: u64,
+    /// Updates refused admission.
+    pub rejected: u64,
+    /// Slice capacity offered (slices × quantum), for occupancy.
+    offered: u64,
+    /// Merged conflict-depth histogram across applied slices.
+    pub depth: DepthHistogram,
+    /// Total epoch execution time.
+    pub busy: Duration,
+    /// Recent epoch latencies (ring, capacity [`LATENCY_RING`]).
+    latencies: Vec<Duration>,
+    /// Next ring slot to overwrite.
+    cursor: usize,
+}
+
+impl ServeStats {
+    /// Records one executed epoch.
+    pub fn record_epoch(&mut self, report: &EpochReport, quantum: usize, depth: &DepthHistogram) {
+        if report.slices == 0 {
+            return;
+        }
+        self.epochs += 1;
+        self.slices += report.slices as u64;
+        self.applied += report.applied as u64;
+        self.offered += (report.slices * quantum) as u64;
+        self.depth.merge(depth);
+        self.busy += report.elapsed;
+        if self.latencies.len() < LATENCY_RING {
+            self.latencies.push(report.elapsed);
+        } else {
+            self.latencies[self.cursor] = report.elapsed;
+            self.cursor = (self.cursor + 1) % LATENCY_RING;
+        }
+    }
+
+    /// Records refused admissions.
+    pub fn record_rejects(&mut self, n: u64) {
+        self.rejected += n;
+    }
+
+    /// Epoch latency percentile over the recent ring (`q` in `[0, 1]`).
+    fn latency_quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[rank]
+    }
+
+    /// Condenses the running counters into the wire summary.
+    pub fn summarize(&self, duplicates: u64) -> StatsSummary {
+        let busy = self.busy.as_secs_f64();
+        StatsSummary {
+            epochs: self.epochs,
+            slices: self.slices,
+            applied: self.applied,
+            rejected: self.rejected,
+            duplicates,
+            occupancy: if self.offered == 0 {
+                0.0
+            } else {
+                self.applied as f64 / self.offered as f64
+            },
+            conflict_depth: self.depth.mean(),
+            updates_per_sec: if busy > 0.0 { self.applied as f64 / busy } else { 0.0 },
+            p50_epoch_us: self.latency_quantile(0.50).as_secs_f64() * 1e6,
+            p99_epoch_us: self.latency_quantile(0.99).as_secs_f64() * 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorder_buffer_releases_only_the_contiguous_prefix() {
+        let mut b = ReorderBuffer::new();
+        for seq in [3u64, 0, 5, 1] {
+            assert!(b.insert(Update::i32(seq, 0, 1)));
+        }
+        assert_eq!(b.contiguous_len(), 2, "0 and 1 are contiguous; 3 and 5 wait");
+        let mut out = Vec::new();
+        b.pop_run(2, &mut out);
+        assert_eq!(out.iter().map(|u| u.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(b.watermark(), 2);
+        assert_eq!(b.contiguous_len(), 0, "gap at 2");
+        b.insert(Update::i32(2, 0, 1));
+        b.insert(Update::i32(4, 0, 1));
+        assert_eq!(b.contiguous_len(), 4, "2..=5 now contiguous");
+    }
+
+    #[test]
+    fn stale_and_double_insertions_count_as_duplicates() {
+        let mut b = ReorderBuffer::new();
+        assert!(b.insert(Update::i32(0, 0, 1)));
+        assert!(!b.insert(Update::i32(0, 9, 9)));
+        let mut out = Vec::new();
+        b.pop_run(1, &mut out);
+        assert!(!b.insert(Update::i32(0, 0, 1)), "below watermark");
+        assert_eq!(b.duplicates(), 2);
+    }
+
+    #[test]
+    fn stats_summary_reports_occupancy_and_percentiles() {
+        let mut s = ServeStats::default();
+        let depth = DepthHistogram::new();
+        for i in 0..10 {
+            let report = EpochReport {
+                applied: 96,
+                slices: 1,
+                elapsed: Duration::from_micros(100 + i * 10),
+            };
+            s.record_epoch(&report, 128, &depth);
+        }
+        s.record_rejects(7);
+        let sum = s.summarize(3);
+        assert_eq!(sum.epochs, 10);
+        assert_eq!(sum.applied, 960);
+        assert_eq!(sum.rejected, 7);
+        assert_eq!(sum.duplicates, 3);
+        assert!((sum.occupancy - 0.75).abs() < 1e-9);
+        assert!(sum.p50_epoch_us >= 100.0 && sum.p50_epoch_us <= 190.0);
+        assert!(sum.p99_epoch_us >= sum.p50_epoch_us);
+        assert!(sum.updates_per_sec > 0.0);
+    }
+
+    #[test]
+    fn empty_epochs_do_not_skew_statistics() {
+        let mut s = ServeStats::default();
+        s.record_epoch(&EpochReport::default(), 128, &DepthHistogram::new());
+        assert_eq!(s.epochs, 0);
+        assert_eq!(s.summarize(0).p50_epoch_us, 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! `invector-serve`: a micro-batching update-stream service over the
+//! in-vector reduction kernels.
+//!
+//! The batch tooling in this workspace answers "how fast can one kernel
+//! chew through one dataset". This crate answers the serving-side question:
+//! keep datasets resident, accept streams of associative updates from many
+//! concurrent clients, and fold them in through the same conflict-free
+//! SIMD engine — without giving up reproducibility.
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──► admission ──► shard queues ──► reorder buffer ──► epoch
+//! (TCP /      (bounded,     (per-partition   (contiguous seq    executor
+//!  in-proc)    reject +      Mutex<VecDeque>) order per table)   (quantum
+//!              retry-after)                                      slices →
+//!                                                                exec engine)
+//! ```
+//!
+//! Three decisions carry the design:
+//!
+//! 1. **Replicated-log ordering.** Every update carries a producer-assigned
+//!    per-table sequence number; the server folds updates in contiguous
+//!    `seq` order no matter which connection delivered them or which shard
+//!    queued them. Sharding is purely an ingest concern.
+//! 2. **Exact-quantum batch cuts.** The epoch executor only ever applies
+//!    slices of exactly `quantum` updates; partial tails wait for an
+//!    explicit `Flush` or the shutdown drain. Batch boundaries therefore
+//!    depend only on stream content, so replays see identical batches and
+//!    the engine (deterministic mode) produces bitwise-identical tables —
+//!    the snapshot determinism contract.
+//! 3. **Reject, never block or drop.** Full shard queues and reorder
+//!    windows refuse admission with a retry-after hint; an admitted update
+//!    is never lost and a refused one is the client's to resubmit.
+//!
+//! # Example
+//!
+//! ```
+//! use invector_serve::{
+//!     LocalClient, OpKind, ServeClient, ServeConfig, ServerCore, TableSpec, Update,
+//! };
+//!
+//! let mut config = ServeConfig::new(vec![TableSpec::i32("degree", OpKind::Add, 1 << 10)]);
+//! config.quantum = 256;
+//! let core = ServerCore::new(config).unwrap();
+//! let mut client = LocalClient::new(core);
+//!
+//! let updates: Vec<Update> =
+//!     (0..1000).map(|seq| Update::i32(seq, (seq % 1024) as u32, 1)).collect();
+//! client.submit_all(0, &updates).unwrap();
+//! client.flush().unwrap();
+//! assert_eq!(client.snapshot(0).unwrap().watermark, 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod epoch;
+pub mod protocol;
+pub mod server;
+pub mod table;
+
+pub use client::{LocalClient, ServeClient, TcpClient};
+pub use epoch::{EpochReport, ReorderBuffer, ServeStats};
+pub use protocol::{RejectReason, StatsSummary, Update, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server, ServerCore, Snapshot, SubmitOutcome};
+pub use table::{OpKind, TableData, TableSpec, ValueKind};

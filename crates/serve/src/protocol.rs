@@ -1,0 +1,699 @@
+//! The wire protocol: length-prefixed binary frames over any byte stream.
+//!
+//! Every frame is `u32` little-endian body length followed by the body;
+//! the first body byte is the opcode. Values travel as raw 32-bit patterns
+//! (`f32::to_bits` / `i32 as u32`), so a snapshot round-trips bitwise —
+//! the determinism contract of the serving layer is checkable over the
+//! wire, not just in process.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! frame    := len:u32 body
+//! body     := opcode:u8 payload
+//!
+//! requests
+//!   0x01 Hello    version:u16
+//!   0x02 Update   table:u16 count:u32 count x (seq:u64 idx:u32 bits:u32)
+//!   0x03 Flush
+//!   0x04 Snapshot table:u16
+//!   0x05 Stats
+//!   0x06 Shutdown
+//!
+//! replies
+//!   0x81 Hello    version:u16 shards:u16 quantum:u32 tables:u16
+//!                 tables x (kind:u8 op:u8 len:u32 name_len:u16 name:utf8)
+//!   0x82 Ack      accepted:u32 watermark:u64
+//!   0x83 Reject   accepted:u32 retry_after_ms:u32 reason:u8
+//!   0x84 Snapshot table:u16 watermark:u64 len:u32 len x bits:u32
+//!   0x85 Stats    5 x u64 then 5 x f64 (see [`StatsSummary`])
+//!   0x86 Bye      tables:u16 tables x watermark:u64
+//!   0xFF Error    msg_len:u16 msg:utf8
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::table::{OpKind, TableSpec, ValueKind};
+
+/// Protocol version spoken by this build. Bumped on any frame layout
+/// change; the server rejects mismatched clients at `Hello`.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame body, protecting the decoder from hostile or
+/// corrupt length prefixes. Large snapshots are the biggest frames; 64 MiB
+/// covers a 16M-slot table.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One associative update: apply `value` (a raw 32-bit pattern) to
+/// `target[idx]` with the table's operator, ordered by `seq`.
+///
+/// `seq` is assigned by the producer of the logical stream and must be
+/// unique per table; the server applies updates in contiguous `seq` order
+/// regardless of which connection delivered them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Update {
+    /// Position in the logical update stream (per table, starting at 0).
+    pub seq: u64,
+    /// Target slot.
+    pub idx: u32,
+    /// Value bit pattern (`f32::to_bits` for float tables).
+    pub bits: u32,
+}
+
+impl Update {
+    /// An update carrying an `f32` value.
+    pub fn f32(seq: u64, idx: u32, value: f32) -> Update {
+        Update { seq, idx, bits: value.to_bits() }
+    }
+
+    /// An update carrying an `i32` value.
+    pub fn i32(seq: u64, idx: u32, value: i32) -> Update {
+        Update { seq, idx, bits: value as u32 }
+    }
+}
+
+/// Why an update batch was (partially) refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// A shard ingest queue is at capacity — back off and retry.
+    QueueFull,
+    /// The update's `seq` is beyond the reorder window — earlier stream
+    /// positions must drain first.
+    WindowExceeded,
+    /// The server is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl RejectReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::WindowExceeded => 1,
+            RejectReason::Draining => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => RejectReason::QueueFull,
+            1 => RejectReason::WindowExceeded,
+            2 => RejectReason::Draining,
+            other => return Err(ProtoError::Malformed(format!("unknown reject reason {other}"))),
+        })
+    }
+}
+
+/// Aggregate service statistics, as served by a `Stats` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSummary {
+    /// Epochs executed (ticks that applied at least one slice).
+    pub epochs: u64,
+    /// Batch slices executed across all epochs.
+    pub slices: u64,
+    /// Updates applied to tables.
+    pub applied: u64,
+    /// Updates refused admission (client must retry).
+    pub rejected: u64,
+    /// Duplicate sequence numbers dropped.
+    pub duplicates: u64,
+    /// Mean batch occupancy: applied updates per slice relative to the
+    /// epoch quantum, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Mean in-vector conflict depth (D1) across applied slices.
+    pub conflict_depth: f64,
+    /// Applied updates per second of epoch execution time.
+    pub updates_per_sec: f64,
+    /// Median epoch latency, microseconds.
+    pub p50_epoch_us: f64,
+    /// 99th-percentile epoch latency, microseconds.
+    pub p99_epoch_us: f64,
+}
+
+/// Client-to-server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake; must be the first frame on a connection.
+    Hello {
+        /// Client protocol version.
+        version: u16,
+    },
+    /// A batch of updates for one table.
+    Update {
+        /// Table id (position in the server's table list).
+        table: u16,
+        /// The updates, in the client's stream order.
+        updates: Vec<Update>,
+    },
+    /// Force an epoch that drains every contiguous pending update,
+    /// including a final partial batch.
+    Flush,
+    /// Request the current values of one table.
+    Snapshot {
+        /// Table id.
+        table: u16,
+    },
+    /// Request aggregate service statistics.
+    Stats,
+    /// Drain everything and stop the server.
+    Shutdown,
+}
+
+/// Server-to-client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Handshake answer: server configuration and table registry.
+    Hello {
+        /// Server protocol version.
+        version: u16,
+        /// Ingest shard count.
+        shards: u16,
+        /// Epoch batch quantum.
+        quantum: u32,
+        /// Registered tables, in id order.
+        tables: Vec<TableSpec>,
+    },
+    /// Whole batch admitted.
+    Ack {
+        /// Updates admitted (the full batch).
+        accepted: u32,
+        /// The table's applied watermark at reply time.
+        watermark: u64,
+    },
+    /// Batch admitted only up to `accepted`; retry the rest later.
+    Reject {
+        /// Updates admitted before the refusal point.
+        accepted: u32,
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+        /// Why admission stopped.
+        reason: RejectReason,
+    },
+    /// One table's values.
+    Snapshot {
+        /// Table id.
+        table: u16,
+        /// Stream positions applied (`seq < watermark` are folded in).
+        watermark: u64,
+        /// Value bit patterns, one per slot.
+        values: Vec<u32>,
+    },
+    /// Aggregate statistics.
+    Stats(StatsSummary),
+    /// Shutdown acknowledged; final per-table watermarks after the drain.
+    Bye {
+        /// Applied watermark per table, in id order.
+        watermarks: Vec<u64>,
+    },
+    /// The request could not be served.
+    Error(String),
+}
+
+/// Decode/transport failure.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying stream failure.
+    Io(std::io::Error),
+    /// Structurally invalid frame.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+// --- encoding helpers ------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtoError::Malformed(format!(
+                "frame truncated: wanted {n} bytes at offset {}, body is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError::Malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serializes the request as one frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { version } => {
+                out.push(0x01);
+                put_u16(&mut out, *version);
+            }
+            Request::Update { table, updates } => {
+                out.reserve(7 + 16 * updates.len());
+                out.push(0x02);
+                put_u16(&mut out, *table);
+                put_u32(&mut out, updates.len() as u32);
+                for u in updates {
+                    put_u64(&mut out, u.seq);
+                    put_u32(&mut out, u.idx);
+                    put_u32(&mut out, u.bits);
+                }
+            }
+            Request::Flush => out.push(0x03),
+            Request::Snapshot { table } => {
+                out.push(0x04);
+                put_u16(&mut out, *table);
+            }
+            Request::Stats => out.push(0x05),
+            Request::Shutdown => out.push(0x06),
+        }
+        out
+    }
+
+    /// Parses one frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] on unknown opcodes, truncated
+    /// payloads, or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            0x01 => Request::Hello { version: c.u16()? },
+            0x02 => {
+                let table = c.u16()?;
+                let count = c.u32()? as usize;
+                if count > body.len() / 16 + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "update count {count} exceeds frame size"
+                    )));
+                }
+                let mut updates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    updates.push(Update { seq: c.u64()?, idx: c.u32()?, bits: c.u32()? });
+                }
+                Request::Update { table, updates }
+            }
+            0x03 => Request::Flush,
+            0x04 => Request::Snapshot { table: c.u16()? },
+            0x05 => Request::Stats,
+            0x06 => Request::Shutdown,
+            op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+fn encode_table_spec(out: &mut Vec<u8>, spec: &TableSpec) {
+    out.push(spec.kind as u8);
+    out.push(spec.op as u8);
+    put_u32(out, spec.len as u32);
+    let name = spec.name.as_bytes();
+    put_u16(out, name.len() as u16);
+    out.extend_from_slice(name);
+}
+
+fn decode_table_spec(c: &mut Cursor<'_>) -> Result<TableSpec, ProtoError> {
+    let kind = match c.u8()? {
+        0 => ValueKind::F32,
+        1 => ValueKind::I32,
+        other => return Err(ProtoError::Malformed(format!("unknown value kind {other}"))),
+    };
+    let op = match c.u8()? {
+        0 => OpKind::Add,
+        1 => OpKind::Min,
+        2 => OpKind::Max,
+        other => return Err(ProtoError::Malformed(format!("unknown op kind {other}"))),
+    };
+    let len = c.u32()? as usize;
+    let name_len = c.u16()? as usize;
+    let name = std::str::from_utf8(c.take(name_len)?)
+        .map_err(|_| ProtoError::Malformed("table name is not UTF-8".into()))?
+        .to_string();
+    Ok(TableSpec { name, kind, op, len })
+}
+
+impl Reply {
+    /// Serializes the reply as one frame body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Reply::Hello { version, shards, quantum, tables } => {
+                out.push(0x81);
+                put_u16(&mut out, *version);
+                put_u16(&mut out, *shards);
+                put_u32(&mut out, *quantum);
+                put_u16(&mut out, tables.len() as u16);
+                for t in tables {
+                    encode_table_spec(&mut out, t);
+                }
+            }
+            Reply::Ack { accepted, watermark } => {
+                out.push(0x82);
+                put_u32(&mut out, *accepted);
+                put_u64(&mut out, *watermark);
+            }
+            Reply::Reject { accepted, retry_after_ms, reason } => {
+                out.push(0x83);
+                put_u32(&mut out, *accepted);
+                put_u32(&mut out, *retry_after_ms);
+                out.push(reason.to_byte());
+            }
+            Reply::Snapshot { table, watermark, values } => {
+                out.reserve(15 + 4 * values.len());
+                out.push(0x84);
+                put_u16(&mut out, *table);
+                put_u64(&mut out, *watermark);
+                put_u32(&mut out, values.len() as u32);
+                for &v in values {
+                    put_u32(&mut out, v);
+                }
+            }
+            Reply::Stats(s) => {
+                out.push(0x85);
+                put_u64(&mut out, s.epochs);
+                put_u64(&mut out, s.slices);
+                put_u64(&mut out, s.applied);
+                put_u64(&mut out, s.rejected);
+                put_u64(&mut out, s.duplicates);
+                put_f64(&mut out, s.occupancy);
+                put_f64(&mut out, s.conflict_depth);
+                put_f64(&mut out, s.updates_per_sec);
+                put_f64(&mut out, s.p50_epoch_us);
+                put_f64(&mut out, s.p99_epoch_us);
+            }
+            Reply::Bye { watermarks } => {
+                out.push(0x86);
+                put_u16(&mut out, watermarks.len() as u16);
+                for &w in watermarks {
+                    put_u64(&mut out, w);
+                }
+            }
+            Reply::Error(msg) => {
+                out.push(0xFF);
+                let bytes = msg.as_bytes();
+                let n = bytes.len().min(u16::MAX as usize);
+                put_u16(&mut out, n as u16);
+                out.extend_from_slice(&bytes[..n]);
+            }
+        }
+        out
+    }
+
+    /// Parses one frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] on unknown opcodes, truncated
+    /// payloads, or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<Reply, ProtoError> {
+        let mut c = Cursor::new(body);
+        let reply = match c.u8()? {
+            0x81 => {
+                let version = c.u16()?;
+                let shards = c.u16()?;
+                let quantum = c.u32()?;
+                let count = c.u16()? as usize;
+                let mut tables = Vec::with_capacity(count);
+                for _ in 0..count {
+                    tables.push(decode_table_spec(&mut c)?);
+                }
+                Reply::Hello { version, shards, quantum, tables }
+            }
+            0x82 => Reply::Ack { accepted: c.u32()?, watermark: c.u64()? },
+            0x83 => Reply::Reject {
+                accepted: c.u32()?,
+                retry_after_ms: c.u32()?,
+                reason: RejectReason::from_byte(c.u8()?)?,
+            },
+            0x84 => {
+                let table = c.u16()?;
+                let watermark = c.u64()?;
+                let len = c.u32()? as usize;
+                if len > body.len() / 4 + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "snapshot length {len} exceeds frame size"
+                    )));
+                }
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(c.u32()?);
+                }
+                Reply::Snapshot { table, watermark, values }
+            }
+            0x85 => Reply::Stats(StatsSummary {
+                epochs: c.u64()?,
+                slices: c.u64()?,
+                applied: c.u64()?,
+                rejected: c.u64()?,
+                duplicates: c.u64()?,
+                occupancy: c.f64()?,
+                conflict_depth: c.f64()?,
+                updates_per_sec: c.f64()?,
+                p50_epoch_us: c.f64()?,
+                p99_epoch_us: c.f64()?,
+            }),
+            0x86 => {
+                let count = c.u16()? as usize;
+                let mut watermarks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    watermarks.push(c.u64()?);
+                }
+                Reply::Bye { watermarks }
+            }
+            0xFF => {
+                let n = c.u16()? as usize;
+                let msg = std::str::from_utf8(c.take(n)?)
+                    .map_err(|_| ProtoError::Malformed("error message is not UTF-8".into()))?
+                    .to_string();
+                Reply::Error(msg)
+            }
+            op => return Err(ProtoError::Malformed(format!("unknown reply opcode {op:#04x}"))),
+        };
+        c.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame body. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// Returns [`ProtoError::Malformed`] for frames over [`MAX_FRAME_LEN`] and
+/// [`ProtoError::Io`] for mid-frame stream failures.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(ProtoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Malformed(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let body = reply.encode();
+        assert_eq!(Reply::decode(&body).unwrap(), reply);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello { version: PROTOCOL_VERSION });
+        round_trip_request(Request::Update {
+            table: 3,
+            updates: vec![Update::f32(0, 5, -1.5), Update::i32(1, 9, -42), Update::i32(2, 0, 7)],
+        });
+        round_trip_request(Request::Update { table: 0, updates: vec![] });
+        round_trip_request(Request::Flush);
+        round_trip_request(Request::Snapshot { table: 65535 });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(Reply::Hello {
+            version: 1,
+            shards: 8,
+            quantum: 4096,
+            tables: vec![
+                TableSpec { name: "ranks".into(), kind: ValueKind::F32, op: OpKind::Add, len: 64 },
+                TableSpec { name: "dist".into(), kind: ValueKind::I32, op: OpKind::Min, len: 128 },
+            ],
+        });
+        round_trip_reply(Reply::Ack { accepted: 100, watermark: 4096 });
+        round_trip_reply(Reply::Reject {
+            accepted: 12,
+            retry_after_ms: 5,
+            reason: RejectReason::QueueFull,
+        });
+        round_trip_reply(Reply::Reject {
+            accepted: 0,
+            retry_after_ms: 1,
+            reason: RejectReason::Draining,
+        });
+        round_trip_reply(Reply::Snapshot {
+            table: 1,
+            watermark: 77,
+            values: vec![0, u32::MAX, 0x3f80_0000],
+        });
+        round_trip_reply(Reply::Stats(StatsSummary {
+            epochs: 10,
+            slices: 40,
+            applied: 163840,
+            rejected: 12,
+            duplicates: 1,
+            occupancy: 0.96,
+            conflict_depth: 1.25,
+            updates_per_sec: 1.5e7,
+            p50_epoch_us: 120.0,
+            p99_epoch_us: 340.5,
+        }));
+        round_trip_reply(Reply::Bye { watermarks: vec![4096, 77] });
+        round_trip_reply(Reply::Error("nope".into()));
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x42]).is_err());
+        assert!(Reply::decode(&[0x42]).is_err());
+        // Truncated update batch.
+        let mut body = Request::Update { table: 0, updates: vec![Update::i32(0, 0, 1)] }.encode();
+        body.truncate(body.len() - 1);
+        assert!(Request::decode(&body).is_err());
+        // Trailing bytes.
+        let mut body = Request::Flush.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        // Count field larger than the frame could hold.
+        let mut body = vec![0x02, 0, 0];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        write_frame(&mut wire, &Request::Snapshot { table: 2 }.encode()).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(), Request::Stats);
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Snapshot { table: 2 }
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at frame boundary");
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(read_frame(&mut wire.as_slice()), Err(ProtoError::Malformed(_))));
+    }
+}

@@ -1,0 +1,728 @@
+//! The service core and its TCP front end.
+//!
+//! [`ServerCore`] is the transport-independent heart: sharded bounded
+//! ingest queues, per-table reorder buffers, and the epoch executor that
+//! drains micro-batches through the reduction engine. The in-process
+//! client and the TCP connection handlers call the same core entry points
+//! ([`submit`](ServerCore::submit), [`tick`](ServerCore::tick),
+//! [`snapshot`](ServerCore::snapshot)), so behavior over the wire and in
+//! process is identical by construction.
+//!
+//! [`Server`] wraps a core with a `TcpListener` accept loop and a
+//! background epoch thread cutting batches on a timer (or as soon as a
+//! full quantum is queued).
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use invector_core::exec::{ExecPolicy, ExecVariant, Partition};
+use invector_core::stats::DepthHistogram;
+use invector_core::BackendChoice;
+
+use crate::epoch::{EpochReport, ServeStats};
+use crate::protocol::{
+    read_frame, write_frame, ProtoError, RejectReason, Reply, Request, StatsSummary, Update,
+    PROTOCOL_VERSION,
+};
+use crate::table::{TableData, TableSpec, TableState};
+
+/// Server configuration: the resident tables plus sizing/batching knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The resident tables, addressed by position.
+    pub tables: Vec<TableSpec>,
+    /// Ingest shard count (per-partition queues; admission locks only the
+    /// shard an update routes to).
+    pub shards: usize,
+    /// Epoch batch quantum: micro-batches are exactly this many updates.
+    /// A smaller final batch runs only on an explicit flush or the
+    /// shutdown drain, which keeps batch cut positions — and therefore
+    /// snapshots — independent of arrival timing.
+    pub quantum: usize,
+    /// Per-shard ingest queue capacity; a full queue rejects with
+    /// retry-after instead of blocking or dropping.
+    pub queue_capacity: usize,
+    /// Reorder window: an update whose `seq` is this far beyond the
+    /// table's watermark is rejected (bounds the reorder buffer).
+    pub window: u64,
+    /// Worker threads for the reduction engine.
+    pub threads: usize,
+    /// Reduction backend request.
+    pub backend: BackendChoice,
+    /// Epoch timer period for the background executor thread.
+    pub epoch_interval: Duration,
+    /// Backoff suggested to rejected clients.
+    pub retry_after_ms: u32,
+}
+
+impl ServeConfig {
+    /// A configuration with serving defaults for the given tables.
+    pub fn new(tables: Vec<TableSpec>) -> ServeConfig {
+        ServeConfig {
+            tables,
+            shards: 4,
+            quantum: 4096,
+            queue_capacity: 1 << 16,
+            window: 1 << 20,
+            threads: 1,
+            backend: BackendChoice::Auto,
+            epoch_interval: Duration::from_millis(1),
+            retry_after_ms: 2,
+        }
+    }
+
+    /// The engine policy every epoch runs under: in-vector reduction,
+    /// owner-computes partitioning, deterministic fold — the combination
+    /// whose results are a pure function of (batch content, thread count,
+    /// quantum), which is what the snapshot contract leans on.
+    pub fn policy(&self) -> ExecPolicy {
+        ExecPolicy::with_threads(self.threads)
+            .variant(ExecVariant::Invec)
+            .partition(Partition::OwnerComputes)
+            .deterministic(true)
+            .backend(self.backend)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.tables.is_empty() {
+            return Err("at least one table is required".into());
+        }
+        if self.tables.len() > u16::MAX as usize {
+            return Err("table ids are u16".into());
+        }
+        if let Some(t) = self.tables.iter().find(|t| t.len == 0) {
+            return Err(format!("table '{}' has zero slots", t.name));
+        }
+        if self.shards == 0 || self.quantum == 0 || self.queue_capacity == 0 || self.threads == 0 {
+            return Err("shards, quantum, queue_capacity, and threads must be >= 1".into());
+        }
+        if self.window == 0 {
+            return Err("reorder window must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one [`ServerCore::submit`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Every update was admitted.
+    Accepted {
+        /// Updates admitted (the whole batch).
+        accepted: u32,
+        /// The table's applied watermark when the batch was admitted.
+        watermark: u64,
+    },
+    /// Admission stopped early; retry the remainder after the backoff.
+    Rejected {
+        /// Updates admitted before the refusal point (a prefix of the
+        /// batch — nothing after it was admitted, preserving per-client
+        /// submission order).
+        accepted: u32,
+        /// Suggested backoff.
+        retry_after_ms: u32,
+        /// Why admission stopped.
+        reason: RejectReason,
+    },
+    /// Client error (unknown table, index out of range); nothing admitted
+    /// beyond `accepted` and the batch must not be retried as-is.
+    Failed(String),
+}
+
+/// One table snapshot: applied watermark plus the slot bit patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Table id.
+    pub table: u16,
+    /// Stream positions folded in (`seq < watermark`).
+    pub watermark: u64,
+    /// Typed table contents.
+    pub data: TableData,
+}
+
+impl Snapshot {
+    /// Raw slot bit patterns — the unit of bitwise comparison.
+    pub fn bits(&self) -> Vec<u32> {
+        self.data.to_bits()
+    }
+}
+
+/// An update staged in a shard queue (table id + update).
+#[derive(Debug, Clone, Copy)]
+struct Staged {
+    table: u16,
+    update: Update,
+}
+
+/// The transport-independent service: ingest, epoch execution, snapshots.
+#[derive(Debug)]
+pub struct ServerCore {
+    config: ServeConfig,
+    policy: ExecPolicy,
+    /// Per-shard bounded ingest queues.
+    shards: Vec<Mutex<VecDeque<Staged>>>,
+    /// Per-table state (values + reorder buffer), locked independently.
+    tables: Vec<Mutex<TableState>>,
+    /// Published per-table watermarks (read by admission without taking
+    /// table locks).
+    watermarks: Vec<AtomicU64>,
+    /// Updates sitting in shard queues (not yet stolen by an epoch).
+    queued: AtomicUsize,
+    /// Serializes epoch execution.
+    tick_lock: Mutex<()>,
+    stats: Mutex<ServeStats>,
+    draining: AtomicBool,
+    /// Signals the background epoch thread that a full quantum is queued.
+    wake: Condvar,
+    wake_lock: Mutex<bool>,
+}
+
+impl ServerCore {
+    /// Builds a core from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for structurally invalid configurations (no
+    /// tables, zero-sized knobs).
+    pub fn new(config: ServeConfig) -> Result<Arc<ServerCore>, String> {
+        config.validate()?;
+        let policy = config.policy();
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(VecDeque::with_capacity(config.queue_capacity.min(1024))))
+            .collect();
+        let tables: Vec<Mutex<TableState>> =
+            config.tables.iter().map(|spec| Mutex::new(TableState::new(spec.clone()))).collect();
+        let watermarks = (0..tables.len()).map(|_| AtomicU64::new(0)).collect();
+        Ok(Arc::new(ServerCore {
+            config,
+            policy,
+            shards,
+            tables,
+            watermarks,
+            queued: AtomicUsize::new(0),
+            tick_lock: Mutex::new(()),
+            stats: Mutex::new(ServeStats::default()),
+            draining: AtomicBool::new(false),
+            wake: Condvar::new(),
+            wake_lock: Mutex::new(false),
+        }))
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Which ingest shard an update for `table` routes to: contiguous
+    /// index ranges, so a shard is a partition of the key space.
+    fn shard_of(&self, table: u16, idx: u32) -> usize {
+        let len = self.config.tables[table as usize].len as u64;
+        ((u64::from(idx) * self.config.shards as u64) / len) as usize
+    }
+
+    /// Admits a batch of updates for `table` into the ingest queues.
+    ///
+    /// Admission is all-or-prefix: updates are considered in order and the
+    /// first refusal (full shard queue, reorder window, drain mode) stops
+    /// the batch, returning how many were admitted. Nothing is ever
+    /// silently dropped — a refused update is the client's to retry.
+    pub fn submit(&self, table: u16, updates: &[Update]) -> SubmitOutcome {
+        if table as usize >= self.tables.len() {
+            return SubmitOutcome::Failed(format!(
+                "unknown table {table} ({} registered)",
+                self.tables.len()
+            ));
+        }
+        let spec = &self.config.tables[table as usize];
+        let mut accepted = 0u32;
+        for u in updates {
+            if self.draining.load(Ordering::Acquire) {
+                return self.reject(table, accepted, updates.len(), RejectReason::Draining);
+            }
+            if (u.idx as usize) >= spec.len {
+                self.stats
+                    .lock()
+                    .expect("stats lock")
+                    .record_rejects((updates.len() - accepted as usize) as u64);
+                return SubmitOutcome::Failed(format!(
+                    "index {} out of range for table '{}' ({} slots); {} admitted",
+                    u.idx, spec.name, spec.len, accepted
+                ));
+            }
+            let watermark = self.watermarks[table as usize].load(Ordering::Acquire);
+            if u.seq >= watermark.saturating_add(self.config.window) {
+                return self.reject(table, accepted, updates.len(), RejectReason::WindowExceeded);
+            }
+            let shard = self.shard_of(table, u.idx);
+            {
+                let mut q = self.shards[shard].lock().expect("shard lock");
+                if q.len() >= self.config.queue_capacity {
+                    drop(q);
+                    return self.reject(table, accepted, updates.len(), RejectReason::QueueFull);
+                }
+                q.push_back(Staged { table, update: *u });
+            }
+            accepted += 1;
+            self.queued.fetch_add(1, Ordering::AcqRel);
+        }
+        if self.queued.load(Ordering::Acquire) >= self.config.quantum {
+            self.notify_epoch_thread();
+        }
+        SubmitOutcome::Accepted {
+            accepted,
+            watermark: self.watermarks[table as usize].load(Ordering::Acquire),
+        }
+    }
+
+    fn reject(
+        &self,
+        _table: u16,
+        accepted: u32,
+        batch: usize,
+        reason: RejectReason,
+    ) -> SubmitOutcome {
+        self.stats.lock().expect("stats lock").record_rejects((batch - accepted as usize) as u64);
+        // Any queued full quantum should get cut promptly so the retry
+        // succeeds.
+        self.notify_epoch_thread();
+        SubmitOutcome::Rejected {
+            accepted,
+            retry_after_ms: self.config.retry_after_ms.max(1),
+            reason,
+        }
+    }
+
+    /// Runs one epoch: steals every shard queue, buffers the stolen
+    /// updates in their tables' reorder buffers, and applies full-quantum
+    /// batch slices (plus, with `drain`, each table's final partial
+    /// slice) through the reduction engine.
+    ///
+    /// Ticks are serialized; concurrent callers line up. Safe to call from
+    /// any thread — tests and the in-process client drive it directly,
+    /// the background epoch thread drives it in a live server.
+    pub fn tick(&self, drain: bool) -> EpochReport {
+        let _epoch = self.tick_lock.lock().expect("tick lock");
+        let start = Instant::now();
+
+        // Steal arrivals shard by shard; admission only ever appends, so
+        // holding each lock briefly is enough.
+        let mut stolen: Vec<Staged> = Vec::new();
+        for shard in &self.shards {
+            let mut q = shard.lock().expect("shard lock");
+            stolen.extend(q.drain(..));
+        }
+        self.queued.fetch_sub(stolen.len(), Ordering::AcqRel);
+
+        // Route to reorder buffers and cut batches, one table at a time.
+        let mut report = EpochReport::default();
+        let mut depth = DepthHistogram::new();
+        for (t, table) in self.tables.iter().enumerate() {
+            let mut state = table.lock().expect("table lock");
+            for s in stolen.iter().filter(|s| s.table as usize == t) {
+                state.absorb(s.update);
+            }
+            for slice in state.cut_and_apply(self.config.quantum, drain, &self.policy) {
+                report.applied += slice.applied;
+                report.slices += 1;
+                depth.merge(&slice.depth);
+            }
+            self.watermarks[t].store(state.watermark(), Ordering::Release);
+        }
+        report.elapsed = start.elapsed();
+        self.stats.lock().expect("stats lock").record_epoch(&report, self.config.quantum, &depth);
+        report
+    }
+
+    /// Forces a full drain of every contiguous pending update (including
+    /// partial batches) — the `Flush` request. Returns the epoch report.
+    pub fn flush(&self) -> EpochReport {
+        self.tick(true)
+    }
+
+    /// Snapshots one table: watermark plus a copy of the slot values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown table ids.
+    pub fn snapshot(&self, table: u16) -> Result<Snapshot, String> {
+        let state = self
+            .tables
+            .get(table as usize)
+            .ok_or_else(|| format!("unknown table {table}"))?
+            .lock()
+            .expect("table lock");
+        Ok(Snapshot { table, watermark: state.watermark(), data: state.data().clone() })
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats_summary(&self) -> StatsSummary {
+        let duplicates =
+            self.tables.iter().map(|t| t.lock().expect("table lock").duplicates()).sum();
+        self.stats.lock().expect("stats lock").summarize(duplicates)
+    }
+
+    /// Applied watermark per table, in id order.
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.watermarks.iter().map(|w| w.load(Ordering::Acquire)).collect()
+    }
+
+    /// `true` once shutdown has begun (admission refuses new updates).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Begins shutdown: admission switches to reject-with-`Draining`, then
+    /// every contiguous pending update is applied. Returns the final
+    /// per-table watermarks.
+    pub fn begin_shutdown(&self) -> Vec<u64> {
+        self.draining.store(true, Ordering::Release);
+        self.flush();
+        self.notify_epoch_thread();
+        self.watermarks()
+    }
+
+    fn notify_epoch_thread(&self) {
+        let mut pending = self.wake_lock.lock().expect("wake lock");
+        *pending = true;
+        self.wake.notify_all();
+    }
+
+    /// The background epoch loop: cut batches when a quantum is ready or
+    /// the interval elapses, until shutdown.
+    fn epoch_loop(&self) {
+        let mut guard = self.wake_lock.lock().expect("wake lock");
+        loop {
+            let (g, _timeout) = self
+                .wake
+                .wait_timeout(guard, self.config.epoch_interval)
+                .expect("wake lock poisoned");
+            guard = g;
+            *guard = false;
+            if self.draining.load(Ordering::Acquire) {
+                return;
+            }
+            drop(guard);
+            self.tick(false);
+            guard = self.wake_lock.lock().expect("wake lock");
+        }
+    }
+}
+
+/// A live TCP server: a [`ServerCore`] plus an accept loop and a
+/// background epoch thread.
+#[derive(Debug)]
+pub struct Server {
+    core: Arc<ServerCore>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop and the epoch thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind failures and invalid configurations.
+    pub fn bind(config: ServeConfig, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let core = ServerCore::new(config).map_err(std::io::Error::other)?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_core = Arc::clone(&core);
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("invector-serve-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let core = Arc::clone(&accept_core);
+                            let stop = Arc::clone(&accept_stop);
+                            conns.push(
+                                std::thread::Builder::new()
+                                    .name("invector-serve-conn".into())
+                                    .spawn(move || handle_connection(stream, &core, &stop))
+                                    .expect("spawn connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                    conns.retain(|h| !h.is_finished());
+                }
+                for h in conns {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn accept thread");
+
+        let epoch_core = Arc::clone(&core);
+        let epoch = std::thread::Builder::new()
+            .name("invector-serve-epoch".into())
+            .spawn(move || epoch_core.epoch_loop())
+            .expect("spawn epoch thread");
+
+        Ok(Server { core, addr, stop, threads: vec![accept, epoch] })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared core, for in-process clients.
+    pub fn core(&self) -> Arc<ServerCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Programmatic shutdown: drains and stops the worker threads (the
+    /// same path a `Shutdown` frame takes).
+    pub fn shutdown(&self) -> Vec<u64> {
+        let watermarks = self.core.begin_shutdown();
+        self.stop.store(true, Ordering::Release);
+        watermarks
+    }
+
+    /// Waits for the accept and epoch threads to finish (after a
+    /// `Shutdown` frame or [`shutdown`](Server::shutdown)).
+    pub fn join(mut self) {
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serves one TCP connection: a `Hello` handshake, then request frames
+/// until EOF or `Shutdown`.
+fn handle_connection(stream: TcpStream, core: &ServerCore, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = std::io::BufWriter::new(stream);
+
+    // Handshake.
+    match read_request(&mut reader) {
+        Ok(Some(Request::Hello { version })) if version == PROTOCOL_VERSION => {
+            let reply = Reply::Hello {
+                version: PROTOCOL_VERSION,
+                shards: core.config().shards as u16,
+                quantum: core.config().quantum as u32,
+                tables: core.config().tables.clone(),
+            };
+            if write_frame(&mut writer, &reply.encode()).is_err() {
+                return;
+            }
+        }
+        Ok(Some(Request::Hello { version })) => {
+            let reply = Reply::Error(format!("protocol version {version} != {PROTOCOL_VERSION}"));
+            let _ = write_frame(&mut writer, &reply.encode());
+            return;
+        }
+        _ => {
+            let _ = write_frame(&mut writer, &Reply::Error("expected Hello".into()).encode());
+            return;
+        }
+    }
+
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(ProtoError::Malformed(m)) => {
+                let _ = write_frame(&mut writer, &Reply::Error(m).encode());
+                return;
+            }
+            Err(ProtoError::Io(_)) => return,
+        };
+        let reply = match request {
+            Request::Hello { .. } => Reply::Error("already said hello".into()),
+            Request::Update { table, updates } => match core.submit(table, &updates) {
+                SubmitOutcome::Accepted { accepted, watermark } => {
+                    Reply::Ack { accepted, watermark }
+                }
+                SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
+                    Reply::Reject { accepted, retry_after_ms, reason }
+                }
+                SubmitOutcome::Failed(m) => Reply::Error(m),
+            },
+            Request::Flush => {
+                let report = core.flush();
+                Reply::Ack {
+                    accepted: report.applied as u32,
+                    watermark: core.watermarks().iter().sum(),
+                }
+            }
+            Request::Snapshot { table } => match core.snapshot(table) {
+                Ok(s) => Reply::Snapshot { table, watermark: s.watermark, values: s.bits() },
+                Err(m) => Reply::Error(m),
+            },
+            Request::Stats => Reply::Stats(core.stats_summary()),
+            Request::Shutdown => {
+                let watermarks = core.begin_shutdown();
+                let _ = write_frame(&mut writer, &Reply::Bye { watermarks }.encode());
+                stop.store(true, Ordering::Release);
+                return;
+            }
+        };
+        if write_frame(&mut writer, &reply.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn read_request(r: &mut impl std::io::Read) -> Result<Option<Request>, ProtoError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(body) => Request::decode(&body).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::OpKind;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            quantum: 8,
+            shards: 2,
+            queue_capacity: 64,
+            ..ServeConfig::new(vec![
+                TableSpec::i32("counts", OpKind::Add, 32),
+                TableSpec::f32("mins", OpKind::Min, 16),
+            ])
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_refused() {
+        assert!(ServerCore::new(ServeConfig::new(vec![])).is_err());
+        let mut c = config();
+        c.quantum = 0;
+        assert!(ServerCore::new(c).is_err());
+        let mut c = config();
+        c.tables[0].len = 0;
+        assert!(ServerCore::new(c).is_err());
+    }
+
+    #[test]
+    fn submit_tick_snapshot_round_trip() {
+        let core = ServerCore::new(config()).unwrap();
+        let updates: Vec<Update> = (0..20).map(|i| Update::i32(i, (i % 32) as u32, 2)).collect();
+        match core.submit(0, &updates) {
+            SubmitOutcome::Accepted { accepted, watermark } => {
+                assert_eq!(accepted, 20);
+                assert_eq!(watermark, 0, "nothing applied before a tick");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Quantum 8: a plain tick applies 16 of 20.
+        let report = core.tick(false);
+        assert_eq!(report.applied, 16);
+        assert_eq!(report.slices, 2);
+        assert_eq!(core.snapshot(0).unwrap().watermark, 16);
+        // Flush drains the partial tail.
+        let report = core.flush();
+        assert_eq!(report.applied, 4);
+        let snap = core.snapshot(0).unwrap();
+        assert_eq!(snap.watermark, 20);
+        let TableData::I32(v) = &snap.data else { panic!("i32 table") };
+        assert_eq!(v.iter().sum::<i32>(), 40);
+        assert!(core.snapshot(7).is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_bad_index_fail_without_retry() {
+        let core = ServerCore::new(config()).unwrap();
+        assert!(matches!(core.submit(9, &[Update::i32(0, 0, 1)]), SubmitOutcome::Failed(_)));
+        match core.submit(1, &[Update::f32(0, 0, 1.0), Update::f32(1, 99, 1.0)]) {
+            SubmitOutcome::Failed(m) => assert!(m.contains("1 admitted"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_shard_queue_rejects_the_suffix_with_retry_after() {
+        let mut c = config();
+        c.queue_capacity = 4;
+        c.shards = 1;
+        let core = ServerCore::new(c).unwrap();
+        let updates: Vec<Update> = (0..10).map(|i| Update::i32(i, 0, 1)).collect();
+        match core.submit(0, &updates) {
+            SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
+                assert_eq!(accepted, 4);
+                assert!(retry_after_ms >= 1);
+                assert_eq!(reason, RejectReason::QueueFull);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Ticks free the queue; retrying the refused suffix admits it all.
+        let mut rest = &updates[4..];
+        while !rest.is_empty() {
+            core.tick(true);
+            match core.submit(0, rest) {
+                SubmitOutcome::Accepted { .. } => break,
+                SubmitOutcome::Rejected { accepted, .. } => rest = &rest[accepted as usize..],
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        core.flush();
+        assert!(core.stats_summary().rejected >= 6);
+        assert_eq!(
+            core.snapshot(0).unwrap().watermark,
+            10,
+            "rejected updates were retried, not lost"
+        );
+    }
+
+    #[test]
+    fn reorder_window_bounds_how_far_ahead_clients_may_run() {
+        let mut c = config();
+        c.window = 16;
+        let core = ServerCore::new(c).unwrap();
+        match core.submit(0, &[Update::i32(99, 0, 1)]) {
+            SubmitOutcome::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::WindowExceeded);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn draining_server_rejects_new_updates_but_serves_snapshots() {
+        let core = ServerCore::new(config()).unwrap();
+        core.submit(0, &[Update::i32(0, 5, 7)]);
+        let watermarks = core.begin_shutdown();
+        assert_eq!(watermarks, vec![1, 0]);
+        match core.submit(0, &[Update::i32(1, 5, 7)]) {
+            SubmitOutcome::Rejected { reason, .. } => assert_eq!(reason, RejectReason::Draining),
+            other => panic!("unexpected {other:?}"),
+        }
+        let TableData::I32(v) = &core.snapshot(0).unwrap().data else { panic!("i32") };
+        assert_eq!(v[5], 7);
+    }
+
+    #[test]
+    fn stats_track_applied_occupancy_and_conflict_depth() {
+        let core = ServerCore::new(config()).unwrap();
+        // All-conflict stream: every update hits slot 0.
+        let updates: Vec<Update> = (0..16).map(|i| Update::i32(i, 0, 1)).collect();
+        core.submit(0, &updates);
+        core.tick(false);
+        let s = core.stats_summary();
+        assert_eq!(s.applied, 16);
+        assert_eq!(s.slices, 2);
+        assert!((s.occupancy - 1.0).abs() < 1e-9);
+        assert!(s.conflict_depth > 0.0, "all-conflict batches must show depth");
+        assert!(s.updates_per_sec > 0.0);
+    }
+}

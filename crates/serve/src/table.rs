@@ -1,0 +1,386 @@
+//! Resident tables: the datasets the service folds update streams into.
+//!
+//! A table is a dense array of `f32` or `i32` slots under one associative
+//! operator. Every supported `(type, operator)` pair maps onto an engine
+//! driver that the native AVX-512 backend fuses (`accumulate_{add,min,max}`
+//! over `f32`/`i32`), so the serving hot path is exactly the paper's
+//! in-vector reduction.
+
+use invector_core::exec::{execute_epoch, EpochScratch, ExecPolicy, ExecReport};
+use invector_core::ops::{Max, Min, ReduceOp, Sum};
+use invector_core::stats::DepthHistogram;
+
+use crate::epoch::ReorderBuffer;
+use crate::protocol::Update;
+
+/// Element type of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ValueKind {
+    /// IEEE-754 single-precision slots.
+    F32 = 0,
+    /// 32-bit signed integer slots.
+    I32 = 1,
+}
+
+/// Associative operator of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpKind {
+    /// Accumulation (`invec_add`); slots start at 0.
+    Add = 0,
+    /// Relaxation toward the minimum (`invec_min`); slots start at the
+    /// type's maximum (`+∞` / `i32::MAX`).
+    Min = 1,
+    /// Relaxation toward the maximum (`invec_max`); slots start at the
+    /// type's minimum (`-∞` / `i32::MIN`).
+    Max = 2,
+}
+
+impl OpKind {
+    /// Short operator name, matching the paper's `invec_*` interface.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+        }
+    }
+}
+
+impl ValueKind {
+    /// Short type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::F32 => "f32",
+            ValueKind::I32 => "i32",
+        }
+    }
+}
+
+/// Static description of one table, fixed at server construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Table name (diagnostics only; requests address tables by id).
+    pub name: String,
+    /// Element type.
+    pub kind: ValueKind,
+    /// Associative operator.
+    pub op: OpKind,
+    /// Number of slots.
+    pub len: usize,
+}
+
+impl TableSpec {
+    /// An `f32` table under `op`.
+    pub fn f32(name: &str, op: OpKind, len: usize) -> TableSpec {
+        TableSpec { name: name.to_string(), kind: ValueKind::F32, op, len }
+    }
+
+    /// An `i32` table under `op`.
+    pub fn i32(name: &str, op: OpKind, len: usize) -> TableSpec {
+        TableSpec { name: name.to_string(), kind: ValueKind::I32, op, len }
+    }
+}
+
+/// Typed table contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableData {
+    /// `f32` slots.
+    F32(Vec<f32>),
+    /// `i32` slots.
+    I32(Vec<i32>),
+}
+
+impl TableData {
+    fn identity(spec: &TableSpec) -> TableData {
+        match spec.kind {
+            ValueKind::F32 => {
+                let id = match spec.op {
+                    OpKind::Add => 0.0f32,
+                    OpKind::Min => f32::INFINITY,
+                    OpKind::Max => f32::NEG_INFINITY,
+                };
+                TableData::F32(vec![id; spec.len])
+            }
+            ValueKind::I32 => {
+                let id = match spec.op {
+                    OpKind::Add => 0i32,
+                    OpKind::Min => i32::MAX,
+                    OpKind::Max => i32::MIN,
+                };
+                TableData::I32(vec![id; spec.len])
+            }
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            TableData::F32(v) => v.len(),
+            TableData::I32(v) => v.len(),
+        }
+    }
+
+    /// `true` for a zero-slot table.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw bit patterns of every slot, in order — the wire representation,
+    /// and the unit of the bitwise determinism contract.
+    pub fn to_bits(&self) -> Vec<u32> {
+        match self {
+            TableData::F32(v) => v.iter().map(|x| x.to_bits()).collect(),
+            TableData::I32(v) => v.iter().map(|&x| x as u32).collect(),
+        }
+    }
+
+    /// Slots widened to `f64` (exact for both kinds), for harness records.
+    pub fn to_f64(&self) -> Vec<f64> {
+        match self {
+            TableData::F32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+            TableData::I32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+        }
+    }
+}
+
+/// Outcome of applying one batch slice.
+#[derive(Debug, Clone, Default)]
+pub struct SliceReport {
+    /// Updates in the slice.
+    pub applied: usize,
+    /// Conflict-depth histogram of the slice's in-vector reduction.
+    pub depth: DepthHistogram,
+}
+
+/// One resident table plus its ingest bookkeeping: the seq-ordered reorder
+/// buffer and the reusable engine scratch.
+#[derive(Debug)]
+pub struct TableState {
+    spec: TableSpec,
+    data: TableData,
+    pending: ReorderBuffer,
+    chunk: Vec<Update>,
+    scratch_f32: EpochScratch<f32>,
+    scratch_i32: EpochScratch<i32>,
+}
+
+impl TableState {
+    /// A fresh table with every slot at the operator's identity.
+    pub fn new(spec: TableSpec) -> TableState {
+        let data = TableData::identity(&spec);
+        TableState {
+            spec,
+            data,
+            pending: ReorderBuffer::new(),
+            chunk: Vec::new(),
+            scratch_f32: EpochScratch::new(),
+            scratch_i32: EpochScratch::new(),
+        }
+    }
+
+    /// The table's static description.
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// The applied watermark: updates with `seq < watermark` are folded in.
+    pub fn watermark(&self) -> u64 {
+        self.pending.watermark()
+    }
+
+    /// Buffered updates not yet applied (contiguous or not).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Duplicate sequence numbers dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.pending.duplicates()
+    }
+
+    /// Current table contents.
+    pub fn data(&self) -> &TableData {
+        &self.data
+    }
+
+    /// Buffers one update for ordered application. Returns `false` when the
+    /// sequence number was already seen (dropped as a duplicate).
+    pub fn absorb(&mut self, update: Update) -> bool {
+        debug_assert!(
+            (update.idx as usize) < self.spec.len,
+            "index {} out of bounds for table '{}' of {} slots",
+            update.idx,
+            self.spec.name,
+            self.spec.len
+        );
+        self.pending.insert(update)
+    }
+
+    /// Applies pending updates in contiguous `seq` order as fixed-size
+    /// batch slices of exactly `quantum` updates; with `drain`, a final
+    /// partial slice empties the contiguous run.
+    ///
+    /// The fixed slice size is what makes snapshots reproducible: the cut
+    /// positions in the logical stream depend only on the stream itself
+    /// (and on explicitly client-requested drains), never on arrival
+    /// timing, so the engine sees identical batches — and produces
+    /// bit-identical folds — on every replay.
+    pub fn cut_and_apply(
+        &mut self,
+        quantum: usize,
+        drain: bool,
+        policy: &ExecPolicy,
+    ) -> Vec<SliceReport> {
+        let mut slices = Vec::new();
+        loop {
+            let run = self.pending.contiguous_len();
+            let take = if run >= quantum {
+                quantum
+            } else if drain && run > 0 {
+                run
+            } else {
+                break;
+            };
+            self.pending.pop_run(take, &mut self.chunk);
+            let report = self.apply_chunk(policy);
+            slices.push(SliceReport { applied: take, depth: report.stats.depth });
+        }
+        slices
+    }
+
+    /// Runs the engine on the updates currently staged in `self.chunk`.
+    fn apply_chunk(&mut self, policy: &ExecPolicy) -> ExecReport {
+        fn run<T, Op>(
+            target: &mut [T],
+            chunk: &[Update],
+            scratch: &mut EpochScratch<T>,
+            policy: &ExecPolicy,
+            from_bits: impl Fn(u32) -> T,
+        ) -> ExecReport
+        where
+            T: invector_simd::SimdElement,
+            Op: ReduceOp<T>,
+        {
+            execute_epoch::<T, Op>(
+                target,
+                chunk.iter().map(|u| (u.idx as i32, from_bits(u.bits))),
+                scratch,
+                policy,
+            )
+        }
+
+        let chunk = &self.chunk;
+        match (&mut self.data, self.spec.op) {
+            (TableData::F32(v), OpKind::Add) => {
+                run::<f32, Sum>(v, chunk, &mut self.scratch_f32, policy, f32::from_bits)
+            }
+            (TableData::F32(v), OpKind::Min) => {
+                run::<f32, Min>(v, chunk, &mut self.scratch_f32, policy, f32::from_bits)
+            }
+            (TableData::F32(v), OpKind::Max) => {
+                run::<f32, Max>(v, chunk, &mut self.scratch_f32, policy, f32::from_bits)
+            }
+            (TableData::I32(v), OpKind::Add) => {
+                run::<i32, Sum>(v, chunk, &mut self.scratch_i32, policy, |b| b as i32)
+            }
+            (TableData::I32(v), OpKind::Min) => {
+                run::<i32, Min>(v, chunk, &mut self.scratch_i32, policy, |b| b as i32)
+            }
+            (TableData::I32(v), OpKind::Max) => {
+                run::<i32, Max>(v, chunk, &mut self.scratch_i32, policy, |b| b as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ExecPolicy {
+        ExecPolicy::default().deterministic(true)
+    }
+
+    #[test]
+    fn identity_initialization_per_op() {
+        let t = TableState::new(TableSpec::f32("m", OpKind::Min, 3));
+        assert_eq!(t.data(), &TableData::F32(vec![f32::INFINITY; 3]));
+        let t = TableState::new(TableSpec::i32("c", OpKind::Add, 2));
+        assert_eq!(t.data(), &TableData::I32(vec![0; 2]));
+        let t = TableState::new(TableSpec::i32("x", OpKind::Max, 1));
+        assert_eq!(t.data(), &TableData::I32(vec![i32::MIN]));
+    }
+
+    #[test]
+    fn quantum_slices_apply_only_full_batches_until_drained() {
+        let mut t = TableState::new(TableSpec::i32("c", OpKind::Add, 8));
+        for seq in 0..10u64 {
+            assert!(t.absorb(Update::i32(seq, (seq % 8) as u32, 1)));
+        }
+        // Quantum 4: two full slices apply, two updates stay pending.
+        let slices = t.cut_and_apply(4, false, &policy());
+        assert_eq!(slices.len(), 2);
+        assert_eq!(t.watermark(), 8);
+        assert_eq!(t.pending_len(), 2);
+        // Drain cuts the partial tail.
+        let slices = t.cut_and_apply(4, true, &policy());
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].applied, 2);
+        assert_eq!(t.watermark(), 10);
+        let TableData::I32(v) = t.data() else { panic!("i32 table") };
+        assert_eq!(v.iter().sum::<i32>(), 10);
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_held_back_until_contiguous() {
+        let mut t = TableState::new(TableSpec::i32("c", OpKind::Add, 4));
+        t.absorb(Update::i32(2, 0, 1));
+        t.absorb(Update::i32(1, 0, 1));
+        assert!(t.cut_and_apply(1, true, &policy()).is_empty(), "gap at seq 0 blocks");
+        t.absorb(Update::i32(0, 0, 1));
+        let slices = t.cut_and_apply(1, true, &policy());
+        assert_eq!(slices.len(), 3);
+        assert_eq!(t.watermark(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_counted() {
+        let mut t = TableState::new(TableSpec::f32("m", OpKind::Min, 4));
+        assert!(t.absorb(Update::f32(0, 1, 5.0)));
+        assert!(!t.absorb(Update::f32(0, 1, 9.0)), "same seq again");
+        t.cut_and_apply(1, true, &policy());
+        assert!(!t.absorb(Update::f32(0, 2, 1.0)), "seq below watermark");
+        assert_eq!(t.duplicates(), 2);
+        let TableData::F32(v) = t.data() else { panic!("f32 table") };
+        assert_eq!(v[1], 5.0, "first arrival wins");
+    }
+
+    #[test]
+    fn every_op_kind_folds_through_the_engine() {
+        let cases = [
+            (TableSpec::f32("a", OpKind::Add, 4), [2.0f32, 3.0], 5.0f32),
+            (TableSpec::f32("b", OpKind::Min, 4), [2.0, 3.0], 2.0),
+            (TableSpec::f32("c", OpKind::Max, 4), [2.0, 3.0], 3.0),
+        ];
+        for (spec, vals, expect) in cases {
+            let mut t = TableState::new(spec);
+            t.absorb(Update::f32(0, 1, vals[0]));
+            t.absorb(Update::f32(1, 1, vals[1]));
+            t.cut_and_apply(16, true, &policy());
+            let TableData::F32(v) = t.data() else { panic!("f32 table") };
+            assert_eq!(v[1], expect);
+        }
+        for (op, vals, expect) in
+            [(OpKind::Add, [2, 3], 5i32), (OpKind::Min, [2, 3], 2), (OpKind::Max, [2, 3], 3)]
+        {
+            let mut t = TableState::new(TableSpec::i32("t", op, 4));
+            t.absorb(Update::i32(0, 1, vals[0]));
+            t.absorb(Update::i32(1, 1, vals[1]));
+            t.cut_and_apply(16, true, &policy());
+            let TableData::I32(v) = t.data() else { panic!("i32 table") };
+            assert_eq!(v[1], expect);
+        }
+    }
+}

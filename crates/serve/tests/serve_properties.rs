@@ -1,0 +1,240 @@
+//! Property tests for the serving layer's two contracts:
+//!
+//! 1. **Deterministic snapshots.** One logical update stream produces
+//!    bitwise-identical table snapshots at a fixed (quantum, threads)
+//!    configuration, no matter how many ingest shards the server runs,
+//!    how the stream is split across clients, how client submissions
+//!    interleave, or when epochs fire.
+//! 2. **Backpressure.** A saturated ingest queue rejects with a
+//!    retry-after hint — it never blocks the caller and never drops an
+//!    admitted update.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng, SmallRng};
+
+use invector_serve::{
+    LocalClient, OpKind, RejectReason, ServeClient, ServeConfig, ServerCore, SubmitOutcome,
+    TableSpec, Update,
+};
+
+const TABLE_LEN: usize = 64;
+
+fn tables() -> Vec<TableSpec> {
+    vec![
+        TableSpec::i32("counts", OpKind::Add, TABLE_LEN),
+        TableSpec::f32("mins", OpKind::Min, TABLE_LEN),
+        TableSpec::f32("sums", OpKind::Add, TABLE_LEN),
+    ]
+}
+
+/// One generated logical stream per table. `sums` exercises f32
+/// accumulation, where any reassociation of the fold would show up
+/// bitwise.
+fn generate_streams(rng: &mut SmallRng, len: usize) -> Vec<Vec<Update>> {
+    let mut streams = vec![Vec::new(), Vec::new(), Vec::new()];
+    for seq in 0..len as u64 {
+        let idx = rng.gen_range(0u32..TABLE_LEN as u32);
+        streams[0].push(Update::i32(seq, idx, rng.gen_range(-100i32..100)));
+        let idx = rng.gen_range(0u32..TABLE_LEN as u32);
+        streams[1].push(Update::f32(seq, idx, rng.gen_range(-1.0f32..1.0)));
+        let idx = rng.gen_range(0u32..TABLE_LEN as u32);
+        streams[2].push(Update::f32(seq, idx, rng.gen_range(-1.0f32..1.0)));
+    }
+    streams
+}
+
+/// Replays `streams` against a fresh server and returns the final
+/// snapshot bits per table.
+///
+/// `shards` and the chunking/interleaving/tick schedule (driven by `rng`)
+/// are the degrees of freedom that must NOT affect the result; `quantum`
+/// is part of the configuration that legitimately may.
+fn replay(
+    streams: &[Vec<Update>],
+    shards: usize,
+    quantum: usize,
+    rng: &mut SmallRng,
+) -> Vec<Vec<u32>> {
+    let mut config = ServeConfig::new(tables());
+    config.shards = shards;
+    config.quantum = quantum;
+    let core = ServerCore::new(config).expect("core");
+    let mut client = LocalClient::new(core.clone());
+
+    // Cut each table's stream into client-sized chunks...
+    let mut submissions: Vec<(u16, &[Update])> = Vec::new();
+    for (t, stream) in streams.iter().enumerate() {
+        let mut rest = stream.as_slice();
+        while !rest.is_empty() {
+            let n = rng.gen_range(1usize..=rest.len().min(48));
+            let (chunk, tail) = rest.split_at(n);
+            submissions.push((t as u16, chunk));
+            rest = tail;
+        }
+    }
+    // ...and deliver them in a random interleaving (Fisher–Yates), as if
+    // from many racing connections, with epochs firing at random points.
+    for i in (1..submissions.len()).rev() {
+        submissions.swap(i, rng.gen_range(0usize..=i));
+    }
+    for (table, chunk) in submissions {
+        client.submit_all(table, chunk).expect("submit");
+        if rng.gen_bool(0.3) {
+            core.tick(false);
+        }
+    }
+    client.flush().expect("flush");
+    (0..streams.len()).map(|t| client.snapshot(t as u16).expect("snapshot").bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline contract: same stream, same (quantum, threads) →
+    /// bitwise-identical snapshots under every shard count, client split,
+    /// interleaving, and epoch timing.
+    #[test]
+    fn snapshots_are_bitwise_identical_across_interleavings(
+        seed in any::<u64>(),
+        len in 1usize..500,
+        quantum_pow in 3u32..8,
+    ) {
+        let quantum = 1usize << quantum_pow;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = generate_streams(&mut rng, len);
+
+        // Reference: one shard, in-order submission, no mid-stream ticks.
+        let reference = {
+            let mut config = ServeConfig::new(tables());
+            config.quantum = quantum;
+            config.shards = 1;
+            let core = ServerCore::new(config).expect("core");
+            let mut client = LocalClient::new(core);
+            for (t, stream) in streams.iter().enumerate() {
+                client.submit_all(t as u16, stream).expect("submit");
+            }
+            client.flush().expect("flush");
+            (0..streams.len())
+                .map(|t| client.snapshot(t as u16).expect("snapshot").bits())
+                .collect::<Vec<_>>()
+        };
+
+        for round in 0..3u64 {
+            let shards = [1usize, 2, 3, 8][rng.gen_range(0usize..4)];
+            let mut replay_rng = SmallRng::seed_from_u64(seed.wrapping_add(round * 7919));
+            let got = replay(&streams, shards, quantum, &mut replay_rng);
+            prop_assert_eq!(
+                &got, &reference,
+                "shards={} round={} diverged from the reference replay", shards, round
+            );
+        }
+    }
+
+    /// Exact operators (integer add, float min) are grouping-independent,
+    /// so even *different* quanta must agree bitwise on those tables.
+    #[test]
+    fn exact_tables_agree_even_across_quanta(
+        seed in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = generate_streams(&mut rng, len);
+        let mut rng_a = SmallRng::seed_from_u64(seed ^ 1);
+        let mut rng_b = SmallRng::seed_from_u64(seed ^ 2);
+        let a = replay(&streams, 2, 32, &mut rng_a);
+        let b = replay(&streams, 4, 128, &mut rng_b);
+        prop_assert_eq!(&a[0], &b[0], "i32 add table must not depend on the quantum");
+        prop_assert_eq!(&a[1], &b[1], "f32 min table must not depend on the quantum");
+    }
+
+    /// Duplicate deliveries (client retries after a lost ack) never change
+    /// the outcome: first arrival per sequence number wins.
+    #[test]
+    fn duplicate_deliveries_are_idempotent(
+        seed in any::<u64>(),
+        len in 1usize..200,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = generate_streams(&mut rng, len);
+        let mut rng_a = SmallRng::seed_from_u64(seed ^ 3);
+        let reference = replay(&streams, 2, 64, &mut rng_a);
+
+        // Same replay, but every chunk is delivered twice.
+        let mut config = ServeConfig::new(tables());
+        config.quantum = 64;
+        config.shards = 2;
+        let core = ServerCore::new(config).expect("core");
+        let mut client = LocalClient::new(core);
+        for (t, stream) in streams.iter().enumerate() {
+            for chunk in stream.chunks(17) {
+                client.submit_all(t as u16, chunk).expect("submit");
+                client.submit_all(t as u16, chunk).expect("redundant submit");
+            }
+        }
+        client.flush().expect("flush");
+        let stats = client.stats().expect("stats");
+        prop_assert!(stats.duplicates > 0 || len == 0, "retransmissions must be counted");
+        for (t, expect) in reference.iter().enumerate() {
+            let got = client.snapshot(t as u16).expect("snapshot").bits();
+            prop_assert_eq!(&got, expect, "table {} changed under duplicate delivery", t);
+        }
+    }
+}
+
+#[test]
+fn saturated_queue_rejects_with_retry_after_instead_of_blocking() {
+    let mut config = ServeConfig::new(vec![TableSpec::i32("c", OpKind::Add, 16)]);
+    config.shards = 1;
+    config.queue_capacity = 8;
+    config.quantum = 4;
+    let core = ServerCore::new(config).expect("core");
+
+    // Fill the queue to the brim without running any epochs.
+    let fill: Vec<Update> = (0..8).map(|i| Update::i32(i, (i % 16) as u32, 1)).collect();
+    assert!(matches!(core.submit(0, &fill), SubmitOutcome::Accepted { accepted: 8, .. }));
+
+    // Saturated: every further submit must return immediately with a
+    // retry hint. Repeating it must not block or mutate anything.
+    for _ in 0..3 {
+        match core.submit(0, &[Update::i32(8, 0, 1)]) {
+            SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
+                assert_eq!(accepted, 0);
+                assert!(retry_after_ms >= 1, "retry hint must be actionable");
+                assert_eq!(reason, RejectReason::QueueFull);
+            }
+            other => panic!("saturated queue must reject, got {other:?}"),
+        }
+    }
+
+    // Draining the queue re-opens admission, and nothing that was ever
+    // accepted has been lost.
+    core.tick(true);
+    assert!(matches!(core.submit(0, &[Update::i32(8, 0, 1)]), SubmitOutcome::Accepted { .. }));
+    core.flush();
+    let snapshot = core.snapshot(0).expect("snapshot");
+    assert_eq!(snapshot.watermark, 9, "all 9 accepted updates applied");
+    assert!(core.stats_summary().rejected >= 3);
+}
+
+#[test]
+fn reorder_window_rejections_are_retryable_not_fatal() {
+    let mut config = ServeConfig::new(vec![TableSpec::i32("c", OpKind::Add, 16)]);
+    config.window = 8;
+    let core = ServerCore::new(config).expect("core");
+
+    // seq 10 is beyond watermark 0 + window 8: refused, not dropped.
+    match core.submit(0, &[Update::i32(10, 0, 1)]) {
+        SubmitOutcome::Rejected { reason, .. } => assert_eq!(reason, RejectReason::WindowExceeded),
+        other => panic!("expected a window rejection, got {other:?}"),
+    }
+
+    // Once the earlier stream positions arrive and apply (advancing the
+    // watermark), the retry fits inside the window.
+    let head: Vec<Update> = (0..8).map(|i| Update::i32(i, 0, 1)).collect();
+    assert!(matches!(core.submit(0, &head), SubmitOutcome::Accepted { .. }));
+    core.flush();
+    let tail: Vec<Update> = (8..11).map(|i| Update::i32(i, 0, 1)).collect();
+    assert!(matches!(core.submit(0, &tail), SubmitOutcome::Accepted { .. }));
+    core.flush();
+    assert_eq!(core.snapshot(0).expect("snapshot").watermark, 11);
+}

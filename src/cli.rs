@@ -5,10 +5,15 @@
 //! through the harness registry ([`invector_harness::registry`]) — the CLI
 //! owns no kernel dispatch of its own.
 
+use std::time::Instant;
+
 use invector_agg::dist::Distribution;
 use invector_core::BackendChoice;
 use invector_harness::{driver, registry, RunRecord, RunSpec};
 use invector_kernels::{ExecPolicy, Variant};
+use invector_serve::{
+    LocalClient, OpKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec, TcpClient, Update,
+};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +39,8 @@ pub enum Command {
         threads: usize,
         /// Backend request.
         backend: BackendChoice,
+        /// Timed repetitions per variant (best run is reported).
+        repeat: u32,
     },
     /// Run every registered cell and cross-check against the serial
     /// reference.
@@ -42,6 +49,34 @@ pub enum Command {
         spec: RunSpec,
         /// Worker threads for the engine rows.
         threads: usize,
+    },
+    /// Start the update-stream service (or its loopback smoke check).
+    Serve {
+        /// Listen address (`host:port`).
+        addr: String,
+        /// Stream sizing (rows = updates per table, cardinality = slots).
+        spec: RunSpec,
+        /// Worker threads for epoch execution.
+        threads: usize,
+        /// Backend request.
+        backend: BackendChoice,
+        /// Ingest shard count.
+        shards: usize,
+        /// Epoch batch quantum.
+        quantum: usize,
+        /// Run the self-checking loopback smoke instead of serving.
+        smoke: bool,
+    },
+    /// In-process serving throughput sweep over batch quanta.
+    BenchServe {
+        /// Stream sizing.
+        spec: RunSpec,
+        /// Worker threads for epoch execution.
+        threads: usize,
+        /// Backend request.
+        backend: BackendChoice,
+        /// Ingest shard count.
+        shards: usize,
     },
 }
 
@@ -56,9 +91,13 @@ COMMANDS:
   list                 registered applications, variants, and datasets
   run --app <name>     run one application (or use the app name directly:
                        pagerank | spmv | sssp | sswp | bfs | wcc |
-                       euler | moldyn | agg)
+                       euler | moldyn | agg; 'run --app serve' runs the
+                       serving workload through the harness)
   run-all              every app x variant x backend, checked against the
                        serial reference (smoke matrix)
+  serve                start the TCP update-stream service; with --smoke,
+                       run a self-checking loopback workload and exit
+  bench-serve          in-process serving throughput sweep over batch quanta
   info                 dataset registry and host SIMD capabilities
   help                 this text
 
@@ -67,14 +106,21 @@ OPTIONS:
   --variant <v>        serial | tiled | grouped | masked | invec | all   [all]
   --threads <n>        worker threads                            [1]
   --backend <b>        auto | portable | native                  [auto]
+  --repeat <n>         timed repetitions per variant (best shown) [1]
   --dataset <name>     higgs-twitter | soc-Pokec | amazon0312
   --source <v>         source vertex for sssp/sswp/bfs           [0]
   --iters <n>          iteration budget                          [per scale]
   --mesh <n>           euler mesh side (n x n nodes)             [per scale]
   --lattice <n>        moldyn FCC cells per side                 [per scale]
   --dist <d>           heavy-hitter | zipf | moving-cluster      [zipf]
-  --rows <n>           aggregation input rows                    [per scale]
-  --cardinality <n>    aggregation group count                   [per scale]
+  --rows <n>           aggregation/serving input rows            [per scale]
+  --cardinality <n>    aggregation/serving group count           [per scale]
+
+SERVING OPTIONS (serve / bench-serve):
+  --addr <host:port>   listen address                   [127.0.0.1:7411]
+  --shards <n>         ingest shard count                        [4]
+  --quantum <n>        epoch batch quantum                       [4096]
+  --smoke              serve: loopback self-check, then exit
 ";
 
 fn parse_dist(s: &str) -> Result<Distribution, String> {
@@ -139,17 +185,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let Some(command) = args.first() else {
         return Ok(Command::Help);
     };
+    // Options that are flags: present or absent, no value.
+    const FLAGS: [&str; 1] = ["smoke"];
     let mut opts: Opts = Vec::new();
     let mut i = 1;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an option, got '{}'", args[i]))?;
+        if FLAGS.contains(&key) {
+            opts.push((key.to_string(), "true".to_string()));
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
         opts.push((key.to_string(), value.clone()));
         i += 2;
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 18] = [
         "app",
         "dataset",
         "variant",
@@ -163,6 +216,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "cardinality",
         "threads",
         "backend",
+        "repeat",
+        "addr",
+        "shards",
+        "quantum",
+        "smoke",
     ];
     if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(format!("unknown option --{k}"));
@@ -171,6 +229,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let threads = lookup(&opts, "threads", 1)?;
     if threads == 0 {
         return Err("--threads must be at least 1".into());
+    }
+    let backend = parse_backend(get(&opts, "backend").unwrap_or("auto"))?;
+    let shards = lookup(&opts, "shards", 4)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
 
     let app = match command.as_str() {
@@ -181,6 +244,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             return Ok(Command::Info { scale });
         }
         "run-all" => return Ok(Command::RunAll { spec: build_spec(&opts, "tiny")?, threads }),
+        // The service command shadows the registry shorthand for the
+        // `serve` app; the harness workload stays reachable via
+        // `run --app serve`.
+        "serve" => {
+            let quantum = lookup(&opts, "quantum", 4096)?;
+            if quantum == 0 {
+                return Err("--quantum must be at least 1".into());
+            }
+            return Ok(Command::Serve {
+                addr: get(&opts, "addr").unwrap_or("127.0.0.1:7411").to_string(),
+                spec: build_spec(&opts, "tiny")?,
+                threads,
+                backend,
+                shards,
+                quantum,
+                smoke: get(&opts, "smoke").is_some(),
+            });
+        }
+        "bench-serve" => {
+            return Ok(Command::BenchServe {
+                spec: build_spec(&opts, "small")?,
+                threads,
+                backend,
+                shards,
+            });
+        }
         "run" => get(&opts, "app")
             .ok_or_else(|| "run needs --app <name> (see 'invector list')".to_string())?
             .to_string(),
@@ -213,13 +302,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             vec![variant]
         }
     };
-    Ok(Command::Run {
-        app,
-        variants,
-        spec: build_spec(&opts, "small")?,
-        threads,
-        backend: parse_backend(get(&opts, "backend").unwrap_or("auto"))?,
-    })
+    let repeat = lookup(&opts, "repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    Ok(Command::Run { app, variants, spec: build_spec(&opts, "small")?, threads, backend, repeat })
 }
 
 /// Executes a parsed command, printing results to stdout.
@@ -233,10 +320,16 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Help => println!("{USAGE}"),
         Command::Info { scale } => run_info(scale),
         Command::List => run_list(),
-        Command::Run { app, variants, spec, threads, backend } => {
-            run_app(&app, &variants, &spec, threads, backend)?
+        Command::Run { app, variants, spec, threads, backend, repeat } => {
+            run_app(&app, &variants, &spec, threads, backend, repeat)?
         }
         Command::RunAll { spec, threads } => run_all(&spec, threads)?,
+        Command::Serve { addr, spec, threads, backend, shards, quantum, smoke } => {
+            run_serve(&addr, &spec, threads, backend, shards, quantum, smoke)?
+        }
+        Command::BenchServe { spec, threads, backend, shards } => {
+            run_bench_serve(&spec, threads, backend, shards)?
+        }
     }
     Ok(())
 }
@@ -273,8 +366,9 @@ fn run_list() {
 fn print_record(r: &RunRecord) {
     let util =
         r.utilization.map(|u| format!("{:.2}%", u.ratio() * 100.0)).unwrap_or_else(|| "-".into());
+    let throughput = r.mupdates_per_sec().map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into());
     println!(
-        "{:<24} {:>8}  tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  iters {:>5}  {:>10.2} Minstr  util {:>7}  checksum {:.6}",
+        "{:<24} {:>8}  tiling {:>8.2}ms  grouping {:>8.2}ms  compute {:>8.2}ms  iters {:>5}  {:>10.2} Minstr  util {:>7}  {:>9} Mup/s  checksum {:.6}",
         r.label,
         r.backend.name(),
         r.timings.tiling.as_secs_f64() * 1e3,
@@ -283,6 +377,7 @@ fn print_record(r: &RunRecord) {
         r.iterations,
         r.instructions as f64 / 1e6,
         util,
+        throughput,
         r.checksum()
     );
 }
@@ -293,13 +388,24 @@ fn run_app(
     spec: &RunSpec,
     threads: usize,
     backend: BackendChoice,
+    repeat: u32,
 ) -> Result<(), String> {
     let entry = registry::lookup(app)?;
     let workload = entry.prepare(spec)?;
     println!("{}: {}", entry.name(), workload.describe());
+    if repeat > 1 {
+        println!("(best of {repeat} runs per variant)");
+    }
     let policy = ExecPolicy::with_threads(threads).backend(backend);
     for &variant in variants {
-        print_record(&workload.run(variant, &policy));
+        let mut best = workload.run(variant, &policy);
+        for _ in 1..repeat {
+            let r = workload.run(variant, &policy);
+            if r.elapsed() < best.elapsed() {
+                best = r;
+            }
+        }
+        print_record(&best);
     }
     Ok(())
 }
@@ -312,12 +418,14 @@ fn run_all(spec: &RunSpec, threads: usize) -> Result<(), String> {
             current_app = cell.app;
             println!("{}: {}", cell.app, cell.input);
         }
+        let throughput = cell.mupdates.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into());
         println!(
-            "  {:<24} {:>8}  t={}  {:>10.2}ms  checksum {:>18.6}  {}",
+            "  {:<24} {:>8}  t={}  {:>10.2}ms  {:>9} Mup/s  checksum {:>18.6}  {}",
             cell.variant.to_string(),
             cell.backend.name(),
             cell.threads,
             cell.elapsed.as_secs_f64() * 1e3,
+            throughput,
             cell.checksum,
             match &cell.error {
                 None => "ok".to_string(),
@@ -326,9 +434,259 @@ fn run_all(spec: &RunSpec, threads: usize) -> Result<(), String> {
         );
     }
     let failures = report.failures().count();
-    println!("\n{} cells, {} failures", report.cells.len(), failures);
+    println!(
+        "\n{} cells, {} failures, {:.2}ms total",
+        report.cells.len(),
+        failures,
+        report.total_elapsed().as_secs_f64() * 1e3
+    );
     if failures > 0 {
-        return Err(format!("{failures} cells disagree with the serial reference"));
+        // The non-zero-exit summary restates each failing cell with its
+        // wall time, so CI logs carry the full picture in one place.
+        let detail: Vec<String> = report
+            .failures()
+            .map(|c| {
+                format!(
+                    "{} {} on {} t={} after {:.2}ms: {}",
+                    c.app,
+                    c.variant,
+                    c.backend.name(),
+                    c.threads,
+                    c.elapsed.as_secs_f64() * 1e3,
+                    c.error.as_deref().unwrap_or("unknown")
+                )
+            })
+            .collect();
+        return Err(format!(
+            "{failures} cells disagree with the serial reference:\n  {}",
+            detail.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Serving
+// ---------------------------------------------------------------------------
+
+/// Seed for synthesized serving streams; matches the harness input seed so
+/// `serve --smoke` and `run --app serve` fold the same data.
+const SERVE_SEED: u64 = 0x1b_f2_9d;
+
+/// The service's table registry for CLI-started servers: a count table and
+/// a min table over the spec's key cardinality. Both operators are exact,
+/// so every check below can demand bitwise agreement.
+fn serve_tables(cardinality: usize) -> Vec<TableSpec> {
+    vec![
+        TableSpec::i32("counts", OpKind::Add, cardinality),
+        TableSpec::f32("mins", OpKind::Min, cardinality),
+    ]
+}
+
+/// Synthesizes the two logical update streams from the spec's distribution.
+fn serve_streams(spec: &RunSpec) -> (Vec<Update>, Vec<Update>) {
+    let input = invector_agg::dist::generate(
+        spec.dist,
+        spec.rows.max(1),
+        spec.cardinality.max(1),
+        SERVE_SEED,
+    );
+    let counts = input
+        .keys
+        .iter()
+        .enumerate()
+        .map(|(seq, &k)| Update::i32(seq as u64, k as u32, 1))
+        .collect();
+    let mins = input
+        .keys
+        .iter()
+        .zip(&input.vals)
+        .enumerate()
+        .map(|(seq, (&k, &v))| Update::f32(seq as u64, k as u32, v))
+        .collect();
+    (counts, mins)
+}
+
+/// Serial reference fold of both streams, as bit patterns.
+fn serve_reference(counts: &[Update], mins: &[Update], cardinality: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut count_slots = vec![0i32; cardinality];
+    for u in counts {
+        count_slots[u.idx as usize] += u.bits as i32;
+    }
+    let mut min_slots = vec![f32::INFINITY; cardinality];
+    for u in mins {
+        let v = f32::from_bits(u.bits);
+        if v < min_slots[u.idx as usize] {
+            min_slots[u.idx as usize] = v;
+        }
+    }
+    (
+        count_slots.into_iter().map(|v| v as u32).collect(),
+        min_slots.into_iter().map(f32::to_bits).collect(),
+    )
+}
+
+fn serve_config(
+    spec: &RunSpec,
+    threads: usize,
+    backend: BackendChoice,
+    shards: usize,
+    quantum: usize,
+) -> ServeConfig {
+    let mut config = ServeConfig::new(serve_tables(spec.cardinality.max(1)));
+    config.shards = shards;
+    config.quantum = quantum;
+    config.threads = threads;
+    config.backend = backend;
+    config
+}
+
+fn run_serve(
+    addr: &str,
+    spec: &RunSpec,
+    threads: usize,
+    backend: BackendChoice,
+    shards: usize,
+    quantum: usize,
+    smoke: bool,
+) -> Result<(), String> {
+    if smoke {
+        return serve_smoke(spec, threads, backend, shards, quantum);
+    }
+    let config = serve_config(spec, threads, backend, shards, quantum);
+    let server = Server::bind(config, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("invector-serve listening on {}", server.local_addr());
+    println!("  tables: counts (i32 add), mins (f32 min) x {} slots", spec.cardinality.max(1));
+    println!("  shards {shards}, quantum {quantum}, threads {threads}");
+    println!("  stop with a Shutdown frame (protocol v{})", invector_serve::PROTOCOL_VERSION);
+    server.join();
+    Ok(())
+}
+
+/// Loopback self-check: two racing TCP clients and one in-process client
+/// drive a mixed workload against an ephemeral server; the drained
+/// snapshots must match the serial fold bitwise, and shutdown must drain
+/// cleanly.
+fn serve_smoke(
+    spec: &RunSpec,
+    threads: usize,
+    backend: BackendChoice,
+    shards: usize,
+    quantum: usize,
+) -> Result<(), String> {
+    let cardinality = spec.cardinality.max(1);
+    let config = serve_config(spec, threads, backend, shards, quantum);
+    let server = Server::bind(config, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    let addr = server.local_addr();
+    println!("serve smoke on {addr}: shards {shards}, quantum {quantum}, threads {threads}");
+
+    let (counts, mins) = serve_streams(spec);
+    let (expect_counts, expect_mins) = serve_reference(&counts, &mins, cardinality);
+
+    // Split the count stream between two TCP connections on real threads
+    // (their submissions genuinely race), keep the min stream in process.
+    const CHUNK: usize = 97;
+    let mut split: [Vec<Update>; 2] = [Vec::new(), Vec::new()];
+    for (i, chunk) in counts.chunks(CHUNK).enumerate() {
+        split[i % 2].extend_from_slice(chunk);
+    }
+    let writers: Vec<std::thread::JoinHandle<Result<(), String>>> = split
+        .into_iter()
+        .map(|updates| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr)?;
+                for chunk in updates.chunks(CHUNK) {
+                    client.submit_all(0, chunk)?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    let mut local = LocalClient::new(server.core());
+    for chunk in mins.chunks(CHUNK) {
+        local.submit_all(1, chunk)?;
+    }
+    for writer in writers {
+        writer.join().map_err(|_| "TCP writer thread panicked".to_string())??;
+    }
+    local.flush()?;
+
+    // Verify over the wire, then drain and stop.
+    let mut check = TcpClient::connect(addr)?;
+    let got_counts = check.snapshot(0)?;
+    let got_mins = check.snapshot(1)?;
+    if got_counts.bits() != expect_counts {
+        return Err("count table diverged from the serial fold".into());
+    }
+    if got_mins.bits() != expect_mins {
+        return Err("min table diverged from the serial fold".into());
+    }
+    let stats = check.stats()?;
+    println!(
+        "  applied {} in {} slices / {} epochs, occupancy {:.2}, depth {:.2}, {:.2} Mup/s, p50 {:.0}us p99 {:.0}us",
+        stats.applied,
+        stats.slices,
+        stats.epochs,
+        stats.occupancy,
+        stats.conflict_depth,
+        stats.updates_per_sec / 1e6,
+        stats.p50_epoch_us,
+        stats.p99_epoch_us
+    );
+    let watermarks = check.shutdown()?;
+    let rows = counts.len() as u64;
+    if watermarks != vec![rows, rows] {
+        return Err(format!("shutdown watermarks {watermarks:?}, expected [{rows}, {rows}]"));
+    }
+    server.join();
+    println!("  snapshots match the serial fold bitwise; drain clean");
+    Ok(())
+}
+
+/// In-process throughput sweep: the same stream folded under increasing
+/// epoch quanta, showing what micro-batching buys over per-update epochs.
+fn run_bench_serve(
+    spec: &RunSpec,
+    threads: usize,
+    backend: BackendChoice,
+    shards: usize,
+) -> Result<(), String> {
+    let (counts, _) = serve_streams(spec);
+    println!(
+        "bench-serve: {} updates, {} slots, shards {shards}, threads {threads}",
+        counts.len(),
+        spec.cardinality.max(1)
+    );
+    println!("{:>8} {:>12} {:>12} {:>10}", "quantum", "elapsed_ms", "Mup/s", "slices");
+    let mut baseline = None;
+    for quantum in [1usize, 64, 1024, 4096] {
+        let mut config = serve_config(spec, threads, backend, shards, quantum);
+        config.queue_capacity = quantum.max(4096) * 4;
+        let core = ServerCore::new(config)?;
+        let mut client = LocalClient::new(core);
+        let start = Instant::now();
+        for chunk in counts.chunks(1024) {
+            client.submit_all(0, chunk)?;
+        }
+        client.flush()?;
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = client.stats()?;
+        let mups = counts.len() as f64 / elapsed / 1e6;
+        let speedup = match baseline {
+            None => {
+                baseline = Some(mups);
+                String::new()
+            }
+            Some(b) => format!("  ({:.1}x vs quantum 1)", mups / b),
+        };
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>10}{}",
+            quantum,
+            elapsed * 1e3,
+            mups,
+            stats.slices,
+            speedup
+        );
     }
     Ok(())
 }
@@ -354,16 +712,64 @@ mod tests {
         let explicit = parse(&args("run --app sssp --variant invec --source 3")).unwrap();
         assert_eq!(direct, explicit);
         match direct {
-            Command::Run { app, variants, spec, threads, backend } => {
+            Command::Run { app, variants, spec, threads, backend, repeat } => {
                 assert_eq!(app, "sssp");
                 assert_eq!(variants, vec![Variant::Invec]);
                 assert_eq!(spec.source, 3);
                 assert_eq!(spec.scale, RunSpec::small().scale);
                 assert_eq!(threads, 1);
                 assert_eq!(backend, BackendChoice::Auto);
+                assert_eq!(repeat, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeat_is_parsed_and_validated() {
+        match parse(&args("agg --repeat 5")).unwrap() {
+            Command::Run { repeat, .. } => assert_eq!(repeat, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args("agg --repeat 0")).is_err());
+    }
+
+    #[test]
+    fn serve_command_shadows_the_app_shorthand_and_takes_serving_options() {
+        match parse(&args("serve --shards 8 --quantum 512 --smoke")).unwrap() {
+            Command::Serve { addr, shards, quantum, smoke, .. } => {
+                assert_eq!(addr, "127.0.0.1:7411");
+                assert_eq!(shards, 8);
+                assert_eq!(quantum, 512);
+                assert!(smoke);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The harness workload stays reachable through run --app.
+        match parse(&args("run --app serve")).unwrap() {
+            Command::Run { app, .. } => assert_eq!(app, "serve"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args("serve --quantum 0")).is_err());
+        assert!(parse(&args("serve --shards 0")).is_err());
+    }
+
+    #[test]
+    fn bench_serve_parses_with_defaults() {
+        match parse(&args("bench-serve --scale tiny")).unwrap() {
+            Command::BenchServe { spec, threads, shards, .. } => {
+                assert_eq!(spec.rows, RunSpec::tiny().rows);
+                assert_eq!(threads, 1);
+                assert_eq!(shards, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_smoke_round_trips_on_loopback() {
+        let spec = RunSpec { rows: 1200, cardinality: 32, ..RunSpec::tiny() };
+        serve_smoke(&spec, 1, BackendChoice::Auto, 3, 128).expect("smoke must pass");
     }
 
     #[test]
@@ -446,6 +852,10 @@ mod tests {
         run(parse(&args("euler --mesh 6 --iters 2 --variant masked --scale tiny")).unwrap())
             .unwrap();
         run(parse(&args("bfs --scale tiny --backend portable --threads 2")).unwrap()).unwrap();
+        run(parse(&args("agg --scale tiny --rows 1000 --repeat 2")).unwrap()).unwrap();
+        run(parse(&args("run --app serve --scale tiny --variant invec")).unwrap()).unwrap();
+        run(parse(&args("bench-serve --scale tiny --rows 3000 --cardinality 32")).unwrap())
+            .unwrap();
     }
 
     #[test]
