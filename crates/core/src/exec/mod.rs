@@ -42,8 +42,13 @@
 //!   fluxes) or need no target at all (agg's per-worker hash tables).
 //!
 //! SIMD instruction counts recorded by workers (thread-local in
-//! `invector_simd::count`) are summed and re-charged to the calling thread,
-//! so existing instruction accounting keeps working unchanged.
+//! `invector_simd::count`) are summed and re-charged to the calling thread
+//! via [`count::bump_recharged`](invector_simd::count::bump_recharged), so
+//! per-caller accounting keeps working unchanged while the process-wide
+//! total (`count::global_total`, exported to the metric registry) counts
+//! each instruction once. Batches and worker tasks also publish counters
+//! and spans to [`invector_obs`]; with the `obs` feature disabled those
+//! calls compile to no-ops.
 
 pub mod pool;
 
@@ -61,6 +66,43 @@ use crate::accumulate::{
 use crate::ops::ReduceOp;
 
 pub use crate::backend::{Backend, BackendChoice};
+
+/// Engine counters on the global metric registry, registered on first use.
+///
+/// Handles are cached in a `OnceLock` so the steady state is one load plus
+/// a relaxed shard add per event; with the `obs` feature disabled every
+/// `add` compiles to a no-op.
+struct ExecMetrics {
+    plans: invector_obs::Counter,
+    chunk_runs: invector_obs::Counter,
+    tasks: invector_obs::Counter,
+    inline_runs: invector_obs::Counter,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: std::sync::OnceLock<ExecMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = invector_obs::Registry::global();
+        ExecMetrics {
+            plans: registry.counter(
+                "invector_exec_plans_total",
+                "run_plan batches dispatched to the worker pool",
+            ),
+            chunk_runs: registry.counter(
+                "invector_exec_chunk_runs_total",
+                "parallel_chunks batches dispatched to the worker pool",
+            ),
+            tasks: registry.counter(
+                "invector_exec_tasks_total",
+                "worker tasks executed across all engine batches",
+            ),
+            inline_runs: registry.counter(
+                "invector_exec_inline_runs_total",
+                "engine calls that ran inline on the caller (single task)",
+            ),
+        }
+    })
+}
 
 /// Which of the paper's reduction strategies each worker runs on its share
 /// of the stream.
@@ -443,8 +485,12 @@ where
     assert_eq!(plan.target_len, target.len(), "plan built for a different target length");
     let n_tasks = plan.tasks.len();
     if n_tasks == 1 {
+        exec_metrics().inline_runs.inc();
         return vec![body(plan.ctx(0, false), target)];
     }
+    let _plan_span = invector_obs::span!("exec.run_plan");
+    exec_metrics().plans.inc();
+    exec_metrics().tasks.add(n_tasks as u64);
     let results: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
     let instructions: Vec<AtomicU64> = (0..n_tasks).map(|_| AtomicU64::new(0)).collect();
 
@@ -461,6 +507,7 @@ where
                 slices.push(Mutex::new(Some(head)));
             }
             pool::global().run(n_tasks, &|t| {
+                let _span = invector_obs::span!("exec.task.owner");
                 let view = slices[t]
                     .lock()
                     .expect("slice cell poisoned")
@@ -475,6 +522,7 @@ where
             let privates: Vec<Mutex<Option<Vec<T>>>> =
                 (0..n_tasks).map(|_| Mutex::new(None)).collect();
             pool::global().run(n_tasks, &|t| {
+                let _span = invector_obs::span!("exec.task.privatized");
                 let task = &plan.tasks[t];
                 let mut scratch = vec![Op::identity(); task.hi - task.lo];
                 let (r, n) = count::with(|| body(plan.ctx(t, true), &mut scratch));
@@ -497,6 +545,7 @@ where
         Partition::Privatized => {
             let shared = Mutex::new(&mut *target);
             pool::global().run(n_tasks, &|t| {
+                let _span = invector_obs::span!("exec.task.privatized");
                 let task = &plan.tasks[t];
                 let mut scratch = vec![Op::identity(); task.hi - task.lo];
                 let (r, n) = count::with(|| body(plan.ctx(t, true), &mut scratch));
@@ -510,7 +559,7 @@ where
         }
     }
 
-    count::bump(instructions.iter().map(|a| a.load(Ordering::Relaxed)).sum());
+    count::bump_recharged(instructions.iter().map(|a| a.load(Ordering::Relaxed)).sum());
     results
         .into_iter()
         .map(|m| m.into_inner().expect("result cell poisoned").expect("missing task result"))
@@ -532,19 +581,24 @@ where
 {
     let n_tasks = effective_tasks(threads, items);
     if n_tasks == 1 {
+        exec_metrics().inline_runs.inc();
         return vec![f(0, 0..items)];
     }
+    let _chunks_span = invector_obs::span!("exec.parallel_chunks");
+    exec_metrics().chunk_runs.inc();
+    exec_metrics().tasks.add(n_tasks as u64);
     let chunk = items.div_ceil(n_tasks);
     let results: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
     let instructions: Vec<AtomicU64> = (0..n_tasks).map(|_| AtomicU64::new(0)).collect();
     pool::global().run(n_tasks, &|t| {
+        let _span = invector_obs::span!("exec.task.chunk");
         let start = (t * chunk).min(items);
         let end = ((t + 1) * chunk).min(items);
         let (r, n) = count::with(|| f(t, start..end));
         instructions[t].store(n, Ordering::Relaxed);
         *results[t].lock().expect("result cell poisoned") = Some(r);
     });
-    count::bump(instructions.iter().map(|a| a.load(Ordering::Relaxed)).sum());
+    count::bump_recharged(instructions.iter().map(|a| a.load(Ordering::Relaxed)).sum());
     results
         .into_iter()
         .map(|m| m.into_inner().expect("result cell poisoned").expect("missing task result"))

@@ -36,7 +36,41 @@ pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
     POOL.get_or_init(|| {
         POOL_INITIALIZATIONS.fetch_add(1, Ordering::SeqCst);
-        ThreadPool::new(default_workers())
+        let pool = ThreadPool::new(default_workers());
+        let registry = invector_obs::Registry::global();
+        registry.register_collector(
+            "invector_exec_pool_initializations_total",
+            "times the global worker pool has been constructed (0 or 1)",
+            || pool_initializations() as u64,
+        );
+        registry
+            .gauge("invector_exec_pool_workers", "worker threads in the global pool")
+            .set(pool.workers() as f64);
+        pool
+    })
+}
+
+/// Pool-level counters on the global registry, registered on first use.
+struct PoolMetrics {
+    batches: invector_obs::Counter,
+    jobs: invector_obs::Counter,
+    inline_batches: invector_obs::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = invector_obs::Registry::global();
+        PoolMetrics {
+            batches: registry
+                .counter("invector_exec_pool_batches_total", "batches enqueued on the worker pool"),
+            jobs: registry
+                .counter("invector_exec_pool_jobs_total", "jobs pushed to the worker pool queue"),
+            inline_batches: registry.counter(
+                "invector_exec_pool_inline_batches_total",
+                "batches run inline (single task or nested call from a worker)",
+            ),
+        }
     })
 }
 
@@ -119,11 +153,14 @@ impl ThreadPool {
             return;
         }
         if tasks == 1 || IN_POOL_WORKER.with(|w| w.get()) {
+            pool_metrics().inline_batches.inc();
             for index in 0..tasks {
                 f(index);
             }
             return;
         }
+        pool_metrics().batches.inc();
+        pool_metrics().jobs.add(tasks as u64);
         // SAFETY: erases the borrow lifetime of `f`. The wait on `done`
         // below guarantees `run` outlives every dereference by a worker.
         let task: &'static (dyn Fn(usize) + Sync) = unsafe {
@@ -165,7 +202,10 @@ fn worker_loop(queue: &PoolQueue) {
         };
         let task = job.batch.task;
         IN_POOL_WORKER.with(|w| w.set(true));
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(job.index)));
+        let outcome = {
+            let _span = invector_obs::span!("exec.pool.job");
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(job.index)))
+        };
         IN_POOL_WORKER.with(|w| w.set(false));
         let mut state = job.batch.state.lock().expect("batch state poisoned");
         if let Err(payload) = outcome {

@@ -116,6 +116,7 @@ pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
 
         for (variant, policy) in policies {
             let r = workload.run(variant, &policy);
+            r.publish_obs();
             cells.push(CellReport {
                 app: app.name(),
                 input: input.clone(),

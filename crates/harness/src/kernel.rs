@@ -153,6 +153,57 @@ impl RunRecord {
         self.timings.total()
     }
 
+    /// Publishes this record's statistics into the global metric registry
+    /// ([`invector_obs::Registry::global`]), so a scrape or snapshot after
+    /// a harness run carries update/instruction totals, the conflict-depth
+    /// distribution, and lane utilization alongside the serving and engine
+    /// series. A no-op unless runtime observability is on (the CLI's
+    /// `--obs` flag) — batch runs pay nothing by default.
+    pub fn publish_obs(&self) {
+        if !invector_obs::enabled() {
+            return;
+        }
+        let registry = invector_obs::Registry::global();
+        registry.counter("invector_harness_runs_total", "application variant runs published").inc();
+        registry
+            .counter(
+                "invector_harness_updates_total",
+                "associative updates processed by published runs",
+            )
+            .add(self.updates);
+        registry
+            .counter(
+                "invector_harness_instructions_total",
+                "modeled SIMD instructions across published runs (0 without the count feature)",
+            )
+            .add(self.instructions);
+        registry
+            .counter(
+                "invector_harness_iterations_total",
+                "kernel iterations executed by published runs",
+            )
+            .add(u64::from(self.iterations));
+        if let Some(u) = self.utilization {
+            registry
+                .gauge(
+                    "invector_harness_utilization_ratio",
+                    "SIMD lane utilization of the latest published masked-variant run",
+                )
+                .set(u.ratio());
+        }
+        if let Some(depth) = &self.depth {
+            let bounds: Vec<f64> = (0..=16).map(f64::from).collect();
+            let h = registry.histogram(
+                "invector_harness_conflict_depth",
+                "conflict depth per vector across published in-vector runs",
+                &bounds,
+            );
+            for d in 0..=16u32 {
+                h.observe_n(f64::from(d), depth.bucket(d));
+            }
+        }
+    }
+
     /// Throughput in million updates per second, when the kernel reported
     /// an update count and the run took measurable time.
     pub fn mupdates_per_sec(&self) -> Option<f64> {

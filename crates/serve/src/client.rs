@@ -46,6 +46,13 @@ pub trait ServeClient {
     /// Returns a message for transport failures.
     fn stats(&mut self) -> Result<StatsSummary, String>;
 
+    /// Fetches the server's Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures.
+    fn metrics(&mut self) -> Result<String, String>;
+
     /// Waits out a rejection before retrying.
     fn backoff(&mut self, retry_after_ms: u32);
 
@@ -119,6 +126,10 @@ impl ServeClient for LocalClient {
 
     fn stats(&mut self) -> Result<StatsSummary, String> {
         Ok(self.core.stats_summary())
+    }
+
+    fn metrics(&mut self) -> Result<String, String> {
+        Ok(self.core.metrics_text())
     }
 
     fn backoff(&mut self, _retry_after_ms: u32) {
@@ -259,6 +270,14 @@ impl ServeClient for TcpClient {
         }
     }
 
+    fn metrics(&mut self) -> Result<String, String> {
+        match self.round_trip(&Request::Metrics)? {
+            Reply::Metrics(text) => Ok(text),
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected metrics reply {other:?}")),
+        }
+    }
+
     fn backoff(&mut self, retry_after_ms: u32) {
         std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
     }
@@ -298,7 +317,19 @@ mod tests {
         assert_eq!(over_wire.bits(), in_process.bits(), "wire and core views agree bitwise");
 
         let stats = tcp.stats().expect("stats");
+        #[cfg(feature = "obs")]
         assert_eq!(stats.applied, 40);
+        #[cfg(not(feature = "obs"))]
+        assert_eq!(stats.applied, 0, "stats read as zero without the obs feature");
+
+        let scraped = tcp.metrics().expect("metrics");
+        #[cfg(feature = "obs")]
+        {
+            assert!(scraped.contains("invector_serve_applied_total 40"), "{scraped}");
+            assert!(scraped.contains("invector_serve_epoch_latency_us_bucket"), "{scraped}");
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = scraped;
 
         let watermarks = tcp.shutdown().expect("shutdown");
         assert_eq!(watermarks, vec![40, 0]);

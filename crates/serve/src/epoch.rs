@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use invector_core::stats::DepthHistogram;
+use invector_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::{StatsSummary, Update};
 
@@ -112,91 +113,149 @@ pub struct EpochReport {
     pub applied: usize,
     /// Batch slices executed.
     pub slices: usize,
+    /// SIMD vector iterations the slices ran (16 lane slots each), for
+    /// utilization accounting.
+    pub vectors: u64,
     /// Wall time of the tick.
     pub elapsed: Duration,
 }
 
-/// Bounded ring of recent epoch latencies for percentile reporting.
-const LATENCY_RING: usize = 4096;
+/// Upper bucket bounds of the epoch latency histogram, in microseconds
+/// (an `+Inf` bucket is implicit).
+const LATENCY_BOUNDS_US: [f64; 16] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0,
+    50000.0, 100000.0,
+];
 
-/// Running service statistics, updated by the epoch executor and admission
-/// path, summarized on a `Stats` request.
-#[derive(Debug, Default)]
+/// SIMD lanes per vector (AVX-512, 32-bit elements) — the slot count a
+/// vector iteration offers for utilization accounting.
+const LANES: u64 = 16;
+
+/// Service statistics as a set of handles into a per-core metric registry.
+///
+/// Every record-side call is lock-free (relaxed adds on the calling
+/// thread's registry shard), so the admission path and the epoch executor
+/// never serialize on a stats mutex; reads merge the shards on demand.
+/// With the `obs` feature disabled the handles still exist but every
+/// record is a no-op and reads return zero.
+#[derive(Debug, Clone)]
 pub struct ServeStats {
-    /// Epochs that applied at least one slice.
-    pub epochs: u64,
-    /// Batch slices executed.
-    pub slices: u64,
-    /// Updates applied.
-    pub applied: u64,
-    /// Updates refused admission.
-    pub rejected: u64,
-    /// Slice capacity offered (slices × quantum), for occupancy.
-    offered: u64,
-    /// Merged conflict-depth histogram across applied slices.
-    pub depth: DepthHistogram,
-    /// Total epoch execution time.
-    pub busy: Duration,
-    /// Recent epoch latencies (ring, capacity [`LATENCY_RING`]).
-    latencies: Vec<Duration>,
-    /// Next ring slot to overwrite.
-    cursor: usize,
+    /// `invector_serve_epochs_total`: epochs that applied ≥ 1 slice.
+    epochs: Counter,
+    /// `invector_serve_slices_total`: batch slices executed.
+    slices: Counter,
+    /// `invector_serve_applied_total`: updates applied.
+    applied: Counter,
+    /// `invector_serve_rejected_total`: updates refused admission.
+    rejected: Counter,
+    /// `invector_serve_offered_total`: slice capacity offered
+    /// (slices × quantum), for occupancy.
+    offered: Counter,
+    /// `invector_serve_busy_ns_total`: total epoch execution time.
+    busy_ns: Counter,
+    /// `invector_serve_lanes_useful_total`: lane slots that applied an
+    /// update.
+    lanes_useful: Counter,
+    /// `invector_serve_lane_slots_total`: lane slots executed.
+    lane_slots: Counter,
+    /// `invector_serve_utilization_ratio`: running useful / executed.
+    utilization: Gauge,
+    /// `invector_serve_conflict_depth`: per-vector conflict depth (D1).
+    depth: Histogram,
+    /// `invector_serve_epoch_latency_us`: epoch wall time.
+    latency_us: Histogram,
 }
 
 impl ServeStats {
-    /// Records one executed epoch.
-    pub fn record_epoch(&mut self, report: &EpochReport, quantum: usize, depth: &DepthHistogram) {
+    /// Registers the service metric set on `registry` and returns the
+    /// handle bundle. Registration is idempotent: two `ServeStats` on the
+    /// same registry share storage.
+    pub fn new(registry: &Registry) -> ServeStats {
+        let depth_bounds: Vec<f64> = (0..=16).map(f64::from).collect();
+        ServeStats {
+            epochs: registry
+                .counter("invector_serve_epochs_total", "epochs that applied at least one slice"),
+            slices: registry.counter("invector_serve_slices_total", "batch slices executed"),
+            applied: registry.counter("invector_serve_applied_total", "updates applied"),
+            rejected: registry
+                .counter("invector_serve_rejected_total", "updates refused admission"),
+            offered: registry.counter(
+                "invector_serve_offered_total",
+                "slice capacity offered (slices x quantum)",
+            ),
+            busy_ns: registry
+                .counter("invector_serve_busy_ns_total", "total epoch execution time (ns)"),
+            lanes_useful: registry.counter(
+                "invector_serve_lanes_useful_total",
+                "SIMD lane slots that applied an update",
+            ),
+            lane_slots: registry.counter(
+                "invector_serve_lane_slots_total",
+                "SIMD lane slots executed (vectors x 16)",
+            ),
+            utilization: registry.gauge(
+                "invector_serve_utilization_ratio",
+                "running SIMD lane utilization (useful / executed)",
+            ),
+            depth: registry.histogram(
+                "invector_serve_conflict_depth",
+                "conflict depth (D1) per vector iteration",
+                &depth_bounds,
+            ),
+            latency_us: registry.histogram(
+                "invector_serve_epoch_latency_us",
+                "epoch wall time (microseconds)",
+                &LATENCY_BOUNDS_US,
+            ),
+        }
+    }
+
+    /// Records one executed epoch. Lock-free on the record side; the
+    /// utilization gauge refresh merges shards, which is fine at epoch
+    /// granularity.
+    pub fn record_epoch(&self, report: &EpochReport, quantum: usize, depth: &DepthHistogram) {
         if report.slices == 0 {
             return;
         }
-        self.epochs += 1;
-        self.slices += report.slices as u64;
-        self.applied += report.applied as u64;
-        self.offered += (report.slices * quantum) as u64;
-        self.depth.merge(depth);
-        self.busy += report.elapsed;
-        if self.latencies.len() < LATENCY_RING {
-            self.latencies.push(report.elapsed);
-        } else {
-            self.latencies[self.cursor] = report.elapsed;
-            self.cursor = (self.cursor + 1) % LATENCY_RING;
+        self.epochs.inc();
+        self.slices.add(report.slices as u64);
+        self.applied.add(report.applied as u64);
+        self.offered.add((report.slices * quantum) as u64);
+        self.busy_ns.add(report.elapsed.as_nanos() as u64);
+        self.latency_us.observe(report.elapsed.as_secs_f64() * 1e6);
+        for d in 0..=16u32 {
+            self.depth.observe_n(f64::from(d), depth.bucket(d));
+        }
+        self.lanes_useful.add(report.applied as u64);
+        self.lane_slots.add(report.vectors * LANES);
+        let slots = self.lane_slots.value();
+        if slots > 0 {
+            self.utilization.set(self.lanes_useful.value() as f64 / slots as f64);
         }
     }
 
-    /// Records refused admissions.
-    pub fn record_rejects(&mut self, n: u64) {
-        self.rejected += n;
+    /// Records refused admissions. Lock-free.
+    pub fn record_rejects(&self, n: u64) {
+        self.rejected.add(n);
     }
 
-    /// Epoch latency percentile over the recent ring (`q` in `[0, 1]`).
-    fn latency_quantile(&self, q: f64) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[rank]
-    }
-
-    /// Condenses the running counters into the wire summary.
+    /// Condenses the registry counters into the wire summary.
     pub fn summarize(&self, duplicates: u64) -> StatsSummary {
-        let busy = self.busy.as_secs_f64();
+        let applied = self.applied.value();
+        let offered = self.offered.value();
+        let busy = self.busy_ns.value() as f64 / 1e9;
+        let latency = self.latency_us.snapshot();
         StatsSummary {
-            epochs: self.epochs,
-            slices: self.slices,
-            applied: self.applied,
-            rejected: self.rejected,
+            epochs: self.epochs.value(),
+            slices: self.slices.value(),
+            applied,
+            rejected: self.rejected.value(),
             duplicates,
-            occupancy: if self.offered == 0 {
-                0.0
-            } else {
-                self.applied as f64 / self.offered as f64
-            },
-            conflict_depth: self.depth.mean(),
-            updates_per_sec: if busy > 0.0 { self.applied as f64 / busy } else { 0.0 },
-            p50_epoch_us: self.latency_quantile(0.50).as_secs_f64() * 1e6,
-            p99_epoch_us: self.latency_quantile(0.99).as_secs_f64() * 1e6,
+            occupancy: if offered == 0 { 0.0 } else { applied as f64 / offered as f64 },
+            conflict_depth: self.depth.snapshot().mean(),
+            updates_per_sec: if busy > 0.0 { applied as f64 / busy } else { 0.0 },
+            p50_epoch_us: latency.quantile(0.50),
+            p99_epoch_us: latency.quantile(0.99),
         }
     }
 }
@@ -234,13 +293,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "obs")]
     fn stats_summary_reports_occupancy_and_percentiles() {
-        let mut s = ServeStats::default();
-        let depth = DepthHistogram::new();
+        let s = ServeStats::new(&Registry::new());
+        let mut depth = DepthHistogram::new();
+        depth.record(2);
         for i in 0..10 {
             let report = EpochReport {
                 applied: 96,
                 slices: 1,
+                vectors: 6,
                 elapsed: Duration::from_micros(100 + i * 10),
             };
             s.record_epoch(&report, 128, &depth);
@@ -252,16 +314,32 @@ mod tests {
         assert_eq!(sum.rejected, 7);
         assert_eq!(sum.duplicates, 3);
         assert!((sum.occupancy - 0.75).abs() < 1e-9);
-        assert!(sum.p50_epoch_us >= 100.0 && sum.p50_epoch_us <= 190.0);
+        // Latencies 100..=190µs land in the (50, 100] and (100, 200]
+        // histogram buckets; the interpolated percentiles must stay inside
+        // that envelope and be ordered.
+        assert!(sum.p50_epoch_us >= 50.0 && sum.p50_epoch_us <= 200.0, "{}", sum.p50_epoch_us);
         assert!(sum.p99_epoch_us >= sum.p50_epoch_us);
+        assert!((sum.conflict_depth - 2.0).abs() < 1e-9);
         assert!(sum.updates_per_sec > 0.0);
     }
 
     #[test]
+    #[cfg(feature = "obs")]
+    fn stats_record_lane_utilization() {
+        let s = ServeStats::new(&Registry::new());
+        let report =
+            EpochReport { applied: 96, slices: 1, vectors: 8, elapsed: Duration::from_micros(10) };
+        s.record_epoch(&report, 128, &DepthHistogram::new());
+        // 96 useful lanes over 8 × 16 slots = 0.75.
+        assert!((s.utilization.value() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_epochs_do_not_skew_statistics() {
-        let mut s = ServeStats::default();
+        let s = ServeStats::new(&Registry::new());
         s.record_epoch(&EpochReport::default(), 128, &DepthHistogram::new());
-        assert_eq!(s.epochs, 0);
-        assert_eq!(s.summarize(0).p50_epoch_us, 0.0);
+        let sum = s.summarize(0);
+        assert_eq!(sum.epochs, 0);
+        assert_eq!(sum.p50_epoch_us, 0.0);
     }
 }

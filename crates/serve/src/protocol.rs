@@ -19,6 +19,7 @@
 //!   0x04 Snapshot table:u16
 //!   0x05 Stats
 //!   0x06 Shutdown
+//!   0x07 Metrics
 //!
 //! replies
 //!   0x81 Hello    version:u16 shards:u16 quantum:u32 tables:u16
@@ -28,6 +29,7 @@
 //!   0x84 Snapshot table:u16 watermark:u64 len:u32 len x bits:u32
 //!   0x85 Stats    5 x u64 then 5 x f64 (see [`StatsSummary`])
 //!   0x86 Bye      tables:u16 tables x watermark:u64
+//!   0x87 Metrics  text_len:u32 text:utf8
 //!   0xFF Error    msg_len:u16 msg:utf8
 //! ```
 
@@ -156,6 +158,9 @@ pub enum Request {
     Stats,
     /// Drain everything and stop the server.
     Shutdown,
+    /// Request the Prometheus text exposition of the server's metric
+    /// registries (additive in protocol version 1).
+    Metrics,
 }
 
 /// Server-to-client messages.
@@ -199,6 +204,8 @@ pub enum Reply {
     },
     /// Aggregate statistics.
     Stats(StatsSummary),
+    /// Prometheus text exposition of the server's metric registries.
+    Metrics(String),
     /// Shutdown acknowledged; final per-table watermarks after the drain.
     Bye {
         /// Applied watermark per table, in id order.
@@ -334,6 +341,7 @@ impl Request {
             }
             Request::Stats => out.push(0x05),
             Request::Shutdown => out.push(0x06),
+            Request::Metrics => out.push(0x07),
         }
         out
     }
@@ -366,6 +374,7 @@ impl Request {
             0x04 => Request::Snapshot { table: c.u16()? },
             0x05 => Request::Stats,
             0x06 => Request::Shutdown,
+            0x07 => Request::Metrics,
             op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
         };
         c.finish()?;
@@ -451,6 +460,13 @@ impl Reply {
                 put_f64(&mut out, s.p50_epoch_us);
                 put_f64(&mut out, s.p99_epoch_us);
             }
+            Reply::Metrics(text) => {
+                let bytes = text.as_bytes();
+                out.reserve(5 + bytes.len());
+                out.push(0x87);
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
             Reply::Bye { watermarks } => {
                 out.push(0x86);
                 put_u16(&mut out, watermarks.len() as u16);
@@ -522,6 +538,13 @@ impl Reply {
                 p50_epoch_us: c.f64()?,
                 p99_epoch_us: c.f64()?,
             }),
+            0x87 => {
+                let n = c.u32()? as usize;
+                let text = std::str::from_utf8(c.take(n)?)
+                    .map_err(|_| ProtoError::Malformed("metrics text is not UTF-8".into()))?
+                    .to_string();
+                Reply::Metrics(text)
+            }
             0x86 => {
                 let count = c.u16()? as usize;
                 let mut watermarks = Vec::with_capacity(count);
@@ -612,6 +635,7 @@ mod tests {
         round_trip_request(Request::Snapshot { table: 65535 });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -654,6 +678,13 @@ mod tests {
             p99_epoch_us: 340.5,
         }));
         round_trip_reply(Reply::Bye { watermarks: vec![4096, 77] });
+        round_trip_reply(Reply::Metrics(String::new()));
+        round_trip_reply(Reply::Metrics(
+            "# HELP invector_serve_epochs_total epochs\n\
+             # TYPE invector_serve_epochs_total counter\n\
+             invector_serve_epochs_total 3\n"
+                .into(),
+        ));
         round_trip_reply(Reply::Error("nope".into()));
     }
 

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use invector_core::exec::{ExecPolicy, ExecVariant, Partition};
 use invector_core::stats::DepthHistogram;
 use invector_core::BackendChoice;
+use invector_obs::Registry;
 
 use crate::epoch::{EpochReport, ServeStats};
 use crate::protocol::{
@@ -173,7 +174,13 @@ pub struct ServerCore {
     queued: AtomicUsize,
     /// Serializes epoch execution.
     tick_lock: Mutex<()>,
-    stats: Mutex<ServeStats>,
+    /// Per-core metric registry the stats handles point into (also the
+    /// scrape source for the `Metrics` verb).
+    registry: Registry,
+    /// Registry-backed service statistics. Record-side calls are
+    /// lock-free, so admission and the epoch executor never serialize on
+    /// a stats mutex.
+    stats: ServeStats,
     draining: AtomicBool,
     /// Signals the background epoch thread that a full quantum is queued.
     wake: Condvar,
@@ -196,7 +203,9 @@ impl ServerCore {
         let tables: Vec<Mutex<TableState>> =
             config.tables.iter().map(|spec| Mutex::new(TableState::new(spec.clone()))).collect();
         let watermarks = (0..tables.len()).map(|_| AtomicU64::new(0)).collect();
-        Ok(Arc::new(ServerCore {
+        let registry = Registry::new();
+        let stats = ServeStats::new(&registry);
+        let core = Arc::new(ServerCore {
             config,
             policy,
             shards,
@@ -204,11 +213,26 @@ impl ServerCore {
             watermarks,
             queued: AtomicUsize::new(0),
             tick_lock: Mutex::new(()),
-            stats: Mutex::new(ServeStats::default()),
+            registry,
+            stats,
             draining: AtomicBool::new(false),
             wake: Condvar::new(),
             wake_lock: Mutex::new(false),
-        }))
+        });
+        // Duplicates live in the tables' reorder buffers; bridge them into
+        // the scrape as a pull collector (table locks are only taken at
+        // scrape/summary time, never on the hot path).
+        let weak = Arc::downgrade(&core);
+        core.registry.register_collector(
+            "invector_serve_duplicates_total",
+            "duplicate sequence numbers dropped by the reorder buffers",
+            move || {
+                weak.upgrade().map_or(0, |core| {
+                    core.tables.iter().map(|t| t.lock().expect("table lock").duplicates()).sum()
+                })
+            },
+        );
+        Ok(core)
     }
 
     /// The configuration the core was built with.
@@ -243,10 +267,7 @@ impl ServerCore {
                 return self.reject(table, accepted, updates.len(), RejectReason::Draining);
             }
             if (u.idx as usize) >= spec.len {
-                self.stats
-                    .lock()
-                    .expect("stats lock")
-                    .record_rejects((updates.len() - accepted as usize) as u64);
+                self.stats.record_rejects((updates.len() - accepted as usize) as u64);
                 return SubmitOutcome::Failed(format!(
                     "index {} out of range for table '{}' ({} slots); {} admitted",
                     u.idx, spec.name, spec.len, accepted
@@ -284,7 +305,7 @@ impl ServerCore {
         batch: usize,
         reason: RejectReason,
     ) -> SubmitOutcome {
-        self.stats.lock().expect("stats lock").record_rejects((batch - accepted as usize) as u64);
+        self.stats.record_rejects((batch - accepted as usize) as u64);
         // Any queued full quantum should get cut promptly so the retry
         // succeeds.
         self.notify_epoch_thread();
@@ -327,12 +348,13 @@ impl ServerCore {
             for slice in state.cut_and_apply(self.config.quantum, drain, &self.policy) {
                 report.applied += slice.applied;
                 report.slices += 1;
+                report.vectors += slice.vectors;
                 depth.merge(&slice.depth);
             }
             self.watermarks[t].store(state.watermark(), Ordering::Release);
         }
         report.elapsed = start.elapsed();
-        self.stats.lock().expect("stats lock").record_epoch(&report, self.config.quantum, &depth);
+        self.stats.record_epoch(&report, self.config.quantum, &depth);
         report
     }
 
@@ -361,7 +383,24 @@ impl ServerCore {
     pub fn stats_summary(&self) -> StatsSummary {
         let duplicates =
             self.tables.iter().map(|t| t.lock().expect("table lock").duplicates()).sum();
-        self.stats.lock().expect("stats lock").summarize(duplicates)
+        self.stats.summarize(duplicates)
+    }
+
+    /// The per-core metric registry (service counters, histograms, and
+    /// the duplicates collector).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus text exposition: this core's service metrics followed by
+    /// the process-wide registry (SIMD instruction accounting, engine and
+    /// pool counters). The two registries use disjoint name prefixes
+    /// (`invector_serve_` vs `invector_simd_` / `invector_exec_`), so the
+    /// concatenation is a valid single exposition.
+    pub fn metrics_text(&self) -> String {
+        let mut text = invector_obs::prometheus(&self.registry);
+        text.push_str(&invector_obs::prometheus(Registry::global()));
+        text
     }
 
     /// Applied watermark per table, in id order.
@@ -566,6 +605,7 @@ fn handle_connection(stream: TcpStream, core: &ServerCore, stop: &AtomicBool) {
                 Err(m) => Reply::Error(m),
             },
             Request::Stats => Reply::Stats(core.stats_summary()),
+            Request::Metrics => Reply::Metrics(core.metrics_text()),
             Request::Shutdown => {
                 let watermarks = core.begin_shutdown();
                 let _ = write_frame(&mut writer, &Reply::Bye { watermarks }.encode());
@@ -676,6 +716,7 @@ mod tests {
             }
         }
         core.flush();
+        #[cfg(feature = "obs")]
         assert!(core.stats_summary().rejected >= 6);
         assert_eq!(
             core.snapshot(0).unwrap().watermark,
@@ -712,6 +753,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "obs")]
     fn stats_track_applied_occupancy_and_conflict_depth() {
         let core = ServerCore::new(config()).unwrap();
         // All-conflict stream: every update hits slot 0.
@@ -724,5 +766,37 @@ mod tests {
         assert!((s.occupancy - 1.0).abs() < 1e-9);
         assert!(s.conflict_depth > 0.0, "all-conflict batches must show depth");
         assert!(s.updates_per_sec > 0.0);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn metrics_text_exposes_service_series() {
+        let core = ServerCore::new(config()).unwrap();
+        let updates: Vec<Update> = (0..16).map(|i| Update::i32(i, 0, 1)).collect();
+        core.submit(0, &updates);
+        core.tick(false);
+        let text = core.metrics_text();
+        for series in [
+            "invector_serve_epochs_total",
+            "invector_serve_applied_total",
+            "invector_serve_conflict_depth",
+            "invector_serve_epoch_latency_us",
+            "invector_serve_utilization_ratio",
+            "invector_serve_duplicates_total",
+        ] {
+            assert!(text.contains(series), "exposition missing {series}:\n{text}");
+        }
+        assert!(text.contains("invector_serve_epochs_total 1"), "{text}");
+        assert!(text.contains("invector_serve_applied_total 16"), "{text}");
+    }
+
+    #[test]
+    fn metrics_text_is_never_poisoned_by_a_dropped_core() {
+        // The duplicates collector holds a Weak to the core; after the core
+        // drops, a scrape of the global registry must not panic.
+        let core = ServerCore::new(config()).unwrap();
+        let registry = core.registry().clone();
+        drop(core);
+        let _ = invector_obs::prometheus(&registry);
     }
 }

@@ -150,6 +150,8 @@ impl TableData {
 pub struct SliceReport {
     /// Updates in the slice.
     pub applied: usize,
+    /// SIMD vector iterations the slice ran (16 lane slots each).
+    pub vectors: u64,
     /// Conflict-depth histogram of the slice's in-vector reduction.
     pub depth: DepthHistogram,
 }
@@ -245,7 +247,11 @@ impl TableState {
             };
             self.pending.pop_run(take, &mut self.chunk);
             let report = self.apply_chunk(policy);
-            slices.push(SliceReport { applied: take, depth: report.stats.depth });
+            slices.push(SliceReport {
+                applied: take,
+                vectors: report.stats.vectors,
+                depth: report.stats.depth,
+            });
         }
         slices
     }

@@ -1,0 +1,212 @@
+//! Decoder robustness properties for the wire protocol: no byte sequence
+//! may panic `Request::decode` / `Reply::decode` — arbitrary garbage,
+//! truncated prefixes of valid encodings, and unknown opcode tags must all
+//! come back as clean `Err(Malformed)` (or a successful parse when the
+//! bytes happen to spell a valid frame). A live TCP server answers a
+//! malformed frame with an `Error` reply instead of dying.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use proptest::prelude::*;
+
+use invector_serve::protocol::{read_frame, write_frame, Reply, Request, StatsSummary, Update};
+use invector_serve::{OpKind, RejectReason, ServeConfig, Server, TableSpec, ValueKind};
+
+fn arb_update() -> impl Strategy<Value = Update> {
+    (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(seq, idx, bits)| Update {
+        seq,
+        idx,
+        bits,
+    })
+}
+
+/// Every request variant, dispatched off a tag byte (the vendored proptest
+/// shim has no `prop_oneof`).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..7, any::<u16>(), prop::collection::vec(arb_update(), 0..40)).prop_map(
+        |(tag, word, updates)| match tag {
+            0 => Request::Hello { version: word },
+            1 => Request::Update { table: word, updates },
+            2 => Request::Flush,
+            3 => Request::Snapshot { table: word },
+            4 => Request::Stats,
+            5 => Request::Shutdown,
+            _ => Request::Metrics,
+        },
+    )
+}
+
+fn arb_table_spec() -> impl Strategy<Value = TableSpec> {
+    (0u8..2, 0u8..3, 1usize..512, prop::collection::vec(0u8..26, 1..12)).prop_map(
+        |(kind, op, len, name)| TableSpec {
+            name: name.into_iter().map(|c| (b'a' + c) as char).collect(),
+            kind: if kind == 0 { ValueKind::F32 } else { ValueKind::I32 },
+            op: match op {
+                0 => OpKind::Add,
+                1 => OpKind::Min,
+                _ => OpKind::Max,
+            },
+            len,
+        },
+    )
+}
+
+/// Every reply variant, same tag-dispatch scheme.
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        0u8..8,
+        any::<u16>(),
+        any::<u32>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u32>(), 0..40),
+        prop::collection::vec(arb_table_spec(), 0..4),
+        prop::collection::vec(0u8..128, 0..60),
+    )
+        .prop_map(|(tag, word, accepted, watermark, values, tables, text)| {
+            let text: String = text.into_iter().map(|c| c as char).collect();
+            match tag {
+                0 => Reply::Hello { version: word, shards: word, quantum: accepted, tables },
+                1 => Reply::Ack { accepted, watermark },
+                2 => Reply::Reject {
+                    accepted,
+                    retry_after_ms: accepted,
+                    reason: match word % 3 {
+                        0 => RejectReason::QueueFull,
+                        1 => RejectReason::WindowExceeded,
+                        _ => RejectReason::Draining,
+                    },
+                },
+                3 => Reply::Snapshot { table: word, watermark, values },
+                4 => Reply::Stats(StatsSummary {
+                    epochs: watermark,
+                    slices: watermark,
+                    applied: watermark,
+                    rejected: u64::from(accepted),
+                    duplicates: u64::from(word),
+                    occupancy: 0.5,
+                    conflict_depth: 1.0,
+                    updates_per_sec: 1e6,
+                    p50_epoch_us: 10.0,
+                    p99_epoch_us: 100.0,
+                }),
+                5 => Reply::Metrics(text),
+                6 => Reply::Bye { watermarks: values.iter().map(|&v| u64::from(v)).collect() },
+                _ => Reply::Error(text),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes never panic either decoder: every outcome is a
+    /// clean `Ok` or `Err`.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(
+        body in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = Request::decode(&body);
+        let _ = Reply::decode(&body);
+    }
+
+    /// Every strict prefix of a valid request encoding is refused without
+    /// panicking, and the full encoding still round-trips.
+    #[test]
+    fn truncated_request_frames_fail_cleanly(
+        request in arb_request(),
+        cut in any::<usize>(),
+    ) {
+        let body = request.encode();
+        prop_assert_eq!(Request::decode(&body).unwrap(), request);
+        if body.len() > 1 {
+            let cut = 1 + cut % (body.len() - 1);
+            prop_assert!(Request::decode(&body[..cut]).is_err(),
+                "prefix of {} of {} bytes must not parse", cut, body.len());
+        }
+    }
+
+    /// Reply encodings survive arbitrary truncation without panicking (a
+    /// prefix may still parse when a length field shrinks to cover it, but
+    /// it must never crash), and the full encoding round-trips.
+    #[test]
+    fn truncated_reply_frames_never_panic(
+        reply in arb_reply(),
+        cut in any::<usize>(),
+    ) {
+        let body = reply.encode();
+        prop_assert_eq!(Reply::decode(&body).unwrap(), reply);
+        let cut = cut % (body.len() + 1);
+        let _ = Reply::decode(&body[..cut]);
+    }
+
+    /// Unknown opcode tags are refused up front, whatever payload follows.
+    #[test]
+    fn unknown_opcode_tags_are_refused(
+        tag in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let known_request = (0x01..=0x07).contains(&tag);
+        let known_reply = (0x81..=0x87).contains(&tag) || tag == 0xFF;
+        let mut body = vec![tag];
+        body.extend_from_slice(&payload);
+        if !known_request {
+            prop_assert!(Request::decode(&body).is_err());
+        }
+        if !known_reply {
+            prop_assert!(Reply::decode(&body).is_err());
+        }
+    }
+
+    /// Bit-flipping one byte of a valid encoding never panics the decoder.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        request in arb_request(),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut body = request.encode();
+        let pos = pos % body.len();
+        body[pos] ^= flip;
+        let _ = Request::decode(&body);
+    }
+}
+
+/// A garbage frame after the handshake gets an `Error` reply over the
+/// wire — the server survives hostile bytes rather than panicking or
+/// silently hanging the connection.
+#[test]
+fn tcp_server_answers_garbage_frames_with_an_error_reply() {
+    let config = ServeConfig::new(vec![TableSpec::i32("c", OpKind::Add, 16)]);
+    let server = Server::bind(config, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake by hand so we control every byte that follows.
+    write_frame(&mut writer, &Request::Hello { version: 1 }.encode()).expect("hello");
+    let hello = read_frame(&mut reader).expect("hello reply").expect("frame");
+    assert!(matches!(Reply::decode(&hello).expect("decode"), Reply::Hello { .. }));
+
+    // An unknown opcode with junk payload must come back as Error.
+    write_frame(&mut writer, &[0x5A, 0xDE, 0xAD, 0xBE, 0xEF]).expect("garbage");
+    let reply = read_frame(&mut reader).expect("error reply").expect("frame");
+    match Reply::decode(&reply).expect("decode") {
+        Reply::Error(m) => assert!(m.contains("unknown request opcode"), "{m}"),
+        other => panic!("expected an Error reply, got {other:?}"),
+    }
+
+    // The server refused the connection but is still alive: a fresh
+    // connection handshakes and shuts it down cleanly.
+    let mut check = invector_serve::TcpClient::connect(addr).expect("reconnect");
+    let exposition =
+        invector_serve::ServeClient::metrics(&mut check).expect("metrics after garbage");
+    assert!(exposition.contains("invector_serve_epochs_total"));
+    check.shutdown().expect("shutdown");
+    server.join();
+
+    // Quiet the unused-write warning path: flush the dead writer.
+    let _ = writer.flush();
+}

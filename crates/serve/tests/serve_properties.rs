@@ -213,6 +213,7 @@ fn saturated_queue_rejects_with_retry_after_instead_of_blocking() {
     core.flush();
     let snapshot = core.snapshot(0).expect("snapshot");
     assert_eq!(snapshot.watermark, 9, "all 9 accepted updates applied");
+    #[cfg(feature = "obs")]
     assert!(core.stats_summary().rejected >= 3);
 }
 

@@ -6,14 +6,29 @@
 //! reduction Algorithm 1 costs about `2 + 8 · D1` instructions — by
 //! measuring, not estimating.
 //!
-//! Counting a thread-local `Cell<u64>` bump is a couple of cycles. It is
-//! controlled by the crate's on-by-default **`count`** cargo feature: with
-//! the feature enabled (the default) every emulated operation is accounted,
-//! so statistics never silently disagree with what the benchmarks executed;
-//! building with `--no-default-features` compiles every counter call to a
-//! no-op, which is what pure wall-clock benchmarks of the portable model
-//! want. [`enabled`] reports at runtime which mode was compiled in, and all
-//! read-side functions degrade to returning `0` when counting is off.
+//! Counting is a couple of cycles per operation. It is controlled by the
+//! crate's on-by-default **`count`** cargo feature: with the feature enabled
+//! (the default) every emulated operation is accounted, so statistics never
+//! silently disagree with what the benchmarks executed; building with
+//! `--no-default-features` compiles every counter call to a no-op, which is
+//! what pure wall-clock benchmarks of the portable model want. [`enabled`]
+//! reports at runtime which mode was compiled in, and all read-side
+//! functions degrade to returning `0` when counting is off.
+//!
+//! # Per-thread views and the global total
+//!
+//! [`read`]/[`reset`]/[`take`]/[`with`] are **per-thread** views, exactly as
+//! a benchmark wants them. With the **`obs`** feature (also on by default)
+//! each thread's counter is additionally a process-visible atomic cell, and
+//! [`global_total`] sums every thread's cell — the number published into
+//! the `invector-obs` metric registry as `invector_simd_instructions_total`.
+//!
+//! The execution engine *re-charges* its workers' counts to the calling
+//! thread (so a caller's [`read`] delta covers work it fanned out) via
+//! [`bump_recharged`]: the re-charge is visible to the caller's thread-local
+//! view but excluded from [`global_total`], which would otherwise count
+//! every fanned-out instruction twice — once on the worker that executed it
+//! and once on the caller it was re-charged to.
 //!
 //! # Example
 //!
@@ -25,9 +40,6 @@
 //! assert!(count::read() >= 1 || !count::enabled());
 //! assert_eq!(v.extract(0), 3.0);
 //! ```
-
-#[cfg(feature = "count")]
-use std::cell::Cell;
 
 /// Modeled cost of one 16-lane gather, in instruction units.
 ///
@@ -41,11 +53,6 @@ pub const GATHER_COST: u64 = 8;
 /// Modeled cost of one 16-lane scatter (see [`GATHER_COST`]).
 pub const SCATTER_COST: u64 = 8;
 
-#[cfg(feature = "count")]
-thread_local! {
-    static SIMD_INSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
-}
-
 /// `true` when the crate was compiled with the `count` feature (the
 /// default), i.e. when [`bump`] actually records and [`read`] actually
 /// reports executed instructions.
@@ -54,50 +61,229 @@ pub const fn enabled() -> bool {
     cfg!(feature = "count")
 }
 
+/// Counting with cross-thread visibility: each thread owns an atomic cell
+/// registered in a process-wide list, so [`global_total`] can merge every
+/// thread's count without any hot-path synchronization (the owning thread
+/// is the only writer of its cell).
+#[cfg(all(feature = "count", feature = "obs"))]
+mod imp {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, Once, OnceLock};
+
+    /// One thread's instruction cell. `total` is everything the thread's
+    /// local view saw (own work plus engine re-charges); `recharged` is the
+    /// re-charged share, subtracted when merging so the global total counts
+    /// each executed instruction exactly once.
+    struct CountCell {
+        total: AtomicU64,
+        recharged: AtomicU64,
+    }
+
+    fn cells() -> &'static Mutex<Vec<Arc<CountCell>>> {
+        static CELLS: OnceLock<Mutex<Vec<Arc<CountCell>>>> = OnceLock::new();
+        CELLS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    struct Local {
+        cell: Arc<CountCell>,
+        /// `total` at the last [`super::reset`]/[`super::take`]; the
+        /// thread-local view is `total - baseline`.
+        baseline: Cell<u64>,
+    }
+
+    thread_local! {
+        static LOCAL: std::cell::OnceCell<Local> = const { std::cell::OnceCell::new() };
+    }
+
+    fn with_local<R>(f: impl FnOnce(&Local) -> R) -> R {
+        LOCAL.with(|slot| {
+            let local = slot.get_or_init(|| {
+                let cell =
+                    Arc::new(CountCell { total: AtomicU64::new(0), recharged: AtomicU64::new(0) });
+                cells().lock().expect("count cell list").push(Arc::clone(&cell));
+                // Bridge the totals into the metric registry exactly once
+                // per process.
+                static REGISTER: Once = Once::new();
+                REGISTER.call_once(|| {
+                    invector_obs::Registry::global().register_collector(
+                        "invector_simd_instructions_total",
+                        "Emulated SIMD instructions executed, summed across threads \
+                         (engine re-charges excluded).",
+                        super::global_total,
+                    );
+                });
+                Local { cell, baseline: Cell::new(0) }
+            });
+            f(local)
+        })
+    }
+
+    #[inline]
+    pub fn bump(n: u64) {
+        with_local(|l| {
+            // Single-writer cell: a relaxed load+store is enough and
+            // cheaper than a fetch_add.
+            let t = l.cell.total.load(Ordering::Relaxed);
+            l.cell.total.store(t.wrapping_add(n), Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub fn bump_recharged(n: u64) {
+        with_local(|l| {
+            let t = l.cell.total.load(Ordering::Relaxed);
+            l.cell.total.store(t.wrapping_add(n), Ordering::Relaxed);
+            let r = l.cell.recharged.load(Ordering::Relaxed);
+            l.cell.recharged.store(r.wrapping_add(n), Ordering::Relaxed);
+        });
+    }
+
+    #[inline]
+    pub fn read() -> u64 {
+        with_local(|l| l.cell.total.load(Ordering::Relaxed).wrapping_sub(l.baseline.get()))
+    }
+
+    #[inline]
+    pub fn reset() {
+        with_local(|l| l.baseline.set(l.cell.total.load(Ordering::Relaxed)));
+    }
+
+    #[inline]
+    pub fn take() -> u64 {
+        with_local(|l| {
+            let total = l.cell.total.load(Ordering::Relaxed);
+            let out = total.wrapping_sub(l.baseline.get());
+            l.baseline.set(total);
+            out
+        })
+    }
+
+    pub fn global_total() -> u64 {
+        cells()
+            .lock()
+            .expect("count cell list")
+            .iter()
+            .map(|c| {
+                c.total.load(Ordering::Relaxed).wrapping_sub(c.recharged.load(Ordering::Relaxed))
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// Counting without the `obs` feature: the original plain `Cell` path —
+/// per-thread views only, no cross-thread merge.
+#[cfg(all(feature = "count", not(feature = "obs")))]
+mod imp {
+    use std::cell::Cell;
+
+    thread_local! {
+        static SIMD_INSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    pub fn bump(n: u64) {
+        SIMD_INSTRUCTIONS.with(|c| c.set(c.get().wrapping_add(n)));
+    }
+
+    #[inline]
+    pub fn bump_recharged(n: u64) {
+        bump(n);
+    }
+
+    #[inline]
+    pub fn read() -> u64 {
+        SIMD_INSTRUCTIONS.with(Cell::get)
+    }
+
+    #[inline]
+    pub fn reset() {
+        SIMD_INSTRUCTIONS.with(|c| c.set(0));
+    }
+
+    #[inline]
+    pub fn take() -> u64 {
+        SIMD_INSTRUCTIONS.with(|c| c.replace(0))
+    }
+
+    pub fn global_total() -> u64 {
+        0
+    }
+}
+
+/// Counting compiled out: everything is a no-op reading zero.
+#[cfg(not(feature = "count"))]
+mod imp {
+    #[inline]
+    pub fn bump(_n: u64) {}
+
+    #[inline]
+    pub fn bump_recharged(_n: u64) {}
+
+    #[inline]
+    pub fn read() -> u64 {
+        0
+    }
+
+    #[inline]
+    pub fn reset() {}
+
+    #[inline]
+    pub fn take() -> u64 {
+        0
+    }
+
+    pub fn global_total() -> u64 {
+        0
+    }
+}
+
 /// Records `n` executed SIMD instructions on the current thread.
 ///
 /// Compiles to a no-op without the `count` feature.
 #[inline(always)]
 pub fn bump(n: u64) {
-    #[cfg(feature = "count")]
-    SIMD_INSTRUCTIONS.with(|c| c.set(c.get().wrapping_add(n)));
-    #[cfg(not(feature = "count"))]
-    let _ = n;
+    imp::bump(n);
+}
+
+/// Records `n` instructions that were **already executed (and counted) on
+/// another thread** and are being re-charged to this one, so this thread's
+/// [`read`] delta covers work it fanned out to the execution engine.
+///
+/// Re-charged instructions are visible to this thread's [`read`] but
+/// excluded from [`global_total`] — they were counted once on the worker
+/// that ran them.
+#[inline(always)]
+pub fn bump_recharged(n: u64) {
+    imp::bump_recharged(n);
 }
 
 /// Returns the number of SIMD instructions recorded on this thread since the
 /// last [`reset`] (always `0` without the `count` feature).
 #[inline]
 pub fn read() -> u64 {
-    #[cfg(feature = "count")]
-    {
-        SIMD_INSTRUCTIONS.with(Cell::get)
-    }
-    #[cfg(not(feature = "count"))]
-    {
-        0
-    }
+    imp::read()
 }
 
 /// Resets this thread's instruction counter to zero.
 #[inline]
 pub fn reset() {
-    #[cfg(feature = "count")]
-    SIMD_INSTRUCTIONS.with(|c| c.set(0));
+    imp::reset()
 }
 
 /// Returns the current count and resets the counter in one step (always `0`
 /// without the `count` feature).
 #[inline]
 pub fn take() -> u64 {
-    #[cfg(feature = "count")]
-    {
-        SIMD_INSTRUCTIONS.with(|c| c.replace(0))
-    }
-    #[cfg(not(feature = "count"))]
-    {
-        0
-    }
+    imp::take()
+}
+
+/// The process-wide instruction total: every thread's executed count,
+/// merged, with engine re-charges counted once. `0` unless both the
+/// `count` and `obs` features are enabled. Unlike [`read`], this is never
+/// reset — it is the cumulative series the metric registry exports.
+pub fn global_total() -> u64 {
+    imp::global_total()
 }
 
 /// Runs `f` and returns its result together with the number of SIMD
@@ -150,6 +336,7 @@ mod tests {
         assert_eq!(take(), 0);
         let ((), n) = with(|| bump(11));
         assert_eq!(n, 0);
+        assert_eq!(global_total(), 0);
     }
 
     #[cfg(feature = "count")]
@@ -168,6 +355,7 @@ mod tests {
         reset();
         bump(9);
         let other = std::thread::spawn(|| {
+            reset();
             bump(1);
             read()
         })
@@ -175,5 +363,39 @@ mod tests {
         .unwrap();
         assert_eq!(other, 1);
         assert_eq!(read(), 9);
+    }
+
+    #[cfg(all(feature = "count", feature = "obs"))]
+    #[test]
+    fn recharges_count_locally_but_not_globally() {
+        // Spawn a dedicated thread so other tests' bumps cannot land on
+        // this thread-local view mid-assertion; the *global* deltas below
+        // are still safe because no other test uses bump_recharged.
+        std::thread::spawn(|| {
+            reset();
+            let spent_before = global_total();
+            bump(10);
+            bump_recharged(6);
+            assert_eq!(read(), 16, "re-charge is visible locally");
+            let my_global_share = 10; // the re-charged 6 is excluded
+            assert!(global_total().wrapping_sub(spent_before) >= my_global_share);
+            assert_eq!(take(), 16);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[cfg(all(feature = "count", feature = "obs"))]
+    #[test]
+    fn global_total_survives_thread_local_resets() {
+        std::thread::spawn(|| {
+            bump(21);
+            let g = global_total();
+            reset();
+            assert_eq!(read(), 0);
+            assert!(global_total() >= g, "reset is a view operation, not a rollback");
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -41,6 +41,9 @@ pub enum Command {
         backend: BackendChoice,
         /// Timed repetitions per variant (best run is reported).
         repeat: u32,
+        /// Enable runtime observability: publish run statistics into the
+        /// global registry, print the metrics table, dump a chrome trace.
+        obs: bool,
     },
     /// Run every registered cell and cross-check against the serial
     /// reference.
@@ -49,6 +52,13 @@ pub enum Command {
         spec: RunSpec,
         /// Worker threads for the engine rows.
         threads: usize,
+        /// Enable runtime observability (as for [`Command::Run`]).
+        obs: bool,
+    },
+    /// Scrape a running server's Prometheus exposition over TCP.
+    Metrics {
+        /// Server address (`host:port`).
+        addr: String,
     },
     /// Start the update-stream service (or its loopback smoke check).
     Serve {
@@ -98,6 +108,7 @@ COMMANDS:
   serve                start the TCP update-stream service; with --smoke,
                        run a self-checking loopback workload and exit
   bench-serve          in-process serving throughput sweep over batch quanta
+  metrics              scrape a running server's Prometheus exposition
   info                 dataset registry and host SIMD capabilities
   help                 this text
 
@@ -115,9 +126,12 @@ OPTIONS:
   --dist <d>           heavy-hitter | zipf | moving-cluster      [zipf]
   --rows <n>           aggregation/serving input rows            [per scale]
   --cardinality <n>    aggregation/serving group count           [per scale]
+  --obs                run / run-all: enable runtime observability — print
+                       the metric registry after the run and write a
+                       chrome://tracing dump to invector-trace.json
 
-SERVING OPTIONS (serve / bench-serve):
-  --addr <host:port>   listen address                   [127.0.0.1:7411]
+SERVING OPTIONS (serve / bench-serve / metrics):
+  --addr <host:port>   listen / scrape address          [127.0.0.1:7411]
   --shards <n>         ingest shard count                        [4]
   --quantum <n>        epoch batch quantum                       [4096]
   --smoke              serve: loopback self-check, then exit
@@ -186,7 +200,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Help);
     };
     // Options that are flags: present or absent, no value.
-    const FLAGS: [&str; 1] = ["smoke"];
+    const FLAGS: [&str; 2] = ["smoke", "obs"];
     let mut opts: Opts = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -202,7 +216,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         opts.push((key.to_string(), value.clone()));
         i += 2;
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "app",
         "dataset",
         "variant",
@@ -221,6 +235,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "shards",
         "quantum",
         "smoke",
+        "obs",
     ];
     if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(format!("unknown option --{k}"));
@@ -243,7 +258,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let scale = build_spec(&opts, "small")?.scale;
             return Ok(Command::Info { scale });
         }
-        "run-all" => return Ok(Command::RunAll { spec: build_spec(&opts, "tiny")?, threads }),
+        "run-all" => {
+            return Ok(Command::RunAll {
+                spec: build_spec(&opts, "tiny")?,
+                threads,
+                obs: get(&opts, "obs").is_some(),
+            })
+        }
+        "metrics" => {
+            return Ok(Command::Metrics {
+                addr: get(&opts, "addr").unwrap_or("127.0.0.1:7411").to_string(),
+            })
+        }
         // The service command shadows the registry shorthand for the
         // `serve` app; the harness workload stays reachable via
         // `run --app serve`.
@@ -306,7 +332,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if repeat == 0 {
         return Err("--repeat must be at least 1".into());
     }
-    Ok(Command::Run { app, variants, spec: build_spec(&opts, "small")?, threads, backend, repeat })
+    Ok(Command::Run {
+        app,
+        variants,
+        spec: build_spec(&opts, "small")?,
+        threads,
+        backend,
+        repeat,
+        obs: get(&opts, "obs").is_some(),
+    })
 }
 
 /// Executes a parsed command, printing results to stdout.
@@ -320,10 +354,11 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Help => println!("{USAGE}"),
         Command::Info { scale } => run_info(scale),
         Command::List => run_list(),
-        Command::Run { app, variants, spec, threads, backend, repeat } => {
-            run_app(&app, &variants, &spec, threads, backend, repeat)?
+        Command::Run { app, variants, spec, threads, backend, repeat, obs } => {
+            run_app(&app, &variants, &spec, threads, backend, repeat, obs)?
         }
-        Command::RunAll { spec, threads } => run_all(&spec, threads)?,
+        Command::RunAll { spec, threads, obs } => run_all(&spec, threads, obs)?,
+        Command::Metrics { addr } => run_metrics(&addr)?,
         Command::Serve { addr, spec, threads, backend, shards, quantum, smoke } => {
             run_serve(&addr, &spec, threads, backend, shards, quantum, smoke)?
         }
@@ -389,12 +424,16 @@ fn run_app(
     threads: usize,
     backend: BackendChoice,
     repeat: u32,
+    obs: bool,
 ) -> Result<(), String> {
     let entry = registry::lookup(app)?;
     let workload = entry.prepare(spec)?;
     println!("{}: {}", entry.name(), workload.describe());
     if repeat > 1 {
         println!("(best of {repeat} runs per variant)");
+    }
+    if obs {
+        invector_obs::set_enabled(true);
     }
     let policy = ExecPolicy::with_threads(threads).backend(backend);
     for &variant in variants {
@@ -405,12 +444,19 @@ fn run_app(
                 best = r;
             }
         }
+        best.publish_obs();
         print_record(&best);
+    }
+    if obs {
+        obs_report(TRACE_PATH)?;
     }
     Ok(())
 }
 
-fn run_all(spec: &RunSpec, threads: usize) -> Result<(), String> {
+fn run_all(spec: &RunSpec, threads: usize, obs: bool) -> Result<(), String> {
+    if obs {
+        invector_obs::set_enabled(true);
+    }
     let report = driver::run_all(spec, threads);
     let mut current_app = "";
     for cell in &report.cells {
@@ -433,35 +479,81 @@ fn run_all(spec: &RunSpec, threads: usize) -> Result<(), String> {
             }
         );
     }
-    let failures = report.failures().count();
     println!(
         "\n{} cells, {} failures, {:.2}ms total",
         report.cells.len(),
-        failures,
+        report.failures().count(),
         report.total_elapsed().as_secs_f64() * 1e3
     );
-    if failures > 0 {
-        // The non-zero-exit summary restates each failing cell with its
-        // wall time, so CI logs carry the full picture in one place.
-        let detail: Vec<String> = report
-            .failures()
-            .map(|c| {
-                format!(
-                    "{} {} on {} t={} after {:.2}ms: {}",
-                    c.app,
-                    c.variant,
-                    c.backend.name(),
-                    c.threads,
-                    c.elapsed.as_secs_f64() * 1e3,
-                    c.error.as_deref().unwrap_or("unknown")
-                )
-            })
-            .collect();
-        return Err(format!(
-            "{failures} cells disagree with the serial reference:\n  {}",
-            detail.join("\n  ")
-        ));
+    if obs {
+        obs_report(TRACE_PATH)?;
     }
+    run_all_verdict(&report)
+}
+
+/// The smoke matrix's process-exit verdict: `Err` — a non-zero exit —
+/// whenever the failure summary is non-empty. The message restates each
+/// failing cell with its wall time, so CI logs carry the full picture in
+/// one place.
+fn run_all_verdict(report: &driver::SmokeReport) -> Result<(), String> {
+    let failures = report.failures().count();
+    if failures == 0 {
+        return Ok(());
+    }
+    let detail: Vec<String> = report
+        .failures()
+        .map(|c| {
+            format!(
+                "{} {} on {} t={} after {:.2}ms: {}",
+                c.app,
+                c.variant,
+                c.backend.name(),
+                c.threads,
+                c.elapsed.as_secs_f64() * 1e3,
+                c.error.as_deref().unwrap_or("unknown")
+            )
+        })
+        .collect();
+    Err(format!("{failures} cells disagree with the serial reference:\n  {}", detail.join("\n  ")))
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+/// Where `--obs` runs dump their chrome://tracing document.
+const TRACE_PATH: &str = "invector-trace.json";
+
+/// Prints the global metric registry as a table, writes the span rings out
+/// as a chrome trace, and switches runtime observability back off.
+fn obs_report(trace_path: &str) -> Result<(), String> {
+    use invector_obs::MetricValue;
+    println!("\nobs: global metric registry");
+    for m in invector_obs::Registry::global().snapshot() {
+        match m.value {
+            MetricValue::Counter(v) => println!("  {:<44} counter    {v}", m.name),
+            MetricValue::Gauge(v) => println!("  {:<44} gauge      {v:.4}", m.name),
+            MetricValue::Histogram(h) => println!(
+                "  {:<44} histogram  count {} mean {:.2} p99 {:.2}",
+                m.name,
+                h.count,
+                h.mean(),
+                h.quantile(0.99)
+            ),
+        }
+    }
+    let trace = invector_obs::chrome_trace();
+    std::fs::write(trace_path, &trace).map_err(|e| format!("write {trace_path}: {e}"))?;
+    println!("obs: chrome trace written to {trace_path} (load at about:tracing)");
+    invector_obs::set_enabled(false);
+    Ok(())
+}
+
+/// Connects to a running server and prints its Prometheus exposition.
+fn run_metrics(addr: &str) -> Result<(), String> {
+    let mut client = TcpClient::connect(addr)?;
+    let text = client.metrics()?;
+    print!("{text}");
     Ok(())
 }
 
@@ -633,6 +725,14 @@ fn serve_smoke(
         stats.p50_epoch_us,
         stats.p99_epoch_us
     );
+    // The exposition must scrape over the wire and carry the service
+    // series (registration is unconditional, so this holds with the obs
+    // feature compiled out too — the values just read zero).
+    let exposition = check.metrics()?;
+    if !exposition.contains("invector_serve_epochs_total") {
+        return Err("metrics scrape is missing the service series".into());
+    }
+    println!("  metrics scrape: {} bytes of exposition", exposition.len());
     let watermarks = check.shutdown()?;
     let rows = counts.len() as u64;
     if watermarks != vec![rows, rows] {
@@ -712,7 +812,7 @@ mod tests {
         let explicit = parse(&args("run --app sssp --variant invec --source 3")).unwrap();
         assert_eq!(direct, explicit);
         match direct {
-            Command::Run { app, variants, spec, threads, backend, repeat } => {
+            Command::Run { app, variants, spec, threads, backend, repeat, obs } => {
                 assert_eq!(app, "sssp");
                 assert_eq!(variants, vec![Variant::Invec]);
                 assert_eq!(spec.source, 3);
@@ -720,6 +820,7 @@ mod tests {
                 assert_eq!(threads, 1);
                 assert_eq!(backend, BackendChoice::Auto);
                 assert_eq!(repeat, 1);
+                assert!(!obs, "--obs defaults off");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -817,12 +918,82 @@ mod tests {
     fn run_all_defaults_to_tiny_and_accepts_threads() {
         assert_eq!(
             parse(&args("run-all")).unwrap(),
-            Command::RunAll { spec: RunSpec::tiny(), threads: 1 }
+            Command::RunAll { spec: RunSpec::tiny(), threads: 1, obs: false }
         );
         assert_eq!(
-            parse(&args("run-all --scale tiny --threads 2")).unwrap(),
-            Command::RunAll { spec: RunSpec::tiny(), threads: 2 }
+            parse(&args("run-all --scale tiny --threads 2 --obs")).unwrap(),
+            Command::RunAll { spec: RunSpec::tiny(), threads: 2, obs: true }
         );
+    }
+
+    #[test]
+    fn obs_flag_and_metrics_command_parse() {
+        match parse(&args("agg --scale tiny --obs")).unwrap() {
+            Command::Run { obs, .. } => assert!(obs),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&args("metrics")).unwrap(),
+            Command::Metrics { addr: "127.0.0.1:7411".to_string() }
+        );
+        assert_eq!(
+            parse(&args("metrics --addr 10.0.0.1:9000")).unwrap(),
+            Command::Metrics { addr: "10.0.0.1:9000".to_string() }
+        );
+    }
+
+    #[test]
+    fn run_all_verdict_is_nonzero_exactly_when_failures_exist() {
+        use std::time::Duration;
+
+        use invector_core::Backend;
+        use invector_harness::CellReport;
+
+        let cell = |error: Option<String>| CellReport {
+            app: "agg",
+            input: "synthetic".to_string(),
+            variant: Variant::Invec,
+            backend: Backend::Portable,
+            threads: 1,
+            checksum: 0.0,
+            elapsed: Duration::from_millis(3),
+            mupdates: None,
+            error,
+        };
+        let clean = driver::SmokeReport { cells: vec![cell(None), cell(None)] };
+        assert!(run_all_verdict(&clean).is_ok());
+
+        let broken = driver::SmokeReport {
+            cells: vec![cell(None), cell(Some("value 7 diverged".to_string()))],
+        };
+        let err = run_all_verdict(&broken).expect_err("failures must exit non-zero");
+        assert!(err.contains("1 cells disagree"), "{err}");
+        assert!(err.contains(&format!("agg {} on portable t=1", Variant::Invec)), "{err}");
+        assert!(err.contains("value 7 diverged"), "{err}");
+    }
+
+    #[test]
+    fn obs_run_writes_a_parseable_chrome_trace() {
+        let dir = std::env::temp_dir().join("invector-cli-obs-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.json");
+        let path = path.to_str().expect("utf8 path");
+
+        invector_obs::set_enabled(true);
+        let spec = RunSpec { rows: 400, cardinality: 16, ..RunSpec::tiny() };
+        run_app("agg", &[Variant::Invec], &spec, 2, BackendChoice::Auto, 1, false)
+            .expect("agg run");
+        obs_report(path).expect("obs report");
+
+        let text = std::fs::read_to_string(path).expect("trace file");
+        let doc = invector_obs::json::parse(&text).expect("trace parses as JSON");
+        let events = doc.get("traceEvents").expect("traceEvents").as_array().expect("array");
+        for e in events {
+            assert!(e.get("name").unwrap().as_str().is_some());
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+        }
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
