@@ -1,7 +1,8 @@
-//! Native AVX-512 backend vs the portable software model: wall-clock of
-//! the fused whole-stream accumulation drivers that back every kernel's
+//! Native SIMD backends vs the portable software model: wall-clock of the
+//! fused whole-stream accumulation drivers that back every kernel's
 //! in-vector hot loop (sum/min/max over `f32` and `i32`), on a uniform and
-//! a skewed (hotspot-mixture) index distribution.
+//! a skewed (hotspot-mixture) index distribution, with one row per native
+//! ISA the build host supports (AVX-512, AVX2, NEON).
 //!
 //! Emits one JSON document on stdout. The `count_feature` field records
 //! whether the portable model charged its instruction counter, so the
@@ -22,7 +23,6 @@ use invector_core::ops::{Max, Min, Sum};
 use invector_core::{invec_accumulate, invec_accumulate_with, BackendChoice};
 use invector_harness::{registry, RunSpec};
 use invector_kernels::{ExecPolicy, Variant};
-use invector_simd::native;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,12 +40,27 @@ const HOT_SLOTS: i32 = 12;
 /// Fraction (percent) of skewed items routed to the hot slots.
 const HOT_PERCENT: u32 = 8;
 
+/// The native ISAs this host can execute, widest first.
+fn native_backends() -> Vec<Backend> {
+    [Backend::Avx512, Backend::Avx2, Backend::Neon].into_iter().filter(|b| b.available()).collect()
+}
+
+fn backend_choice(b: Backend) -> BackendChoice {
+    match b {
+        Backend::Portable => BackendChoice::Portable,
+        Backend::Avx512 => BackendChoice::Avx512,
+        Backend::Avx2 => BackendChoice::Avx2,
+        Backend::Neon => BackendChoice::Neon,
+    }
+}
+
 struct Row {
     kernel: &'static str,
     generator: &'static str,
+    backend: &'static str,
     portable_secs: f64,
-    native_secs: Option<f64>,
-    speedup: Option<f64>,
+    native_secs: f64,
+    speedup: f64,
 }
 
 fn main() {
@@ -71,29 +86,30 @@ fn main() {
     let fvals: Vec<f32> = (0..items).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let ivals: Vec<i32> = (0..items).map(|_| rng.gen_range(-100..100)).collect();
 
+    let backends = native_backends();
     let mut rows: Vec<Row> = Vec::new();
-    // One measurement per (kernel, generator): the portable model's whole
-    // stream vs the same stream through the native fused driver. Each
-    // repetition times the two paths back to back, so scheduler noise
-    // (steal time, frequency shifts) hits both halves of a pair alike; the
-    // reported speedup is the median of the per-repetition ratios, which a
-    // few disturbed repetitions cannot drag around.
+    // One measurement per (kernel, generator, backend): the portable
+    // model's whole stream vs the same stream through the backend's fused
+    // driver. Each repetition times every path back to back, so scheduler
+    // noise (steal time, frequency shifts) hits all rows of a group alike;
+    // the reported speedup is the median of the per-repetition ratios,
+    // which a few disturbed repetitions cannot drag around.
     macro_rules! bench {
         ($name:literal, $t:ty, $op:ty, $vals:expr, $init:expr) => {
             for (generator, idx) in &generators {
                 let base: Vec<$t> = vec![$init; TARGET_LEN];
                 let vals: &[$t] = $vals;
                 let mut portable_secs = f64::INFINITY;
-                let mut native_best = f64::INFINITY;
-                let mut ratios: Vec<f64> = Vec::with_capacity(REPS);
+                let mut native_best = vec![f64::INFINITY; backends.len()];
+                let mut ratios: Vec<Vec<f64>> = vec![Vec::with_capacity(REPS); backends.len()];
                 // One untimed pass per path pages the streams in and warms
                 // the caches so the first timed repetition is not an outlier.
                 {
                     let mut target = base.clone();
                     invec_accumulate::<$t, $op>(&mut target, idx, vals);
-                    if native::available() {
+                    for &backend in &backends {
                         let mut target = base.clone();
-                        invec_accumulate_with::<$t, $op>(Backend::Native, &mut target, idx, vals);
+                        invec_accumulate_with::<$t, $op>(backend, &mut target, idx, vals);
                     }
                 }
                 for _ in 0..REPS {
@@ -104,25 +120,27 @@ fn main() {
                         start.elapsed()
                     });
                     portable_secs = portable_secs.min(p);
-                    if native::available() {
+                    for (k, &backend) in backends.iter().enumerate() {
                         let n = once(|| {
                             let mut target = base.clone();
                             let start = Instant::now();
-                            invec_accumulate_with::<$t, $op>(
-                                Backend::Native,
-                                &mut target,
-                                idx,
-                                vals,
-                            );
+                            invec_accumulate_with::<$t, $op>(backend, &mut target, idx, vals);
                             start.elapsed()
                         });
-                        native_best = native_best.min(n);
-                        ratios.push(p / n.max(1e-12));
+                        native_best[k] = native_best[k].min(n);
+                        ratios[k].push(p / n.max(1e-12));
                     }
                 }
-                let native_secs = native::available().then_some(native_best);
-                let speedup = native::available().then(|| median(&mut ratios));
-                rows.push(Row { kernel: $name, generator, portable_secs, native_secs, speedup });
+                for (k, &backend) in backends.iter().enumerate() {
+                    rows.push(Row {
+                        kernel: $name,
+                        generator,
+                        backend: backend.name(),
+                        portable_secs,
+                        native_secs: native_best[k],
+                        speedup: median(&mut ratios[k]),
+                    });
+                }
             }
         };
     }
@@ -133,14 +151,14 @@ fn main() {
     bench!("min_i32", i32, Min, &ivals, i32::MAX);
     bench!("max_i32", i32, Max, &ivals, i32::MIN);
 
-    print_json(scale, items, &rows, &app_rows(scale));
+    print_json(scale, items, &backends, &rows, &app_rows(scale, &backends));
 }
 
 /// End-to-end registry rows: each application's in-vector variant on the
-/// portable model vs the native backend, through the harness pipeline. The
-/// micro rows above isolate the accumulation driver; these put the same
-/// backends under the full kernels.
-fn app_rows(scale: f64) -> Vec<AppRow> {
+/// portable model vs every available native backend, through the harness
+/// pipeline. The micro rows above isolate the accumulation driver; these
+/// put the same backends under the full kernels.
+fn app_rows(scale: f64, backends: &[Backend]) -> Vec<AppRow> {
     let spec = RunSpec { scale, iters: 20, ..RunSpec::small() };
     let mut rows = Vec::new();
     for app in registry::all() {
@@ -160,13 +178,25 @@ fn app_rows(scale: f64) -> Vec<AppRow> {
             best
         };
         let portable_secs = time(BackendChoice::Portable);
-        let native_secs = native::available().then(|| time(BackendChoice::Native));
-        rows.push(AppRow {
-            app: app.name(),
-            input: workload.describe(),
-            portable_secs,
-            native_secs,
-        });
+        for &backend in backends {
+            let native_secs = time(backend_choice(backend));
+            rows.push(AppRow {
+                app: app.name(),
+                input: workload.describe(),
+                backend: backend.name(),
+                portable_secs,
+                native_secs,
+            });
+        }
+        if backends.is_empty() {
+            rows.push(AppRow {
+                app: app.name(),
+                input: workload.describe(),
+                backend: "portable",
+                portable_secs,
+                native_secs: portable_secs,
+            });
+        }
     }
     rows
 }
@@ -178,8 +208,9 @@ const APP_REPS: usize = 5;
 struct AppRow {
     app: &'static str,
     input: String,
+    backend: &'static str,
     portable_secs: f64,
-    native_secs: Option<f64>,
+    native_secs: f64,
 }
 
 /// Interleaved repetitions per (kernel, generator, path).
@@ -194,6 +225,9 @@ fn once(f: impl FnOnce() -> Duration) -> f64 {
 fn median(xs: &mut [f64]) -> f64 {
     xs.sort_by(|a, b| a.total_cmp(b));
     let mid = xs.len() / 2;
+    if xs.is_empty() {
+        return f64::NAN;
+    }
     if xs.len() % 2 == 1 {
         xs[mid]
     } else {
@@ -201,30 +235,24 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
-fn print_json(scale: f64, items: usize, rows: &[Row], apps: &[AppRow]) {
+fn print_json(scale: f64, items: usize, backends: &[Backend], rows: &[Row], apps: &[AppRow]) {
     println!("{{");
     println!("  \"experiment\": \"native_vs_model\",");
     println!("  \"scale\": {scale},");
     println!("  \"items\": {items},");
     println!("  \"target_len\": {TARGET_LEN},");
     println!("  \"count_feature\": {},", cfg!(feature = "count"));
-    println!("  \"native_available\": {},", native::available());
+    let names: Vec<String> = backends.iter().map(|b| format!("\"{}\"", b.name())).collect();
+    println!("  \"native_backends\": [{}],", names.join(", "));
     println!("  \"kernels\": [");
     for (i, r) in rows.iter().enumerate() {
         println!("    {{");
         println!("      \"kernel\": \"{}\",", r.kernel);
         println!("      \"generator\": \"{}\",", r.generator);
+        println!("      \"backend\": \"{}\",", r.backend);
         println!("      \"portable_secs\": {:.6},", r.portable_secs);
-        match (r.native_secs, r.speedup) {
-            (Some(n), Some(s)) => {
-                println!("      \"native_secs\": {n:.6},");
-                println!("      \"speedup\": {s:.2}");
-            }
-            _ => {
-                println!("      \"native_secs\": null,");
-                println!("      \"speedup\": null");
-            }
-        }
+        println!("      \"native_secs\": {:.6},", r.native_secs);
+        println!("      \"speedup\": {:.2}", r.speedup);
         println!("    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
     println!("  ],");
@@ -233,17 +261,10 @@ fn print_json(scale: f64, items: usize, rows: &[Row], apps: &[AppRow]) {
         println!("    {{");
         println!("      \"app\": \"{}\",", r.app);
         println!("      \"input\": \"{}\",", r.input);
+        println!("      \"backend\": \"{}\",", r.backend);
         println!("      \"portable_secs\": {:.6},", r.portable_secs);
-        match r.native_secs {
-            Some(n) => {
-                println!("      \"native_secs\": {n:.6},");
-                println!("      \"speedup\": {:.2}", r.portable_secs / n.max(1e-12));
-            }
-            None => {
-                println!("      \"native_secs\": null,");
-                println!("      \"speedup\": null");
-            }
-        }
+        println!("      \"native_secs\": {:.6},", r.native_secs);
+        println!("      \"speedup\": {:.2}", r.portable_secs / r.native_secs.max(1e-12));
         println!("    }}{}", if i + 1 < apps.len() { "," } else { "" });
     }
     println!("  ]");

@@ -7,18 +7,18 @@
 //! how lane conflicts are handled, which is what the paper's evaluation
 //! measures.
 
-use invector_simd::{I32x16, SimdElement, SimdVec};
+use invector_simd::{Avx2, Avx512, Isa, Neon, SimdElement, SimdVec};
 
 use crate::adaptive::AdaptiveReducer;
 use crate::backend::Backend;
-use crate::invec::{reduce_alg1, reduce_alg1_with};
+use crate::invec::reduce_alg1_with;
 use crate::ops::ReduceOp;
 use crate::stats::DepthHistogram;
 
 /// Statistics of one in-vector accumulation pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvecStats {
-    /// Vector iterations executed (`⌈n / 16⌉`).
+    /// Vector iterations executed (`⌈n / LANES⌉` at the backend's width).
     pub vectors: u64,
     /// Conflict-depth histogram (D1 per vector).
     pub depth: DepthHistogram,
@@ -76,35 +76,77 @@ where
     T: SimdElement,
     Op: ReduceOp<T>,
 {
+    invec_accumulate_n::<T, Op, 16>(target, idx, vals)
+}
+
+/// Width-generic portable [`invec_accumulate`]: the same driver at `N`
+/// lanes per vector. This is the parity reference for the narrower native
+/// ISAs — AVX2 results (and stats) equal `invec_accumulate_n::<_, _, 8>`,
+/// NEON equals `N = 4`.
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds for
+/// `target`.
+pub fn invec_accumulate_n<T, Op, const N: usize>(
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
     assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    invec_loop_with::<T, Op, N>(Backend::Portable, target, idx, vals)
+}
+
+/// The portable per-vector loop at `N` lanes, with the in-vector reduction
+/// itself dispatched through [`reduce_alg1_with`] (so `Backend::Avx512`
+/// still accelerates unsupported fused combinations at `N = 16`).
+fn invec_loop_with<T, Op, const N: usize>(
+    backend: Backend,
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
     let mut stats = InvecStats::default();
     let mut j = 0;
     while j < idx.len() {
-        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
-        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
-        let (safe, d1) = reduce_alg1::<T, Op, 16>(active, vidx, &mut vval);
-        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let (vidx, active) = SimdVec::<i32, N>::load_partial(&idx[j..], 0);
+        let (mut vval, _) = SimdVec::<T, N>::load_partial(&vals[j..], Op::identity());
+        let (safe, d1) = reduce_alg1_with::<T, Op, N>(backend, active, vidx, &mut vval);
+        let old = SimdVec::<T, N>::zero().mask_gather(safe, target, vidx);
         let new = Op::combine_vec(old, vval);
         new.mask_scatter(safe, target, vidx);
         stats.vectors += 1;
         stats.depth.record(d1);
-        j += 16;
+        j += N;
     }
     stats
 }
 
 /// Backend-dispatched [`invec_accumulate`].
 ///
-/// With [`Backend::Native`] and a supported `(T, Op)` — sum/min/max over
+/// With a native backend and a supported `(T, Op)` — sum/min/max over
 /// `f32` or `i32`, i.e. every kernel in this workspace — the **whole
-/// stream** runs inside one fused `target_feature` function
-/// (`invector_simd::native::accumulate_*`): gather, conflict detection,
-/// in-vector reduce, and scatter never leave AVX-512 registers, and tails
+/// stream** runs inside one fused `target_feature` function (the
+/// [`Isa::accumulate_add_f32`] family): gather, conflict detection,
+/// in-vector reduce, and scatter never leave vector registers, and tails
 /// run as masked vectors. Unsupported combinations fall back to the
-/// per-vector loop, which still dispatches the reduction itself through
-/// [`reduce_alg1_with`]. Results and depth statistics are identical to the
-/// portable driver for min/max and integer sums, and identical per-vector
-/// (same reduction order) for float sums.
+/// portable per-vector loop **at the backend's lane width**, so statistics
+/// stay width-consistent. Results and depth statistics are bitwise
+/// identical to the portable driver at the same width
+/// ([`invec_accumulate_n`]).
+///
+/// Each call charges the backend-labeled counter series
+/// (`invector_simd::count::bump_backend`): fused native runs with the
+/// modeled `vectors · MODEL_COST_PER_VECTOR + 8 · merges` cost, portable
+/// and fallback runs with their measured emulated cost.
 ///
 /// # Panics
 ///
@@ -121,46 +163,53 @@ where
     Op: ReduceOp<T>,
 {
     assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
-    if backend.is_native() {
-        if let Some(stats) = native_fused_accumulate::<T, Op>(target, idx, vals) {
-            return stats;
+    match backend {
+        Backend::Avx512 => {
+            if let Some(stats) = fused_accumulate::<Avx512, T, Op>(target, idx, vals) {
+                return stats;
+            }
         }
+        Backend::Avx2 => {
+            if let Some(stats) = fused_accumulate::<Avx2, T, Op>(target, idx, vals) {
+                return stats;
+            }
+        }
+        Backend::Neon => {
+            if let Some(stats) = fused_accumulate::<Neon, T, Op>(target, idx, vals) {
+                return stats;
+            }
+        }
+        Backend::Portable => {}
     }
-    let mut stats = InvecStats::default();
-    let mut j = 0;
-    while j < idx.len() {
-        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
-        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
-        let (safe, d1) = reduce_alg1_with::<T, Op, 16>(backend, active, vidx, &mut vval);
-        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
-        let new = Op::combine_vec(old, vval);
-        new.mask_scatter(safe, target, vidx);
-        stats.vectors += 1;
-        stats.depth.record(d1);
-        j += 16;
-    }
+    let (stats, cost) = invector_simd::count::with(|| match backend.lanes() {
+        4 => invec_loop_with::<T, Op, 4>(backend, target, idx, vals),
+        8 => invec_loop_with::<T, Op, 8>(backend, target, idx, vals),
+        _ => invec_loop_with::<T, Op, 16>(backend, target, idx, vals),
+    });
+    invector_simd::count::bump_backend(backend.tag(), cost, stats.vectors);
     stats
 }
 
-/// Runs the fused native driver for `(T, Op)` when one exists. The drivers
+/// Runs `I`'s fused driver for `(T, Op)` when one exists. The drivers
 /// bounds-check indices themselves (one masked unsigned compare per
 /// vector), panicking like the portable model, so no scalar prevalidation
-/// pass runs here. Returns `None` when AVX-512 is absent or the combination
-/// has no fused realization.
-#[cfg(target_arch = "x86_64")]
-fn native_fused_accumulate<T, Op>(target: &mut [T], idx: &[i32], vals: &[T]) -> Option<InvecStats>
+/// pass runs here. Charges the backend's counter series with the modeled
+/// instruction cost. Returns `None` when the ISA is unavailable or the
+/// combination has no fused realization.
+fn fused_accumulate<I, T, Op>(target: &mut [T], idx: &[i32], vals: &[T]) -> Option<InvecStats>
 where
+    I: Isa,
     T: SimdElement,
     Op: ReduceOp<T>,
 {
     use std::any::TypeId;
-    if !invector_simd::native::available() || target.len() > i32::MAX as usize {
+    if !I::available() || target.len() > i32::MAX as usize {
         return None;
     }
     let t = TypeId::of::<T>();
     let op = TypeId::of::<Op>();
     macro_rules! dispatch {
-        ($ty:ty, $opty:ty, $f:path) => {
+        ($ty:ty, $opty:ty, $f:ident) => {
             if t == TypeId::of::<$ty>() && op == TypeId::of::<$opty>() {
                 // SAFETY: T == $ty per the TypeId check, so the slice
                 // layouts are identical.
@@ -171,32 +220,25 @@ where
                 // SAFETY: availability checked; lengths equal (asserted by
                 // the caller); target length fits i32; the driver
                 // bounds-checks every index itself.
-                let vectors = unsafe { $f(target, idx, vals, &mut buckets) };
+                let vectors = unsafe { I::$f(target, idx, vals, &mut buckets) };
+                let merges: u64 = buckets.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
+                invector_simd::count::bump_backend(
+                    I::TAG,
+                    vectors * I::MODEL_COST_PER_VECTOR + 8 * merges,
+                    vectors,
+                );
                 let mut depth = DepthHistogram::new();
                 depth.absorb_buckets(&buckets);
                 return Some(InvecStats { vectors, depth });
             }
         };
     }
-    dispatch!(f32, crate::ops::Sum, invector_simd::native::accumulate_add_f32);
-    dispatch!(f32, crate::ops::Min, invector_simd::native::accumulate_min_f32);
-    dispatch!(f32, crate::ops::Max, invector_simd::native::accumulate_max_f32);
-    dispatch!(i32, crate::ops::Sum, invector_simd::native::accumulate_add_i32);
-    dispatch!(i32, crate::ops::Min, invector_simd::native::accumulate_min_i32);
-    dispatch!(i32, crate::ops::Max, invector_simd::native::accumulate_max_i32);
-    None
-}
-
-#[cfg(not(target_arch = "x86_64"))]
-fn native_fused_accumulate<T, Op>(
-    _target: &mut [T],
-    _idx: &[i32],
-    _vals: &[T],
-) -> Option<InvecStats>
-where
-    T: SimdElement,
-    Op: ReduceOp<T>,
-{
+    dispatch!(f32, crate::ops::Sum, accumulate_add_f32);
+    dispatch!(f32, crate::ops::Min, accumulate_min_f32);
+    dispatch!(f32, crate::ops::Max, accumulate_max_f32);
+    dispatch!(i32, crate::ops::Sum, accumulate_add_i32);
+    dispatch!(i32, crate::ops::Min, accumulate_min_i32);
+    dispatch!(i32, crate::ops::Max, accumulate_max_i32);
     None
 }
 
@@ -214,29 +256,69 @@ where
     T: SimdElement,
     Op: ReduceOp<T>,
 {
+    adaptive_accumulate_n::<T, Op, 16>(target, idx, vals)
+}
+
+/// Width-generic portable [`adaptive_accumulate`] at `N` lanes per vector —
+/// the parity reference for the adaptive path on the narrower native ISAs
+/// (the warm-up window counts *vectors*, so the decision point depends on
+/// the lane width).
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or an index is out of bounds for
+/// `target`.
+pub fn adaptive_accumulate_n<T, Op, const N: usize>(
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
     assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
+    adaptive_loop_with::<T, Op, N>(Backend::Portable, target, idx, vals)
+}
+
+/// The adaptive per-vector loop at `N` lanes; see
+/// [`adaptive_accumulate_with`].
+fn adaptive_loop_with<T, Op, const N: usize>(
+    backend: Backend,
+    target: &mut [T],
+    idx: &[i32],
+    vals: &[T],
+) -> InvecStats
+where
+    T: SimdElement,
+    Op: ReduceOp<T>,
+{
     let mut reducer = AdaptiveReducer::<T, Op>::new(target.len());
     let mut stats = InvecStats::default();
     let mut j = 0;
     while j < idx.len() {
-        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
-        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
-        let safe = reducer.reduce(active, vidx, &mut vval);
-        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
+        let (vidx, active) = SimdVec::<i32, N>::load_partial(&idx[j..], 0);
+        let (mut vval, _) = SimdVec::<T, N>::load_partial(&vals[j..], Op::identity());
+        let safe = reducer.reduce_with(backend, active, vidx, &mut vval);
+        let old = SimdVec::<T, N>::zero().mask_gather(safe, target, vidx);
         let new = Op::combine_vec(old, vval);
         new.mask_scatter(safe, target, vidx);
         stats.vectors += 1;
-        j += 16;
+        j += N;
     }
     stats.depth.merge(reducer.depth_stats());
     reducer.finish(target);
     stats
 }
 
-/// Backend-dispatched [`adaptive_accumulate`]: the warm-up, the decision,
-/// and the depth statistics are identical across backends (the native
-/// reduction reports the same per-vector depths), but each per-vector fold
-/// runs through the selected backend's Algorithm 1 or 2 realization.
+/// Backend-dispatched [`adaptive_accumulate`]: the per-vector loop runs at
+/// the backend's lane width, so the warm-up, the Algorithm 1/2 decision,
+/// and the depth statistics equal the portable model at that width
+/// ([`adaptive_accumulate_n`]); each per-vector fold runs through the
+/// selected backend's Algorithm 1 or 2 realization (accelerated on
+/// AVX-512; portable on AVX2 / NEON, whose hardware paths cover the fused
+/// non-adaptive drivers). The run's measured emulated cost is charged to
+/// the backend's counter series.
 ///
 /// # Panics
 ///
@@ -253,21 +335,12 @@ where
     Op: ReduceOp<T>,
 {
     assert_eq!(idx.len(), vals.len(), "index/value length mismatch");
-    let mut reducer = AdaptiveReducer::<T, Op>::new(target.len());
-    let mut stats = InvecStats::default();
-    let mut j = 0;
-    while j < idx.len() {
-        let (vidx, active) = I32x16::load_partial(&idx[j..], 0);
-        let (mut vval, _) = SimdVec::<T, 16>::load_partial(&vals[j..], Op::identity());
-        let safe = reducer.reduce_with(backend, active, vidx, &mut vval);
-        let old = SimdVec::<T, 16>::zero().mask_gather(safe, target, vidx);
-        let new = Op::combine_vec(old, vval);
-        new.mask_scatter(safe, target, vidx);
-        stats.vectors += 1;
-        j += 16;
-    }
-    stats.depth.merge(reducer.depth_stats());
-    reducer.finish(target);
+    let (stats, cost) = invector_simd::count::with(|| match backend.lanes() {
+        4 => adaptive_loop_with::<T, Op, 4>(backend, target, idx, vals),
+        8 => adaptive_loop_with::<T, Op, 8>(backend, target, idx, vals),
+        _ => adaptive_loop_with::<T, Op, 16>(backend, target, idx, vals),
+    });
+    invector_simd::count::bump_backend(backend.tag(), cost, stats.vectors);
     stats
 }
 

@@ -414,12 +414,14 @@ pub fn invec_max<const N: usize>(
 
 /// Backend-dispatched [`reduce_alg1`].
 ///
-/// With [`Backend::Native`](crate::backend::Backend::Native), the conflict
+/// With [`Backend::Avx512`](crate::backend::Backend::Avx512), the conflict
 /// detection and merge schedule run on real `vpconflictd`
-/// (`invector_simd::native`) whenever a native realization exists for
+/// (`invector_simd::arch::avx512`) whenever a native realization exists for
 /// `(T, Op, N)` — currently sum/min/max over `f32` and `i32` at `N = 16`,
-/// covering every kernel in this workspace. Other combinations, and
-/// [`Backend::Portable`](crate::backend::Backend::Portable), run the
+/// covering every kernel in this workspace. Other combinations, the
+/// narrower ISAs (AVX2 / NEON accelerate only the fused whole-stream
+/// drivers, not this per-vector API), and
+/// [`Backend::Portable`](crate::backend::Backend::Portable) run the
 /// portable model.
 ///
 /// Results are bitwise identical across backends (the native merge uses
@@ -436,7 +438,7 @@ where
     T: SimdElement,
     Op: ReduceOp<T>,
 {
-    if backend.is_native() {
+    if backend == crate::backend::Backend::Avx512 {
         if let Some(out) = native_alg1::<T, Op, N>(active, vindex, vdata) {
             return out;
         }
@@ -457,7 +459,7 @@ where
     T: SimdElement,
     Op: ReduceOp<T>,
 {
-    if backend.is_native() {
+    if backend == crate::backend::Backend::Avx512 {
         if let Some(out) = native_alg1_arr::<T, Op, K, N>(active, vindex, vdata) {
             return out;
         }
@@ -479,7 +481,7 @@ where
     T: SimdElement,
     Op: ReduceOp<T>,
 {
-    if backend.is_native() {
+    if backend == crate::backend::Backend::Avx512 {
         if let Some(out) = native_alg2::<T, Op, N>(active, vindex, vdata, aux) {
             return out;
         }

@@ -65,8 +65,9 @@ pub mod rbk;
 pub mod stats;
 
 pub use accumulate::{
-    adaptive_accumulate, adaptive_accumulate_with, invec_accumulate, invec_accumulate_with,
-    native_invec_accumulate_f32, serial_accumulate,
+    adaptive_accumulate, adaptive_accumulate_n, adaptive_accumulate_with, invec_accumulate,
+    invec_accumulate_n, invec_accumulate_with, native_invec_accumulate_f32, serial_accumulate,
+    InvecStats,
 };
 pub use adaptive::AdaptiveReducer;
 pub use backend::{Backend, BackendChoice};

@@ -61,22 +61,36 @@ impl SmokeReport {
 }
 
 /// The backend requests the smoke matrix covers on this host: always the
-/// portable model, plus native AVX-512 when the CPU supports it.
+/// portable model, plus every native ISA the CPU can execute (AVX-512,
+/// AVX2, NEON), each forced explicitly so the matrix exercises the
+/// narrower backends even when a wider one would win auto-resolution.
 pub fn backend_matrix() -> Vec<BackendChoice> {
     let mut choices = vec![BackendChoice::Portable];
-    if invector_simd::native::available() {
-        choices.push(BackendChoice::Native);
+    for (backend, choice) in [
+        (Backend::Avx512, BackendChoice::Avx512),
+        (Backend::Avx2, BackendChoice::Avx2),
+        (Backend::Neon, BackendChoice::Neon),
+    ] {
+        if backend.available() {
+            choices.push(choice);
+        }
     }
     choices
 }
 
-/// Runs the full registry at `spec`: for every application, a serial
-/// portable reference, then every legal variant on every available backend
-/// at one thread, then — when `threads > 1` and the application has an
-/// engine path — the scalar and in-vector variants on the engine. Every
-/// cell's values are checked against the reference within the
-/// application's tolerance.
+/// Runs the full registry at `spec` over [`backend_matrix`] — see
+/// [`run_all_matrix`].
 pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
+    run_all_matrix(spec, threads, &backend_matrix())
+}
+
+/// Runs the full registry at `spec`: for every application, a serial
+/// portable reference, then every legal variant on every backend request
+/// in `choices` at one thread, then — when `threads > 1` and the
+/// application has an engine path — the scalar and in-vector variants on
+/// the engine. Every cell's values are checked against the reference
+/// within the application's tolerance.
+pub fn run_all_matrix(spec: &RunSpec, threads: usize, choices: &[BackendChoice]) -> SmokeReport {
     let mut cells = Vec::new();
     for app in registry::all() {
         let workload = match app.prepare(spec) {
@@ -101,7 +115,7 @@ pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
             .run(app.variants()[0], &ExecPolicy::default().backend(BackendChoice::Portable));
 
         let mut policies = Vec::new();
-        for choice in backend_matrix() {
+        for &choice in choices {
             for &variant in app.variants() {
                 policies.push((variant, ExecPolicy::default().backend(choice)));
             }
@@ -141,6 +155,10 @@ mod tests {
     fn backend_matrix_always_includes_portable_first() {
         let m = backend_matrix();
         assert_eq!(m[0], BackendChoice::Portable);
-        assert!(m.len() <= 2);
+        assert!(m.len() <= 1 + Backend::ALL.len());
+        // Every entry past the head must resolve to a distinct native ISA.
+        for choice in &m[1..] {
+            assert!(choice.resolve().is_native());
+        }
     }
 }

@@ -167,6 +167,12 @@ impl RunRecord {
         registry.counter("invector_harness_runs_total", "application variant runs published").inc();
         registry
             .counter(
+                &format!("invector_harness_runs_{}_total", self.backend.name()),
+                "application variant runs published, by resolved backend ISA",
+            )
+            .inc();
+        registry
+            .counter(
                 "invector_harness_updates_total",
                 "associative updates processed by published runs",
             )

@@ -1,0 +1,1153 @@
+//! The AVX-512 backend: hardware `vpconflictd`, gather and scatter.
+//!
+//! When the host CPU supports `avx512f` + `avx512cd`, [`available`] returns
+//! `true` and the backend-dispatch layer in `invector-core` routes every
+//! kernel's hot loop through the real instructions
+//! (`vpconflictd`, `vgatherdps`, `vscatterdps`) instead of the portable
+//! software model. The portable model defines the semantics; this module
+//! must agree with it **bit for bit** (see the differential tests at the
+//! bottom of this file and in `tests/native_differential.rs`).
+//!
+//! Bitwise parity is achieved by construction: every merge iteration folds
+//! its conflict group with the *same sequential, identity-seeded, ascending
+//! scalar fold* the portable `SimdVec::reduce` performs, using the same
+//! scalar combiners (`+`, `f32::min`, `i32::wrapping_add`, ...). Only the
+//! conflict detection, the loads, and the conflict-free
+//! gather-combine-scatter commit run as wide instructions — which is where
+//! all the time goes, because merge iterations are rare (D1 ≈ 0 for graph
+//! workloads, §3.4).
+//!
+//! The raw free functions only exist on `x86_64`; the [`Avx512`] type and
+//! its [`Isa`] impl exist everywhere, with `available()` a compile-time
+//! `false` (and `unreachable!()` method stubs) on other architectures, so
+//! the generic dispatch layer compiles on every target.
+//!
+//! All functions here are `unsafe`: callers must have validated lane indices
+//! against the backing slice (for the functions that touch memory), and must
+//! only call them when [`available`] reports support.
+
+use std::sync::OnceLock;
+
+use super::Isa;
+
+/// Returns `true` when the running CPU supports the AVX-512 subset this
+/// module needs (`avx512f` and `avx512cd`). The result is computed once and
+/// cached.
+#[inline]
+pub fn available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(detect)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> bool {
+    std::is_x86_feature_detected!("avx512f") && std::is_x86_feature_detected!("avx512cd")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> bool {
+    false
+}
+
+/// The 16-lane AVX-512 backend (`vpconflictd` conflict detection, hardware
+/// gather/scatter). Zero-sized; see [`Isa`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avx512;
+
+/// Forwards one fused-driver trait method to the raw `imp` function of the
+/// same name (or to an `unreachable!()` stub off x86_64).
+macro_rules! avx512_isa_driver {
+    ($name:ident, $t:ty) => {
+        unsafe fn $name(target: &mut [$t], idx: &[i32], vals: &[$t], depth: &mut [u64; 17]) -> u64 {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: forwarded contract — caller checked `available()` and
+            // the slice-length preconditions.
+            unsafe {
+                imp::$name(target, idx, vals, depth)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                let _ = (target, idx, vals, depth);
+                unreachable!("avx512 backend is never available on this target")
+            }
+        }
+    };
+}
+
+// SAFETY: the raw drivers below validate indices per vector before any
+// masked gather/scatter, fold merge groups in the portable model's order,
+// and are only reachable when `available()` observed avx512f+avx512cd.
+unsafe impl Isa for Avx512 {
+    const NAME: &'static str = "avx512";
+    const LANES: usize = 16;
+    const TAG: usize = crate::count::tag::AVX512;
+    // loadidx + bounds-cmp + loadval + vpconflictd + broadcast + testn +
+    // gather + combine + scatter + loop overhead — one instruction each.
+    const MODEL_COST_PER_VECTOR: u64 = 10;
+
+    #[inline]
+    fn available() -> bool {
+        available()
+    }
+
+    unsafe fn conflict_free_subset(active: u32, idx: &[i32]) -> u32 {
+        debug_assert_eq!(idx.len(), Self::LANES);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: forwarded contract — caller checked `available()`.
+        unsafe {
+            let mut a = [0i32; 16];
+            a.copy_from_slice(idx);
+            u32::from(imp::conflict_free_subset_u16(active as u16, a))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (active, idx);
+            unreachable!("avx512 backend is never available on this target")
+        }
+    }
+
+    avx512_isa_driver!(accumulate_add_f32, f32);
+    avx512_isa_driver!(accumulate_min_f32, f32);
+    avx512_isa_driver!(accumulate_max_f32, f32);
+    avx512_isa_driver!(accumulate_add_i32, i32);
+    avx512_isa_driver!(accumulate_min_i32, i32);
+    avx512_isa_driver!(accumulate_max_i32, i32);
+
+    unsafe fn accumulate_add_f32_alg2(
+        target: &mut [f32],
+        aux: &mut [f32],
+        touched: &mut Vec<i32>,
+        idx: &[i32],
+        vals: &[f32],
+        depth: &mut [u64; 17],
+    ) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: forwarded contract — caller checked `available()` and the
+        // slice-length preconditions.
+        unsafe {
+            imp::accumulate_add_f32_alg2(target, aux, touched, idx, vals, depth)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (target, aux, touched, idx, vals, depth);
+            unreachable!("avx512 backend is never available on this target")
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use std::arch::x86_64::*;
+
+    /// `vpconflictd`: for each lane `i`, a bitset of preceding lanes `j < i`
+    /// holding the same 32-bit value.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd` (check [`super::available`]).
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn conflict_i32(idx: [i32; 16]) -> [i32; 16] {
+        // SAFETY: caller guarantees the required target features; loads and
+        // stores go through unaligned intrinsics on locals we own.
+        unsafe {
+            let v = _mm512_loadu_si512(idx.as_ptr().cast());
+            let c = _mm512_conflict_epi32(v);
+            let mut out = [0i32; 16];
+            _mm512_storeu_si512(out.as_mut_ptr().cast(), c);
+            out
+        }
+    }
+
+    /// Hardware gather of sixteen `f32` elements.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every `idx[i]` must be in `0..base.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_f32(base: &[f32], idx: [i32; 16]) -> [f32; 16] {
+        // SAFETY: caller validated every index against `base.len()`.
+        unsafe {
+            let vi = _mm512_loadu_si512(idx.as_ptr().cast());
+            let g = _mm512_i32gather_ps::<4>(vi, base.as_ptr().cast());
+            let mut out = [0f32; 16];
+            _mm512_storeu_ps(out.as_mut_ptr(), g);
+            out
+        }
+    }
+
+    /// Hardware gather of sixteen `i32` elements.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every `idx[i]` must be in `0..base.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather_i32(base: &[i32], idx: [i32; 16]) -> [i32; 16] {
+        // SAFETY: caller validated every index against `base.len()`.
+        unsafe {
+            let vi = _mm512_loadu_si512(idx.as_ptr().cast());
+            let g = _mm512_i32gather_epi32::<4>(vi, base.as_ptr().cast());
+            let mut out = [0i32; 16];
+            _mm512_storeu_si512(out.as_mut_ptr().cast(), g);
+            out
+        }
+    }
+
+    /// Hardware masked scatter of sixteen `f32` lanes: `base[idx[l]] =
+    /// data[l]` for the selected lanes, which **must hold distinct indices**
+    /// (e.g. a mask returned by [`invec_add_f32`]).
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every selected `idx[l]` must be in
+    /// `0..base.len()` and the selected indices must be pairwise distinct.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scatter_f32(mask: u16, base: &mut [f32], idx: [i32; 16], data: [f32; 16]) {
+        // SAFETY: caller validated indices and distinctness.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let vdata = _mm512_loadu_ps(data.as_ptr());
+            _mm512_mask_i32scatter_ps::<4>(base.as_mut_ptr().cast(), mask, vidx, vdata);
+        }
+    }
+
+    /// Hardware masked scatter of sixteen `i32` lanes; see [`scatter_f32`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every selected `idx[l]` must be in
+    /// `0..base.len()` and the selected indices must be pairwise distinct.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scatter_i32(mask: u16, base: &mut [i32], idx: [i32; 16], data: [i32; 16]) {
+        // SAFETY: caller validated indices and distinctness.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let vdata = _mm512_loadu_si512(data.as_ptr().cast());
+            _mm512_mask_i32scatter_epi32::<4>(base.as_mut_ptr().cast(), mask, vidx, vdata);
+        }
+    }
+
+    /// The paper's conflict-free-subset primitive, fully in hardware:
+    /// `vpconflictd` + masked test against the broadcast active mask.
+    /// Returns the mask of active lanes with no earlier active duplicate.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd`.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn conflict_free_subset_u16(active: u16, idx: [i32; 16]) -> u16 {
+        // SAFETY: register-only intrinsics; loads from a local array.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let conflicts = _mm512_conflict_epi32(vidx);
+            let act = _mm512_set1_epi32(active as u32 as i32);
+            // One `testn` ((conflicts & act) == 0 per lane) replaces the
+            // and + compare pair.
+            _mm512_mask_testn_epi32_mask(active, conflicts, act)
+        }
+    }
+
+    /// Generates the per-vector Algorithm-1 body for one (type, operator)
+    /// pair. Conflict detection is `vpconflictd`; each (rare) merge
+    /// iteration folds its group with the same sequential identity-seeded
+    /// ascending scalar fold as the portable model, so results are bitwise
+    /// identical for **all** inputs, floats included.
+    macro_rules! native_invec {
+        ($(#[$doc:meta])* $name:ident, $t:ty, $identity:expr, $combine:expr) => {
+            $(#[$doc])*
+            ///
+            /// Returns the conflict-free mask and the number of merge
+            /// iterations executed (`D1`), exactly like the portable
+            /// `reduce_alg1`.
+            ///
+            /// # Safety
+            ///
+            /// Requires `avx512f` and `avx512cd`. No memory outside `data`
+            /// is touched, so indices need no validation.
+            #[target_feature(enable = "avx512f,avx512cd")]
+            pub unsafe fn $name(active: u16, idx: [i32; 16], data: &mut [$t; 16]) -> (u16, u32) {
+                // SAFETY: register-only intrinsics on caller-owned arrays.
+                unsafe {
+                    let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+                    let mret = conflict_free_subset_u16(active, idx);
+                    let mut d1 = 0u32;
+                    let mut todo = active & !mret;
+                    while todo != 0 {
+                        d1 += 1;
+                        let i = todo.trailing_zeros() as usize;
+                        // All active lanes holding the same index as lane i.
+                        let key = _mm512_set1_epi32(idx[i]);
+                        let mreduce = _mm512_mask_cmpeq_epi32_mask(active, vidx, key);
+                        // Sequential identity-seeded fold, ascending lanes —
+                        // the portable model's reduction order.
+                        let mut acc: $t = $identity;
+                        let mut bits = mreduce;
+                        while bits != 0 {
+                            let l = bits.trailing_zeros() as usize;
+                            acc = $combine(acc, data[l]);
+                            bits &= bits - 1;
+                        }
+                        data[mreduce.trailing_zeros() as usize] = acc;
+                        todo &= !mreduce;
+                    }
+                    (mret, d1)
+                }
+            }
+        };
+    }
+
+    native_invec!(
+        /// Native Algorithm 1 with the **sum** operator over `f32` lanes
+        /// (`invec_add`): the PageRank / aggregation fold.
+        invec_add_f32,
+        f32,
+        0.0f32,
+        |a: f32, b: f32| a + b
+    );
+    native_invec!(
+        /// Native Algorithm 1 with the **min** operator over `f32` lanes
+        /// (`invec_min`): the SSSP relaxation fold.
+        invec_min_f32,
+        f32,
+        f32::INFINITY,
+        f32::min
+    );
+    native_invec!(
+        /// Native Algorithm 1 with the **max** operator over `f32` lanes
+        /// (`invec_max`): the SSWP relaxation fold.
+        invec_max_f32,
+        f32,
+        f32::NEG_INFINITY,
+        f32::max
+    );
+    native_invec!(
+        /// Native Algorithm 1 with the **sum** operator over `i32` lanes
+        /// (wrapping, like the portable `Sum` on `i32`).
+        invec_add_i32,
+        i32,
+        0i32,
+        |a: i32, b: i32| a.wrapping_add(b)
+    );
+    native_invec!(
+        /// Native Algorithm 1 with the **min** operator over `i32` lanes:
+        /// the WCC label-propagation fold.
+        invec_min_i32,
+        i32,
+        i32::MAX,
+        |a: i32, b: i32| a.min(b)
+    );
+    native_invec!(
+        /// Native Algorithm 1 with the **max** operator over `i32` lanes.
+        invec_max_i32,
+        i32,
+        i32::MIN,
+        |a: i32, b: i32| a.max(b)
+    );
+
+    /// Native Algorithm 1 over `K` `f32` data vectors sharing one index
+    /// vector (sum operator) — the multi-component fold Moldyn (3-D
+    /// forces), Euler (4 flux components) and hash aggregation
+    /// (count/sum/sumsq) run. One `vpconflictd` merge schedule serves every
+    /// component, exactly like the portable `reduce_alg1_arr`.
+    ///
+    /// Returns the conflict-free mask and `D1`.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd`. No memory outside `comps` is
+    /// touched.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn invec_add_arr_f32(
+        active: u16,
+        idx: [i32; 16],
+        comps: &mut [[f32; 16]],
+    ) -> (u16, u32) {
+        // SAFETY: register-only intrinsics on caller-owned arrays.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let mret = conflict_free_subset_u16(active, idx);
+            let mut d1 = 0u32;
+            let mut todo = active & !mret;
+            while todo != 0 {
+                d1 += 1;
+                let i = todo.trailing_zeros() as usize;
+                let key = _mm512_set1_epi32(idx[i]);
+                let mreduce = _mm512_mask_cmpeq_epi32_mask(active, vidx, key);
+                let first = mreduce.trailing_zeros() as usize;
+                for comp in comps.iter_mut() {
+                    let mut acc = 0.0f32;
+                    let mut bits = mreduce;
+                    while bits != 0 {
+                        let l = bits.trailing_zeros() as usize;
+                        acc += comp[l];
+                        bits &= bits - 1;
+                    }
+                    comp[first] = acc;
+                }
+                todo &= !mreduce;
+            }
+            (mret, d1)
+        }
+    }
+
+    /// Native Algorithm 2 (aux-array realization, §3.4) over `f32` sums:
+    /// first occurrences stay in `data` for the caller to scatter (returned
+    /// mask), second occurrences accumulate into the `aux` shadow (pushing
+    /// newly-touched indices onto `touched`), and only third-and-later
+    /// occurrences run merge iterations.
+    ///
+    /// Returns the main-target conflict-free mask and `D2`.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` and `avx512cd`. `aux` writes are bounds-checked
+    /// (panicking like the portable model on a bad index), so indices need
+    /// no prior validation.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn alg2_add_f32(
+        active: u16,
+        idx: [i32; 16],
+        data: &mut [f32; 16],
+        aux: &mut [f32],
+        touched: &mut Vec<i32>,
+    ) -> (u16, u32) {
+        // SAFETY: register-only intrinsics on caller-owned arrays; the aux
+        // writes below use safe (checked) indexing.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let mret1 = conflict_free_subset_u16(active, idx);
+            let mret2 = conflict_free_subset_u16(active & !mret1, idx);
+            let mut d2 = 0u32;
+            // Lanes that are neither first nor second occurrence.
+            let mut remaining = active & !mret1 & !mret2;
+            while remaining != 0 {
+                d2 += 1;
+                let i = remaining.trailing_zeros() as usize;
+                // Matching lanes minus the second-occurrence subset; the
+                // group's first lane is its mret1 lane.
+                let key = _mm512_set1_epi32(idx[i]);
+                let mreduce = _mm512_mask_cmpeq_epi32_mask(active & !mret2, vidx, key);
+                let mut acc = 0.0f32;
+                let mut bits = mreduce;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    acc += data[l];
+                    bits &= bits - 1;
+                }
+                data[mreduce.trailing_zeros() as usize] = acc;
+                remaining &= !mreduce;
+            }
+            // Route the second-occurrence subset into the shadow array,
+            // ascending lanes like the portable model.
+            let mut bits = mret2;
+            while bits != 0 {
+                let l = bits.trailing_zeros() as usize;
+                let slot = &mut aux[idx[l] as usize];
+                if *slot == 0.0 {
+                    touched.push(idx[l]);
+                }
+                *slot += data[l];
+                bits &= bits - 1;
+            }
+            (mret1, d2)
+        }
+    }
+
+    /// Generates one fused whole-stream accumulation driver: the complete
+    /// load → `vpconflictd` → in-vector-reduce → gather-combine-scatter
+    /// pipeline stays inside a single `target_feature` function so the hot
+    /// loop lives in registers (per-chunk call boundaries would force
+    /// spills and block inlining). Tails shorter than 16 lanes run as
+    /// masked vectors (`maskz` loads suppress faults on the missing
+    /// elements), never as scalar cleanup — depth accounting therefore
+    /// matches the portable per-vector drivers exactly.
+    macro_rules! native_accumulate {
+        ($(#[$doc:meta])* $name:ident, f32, $identity:expr, $combine:expr, $commit:ident) => {
+            native_accumulate!(
+                @gen $(#[$doc])* $name, f32, $identity, $combine, $commit,
+                _mm512_maskz_loadu_ps, _mm512_setzero_ps,
+                _mm512_mask_i32gather_ps, _mm512_mask_i32scatter_ps,
+                _mm512_set1_ps, _mm512_mask_mov_ps
+            );
+        };
+        ($(#[$doc:meta])* $name:ident, i32, $identity:expr, $combine:expr, $commit:ident) => {
+            native_accumulate!(
+                @gen $(#[$doc])* $name, i32, $identity, $combine, $commit,
+                maskz_loadu_i32, _mm512_setzero_si512,
+                _mm512_mask_i32gather_epi32, _mm512_mask_i32scatter_epi32,
+                _mm512_set1_epi32, _mm512_mask_mov_epi32
+            );
+        };
+        (@gen $(#[$doc:meta])* $name:ident, $t:ty, $identity:expr, $combine:expr, $commit:ident,
+         $maskz_load:ident, $zero:ident, $gather:ident, $scatter:ident,
+         $set1:ident, $blend:ident) => {
+            $(#[$doc])*
+            ///
+            /// Records one depth-histogram bucket per vector in `depth`
+            /// (`depth[d] += 1`, `d` ≤ 8) and returns the number of vector
+            /// iterations executed (`⌈n / 16⌉`).
+            ///
+            /// # Safety
+            ///
+            /// Requires `avx512f` + `avx512cd`; `idx.len() == vals.len()`;
+            /// `target.len() <= i32::MAX`. Out-of-range (including negative)
+            /// indices panic like the portable model, before any lane of
+            /// the offending vector commits — one masked unsigned compare
+            /// per vector validates all sixteen lanes, so callers need no
+            /// scalar prevalidation pass.
+            #[target_feature(enable = "avx512f,avx512cd")]
+            pub unsafe fn $name(
+                target: &mut [$t],
+                idx: &[i32],
+                vals: &[$t],
+                depth: &mut [u64; 17],
+            ) -> u64 {
+                // SAFETY: masked (`maskz`/masked gather/scatter) memory ops
+                // only touch the lanes the `active` mask selects, and the
+                // per-vector bounds check below rejects any index the
+                // hardware gather/scatter must not see.
+                unsafe {
+                    let n = idx.len();
+                    let vlen = _mm512_set1_epi32(target.len() as i32);
+                    let mut vectors = 0u64;
+                    let mut j = 0;
+                    while j < n {
+                        let rem = n - j;
+                        let active: u16 =
+                            if rem >= 16 { 0xFFFF } else { (1u16 << rem) - 1 };
+                        let vidx = _mm512_maskz_loadu_epi32(active, idx.as_ptr().add(j).cast());
+                        // Unsigned compare: negative lanes wrap past
+                        // `i32::MAX >= target.len()` and fail it too.
+                        let inb = _mm512_mask_cmplt_epu32_mask(active, vidx, vlen);
+                        if inb != active {
+                            let mut ai = [0i32; 16];
+                            _mm512_storeu_si512(ai.as_mut_ptr().cast(), vidx);
+                            let bad = (active & !inb).trailing_zeros() as usize;
+                            panic!(
+                                "gather/scatter index {} out of bounds for slice of length {}",
+                                ai[bad],
+                                target.len()
+                            );
+                        }
+                        let mut vval = $maskz_load(active, vals.as_ptr().add(j));
+                        // Conflict-free subset of the active lanes: one
+                        // `testn` ((conflicts & act) == 0 per lane) replaces
+                        // the and + compare pair.
+                        let conflicts = _mm512_conflict_epi32(vidx);
+                        let act = _mm512_set1_epi32(active as u32 as i32);
+                        let mret = _mm512_mask_testn_epi32_mask(active, conflicts, act);
+                        // Merge conflicting groups (usually zero
+                        // iterations): the untouched lane values still sit
+                        // in the source slices, so each group folds straight
+                        // from memory — no register spill — and the result
+                        // blends into the group's first lane with one masked
+                        // broadcast.
+                        let mut d = 0u32;
+                        let mut todo = active & !mret;
+                        while todo != 0 {
+                            d += 1;
+                            let i = todo.trailing_zeros() as usize;
+                            let key = _mm512_set1_epi32(*idx.as_ptr().add(j + i));
+                            let mreduce = _mm512_mask_cmpeq_epi32_mask(active, vidx, key);
+                            // Identity-seeded: NOT the load fill value —
+                            // min/max identities differ from 0.
+                            let mut acc: $t = $identity;
+                            let mut bits = mreduce;
+                            while bits != 0 {
+                                let l = bits.trailing_zeros() as usize;
+                                acc = $combine(acc, *vals.as_ptr().add(j + l));
+                                bits &= bits - 1;
+                            }
+                            vval = $blend(vval, 1 << mreduce.trailing_zeros(), $set1(acc));
+                            todo &= !mreduce;
+                        }
+                        depth[d as usize] += 1;
+                        // Conflict-free gather-combine-scatter commit.
+                        let old = $gather::<4>($zero(), mret, vidx, target.as_ptr().cast());
+                        let new = $commit(old, vval);
+                        $scatter::<4>(target.as_mut_ptr().cast(), mret, vidx, new);
+                        vectors += 1;
+                        j += 16;
+                    }
+                    vectors
+                }
+            }
+        };
+    }
+
+    // Thin alias so one macro body covers both element types (the i32
+    // masked-load intrinsic takes an unrelated pointer type).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn maskz_loadu_i32(k: u16, p: *const i32) -> __m512i {
+        // SAFETY: masked load only touches the selected lanes.
+        unsafe { _mm512_maskz_loadu_epi32(k, p) }
+    }
+
+    native_accumulate!(
+        /// Fused whole-stream `target[idx[j]] += vals[j]` (f32 sums).
+        accumulate_add_f32,
+        f32,
+        0.0f32,
+        |a: f32, b: f32| a + b,
+        _mm512_add_ps
+    );
+    native_accumulate!(
+        /// Fused whole-stream `target[idx[j]] = min(target[idx[j]], vals[j])`
+        /// (f32): the SSSP-shaped reduction.
+        accumulate_min_f32,
+        f32,
+        f32::INFINITY,
+        f32::min,
+        _mm512_min_ps
+    );
+    native_accumulate!(
+        /// Fused whole-stream `target[idx[j]] = max(target[idx[j]], vals[j])`
+        /// (f32): the SSWP-shaped reduction.
+        accumulate_max_f32,
+        f32,
+        f32::NEG_INFINITY,
+        f32::max,
+        _mm512_max_ps
+    );
+    native_accumulate!(
+        /// Fused whole-stream `target[idx[j]] += vals[j]` (wrapping i32).
+        accumulate_add_i32,
+        i32,
+        0i32,
+        |a: i32, b: i32| a.wrapping_add(b),
+        _mm512_add_epi32
+    );
+    native_accumulate!(
+        /// Fused whole-stream i32 minimum: the WCC-shaped reduction.
+        accumulate_min_i32,
+        i32,
+        i32::MAX,
+        |a: i32, b: i32| a.min(b),
+        _mm512_min_epi32
+    );
+    native_accumulate!(
+        /// Fused whole-stream i32 maximum.
+        accumulate_max_i32,
+        i32,
+        i32::MIN,
+        |a: i32, b: i32| a.max(b),
+        _mm512_max_epi32
+    );
+
+    /// Fused whole-stream f32 summation via **Algorithm 2**: per vector,
+    /// first occurrences commit to `target` through a conflict-free masked
+    /// gather-add-scatter, second occurrences accumulate into the `aux`
+    /// shadow (`touched` records newly-used slots for an `O(touched)`
+    /// merge), and only third-and-later occurrences pay merge iterations.
+    /// The caller must fold `aux` into `target` afterwards, in `touched`
+    /// order, to match the portable `AuxArray::merge_into`.
+    ///
+    /// Records `depth[d2] += 1` per vector and returns the vector count.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` + `avx512cd`; `idx.len() == vals.len()`;
+    /// `aux.len() == target.len()`; `target.len() <= i32::MAX`. Out-of-range
+    /// (including negative) indices panic like the portable model, before
+    /// any lane of the offending vector commits.
+    #[target_feature(enable = "avx512f,avx512cd")]
+    pub unsafe fn accumulate_add_f32_alg2(
+        target: &mut [f32],
+        aux: &mut [f32],
+        touched: &mut Vec<i32>,
+        idx: &[i32],
+        vals: &[f32],
+        depth: &mut [u64; 17],
+    ) -> u64 {
+        // SAFETY: masked memory ops only touch the lanes their mask
+        // selects, and the per-vector bounds check below rejects any index
+        // the hardware gather/scatter must not see.
+        unsafe {
+            let n = idx.len();
+            let vlen = _mm512_set1_epi32(target.len() as i32);
+            let mut vectors = 0u64;
+            let mut j = 0;
+            while j < n {
+                let rem = n - j;
+                let active: u16 = if rem >= 16 { 0xFFFF } else { (1u16 << rem) - 1 };
+                let mut ai = [0i32; 16];
+                let mut av = [0.0f32; 16];
+                let vidx = _mm512_maskz_loadu_epi32(active, idx.as_ptr().add(j).cast());
+                // Unsigned compare: negative lanes wrap past
+                // `i32::MAX >= target.len()` and fail it too.
+                let inb = _mm512_mask_cmplt_epu32_mask(active, vidx, vlen);
+                if inb != active {
+                    let mut bad_idx = [0i32; 16];
+                    _mm512_storeu_si512(bad_idx.as_mut_ptr().cast(), vidx);
+                    let bad = (active & !inb).trailing_zeros() as usize;
+                    panic!(
+                        "gather/scatter index {} out of bounds for slice of length {}",
+                        bad_idx[bad],
+                        target.len()
+                    );
+                }
+                let vval = _mm512_maskz_loadu_ps(active, vals.as_ptr().add(j));
+                _mm512_storeu_si512(ai.as_mut_ptr().cast(), vidx);
+                _mm512_storeu_ps(av.as_mut_ptr(), vval);
+                let (mret1, d2) = alg2_add_f32(active, ai, &mut av, aux, touched);
+                depth[d2 as usize] += 1;
+                // Conflict-free commit of the first-occurrence subset.
+                let vmerged = _mm512_loadu_ps(av.as_ptr());
+                let old = _mm512_mask_i32gather_ps::<4>(
+                    _mm512_setzero_ps(),
+                    mret1,
+                    vidx,
+                    target.as_ptr().cast(),
+                );
+                let new = _mm512_add_ps(old, vmerged);
+                _mm512_mask_i32scatter_ps::<4>(target.as_mut_ptr().cast(), mret1, vidx, new);
+                vectors += 1;
+                j += 16;
+            }
+            vectors
+        }
+    }
+
+    /// Hardware masked scatter-add of sixteen `f32` lanes:
+    /// `base[idx[l]] += data[l]` for the selected lanes, which **must hold
+    /// distinct indices** (e.g. the mask returned by [`invec_add_f32`]).
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f`; every selected `idx[l]` must be in
+    /// `0..base.len()` and the selected indices must be pairwise distinct
+    /// (otherwise updates are lost, as with any gather-add-scatter).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scatter_add_f32(mask: u16, base: &mut [f32], idx: [i32; 16], data: [f32; 16]) {
+        // SAFETY: caller validated indices and distinctness.
+        unsafe {
+            let vidx = _mm512_loadu_si512(idx.as_ptr().cast());
+            let vdata = _mm512_loadu_ps(data.as_ptr());
+            let old = _mm512_mask_i32gather_ps::<4>(
+                _mm512_setzero_ps(),
+                mask,
+                vidx,
+                base.as_ptr().cast(),
+            );
+            let new = _mm512_add_ps(old, vdata);
+            _mm512_mask_i32scatter_ps::<4>(base.as_mut_ptr().cast(), mask, vidx, new);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use imp::{
+    accumulate_add_f32, accumulate_add_f32_alg2, accumulate_add_i32, accumulate_max_f32,
+    accumulate_max_i32, accumulate_min_f32, accumulate_min_i32, alg2_add_f32,
+    conflict_free_subset_u16, conflict_i32, gather_f32, gather_i32, invec_add_arr_f32,
+    invec_add_f32, invec_add_i32, invec_max_f32, invec_max_i32, invec_min_f32, invec_min_i32,
+    scatter_add_f32, scatter_f32, scatter_i32,
+};
+
+#[cfg(test)]
+mod tests {
+    #[cfg(not(target_arch = "x86_64"))]
+    #[test]
+    fn native_backend_contract_off_x86_64() {
+        // On non-x86 targets the raw entry points are compiled out and
+        // availability must be a hard false so the dispatch layer can never
+        // reach an AVX-512 path.
+        assert!(!super::available());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod x86 {
+        use super::super::*;
+        use rand::{Rng, SeedableRng};
+
+        fn reference_conflict(idx: [i32; 16]) -> [i32; 16] {
+            std::array::from_fn(|i| {
+                let mut bits = 0i32;
+                for j in 0..i {
+                    if idx[j] == idx[i] {
+                        bits |= 1 << j;
+                    }
+                }
+                bits
+            })
+        }
+
+        /// Portable conflict-free subset: active lanes with no earlier
+        /// active duplicate.
+        fn reference_cfs(active: u16, idx: [i32; 16]) -> u16 {
+            let mut m = 0u16;
+            for i in 0..16 {
+                let act = active & (1 << i) != 0;
+                let first = (0..i).all(|j| active & (1 << j) == 0 || idx[j] != idx[i]);
+                if act && first {
+                    m |= 1 << i;
+                }
+            }
+            m
+        }
+
+        /// The portable model's sequential fold for one lane's group.
+        fn reference_fold<T: Copy>(
+            active: u16,
+            idx: [i32; 16],
+            data: [T; 16],
+            lane: usize,
+            identity: T,
+            combine: impl Fn(T, T) -> T,
+        ) -> T {
+            let mut acc = identity;
+            for l in 0..16 {
+                if active & (1 << l) != 0 && idx[l] == idx[lane] {
+                    acc = combine(acc, data[l]);
+                }
+            }
+            acc
+        }
+
+        #[test]
+        fn native_conflict_matches_reference_when_available() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let cases: [[i32; 16]; 4] = [
+                std::array::from_fn(|i| i as i32),
+                [7; 16],
+                std::array::from_fn(|i| (i % 3) as i32),
+                std::array::from_fn(|i| if i % 2 == 0 { -5 } else { i as i32 }),
+            ];
+            for idx in cases {
+                // SAFETY: guarded by `available()`.
+                let native = unsafe { conflict_i32(idx) };
+                assert_eq!(native, reference_conflict(idx), "input {idx:?}");
+            }
+        }
+
+        #[test]
+        fn native_invec_add_matches_portable_model_bitwise() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1601);
+            for _ in 0..500 {
+                let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(0..6));
+                // Arbitrary floats: the sequential-fold merge makes the
+                // native path bitwise identical, not merely close.
+                let data: [f32; 16] = std::array::from_fn(|_| rng.gen_range(-100.0..100.0));
+                let active: u16 = rng.gen();
+
+                let mut native_data = data;
+                // SAFETY: guarded by `available()`.
+                let (native_mask, d1) = unsafe { invec_add_f32(active, idx, &mut native_data) };
+
+                assert_eq!(
+                    native_mask,
+                    reference_cfs(active, idx),
+                    "mask for idx {idx:?} active {active:#06x}"
+                );
+                // D1 = number of index groups with 2+ active lanes.
+                let groups = (0..16)
+                    .filter(|&i| active & (1 << i) != 0)
+                    .filter(|&i| {
+                        (0..16).filter(|&l| active & (1 << l) != 0 && idx[l] == idx[i]).count() > 1
+                    })
+                    .map(|i| idx[i])
+                    .collect::<std::collections::HashSet<_>>();
+                assert_eq!(d1 as usize, groups.len(), "D1 for idx {idx:?}");
+                for (lane, got) in native_data.iter().enumerate() {
+                    if native_mask & (1 << lane) != 0 {
+                        let expect = reference_fold(active, idx, data, lane, 0.0f32, |a, b| a + b);
+                        assert_eq!(got.to_bits(), expect.to_bits(), "lane {lane} idx {idx:?}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn native_invec_min_max_match_scalar_reference() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1602);
+            for _ in 0..300 {
+                let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(0..5));
+                let data: [f32; 16] = std::array::from_fn(|_| rng.gen_range(-100.0..100.0));
+                let active: u16 = rng.gen::<u16>() | 1; // keep at least one lane
+
+                for minimize in [true, false] {
+                    let mut out = data;
+                    // SAFETY: guarded by `available()`.
+                    let (mask, _) = unsafe {
+                        if minimize {
+                            invec_min_f32(active, idx, &mut out)
+                        } else {
+                            invec_max_f32(active, idx, &mut out)
+                        }
+                    };
+                    for (lane, got) in out.iter().enumerate() {
+                        if mask & (1 << lane) != 0 {
+                            let expect = if minimize {
+                                reference_fold(active, idx, data, lane, f32::INFINITY, f32::min)
+                            } else {
+                                reference_fold(active, idx, data, lane, f32::NEG_INFINITY, f32::max)
+                            };
+                            assert_eq!(*got, expect, "lane {lane} minimize={minimize}");
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn native_invec_i32_variants_match_scalar_reference() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1603);
+            for _ in 0..300 {
+                let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(-2..5));
+                let data: [i32; 16] = std::array::from_fn(|_| rng.gen_range(i32::MIN..i32::MAX));
+                let active: u16 = rng.gen();
+
+                let mut add = data;
+                let mut min = data;
+                let mut max = data;
+                // SAFETY: guarded by `available()`.
+                let (m_add, _) = unsafe { invec_add_i32(active, idx, &mut add) };
+                let (m_min, _) = unsafe { invec_min_i32(active, idx, &mut min) };
+                let (m_max, _) = unsafe { invec_max_i32(active, idx, &mut max) };
+                let expect_mask = reference_cfs(active, idx);
+                assert_eq!(m_add, expect_mask);
+                assert_eq!(m_min, expect_mask);
+                assert_eq!(m_max, expect_mask);
+                for lane in 0..16 {
+                    if expect_mask & (1 << lane) != 0 {
+                        assert_eq!(
+                            add[lane],
+                            reference_fold(active, idx, data, lane, 0i32, |a, b| a.wrapping_add(b))
+                        );
+                        assert_eq!(
+                            min[lane],
+                            reference_fold(active, idx, data, lane, i32::MAX, |a, b| a.min(b))
+                        );
+                        assert_eq!(
+                            max[lane],
+                            reference_fold(active, idx, data, lane, i32::MIN, |a, b| a.max(b))
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn native_conflict_free_subset_matches_portable() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xC0DE);
+            for _ in 0..500 {
+                let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(-3..5));
+                let active: u16 = rng.gen();
+                // SAFETY: guarded by `available()`.
+                let native = unsafe { conflict_free_subset_u16(active, idx) };
+                assert_eq!(native, reference_cfs(active, idx), "idx {idx:?} active {active:#06x}");
+            }
+        }
+
+        #[test]
+        fn isa_trait_subset_matches_raw_entry_point() {
+            use crate::arch::Isa;
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0x15A);
+            for _ in 0..200 {
+                let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(-3..5));
+                let active: u16 = rng.gen();
+                // SAFETY: guarded by `available()`.
+                let raw = unsafe { conflict_free_subset_u16(active, idx) };
+                // SAFETY: guarded by `available()`.
+                let via_trait = unsafe { Avx512::conflict_free_subset(u32::from(active), &idx) };
+                assert_eq!(u32::from(raw), via_trait);
+            }
+        }
+
+        #[test]
+        fn native_arr_fold_matches_per_component_single_folds() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1604);
+            for _ in 0..200 {
+                let idx: [i32; 16] = std::array::from_fn(|_| rng.gen_range(0..4));
+                let active: u16 = rng.gen();
+                let comps: [[f32; 16]; 3] =
+                    std::array::from_fn(|_| std::array::from_fn(|_| rng.gen_range(-50.0..50.0)));
+                let mut arr = comps;
+                // SAFETY: guarded by `available()`.
+                let (m_arr, d_arr) = unsafe { invec_add_arr_f32(active, idx, &mut arr) };
+                for (c, comp) in comps.iter().enumerate() {
+                    let mut single = *comp;
+                    // SAFETY: guarded by `available()`.
+                    let (m, d) = unsafe { invec_add_f32(active, idx, &mut single) };
+                    assert_eq!(m, m_arr);
+                    assert_eq!(d, d_arr);
+                    for lane in 0..16 {
+                        if m & (1 << lane) != 0 {
+                            assert_eq!(
+                                arr[c][lane].to_bits(),
+                                single[lane].to_bits(),
+                                "component {c} lane {lane}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn native_alg2_splits_first_and_second_occurrences() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            // Two identical groups of eight distinct lanes: the §3.4
+            // extreme case needs zero merge iterations.
+            let idx: [i32; 16] = std::array::from_fn(|i| (i % 8) as i32);
+            let mut data = [1.0f32; 16];
+            let mut aux = vec![0.0f32; 8];
+            let mut touched = Vec::new();
+            // SAFETY: guarded by `available()`.
+            let (mret1, d2) =
+                unsafe { alg2_add_f32(0xFFFF, idx, &mut data, &mut aux, &mut touched) };
+            assert_eq!(d2, 0);
+            assert_eq!(mret1, 0x00FF);
+            assert_eq!(touched.len(), 8);
+            assert_eq!(aux, vec![1.0; 8]);
+        }
+
+        #[test]
+        fn native_scatter_add_accumulates_distinct_lanes() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut base = vec![1.0f32; 32];
+            let idx: [i32; 16] = std::array::from_fn(|i| (i * 2) as i32);
+            let data: [f32; 16] = std::array::from_fn(|i| i as f32);
+            // SAFETY: indices in range and pairwise distinct; guarded above.
+            unsafe { scatter_add_f32(0b0000_0000_1010_0101, &mut base, idx, data) };
+            assert_eq!(base[0], 1.0 + 0.0);
+            assert_eq!(base[4], 1.0 + 2.0);
+            assert_eq!(base[10], 1.0 + 5.0);
+            assert_eq!(base[14], 1.0 + 7.0);
+            assert_eq!(base[2], 1.0, "unselected lane wrote");
+            assert_eq!(base[6], 1.0, "unselected lane wrote");
+        }
+
+        #[test]
+        fn native_plain_scatters_write_selected_lanes_only() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let mut base_f = vec![-1.0f32; 20];
+            let mut base_i = vec![-1i32; 20];
+            let idx: [i32; 16] = std::array::from_fn(|i| i as i32);
+            let df: [f32; 16] = std::array::from_fn(|i| i as f32);
+            let di: [i32; 16] = std::array::from_fn(|i| i as i32 * 10);
+            // SAFETY: indices in range and distinct; guarded above.
+            unsafe { scatter_f32(0x000F, &mut base_f, idx, df) };
+            unsafe { scatter_i32(0x000F, &mut base_i, idx, di) };
+            assert_eq!(&base_f[..5], &[0.0, 1.0, 2.0, 3.0, -1.0]);
+            assert_eq!(&base_i[..5], &[0, 10, 20, 30, -1]);
+        }
+
+        #[test]
+        fn native_gathers_match_scalar_when_available() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            let base_f: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+            let base_i: Vec<i32> = (0..64).map(|i| i * 3).collect();
+            let idx: [i32; 16] = std::array::from_fn(|i| ((i * 37) % 64) as i32);
+            // SAFETY: all indices in range; guarded by `available()`.
+            let gf = unsafe { gather_f32(&base_f, idx) };
+            let gi = unsafe { gather_i32(&base_i, idx) };
+            for lane in 0..16 {
+                assert_eq!(gf[lane], base_f[idx[lane] as usize]);
+                assert_eq!(gi[lane], base_i[idx[lane] as usize]);
+            }
+        }
+
+        #[test]
+        fn fused_accumulate_handles_masked_tails_and_depth() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            // 21 items: one full vector plus a 5-lane masked tail.
+            let idx: Vec<i32> = (0..21).map(|i| i % 3).collect();
+            let vals: Vec<f32> = (0..21).map(|i| i as f32).collect();
+            let mut target = vec![0.0f32; 3];
+            let mut depth = [0u64; 17];
+            // SAFETY: lengths match, indices all in range; guarded above.
+            let vectors = unsafe { accumulate_add_f32(&mut target, &idx, &vals, &mut depth) };
+            assert_eq!(vectors, 2);
+            assert_eq!(depth.iter().sum::<u64>(), 2);
+            let mut expect = vec![0.0f32; 3];
+            for (i, v) in idx.iter().zip(&vals) {
+                expect[*i as usize] += v;
+            }
+            // Per-bin sums of small integers are exact.
+            assert_eq!(target, expect);
+        }
+
+        #[test]
+        fn fused_min_max_drivers_match_scalar_reference() {
+            if !available() {
+                eprintln!("skipping: AVX-512 not available on this host");
+                return;
+            }
+            // Regression guard: the merge fold must seed with the operator
+            // identity, not the masked-load fill value 0 — a 0 seed corrupts
+            // min over positive values and max over negative values.
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xA1605);
+            for _ in 0..200 {
+                let n = rng.gen_range(0..80);
+                let idx: Vec<i32> = (0..n).map(|_| rng.gen_range(0..7)).collect();
+                let vf: Vec<f32> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+                let vi: Vec<i32> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+                let init_f: Vec<f32> = (0..7).map(|k| k as f32 - 3.0).collect();
+                let init_i: Vec<i32> = (0..7).map(|k| k - 3).collect();
+
+                macro_rules! check {
+                    ($f:ident, $init:expr, $vals:expr, $fold:expr) => {{
+                        let mut target = $init.clone();
+                        let mut depth = [0u64; 17];
+                        // SAFETY: lengths match, indices in range; guarded
+                        // by `available()`.
+                        unsafe { $f(&mut target, &idx, &$vals, &mut depth) };
+                        let mut expect = $init.clone();
+                        for (&i, &v) in idx.iter().zip(&$vals) {
+                            let slot = &mut expect[i as usize];
+                            *slot = $fold(*slot, v);
+                        }
+                        assert_eq!(target, expect, stringify!($f));
+                    }};
+                }
+                check!(accumulate_min_f32, init_f, vf, f32::min);
+                check!(accumulate_max_f32, init_f, vf, f32::max);
+                check!(accumulate_add_i32, init_i, vi, |a: i32, b: i32| a.wrapping_add(b));
+                check!(accumulate_min_i32, init_i, vi, |a: i32, b: i32| a.min(b));
+                check!(accumulate_max_i32, init_i, vi, |a: i32, b: i32| a.max(b));
+            }
+        }
+    }
+}

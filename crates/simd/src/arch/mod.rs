@@ -1,0 +1,185 @@
+//! Lane-generic ISA abstraction over the native backends.
+//!
+//! The portable model ([`SimdVec`](crate::SimdVec) + the `reduce_alg1` /
+//! `reduce_alg2` machinery in `invector-core`) defines the semantics of
+//! conflict-free accumulation at *any* lane count. Each native backend is a
+//! zero-sized type implementing [`Isa`]: a fixed lane width, a runtime
+//! availability probe, a conflict-free-subset primitive, and the fused
+//! whole-stream `accumulate_{add,min,max}_{f32,i32}` drivers. The backend
+//! dispatch layer in `invector-core` is generic over `I: Isa`, so adding an
+//! ISA means implementing this trait — nothing above it changes.
+//!
+//! Three backends exist today:
+//!
+//! | type       | lanes | conflict detection                                |
+//! |------------|-------|---------------------------------------------------|
+//! | [`Avx512`] | 16    | hardware `vpconflictd` + `vptestnmd`              |
+//! | [`Avx2`]   | 8     | emulated: broadcast/compare sweep (no `vpconflictd`) |
+//! | [`Neon`]   | 4     | emulated: three compare/mask steps                |
+//!
+//! Every type is defined on every compilation target; on the wrong
+//! architecture `available()` is a compile-time `false` and the `unsafe`
+//! entry points are `unreachable!()` stubs. This lets the dispatch layer
+//! compile unconditionally (one match over backends, no `#[cfg]` forests)
+//! while the availability gate keeps the stubs dead.
+//!
+//! Bitwise parity contract: each driver must agree **bit for bit** with the
+//! portable model *at its own lane width* — merge iterations fold conflict
+//! groups with the same sequential, identity-seeded, ascending scalar fold
+//! the portable `SimdVec::reduce` performs. `tests/native_differential.rs`
+//! enforces this for every backend available at runtime.
+
+pub mod avx2;
+pub mod avx512;
+pub mod neon;
+
+pub use avx2::Avx2;
+pub use avx512::Avx512;
+pub use neon::Neon;
+
+/// One native SIMD instruction set, as seen by the backend dispatch layer.
+///
+/// All methods are associated functions (the implementing types are
+/// zero-sized); masks are the low `LANES` bits of a `u32`, ascending
+/// lane order, matching [`Mask::bits`](crate::Mask::bits).
+///
+/// # Safety
+///
+/// Implementations promise that every `unsafe fn` below is sound to call
+/// whenever `available()` returned `true`, with the documented slice-length
+/// preconditions; and that results are bitwise identical to the portable
+/// model at `LANES` lanes (same conflict-free subset, same fold order, same
+/// depth accounting, same out-of-bounds panic behavior).
+pub unsafe trait Isa {
+    /// Stable lowercase backend name (`"avx512"`, `"avx2"`, `"neon"`).
+    const NAME: &'static str;
+
+    /// 32-bit lanes per vector.
+    const LANES: usize;
+
+    /// Index into [`count::BACKEND_NAMES`](crate::count::BACKEND_NAMES) for
+    /// the backend-labeled instruction/vector counter series.
+    const TAG: usize;
+
+    /// Modeled hardware instructions per conflict-free vector iteration,
+    /// used to keep per-ISA counter totals comparable with the portable
+    /// model's emulated counts. Merge iterations add the paper's `8` each
+    /// (charged separately by the dispatch layer from the depth histogram).
+    const MODEL_COST_PER_VECTOR: u64;
+
+    /// Does the running CPU support this ISA? Compile-time `false` on
+    /// foreign architectures; cached after the first probe.
+    fn available() -> bool;
+
+    /// Active lanes with no earlier active duplicate index.
+    ///
+    /// `idx.len()` must equal `LANES`; `active` uses the low `LANES` bits.
+    /// Pure lane-local computation: indices may be any `i32`, including
+    /// negative (no memory is touched).
+    ///
+    /// # Safety
+    ///
+    /// `available()` must have returned `true`.
+    unsafe fn conflict_free_subset(active: u32, idx: &[i32]) -> u32;
+
+    /// Fused whole-stream `target[idx[j]] += vals[j]` over `f32`.
+    ///
+    /// Records one depth bucket per vector (`depth[d] += 1`) and returns
+    /// the number of vector iterations (`⌈idx.len() / LANES⌉`).
+    ///
+    /// # Safety
+    ///
+    /// `available()` must have returned `true`; `idx.len() == vals.len()`;
+    /// `target.len() <= i32::MAX`. Out-of-range (including negative)
+    /// indices panic like the portable model before any lane of the
+    /// offending vector commits.
+    unsafe fn accumulate_add_f32(
+        target: &mut [f32],
+        idx: &[i32],
+        vals: &[f32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+
+    /// Fused whole-stream `f32` minimum; contract as [`Isa::accumulate_add_f32`].
+    ///
+    /// # Safety
+    ///
+    /// As [`Isa::accumulate_add_f32`].
+    unsafe fn accumulate_min_f32(
+        target: &mut [f32],
+        idx: &[i32],
+        vals: &[f32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+
+    /// Fused whole-stream `f32` maximum; contract as [`Isa::accumulate_add_f32`].
+    ///
+    /// # Safety
+    ///
+    /// As [`Isa::accumulate_add_f32`].
+    unsafe fn accumulate_max_f32(
+        target: &mut [f32],
+        idx: &[i32],
+        vals: &[f32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+
+    /// Fused whole-stream wrapping `i32` sum; contract as
+    /// [`Isa::accumulate_add_f32`].
+    ///
+    /// # Safety
+    ///
+    /// As [`Isa::accumulate_add_f32`].
+    unsafe fn accumulate_add_i32(
+        target: &mut [i32],
+        idx: &[i32],
+        vals: &[i32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+
+    /// Fused whole-stream `i32` minimum; contract as
+    /// [`Isa::accumulate_add_f32`].
+    ///
+    /// # Safety
+    ///
+    /// As [`Isa::accumulate_add_f32`].
+    unsafe fn accumulate_min_i32(
+        target: &mut [i32],
+        idx: &[i32],
+        vals: &[i32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+
+    /// Fused whole-stream `i32` maximum; contract as
+    /// [`Isa::accumulate_add_f32`].
+    ///
+    /// # Safety
+    ///
+    /// As [`Isa::accumulate_add_f32`].
+    unsafe fn accumulate_max_i32(
+        target: &mut [i32],
+        idx: &[i32],
+        vals: &[i32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+
+    /// Fused whole-stream `f32` summation via the paper's **Algorithm 2**
+    /// (aux-array realization, §3.4): per vector, first occurrences commit
+    /// to `target`, second occurrences accumulate into the `aux` shadow
+    /// (recording newly-touched slots in `touched`), and only
+    /// third-and-later occurrences pay merge iterations. The caller must
+    /// fold `aux` into `target` afterwards in `touched` order to match the
+    /// portable `AuxArray::merge_into`.
+    ///
+    /// # Safety
+    ///
+    /// As [`Isa::accumulate_add_f32`], plus `aux.len() == target.len()`.
+    unsafe fn accumulate_add_f32_alg2(
+        target: &mut [f32],
+        aux: &mut [f32],
+        touched: &mut Vec<i32>,
+        idx: &[i32],
+        vals: &[f32],
+        depth: &mut [u64; 17],
+    ) -> u64;
+}

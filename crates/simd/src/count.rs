@@ -30,6 +30,19 @@
 //! every fanned-out instruction twice — once on the worker that executed it
 //! and once on the caller it was re-charged to.
 //!
+//! # Backend-labeled series
+//!
+//! Native backends (AVX-512, AVX2, NEON) execute real hardware instructions
+//! the emulation counters never see, so the backend dispatch layer charges
+//! them *coarsely* — once per fused whole-stream call — into a second,
+//! process-global family of counters keyed by backend ([`tag`]):
+//! [`bump_backend`] records modeled instructions and vector iterations, and
+//! [`backend_instructions`]/[`backend_vectors`] read the cumulative totals.
+//! The portable path is charged under [`tag::PORTABLE`] with its measured
+//! emulated count, so per-ISA totals stay comparable. With the `obs` feature
+//! each series is exported as `invector_simd_instructions_{backend}_total`
+//! and `invector_simd_vectors_{backend}_total`.
+//!
 //! # Example
 //!
 //! ```
@@ -307,6 +320,132 @@ pub fn with<R>(f: impl FnOnce() -> R) -> (R, u64) {
     (result, read().wrapping_sub(before))
 }
 
+/// Stable indices for the backend-labeled counter series.
+///
+/// Each value doubles as the [`Isa::TAG`](crate::arch::Isa::TAG) of the
+/// corresponding backend and as the index into [`BACKEND_NAMES`].
+pub mod tag {
+    /// The portable software model (any lane width).
+    pub const PORTABLE: usize = 0;
+    /// The 16-lane AVX-512 backend.
+    pub const AVX512: usize = 1;
+    /// The 8-lane AVX2 backend.
+    pub const AVX2: usize = 2;
+    /// The 4-lane NEON backend.
+    pub const NEON: usize = 3;
+}
+
+/// Backend names for the labeled counter series, indexed by the constants
+/// in [`tag`].
+pub const BACKEND_NAMES: [&str; 4] = ["portable", "avx512", "avx2", "neon"];
+
+/// Backend-labeled counters: one pair of process-global atomics per backend,
+/// bumped once per fused whole-stream call (never per vector), so plain
+/// `fetch_add` contention is irrelevant.
+#[cfg(feature = "count")]
+mod backend_imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const N: usize = super::BACKEND_NAMES.len();
+    static INSTRUCTIONS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+    static VECTORS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+
+    /// Bridges the per-backend totals into the metric registry exactly once
+    /// per process, lazily on the first charge.
+    #[cfg(feature = "obs")]
+    fn register() {
+        static REGISTER: std::sync::Once = std::sync::Once::new();
+        REGISTER.call_once(|| {
+            let registry = invector_obs::Registry::global();
+            for (i, name) in super::BACKEND_NAMES.iter().enumerate() {
+                registry.register_collector(
+                    &format!("invector_simd_instructions_{name}_total"),
+                    "Modeled SIMD instructions charged to this backend by the \
+                     fused accumulate dispatch layer.",
+                    move || super::backend_instructions(i),
+                );
+                registry.register_collector(
+                    &format!("invector_simd_vectors_{name}_total"),
+                    "Vector iterations executed by this backend's fused \
+                     accumulate drivers.",
+                    move || super::backend_vectors(i),
+                );
+            }
+        });
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn register() {}
+
+    pub fn bump(backend: usize, instructions: u64, vectors: u64) {
+        register();
+        INSTRUCTIONS[backend].fetch_add(instructions, Ordering::Relaxed);
+        VECTORS[backend].fetch_add(vectors, Ordering::Relaxed);
+    }
+
+    pub fn instructions(backend: usize) -> u64 {
+        INSTRUCTIONS[backend].load(Ordering::Relaxed)
+    }
+
+    pub fn vectors(backend: usize) -> u64 {
+        VECTORS[backend].load(Ordering::Relaxed)
+    }
+}
+
+/// Backend-labeled counting compiled out with the `count` feature.
+#[cfg(not(feature = "count"))]
+mod backend_imp {
+    pub fn bump(_backend: usize, _instructions: u64, _vectors: u64) {}
+
+    pub fn instructions(_backend: usize) -> u64 {
+        0
+    }
+
+    pub fn vectors(_backend: usize) -> u64 {
+        0
+    }
+}
+
+/// Charges `instructions` modeled instruction units and `vectors` vector
+/// iterations to `backend` (an index from [`tag`]).
+///
+/// Called once per fused whole-stream driver run by the backend dispatch
+/// layer — native backends are charged `vectors · MODEL_COST_PER_VECTOR +
+/// 8 · merge_iterations` from their depth histogram, the portable path its
+/// measured emulated count. A no-op without the `count` feature.
+///
+/// # Panics
+///
+/// Panics if `backend` is not one of the [`tag`] constants.
+#[inline]
+pub fn bump_backend(backend: usize, instructions: u64, vectors: u64) {
+    assert!(backend < BACKEND_NAMES.len(), "unknown backend tag {backend}");
+    backend_imp::bump(backend, instructions, vectors);
+}
+
+/// Cumulative modeled instructions charged to `backend` via
+/// [`bump_backend`] since process start (`0` without the `count` feature).
+/// Never reset — this is the series the metric registry exports.
+///
+/// # Panics
+///
+/// Panics if `backend` is not one of the [`tag`] constants.
+pub fn backend_instructions(backend: usize) -> u64 {
+    assert!(backend < BACKEND_NAMES.len(), "unknown backend tag {backend}");
+    backend_imp::instructions(backend)
+}
+
+/// Cumulative vector iterations charged to `backend` via [`bump_backend`]
+/// since process start (`0` without the `count` feature).
+///
+/// # Panics
+///
+/// Panics if `backend` is not one of the [`tag`] constants.
+pub fn backend_vectors(backend: usize) -> u64 {
+    assert!(backend < BACKEND_NAMES.len(), "unknown backend tag {backend}");
+    backend_imp::vectors(backend)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +522,33 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    #[cfg(feature = "count")]
+    #[test]
+    fn backend_counters_accumulate_per_tag() {
+        let i0 = backend_instructions(tag::AVX2);
+        let v0 = backend_vectors(tag::AVX2);
+        let n0 = backend_instructions(tag::NEON);
+        bump_backend(tag::AVX2, 38, 1);
+        bump_backend(tag::AVX2, 76, 2);
+        assert_eq!(backend_instructions(tag::AVX2).wrapping_sub(i0), 114);
+        assert_eq!(backend_vectors(tag::AVX2).wrapping_sub(v0), 3);
+        assert_eq!(backend_instructions(tag::NEON), n0, "tags are independent");
+    }
+
+    #[cfg(not(feature = "count"))]
+    #[test]
+    fn backend_counters_read_zero_when_disabled() {
+        bump_backend(tag::AVX512, 10, 1);
+        assert_eq!(backend_instructions(tag::AVX512), 0);
+        assert_eq!(backend_vectors(tag::AVX512), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend tag")]
+    fn backend_counters_reject_unknown_tags() {
+        bump_backend(BACKEND_NAMES.len(), 1, 1);
     }
 
     #[cfg(all(feature = "count", feature = "obs"))]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arch;
 pub mod count;
 mod element;
 mod mask;
@@ -47,6 +48,7 @@ mod vector;
 
 mod conflict;
 
+pub use arch::{Avx2, Avx512, Isa, Neon};
 pub use conflict::{conflict_detect, conflict_free_subset, has_conflicts};
 pub use element::SimdElement;
 pub use mask::Mask;

@@ -52,6 +52,9 @@ pub enum Command {
         spec: RunSpec,
         /// Worker threads for the engine rows.
         threads: usize,
+        /// Backend request: `None` covers the host's full backend matrix,
+        /// a specific choice restricts the matrix to that request.
+        backend: Option<BackendChoice>,
         /// Enable runtime observability (as for [`Command::Run`]).
         obs: bool,
     },
@@ -104,7 +107,8 @@ COMMANDS:
                        euler | moldyn | agg; 'run --app serve' runs the
                        serving workload through the harness)
   run-all              every app x variant x backend, checked against the
-                       serial reference (smoke matrix)
+                       serial reference (smoke matrix); --backend restricts
+                       the matrix to one request
   serve                start the TCP update-stream service; with --smoke,
                        run a self-checking loopback workload and exit
   bench-serve          in-process serving throughput sweep over batch quanta
@@ -116,7 +120,8 @@ OPTIONS:
   --scale <s>          tiny | small | factor in (0, 1]     [small; run-all: tiny]
   --variant <v>        serial | tiled | grouped | masked | invec | all   [all]
   --threads <n>        worker threads                            [1]
-  --backend <b>        auto | portable | native                  [auto]
+  --backend <b>        auto | portable | native | avx512 | avx2 | neon
+                       (native = widest ISA the host supports)    [auto]
   --repeat <n>         timed repetitions per variant (best shown) [1]
   --dataset <name>     higgs-twitter | soc-Pokec | amazon0312
   --source <v>         source vertex for sssp/sswp/bfs           [0]
@@ -147,12 +152,7 @@ fn parse_dist(s: &str) -> Result<Distribution, String> {
 }
 
 fn parse_backend(s: &str) -> Result<BackendChoice, String> {
-    Ok(match s {
-        "auto" => BackendChoice::Auto,
-        "portable" => BackendChoice::Portable,
-        "native" => BackendChoice::Native,
-        other => return Err(format!("unknown backend '{other}' (auto | portable | native)")),
-    })
+    BackendChoice::parse(s)
 }
 
 /// `--key value` pairs in command order.
@@ -262,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             return Ok(Command::RunAll {
                 spec: build_spec(&opts, "tiny")?,
                 threads,
+                backend: get(&opts, "backend").map(parse_backend).transpose()?,
                 obs: get(&opts, "obs").is_some(),
             })
         }
@@ -357,7 +358,7 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Run { app, variants, spec, threads, backend, repeat, obs } => {
             run_app(&app, &variants, &spec, threads, backend, repeat, obs)?
         }
-        Command::RunAll { spec, threads, obs } => run_all(&spec, threads, obs)?,
+        Command::RunAll { spec, threads, backend, obs } => run_all(&spec, threads, backend, obs)?,
         Command::Metrics { addr } => run_metrics(&addr)?,
         Command::Serve { addr, spec, threads, backend, shards, quantum, smoke } => {
             run_serve(&addr, &spec, threads, backend, shards, quantum, smoke)?
@@ -370,7 +371,16 @@ pub fn run(command: Command) -> Result<(), String> {
 }
 
 fn run_info(scale: f64) {
-    println!("host AVX-512 (avx512f+cd): {}", invector_simd::native::available());
+    use invector_core::Backend;
+    println!("host SIMD backends (auto resolves to {}):", BackendChoice::Auto.resolve().name());
+    for b in Backend::ALL {
+        println!(
+            "  {:<9} {:>2} lanes  {}",
+            b.name(),
+            b.lanes(),
+            if b.available() { "available" } else { "not available on this host" }
+        );
+    }
     println!("\ndatasets at scale {scale}:");
     for d in invector_graph::datasets::all(scale) {
         println!(
@@ -453,11 +463,20 @@ fn run_app(
     Ok(())
 }
 
-fn run_all(spec: &RunSpec, threads: usize, obs: bool) -> Result<(), String> {
+fn run_all(
+    spec: &RunSpec,
+    threads: usize,
+    backend: Option<BackendChoice>,
+    obs: bool,
+) -> Result<(), String> {
     if obs {
         invector_obs::set_enabled(true);
     }
-    let report = driver::run_all(spec, threads);
+    let matrix = match backend {
+        None => driver::backend_matrix(),
+        Some(choice) => vec![choice],
+    };
+    let report = driver::run_all_matrix(spec, threads, &matrix);
     let mut current_app = "";
     for cell in &report.cells {
         if cell.app != current_app {
@@ -650,6 +669,7 @@ fn run_serve(
     println!("invector-serve listening on {}", server.local_addr());
     println!("  tables: counts (i32 add), mins (f32 min) x {} slots", spec.cardinality.max(1));
     println!("  shards {shards}, quantum {quantum}, threads {threads}");
+    println!("  backend {}", backend.resolve().name());
     println!("  stop with a Shutdown frame (protocol v{})", invector_serve::PROTOCOL_VERSION);
     server.join();
     Ok(())
@@ -670,7 +690,10 @@ fn serve_smoke(
     let config = serve_config(spec, threads, backend, shards, quantum);
     let server = Server::bind(config, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
     let addr = server.local_addr();
-    println!("serve smoke on {addr}: shards {shards}, quantum {quantum}, threads {threads}");
+    println!(
+        "serve smoke on {addr}: shards {shards}, quantum {quantum}, threads {threads}, backend {}",
+        backend.resolve().name()
+    );
 
     let (counts, mins) = serve_streams(spec);
     let (expect_counts, expect_mins) = serve_reference(&counts, &mins, cardinality);
@@ -753,9 +776,10 @@ fn run_bench_serve(
 ) -> Result<(), String> {
     let (counts, _) = serve_streams(spec);
     println!(
-        "bench-serve: {} updates, {} slots, shards {shards}, threads {threads}",
+        "bench-serve: {} updates, {} slots, shards {shards}, threads {threads}, backend {}",
         counts.len(),
-        spec.cardinality.max(1)
+        spec.cardinality.max(1),
+        backend.resolve().name()
     );
     println!("{:>8} {:>12} {:>12} {:>10}", "quantum", "elapsed_ms", "Mup/s", "slices");
     let mut baseline = None;
@@ -918,11 +942,20 @@ mod tests {
     fn run_all_defaults_to_tiny_and_accepts_threads() {
         assert_eq!(
             parse(&args("run-all")).unwrap(),
-            Command::RunAll { spec: RunSpec::tiny(), threads: 1, obs: false }
+            Command::RunAll { spec: RunSpec::tiny(), threads: 1, backend: None, obs: false }
         );
         assert_eq!(
             parse(&args("run-all --scale tiny --threads 2 --obs")).unwrap(),
-            Command::RunAll { spec: RunSpec::tiny(), threads: 2, obs: true }
+            Command::RunAll { spec: RunSpec::tiny(), threads: 2, backend: None, obs: true }
+        );
+        assert_eq!(
+            parse(&args("run-all --backend portable")).unwrap(),
+            Command::RunAll {
+                spec: RunSpec::tiny(),
+                threads: 1,
+                backend: Some(BackendChoice::Portable),
+                obs: false
+            }
         );
     }
 
@@ -1006,7 +1039,9 @@ mod tests {
         assert!(parse(&args("sssp --scale")).is_err());
         assert!(parse(&args("sssp extra")).is_err());
         assert!(parse(&args("sssp --threads 0")).is_err());
-        assert!(parse(&args("sssp --backend gpu")).is_err());
+        let err = parse(&args("sssp --backend gpu")).unwrap_err();
+        assert!(err.contains("valid values"), "backend error lists valid names: {err}");
+        assert!(err.contains("supported on this host"), "backend error lists host support: {err}");
         assert!(parse(&args("run")).is_err());
     }
 

@@ -1,15 +1,18 @@
-//! Differential tests: the native AVX-512 backend against the portable
-//! software model.
+//! Differential tests: every native backend against the portable software
+//! model.
 //!
 //! Two layers are exercised:
 //!
 //! 1. **Dispatch layer** (always compiled, every host): the `_with`
-//!    entry points called with an explicit [`Backend::Native`] must produce
-//!    results *bitwise identical* to the portable model — masks, conflict
-//!    depths, lane contents, accumulation targets, adaptive decisions, and
-//!    every reported statistic. On hosts without AVX-512F/CD the native
-//!    request falls back to portable and the comparisons hold trivially, so
-//!    the suite passes everywhere with zero failures.
+//!    entry points called with an explicit native [`Backend`] must produce
+//!    results *bitwise identical* to the portable model **at the backend's
+//!    lane width** — masks, conflict depths, lane contents, accumulation
+//!    targets, adaptive decisions, and every reported statistic. AVX-512 is
+//!    compared against the 16-lane portable model, AVX2 against 8 lanes,
+//!    NEON against 4. Backends the host lacks are skipped (the dispatch
+//!    comparison then holds trivially for the per-vector APIs, which fall
+//!    back to portable), so the suite passes everywhere with zero failures;
+//!    `available_backends_are_reported` logs what actually ran.
 //! 2. **Raw primitives** (`x86_64` only, skipped at runtime when the CPU
 //!    lacks AVX-512): every `unsafe` entry point of
 //!    `invector_simd::native` compared against its portable counterpart
@@ -24,9 +27,32 @@ use invector::core::invec::{
 };
 use invector::core::ops::{Max, Min, Sum};
 use invector::core::{
-    adaptive_accumulate_with, invec_accumulate, invec_accumulate_with, AdaptiveReducer, ReduceOp,
+    adaptive_accumulate_n, adaptive_accumulate_with, invec_accumulate, invec_accumulate_n,
+    invec_accumulate_with, AdaptiveReducer, ReduceOp,
 };
 use invector::simd::{native, I32x16, Mask16, SimdVec};
+
+/// The native backends this host can actually execute; unavailable ones are
+/// skipped (and logged by `available_backends_are_reported`).
+fn native_backends() -> Vec<Backend> {
+    [Backend::Avx512, Backend::Avx2, Backend::Neon].into_iter().filter(|b| b.available()).collect()
+}
+
+/// Not an assertion — a log line so CI output records which backends the
+/// differential suite exercised and which it skipped on this host.
+#[test]
+fn available_backends_are_reported() {
+    for b in [Backend::Avx512, Backend::Avx2, Backend::Neon] {
+        if b.available() {
+            eprintln!("differential suite: backend {} available, testing", b.name());
+        } else {
+            eprintln!(
+                "differential suite: backend {} unavailable on this host, skipping",
+                b.name()
+            );
+        }
+    }
+}
 
 /// A 16-lane index vector over a small domain (dense conflicts) plus an
 /// arbitrary active mask.
@@ -79,14 +105,15 @@ fn assert_f32_lanes_eq(a: &SimdVec<f32, 16>, b: &SimdVec<f32, 16>) {
     }
 }
 
-/// Portable vs explicit-native `reduce_alg1_with` on identical inputs.
+/// Portable vs explicit-AVX-512 `reduce_alg1_with` on identical inputs
+/// (the per-vector 16-lane API only accelerates under AVX-512).
 fn check_alg1_f32<Op: ReduceOp<f32>>(idx: [i32; 16], mask: u32, data: [f32; 16]) {
     let active = Mask16::from_bits(mask);
     let vidx = I32x16::from_array(idx);
     let mut portable = SimdVec::from_array(data);
     let mut nat = SimdVec::from_array(data);
     let (mp, dp) = reduce_alg1::<f32, Op, 16>(active, vidx, &mut portable);
-    let (mn, dn) = reduce_alg1_with::<f32, Op, 16>(Backend::Native, active, vidx, &mut nat);
+    let (mn, dn) = reduce_alg1_with::<f32, Op, 16>(Backend::Avx512, active, vidx, &mut nat);
     assert_eq!(mp.bits(), mn.bits(), "safe mask");
     assert_eq!(dp, dn, "conflict depth D1");
     assert_f32_lanes_eq(&portable, &nat);
@@ -98,7 +125,7 @@ fn check_alg1_i32<Op: ReduceOp<i32>>(idx: [i32; 16], mask: u32, data: [i32; 16])
     let mut portable = SimdVec::from_array(data);
     let mut nat = SimdVec::from_array(data);
     let (mp, dp) = reduce_alg1::<i32, Op, 16>(active, vidx, &mut portable);
-    let (mn, dn) = reduce_alg1_with::<i32, Op, 16>(Backend::Native, active, vidx, &mut nat);
+    let (mn, dn) = reduce_alg1_with::<i32, Op, 16>(Backend::Avx512, active, vidx, &mut nat);
     assert_eq!(mp.bits(), mn.bits(), "safe mask");
     assert_eq!(dp, dn, "conflict depth D1");
     for l in 0..16 {
@@ -106,29 +133,57 @@ fn check_alg1_i32<Op: ReduceOp<i32>>(idx: [i32; 16], mask: u32, data: [i32; 16])
     }
 }
 
-/// Portable vs explicit-native whole-stream accumulation (fused drivers).
-fn check_accumulate_f32<Op: ReduceOp<f32>>(items: &[(i32, i32)]) {
+/// Portable-at-matching-width vs native whole-stream accumulation (fused
+/// drivers): results *and statistics* are width-relative, so each backend
+/// compares against `invec_accumulate_n` at its own lane count.
+fn portable_reference_f32<Op: ReduceOp<f32>>(
+    lanes: usize,
+    target: &mut [f32],
+    idx: &[i32],
+    vals: &[f32],
+) -> invector::core::InvecStats {
+    match lanes {
+        4 => invec_accumulate_n::<f32, Op, 4>(target, idx, vals),
+        8 => invec_accumulate_n::<f32, Op, 8>(target, idx, vals),
+        _ => invec_accumulate_n::<f32, Op, 16>(target, idx, vals),
+    }
+}
+
+fn portable_reference_i32<Op: ReduceOp<i32>>(
+    lanes: usize,
+    target: &mut [i32],
+    idx: &[i32],
+    vals: &[i32],
+) -> invector::core::InvecStats {
+    match lanes {
+        4 => invec_accumulate_n::<i32, Op, 4>(target, idx, vals),
+        8 => invec_accumulate_n::<i32, Op, 8>(target, idx, vals),
+        _ => invec_accumulate_n::<i32, Op, 16>(target, idx, vals),
+    }
+}
+
+fn check_accumulate_f32<Op: ReduceOp<f32>>(backend: Backend, items: &[(i32, i32)]) {
     let idx: Vec<i32> = items.iter().map(|&(i, _)| i).collect();
     let vals: Vec<f32> = items.iter().map(|&(_, v)| v as f32 * 0.5).collect();
     let mut portable = init_f32(24);
     let mut nat = portable.clone();
-    let sp = invec_accumulate::<f32, Op>(&mut portable, &idx, &vals);
-    let sn = invec_accumulate_with::<f32, Op>(Backend::Native, &mut nat, &idx, &vals);
-    assert_eq!(sp, sn, "vector count / depth histogram");
+    let sp = portable_reference_f32::<Op>(backend.lanes(), &mut portable, &idx, &vals);
+    let sn = invec_accumulate_with::<f32, Op>(backend, &mut nat, &idx, &vals);
+    assert_eq!(sp, sn, "{}: vector count / depth histogram", backend.name());
     for (k, (a, b)) in portable.iter().zip(&nat).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "slot {k}");
+        assert_eq!(a.to_bits(), b.to_bits(), "{}: slot {k}", backend.name());
     }
 }
 
-fn check_accumulate_i32<Op: ReduceOp<i32>>(items: &[(i32, i32)]) {
+fn check_accumulate_i32<Op: ReduceOp<i32>>(backend: Backend, items: &[(i32, i32)]) {
     let idx: Vec<i32> = items.iter().map(|&(i, _)| i).collect();
     let vals: Vec<i32> = items.iter().map(|&(_, v)| v).collect();
     let mut portable = init_i32(24);
     let mut nat = portable.clone();
-    let sp = invec_accumulate::<i32, Op>(&mut portable, &idx, &vals);
-    let sn = invec_accumulate_with::<i32, Op>(Backend::Native, &mut nat, &idx, &vals);
-    assert_eq!(sp, sn, "vector count / depth histogram");
-    assert_eq!(portable, nat);
+    let sp = portable_reference_i32::<Op>(backend.lanes(), &mut portable, &idx, &vals);
+    let sn = invec_accumulate_with::<i32, Op>(backend, &mut nat, &idx, &vals);
+    assert_eq!(sp, sn, "{}: vector count / depth histogram", backend.name());
+    assert_eq!(portable, nat, "{}: target contents", backend.name());
 }
 
 proptest! {
@@ -171,7 +226,7 @@ proptest! {
         let mut nat = comps;
         let (mp, dp) = reduce_alg1_arr::<f32, Sum, 3, 16>(active, vidx, &mut portable);
         let (mn, dn) =
-            reduce_alg1_arr_with::<f32, Sum, 3, 16>(Backend::Native, active, vidx, &mut nat);
+            reduce_alg1_arr_with::<f32, Sum, 3, 16>(Backend::Avx512, active, vidx, &mut nat);
         prop_assert_eq!(mp.bits(), mn.bits());
         prop_assert_eq!(dp, dn);
         for c in 0..3 {
@@ -193,7 +248,7 @@ proptest! {
         let mut aux_n = AuxArray::<f32, Sum>::new(8);
         let (mp, dp) = reduce_alg2::<f32, Sum, 16>(active, vidx, &mut portable, &mut aux_p);
         let (mn, dn) =
-            reduce_alg2_with::<f32, Sum, 16>(Backend::Native, active, vidx, &mut nat, &mut aux_n);
+            reduce_alg2_with::<f32, Sum, 16>(Backend::Avx512, active, vidx, &mut nat, &mut aux_n);
         prop_assert_eq!(mp.bits(), mn.bits(), "main-target mask");
         prop_assert_eq!(dp, dn, "conflict depth D2");
         assert_f32_lanes_eq(&portable, &nat);
@@ -209,17 +264,52 @@ proptest! {
 
     #[test]
     fn fused_accumulate_dispatch_matches_portable_driver(items in stream()) {
-        check_accumulate_f32::<Sum>(&items);
-        check_accumulate_f32::<Min>(&items);
-        check_accumulate_f32::<Max>(&items);
-        check_accumulate_i32::<Sum>(&items);
-        check_accumulate_i32::<Min>(&items);
-        check_accumulate_i32::<Max>(&items);
+        for backend in native_backends() {
+            check_accumulate_f32::<Sum>(backend, &items);
+            check_accumulate_f32::<Min>(backend, &items);
+            check_accumulate_f32::<Max>(backend, &items);
+            check_accumulate_i32::<Sum>(backend, &items);
+            check_accumulate_i32::<Min>(backend, &items);
+            check_accumulate_i32::<Max>(backend, &items);
+        }
+    }
+
+    // Satellite: AVX2's *emulated* conflict detection (broadcast/compare
+    // sweep, no `vpconflictd`) must agree with the portable conflict model
+    // on adversarial duplicate-index streams — dense duplicates, negative
+    // indices, extreme values, any active mask.
+    #[test]
+    fn avx2_emulated_conflict_detection_matches_portable_model(
+        dense in prop::array::uniform16(-3..5i32),
+        extremes in 0u32..=0xFF,
+        mask in 0u32..=0xFF,
+    ) {
+        use invector::simd::{conflict_free_subset, Avx2, Isa, Mask};
+        if !Backend::Avx2.available() {
+            return Ok(()); // logged by available_backends_are_reported
+        }
+        // 8 lanes of dense duplicates and negatives, with extreme values
+        // (i32::MIN / i32::MAX — poison for sentinel-based emulations)
+        // injected per the `extremes` bitmask.
+        let idx: [i32; 8] = std::array::from_fn(|l| {
+            if extremes & (1 << l) != 0 {
+                if l % 2 == 0 { i32::MIN } else { i32::MAX }
+            } else {
+                dense[l]
+            }
+        });
+        // SAFETY: availability checked above; idx has exactly 8 lanes and
+        // the primitive touches no memory.
+        let got = unsafe { Avx2::conflict_free_subset(mask, &idx) };
+        let expect =
+            conflict_free_subset(Mask::<8>::from_bits(mask), SimdVec::<i32, 8>::from_array(idx));
+        prop_assert_eq!(got, expect.bits(), "idx {:?} mask {:#x}", idx, mask);
     }
 
     // Satellite: adaptive algorithm selection and its statistics are
-    // backend-invariant — the native paths report the same per-vector
-    // depths, so warm-up, the Alg1/Alg2 decision, and every histogram
+    // backend-invariant at matching lane width — each backend's adaptive
+    // loop reports the same per-vector depths as the portable model at
+    // that width, so warm-up, the Alg1/Alg2 decision, and every histogram
     // bucket must agree.
     #[test]
     fn adaptive_selection_and_stats_are_backend_invariant(
@@ -231,13 +321,19 @@ proptest! {
             .map(|&(i, _)| if dense { i % 3 } else { i })
             .collect();
         let vals: Vec<f32> = items.iter().map(|&(_, v)| v as f32 * 0.5).collect();
-        let mut tp = init_f32(24);
-        let mut tn = tp.clone();
-        let sp = adaptive_accumulate_with::<f32, Sum>(Backend::Portable, &mut tp, &idx, &vals);
-        let sn = adaptive_accumulate_with::<f32, Sum>(Backend::Native, &mut tn, &idx, &vals);
-        prop_assert_eq!(sp, sn, "vectors + depth histogram");
-        for (k, (a, b)) in tp.iter().zip(&tn).enumerate() {
-            prop_assert_eq!(a.to_bits(), b.to_bits(), "slot {}", k);
+        for backend in native_backends() {
+            let mut tp = init_f32(24);
+            let mut tn = tp.clone();
+            let sp = match backend.lanes() {
+                4 => adaptive_accumulate_n::<f32, Sum, 4>(&mut tp, &idx, &vals),
+                8 => adaptive_accumulate_n::<f32, Sum, 8>(&mut tp, &idx, &vals),
+                _ => adaptive_accumulate_n::<f32, Sum, 16>(&mut tp, &idx, &vals),
+            };
+            let sn = adaptive_accumulate_with::<f32, Sum>(backend, &mut tn, &idx, &vals);
+            prop_assert_eq!(sp, sn, "{}: vectors + depth histogram", backend.name());
+            for (k, (a, b)) in tp.iter().zip(&tn).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}: slot {}", backend.name(), k);
+            }
         }
     }
 
@@ -263,7 +359,7 @@ proptest! {
             let mut vp = vp0;
             let mut vn = vp0;
             let sp = rp.reduce_with(Backend::Portable, active, vidx, &mut vp);
-            let sn = rn.reduce_with(Backend::Native, active, vidx, &mut vn);
+            let sn = rn.reduce_with(Backend::Avx512, active, vidx, &mut vn);
             prop_assert_eq!(sp.bits(), sn.bits(), "safe mask");
             assert_f32_lanes_eq(&vp, &vn);
             prop_assert_eq!(rp.algorithm(), rn.algorithm(), "algorithm decision");
@@ -295,17 +391,27 @@ fn moldyn_forces_are_bitwise_identical_across_backends() {
     let m = fcc_lattice(3, 7);
     let pairs = build_pairs(&m, 3.0);
     let mut fp = Forces::zeroed(m.len());
-    let mut fn_ = Forces::zeroed(m.len());
     let mut dp = DepthHistogram::new();
-    let mut dn = DepthHistogram::new();
     forces_invec(Backend::Portable, &m, &pairs, 3.0, &mut fp, &mut dp);
-    forces_invec(Backend::Native, &m, &pairs, 3.0, &mut fn_, &mut dn);
-    assert_eq!(dp, dn, "depth histograms");
-    for (axis, (a, b)) in
-        [(&fp.fx, &fn_.fx), (&fp.fy, &fn_.fy), (&fp.fz, &fn_.fz)].into_iter().enumerate()
-    {
-        for (k, (x, y)) in a.iter().zip(b).enumerate() {
-            assert_eq!(x.to_bits(), y.to_bits(), "axis {axis} molecule {k}");
+    // The Moldyn kernel runs the per-vector 16-lane API, which accelerates
+    // under AVX-512 and runs portable under the narrower ISAs — bitwise
+    // parity must hold for every backend either way.
+    for backend in native_backends() {
+        let mut fn_ = Forces::zeroed(m.len());
+        let mut dn = DepthHistogram::new();
+        forces_invec(backend, &m, &pairs, 3.0, &mut fn_, &mut dn);
+        assert_eq!(dp, dn, "{}: depth histograms", backend.name());
+        for (axis, (a, b)) in
+            [(&fp.fx, &fn_.fx), (&fp.fy, &fn_.fy), (&fp.fz, &fn_.fz)].into_iter().enumerate()
+        {
+            for (k, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{}: axis {axis} molecule {k}",
+                    backend.name()
+                );
+            }
         }
     }
 }
