@@ -15,13 +15,14 @@
 //! Run: `cargo run --release -p invector-bench --bin serve_throughput
 //!       [--scale f | --full]`
 
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use invector_agg::dist::{self, Distribution};
 use invector_bench::arg_scale;
 use invector_core::BackendChoice;
 use invector_serve::{
-    LocalClient, OpKind, ServeClient, ServeConfig, ServerCore, TableSpec, Update,
+    LocalClient, OpKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec, TcpClient, Update,
 };
 
 /// Epoch quanta swept (updates per micro-batch slice).
@@ -80,7 +81,172 @@ fn main() {
         }
     }
 
-    print_json(scale, rows, cardinality, updates, &cells);
+    let sweep = connection_sweep(scale);
+
+    print_json(scale, rows, cardinality, updates, &cells, &sweep);
+}
+
+/// Client counts swept over real loopback TCP through the reactor front
+/// end. The per-connection-overhead curve this produces is the headline
+/// reactor result: `us_per_update` must stay flat (within 2x) from the
+/// low end to the high end.
+const CONN_COUNTS: [usize; 5] = [64, 128, 256, 512, 1024];
+/// Submission chunk for the connection sweep (updates per round trip).
+const CONN_CHUNK: usize = 256;
+/// Driver threads that multiplex the sweep's client connections.
+const DRIVERS: usize = 8;
+/// Slot count for the sweep's table.
+const SWEEP_SLOTS: usize = 4_096;
+
+/// Scrambled slot targets, deterministic in seq.
+fn update_at(seq: usize) -> Update {
+    Update::i32(
+        seq as u64,
+        ((seq.wrapping_mul(2_654_435_761)) % SWEEP_SLOTS) as u32,
+        (seq % 7) as i32 + 1,
+    )
+}
+
+/// One connection-sweep measurement.
+struct SweepPoint {
+    conns: usize,
+    /// Total updates in the fixed stream.
+    total: usize,
+    /// Connect + first-submit handshake time for the whole fleet.
+    setup_seconds: f64,
+    /// Steady-state submit→flush time for the fixed stream.
+    seconds: f64,
+    /// Snapshot checksum matched the in-process (blocking-path) reference.
+    checksum_ok: bool,
+}
+
+/// Fixed-total update stream pushed over 64..=1024 loopback connections:
+/// the stream is split into contiguous per-connection seq ranges (the
+/// reorder buffer merges them), so the folded table — and its checksum —
+/// must be bitwise identical to an in-process replay at every fleet size.
+fn connection_sweep(scale: f64) -> Vec<SweepPoint> {
+    let total = (((131_072.0 * scale) as usize).max(16_384)).next_multiple_of(1_024);
+    let config = || {
+        let mut c = ServeConfig::new(vec![TableSpec::i32("deg", OpKind::Add, SWEEP_SLOTS)]);
+        c.quantum = 4_096;
+        c.shards = 4;
+        c.queue_capacity = 32_768;
+        c.max_connections = 2_048;
+        c
+    };
+    // Blocking-path reference: same stream, seq order, in process.
+    let reference_sum = {
+        let core = ServerCore::new(config()).expect("sweep config");
+        let mut local = LocalClient::new(core);
+        let all: Vec<Update> = (0..total).map(update_at).collect();
+        local.submit_all(0, &all).expect("reference submit");
+        local.flush().expect("reference flush");
+        fnv64(&local.snapshot(0).expect("reference snapshot").bits())
+    };
+
+    let mut sweep = Vec::new();
+    for &conns in &CONN_COUNTS {
+        let mut best: Option<SweepPoint> = None;
+        for _ in 0..REPEATS {
+            let point = sweep_once(config(), conns, total, reference_sum);
+            if best.as_ref().is_none_or(|b| point.seconds < b.seconds) {
+                best = Some(point);
+            }
+        }
+        let point = best.expect("at least one repeat");
+        eprintln!(
+            "  sweep conns={conns:<5} setup {:>7.2} ms  stream {:>8.2} ms  \
+             {:>6.3} us/update  checksum {}",
+            point.setup_seconds * 1e3,
+            point.seconds * 1e3,
+            point.seconds * 1e6 / total as f64,
+            if point.checksum_ok { "ok" } else { "MISMATCH" },
+        );
+        sweep.push(point);
+    }
+    sweep
+}
+
+/// One timed sweep run: fresh server, `conns` live connections held open
+/// across `DRIVERS` threads, contiguous seq ranges per connection.
+fn sweep_once(config: ServeConfig, conns: usize, total: usize, reference_sum: u64) -> SweepPoint {
+    let server = Server::bind(config, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let per_conn = total / conns;
+    let drivers = DRIVERS.min(conns);
+
+    let connected = Arc::new(Barrier::new(drivers + 1));
+    let submitted = Arc::new(Barrier::new(drivers + 1));
+    let setup_start = Instant::now();
+    let handles: Vec<_> = (0..drivers)
+        .map(|d| {
+            let connected = Arc::clone(&connected);
+            let submitted = Arc::clone(&submitted);
+            std::thread::spawn(move || {
+                let per_driver = conns / drivers;
+                let mut clients: Vec<TcpClient> = (0..per_driver)
+                    .map(|_| {
+                        for _ in 0..200 {
+                            if let Ok(c) = TcpClient::connect(addr) {
+                                return c;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        panic!("could not connect to {addr}");
+                    })
+                    .collect();
+                connected.wait();
+                // Interleave chunk submission round-robin across this
+                // driver's connections so all `conns` sockets are active
+                // at once, not drained one after another.
+                let chunks_per_conn = per_conn.div_ceil(CONN_CHUNK);
+                for round in 0..chunks_per_conn {
+                    for (i, client) in clients.iter_mut().enumerate() {
+                        let conn = d * per_driver + i;
+                        let lo = conn * per_conn + round * CONN_CHUNK;
+                        let hi = (lo + CONN_CHUNK).min((conn + 1) * per_conn);
+                        let slice: Vec<Update> = (lo..hi).map(update_at).collect();
+                        client.submit_all(0, &slice).expect("sweep submit");
+                    }
+                }
+                submitted.wait();
+                // Hold every socket open until the coordinator has
+                // snapshotted: the server really serves `conns` live
+                // connections for the whole timed section.
+                submitted.wait();
+                drop(clients);
+            })
+        })
+        .collect();
+
+    connected.wait();
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    submitted.wait();
+    let mut coordinator = TcpClient::connect(addr).expect("coordinator connect");
+    coordinator.flush().expect("sweep flush");
+    let seconds = start.elapsed().as_secs_f64();
+    let snap = coordinator.snapshot(0).expect("sweep snapshot");
+    let checksum_ok = snap.watermark == total as u64 && fnv64(&snap.bits()) == reference_sum;
+    submitted.wait();
+    for h in handles {
+        h.join().expect("sweep driver");
+    }
+    server.shutdown();
+    server.join();
+    SweepPoint { conns, total, setup_seconds, seconds, checksum_ok }
+}
+
+/// FNV-1a over snapshot bit patterns: a compact bitwise-equality witness.
+fn fnv64(bits: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// One swept configuration, best of [`REPEATS`] timed runs (quantum-1
@@ -153,7 +319,14 @@ fn run_cell_once(
     Cell { backend: label, shards, quantum, seconds, slices: stats.slices, retries, obs }
 }
 
-fn print_json(scale: f64, rows: usize, cardinality: usize, updates: u64, cells: &[Cell]) {
+fn print_json(
+    scale: f64,
+    rows: usize,
+    cardinality: usize,
+    updates: u64,
+    cells: &[Cell],
+    sweep: &[SweepPoint],
+) {
     // Speedup baseline: quantum 1 on the same backend at the same shard
     // count — the unbatched degenerate case.
     let base = |c: &Cell| {
@@ -181,6 +354,22 @@ fn print_json(scale: f64, rows: usize, cardinality: usize, updates: u64, cells: 
         println!("      \"reject_retries\": {},", c.retries);
         println!("      \"speedup_vs_quantum1\": {:.3}", base(c) / c.seconds.max(1e-12));
         println!("    }}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    println!("  ],");
+    // Reactor front-end result: a fixed update stream over a growing fleet
+    // of live loopback connections. `us_per_update` flat across the sweep
+    // means per-connection overhead is constant-bounded — the event-driven
+    // front end does not pay per-thread costs per socket.
+    println!("  \"connection_sweep\": [");
+    for (i, p) in sweep.iter().enumerate() {
+        println!("    {{");
+        println!("      \"clients\": {},", p.conns);
+        println!("      \"stream_updates\": {},", p.total);
+        println!("      \"setup_ms\": {:.3},", p.setup_seconds * 1e3);
+        println!("      \"elapsed_ms\": {:.3},", p.seconds * 1e3);
+        println!("      \"us_per_update\": {:.4},", p.seconds * 1e6 / p.total as f64);
+        println!("      \"checksum_matches_blocking_path\": {}", p.checksum_ok);
+        println!("    }}{}", if i + 1 < sweep.len() { "," } else { "" });
     }
     println!("  ],");
     // Stats recording rides the sharded invector-obs registry: per-thread

@@ -139,8 +139,18 @@ impl ServeClient for LocalClient {
     }
 }
 
+/// How many reject-with-retry-after rounds [`TcpClient::submit`] absorbs
+/// internally before surfacing the rejection to the caller.
+const MAX_SUBMIT_ATTEMPTS: u32 = 8;
+
 /// TCP client: one connection, `Hello`-handshaken, synchronous
 /// request/reply.
+///
+/// `submit` honors the server's reject-with-retry-after contract itself:
+/// a rejected suffix is backed off and resubmitted up to
+/// [`MAX_SUBMIT_ATTEMPTS`] times before the caller ever sees a
+/// `Rejected` outcome, so transient backpressure never surfaces to every
+/// call site.
 #[derive(Debug)]
 pub struct TcpClient {
     reader: std::io::BufReader<TcpStream>,
@@ -148,6 +158,7 @@ pub struct TcpClient {
     shards: u16,
     quantum: u32,
     tables: Vec<TableSpec>,
+    backoffs: u64,
 }
 
 impl TcpClient {
@@ -162,7 +173,8 @@ impl TcpClient {
         let reader =
             std::io::BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
         let writer = std::io::BufWriter::new(stream);
-        let mut client = TcpClient { reader, writer, shards: 0, quantum: 0, tables: Vec::new() };
+        let mut client =
+            TcpClient { reader, writer, shards: 0, quantum: 0, tables: Vec::new(), backoffs: 0 };
         match client.round_trip(&Request::Hello { version: PROTOCOL_VERSION })? {
             Reply::Hello { version, shards, quantum, tables } => {
                 if version != PROTOCOL_VERSION {
@@ -195,6 +207,25 @@ impl TcpClient {
         self.shards
     }
 
+    /// Backoff rounds this client has absorbed across all submits.
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs
+    }
+
+    /// One wire round trip of an update batch, no retry.
+    fn submit_once(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String> {
+        match self.round_trip(&Request::Update { table, updates: updates.to_vec() })? {
+            Reply::Ack { accepted, watermark } => {
+                Ok(SubmitOutcome::Accepted { accepted, watermark })
+            }
+            Reply::Reject { accepted, retry_after_ms, reason } => {
+                Ok(SubmitOutcome::Rejected { accepted, retry_after_ms, reason })
+            }
+            Reply::Error(m) => Ok(SubmitOutcome::Failed(m)),
+            other => Err(format!("unexpected submit reply {other:?}")),
+        }
+    }
+
     fn round_trip(&mut self, request: &Request) -> Result<Reply, String> {
         write_frame(&mut self.writer, &request.encode()).map_err(|e| format!("send: {e}"))?;
         match read_frame(&mut self.reader) {
@@ -222,15 +253,33 @@ impl TcpClient {
 
 impl ServeClient for TcpClient {
     fn submit(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String> {
-        match self.round_trip(&Request::Update { table, updates: updates.to_vec() })? {
-            Reply::Ack { accepted, watermark } => {
-                Ok(SubmitOutcome::Accepted { accepted, watermark })
+        let mut rest = updates;
+        let mut total = 0u32;
+        let mut attempts = 0u32;
+        loop {
+            match self.submit_once(table, rest)? {
+                SubmitOutcome::Accepted { accepted, watermark } => {
+                    return Ok(SubmitOutcome::Accepted { accepted: total + accepted, watermark });
+                }
+                SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
+                    total += accepted;
+                    rest = &rest[accepted as usize..];
+                    attempts += 1;
+                    // A draining server never admits more; an exhausted
+                    // budget hands the remainder back to the caller.
+                    if reason == crate::protocol::RejectReason::Draining
+                        || attempts >= MAX_SUBMIT_ATTEMPTS
+                    {
+                        return Ok(SubmitOutcome::Rejected {
+                            accepted: total,
+                            retry_after_ms,
+                            reason,
+                        });
+                    }
+                    self.backoff(retry_after_ms);
+                }
+                SubmitOutcome::Failed(m) => return Ok(SubmitOutcome::Failed(m)),
             }
-            Reply::Reject { accepted, retry_after_ms, reason } => {
-                Ok(SubmitOutcome::Rejected { accepted, retry_after_ms, reason })
-            }
-            Reply::Error(m) => Ok(SubmitOutcome::Failed(m)),
-            other => Err(format!("unexpected submit reply {other:?}")),
         }
     }
 
@@ -279,6 +328,7 @@ impl ServeClient for TcpClient {
     }
 
     fn backoff(&mut self, retry_after_ms: u32) {
+        self.backoffs += 1;
         std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
     }
 }
@@ -345,6 +395,46 @@ mod tests {
         write_frame(&mut writer, &Request::Hello { version: 999 }.encode()).expect("send");
         let body = read_frame(&mut reader).expect("read").expect("reply");
         assert!(matches!(Reply::decode(&body).expect("decode"), Reply::Error(_)));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn tcp_client_absorbs_rejections_with_bounded_backoff() {
+        // Tiny single-shard queue: a batch larger than the queue must be
+        // rejected at least once, and the client must absorb the rejection
+        // internally (backing off and resubmitting the refused suffix)
+        // rather than surfacing it.
+        let mut config = ServeConfig::new(vec![TableSpec::i32("c", OpKind::Add, 16)]);
+        config.shards = 1;
+        config.queue_capacity = 8;
+        config.quantum = 4;
+        config.epoch_interval = Duration::from_millis(1);
+        let server = Server::bind(config, "127.0.0.1:0").expect("bind loopback");
+        let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+
+        let updates: Vec<Update> = (0..40).map(|i| Update::i32(i, (i % 16) as u32, 1)).collect();
+        // submit (not submit_all): the internal retry loop alone must land
+        // the whole batch, because the epoch thread keeps draining the
+        // queue between backoffs.
+        let outcome = tcp.submit(0, &updates).expect("submit");
+        match outcome {
+            SubmitOutcome::Accepted { accepted, .. } => assert_eq!(accepted, 40),
+            // An exhausted budget is allowed by the contract, but the
+            // accepted count must reflect every admitted prefix.
+            SubmitOutcome::Rejected { accepted, .. } => {
+                assert!(accepted < 40);
+                tcp.submit_all(0, &updates[accepted as usize..]).expect("residual");
+            }
+            SubmitOutcome::Failed(m) => panic!("submit failed: {m}"),
+        }
+        assert!(tcp.backoffs() > 0, "a 40-update batch through an 8-slot queue must back off");
+
+        tcp.flush().expect("flush");
+        let snap = tcp.snapshot(0).expect("snapshot");
+        assert_eq!(snap.watermark, 40, "no update lost across retries");
+        let TableData::I32(v) = &snap.data else { panic!("i32") };
+        assert_eq!(v.iter().sum::<i32>(), 40);
         server.shutdown();
         server.join();
     }

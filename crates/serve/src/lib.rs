@@ -57,11 +57,15 @@
 pub mod client;
 pub mod epoch;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod table;
 
 pub use client::{LocalClient, ServeClient, TcpClient};
 pub use epoch::{EpochReport, ReorderBuffer, ServeStats};
-pub use protocol::{RejectReason, StatsSummary, Update, PROTOCOL_VERSION};
+pub use protocol::{
+    RejectReason, RequestView, StatsSummary, Update, UpdatesView, PROTOCOL_VERSION,
+};
+pub use reactor::{ReactorKind, Ring};
 pub use server::{ServeConfig, Server, ServerCore, Snapshot, SubmitOutcome};
 pub use table::{OpKind, TableData, TableSpec, ValueKind};

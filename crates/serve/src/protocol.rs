@@ -314,6 +314,146 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// A borrowed view of an `Update` batch, straight over the wire bytes.
+///
+/// The reactor's zero-copy decode path hands the 16-byte-per-update
+/// payload region of an `Update` frame to admission without ever copying
+/// it into an intermediate `Vec<Update>`: each update is materialized
+/// lazily, one register-sized record at a time, as the admission loop
+/// walks the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdatesView<'a> {
+    bytes: &'a [u8],
+}
+
+/// Wire size of one encoded update (`seq:u64 idx:u32 bits:u32`).
+pub const UPDATE_WIRE_LEN: usize = 16;
+
+impl<'a> UpdatesView<'a> {
+    /// Wraps a payload region; `bytes.len()` must be a multiple of
+    /// [`UPDATE_WIRE_LEN`].
+    fn new(bytes: &'a [u8]) -> UpdatesView<'a> {
+        debug_assert_eq!(bytes.len() % UPDATE_WIRE_LEN, 0);
+        UpdatesView { bytes }
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / UPDATE_WIRE_LEN
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Materializes the `i`-th update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> Update {
+        let r = &self.bytes[i * UPDATE_WIRE_LEN..(i + 1) * UPDATE_WIRE_LEN];
+        Update {
+            seq: u64::from_le_bytes(r[0..8].try_into().expect("8 bytes")),
+            idx: u32::from_le_bytes(r[8..12].try_into().expect("4 bytes")),
+            bits: u32::from_le_bytes(r[12..16].try_into().expect("4 bytes")),
+        }
+    }
+
+    /// Iterates the batch in wire order, materializing lazily.
+    pub fn iter(&self) -> impl Iterator<Item = Update> + 'a {
+        let view = *self;
+        (0..view.len()).map(move |i| view.get(i))
+    }
+
+    /// Copies the batch into an owned vector (the non-zero-copy path).
+    pub fn to_vec(&self) -> Vec<Update> {
+        self.iter().collect()
+    }
+}
+
+/// A borrowed decode of one request frame body: the zero-copy twin of
+/// [`Request`]. Payload bytes of an `Update` batch are *not* copied out of
+/// `body`; everything else is register-sized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestView<'a> {
+    /// Version handshake.
+    Hello {
+        /// Client protocol version.
+        version: u16,
+    },
+    /// A batch of updates for one table, still in wire form.
+    Update {
+        /// Table id.
+        table: u16,
+        /// Borrowed update batch.
+        updates: UpdatesView<'a>,
+    },
+    /// Force a drain epoch.
+    Flush,
+    /// Request one table's values.
+    Snapshot {
+        /// Table id.
+        table: u16,
+    },
+    /// Request aggregate statistics.
+    Stats,
+    /// Drain everything and stop.
+    Shutdown,
+    /// Request the Prometheus exposition.
+    Metrics,
+}
+
+impl<'a> RequestView<'a> {
+    /// Parses one frame body without copying payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] on unknown opcodes, truncated
+    /// payloads, or trailing bytes.
+    pub fn decode(body: &'a [u8]) -> Result<RequestView<'a>, ProtoError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            0x01 => RequestView::Hello { version: c.u16()? },
+            0x02 => {
+                let table = c.u16()?;
+                let count = c.u32()? as usize;
+                if count > body.len() / UPDATE_WIRE_LEN + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "update count {count} exceeds frame size"
+                    )));
+                }
+                let payload = c.take(count * UPDATE_WIRE_LEN)?;
+                RequestView::Update { table, updates: UpdatesView::new(payload) }
+            }
+            0x03 => RequestView::Flush,
+            0x04 => RequestView::Snapshot { table: c.u16()? },
+            0x05 => RequestView::Stats,
+            0x06 => RequestView::Shutdown,
+            0x07 => RequestView::Metrics,
+            op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+
+    /// Materializes the borrowed view into an owned [`Request`].
+    pub fn to_owned(&self) -> Request {
+        match *self {
+            RequestView::Hello { version } => Request::Hello { version },
+            RequestView::Update { table, updates } => {
+                Request::Update { table, updates: updates.to_vec() }
+            }
+            RequestView::Flush => Request::Flush,
+            RequestView::Snapshot { table } => Request::Snapshot { table },
+            RequestView::Stats => Request::Stats,
+            RequestView::Shutdown => Request::Shutdown,
+            RequestView::Metrics => Request::Metrics,
+        }
+    }
+}
+
 impl Request {
     /// Serializes the request as one frame body (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -346,39 +486,15 @@ impl Request {
         out
     }
 
-    /// Parses one frame body.
+    /// Parses one frame body (by materializing the borrowing decode, so
+    /// the owned and zero-copy paths cannot drift apart).
     ///
     /// # Errors
     ///
     /// Returns [`ProtoError::Malformed`] on unknown opcodes, truncated
     /// payloads, or trailing bytes.
     pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
-        let mut c = Cursor::new(body);
-        let req = match c.u8()? {
-            0x01 => Request::Hello { version: c.u16()? },
-            0x02 => {
-                let table = c.u16()?;
-                let count = c.u32()? as usize;
-                if count > body.len() / 16 + 1 {
-                    return Err(ProtoError::Malformed(format!(
-                        "update count {count} exceeds frame size"
-                    )));
-                }
-                let mut updates = Vec::with_capacity(count);
-                for _ in 0..count {
-                    updates.push(Update { seq: c.u64()?, idx: c.u32()?, bits: c.u32()? });
-                }
-                Request::Update { table, updates }
-            }
-            0x03 => Request::Flush,
-            0x04 => Request::Snapshot { table: c.u16()? },
-            0x05 => Request::Stats,
-            0x06 => Request::Shutdown,
-            0x07 => Request::Metrics,
-            op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
-        };
-        c.finish()?;
-        Ok(req)
+        RequestView::decode(body).map(|v| v.to_owned())
     }
 }
 

@@ -8,12 +8,13 @@
 //! [`snapshot`](ServerCore::snapshot)), so behavior over the wire and in
 //! process is identical by construction.
 //!
-//! [`Server`] wraps a core with a `TcpListener` accept loop and a
-//! background epoch thread cutting batches on a timer (or as soon as a
-//! full quantum is queued).
+//! [`Server`] wraps a core with the readiness-based reactor front end
+//! ([`crate::reactor`]: nonblocking listener, a small fixed set of I/O
+//! threads, zero-copy frame decode) and a background epoch thread cutting
+//! batches on a timer (or as soon as a full quantum is queued).
 
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -24,10 +25,8 @@ use invector_core::BackendChoice;
 use invector_obs::Registry;
 
 use crate::epoch::{EpochReport, ServeStats};
-use crate::protocol::{
-    read_frame, write_frame, ProtoError, RejectReason, Reply, Request, StatsSummary, Update,
-    PROTOCOL_VERSION,
-};
+use crate::protocol::{RejectReason, StatsSummary, Update, UpdatesView};
+use crate::reactor::{self, ReactorKind};
 use crate::table::{TableData, TableSpec, TableState};
 
 /// Server configuration: the resident tables plus sizing/batching knobs.
@@ -57,6 +56,21 @@ pub struct ServeConfig {
     pub epoch_interval: Duration,
     /// Backoff suggested to rejected clients.
     pub retry_after_ms: u32,
+    /// Reactor I/O threads multiplexing every TCP connection.
+    pub io_threads: usize,
+    /// Open-connection ceiling; accepts beyond it are refused (and
+    /// counted) rather than queued.
+    pub max_connections: usize,
+    /// Per-readiness-event socket read budget per connection (bytes); also
+    /// sizes read-ring growth. Bounds how long one chatty connection can
+    /// monopolize an I/O thread.
+    pub read_buffer_cap: usize,
+    /// Write-ring backpressure cap (bytes): past this, the reactor stops
+    /// reading from the connection until its replies drain — a slow reader
+    /// cannot balloon server memory.
+    pub write_buffer_cap: usize,
+    /// Readiness backend (`auto` picks epoll on Linux).
+    pub reactor: ReactorKind,
 }
 
 impl ServeConfig {
@@ -72,6 +86,11 @@ impl ServeConfig {
             backend: BackendChoice::Auto,
             epoch_interval: Duration::from_millis(1),
             retry_after_ms: 2,
+            io_threads: 2,
+            max_connections: 4096,
+            read_buffer_cap: 64 << 10,
+            write_buffer_cap: 256 << 10,
+            reactor: ReactorKind::Auto,
         }
     }
 
@@ -102,6 +121,12 @@ impl ServeConfig {
         }
         if self.window == 0 {
             return Err("reorder window must be >= 1".into());
+        }
+        if self.io_threads == 0 || self.max_connections == 0 {
+            return Err("io_threads and max_connections must be >= 1".into());
+        }
+        if self.read_buffer_cap < 1024 || self.write_buffer_cap < 1024 {
+            return Err("read/write buffer caps must be >= 1 KiB".into());
         }
         Ok(())
     }
@@ -254,6 +279,27 @@ impl ServerCore {
     /// the batch, returning how many were admitted. Nothing is ever
     /// silently dropped — a refused update is the client's to retry.
     pub fn submit(&self, table: u16, updates: &[Update]) -> SubmitOutcome {
+        self.submit_stream(table, updates.len(), updates.iter().copied())
+    }
+
+    /// Admits a borrowed wire-format batch — the reactor's zero-copy path.
+    ///
+    /// Each update is materialized from the frame bytes one record at a
+    /// time as the admission loop reaches it; the batch never exists as an
+    /// intermediate `Vec<Update>`. Semantics are identical to
+    /// [`submit`](ServerCore::submit) by construction (both are the same
+    /// streaming loop).
+    pub fn submit_view(&self, table: u16, updates: &UpdatesView<'_>) -> SubmitOutcome {
+        self.submit_stream(table, updates.len(), updates.iter())
+    }
+
+    /// The shared all-or-prefix admission loop over any update stream.
+    fn submit_stream(
+        &self,
+        table: u16,
+        total: usize,
+        updates: impl Iterator<Item = Update>,
+    ) -> SubmitOutcome {
         if table as usize >= self.tables.len() {
             return SubmitOutcome::Failed(format!(
                 "unknown table {table} ({} registered)",
@@ -264,10 +310,10 @@ impl ServerCore {
         let mut accepted = 0u32;
         for u in updates {
             if self.draining.load(Ordering::Acquire) {
-                return self.reject(table, accepted, updates.len(), RejectReason::Draining);
+                return self.reject(table, accepted, total, RejectReason::Draining);
             }
             if (u.idx as usize) >= spec.len {
-                self.stats.record_rejects((updates.len() - accepted as usize) as u64);
+                self.stats.record_rejects((total - accepted as usize) as u64);
                 return SubmitOutcome::Failed(format!(
                     "index {} out of range for table '{}' ({} slots); {} admitted",
                     u.idx, spec.name, spec.len, accepted
@@ -275,16 +321,16 @@ impl ServerCore {
             }
             let watermark = self.watermarks[table as usize].load(Ordering::Acquire);
             if u.seq >= watermark.saturating_add(self.config.window) {
-                return self.reject(table, accepted, updates.len(), RejectReason::WindowExceeded);
+                return self.reject(table, accepted, total, RejectReason::WindowExceeded);
             }
             let shard = self.shard_of(table, u.idx);
             {
                 let mut q = self.shards[shard].lock().expect("shard lock");
                 if q.len() >= self.config.queue_capacity {
                     drop(q);
-                    return self.reject(table, accepted, updates.len(), RejectReason::QueueFull);
+                    return self.reject(table, accepted, total, RejectReason::QueueFull);
                 }
-                q.push_back(Staged { table, update: *u });
+                q.push_back(Staged { table, update: u });
             }
             accepted += 1;
             self.queued.fetch_add(1, Ordering::AcqRel);
@@ -450,8 +496,8 @@ impl ServerCore {
     }
 }
 
-/// A live TCP server: a [`ServerCore`] plus an accept loop and a
-/// background epoch thread.
+/// A live TCP server: a [`ServerCore`] plus the readiness-based reactor
+/// ([`crate::reactor`]) and a background epoch thread.
 #[derive(Debug)]
 pub struct Server {
     core: Arc<ServerCore>,
@@ -462,7 +508,7 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// the accept loop and the epoch thread.
+    /// the reactor I/O threads and the epoch thread.
     ///
     /// # Errors
     ///
@@ -474,44 +520,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
 
-        let accept_core = Arc::clone(&core);
-        let accept_stop = Arc::clone(&stop);
-        let accept = std::thread::Builder::new()
-            .name("invector-serve-accept".into())
-            .spawn(move || {
-                let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-                while !accept_stop.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let core = Arc::clone(&accept_core);
-                            let stop = Arc::clone(&accept_stop);
-                            conns.push(
-                                std::thread::Builder::new()
-                                    .name("invector-serve-conn".into())
-                                    .spawn(move || handle_connection(stream, &core, &stop))
-                                    .expect("spawn connection thread"),
-                            );
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => break,
-                    }
-                    conns.retain(|h| !h.is_finished());
-                }
-                for h in conns {
-                    let _ = h.join();
-                }
-            })
-            .expect("spawn accept thread");
+        let mut threads = reactor::spawn(Arc::clone(&core), listener, Arc::clone(&stop))?;
 
         let epoch_core = Arc::clone(&core);
         let epoch = std::thread::Builder::new()
             .name("invector-serve-epoch".into())
             .spawn(move || epoch_core.epoch_loop())
             .expect("spawn epoch thread");
+        threads.push(epoch);
 
-        Ok(Server { core, addr, stop, threads: vec![accept, epoch] })
+        Ok(Server { core, addr, stop, threads })
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -538,91 +556,6 @@ impl Server {
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
-    }
-}
-
-/// Serves one TCP connection: a `Hello` handshake, then request frames
-/// until EOF or `Shutdown`.
-fn handle_connection(stream: TcpStream, core: &ServerCore, stop: &AtomicBool) {
-    let _ = stream.set_nodelay(true);
-    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
-    let mut writer = std::io::BufWriter::new(stream);
-
-    // Handshake.
-    match read_request(&mut reader) {
-        Ok(Some(Request::Hello { version })) if version == PROTOCOL_VERSION => {
-            let reply = Reply::Hello {
-                version: PROTOCOL_VERSION,
-                shards: core.config().shards as u16,
-                quantum: core.config().quantum as u32,
-                tables: core.config().tables.clone(),
-            };
-            if write_frame(&mut writer, &reply.encode()).is_err() {
-                return;
-            }
-        }
-        Ok(Some(Request::Hello { version })) => {
-            let reply = Reply::Error(format!("protocol version {version} != {PROTOCOL_VERSION}"));
-            let _ = write_frame(&mut writer, &reply.encode());
-            return;
-        }
-        _ => {
-            let _ = write_frame(&mut writer, &Reply::Error("expected Hello".into()).encode());
-            return;
-        }
-    }
-
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return,
-            Err(ProtoError::Malformed(m)) => {
-                let _ = write_frame(&mut writer, &Reply::Error(m).encode());
-                return;
-            }
-            Err(ProtoError::Io(_)) => return,
-        };
-        let reply = match request {
-            Request::Hello { .. } => Reply::Error("already said hello".into()),
-            Request::Update { table, updates } => match core.submit(table, &updates) {
-                SubmitOutcome::Accepted { accepted, watermark } => {
-                    Reply::Ack { accepted, watermark }
-                }
-                SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
-                    Reply::Reject { accepted, retry_after_ms, reason }
-                }
-                SubmitOutcome::Failed(m) => Reply::Error(m),
-            },
-            Request::Flush => {
-                let report = core.flush();
-                Reply::Ack {
-                    accepted: report.applied as u32,
-                    watermark: core.watermarks().iter().sum(),
-                }
-            }
-            Request::Snapshot { table } => match core.snapshot(table) {
-                Ok(s) => Reply::Snapshot { table, watermark: s.watermark, values: s.bits() },
-                Err(m) => Reply::Error(m),
-            },
-            Request::Stats => Reply::Stats(core.stats_summary()),
-            Request::Metrics => Reply::Metrics(core.metrics_text()),
-            Request::Shutdown => {
-                let watermarks = core.begin_shutdown();
-                let _ = write_frame(&mut writer, &Reply::Bye { watermarks }.encode());
-                stop.store(true, Ordering::Release);
-                return;
-            }
-        };
-        if write_frame(&mut writer, &reply.encode()).is_err() {
-            return;
-        }
-    }
-}
-
-fn read_request(r: &mut impl std::io::Read) -> Result<Option<Request>, ProtoError> {
-    match read_frame(r)? {
-        None => Ok(None),
-        Some(body) => Request::decode(&body).map(Some),
     }
 }
 

@@ -10,8 +10,10 @@ use std::net::TcpStream;
 
 use proptest::prelude::*;
 
-use invector_serve::protocol::{read_frame, write_frame, Reply, Request, StatsSummary, Update};
-use invector_serve::{OpKind, RejectReason, ServeConfig, Server, TableSpec, ValueKind};
+use invector_serve::protocol::{
+    read_frame, write_frame, Reply, Request, RequestView, StatsSummary, Update,
+};
+use invector_serve::{OpKind, RejectReason, Ring, ServeConfig, Server, TableSpec, ValueKind};
 
 fn arb_update() -> impl Strategy<Value = Update> {
     (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(seq, idx, bits)| Update {
@@ -169,6 +171,135 @@ proptest! {
         let pos = pos % body.len();
         body[pos] ^= flip;
         let _ = Request::decode(&body);
+    }
+
+    /// The zero-copy decoder agrees with the owned decoder on every valid
+    /// frame, and its lazy per-update materialization reads the same
+    /// records in the same order.
+    #[test]
+    fn borrowed_and_owned_decodes_agree(request in arb_request()) {
+        let body = request.encode();
+        let view = RequestView::decode(&body).expect("valid frame");
+        prop_assert_eq!(view.to_owned(), Request::decode(&body).unwrap());
+        if let RequestView::Update { updates, .. } = view {
+            let materialized: Vec<Update> = updates.iter().collect();
+            prop_assert_eq!(materialized.len(), updates.len());
+            for (i, u) in materialized.iter().enumerate() {
+                prop_assert_eq!(*u, updates.get(i));
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the borrowing decoder either.
+    #[test]
+    fn borrowing_decoder_never_panics_on_arbitrary_bytes(
+        body in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = RequestView::decode(&body);
+    }
+
+    /// A multi-frame stream delivered to the ring in arbitrary read-sized
+    /// chunks, at an arbitrary head rotation, decodes to exactly the
+    /// original request sequence — no matter where the reads split the
+    /// length prefixes or bodies, and no matter where the frames wrap the
+    /// ring's physical edge.
+    #[test]
+    fn chunked_multi_frame_streams_decode_identically(
+        requests in prop::collection::vec(arb_request(), 1..6),
+        chunks in prop::collection::vec(1usize..48, 1..80),
+        rot in 0usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for r in &requests {
+            let body = r.encode();
+            wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&body);
+        }
+        // Small ring + head rotation: most deliveries wrap or grow.
+        let mut ring = Ring::with_capacity(64);
+        ring.push(&vec![0xAAu8; rot]);
+        ring.consume(rot);
+        let mut scratch = Vec::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        let mut chunk_i = 0;
+        while pos < wire.len() {
+            let n = chunks[chunk_i % chunks.len()].min(wire.len() - pos);
+            chunk_i += 1;
+            ring.push(&wire[pos..pos + n]);
+            pos += n;
+            while let Some(frame) = ring.pop_frame(&mut scratch).expect("well-formed stream") {
+                decoded.push(RequestView::decode(frame).expect("valid frame").to_owned());
+            }
+        }
+        prop_assert_eq!(decoded, requests);
+        prop_assert!(ring.is_empty(), "no residue after the last frame");
+    }
+}
+
+/// Exhaustive split/wrap sweep: one frame, split at *every* byte boundary,
+/// at *every* head rotation of a small ring. Covers the length prefix
+/// splitting across reads, the body splitting across reads, and both of
+/// them wrapping the ring's physical edge (the scratch-spill path of
+/// `pop_frame`).
+#[test]
+fn every_split_and_wrap_boundary_decodes_identically() {
+    let updates: Vec<Update> =
+        (0..2).map(|i| Update { seq: i, idx: i as u32, bits: 0xA5A5_0000 | i as u32 }).collect();
+    let request = Request::Update { table: 7, updates };
+    let body = request.encode();
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    assert!(wire.len() < 64, "frame must fit the ring so rotations wrap instead of growing");
+
+    for rot in 0..64 {
+        for cut in 0..=wire.len() {
+            let mut ring = Ring::with_capacity(64);
+            ring.push(&vec![0u8; rot]);
+            ring.consume(rot);
+            let mut scratch = Vec::new();
+            ring.push(&wire[..cut]);
+            if cut < wire.len() {
+                assert!(
+                    ring.pop_frame(&mut scratch).expect("clean").is_none(),
+                    "partial frame (rot {rot}, cut {cut}) must wait for completion"
+                );
+            }
+            ring.push(&wire[cut..]);
+            let frame = ring.pop_frame(&mut scratch).expect("clean").expect("complete");
+            let view = RequestView::decode(frame).expect("valid frame");
+            assert_eq!(view.to_owned(), request, "rot {rot}, cut {cut}");
+            assert!(ring.pop_frame(&mut scratch).expect("clean").is_none());
+        }
+    }
+}
+
+/// The same sweep for a frame larger than the initial ring capacity: every
+/// split point forces a mid-frame growth (which linearizes the buffer), and
+/// the decode must still come back byte-identical.
+#[test]
+fn growth_at_every_split_boundary_decodes_identically() {
+    let updates: Vec<Update> =
+        (0..24).map(|i| Update { seq: i, idx: i as u32, bits: !(i as u32) }).collect();
+    let request = Request::Update { table: 1, updates };
+    let body = request.encode();
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+    assert!(wire.len() > 64, "frame must overflow the initial ring");
+
+    for cut in 0..=wire.len() {
+        let mut ring = Ring::with_capacity(64);
+        // Rotate into the upper half so early pushes wrap before growing.
+        ring.push(&[0u8; 48]);
+        ring.consume(48);
+        let mut scratch = Vec::new();
+        ring.push(&wire[..cut]);
+        if cut < wire.len() {
+            assert!(ring.pop_frame(&mut scratch).expect("clean").is_none());
+        }
+        ring.push(&wire[cut..]);
+        let frame = ring.pop_frame(&mut scratch).expect("clean").expect("complete");
+        assert_eq!(RequestView::decode(frame).expect("valid").to_owned(), request, "cut {cut}");
     }
 }
 

@@ -12,8 +12,20 @@ use invector_core::BackendChoice;
 use invector_harness::{driver, registry, RunRecord, RunSpec};
 use invector_kernels::{ExecPolicy, Variant};
 use invector_serve::{
-    LocalClient, OpKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec, TcpClient, Update,
+    LocalClient, OpKind, ReactorKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec,
+    TcpClient, Update,
 };
+
+/// Reactor front-end knobs shared by `serve` and `bench-serve`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetOpts {
+    /// Reactor I/O threads.
+    pub io_threads: usize,
+    /// Concurrent-connection cap.
+    pub max_conns: usize,
+    /// Readiness backend selection.
+    pub reactor: ReactorKind,
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,8 +89,12 @@ pub enum Command {
         shards: usize,
         /// Epoch batch quantum.
         quantum: usize,
+        /// Reactor front-end knobs.
+        net: NetOpts,
         /// Run the self-checking loopback smoke instead of serving.
         smoke: bool,
+        /// Concurrent TCP clients the smoke drives.
+        clients: usize,
     },
     /// In-process serving throughput sweep over batch quanta.
     BenchServe {
@@ -90,6 +106,8 @@ pub enum Command {
         backend: BackendChoice,
         /// Ingest shard count.
         shards: usize,
+        /// Reactor front-end knobs (carried into the serve config).
+        net: NetOpts,
     },
 }
 
@@ -139,7 +157,11 @@ SERVING OPTIONS (serve / bench-serve / metrics):
   --addr <host:port>   listen / scrape address          [127.0.0.1:7411]
   --shards <n>         ingest shard count                        [4]
   --quantum <n>        epoch batch quantum                       [4096]
+  --io-threads <n>     reactor I/O event-loop threads            [2]
+  --max-conns <n>      concurrent connection cap                 [4096]
+  --reactor <r>        auto | epoll | poll                       [auto]
   --smoke              serve: loopback self-check, then exit
+  --clients <n>        serve --smoke: racing TCP clients         [2]
 ";
 
 fn parse_dist(s: &str) -> Result<Distribution, String> {
@@ -216,7 +238,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         opts.push((key.to_string(), value.clone()));
         i += 2;
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 23] = [
         "app",
         "dataset",
         "variant",
@@ -234,7 +256,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "addr",
         "shards",
         "quantum",
+        "io-threads",
+        "max-conns",
+        "reactor",
         "smoke",
+        "clients",
         "obs",
     ];
     if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
@@ -250,6 +276,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    let io_threads = lookup(&opts, "io-threads", 2)?;
+    if io_threads == 0 {
+        return Err("--io-threads must be at least 1".into());
+    }
+    let max_conns = lookup(&opts, "max-conns", 4096)?;
+    if max_conns == 0 {
+        return Err("--max-conns must be at least 1".into());
+    }
+    let reactor: ReactorKind = get(&opts, "reactor").unwrap_or("auto").parse()?;
+    let net = NetOpts { io_threads, max_conns, reactor };
 
     let app = match command.as_str() {
         "help" | "--help" | "-h" => return Ok(Command::Help),
@@ -279,6 +315,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if quantum == 0 {
                 return Err("--quantum must be at least 1".into());
             }
+            let clients = lookup(&opts, "clients", 2)?;
+            if clients == 0 {
+                return Err("--clients must be at least 1".into());
+            }
             return Ok(Command::Serve {
                 addr: get(&opts, "addr").unwrap_or("127.0.0.1:7411").to_string(),
                 spec: build_spec(&opts, "tiny")?,
@@ -286,7 +326,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 backend,
                 shards,
                 quantum,
+                net,
                 smoke: get(&opts, "smoke").is_some(),
+                clients,
             });
         }
         "bench-serve" => {
@@ -295,6 +337,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 threads,
                 backend,
                 shards,
+                net,
             });
         }
         "run" => get(&opts, "app")
@@ -360,11 +403,11 @@ pub fn run(command: Command) -> Result<(), String> {
         }
         Command::RunAll { spec, threads, backend, obs } => run_all(&spec, threads, backend, obs)?,
         Command::Metrics { addr } => run_metrics(&addr)?,
-        Command::Serve { addr, spec, threads, backend, shards, quantum, smoke } => {
-            run_serve(&addr, &spec, threads, backend, shards, quantum, smoke)?
+        Command::Serve { addr, spec, threads, backend, shards, quantum, net, smoke, clients } => {
+            run_serve(&addr, &spec, threads, backend, shards, quantum, net, smoke, clients)?
         }
-        Command::BenchServe { spec, threads, backend, shards } => {
-            run_bench_serve(&spec, threads, backend, shards)?
+        Command::BenchServe { spec, threads, backend, shards, net } => {
+            run_bench_serve(&spec, threads, backend, shards, net)?
         }
     }
     Ok(())
@@ -643,15 +686,20 @@ fn serve_config(
     backend: BackendChoice,
     shards: usize,
     quantum: usize,
+    net: NetOpts,
 ) -> ServeConfig {
     let mut config = ServeConfig::new(serve_tables(spec.cardinality.max(1)));
     config.shards = shards;
     config.quantum = quantum;
     config.threads = threads;
     config.backend = backend;
+    config.io_threads = net.io_threads;
+    config.max_connections = net.max_conns;
+    config.reactor = net.reactor;
     config
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_serve(
     addr: &str,
     spec: &RunSpec,
@@ -659,24 +707,30 @@ fn run_serve(
     backend: BackendChoice,
     shards: usize,
     quantum: usize,
+    net: NetOpts,
     smoke: bool,
+    clients: usize,
 ) -> Result<(), String> {
     if smoke {
-        return serve_smoke(spec, threads, backend, shards, quantum);
+        return serve_smoke(spec, threads, backend, shards, quantum, net, clients);
     }
-    let config = serve_config(spec, threads, backend, shards, quantum);
+    let config = serve_config(spec, threads, backend, shards, quantum, net);
     let server = Server::bind(config, addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("invector-serve listening on {}", server.local_addr());
     println!("  tables: counts (i32 add), mins (f32 min) x {} slots", spec.cardinality.max(1));
     println!("  shards {shards}, quantum {quantum}, threads {threads}");
+    println!(
+        "  reactor {} x {} io threads, {} connection cap",
+        net.reactor, net.io_threads, net.max_conns
+    );
     println!("  backend {}", backend.resolve().name());
     println!("  stop with a Shutdown frame (protocol v{})", invector_serve::PROTOCOL_VERSION);
     server.join();
     Ok(())
 }
 
-/// Loopback self-check: two racing TCP clients and one in-process client
-/// drive a mixed workload against an ephemeral server; the drained
+/// Loopback self-check: `clients` racing TCP clients and one in-process
+/// client drive a mixed workload against an ephemeral server; the drained
 /// snapshots must match the serial fold bitwise, and shutdown must drain
 /// cleanly.
 fn serve_smoke(
@@ -685,31 +739,49 @@ fn serve_smoke(
     backend: BackendChoice,
     shards: usize,
     quantum: usize,
+    net: NetOpts,
+    clients: usize,
 ) -> Result<(), String> {
     let cardinality = spec.cardinality.max(1);
-    let config = serve_config(spec, threads, backend, shards, quantum);
+    let config = serve_config(spec, threads, backend, shards, quantum, net);
     let server = Server::bind(config, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
     let addr = server.local_addr();
     println!(
-        "serve smoke on {addr}: shards {shards}, quantum {quantum}, threads {threads}, backend {}",
+        "serve smoke on {addr}: shards {shards}, quantum {quantum}, threads {threads}, \
+         reactor {} x {} io threads, {clients} clients, backend {}",
+        net.reactor,
+        net.io_threads,
         backend.resolve().name()
     );
 
     let (counts, mins) = serve_streams(spec);
     let (expect_counts, expect_mins) = serve_reference(&counts, &mins, cardinality);
 
-    // Split the count stream between two TCP connections on real threads
-    // (their submissions genuinely race), keep the min stream in process.
+    // Split the count stream across `clients` TCP connections on real
+    // threads (their submissions genuinely race), keep the min stream in
+    // process.
     const CHUNK: usize = 97;
-    let mut split: [Vec<Update>; 2] = [Vec::new(), Vec::new()];
+    let mut split: Vec<Vec<Update>> = vec![Vec::new(); clients];
     for (i, chunk) in counts.chunks(CHUNK).enumerate() {
-        split[i % 2].extend_from_slice(chunk);
+        split[i % clients].extend_from_slice(chunk);
     }
     let writers: Vec<std::thread::JoinHandle<Result<(), String>>> = split
         .into_iter()
         .map(|updates| {
             std::thread::spawn(move || {
-                let mut client = TcpClient::connect(addr)?;
+                // A large client storm can outrun the listen backlog;
+                // refused connects just need another try.
+                let mut client = None;
+                for _ in 0..200 {
+                    match TcpClient::connect(addr) {
+                        Ok(c) => {
+                            client = Some(c);
+                            break;
+                        }
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                    }
+                }
+                let mut client = client.ok_or_else(|| format!("could not connect to {addr}"))?;
                 for chunk in updates.chunks(CHUNK) {
                     client.submit_all(0, chunk)?;
                 }
@@ -756,6 +828,20 @@ fn serve_smoke(
         return Err("metrics scrape is missing the service series".into());
     }
     println!("  metrics scrape: {} bytes of exposition", exposition.len());
+    // Reactor evidence: the connection and wakeup series must be present
+    // in the scrape (registration is unconditional; with the obs feature
+    // compiled out the values read zero).
+    for series in [
+        "invector_serve_open_connections",
+        "invector_serve_wakeups_total",
+        "invector_serve_accepted_total",
+    ] {
+        let line = exposition
+            .lines()
+            .find(|l| l.starts_with(series))
+            .ok_or_else(|| format!("metrics scrape is missing {series}"))?;
+        println!("  {line}");
+    }
     let watermarks = check.shutdown()?;
     let rows = counts.len() as u64;
     if watermarks != vec![rows, rows] {
@@ -773,6 +859,7 @@ fn run_bench_serve(
     threads: usize,
     backend: BackendChoice,
     shards: usize,
+    net: NetOpts,
 ) -> Result<(), String> {
     let (counts, _) = serve_streams(spec);
     println!(
@@ -784,7 +871,7 @@ fn run_bench_serve(
     println!("{:>8} {:>12} {:>12} {:>10}", "quantum", "elapsed_ms", "Mup/s", "slices");
     let mut baseline = None;
     for quantum in [1usize, 64, 1024, 4096] {
-        let mut config = serve_config(spec, threads, backend, shards, quantum);
+        let mut config = serve_config(spec, threads, backend, shards, quantum, net);
         config.queue_capacity = quantum.max(4096) * 4;
         let core = ServerCore::new(config)?;
         let mut client = LocalClient::new(core);
@@ -880,6 +967,38 @@ mod tests {
     }
 
     #[test]
+    fn serve_parses_reactor_knobs_and_validates_them() {
+        match parse(&args("serve --io-threads 4 --max-conns 512 --reactor poll --clients 16"))
+            .unwrap()
+        {
+            Command::Serve { net, clients, .. } => {
+                assert_eq!(net.io_threads, 4);
+                assert_eq!(net.max_conns, 512);
+                assert_eq!(net.reactor, ReactorKind::Poll);
+                assert_eq!(clients, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args("serve")).unwrap() {
+            Command::Serve { net, clients, .. } => {
+                assert_eq!(net.io_threads, 2);
+                assert_eq!(net.max_conns, 4096);
+                assert_eq!(net.reactor, ReactorKind::Auto);
+                assert_eq!(clients, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args("bench-serve --reactor epoll")).unwrap() {
+            Command::BenchServe { net, .. } => assert_eq!(net.reactor, ReactorKind::Epoll),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args("serve --io-threads 0")).is_err());
+        assert!(parse(&args("serve --max-conns 0")).is_err());
+        assert!(parse(&args("serve --clients 0")).is_err());
+        assert!(parse(&args("serve --reactor kqueue")).is_err());
+    }
+
+    #[test]
     fn bench_serve_parses_with_defaults() {
         match parse(&args("bench-serve --scale tiny")).unwrap() {
             Command::BenchServe { spec, threads, shards, .. } => {
@@ -894,7 +1013,8 @@ mod tests {
     #[test]
     fn serve_smoke_round_trips_on_loopback() {
         let spec = RunSpec { rows: 1200, cardinality: 32, ..RunSpec::tiny() };
-        serve_smoke(&spec, 1, BackendChoice::Auto, 3, 128).expect("smoke must pass");
+        let net = NetOpts { io_threads: 2, max_conns: 64, reactor: ReactorKind::Auto };
+        serve_smoke(&spec, 1, BackendChoice::Auto, 3, 128, net, 4).expect("smoke must pass");
     }
 
     #[test]
