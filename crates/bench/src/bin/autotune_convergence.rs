@@ -1,0 +1,121 @@
+//! Autotune convergence: does the online controller find the best static
+//! cell — and keep the snapshots bitwise-deterministic while doing it?
+//!
+//! For each of three stream shapes (zipf, uniform, shifting hot key) the
+//! harness measures every static quantum cell on the controller's ladder,
+//! then runs the controller from the *worst* rung and checks four things:
+//!
+//! 1. **Convergence** — the final quantum lands within one ladder step of
+//!    the best static cell (hysteresis legitimately stops one rung early).
+//! 2. **Near-best throughput** — steady-state (second half of the stream)
+//!    tuned throughput is at least 0.8x the best static cell.
+//! 3. **Climbs out of the hole** — tuned steady-state is at least 2x the
+//!    worst static cell it started at.
+//! 4. **Determinism** — replaying the recorded policy trace without the
+//!    controller reproduces the tuned run's snapshots bitwise.
+//!
+//! `--smoke` scales the streams down and exits non-zero on any failed
+//! check (the CI gate); the default run prints the full table for
+//! `BENCH`-style inspection.
+//!
+//! Run: `cargo run --release -p invector-bench --bin autotune_convergence
+//!       [--smoke | --scale f | --full]`
+
+use invector_bench::arg_scale;
+use invector_bench::autotune::{
+    convergence_config, ladder_steps, replay_trace, run_tuned, shifting_hot_key, sweep, uniform,
+    zipf, Workload,
+};
+use invector_serve::TuneConfig;
+
+const SEED: u64 = 0x1b_f2_9d;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = arg_scale(if smoke { 0.4 } else { 1.0 });
+    let rows = ((150_000.0 * scale) as usize).max(30_000);
+    let cardinality = 2_048.min(rows);
+    let cfg = convergence_config();
+    let ladder = cfg.quantum_ladder.clone();
+
+    println!("autotune convergence: {rows} rows x 2 tables, {cardinality} slots");
+    println!("ladder {ladder:?}, controller starts at quantum {}", ladder[0]);
+
+    let workloads = [
+        zipf(rows, cardinality, SEED),
+        uniform(rows, cardinality, SEED),
+        shifting_hot_key(rows, cardinality, SEED),
+    ];
+
+    let mut failures = Vec::new();
+    for w in &workloads {
+        if let Err(why) = check_workload(w, &cfg, &ladder) {
+            failures.extend(why.into_iter().map(|f| format!("{}: {f}", w.name)));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nall workloads converged; traces replay bitwise");
+    } else {
+        eprintln!("\nFAILED checks:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Runs one workload's sweep + tuned run and returns the failed checks.
+fn check_workload(w: &Workload, cfg: &TuneConfig, ladder: &[usize]) -> Result<(), Vec<String>> {
+    println!("\n{}:", w.name);
+    println!("  {:>8} {:>10}", "quantum", "Mup/s");
+    let cells = sweep(w, ladder);
+    for c in &cells {
+        println!("  {:>8} {:>10.2}", c.quantum, c.mups);
+    }
+    let best = cells.iter().max_by(|a, b| a.mups.total_cmp(&b.mups)).expect("cells");
+    let worst = cells.iter().min_by(|a, b| a.mups.total_cmp(&b.mups)).expect("cells");
+
+    let tuned = run_tuned(w, cfg.clone());
+    println!(
+        "  {:>8} {:>10.2}  (steady {:.2}, {} policy changes, final quantum {})",
+        "tuned", tuned.overall_mups, tuned.steady_mups, tuned.changes, tuned.final_quantum
+    );
+    let top = ladder.last().copied().unwrap_or(4_096);
+    let replayed = replay_trace(w, tuned.trace.clone(), ladder[0], top);
+    let bitwise = replayed == tuned.bits;
+    println!(
+        "  trace replay: {}",
+        if bitwise { "snapshots bitwise-identical" } else { "SNAPSHOT MISMATCH" }
+    );
+
+    let mut failures = Vec::new();
+    let steps = ladder_steps(ladder, tuned.final_quantum, best.quantum);
+    if steps > 1 {
+        failures.push(format!(
+            "final quantum {} is {steps} rungs from the best static cell {}",
+            tuned.final_quantum, best.quantum
+        ));
+    }
+    if tuned.steady_mups < 0.8 * best.mups {
+        failures.push(format!(
+            "steady {:.2} Mup/s under 0.8x the best static cell ({:.2} Mup/s at quantum {})",
+            tuned.steady_mups, best.mups, best.quantum
+        ));
+    }
+    if tuned.steady_mups < 2.0 * worst.mups {
+        failures.push(format!(
+            "steady {:.2} Mup/s under 2x the worst static cell ({:.2} Mup/s at quantum {})",
+            tuned.steady_mups, worst.mups, worst.quantum
+        ));
+    }
+    if !bitwise {
+        failures.push("trace replay diverged from the tuned run's snapshots".to_string());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use invector_agg::dist::{self, Distribution};
 use invector_bench::arg_scale;
+use invector_bench::autotune::{self, convergence_config};
 use invector_core::BackendChoice;
 use invector_serve::{
     LocalClient, OpKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec, TcpClient, Update,
@@ -82,8 +83,52 @@ fn main() {
     }
 
     let sweep = connection_sweep(scale);
+    let tuning = autotune_rows(rows, cardinality);
 
-    print_json(scale, rows, cardinality, updates, &cells, &sweep);
+    print_json(scale, rows, cardinality, updates, &cells, &sweep, &tuning);
+}
+
+/// One row of the autotune comparison: the controller against the best
+/// and worst static cells on its own ladder.
+struct TuneRow {
+    mode: &'static str,
+    quantum: usize,
+    mups: f64,
+    /// Autotuned row only: steady-state (second-half) throughput, policy
+    /// changes, and whether the recorded trace replayed bitwise.
+    detail: Option<(f64, usize, bool)>,
+}
+
+/// Static ladder sweep + tuned run on the same zipf stream the quantum
+/// cells use, emitted as autotuned / best-static / worst-static rows.
+fn autotune_rows(rows: usize, cardinality: usize) -> Vec<TuneRow> {
+    let cfg = convergence_config();
+    let ladder = cfg.quantum_ladder.clone();
+    let top = ladder.last().copied().unwrap_or(4_096);
+    let w = autotune::zipf(rows, cardinality, SEED);
+
+    let cells = autotune::sweep(&w, &ladder);
+    let best = cells.iter().max_by(|a, b| a.mups.total_cmp(&b.mups)).expect("cells");
+    let worst = cells.iter().min_by(|a, b| a.mups.total_cmp(&b.mups)).expect("cells");
+    let tuned = autotune::run_tuned(&w, cfg);
+    let bitwise = autotune::replay_trace(&w, tuned.trace.clone(), ladder[0], top) == tuned.bits;
+    for (label, q, m) in [
+        ("worst_static", worst.quantum, worst.mups),
+        ("best_static", best.quantum, best.mups),
+        ("autotuned", tuned.final_quantum, tuned.overall_mups),
+    ] {
+        eprintln!("  autotune {label:<13} quantum={q:<5} {m:>7.2} Mup/s");
+    }
+    vec![
+        TuneRow { mode: "worst_static", quantum: worst.quantum, mups: worst.mups, detail: None },
+        TuneRow { mode: "best_static", quantum: best.quantum, mups: best.mups, detail: None },
+        TuneRow {
+            mode: "autotuned",
+            quantum: tuned.final_quantum,
+            mups: tuned.overall_mups,
+            detail: Some((tuned.steady_mups, tuned.changes, bitwise)),
+        },
+    ]
 }
 
 /// Client counts swept over real loopback TCP through the reactor front
@@ -326,6 +371,7 @@ fn print_json(
     updates: u64,
     cells: &[Cell],
     sweep: &[SweepPoint],
+    tuning: &[TuneRow],
 ) {
     // Speedup baseline: quantum 1 on the same backend at the same shard
     // count — the unbatched degenerate case.
@@ -370,6 +416,29 @@ fn print_json(
         println!("      \"us_per_update\": {:.4},", p.seconds * 1e6 / p.total as f64);
         println!("      \"checksum_matches_blocking_path\": {}", p.checksum_ok);
         println!("    }}{}", if i + 1 < sweep.len() { "," } else { "" });
+    }
+    println!("  ],");
+    // The obs→policy loop closed: the online controller, started at the
+    // ladder's worst rung on the same zipf stream, against the best and
+    // worst static `(quantum)` cells of its ladder. The acceptance band is
+    // steady-state autotuned >= 0.8x best static and >= 2x worst static,
+    // with the recorded policy trace replaying to bitwise-identical
+    // snapshots.
+    println!("  \"autotune\": [");
+    for (i, r) in tuning.iter().enumerate() {
+        println!("    {{");
+        println!("      \"mode\": \"{}\",", r.mode);
+        println!("      \"quantum\": {},", r.quantum);
+        match r.detail {
+            None => println!("      \"mupdates_per_sec\": {:.3}", r.mups),
+            Some((steady, changes, bitwise)) => {
+                println!("      \"mupdates_per_sec\": {:.3},", r.mups);
+                println!("      \"steady_mupdates_per_sec\": {steady:.3},");
+                println!("      \"policy_changes\": {changes},");
+                println!("      \"trace_replay_bitwise\": {bitwise}");
+            }
+        }
+        println!("    }}{}", if i + 1 < tuning.len() { "," } else { "" });
     }
     println!("  ],");
     // Stats recording rides the sharded invector-obs registry: per-thread

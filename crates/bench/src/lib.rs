@@ -14,6 +14,8 @@
 
 use std::time::Duration;
 
+pub mod autotune;
+
 /// Reads the experiment scale from `--scale <f>` / `--full` CLI arguments
 /// or the `INVECTOR_SCALE` environment variable, defaulting to `default`.
 ///

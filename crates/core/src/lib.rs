@@ -63,6 +63,7 @@ pub mod ops;
 pub mod parallel;
 pub mod rbk;
 pub mod stats;
+pub mod tune;
 
 pub use accumulate::{
     adaptive_accumulate, adaptive_accumulate_n, adaptive_accumulate_with, invec_accumulate,
@@ -82,3 +83,7 @@ pub use invec::{
 pub use masking::masked_accumulate;
 pub use ops::ReduceOp;
 pub use parallel::parallel_invec_accumulate;
+pub use tune::{
+    Controller, Decision, EpochPolicy, MetricFrame, PolicyHandle, PolicySchedule, PolicyTrace,
+    TraceEntry, TuneConfig,
+};

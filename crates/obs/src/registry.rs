@@ -400,6 +400,13 @@ impl Histogram {
         self.observe_n(v, 1);
     }
 
+    /// Bucket-interpolated quantile of the merged histogram — the
+    /// pull-side shorthand for `snapshot().quantile(q)`. `0.0` when empty
+    /// (and always, with the `obs` feature compiled out).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
     /// The merged snapshot across every thread's shard.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let shards = self.inner.shards.lock().expect("registry shard list").clone();
@@ -551,6 +558,26 @@ mod tests {
         assert!((s.sum - (0.5 + 5.0 + 100.0 + 1e6)).abs() < 1e-9);
         assert!(s.quantile(0.5) <= 100.0);
         assert!(s.quantile(0.99) >= 100.0);
+    }
+
+    #[test]
+    fn histogram_quantile_helper_matches_the_snapshot_and_orders() {
+        let r = Registry::new();
+        let h = r.histogram("q", "test", &[1.0, 10.0, 100.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reads zero");
+        for v in [0.5, 2.0, 3.0, 20.0, 30.0, 40.0] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert_eq!(p50, h.snapshot().quantile(0.50), "helper is the snapshot quantile");
+        assert!(p50 <= p99, "quantiles are monotone in q: {p50} > {p99}");
+        if cfg!(feature = "obs") {
+            assert!(p50 > 1.0 && p50 <= 10.0, "median in the (1, 10] bucket: {p50}");
+            assert!(p99 > 10.0 && p99 <= 100.0, "p99 in the (10, 100] bucket: {p99}");
+        } else {
+            assert_eq!(p99, 0.0, "records are no-ops without the obs feature");
+        }
     }
 
     #[cfg(feature = "obs")]

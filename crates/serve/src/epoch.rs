@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use invector_core::stats::DepthHistogram;
+use invector_core::tune::{EpochPolicy, MetricFrame};
 use invector_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::{StatsSummary, Update};
@@ -113,6 +114,10 @@ pub struct EpochReport {
     pub applied: usize,
     /// Batch slices executed.
     pub slices: usize,
+    /// Slice capacity offered (Σ per-slice quantum) — the occupancy
+    /// denominator. Tracked per slice because the quantum may change
+    /// between epochs under tuning.
+    pub offered: usize,
     /// SIMD vector iterations the slices ran (16 lane slots each), for
     /// utilization accounting.
     pub vectors: u64,
@@ -213,14 +218,14 @@ impl ServeStats {
     /// Records one executed epoch. Lock-free on the record side; the
     /// utilization gauge refresh merges shards, which is fine at epoch
     /// granularity.
-    pub fn record_epoch(&self, report: &EpochReport, quantum: usize, depth: &DepthHistogram) {
+    pub fn record_epoch(&self, report: &EpochReport, depth: &DepthHistogram) {
         if report.slices == 0 {
             return;
         }
         self.epochs.inc();
         self.slices.add(report.slices as u64);
         self.applied.add(report.applied as u64);
-        self.offered.add((report.slices * quantum) as u64);
+        self.offered.add(report.offered as u64);
         self.busy_ns.add(report.elapsed.as_nanos() as u64);
         self.latency_us.observe(report.elapsed.as_secs_f64() * 1e6);
         for d in 0..=16u32 {
@@ -244,7 +249,6 @@ impl ServeStats {
         let applied = self.applied.value();
         let offered = self.offered.value();
         let busy = self.busy_ns.value() as f64 / 1e9;
-        let latency = self.latency_us.snapshot();
         StatsSummary {
             epochs: self.epochs.value(),
             slices: self.slices.value(),
@@ -254,8 +258,40 @@ impl ServeStats {
             occupancy: if offered == 0 { 0.0 } else { applied as f64 / offered as f64 },
             conflict_depth: self.depth.snapshot().mean(),
             updates_per_sec: if busy > 0.0 { applied as f64 / busy } else { 0.0 },
-            p50_epoch_us: latency.quantile(0.50),
-            p99_epoch_us: latency.quantile(0.99),
+            p50_epoch_us: self.latency_us.quantile(0.50),
+            p99_epoch_us: self.latency_us.quantile(0.99),
+        }
+    }
+
+    /// Builds the structured per-epoch observation the tuning controller
+    /// consumes — the registry's pull API at epoch granularity.
+    ///
+    /// The throughput fields come from the epoch report itself (real on
+    /// every feature leg); the latency quantiles and the process-wide
+    /// instruction total are registry enrichment that read zero with the
+    /// `obs` / `count` features compiled out.
+    pub fn frame(
+        &self,
+        epoch: u64,
+        report: &EpochReport,
+        depth: &DepthHistogram,
+        queue_depth: u64,
+        policy: EpochPolicy,
+    ) -> MetricFrame {
+        let iterations = depth.invocations();
+        let deep: u64 = (2..=16).map(|d| depth.bucket(d)).sum();
+        MetricFrame {
+            epoch,
+            applied: report.applied as u64,
+            offered: report.offered as u64,
+            busy_ns: report.elapsed.as_nanos() as u64,
+            queue_depth,
+            conflict_depth: depth.mean(),
+            deep_frac: if iterations == 0 { 0.0 } else { deep as f64 / iterations as f64 },
+            p50_epoch_us: self.latency_us.quantile(0.50),
+            p99_epoch_us: self.latency_us.quantile(0.99),
+            instructions: invector_simd::count::global_total(),
+            policy,
         }
     }
 }
@@ -302,10 +338,11 @@ mod tests {
             let report = EpochReport {
                 applied: 96,
                 slices: 1,
+                offered: 128,
                 vectors: 6,
                 elapsed: Duration::from_micros(100 + i * 10),
             };
-            s.record_epoch(&report, 128, &depth);
+            s.record_epoch(&report, &depth);
         }
         s.record_rejects(7);
         let sum = s.summarize(3);
@@ -327,9 +364,14 @@ mod tests {
     #[cfg(feature = "obs")]
     fn stats_record_lane_utilization() {
         let s = ServeStats::new(&Registry::new());
-        let report =
-            EpochReport { applied: 96, slices: 1, vectors: 8, elapsed: Duration::from_micros(10) };
-        s.record_epoch(&report, 128, &DepthHistogram::new());
+        let report = EpochReport {
+            applied: 96,
+            slices: 1,
+            offered: 128,
+            vectors: 8,
+            elapsed: Duration::from_micros(10),
+        };
+        s.record_epoch(&report, &DepthHistogram::new());
         // 96 useful lanes over 8 × 16 slots = 0.75.
         assert!((s.utilization.value() - 0.75).abs() < 1e-9);
     }
@@ -337,7 +379,7 @@ mod tests {
     #[test]
     fn empty_epochs_do_not_skew_statistics() {
         let s = ServeStats::new(&Registry::new());
-        s.record_epoch(&EpochReport::default(), 128, &DepthHistogram::new());
+        s.record_epoch(&EpochReport::default(), &DepthHistogram::new());
         let sum = s.summarize(0);
         assert_eq!(sum.epochs, 0);
         assert_eq!(sum.p50_epoch_us, 0.0);

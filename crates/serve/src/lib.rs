@@ -63,9 +63,12 @@ pub mod table;
 
 pub use client::{LocalClient, ServeClient, TcpClient};
 pub use epoch::{EpochReport, ReorderBuffer, ServeStats};
+pub use invector_core::tune::{
+    EpochPolicy, MetricFrame, PolicyHandle, PolicyTrace, TraceEntry, TuneConfig,
+};
 pub use protocol::{
     RejectReason, RequestView, StatsSummary, Update, UpdatesView, PROTOCOL_VERSION,
 };
 pub use reactor::{ReactorKind, Ring};
-pub use server::{ServeConfig, Server, ServerCore, Snapshot, SubmitOutcome};
-pub use table::{OpKind, TableData, TableSpec, ValueKind};
+pub use server::{ServeConfig, Server, ServerCore, Snapshot, SubmitOutcome, TuneMode};
+pub use table::{OpKind, SliceReport, TableData, TableSpec, ValueKind};

@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use invector_core::exec::{ExecPolicy, ExecVariant, Partition};
 use invector_core::stats::DepthHistogram;
-use invector_core::BackendChoice;
+use invector_core::tune::{Controller, EpochPolicy, PolicyHandle, PolicyTrace, TraceEntry};
+use invector_core::{BackendChoice, TuneConfig};
 use invector_obs::Registry;
 
 use crate::epoch::{EpochReport, ServeStats};
@@ -71,6 +72,25 @@ pub struct ServeConfig {
     pub write_buffer_cap: usize,
     /// Readiness backend (`auto` picks epoll on Linux).
     pub reactor: ReactorKind,
+    /// Epoch-level self-tuning mode (off, online controller, or trace
+    /// replay).
+    pub tune: TuneMode,
+}
+
+/// How the core manages its execution policy across epochs.
+#[derive(Debug, Clone, Default)]
+pub enum TuneMode {
+    /// The startup policy and quantum stay fixed for the server's life.
+    #[default]
+    Off,
+    /// An online [`Controller`] adapts the policy and quantum between
+    /// epochs from completed-epoch metrics; its decisions are recorded as
+    /// a [`PolicyTrace`] ([`ServerCore::policy_trace`]).
+    Auto(TuneConfig),
+    /// Replays a recorded trace: each entry's policy takes effect at the
+    /// recorded per-table watermarks, reproducing the tuned run's slice
+    /// boundaries — and snapshots — bitwise, without a controller.
+    Replay(PolicyTrace),
 }
 
 impl ServeConfig {
@@ -91,19 +111,29 @@ impl ServeConfig {
             read_buffer_cap: 64 << 10,
             write_buffer_cap: 256 << 10,
             reactor: ReactorKind::Auto,
+            tune: TuneMode::Off,
         }
     }
 
-    /// The engine policy every epoch runs under: in-vector reduction,
+    /// The engine policy epochs start under: in-vector reduction,
     /// owner-computes partitioning, deterministic fold — the combination
     /// whose results are a pure function of (batch content, thread count,
-    /// quantum), which is what the snapshot contract leans on.
+    /// quantum), which is what the snapshot contract leans on. Under
+    /// tuning this is the controller's starting cell; the variant and
+    /// thread count may change between epochs, but partitioning,
+    /// determinism, and the backend request are held fixed.
     pub fn policy(&self) -> ExecPolicy {
         ExecPolicy::with_threads(self.threads)
             .variant(ExecVariant::Invec)
             .partition(Partition::OwnerComputes)
             .deterministic(true)
             .backend(self.backend)
+    }
+
+    /// The initial epoch policy pair ([`policy`](Self::policy) at the
+    /// configured quantum) — what the core's [`PolicyHandle`] starts at.
+    pub fn initial_policy(&self) -> EpochPolicy {
+        EpochPolicy::new(self.policy(), self.quantum)
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -187,7 +217,10 @@ struct Staged {
 #[derive(Debug)]
 pub struct ServerCore {
     config: ServeConfig,
-    policy: ExecPolicy,
+    /// The one swappable route to the active policy/quantum pair: the
+    /// admission threshold reads it per batch, the tuning hook installs
+    /// into it between epochs.
+    policy: PolicyHandle,
     /// Per-shard bounded ingest queues.
     shards: Vec<Mutex<VecDeque<Staged>>>,
     /// Per-table state (values + reorder buffer), locked independently.
@@ -210,7 +243,33 @@ pub struct ServerCore {
     /// Signals the background epoch thread that a full quantum is queued.
     wake: Condvar,
     wake_lock: Mutex<bool>,
+    /// Tuning state: the optional controller, the recorded decision
+    /// trace, and the completed-non-empty-epoch count. Touched only under
+    /// the tick lock (plus trace reads), so the admission path never sees
+    /// it.
+    tuning: Mutex<TuneState>,
 }
+
+/// The core's tuning state, behind one mutex.
+#[derive(Debug, Default)]
+struct TuneState {
+    /// The online controller (`TuneMode::Auto` only).
+    controller: Option<Controller>,
+    /// Every policy install, keyed by per-table watermarks.
+    trace: Vec<TraceEntry>,
+    /// Completed epochs that applied at least one slice.
+    epochs: u64,
+    /// When the previous non-empty epoch completed, for end-to-end frame
+    /// cost attribution (see [`ServerCore::tune_observe`]).
+    last_epoch: Option<Instant>,
+}
+
+/// Cap on how much inter-epoch wall time an epoch frame may report,
+/// as a multiple of its in-epoch execution time. Under saturating load
+/// the admission path costs a small multiple of execution; anything far
+/// beyond that is client idle time, which would otherwise be billed to
+/// whatever policy happens to be active.
+const TUNE_IDLE_CLAMP: u64 = 64;
 
 impl ServerCore {
     /// Builds a core from `config`.
@@ -221,12 +280,40 @@ impl ServerCore {
     /// tables, zero-sized knobs).
     pub fn new(config: ServeConfig) -> Result<Arc<ServerCore>, String> {
         config.validate()?;
-        let policy = config.policy();
+        let initial = config.initial_policy();
+        let policy = PolicyHandle::new(initial);
         let shards = (0..config.shards)
             .map(|_| Mutex::new(VecDeque::with_capacity(config.queue_capacity.min(1024))))
             .collect();
-        let tables: Vec<Mutex<TableState>> =
-            config.tables.iter().map(|spec| Mutex::new(TableState::new(spec.clone()))).collect();
+        let mut tables: Vec<Mutex<TableState>> = config
+            .tables
+            .iter()
+            .map(|spec| Mutex::new(TableState::new(spec.clone(), initial)))
+            .collect();
+        let controller = match &config.tune {
+            TuneMode::Off => None,
+            TuneMode::Auto(tc) => Some(Controller::new(tc.clone(), initial)?),
+            TuneMode::Replay(trace) => {
+                // Preload every table's schedule up front: replay needs no
+                // per-epoch decisions, only the recorded cut boundaries.
+                for (i, entry) in trace.iter().enumerate() {
+                    if entry.at.len() != tables.len() {
+                        return Err(format!(
+                            "trace entry {i} records {} table watermarks, server has {}",
+                            entry.at.len(),
+                            tables.len()
+                        ));
+                    }
+                }
+                for (t, table) in tables.iter_mut().enumerate() {
+                    let state = table.get_mut().expect("table lock");
+                    for entry in trace {
+                        state.push_policy(entry.at[t], entry.policy);
+                    }
+                }
+                None
+            }
+        };
         let watermarks = (0..tables.len()).map(|_| AtomicU64::new(0)).collect();
         let registry = Registry::new();
         let stats = ServeStats::new(&registry);
@@ -243,6 +330,7 @@ impl ServerCore {
             draining: AtomicBool::new(false),
             wake: Condvar::new(),
             wake_lock: Mutex::new(false),
+            tuning: Mutex::new(TuneState { controller, ..TuneState::default() }),
         });
         // Duplicates live in the tables' reorder buffers; bridge them into
         // the scrape as a pull collector (table locks are only taken at
@@ -335,7 +423,7 @@ impl ServerCore {
             accepted += 1;
             self.queued.fetch_add(1, Ordering::AcqRel);
         }
-        if self.queued.load(Ordering::Acquire) >= self.config.quantum {
+        if self.queued.load(Ordering::Acquire) >= self.policy.quantum() {
             self.notify_epoch_thread();
         }
         SubmitOutcome::Accepted {
@@ -384,6 +472,7 @@ impl ServerCore {
         self.queued.fetch_sub(stolen.len(), Ordering::AcqRel);
 
         // Route to reorder buffers and cut batches, one table at a time.
+        // Each table cuts under its own watermark-keyed policy schedule.
         let mut report = EpochReport::default();
         let mut depth = DepthHistogram::new();
         for (t, table) in self.tables.iter().enumerate() {
@@ -391,17 +480,71 @@ impl ServerCore {
             for s in stolen.iter().filter(|s| s.table as usize == t) {
                 state.absorb(s.update);
             }
-            for slice in state.cut_and_apply(self.config.quantum, drain, &self.policy) {
+            for slice in state.cut_scheduled(drain) {
                 report.applied += slice.applied;
                 report.slices += 1;
+                report.offered += slice.offered;
                 report.vectors += slice.vectors;
                 depth.merge(&slice.depth);
             }
             self.watermarks[t].store(state.watermark(), Ordering::Release);
         }
         report.elapsed = start.elapsed();
-        self.stats.record_epoch(&report, self.config.quantum, &depth);
+        self.stats.record_epoch(&report, &depth);
+        self.tune_observe(&report, &depth);
         report
+    }
+
+    /// The epoch-boundary tuning hook, still under the tick lock.
+    ///
+    /// Feeds the completed epoch's metric frame to the controller; an
+    /// accepted decision is scheduled on every table at its **current
+    /// watermark** — an exact slice boundary, since all cutting for this
+    /// epoch is done and admission never advances watermarks. Decisions
+    /// therefore depend only on completed-epoch metrics and take effect
+    /// only at recorded boundaries, which is what keeps tuned snapshots
+    /// replayable bitwise from the trace.
+    fn tune_observe(&self, report: &EpochReport, depth: &DepthHistogram) {
+        if report.slices == 0 {
+            return;
+        }
+        let mut tuning = self.tuning.lock().expect("tune lock");
+        tuning.epochs += 1;
+        let epoch = tuning.epochs;
+        if tuning.controller.is_none() {
+            return;
+        }
+        let mut frame = self.stats.frame(
+            epoch,
+            report,
+            depth,
+            self.queued.load(Ordering::Acquire) as u64,
+            self.policy.current(),
+        );
+        // Score end-to-end, not just in-epoch: the updates applied this
+        // epoch cost everything since the last non-empty epoch — admission,
+        // reorder-buffer residency, and execution. In-epoch time alone
+        // would reward huge quanta whose cost hides on the submit path.
+        // Clamped so client idle time is not billed to the active policy.
+        let now = Instant::now();
+        if let Some(prev) = tuning.last_epoch {
+            let delta = now.duration_since(prev).as_nanos() as u64;
+            let floor = frame.busy_ns.max(1);
+            frame.busy_ns = delta.clamp(floor, floor.saturating_mul(TUNE_IDLE_CLAMP));
+        }
+        tuning.last_epoch = Some(now);
+        let controller = tuning.controller.as_mut().expect("checked above");
+        if let Some(next) = controller.observe(&frame) {
+            let mut at = Vec::with_capacity(self.tables.len());
+            for table in &self.tables {
+                let mut state = table.lock().expect("table lock");
+                let wm = state.watermark();
+                state.push_policy(wm, next);
+                at.push(wm);
+            }
+            self.policy.install(next);
+            tuning.trace.push(TraceEntry { epoch, policy: next, at });
+        }
     }
 
     /// Forces a full drain of every contiguous pending update (including
@@ -447,6 +590,30 @@ impl ServerCore {
         let mut text = invector_obs::prometheus(&self.registry);
         text.push_str(&invector_obs::prometheus(Registry::global()));
         text
+    }
+
+    /// The active epoch policy (the tuned values under `TuneMode::Auto`).
+    pub fn current_policy(&self) -> EpochPolicy {
+        self.policy.current()
+    }
+
+    /// The core's policy handle (shared; installs take effect from the
+    /// next epoch — prefer `TuneMode` over manual installs in servers,
+    /// which records the trace for replay).
+    pub fn policy_handle(&self) -> &PolicyHandle {
+        &self.policy
+    }
+
+    /// Every policy install so far, keyed by per-table watermarks —
+    /// feed it to `TuneMode::Replay` to reproduce this run's snapshots
+    /// bitwise without a controller.
+    pub fn policy_trace(&self) -> PolicyTrace {
+        self.tuning.lock().expect("tune lock").trace.clone()
+    }
+
+    /// Completed epochs that applied at least one slice.
+    pub fn epochs_completed(&self) -> u64 {
+        self.tuning.lock().expect("tune lock").epochs
     }
 
     /// Applied watermark per table, in id order.

@@ -9,6 +9,7 @@
 use invector_core::exec::{execute_epoch, EpochScratch, ExecPolicy, ExecReport};
 use invector_core::ops::{Max, Min, ReduceOp, Sum};
 use invector_core::stats::DepthHistogram;
+use invector_core::tune::{EpochPolicy, PolicySchedule};
 
 use crate::epoch::ReorderBuffer;
 use crate::protocol::Update;
@@ -150,6 +151,10 @@ impl TableData {
 pub struct SliceReport {
     /// Updates in the slice.
     pub applied: usize,
+    /// Slice capacity under the quantum the slice was cut at (the
+    /// occupancy denominator; `applied < offered` only for drain tails
+    /// and scheduled-boundary cuts).
+    pub offered: usize,
     /// SIMD vector iterations the slice ran (16 lane slots each).
     pub vectors: u64,
     /// Conflict-depth histogram of the slice's in-vector reduction.
@@ -163,19 +168,24 @@ pub struct TableState {
     spec: TableSpec,
     data: TableData,
     pending: ReorderBuffer,
+    /// Watermark-keyed policy schedule the scheduled cut path follows —
+    /// the per-table half of the tuning determinism contract.
+    schedule: PolicySchedule,
     chunk: Vec<Update>,
     scratch_f32: EpochScratch<f32>,
     scratch_i32: EpochScratch<i32>,
 }
 
 impl TableState {
-    /// A fresh table with every slot at the operator's identity.
-    pub fn new(spec: TableSpec) -> TableState {
+    /// A fresh table with every slot at the operator's identity, cutting
+    /// under `initial` until a policy change is scheduled.
+    pub fn new(spec: TableSpec, initial: EpochPolicy) -> TableState {
         let data = TableData::identity(&spec);
         TableState {
             spec,
             data,
             pending: ReorderBuffer::new(),
+            schedule: PolicySchedule::fixed(initial),
             chunk: Vec::new(),
             scratch_f32: EpochScratch::new(),
             scratch_i32: EpochScratch::new(),
@@ -220,35 +230,80 @@ impl TableState {
         self.pending.insert(update)
     }
 
+    /// Schedules `policy` for every slice starting at watermark `from` or
+    /// beyond — the tuning install point (and the trace replay loader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` precedes an already-scheduled change; installs
+    /// happen in watermark order by construction.
+    pub fn push_policy(&mut self, from: u64, policy: EpochPolicy) {
+        self.schedule.push(from, policy);
+    }
+
+    /// The table's watermark-keyed policy schedule.
+    pub fn schedule(&self) -> &PolicySchedule {
+        &self.schedule
+    }
+
+    /// Applies pending updates under the table's own policy schedule —
+    /// the serving epoch path. See [`cut_with`](Self::cut_with) for the
+    /// cut rules.
+    pub fn cut_scheduled(&mut self, drain: bool) -> Vec<SliceReport> {
+        let schedule = std::mem::take(&mut self.schedule);
+        let slices = self.cut_with(&schedule, drain);
+        self.schedule = schedule;
+        slices
+    }
+
     /// Applies pending updates in contiguous `seq` order as fixed-size
     /// batch slices of exactly `quantum` updates; with `drain`, a final
-    /// partial slice empties the contiguous run.
-    ///
-    /// The fixed slice size is what makes snapshots reproducible: the cut
-    /// positions in the logical stream depend only on the stream itself
-    /// (and on explicitly client-requested drains), never on arrival
-    /// timing, so the engine sees identical batches — and produces
-    /// bit-identical folds — on every replay.
+    /// partial slice empties the contiguous run. The static-policy
+    /// convenience over [`cut_with`](Self::cut_with) (the table's own
+    /// schedule is untouched).
     pub fn cut_and_apply(
         &mut self,
         quantum: usize,
         drain: bool,
         policy: &ExecPolicy,
     ) -> Vec<SliceReport> {
+        self.cut_with(&PolicySchedule::fixed(EpochPolicy::new(*policy, quantum)), drain)
+    }
+
+    /// The cut loop: each slice starts at the current watermark `wm` and
+    /// runs under `schedule.at(wm)` — exactly `quantum` updates, or the
+    /// contiguous remainder when `drain`ing.
+    ///
+    /// Cut positions are what make snapshots reproducible: under a fixed
+    /// schedule they depend only on the stream itself (and on explicitly
+    /// client-requested drains), never on arrival timing. A scheduled
+    /// policy change is a hard cut point — a slice never spans one — so a
+    /// changing quantum keeps the same property: boundaries are a pure
+    /// function of (stream content, schedule), and replaying a recorded
+    /// schedule reproduces every slice (and every table bit) of the
+    /// original run.
+    fn cut_with(&mut self, schedule: &PolicySchedule, drain: bool) -> Vec<SliceReport> {
         let mut slices = Vec::new();
         loop {
+            let wm = self.pending.watermark();
+            let policy = schedule.at(wm);
+            let quantum = policy.quantum;
             let run = self.pending.contiguous_len();
-            let take = if run >= quantum {
+            let mut take = if run >= quantum {
                 quantum
             } else if drain && run > 0 {
                 run
             } else {
                 break;
             };
+            if let Some(next) = schedule.next_change_after(wm) {
+                take = take.min((next - wm) as usize);
+            }
             self.pending.pop_run(take, &mut self.chunk);
-            let report = self.apply_chunk(policy);
+            let report = self.apply_chunk(&policy.exec);
             slices.push(SliceReport {
                 applied: take,
+                offered: quantum,
                 vectors: report.stats.vectors,
                 depth: report.stats.depth,
             });
@@ -309,19 +364,23 @@ mod tests {
         ExecPolicy::default().deterministic(true)
     }
 
+    fn state(spec: TableSpec) -> TableState {
+        TableState::new(spec, EpochPolicy::new(policy(), 4096))
+    }
+
     #[test]
     fn identity_initialization_per_op() {
-        let t = TableState::new(TableSpec::f32("m", OpKind::Min, 3));
+        let t = state(TableSpec::f32("m", OpKind::Min, 3));
         assert_eq!(t.data(), &TableData::F32(vec![f32::INFINITY; 3]));
-        let t = TableState::new(TableSpec::i32("c", OpKind::Add, 2));
+        let t = state(TableSpec::i32("c", OpKind::Add, 2));
         assert_eq!(t.data(), &TableData::I32(vec![0; 2]));
-        let t = TableState::new(TableSpec::i32("x", OpKind::Max, 1));
+        let t = state(TableSpec::i32("x", OpKind::Max, 1));
         assert_eq!(t.data(), &TableData::I32(vec![i32::MIN]));
     }
 
     #[test]
     fn quantum_slices_apply_only_full_batches_until_drained() {
-        let mut t = TableState::new(TableSpec::i32("c", OpKind::Add, 8));
+        let mut t = state(TableSpec::i32("c", OpKind::Add, 8));
         for seq in 0..10u64 {
             assert!(t.absorb(Update::i32(seq, (seq % 8) as u32, 1)));
         }
@@ -340,8 +399,31 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_policy_changes_cut_on_their_watermark() {
+        let mut t =
+            TableState::new(TableSpec::i32("c", OpKind::Add, 8), EpochPolicy::new(policy(), 4));
+        for seq in 0..20u64 {
+            t.absorb(Update::i32(seq, (seq % 8) as u32, 1));
+        }
+        // Quantum 4 until watermark 8, then quantum 8.
+        t.push_policy(8, EpochPolicy::new(policy(), 8));
+        let slices = t.cut_scheduled(false);
+        let sizes: Vec<(usize, usize)> = slices.iter().map(|s| (s.applied, s.offered)).collect();
+        assert_eq!(sizes, vec![(4, 4), (4, 4), (8, 8)], "4+4 under q=4, then one q=8 slice");
+        assert_eq!(t.watermark(), 16);
+        assert_eq!(t.pending_len(), 4, "partial q=8 tail waits for a drain");
+        // A change scheduled mid-run acts as a hard cut point.
+        t.push_policy(18, EpochPolicy::new(policy(), 2));
+        let slices = t.cut_scheduled(true);
+        let sizes: Vec<usize> = slices.iter().map(|s| s.applied).collect();
+        assert_eq!(sizes, vec![2, 2], "drain stops at the boundary, then cuts under q=2");
+        assert_eq!(t.watermark(), 20);
+        assert_eq!(t.schedule().len(), 3);
+    }
+
+    #[test]
     fn out_of_order_arrival_is_held_back_until_contiguous() {
-        let mut t = TableState::new(TableSpec::i32("c", OpKind::Add, 4));
+        let mut t = state(TableSpec::i32("c", OpKind::Add, 4));
         t.absorb(Update::i32(2, 0, 1));
         t.absorb(Update::i32(1, 0, 1));
         assert!(t.cut_and_apply(1, true, &policy()).is_empty(), "gap at seq 0 blocks");
@@ -353,7 +435,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_dropped_and_counted() {
-        let mut t = TableState::new(TableSpec::f32("m", OpKind::Min, 4));
+        let mut t = state(TableSpec::f32("m", OpKind::Min, 4));
         assert!(t.absorb(Update::f32(0, 1, 5.0)));
         assert!(!t.absorb(Update::f32(0, 1, 9.0)), "same seq again");
         t.cut_and_apply(1, true, &policy());
@@ -371,7 +453,7 @@ mod tests {
             (TableSpec::f32("c", OpKind::Max, 4), [2.0, 3.0], 3.0),
         ];
         for (spec, vals, expect) in cases {
-            let mut t = TableState::new(spec);
+            let mut t = state(spec);
             t.absorb(Update::f32(0, 1, vals[0]));
             t.absorb(Update::f32(1, 1, vals[1]));
             t.cut_and_apply(16, true, &policy());
@@ -381,7 +463,7 @@ mod tests {
         for (op, vals, expect) in
             [(OpKind::Add, [2, 3], 5i32), (OpKind::Min, [2, 3], 2), (OpKind::Max, [2, 3], 3)]
         {
-            let mut t = TableState::new(TableSpec::i32("t", op, 4));
+            let mut t = state(TableSpec::i32("t", op, 4));
             t.absorb(Update::i32(0, 1, vals[0]));
             t.absorb(Update::i32(1, 1, vals[1]));
             t.cut_and_apply(16, true, &policy());

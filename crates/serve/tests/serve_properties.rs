@@ -12,9 +12,10 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng, SmallRng};
 
+use invector_core::exec::ExecVariant;
 use invector_serve::{
-    LocalClient, OpKind, RejectReason, ServeClient, ServeConfig, ServerCore, SubmitOutcome,
-    TableSpec, Update,
+    LocalClient, OpKind, PolicyTrace, RejectReason, ServeClient, ServeConfig, ServerCore,
+    SubmitOutcome, TableSpec, TuneConfig, TuneMode, Update,
 };
 
 const TABLE_LEN: usize = 64;
@@ -55,9 +56,22 @@ fn replay(
     quantum: usize,
     rng: &mut SmallRng,
 ) -> Vec<Vec<u32>> {
+    replay_with_tune(streams, shards, quantum, TuneMode::Off, rng).0
+}
+
+/// [`replay`], but with a tuning mode: returns the snapshot bits and the
+/// run's recorded policy trace (empty unless tuning ran).
+fn replay_with_tune(
+    streams: &[Vec<Update>],
+    shards: usize,
+    quantum: usize,
+    tune: TuneMode,
+    rng: &mut SmallRng,
+) -> (Vec<Vec<u32>>, PolicyTrace) {
     let mut config = ServeConfig::new(tables());
     config.shards = shards;
     config.quantum = quantum;
+    config.tune = tune;
     let core = ServerCore::new(config).expect("core");
     let mut client = LocalClient::new(core.clone());
 
@@ -84,7 +98,9 @@ fn replay(
         }
     }
     client.flush().expect("flush");
-    (0..streams.len()).map(|t| client.snapshot(t as u16).expect("snapshot").bits()).collect()
+    let bits =
+        (0..streams.len()).map(|t| client.snapshot(t as u16).expect("snapshot").bits()).collect();
+    (bits, core.policy_trace())
 }
 
 proptest! {
@@ -178,6 +194,44 @@ proptest! {
             let got = client.snapshot(t as u16).expect("snapshot").bits();
             prop_assert_eq!(&got, expect, "table {} changed under duplicate delivery", t);
         }
+    }
+
+    /// Tuning preserves the determinism contract: a run under an
+    /// aggressive live controller records a policy trace, and replaying
+    /// that trace — under a *different* shard count, client split,
+    /// interleaving, and epoch timing — reproduces every snapshot bitwise.
+    #[test]
+    fn tuned_snapshots_replay_bitwise_from_the_recorded_trace(
+        seed in any::<u64>(),
+        len in 32usize..400,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = generate_streams(&mut rng, len);
+
+        // Tiny windows, zero hysteresis, a quantum/thread/variant lattice:
+        // the controller switches as often as it ever will, so the trace
+        // is dense with mid-stream policy changes.
+        let tune = TuneConfig {
+            quantum_ladder: vec![4, 16, 64],
+            thread_ladder: vec![1, 2],
+            variants: vec![ExecVariant::Invec, ExecVariant::Serial],
+            warmup_epochs: 1,
+            measure_epochs: 1,
+            hysteresis: 0.0,
+            hold_epochs: 4,
+            drift: 0.25,
+        };
+        let mut rng_a = SmallRng::seed_from_u64(seed ^ 0xa11ce);
+        let (tuned, trace) =
+            replay_with_tune(&streams, 2, 4, TuneMode::Auto(tune), &mut rng_a);
+
+        let mut rng_b = SmallRng::seed_from_u64(seed ^ 0xb0b);
+        let (replayed, _) =
+            replay_with_tune(&streams, 5, 4, TuneMode::Replay(trace.clone()), &mut rng_b);
+        prop_assert_eq!(
+            &tuned, &replayed,
+            "trace with {} entries failed to reproduce the tuned run", trace.len()
+        );
     }
 }
 

@@ -12,8 +12,8 @@ use invector_core::BackendChoice;
 use invector_harness::{driver, registry, RunRecord, RunSpec};
 use invector_kernels::{ExecPolicy, Variant};
 use invector_serve::{
-    LocalClient, OpKind, ReactorKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec,
-    TcpClient, Update,
+    LocalClient, OpKind, PolicyHandle, ReactorKind, ServeClient, ServeConfig, Server, ServerCore,
+    TableSpec, TcpClient, TuneConfig, TuneMode, Update,
 };
 
 /// Reactor front-end knobs shared by `serve` and `bench-serve`.
@@ -25,6 +25,53 @@ pub struct NetOpts {
     pub max_conns: usize,
     /// Readiness backend selection.
     pub reactor: ReactorKind,
+}
+
+/// Execution knobs shared by `run`, `run-all`, `serve`, and `bench-serve`:
+/// one struct, parsed once, so the commands cannot drift apart on
+/// defaults or validation.
+///
+/// The quantum/shard fields only matter to the serving commands; batch
+/// runs carry them inert. `tune` switches the serving epoch loop from the
+/// static policy to the online controller
+/// ([`TuneMode::Auto`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOpts {
+    /// Worker threads for kernel/epoch execution.
+    pub threads: usize,
+    /// Backend request.
+    pub backend: BackendChoice,
+    /// Ingest shard count (serving commands).
+    pub shards: usize,
+    /// Epoch batch quantum (serving commands).
+    pub quantum: usize,
+    /// Self-tune the execution policy between epochs (serving commands).
+    pub tune: bool,
+}
+
+impl ExecOpts {
+    fn parse(opts: &Opts) -> Result<ExecOpts, String> {
+        let threads = lookup(opts, "threads", 1)?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        let backend = parse_backend(get(opts, "backend").unwrap_or("auto"))?;
+        let shards = lookup(opts, "shards", 4)?;
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        let quantum = lookup(opts, "quantum", 4096)?;
+        if quantum == 0 {
+            return Err("--quantum must be at least 1".into());
+        }
+        Ok(ExecOpts { threads, backend, shards, quantum, tune: get(opts, "tune").is_some() })
+    }
+
+    /// The engine policy these options denote, behind the process's
+    /// swappable policy route.
+    fn policy_handle(&self) -> PolicyHandle {
+        PolicyHandle::fixed(ExecPolicy::with_threads(self.threads).backend(self.backend))
+    }
 }
 
 /// A parsed CLI invocation.
@@ -47,10 +94,8 @@ pub enum Command {
         variants: Vec<Variant>,
         /// Workload sizing.
         spec: RunSpec,
-        /// Worker threads.
-        threads: usize,
-        /// Backend request.
-        backend: BackendChoice,
+        /// Shared execution knobs (threads/backend used here).
+        exec: ExecOpts,
         /// Timed repetitions per variant (best run is reported).
         repeat: u32,
         /// Enable runtime observability: publish run statistics into the
@@ -81,14 +126,8 @@ pub enum Command {
         addr: String,
         /// Stream sizing (rows = updates per table, cardinality = slots).
         spec: RunSpec,
-        /// Worker threads for epoch execution.
-        threads: usize,
-        /// Backend request.
-        backend: BackendChoice,
-        /// Ingest shard count.
-        shards: usize,
-        /// Epoch batch quantum.
-        quantum: usize,
+        /// Shared execution knobs (threads/backend/shards/quantum/tune).
+        exec: ExecOpts,
         /// Reactor front-end knobs.
         net: NetOpts,
         /// Run the self-checking loopback smoke instead of serving.
@@ -100,12 +139,8 @@ pub enum Command {
     BenchServe {
         /// Stream sizing.
         spec: RunSpec,
-        /// Worker threads for epoch execution.
-        threads: usize,
-        /// Backend request.
-        backend: BackendChoice,
-        /// Ingest shard count.
-        shards: usize,
+        /// Shared execution knobs (threads/backend/shards/tune).
+        exec: ExecOpts,
         /// Reactor front-end knobs (carried into the serve config).
         net: NetOpts,
     },
@@ -162,6 +197,10 @@ SERVING OPTIONS (serve / bench-serve / metrics):
   --reactor <r>        auto | epoll | poll                       [auto]
   --smoke              serve: loopback self-check, then exit
   --clients <n>        serve --smoke: racing TCP clients         [2]
+  --tune               serve / bench-serve: self-tune the epoch quantum and
+                       execution policy online from completed-epoch metrics
+                       (snapshots stay bitwise-deterministic; the policy
+                       trace is replayable)
 ";
 
 fn parse_dist(s: &str) -> Result<Distribution, String> {
@@ -222,7 +261,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Help);
     };
     // Options that are flags: present or absent, no value.
-    const FLAGS: [&str; 2] = ["smoke", "obs"];
+    const FLAGS: [&str; 3] = ["smoke", "obs", "tune"];
     let mut opts: Opts = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -238,7 +277,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         opts.push((key.to_string(), value.clone()));
         i += 2;
     }
-    const KNOWN: [&str; 23] = [
+    const KNOWN: [&str; 24] = [
         "app",
         "dataset",
         "variant",
@@ -262,20 +301,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "smoke",
         "clients",
         "obs",
+        "tune",
     ];
     if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(format!("unknown option --{k}"));
     }
 
-    let threads = lookup(&opts, "threads", 1)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
-    let backend = parse_backend(get(&opts, "backend").unwrap_or("auto"))?;
-    let shards = lookup(&opts, "shards", 4)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
+    let exec = ExecOpts::parse(&opts)?;
     let io_threads = lookup(&opts, "io-threads", 2)?;
     if io_threads == 0 {
         return Err("--io-threads must be at least 1".into());
@@ -297,7 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "run-all" => {
             return Ok(Command::RunAll {
                 spec: build_spec(&opts, "tiny")?,
-                threads,
+                threads: exec.threads,
                 backend: get(&opts, "backend").map(parse_backend).transpose()?,
                 obs: get(&opts, "obs").is_some(),
             })
@@ -311,10 +343,6 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         // `serve` app; the harness workload stays reachable via
         // `run --app serve`.
         "serve" => {
-            let quantum = lookup(&opts, "quantum", 4096)?;
-            if quantum == 0 {
-                return Err("--quantum must be at least 1".into());
-            }
             let clients = lookup(&opts, "clients", 2)?;
             if clients == 0 {
                 return Err("--clients must be at least 1".into());
@@ -322,23 +350,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             return Ok(Command::Serve {
                 addr: get(&opts, "addr").unwrap_or("127.0.0.1:7411").to_string(),
                 spec: build_spec(&opts, "tiny")?,
-                threads,
-                backend,
-                shards,
-                quantum,
+                exec,
                 net,
                 smoke: get(&opts, "smoke").is_some(),
                 clients,
             });
         }
         "bench-serve" => {
-            return Ok(Command::BenchServe {
-                spec: build_spec(&opts, "small")?,
-                threads,
-                backend,
-                shards,
-                net,
-            });
+            return Ok(Command::BenchServe { spec: build_spec(&opts, "small")?, exec, net });
         }
         "run" => get(&opts, "app")
             .ok_or_else(|| "run needs --app <name> (see 'invector list')".to_string())?
@@ -380,8 +399,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         app,
         variants,
         spec: build_spec(&opts, "small")?,
-        threads,
-        backend,
+        exec,
         repeat,
         obs: get(&opts, "obs").is_some(),
     })
@@ -398,17 +416,15 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Help => println!("{USAGE}"),
         Command::Info { scale } => run_info(scale),
         Command::List => run_list(),
-        Command::Run { app, variants, spec, threads, backend, repeat, obs } => {
-            run_app(&app, &variants, &spec, threads, backend, repeat, obs)?
+        Command::Run { app, variants, spec, exec, repeat, obs } => {
+            run_app(&app, &variants, &spec, exec, repeat, obs)?
         }
         Command::RunAll { spec, threads, backend, obs } => run_all(&spec, threads, backend, obs)?,
         Command::Metrics { addr } => run_metrics(&addr)?,
-        Command::Serve { addr, spec, threads, backend, shards, quantum, net, smoke, clients } => {
-            run_serve(&addr, &spec, threads, backend, shards, quantum, net, smoke, clients)?
+        Command::Serve { addr, spec, exec, net, smoke, clients } => {
+            run_serve(&addr, &spec, exec, net, smoke, clients)?
         }
-        Command::BenchServe { spec, threads, backend, shards, net } => {
-            run_bench_serve(&spec, threads, backend, shards, net)?
-        }
+        Command::BenchServe { spec, exec, net } => run_bench_serve(&spec, exec, net)?,
     }
     Ok(())
 }
@@ -474,8 +490,7 @@ fn run_app(
     app: &str,
     variants: &[Variant],
     spec: &RunSpec,
-    threads: usize,
-    backend: BackendChoice,
+    exec: ExecOpts,
     repeat: u32,
     obs: bool,
 ) -> Result<(), String> {
@@ -488,8 +503,11 @@ fn run_app(
     if obs {
         invector_obs::set_enabled(true);
     }
-    let policy = ExecPolicy::with_threads(threads).backend(backend);
+    // Batch runs hold the policy fixed, but read it through the same
+    // swappable handle the serving layer tunes through.
+    let handle = exec.policy_handle();
     for &variant in variants {
+        let policy = handle.exec();
         let mut best = workload.run(variant, &policy);
         for _ in 1..repeat {
             let r = workload.run(variant, &policy);
@@ -680,50 +698,48 @@ fn serve_reference(counts: &[Update], mins: &[Update], cardinality: usize) -> (V
     )
 }
 
-fn serve_config(
-    spec: &RunSpec,
-    threads: usize,
-    backend: BackendChoice,
-    shards: usize,
-    quantum: usize,
-    net: NetOpts,
-) -> ServeConfig {
+fn serve_config(spec: &RunSpec, exec: ExecOpts, net: NetOpts) -> ServeConfig {
     let mut config = ServeConfig::new(serve_tables(spec.cardinality.max(1)));
-    config.shards = shards;
-    config.quantum = quantum;
-    config.threads = threads;
-    config.backend = backend;
+    config.shards = exec.shards;
+    config.quantum = exec.quantum;
+    config.threads = exec.threads;
+    config.backend = exec.backend;
     config.io_threads = net.io_threads;
     config.max_connections = net.max_conns;
     config.reactor = net.reactor;
+    if exec.tune {
+        config.tune = TuneMode::Auto(TuneConfig::default());
+    }
     config
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_serve(
     addr: &str,
     spec: &RunSpec,
-    threads: usize,
-    backend: BackendChoice,
-    shards: usize,
-    quantum: usize,
+    exec: ExecOpts,
     net: NetOpts,
     smoke: bool,
     clients: usize,
 ) -> Result<(), String> {
     if smoke {
-        return serve_smoke(spec, threads, backend, shards, quantum, net, clients);
+        return serve_smoke(spec, exec, net, clients);
     }
-    let config = serve_config(spec, threads, backend, shards, quantum, net);
+    let config = serve_config(spec, exec, net);
     let server = Server::bind(config, addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("invector-serve listening on {}", server.local_addr());
     println!("  tables: counts (i32 add), mins (f32 min) x {} slots", spec.cardinality.max(1));
-    println!("  shards {shards}, quantum {quantum}, threads {threads}");
+    println!(
+        "  shards {}, quantum {}, threads {}, tuning {}",
+        exec.shards,
+        exec.quantum,
+        exec.threads,
+        if exec.tune { "on" } else { "off" }
+    );
     println!(
         "  reactor {} x {} io threads, {} connection cap",
         net.reactor, net.io_threads, net.max_conns
     );
-    println!("  backend {}", backend.resolve().name());
+    println!("  backend {}", exec.backend.resolve().name());
     println!("  stop with a Shutdown frame (protocol v{})", invector_serve::PROTOCOL_VERSION);
     server.join();
     Ok(())
@@ -733,25 +749,21 @@ fn run_serve(
 /// client drive a mixed workload against an ephemeral server; the drained
 /// snapshots must match the serial fold bitwise, and shutdown must drain
 /// cleanly.
-fn serve_smoke(
-    spec: &RunSpec,
-    threads: usize,
-    backend: BackendChoice,
-    shards: usize,
-    quantum: usize,
-    net: NetOpts,
-    clients: usize,
-) -> Result<(), String> {
+fn serve_smoke(spec: &RunSpec, exec: ExecOpts, net: NetOpts, clients: usize) -> Result<(), String> {
     let cardinality = spec.cardinality.max(1);
-    let config = serve_config(spec, threads, backend, shards, quantum, net);
+    let config = serve_config(spec, exec, net);
     let server = Server::bind(config, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
     let addr = server.local_addr();
     println!(
-        "serve smoke on {addr}: shards {shards}, quantum {quantum}, threads {threads}, \
+        "serve smoke on {addr}: shards {}, quantum {}, threads {}, tuning {}, \
          reactor {} x {} io threads, {clients} clients, backend {}",
+        exec.shards,
+        exec.quantum,
+        exec.threads,
+        if exec.tune { "on" } else { "off" },
         net.reactor,
         net.io_threads,
-        backend.resolve().name()
+        exec.backend.resolve().name()
     );
 
     let (counts, mins) = serve_streams(spec);
@@ -847,6 +859,14 @@ fn serve_smoke(
     if watermarks != vec![rows, rows] {
         return Err(format!("shutdown watermarks {watermarks:?}, expected [{rows}, {rows}]"));
     }
+    if exec.tune {
+        let core = server.core();
+        println!(
+            "  tuning: {} policy changes recorded, final quantum {}",
+            core.policy_trace().len(),
+            core.current_policy().quantum
+        );
+    }
     server.join();
     println!("  snapshots match the serial fold bitwise; drain clean");
     Ok(())
@@ -854,34 +874,36 @@ fn serve_smoke(
 
 /// In-process throughput sweep: the same stream folded under increasing
 /// epoch quanta, showing what micro-batching buys over per-update epochs.
-fn run_bench_serve(
-    spec: &RunSpec,
-    threads: usize,
-    backend: BackendChoice,
-    shards: usize,
-    net: NetOpts,
-) -> Result<(), String> {
+/// With `--tune`, a final row starts the controller at the worst quantum
+/// and reports where it converges.
+fn run_bench_serve(spec: &RunSpec, exec: ExecOpts, net: NetOpts) -> Result<(), String> {
     let (counts, _) = serve_streams(spec);
     println!(
-        "bench-serve: {} updates, {} slots, shards {shards}, threads {threads}, backend {}",
+        "bench-serve: {} updates, {} slots, shards {}, threads {}, backend {}",
         counts.len(),
         spec.cardinality.max(1),
-        backend.resolve().name()
+        exec.shards,
+        exec.threads,
+        exec.backend.resolve().name()
     );
     println!("{:>8} {:>12} {:>12} {:>10}", "quantum", "elapsed_ms", "Mup/s", "slices");
     let mut baseline = None;
-    for quantum in [1usize, 64, 1024, 4096] {
-        let mut config = serve_config(spec, threads, backend, shards, quantum, net);
-        config.queue_capacity = quantum.max(4096) * 4;
+    let fold = |config: ServeConfig| -> Result<(f64, u64, std::sync::Arc<ServerCore>), String> {
         let core = ServerCore::new(config)?;
-        let mut client = LocalClient::new(core);
+        let mut client = LocalClient::new(core.clone());
         let start = Instant::now();
         for chunk in counts.chunks(1024) {
             client.submit_all(0, chunk)?;
         }
         client.flush()?;
         let elapsed = start.elapsed().as_secs_f64();
-        let stats = client.stats()?;
+        let slices = client.stats()?.slices;
+        Ok((elapsed, slices, core))
+    };
+    for quantum in [1usize, 64, 1024, 4096] {
+        let mut config = serve_config(spec, ExecOpts { quantum, tune: false, ..exec }, net);
+        config.queue_capacity = quantum.max(4096) * 4;
+        let (elapsed, slices, _) = fold(config)?;
         let mups = counts.len() as f64 / elapsed / 1e6;
         let speedup = match baseline {
             None => {
@@ -890,13 +912,25 @@ fn run_bench_serve(
             }
             Some(b) => format!("  ({:.1}x vs quantum 1)", mups / b),
         };
+        println!("{:>8} {:>12.2} {:>12.2} {:>10}{}", quantum, elapsed * 1e3, mups, slices, speedup);
+    }
+    if exec.tune {
+        // Start the controller at the smallest rung so the row shows the
+        // climb, not the starting guess.
+        let ladder = TuneConfig::default().quantum_ladder;
+        let mut config = serve_config(spec, ExecOpts { quantum: ladder[0], ..exec }, net);
+        config.queue_capacity = ladder.last().copied().unwrap_or(4096) * 4;
+        let (elapsed, slices, core) = fold(config)?;
+        let mups = counts.len() as f64 / elapsed / 1e6;
         println!(
-            "{:>8} {:>12.2} {:>12.2} {:>10}{}",
-            quantum,
+            "{:>8} {:>12.2} {:>12.2} {:>10}  (tuned from {}, {} policy changes, final quantum {})",
+            "tuned",
             elapsed * 1e3,
             mups,
-            stats.slices,
-            speedup
+            slices,
+            ladder[0],
+            core.policy_trace().len(),
+            core.current_policy().quantum
         );
     }
     Ok(())
@@ -923,15 +957,16 @@ mod tests {
         let explicit = parse(&args("run --app sssp --variant invec --source 3")).unwrap();
         assert_eq!(direct, explicit);
         match direct {
-            Command::Run { app, variants, spec, threads, backend, repeat, obs } => {
+            Command::Run { app, variants, spec, exec, repeat, obs } => {
                 assert_eq!(app, "sssp");
                 assert_eq!(variants, vec![Variant::Invec]);
                 assert_eq!(spec.source, 3);
                 assert_eq!(spec.scale, RunSpec::small().scale);
-                assert_eq!(threads, 1);
-                assert_eq!(backend, BackendChoice::Auto);
+                assert_eq!(exec.threads, 1);
+                assert_eq!(exec.backend, BackendChoice::Auto);
                 assert_eq!(repeat, 1);
                 assert!(!obs, "--obs defaults off");
+                assert!(!exec.tune, "--tune defaults off");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -949,11 +984,12 @@ mod tests {
     #[test]
     fn serve_command_shadows_the_app_shorthand_and_takes_serving_options() {
         match parse(&args("serve --shards 8 --quantum 512 --smoke")).unwrap() {
-            Command::Serve { addr, shards, quantum, smoke, .. } => {
+            Command::Serve { addr, exec, smoke, .. } => {
                 assert_eq!(addr, "127.0.0.1:7411");
-                assert_eq!(shards, 8);
-                assert_eq!(quantum, 512);
+                assert_eq!(exec.shards, 8);
+                assert_eq!(exec.quantum, 512);
                 assert!(smoke);
+                assert!(!exec.tune);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1001,20 +1037,67 @@ mod tests {
     #[test]
     fn bench_serve_parses_with_defaults() {
         match parse(&args("bench-serve --scale tiny")).unwrap() {
-            Command::BenchServe { spec, threads, shards, .. } => {
+            Command::BenchServe { spec, exec, .. } => {
                 assert_eq!(spec.rows, RunSpec::tiny().rows);
-                assert_eq!(threads, 1);
-                assert_eq!(shards, 4);
+                assert_eq!(exec.threads, 1);
+                assert_eq!(exec.shards, 4);
+                assert_eq!(exec.quantum, 4096);
+                assert!(!exec.tune);
             }
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
+    fn tune_flag_parses_on_the_serving_commands() {
+        match parse(&args("serve --tune --smoke")).unwrap() {
+            Command::Serve { exec, .. } => assert!(exec.tune),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&args("bench-serve --tune --scale tiny")).unwrap() {
+            Command::BenchServe { exec, .. } => assert!(exec.tune),
+            other => panic!("unexpected {other:?}"),
+        }
+        let config = serve_config(
+            &RunSpec::tiny(),
+            ExecOpts {
+                threads: 1,
+                backend: BackendChoice::Auto,
+                shards: 2,
+                quantum: 64,
+                tune: true,
+            },
+            NetOpts { io_threads: 1, max_conns: 8, reactor: ReactorKind::Auto },
+        );
+        assert!(matches!(config.tune, TuneMode::Auto(_)), "--tune selects the controller");
+    }
+
+    #[test]
     fn serve_smoke_round_trips_on_loopback() {
         let spec = RunSpec { rows: 1200, cardinality: 32, ..RunSpec::tiny() };
         let net = NetOpts { io_threads: 2, max_conns: 64, reactor: ReactorKind::Auto };
-        serve_smoke(&spec, 1, BackendChoice::Auto, 3, 128, net, 4).expect("smoke must pass");
+        let exec = ExecOpts {
+            threads: 1,
+            backend: BackendChoice::Auto,
+            shards: 3,
+            quantum: 128,
+            tune: false,
+        };
+        serve_smoke(&spec, exec, net, 4).expect("smoke must pass");
+    }
+
+    #[test]
+    fn serve_smoke_stays_bitwise_correct_with_tuning_on() {
+        let spec = RunSpec { rows: 1500, cardinality: 32, ..RunSpec::tiny() };
+        let net = NetOpts { io_threads: 2, max_conns: 64, reactor: ReactorKind::Auto };
+        let exec = ExecOpts {
+            threads: 1,
+            backend: BackendChoice::Auto,
+            shards: 2,
+            quantum: 64,
+            tune: true,
+        };
+        serve_smoke(&spec, exec, net, 2).expect("tuned smoke must still match the serial fold");
     }
 
     #[test]
@@ -1134,8 +1217,14 @@ mod tests {
 
         invector_obs::set_enabled(true);
         let spec = RunSpec { rows: 400, cardinality: 16, ..RunSpec::tiny() };
-        run_app("agg", &[Variant::Invec], &spec, 2, BackendChoice::Auto, 1, false)
-            .expect("agg run");
+        let exec = ExecOpts {
+            threads: 2,
+            backend: BackendChoice::Auto,
+            shards: 4,
+            quantum: 4096,
+            tune: false,
+        };
+        run_app("agg", &[Variant::Invec], &spec, exec, 1, false).expect("agg run");
         obs_report(path).expect("obs report");
 
         let text = std::fs::read_to_string(path).expect("trace file");
