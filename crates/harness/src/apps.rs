@@ -708,6 +708,149 @@ impl Workload for ServeWorkload {
     }
 }
 
+/// Crash-recovery drill over the serving layer: the vector variant streams
+/// the same updates as `serve`, but drops the core mid-stream with the WAL
+/// as the only survivor, reopens over the log, and finishes ingest on the
+/// recovered core. The final snapshot must still match the serial fold
+/// bitwise — recovery is replay, not approximation.
+pub struct ServeRecoverApp;
+
+struct ServeRecoverWorkload {
+    inner: ServeWorkload,
+}
+
+impl Kernel for ServeRecoverApp {
+    fn name(&self) -> &'static str {
+        "serve-recover"
+    }
+    fn summary(&self) -> &'static str {
+        "Crash recovery: WAL-backed serve core dropped mid-stream, replayed, resumed (invector-replog)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        const VARIANTS: [Variant; 2] = [Variant::Serial, Variant::Invec];
+        &VARIANTS
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Frontier
+    }
+    fn tolerance(&self) -> f64 {
+        // Recovery replays the identical admitted slices through the
+        // identical epoch path, so the snapshot must be bitwise-exact.
+        0.0
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.rows == 0 || spec.cardinality == 0 {
+            return Err("recovery drill needs rows >= 1 and cardinality >= 1".into());
+        }
+        let input = agg::dist::generate(spec.dist, spec.rows, spec.cardinality, INPUT_SEED);
+        Ok(Box::new(ServeRecoverWorkload { inner: ServeWorkload { input, dist: spec.dist } }))
+    }
+}
+
+impl ServeRecoverWorkload {
+    /// A fresh scratch directory for one recovery run. Each call gets its
+    /// own path so repeated runs (bench iterations) never replay a stale log.
+    fn scratch_dir() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "invector-harness-recover-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Durable served path with a simulated crash: ingest the first half of
+    /// each stream, flush, drop the core (the WAL is all that survives),
+    /// recover a fresh core over the same directory, finish the streams on
+    /// it, and snapshot.
+    fn run_recovered(&self, policy: &ExecPolicy) -> Result<Vec<f64>, String> {
+        use invector_serve::{
+            LocalClient, OpKind, ServeClient, ServeConfig, ServerCore, SyncPolicy, TableSpec,
+            WalOptions,
+        };
+        let card = self.inner.input.cardinality;
+        let dir = Self::scratch_dir();
+        let config = || {
+            let mut config = ServeConfig::new(vec![
+                TableSpec::i32("counts", OpKind::Add, card),
+                TableSpec::f32("mins", OpKind::Min, card),
+            ]);
+            config.quantum = SERVE_QUANTUM;
+            config.threads = policy.threads.max(1);
+            config.backend = policy.backend;
+            let mut wal = WalOptions::new(&dir);
+            wal.sync = SyncPolicy::Os;
+            // A short cadence so larger scales exercise checkpoint +
+            // log-tail recovery, not just raw replay.
+            wal.checkpoint_epochs = 16;
+            config.wal = Some(wal);
+            config
+        };
+        let (counts, mins) = self.inner.streams();
+        let result = (|| {
+            // Phase one: ingest the first half of both streams, then crash.
+            let core = ServerCore::new(config())?;
+            let mut client = LocalClient::new(core);
+            for (table, stream) in [(0u16, &counts), (1u16, &mins)] {
+                for chunk in stream[..stream.len() / 2].chunks(SERVE_CHUNK) {
+                    client.submit_all(table, chunk)?;
+                }
+            }
+            client.flush()?;
+            drop(client);
+
+            // Phase two: recover over the log and finish the streams.
+            let core = ServerCore::new(config())?;
+            let mut client = LocalClient::new(core);
+            for (table, stream) in [(0u16, &counts), (1u16, &mins)] {
+                for chunk in stream[stream.len() / 2..].chunks(SERVE_CHUNK) {
+                    client.submit_all(table, chunk)?;
+                }
+            }
+            client.flush()?;
+            let mut values = client.snapshot(0)?.data.to_f64();
+            values.extend(client.snapshot(1)?.data.to_f64());
+            Ok(values)
+        })();
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    }
+}
+
+impl Workload for ServeRecoverWorkload {
+    fn describe(&self) -> String {
+        format!("{} (crash + WAL replay at midpoint)", self.inner.describe())
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let instr_before = invector_simd::count::read();
+        let start = Instant::now();
+        let values = match variant {
+            Variant::Serial => self.inner.run_serial(),
+            _ => self
+                .run_recovered(policy)
+                .unwrap_or_else(|e| panic!("recovery workload failed: {e}")),
+        };
+        let timings = Timings { compute: start.elapsed(), ..Timings::default() };
+        RunRecord {
+            app: "serve-recover",
+            variant,
+            label: variant.label(TilingMode::Frontier),
+            values,
+            iterations: 1,
+            timings,
+            instructions: invector_simd::count::read().wrapping_sub(instr_before),
+            utilization: None,
+            depth: None,
+            threads: policy.threads.max(1),
+            backend: policy.backend.resolve(),
+            updates: 2 * self.inner.input.len() as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +880,18 @@ mod tests {
             .agrees_with(&served, ServeApp.tolerance())
             .expect("serving layer diverged from the serial fold");
         assert!(served.updates > 0 && served.mupdates_per_sec().is_some());
+    }
+
+    #[test]
+    fn recovered_snapshot_matches_the_serial_fold_bitwise() {
+        let spec = RunSpec::tiny();
+        let workload = ServeRecoverApp.prepare(&spec).expect("prepare");
+        let policy = ExecPolicy::default().backend(invector_core::BackendChoice::Portable);
+        let serial = workload.run(Variant::Serial, &policy);
+        let recovered = workload.run(Variant::Invec, &policy);
+        serial
+            .agrees_with(&recovered, ServeRecoverApp.tolerance())
+            .expect("crash recovery diverged from the serial fold");
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! by name from the CLI, the benches, and the smoke driver.
 
 use crate::apps::{
-    AggApp, BfsApp, EulerApp, MoldynApp, PageRankApp, ServeApp, SpmvApp, SsspApp, SswpApp, WccApp,
+    AggApp, BfsApp, EulerApp, MoldynApp, PageRankApp, ServeApp, ServeRecoverApp, SpmvApp, SsspApp,
+    SswpApp, WccApp,
 };
 use crate::kernel::Kernel;
 
 /// Every registered application, in the paper's presentation order
 /// (Figures 8–13, then the extra wave kernels and the serving layer).
-static REGISTRY: [&dyn Kernel; 10] = [
+static REGISTRY: [&dyn Kernel; 11] = [
     &PageRankApp,
     &SpmvApp,
     &SsspApp,
@@ -19,6 +20,7 @@ static REGISTRY: [&dyn Kernel; 10] = [
     &MoldynApp,
     &AggApp,
     &ServeApp,
+    &ServeRecoverApp,
 ];
 
 /// All registered applications.
@@ -86,7 +88,7 @@ mod tests {
             assert!(!app.variants().is_empty());
             assert_eq!(app.variants()[0], invector_kernels::Variant::Serial);
         }
-        assert_eq!(all().len(), 10);
+        assert_eq!(all().len(), 11);
     }
 
     #[test]

@@ -11,10 +11,25 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, ProtoError, Reply, Request, StatsSummary, Update, PROTOCOL_VERSION,
+    read_frame, write_frame, ProtoError, Reply, Request, SnapshotAssembler, SnapshotMetaTable,
+    StatsSummary, Update, PROTOCOL_VERSION,
 };
-use crate::server::{ServerCore, Snapshot, SubmitOutcome};
+use crate::server::{LogTailPage, ServerCore, Snapshot, SubmitOutcome};
 use crate::table::{TableData, TableSpec, ValueKind};
+
+/// A pinned chunked-snapshot transfer plan, as announced by
+/// `SnapshotMeta`: what to fetch and what it must hash to.
+#[derive(Debug, Clone)]
+pub struct SnapshotPlan {
+    /// Checkpoint generation of the pinned log position.
+    pub checkpoint: u64,
+    /// Log index the pinned tables correspond to.
+    pub index: u64,
+    /// Values per chunk frame.
+    pub chunk_values: u32,
+    /// Per-table watermark, length, and checksum.
+    pub tables: Vec<SnapshotMetaTable>,
+}
 
 /// Transport-independent client surface.
 pub trait ServeClient {
@@ -121,7 +136,18 @@ impl ServeClient for LocalClient {
     }
 
     fn snapshot(&mut self, table: u16) -> Result<Snapshot, String> {
-        self.core.snapshot(table)
+        let snap = self.core.snapshot(table)?;
+        // Same verification the TCP path performs on received bytes: the
+        // checksum the server stamped must match the data it handed over.
+        let computed = crate::protocol::snapshot_checksum(&snap.bits());
+        if computed != snap.checksum {
+            return Err(format!(
+                "snapshot checksum mismatch for table {table}: computed {computed:#010x}, \
+                 server stamped {:#010x}",
+                snap.checksum
+            ));
+        }
+        Ok(snap)
     }
 
     fn stats(&mut self) -> Result<StatsSummary, String> {
@@ -236,6 +262,92 @@ impl TcpClient {
         }
     }
 
+    /// Pins a consistent all-table state server-side for chunked
+    /// transfer; returns the transfer plan (per-table lengths, checksums,
+    /// chunk geometry, and the matching log position).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or unexpected replies.
+    pub fn snapshot_begin(&mut self) -> Result<SnapshotPlan, String> {
+        match self.round_trip(&Request::SnapshotBegin)? {
+            Reply::SnapshotMeta { checkpoint, index, chunk_values, tables } => {
+                Ok(SnapshotPlan { checkpoint, index, chunk_values, tables })
+            }
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected snapshot-begin reply {other:?}")),
+        }
+    }
+
+    /// Fetches one chunk of a pinned table's bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures, server-side errors
+    /// (no pin, chunk out of range), or replies for the wrong chunk.
+    pub fn snapshot_chunk(&mut self, table: u16, chunk: u32) -> Result<Vec<u32>, String> {
+        match self.round_trip(&Request::SnapshotChunk { table, chunk })? {
+            Reply::SnapshotChunk { table: t, chunk: c, values } => {
+                if t != table || c != chunk {
+                    return Err(format!(
+                        "asked for table {table} chunk {chunk}, got table {t} chunk {c}"
+                    ));
+                }
+                Ok(values)
+            }
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected snapshot-chunk reply {other:?}")),
+        }
+    }
+
+    /// Fetches admitted-batch log records from `index` within checkpoint
+    /// generation `checkpoint`, at most `max_bytes` of payload per page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or server-side errors
+    /// (no WAL, index beyond head).
+    pub fn log_tail(
+        &mut self,
+        checkpoint: u64,
+        index: u64,
+        max_bytes: u32,
+    ) -> Result<LogTailPage, String> {
+        match self.round_trip(&Request::LogTail { checkpoint, index, max_bytes })? {
+            Reply::LogRecords { checkpoint, next_index, head, reset, records } => {
+                Ok(LogTailPage { checkpoint, next_index, head, reset, records })
+            }
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected log-tail reply {other:?}")),
+        }
+    }
+
+    /// Downloads one pinned table through the chunked verbs, verifying
+    /// chunk order, total length, and the announced checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or any assembly/integrity
+    /// violation (out-of-order chunk, length or checksum mismatch).
+    pub fn fetch_pinned_table(
+        &mut self,
+        plan: &SnapshotPlan,
+        table: u16,
+    ) -> Result<Vec<u32>, String> {
+        let meta = plan
+            .tables
+            .iter()
+            .find(|m| m.table == table)
+            .ok_or_else(|| format!("table {table} not in the snapshot plan"))?;
+        let mut asm = SnapshotAssembler::new(table, meta.len, meta.checksum, plan.chunk_values);
+        while !asm.complete() {
+            let chunk = asm.next_chunk();
+            let values = self.snapshot_chunk(table, chunk)?;
+            asm.push(table, chunk, &values).map_err(|e| e.to_string())?;
+        }
+        asm.finish().map_err(|e| e.to_string())
+    }
+
     /// Asks the server to drain and stop; returns the final per-table
     /// watermarks.
     ///
@@ -293,7 +405,14 @@ impl ServeClient for TcpClient {
 
     fn snapshot(&mut self, table: u16) -> Result<Snapshot, String> {
         match self.round_trip(&Request::Snapshot { table })? {
-            Reply::Snapshot { table, watermark, values } => {
+            Reply::Snapshot { table, watermark, checksum, values } => {
+                let computed = crate::protocol::snapshot_checksum(&values);
+                if computed != checksum {
+                    return Err(format!(
+                        "snapshot checksum mismatch for table {table}: computed {computed:#010x} \
+                         over received values, server stamped {checksum:#010x}",
+                    ));
+                }
                 let spec = self
                     .tables
                     .get(table as usize)
@@ -304,7 +423,7 @@ impl ServeClient for TcpClient {
                     }
                     ValueKind::I32 => TableData::I32(values.iter().map(|&b| b as i32).collect()),
                 };
-                Ok(Snapshot { table, watermark, data })
+                Ok(Snapshot { table, watermark, checksum, data })
             }
             Reply::Error(m) => Err(m),
             other => Err(format!("unexpected snapshot reply {other:?}")),

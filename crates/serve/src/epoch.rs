@@ -104,6 +104,25 @@ impl ReorderBuffer {
             self.watermark += 1;
         }
     }
+
+    /// Fast-forwards the watermark without popping: positions below `to`
+    /// were applied externally (checkpoint install, logged-slice replay).
+    /// Any update buffered below the new watermark is dropped as already
+    /// applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a watermark regression — recovery only ever moves forward.
+    pub fn advance_to(&mut self, to: u64) {
+        assert!(to >= self.watermark, "watermark regression {} -> {to}", self.watermark);
+        self.watermark = to;
+        while let Some(entry) = self.held.first_entry() {
+            if *entry.key() >= to {
+                break;
+            }
+            entry.remove();
+        }
+    }
 }
 
 /// One epoch's outcome: what [`tick`](crate::server::ServerCore::tick)
@@ -169,6 +188,25 @@ pub struct ServeStats {
     depth: Histogram,
     /// `invector_serve_epoch_latency_us`: epoch wall time.
     latency_us: Histogram,
+    /// `invector_serve_wal_appends_total`: batch records appended to the
+    /// write-ahead log.
+    wal_appends: Counter,
+    /// `invector_serve_wal_bytes_total`: framed bytes appended to the log.
+    wal_bytes: Counter,
+    /// `invector_serve_wal_fsyncs_total`: explicit log syncs issued.
+    wal_fsyncs: Counter,
+    /// `invector_serve_wal_replayed_total`: updates replayed from the log
+    /// during recovery or follower tailing.
+    wal_replayed: Counter,
+    /// `invector_serve_wal_checkpoints_total`: snapshot checkpoints
+    /// published (each truncates the log).
+    wal_checkpoints: Counter,
+    /// `invector_serve_follower_lag_records`: log records the follower
+    /// still has to fetch, from the last `LogRecords` head.
+    follower_lag: Gauge,
+    /// `invector_serve_follower_epochs_verified_total`: seal checksums a
+    /// follower matched against its own state.
+    follower_verified: Counter,
 }
 
 impl ServeStats {
@@ -212,7 +250,60 @@ impl ServeStats {
                 "epoch wall time (microseconds)",
                 &LATENCY_BOUNDS_US,
             ),
+            wal_appends: registry
+                .counter("invector_serve_wal_appends_total", "batch records appended to the WAL"),
+            wal_bytes: registry
+                .counter("invector_serve_wal_bytes_total", "framed bytes appended to the WAL"),
+            wal_fsyncs: registry
+                .counter("invector_serve_wal_fsyncs_total", "explicit WAL syncs issued"),
+            wal_replayed: registry.counter(
+                "invector_serve_wal_replayed_total",
+                "updates replayed from the WAL (recovery or follower tail)",
+            ),
+            wal_checkpoints: registry.counter(
+                "invector_serve_wal_checkpoints_total",
+                "snapshot checkpoints published (each truncates the WAL)",
+            ),
+            follower_lag: registry.gauge(
+                "invector_serve_follower_lag_records",
+                "log records the follower still has to fetch",
+            ),
+            follower_verified: registry.counter(
+                "invector_serve_follower_epochs_verified_total",
+                "seal checksums a follower matched against its own state",
+            ),
         }
+    }
+
+    /// Records one WAL append of `bytes` framed bytes. Lock-free.
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.wal_appends.inc();
+        self.wal_bytes.add(bytes);
+    }
+
+    /// Records one explicit WAL sync. Lock-free.
+    pub fn record_wal_fsync(&self) {
+        self.wal_fsyncs.inc();
+    }
+
+    /// Records `updates` replayed from the log. Lock-free.
+    pub fn record_wal_replayed(&self, updates: u64) {
+        self.wal_replayed.add(updates);
+    }
+
+    /// Records one published checkpoint. Lock-free.
+    pub fn record_wal_checkpoint(&self) {
+        self.wal_checkpoints.inc();
+    }
+
+    /// Publishes the follower's current fetch lag in log records.
+    pub fn set_follower_lag(&self, records: u64) {
+        self.follower_lag.set(records as f64);
+    }
+
+    /// Records one seal checksum a follower verified. Lock-free.
+    pub fn record_follower_verified(&self) {
+        self.follower_verified.inc();
     }
 
     /// Records one executed epoch. Lock-free on the record side; the

@@ -56,19 +56,28 @@
 
 pub mod client;
 pub mod epoch;
+pub mod follower;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
 pub mod table;
+pub mod wal;
 
-pub use client::{LocalClient, ServeClient, TcpClient};
+pub use client::{LocalClient, ServeClient, SnapshotPlan, TcpClient};
 pub use epoch::{EpochReport, ReorderBuffer, ServeStats};
+pub use follower::{FollowStatus, Follower};
 pub use invector_core::tune::{
     EpochPolicy, MetricFrame, PolicyHandle, PolicyTrace, TraceEntry, TuneConfig,
 };
+pub use invector_replog::SyncPolicy;
 pub use protocol::{
-    RejectReason, RequestView, StatsSummary, Update, UpdatesView, PROTOCOL_VERSION,
+    snapshot_checksum, RejectReason, RequestView, SnapshotAssembler, StatsSummary, Update,
+    UpdatesView, PROTOCOL_VERSION, SNAPSHOT_CHUNK_VALUES,
 };
 pub use reactor::{ReactorKind, Ring};
-pub use server::{ServeConfig, Server, ServerCore, Snapshot, SubmitOutcome, TuneMode};
+pub use server::{
+    LogTailPage, PinnedState, PinnedTable, ServeConfig, Server, ServerCore, Snapshot,
+    SubmitOutcome, TuneMode,
+};
 pub use table::{OpKind, SliceReport, TableData, TableSpec, ValueKind};
+pub use wal::{ManifestEntry, WalOptions, WalRecord, WalState};

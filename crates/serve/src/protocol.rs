@@ -13,38 +13,188 @@
 //! body     := opcode:u8 payload
 //!
 //! requests
-//!   0x01 Hello    version:u16
-//!   0x02 Update   table:u16 count:u32 count x (seq:u64 idx:u32 bits:u32)
+//!   0x01 Hello     version:u16
+//!   0x02 Update    table:u16 count:u32 count x (seq:u64 idx:u32 bits:u32)
 //!   0x03 Flush
-//!   0x04 Snapshot table:u16
+//!   0x04 Snapshot  table:u16
 //!   0x05 Stats
 //!   0x06 Shutdown
 //!   0x07 Metrics
+//!   0x08 SnapshotBegin
+//!   0x09 SnapshotChunk table:u16 chunk:u32
+//!   0x0A LogTail   checkpoint:u64 index:u64 max_bytes:u32
 //!
 //! replies
-//!   0x81 Hello    version:u16 shards:u16 quantum:u32 tables:u16
-//!                 tables x (kind:u8 op:u8 len:u32 name_len:u16 name:utf8)
-//!   0x82 Ack      accepted:u32 watermark:u64
-//!   0x83 Reject   accepted:u32 retry_after_ms:u32 reason:u8
-//!   0x84 Snapshot table:u16 watermark:u64 len:u32 len x bits:u32
-//!   0x85 Stats    5 x u64 then 5 x f64 (see [`StatsSummary`])
-//!   0x86 Bye      tables:u16 tables x watermark:u64
-//!   0x87 Metrics  text_len:u32 text:utf8
-//!   0xFF Error    msg_len:u16 msg:utf8
+//!   0x81 Hello     version:u16 shards:u16 quantum:u32 tables:u16
+//!                  tables x (kind:u8 op:u8 len:u32 name_len:u16 name:utf8)
+//!   0x82 Ack       accepted:u32 watermark:u64
+//!   0x83 Reject    accepted:u32 retry_after_ms:u32 reason:u8
+//!   0x84 Snapshot  table:u16 watermark:u64 checksum:u32 len:u32 len x bits:u32
+//!   0x85 Stats     5 x u64 then 5 x f64 (see [`StatsSummary`])
+//!   0x86 Bye       tables:u16 tables x watermark:u64
+//!   0x87 Metrics   text_len:u32 text:utf8
+//!   0x88 SnapshotMeta checkpoint:u64 index:u64 chunk_values:u32 tables:u16
+//!                  tables x (table:u16 watermark:u64 len:u64 checksum:u32)
+//!   0x89 SnapshotChunk table:u16 chunk:u32 count:u32 count x bits:u32
+//!   0x8A LogRecords checkpoint:u64 next_index:u64 head:u64 reset:u8
+//!                  count:u32 count x (len:u32 bytes)
+//!   0xFF Error     msg_len:u16 msg:utf8
 //! ```
+//!
+//! The chunked-snapshot verbs (`SnapshotBegin` + `SnapshotChunk`) pin a
+//! consistent all-table state server-side and stream it in bounded frames,
+//! so a table of any size transfers without ever approaching
+//! [`MAX_FRAME_LEN`]; `LogTail` streams the admitted-batch log from the
+//! pinned position — together they are the follower bootstrap path.
 
 use std::io::{Read, Write};
 
 use crate::table::{OpKind, TableSpec, ValueKind};
 
 /// Protocol version spoken by this build. Bumped on any frame layout
-/// change; the server rejects mismatched clients at `Hello`.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// change; the server rejects mismatched clients at `Hello`. Version 2
+/// added the `Snapshot` checksum field and the chunked-snapshot /
+/// log-tail verbs.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame body, protecting the decoder from hostile or
-/// corrupt length prefixes. Large snapshots are the biggest frames; 64 MiB
-/// covers a 16M-slot table.
+/// corrupt length prefixes. A single-frame snapshot is bounded by this
+/// (64 MiB covers a 16M-slot table); larger tables transfer through the
+/// chunked verbs, which never exceed [`SNAPSHOT_CHUNK_VALUES`] values per
+/// frame.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Values per `SnapshotChunk` frame (4 MiB of payload): the fixed chunk
+/// geometry both sides derive chunk counts from. The last chunk of a table
+/// is the only one allowed to be smaller.
+pub const SNAPSHOT_CHUNK_VALUES: usize = 1 << 20;
+
+/// Checksum of a snapshot value stream: CRC-32 over the slot bit patterns
+/// in slot order, little-endian — the integrity check carried by
+/// `Reply::Snapshot` and verified chunk-assembled transfers.
+pub fn snapshot_checksum(values: &[u32]) -> u32 {
+    let mut crc = invector_replog::Crc32::new();
+    for &v in values {
+        crc.update(&v.to_le_bytes());
+    }
+    crc.finish()
+}
+
+/// Reassembles one table's value stream from `SnapshotChunk` replies.
+///
+/// Chunks must arrive strictly in order (`0, 1, 2, …`): the assembler
+/// rejects an out-of-order or repeated chunk id immediately rather than
+/// buffering holes, so a scrambled transfer fails deterministically at the
+/// first wrong frame. [`SnapshotAssembler::finish`] then verifies the total
+/// length and the checksum announced in `SnapshotMeta`, making a chunked
+/// transfer exactly as trustworthy as a single checksummed frame.
+#[derive(Debug)]
+pub struct SnapshotAssembler {
+    table: u16,
+    expected_len: usize,
+    expected_checksum: u32,
+    chunk_values: usize,
+    next_chunk: u32,
+    values: Vec<u32>,
+}
+
+impl SnapshotAssembler {
+    /// Starts assembly for `table` from its `SnapshotMeta` row and the
+    /// transfer's chunk geometry.
+    pub fn new(table: u16, len: u64, checksum: u32, chunk_values: u32) -> SnapshotAssembler {
+        SnapshotAssembler {
+            table,
+            expected_len: len as usize,
+            expected_checksum: checksum,
+            chunk_values: (chunk_values as usize).max(1),
+            next_chunk: 0,
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of chunks the full transfer takes (an empty table is a
+    /// zero-chunk transfer).
+    pub fn chunk_count(&self) -> u32 {
+        (self.expected_len.div_ceil(self.chunk_values)) as u32
+    }
+
+    /// The next chunk id [`push`](Self::push) will accept.
+    pub fn next_chunk(&self) -> u32 {
+        self.next_chunk
+    }
+
+    /// True once every chunk has been pushed.
+    pub fn complete(&self) -> bool {
+        self.next_chunk == self.chunk_count()
+    }
+
+    /// Accepts the next chunk in sequence.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a chunk for the wrong table, an out-of-order or repeated
+    /// chunk id, a full-size chunk that is not exactly `chunk_values` long,
+    /// or a final chunk that overruns the announced length.
+    pub fn push(&mut self, table: u16, chunk: u32, values: &[u32]) -> Result<(), ProtoError> {
+        if table != self.table {
+            return Err(ProtoError::Malformed(format!(
+                "snapshot chunk for table {table}, expected table {}",
+                self.table
+            )));
+        }
+        if chunk != self.next_chunk {
+            return Err(ProtoError::Malformed(format!(
+                "out-of-order snapshot chunk {chunk}, expected {}",
+                self.next_chunk
+            )));
+        }
+        if chunk >= self.chunk_count() {
+            return Err(ProtoError::Malformed(format!(
+                "snapshot chunk {chunk} beyond the {}-chunk transfer",
+                self.chunk_count()
+            )));
+        }
+        let expected = if (chunk + 1) == self.chunk_count() {
+            self.expected_len - self.chunk_values * chunk as usize
+        } else {
+            self.chunk_values
+        };
+        if values.len() != expected {
+            return Err(ProtoError::Malformed(format!(
+                "snapshot chunk {chunk} carries {} values, expected {expected}",
+                values.len()
+            )));
+        }
+        self.values.extend_from_slice(values);
+        self.next_chunk += 1;
+        Ok(())
+    }
+
+    /// Verifies completeness and checksum, yielding the value stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if chunks are missing or the assembled stream's checksum does
+    /// not match the one announced in `SnapshotMeta`.
+    pub fn finish(self) -> Result<Vec<u32>, ProtoError> {
+        if !self.complete() {
+            return Err(ProtoError::Malformed(format!(
+                "snapshot transfer incomplete: {} of {} chunks",
+                self.next_chunk,
+                self.chunk_count()
+            )));
+        }
+        debug_assert_eq!(self.values.len(), self.expected_len);
+        let got = snapshot_checksum(&self.values);
+        if got != self.expected_checksum {
+            return Err(ProtoError::Malformed(format!(
+                "snapshot checksum mismatch for table {}: computed {got:#010x}, announced {:#010x}",
+                self.table, self.expected_checksum
+            )));
+        }
+        Ok(self.values)
+    }
+}
 
 /// One associative update: apply `value` (a raw 32-bit pattern) to
 /// `target[idx]` with the table's operator, ordered by `seq`.
@@ -161,6 +311,29 @@ pub enum Request {
     /// Request the Prometheus text exposition of the server's metric
     /// registries (additive in protocol version 1).
     Metrics,
+    /// Pin a consistent all-table snapshot plus the matching log position
+    /// for chunked transfer; answered by `SnapshotMeta`. Re-pinning
+    /// releases the previous pin on the same connection.
+    SnapshotBegin,
+    /// Fetch one chunk of a pinned table ([`SNAPSHOT_CHUNK_VALUES`] values
+    /// per chunk, the final chunk possibly smaller).
+    SnapshotChunk {
+        /// Table id.
+        table: u16,
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// Stream admitted-batch log records from `(checkpoint, index)`,
+    /// bounded by `max_bytes` of payload per reply.
+    LogTail {
+        /// Checkpoint epoch the index counts from.
+        checkpoint: u64,
+        /// Record index within the checkpoint interval.
+        index: u64,
+        /// Soft payload budget for the reply (at least one record is
+        /// returned when available).
+        max_bytes: u32,
+    },
 }
 
 /// Server-to-client messages.
@@ -199,6 +372,10 @@ pub enum Reply {
         table: u16,
         /// Stream positions applied (`seq < watermark` are folded in).
         watermark: u64,
+        /// [`snapshot_checksum`] of `values`, computed server-side under
+        /// the table lock — clients verify it after decode, so transport
+        /// or server-memory corruption is caught end-to-end.
+        checksum: u32,
         /// Value bit patterns, one per slot.
         values: Vec<u32>,
     },
@@ -211,8 +388,61 @@ pub enum Reply {
         /// Applied watermark per table, in id order.
         watermarks: Vec<u64>,
     },
+    /// Answer to `SnapshotBegin`: the pinned state's geometry.
+    SnapshotMeta {
+        /// Checkpoint epoch of the pinned log position.
+        checkpoint: u64,
+        /// Record index of the pinned log position (the first record a
+        /// tail from this pin should fetch).
+        index: u64,
+        /// Chunk geometry the server will answer `SnapshotChunk` with.
+        chunk_values: u32,
+        /// Per-table geometry of the pinned snapshot, in id order.
+        tables: Vec<SnapshotMetaTable>,
+    },
+    /// One chunk of a pinned table's value stream.
+    SnapshotChunk {
+        /// Table id.
+        table: u16,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Value bit patterns of this chunk, in slot order.
+        values: Vec<u32>,
+    },
+    /// Answer to `LogTail`: admitted-batch log records from the requested
+    /// position.
+    LogRecords {
+        /// Current checkpoint epoch server-side.
+        checkpoint: u64,
+        /// Index of the record after the last one returned — the next
+        /// `LogTail` position.
+        next_index: u64,
+        /// Records currently in the log (the tail head); `head -
+        /// next_index` is the follower's lag.
+        head: u64,
+        /// `true` when the requested position predates the current
+        /// checkpoint interval (the log was truncated): the records are
+        /// empty and the follower must re-bootstrap from a fresh pin.
+        reset: bool,
+        /// Raw record payloads, in log order (empty when `reset`).
+        records: Vec<Vec<u8>>,
+    },
     /// The request could not be served.
     Error(String),
+}
+
+/// One table's entry in a `SnapshotMeta` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMetaTable {
+    /// Table id.
+    pub table: u16,
+    /// Applied watermark of the pinned state.
+    pub watermark: u64,
+    /// Slot count (chunk count is `len.div_ceil(chunk_values)`).
+    pub len: u64,
+    /// [`snapshot_checksum`] of the table's full value stream; verified
+    /// after chunk reassembly.
+    pub checksum: u32,
 }
 
 /// Decode/transport failure.
@@ -259,18 +489,19 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Bounds-checked little-endian reader over one frame body.
-struct Cursor<'a> {
+/// Bounds-checked little-endian reader over one frame body (also used by
+/// the serve WAL record codec, which shares this module's wire layouts).
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         if self.pos + n > self.buf.len() {
             return Err(ProtoError::Malformed(format!(
                 "frame truncated: wanted {n} bytes at offset {}, body is {}",
@@ -283,27 +514,27 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ProtoError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ProtoError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ProtoError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
-    fn u32(&mut self) -> Result<u32, ProtoError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, ProtoError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn f64(&mut self) -> Result<f64, ProtoError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, ProtoError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn finish(self) -> Result<(), ProtoError> {
+    pub(crate) fn finish(self) -> Result<(), ProtoError> {
         if self.pos != self.buf.len() {
             return Err(ProtoError::Malformed(format!(
                 "{} trailing bytes after message",
@@ -329,12 +560,41 @@ pub struct UpdatesView<'a> {
 /// Wire size of one encoded update (`seq:u64 idx:u32 bits:u32`).
 pub const UPDATE_WIRE_LEN: usize = 16;
 
+/// Encodes a batch of updates in wire order (`seq:u64 idx:u32 bits:u32`
+/// per record) — the payload layout [`UpdatesView`] reads back. Shared by
+/// the `Update` request codec and the WAL batch-record codec, so log
+/// replay and wire replay decode through the same bytes.
+pub fn encode_updates(out: &mut Vec<u8>, updates: &[Update]) {
+    out.reserve(UPDATE_WIRE_LEN * updates.len());
+    for u in updates {
+        put_u64(out, u.seq);
+        put_u32(out, u.idx);
+        put_u32(out, u.bits);
+    }
+}
+
 impl<'a> UpdatesView<'a> {
     /// Wraps a payload region; `bytes.len()` must be a multiple of
     /// [`UPDATE_WIRE_LEN`].
     fn new(bytes: &'a [u8]) -> UpdatesView<'a> {
         debug_assert_eq!(bytes.len() % UPDATE_WIRE_LEN, 0);
         UpdatesView { bytes }
+    }
+
+    /// Wraps an encoded update region (the [`encode_updates`] layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] unless `bytes.len()` is a
+    /// multiple of [`UPDATE_WIRE_LEN`].
+    pub fn over(bytes: &'a [u8]) -> Result<UpdatesView<'a>, ProtoError> {
+        if !bytes.len().is_multiple_of(UPDATE_WIRE_LEN) {
+            return Err(ProtoError::Malformed(format!(
+                "update region of {} bytes is not a whole number of {UPDATE_WIRE_LEN}-byte records",
+                bytes.len()
+            )));
+        }
+        Ok(UpdatesView::new(bytes))
     }
 
     /// Number of updates in the batch.
@@ -403,6 +663,24 @@ pub enum RequestView<'a> {
     Shutdown,
     /// Request the Prometheus exposition.
     Metrics,
+    /// Pin a consistent state for chunked transfer.
+    SnapshotBegin,
+    /// Fetch one chunk of a pinned table.
+    SnapshotChunk {
+        /// Table id.
+        table: u16,
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// Stream log records from a position.
+    LogTail {
+        /// Checkpoint epoch the index counts from.
+        checkpoint: u64,
+        /// Record index within the checkpoint interval.
+        index: u64,
+        /// Soft payload budget for the reply.
+        max_bytes: u32,
+    },
 }
 
 impl<'a> RequestView<'a> {
@@ -432,6 +710,11 @@ impl<'a> RequestView<'a> {
             0x05 => RequestView::Stats,
             0x06 => RequestView::Shutdown,
             0x07 => RequestView::Metrics,
+            0x08 => RequestView::SnapshotBegin,
+            0x09 => RequestView::SnapshotChunk { table: c.u16()?, chunk: c.u32()? },
+            0x0A => {
+                RequestView::LogTail { checkpoint: c.u64()?, index: c.u64()?, max_bytes: c.u32()? }
+            }
             op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
         };
         c.finish()?;
@@ -450,6 +733,11 @@ impl<'a> RequestView<'a> {
             RequestView::Stats => Request::Stats,
             RequestView::Shutdown => Request::Shutdown,
             RequestView::Metrics => Request::Metrics,
+            RequestView::SnapshotBegin => Request::SnapshotBegin,
+            RequestView::SnapshotChunk { table, chunk } => Request::SnapshotChunk { table, chunk },
+            RequestView::LogTail { checkpoint, index, max_bytes } => {
+                Request::LogTail { checkpoint, index, max_bytes }
+            }
         }
     }
 }
@@ -464,15 +752,11 @@ impl Request {
                 put_u16(&mut out, *version);
             }
             Request::Update { table, updates } => {
-                out.reserve(7 + 16 * updates.len());
+                out.reserve(7 + UPDATE_WIRE_LEN * updates.len());
                 out.push(0x02);
                 put_u16(&mut out, *table);
                 put_u32(&mut out, updates.len() as u32);
-                for u in updates {
-                    put_u64(&mut out, u.seq);
-                    put_u32(&mut out, u.idx);
-                    put_u32(&mut out, u.bits);
-                }
+                encode_updates(&mut out, updates);
             }
             Request::Flush => out.push(0x03),
             Request::Snapshot { table } => {
@@ -482,6 +766,18 @@ impl Request {
             Request::Stats => out.push(0x05),
             Request::Shutdown => out.push(0x06),
             Request::Metrics => out.push(0x07),
+            Request::SnapshotBegin => out.push(0x08),
+            Request::SnapshotChunk { table, chunk } => {
+                out.push(0x09);
+                put_u16(&mut out, *table);
+                put_u32(&mut out, *chunk);
+            }
+            Request::LogTail { checkpoint, index, max_bytes } => {
+                out.push(0x0A);
+                put_u64(&mut out, *checkpoint);
+                put_u64(&mut out, *index);
+                put_u32(&mut out, *max_bytes);
+            }
         }
         out
     }
@@ -553,11 +849,12 @@ impl Reply {
                 put_u32(&mut out, *retry_after_ms);
                 out.push(reason.to_byte());
             }
-            Reply::Snapshot { table, watermark, values } => {
-                out.reserve(15 + 4 * values.len());
+            Reply::Snapshot { table, watermark, checksum, values } => {
+                out.reserve(19 + 4 * values.len());
                 out.push(0x84);
                 put_u16(&mut out, *table);
                 put_u64(&mut out, *watermark);
+                put_u32(&mut out, *checksum);
                 put_u32(&mut out, values.len() as u32);
                 for &v in values {
                     put_u32(&mut out, v);
@@ -588,6 +885,41 @@ impl Reply {
                 put_u16(&mut out, watermarks.len() as u16);
                 for &w in watermarks {
                     put_u64(&mut out, w);
+                }
+            }
+            Reply::SnapshotMeta { checkpoint, index, chunk_values, tables } => {
+                out.push(0x88);
+                put_u64(&mut out, *checkpoint);
+                put_u64(&mut out, *index);
+                put_u32(&mut out, *chunk_values);
+                put_u16(&mut out, tables.len() as u16);
+                for t in tables {
+                    put_u16(&mut out, t.table);
+                    put_u64(&mut out, t.watermark);
+                    put_u64(&mut out, t.len);
+                    put_u32(&mut out, t.checksum);
+                }
+            }
+            Reply::SnapshotChunk { table, chunk, values } => {
+                out.reserve(11 + 4 * values.len());
+                out.push(0x89);
+                put_u16(&mut out, *table);
+                put_u32(&mut out, *chunk);
+                put_u32(&mut out, values.len() as u32);
+                for &v in values {
+                    put_u32(&mut out, v);
+                }
+            }
+            Reply::LogRecords { checkpoint, next_index, head, reset, records } => {
+                out.push(0x8A);
+                put_u64(&mut out, *checkpoint);
+                put_u64(&mut out, *next_index);
+                put_u64(&mut out, *head);
+                out.push(u8::from(*reset));
+                put_u32(&mut out, records.len() as u32);
+                for r in records {
+                    put_u32(&mut out, r.len() as u32);
+                    out.extend_from_slice(r);
                 }
             }
             Reply::Error(msg) => {
@@ -630,6 +962,7 @@ impl Reply {
             0x84 => {
                 let table = c.u16()?;
                 let watermark = c.u64()?;
+                let checksum = c.u32()?;
                 let len = c.u32()? as usize;
                 if len > body.len() / 4 + 1 {
                     return Err(ProtoError::Malformed(format!(
@@ -640,7 +973,7 @@ impl Reply {
                 for _ in 0..len {
                     values.push(c.u32()?);
                 }
-                Reply::Snapshot { table, watermark, values }
+                Reply::Snapshot { table, watermark, checksum, values }
             }
             0x85 => Reply::Stats(StatsSummary {
                 epochs: c.u64()?,
@@ -668,6 +1001,59 @@ impl Reply {
                     watermarks.push(c.u64()?);
                 }
                 Reply::Bye { watermarks }
+            }
+            0x88 => {
+                let checkpoint = c.u64()?;
+                let index = c.u64()?;
+                let chunk_values = c.u32()?;
+                let count = c.u16()? as usize;
+                let mut tables = Vec::with_capacity(count);
+                for _ in 0..count {
+                    tables.push(SnapshotMetaTable {
+                        table: c.u16()?,
+                        watermark: c.u64()?,
+                        len: c.u64()?,
+                        checksum: c.u32()?,
+                    });
+                }
+                Reply::SnapshotMeta { checkpoint, index, chunk_values, tables }
+            }
+            0x89 => {
+                let table = c.u16()?;
+                let chunk = c.u32()?;
+                let count = c.u32()? as usize;
+                if count > body.len() / 4 + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "chunk length {count} exceeds frame size"
+                    )));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(c.u32()?);
+                }
+                Reply::SnapshotChunk { table, chunk, values }
+            }
+            0x8A => {
+                let checkpoint = c.u64()?;
+                let next_index = c.u64()?;
+                let head = c.u64()?;
+                let reset = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(ProtoError::Malformed(format!("bad reset flag {other}"))),
+                };
+                let count = c.u32()? as usize;
+                if count > body.len() / 4 + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "record count {count} exceeds frame size"
+                    )));
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let n = c.u32()? as usize;
+                    records.push(c.take(n)?.to_vec());
+                }
+                Reply::LogRecords { checkpoint, next_index, head, reset, records }
             }
             0xFF => {
                 let n = c.u16()? as usize;
@@ -752,6 +1138,9 @@ mod tests {
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::SnapshotBegin);
+        round_trip_request(Request::SnapshotChunk { table: 9, chunk: u32::MAX });
+        round_trip_request(Request::LogTail { checkpoint: 7, index: 1 << 40, max_bytes: 65536 });
     }
 
     #[test]
@@ -776,10 +1165,41 @@ mod tests {
             retry_after_ms: 1,
             reason: RejectReason::Draining,
         });
+        let values = vec![0, u32::MAX, 0x3f80_0000];
         round_trip_reply(Reply::Snapshot {
             table: 1,
             watermark: 77,
-            values: vec![0, u32::MAX, 0x3f80_0000],
+            checksum: snapshot_checksum(&values),
+            values,
+        });
+        round_trip_reply(Reply::SnapshotMeta {
+            checkpoint: 3,
+            index: 41,
+            chunk_values: SNAPSHOT_CHUNK_VALUES as u32,
+            tables: vec![
+                SnapshotMetaTable {
+                    table: 0,
+                    watermark: 1024,
+                    len: 1 << 24,
+                    checksum: 0xdead_beef,
+                },
+                SnapshotMetaTable { table: 1, watermark: 0, len: 0, checksum: 0 },
+            ],
+        });
+        round_trip_reply(Reply::SnapshotChunk { table: 1, chunk: 17, values: vec![5, 0, 9] });
+        round_trip_reply(Reply::LogRecords {
+            checkpoint: 3,
+            next_index: 44,
+            head: 46,
+            reset: false,
+            records: vec![vec![1, 2, 3], vec![], vec![0xFF]],
+        });
+        round_trip_reply(Reply::LogRecords {
+            checkpoint: 0,
+            next_index: 0,
+            head: 0,
+            reset: true,
+            records: vec![],
         });
         round_trip_reply(Reply::Stats(StatsSummary {
             epochs: 10,
@@ -842,5 +1262,85 @@ mod tests {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(u32::MAX).to_le_bytes());
         assert!(matches!(read_frame(&mut wire.as_slice()), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_follower_verbs() {
+        // LogRecords with a reset byte that is neither 0 nor 1.
+        let mut body = Reply::LogRecords {
+            checkpoint: 1,
+            next_index: 2,
+            head: 3,
+            reset: false,
+            records: vec![],
+        }
+        .encode();
+        let reset_at = 1 + 8 + 8 + 8;
+        body[reset_at] = 2;
+        assert!(Reply::decode(&body).is_err());
+        // SnapshotChunk whose count field exceeds what the frame holds.
+        let mut body = vec![0x89, 0, 0];
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Reply::decode(&body).is_err());
+        // LogRecords record length running past the frame.
+        let mut body = vec![0x8A];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&3u64.to_le_bytes());
+        body.push(0);
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Reply::decode(&body).is_err());
+    }
+
+    #[test]
+    fn snapshot_assembler_accepts_an_in_order_transfer() {
+        let values: Vec<u32> = (0..10).collect();
+        let mut asm = SnapshotAssembler::new(2, 10, snapshot_checksum(&values), 4);
+        assert_eq!(asm.chunk_count(), 3);
+        asm.push(2, 0, &values[0..4]).unwrap();
+        asm.push(2, 1, &values[4..8]).unwrap();
+        assert!(!asm.complete());
+        asm.push(2, 2, &values[8..10]).unwrap();
+        assert!(asm.complete());
+        assert_eq!(asm.finish().unwrap(), values);
+    }
+
+    #[test]
+    fn snapshot_assembler_rejects_out_of_order_and_corrupt_chunks() {
+        let values: Vec<u32> = (0..8).collect();
+        let checksum = snapshot_checksum(&values);
+        // Skipped chunk id.
+        let mut asm = SnapshotAssembler::new(0, 8, checksum, 4);
+        assert!(asm.push(0, 1, &values[4..8]).is_err());
+        // Repeated chunk id.
+        asm.push(0, 0, &values[0..4]).unwrap();
+        assert!(asm.push(0, 0, &values[0..4]).is_err());
+        // Wrong table.
+        assert!(asm.push(1, 1, &values[4..8]).is_err());
+        // Wrong chunk size for a non-final chunk.
+        let mut asm = SnapshotAssembler::new(0, 8, checksum, 4);
+        assert!(asm.push(0, 0, &values[0..3]).is_err());
+        // Chunk past the end of the transfer.
+        let mut asm = SnapshotAssembler::new(0, 8, checksum, 4);
+        asm.push(0, 0, &values[0..4]).unwrap();
+        asm.push(0, 1, &values[4..8]).unwrap();
+        assert!(asm.push(0, 2, &[]).is_err());
+        // Incomplete transfer refuses to finish.
+        let mut asm = SnapshotAssembler::new(0, 8, checksum, 4);
+        asm.push(0, 0, &values[0..4]).unwrap();
+        assert!(asm.finish().is_err());
+        // Bit flip fails the final checksum, not any per-chunk step.
+        let mut asm = SnapshotAssembler::new(0, 8, checksum, 4);
+        let mut flipped = values.clone();
+        flipped[6] ^= 1;
+        asm.push(0, 0, &flipped[0..4]).unwrap();
+        asm.push(0, 1, &flipped[4..8]).unwrap();
+        assert!(asm.finish().is_err());
+        // Empty table: zero chunks, immediate finish.
+        let asm = SnapshotAssembler::new(0, 0, snapshot_checksum(&[]), 4);
+        assert!(asm.complete());
+        assert_eq!(asm.finish().unwrap(), Vec::<u32>::new());
     }
 }

@@ -31,8 +31,11 @@ use std::time::{Duration, Instant};
 
 use invector_obs::{Counter, Registry};
 
-use crate::protocol::{ProtoError, Reply, RequestView, MAX_FRAME_LEN, PROTOCOL_VERSION};
-use crate::server::{ServerCore, SubmitOutcome};
+use crate::protocol::{
+    ProtoError, Reply, RequestView, SnapshotMetaTable, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    SNAPSHOT_CHUNK_VALUES,
+};
+use crate::server::{PinnedState, ServerCore, SubmitOutcome};
 
 /// Which readiness backend the reactor drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -695,6 +698,9 @@ struct Conn {
     read_paused: bool,
     /// Interest bits currently registered with the poller.
     interest: u8,
+    /// State pinned by `SnapshotBegin` for chunked transfer; replaced by
+    /// the next `SnapshotBegin`, dropped with the connection.
+    pinned: Option<std::sync::Arc<crate::server::PinnedState>>,
 }
 
 impl Conn {
@@ -710,6 +716,7 @@ impl Conn {
             peer_eof: false,
             read_paused: false,
             interest: INTEREST_READ,
+            pinned: None,
         }
     }
 
@@ -1017,7 +1024,7 @@ fn process(conn: &mut Conn, shared: &Shared, _stopping: bool) -> Result<(), ()> 
     let write_cap = shared.core.config().write_buffer_cap;
     // Disjoint field borrows: the decoded frame borrows rbuf/scratch while
     // the reply path mutates wbuf/greeted/closing.
-    let Conn { rbuf, scratch, wbuf, greeted, closing, .. } = conn;
+    let Conn { rbuf, scratch, wbuf, greeted, closing, pinned, .. } = conn;
     loop {
         if *closing || wbuf.len() >= write_cap {
             return Ok(());
@@ -1041,7 +1048,7 @@ fn process(conn: &mut Conn, shared: &Shared, _stopping: bool) -> Result<(), ()> 
             }
             Err(ProtoError::Io(_)) => return Err(()),
         };
-        respond(greeted, closing, wbuf, shared, request);
+        respond(greeted, closing, pinned, wbuf, shared, request);
     }
 }
 
@@ -1051,6 +1058,7 @@ fn process(conn: &mut Conn, shared: &Shared, _stopping: bool) -> Result<(), ()> 
 fn respond(
     greeted: &mut bool,
     closing: &mut bool,
+    pinned: &mut Option<std::sync::Arc<crate::server::PinnedState>>,
     wbuf: &mut Ring,
     shared: &Shared,
     request: RequestView<'_>,
@@ -1090,9 +1098,55 @@ fn respond(
             }
         }
         (true, RequestView::Snapshot { table }) => match core.snapshot(table) {
-            Ok(s) => Reply::Snapshot { table, watermark: s.watermark, values: s.bits() },
+            Ok(s) => Reply::Snapshot {
+                table,
+                watermark: s.watermark,
+                checksum: s.checksum,
+                values: s.bits(),
+            },
             Err(m) => Reply::Error(m),
         },
+        (true, RequestView::SnapshotBegin) => {
+            let pin = core.pin_state();
+            let tables = pin
+                .tables
+                .iter()
+                .enumerate()
+                .map(|(t, p)| SnapshotMetaTable {
+                    table: t as u16,
+                    watermark: p.watermark,
+                    len: p.bits.len() as u64,
+                    checksum: p.checksum,
+                })
+                .collect();
+            let reply = Reply::SnapshotMeta {
+                checkpoint: pin.checkpoint,
+                index: pin.index,
+                chunk_values: SNAPSHOT_CHUNK_VALUES as u32,
+                tables,
+            };
+            *pinned = Some(pin);
+            reply
+        }
+        (true, RequestView::SnapshotChunk { table, chunk }) => match pinned.as_deref() {
+            None => Reply::Error("SnapshotChunk before SnapshotBegin".into()),
+            Some(pin) => match chunk_of(pin, table, chunk) {
+                Ok(values) => Reply::SnapshotChunk { table, chunk, values },
+                Err(m) => Reply::Error(m),
+            },
+        },
+        (true, RequestView::LogTail { checkpoint, index, max_bytes }) => {
+            match core.log_tail(checkpoint, index, max_bytes) {
+                Ok(page) => Reply::LogRecords {
+                    checkpoint: page.checkpoint,
+                    next_index: page.next_index,
+                    head: page.head,
+                    reset: page.reset,
+                    records: page.records,
+                },
+                Err(m) => Reply::Error(m),
+            }
+        }
         (true, RequestView::Stats) => Reply::Stats(core.stats_summary()),
         (true, RequestView::Metrics) => Reply::Metrics(core.metrics_text()),
         (true, RequestView::Shutdown) => {
@@ -1103,6 +1157,22 @@ fn respond(
         }
     };
     queue_reply(wbuf, &reply);
+}
+
+/// One chunk of a pinned table's bit stream, by fixed
+/// [`SNAPSHOT_CHUNK_VALUES`] geometry.
+fn chunk_of(pin: &PinnedState, table: u16, chunk: u32) -> Result<Vec<u32>, String> {
+    let bits = &pin
+        .tables
+        .get(table as usize)
+        .ok_or_else(|| format!("unknown table {table} in pinned state"))?
+        .bits;
+    let start = (chunk as usize) * SNAPSHOT_CHUNK_VALUES;
+    if start >= bits.len() && !(bits.is_empty() && chunk == 0) {
+        return Err(format!("chunk {chunk} beyond table {table} of {} values", bits.len()));
+    }
+    let end = (start + SNAPSHOT_CHUNK_VALUES).min(bits.len());
+    Ok(bits[start..end.max(start)].to_vec())
 }
 
 #[cfg(test)]

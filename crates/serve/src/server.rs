@@ -29,6 +29,7 @@ use crate::epoch::{EpochReport, ServeStats};
 use crate::protocol::{RejectReason, StatsSummary, Update, UpdatesView};
 use crate::reactor::{self, ReactorKind};
 use crate::table::{TableData, TableSpec, TableState};
+use crate::wal::{ManifestEntry, WalOptions, WalRecord, WalState};
 
 /// Server configuration: the resident tables plus sizing/batching knobs.
 #[derive(Debug, Clone)]
@@ -75,6 +76,10 @@ pub struct ServeConfig {
     /// Epoch-level self-tuning mode (off, online controller, or trace
     /// replay).
     pub tune: TuneMode,
+    /// Durability: log admitted slices to a write-ahead log and publish
+    /// periodic snapshot checkpoints (`--wal-dir`). `None` keeps the
+    /// server purely in-memory.
+    pub wal: Option<WalOptions>,
 }
 
 /// How the core manages its execution policy across epochs.
@@ -112,6 +117,7 @@ impl ServeConfig {
             write_buffer_cap: 256 << 10,
             reactor: ReactorKind::Auto,
             tune: TuneMode::Off,
+            wal: None,
         }
     }
 
@@ -158,6 +164,14 @@ impl ServeConfig {
         if self.read_buffer_cap < 1024 || self.write_buffer_cap < 1024 {
             return Err("read/write buffer caps must be >= 1 KiB".into());
         }
+        if self.wal.is_some() && matches!(self.tune, TuneMode::Auto(_)) {
+            // Online tuning decisions are not captured in batch records, so
+            // replaying the log could cut different slice boundaries and
+            // recover different bits. Record a trace and use Replay.
+            return Err("a WAL cannot be combined with online tuning (TuneMode::Auto); \
+                        record a policy trace and use TuneMode::Replay"
+                .into());
+        }
         Ok(())
     }
 }
@@ -195,6 +209,9 @@ pub struct Snapshot {
     pub table: u16,
     /// Stream positions folded in (`seq < watermark`).
     pub watermark: u64,
+    /// CRC-32 over the slot bit patterns ([`snapshot_checksum`]), computed
+    /// under the table lock so it always matches `data`.
+    pub checksum: u32,
     /// Typed table contents.
     pub data: TableData,
 }
@@ -204,6 +221,48 @@ impl Snapshot {
     pub fn bits(&self) -> Vec<u32> {
         self.data.to_bits()
     }
+}
+
+/// A consistent all-table state pinned for chunked transfer
+/// ([`ServerCore::pin_state`]): every table at the same epoch boundary,
+/// plus the log position the tables correspond to — the follower
+/// bootstrap point.
+#[derive(Debug)]
+pub struct PinnedState {
+    /// Checkpoint generation of the pinned log position.
+    pub checkpoint: u64,
+    /// Log index within the generation (records before it are already
+    /// folded into the pinned tables).
+    pub index: u64,
+    /// Per-table pinned contents, in id order.
+    pub tables: Vec<PinnedTable>,
+}
+
+/// One table inside a [`PinnedState`].
+#[derive(Debug)]
+pub struct PinnedTable {
+    /// Applied watermark at the pin point.
+    pub watermark: u64,
+    /// CRC-32 over `bits` ([`crate::protocol::snapshot_checksum`]).
+    pub checksum: u32,
+    /// Slot bit patterns at the pin point.
+    pub bits: Vec<u32>,
+}
+
+/// A follower's log-tail fetch result ([`ServerCore::log_tail`]).
+#[derive(Debug)]
+pub struct LogTailPage {
+    /// The server's current checkpoint generation.
+    pub checkpoint: u64,
+    /// Index to request next.
+    pub next_index: u64,
+    /// Records currently in the generation (fetch lag = `head - next`).
+    pub head: u64,
+    /// True when the requested generation is gone (a checkpoint
+    /// truncated it) — the follower must re-bootstrap.
+    pub reset: bool,
+    /// Framed record payloads `[index, next_index)`.
+    pub records: Vec<Vec<u8>>,
 }
 
 /// An update staged in a shard queue (table id + update).
@@ -239,6 +298,12 @@ pub struct ServerCore {
     /// lock-free, so admission and the epoch executor never serialize on
     /// a stats mutex.
     stats: ServeStats,
+    /// Durability state, present when the config names a WAL directory.
+    /// Lock order: tick lock → WAL → table locks.
+    wal: Option<Mutex<WalState>>,
+    /// A read-only core (follower mode) fails every submit; epochs are
+    /// driven by replica application instead of the ingest path.
+    read_only: AtomicBool,
     draining: AtomicBool,
     /// Signals the background epoch thread that a full quantum is queued.
     wake: Condvar,
@@ -314,9 +379,68 @@ impl ServerCore {
                 None
             }
         };
-        let watermarks = (0..tables.len()).map(|_| AtomicU64::new(0)).collect();
+        // Durable mode: load the latest checkpoint and replay the log tail
+        // through the normal slice path before serving a single request.
+        // Any integrity failure is a refusal to serve, never a silent
+        // fresh start over data that existed.
+        let mut replayed_updates = 0u64;
+        let wal = match config.wal.clone() {
+            None => None,
+            Some(options) => {
+                let (state, recovery) = WalState::open(options, &config.tables)?;
+                for (t, (data, watermark)) in recovery.installed.into_iter().enumerate() {
+                    tables[t].get_mut().expect("table lock").install(data, watermark)?;
+                }
+                for (i, record) in recovery.replay.iter().enumerate() {
+                    match record {
+                        WalRecord::Batch { table, updates } => {
+                            let state = tables
+                                .get_mut(*table as usize)
+                                .ok_or_else(|| {
+                                    format!("WAL record {i} names unknown table {table}")
+                                })?
+                                .get_mut()
+                                .expect("table lock");
+                            state
+                                .apply_logged(updates)
+                                .map_err(|e| format!("WAL record {i}: {e}"))?;
+                            replayed_updates += updates.len() as u64;
+                        }
+                        WalRecord::Seal { table, watermark, crc } => {
+                            let state = tables
+                                .get_mut(*table as usize)
+                                .ok_or_else(|| {
+                                    format!("WAL record {i} names unknown table {table}")
+                                })?
+                                .get_mut()
+                                .expect("table lock");
+                            if state.watermark() != *watermark {
+                                return Err(format!(
+                                    "WAL seal {i}: table {table} replayed to watermark {}, \
+                                     seal says {watermark}",
+                                    state.watermark()
+                                ));
+                            }
+                            let got = state.checksum();
+                            if got != *crc {
+                                return Err(format!(
+                                    "WAL seal {i}: table {table} state checksum {got:#010x} \
+                                     != sealed {crc:#010x} — refusing to serve diverged state",
+                                ));
+                            }
+                        }
+                    }
+                }
+                Some(Mutex::new(state))
+            }
+        };
+        let watermarks = tables
+            .iter_mut()
+            .map(|t| AtomicU64::new(t.get_mut().expect("table lock").watermark()))
+            .collect();
         let registry = Registry::new();
         let stats = ServeStats::new(&registry);
+        stats.record_wal_replayed(replayed_updates);
         let core = Arc::new(ServerCore {
             config,
             policy,
@@ -327,6 +451,8 @@ impl ServerCore {
             tick_lock: Mutex::new(()),
             registry,
             stats,
+            wal,
+            read_only: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             wake: Condvar::new(),
             wake_lock: Mutex::new(false),
@@ -393,6 +519,9 @@ impl ServerCore {
                 "unknown table {table} ({} registered)",
                 self.tables.len()
             ));
+        }
+        if self.read_only.load(Ordering::Acquire) {
+            return SubmitOutcome::Failed("read-only follower: submit to the leader".into());
         }
         let spec = &self.config.tables[table as usize];
         let mut accepted = 0u32;
@@ -473,6 +602,12 @@ impl ServerCore {
 
         // Route to reorder buffers and cut batches, one table at a time.
         // Each table cuts under its own watermark-keyed policy schedule.
+        // With a WAL, the log is held across the whole cut (lock order:
+        // tick → WAL → table) and every slice is appended *before* it is
+        // applied — the write-ahead point. A WAL I/O failure is a
+        // deliberate panic: continuing would apply unlogged slices, and a
+        // crash here is exactly what recovery is built for.
+        let mut wal = self.wal.as_ref().map(|w| w.lock().expect("wal lock"));
         let mut report = EpochReport::default();
         let mut depth = DepthHistogram::new();
         for (t, table) in self.tables.iter().enumerate() {
@@ -480,19 +615,79 @@ impl ServerCore {
             for s in stolen.iter().filter(|s| s.table as usize == t) {
                 state.absorb(s.update);
             }
-            for slice in state.cut_scheduled(drain) {
+            let before = state.watermark();
+            let slices = match wal.as_deref_mut() {
+                None => state.cut_scheduled(drain),
+                Some(wal) => state.cut_scheduled_logged(drain, &mut |chunk| {
+                    let record = WalRecord::Batch { table: t as u16, updates: chunk.to_vec() };
+                    let bytes = wal.append(&record).expect("WAL append failed");
+                    self.stats.record_wal_append(bytes);
+                }),
+            };
+            for slice in &slices {
                 report.applied += slice.applied;
                 report.slices += 1;
                 report.offered += slice.offered;
                 report.vectors += slice.vectors;
                 depth.merge(&slice.depth);
             }
+            if let Some(wal) = wal.as_deref_mut() {
+                if state.watermark() != before {
+                    // Seal the table's epoch: watermark + post-apply state
+                    // CRC, the per-epoch checksum recovery verifies and
+                    // followers compare.
+                    let record = WalRecord::Seal {
+                        table: t as u16,
+                        watermark: state.watermark(),
+                        crc: state.checksum(),
+                    };
+                    let bytes = wal.append(&record).expect("WAL append failed");
+                    self.stats.record_wal_append(bytes);
+                }
+            }
             self.watermarks[t].store(state.watermark(), Ordering::Release);
         }
+        if let Some(wal) = wal.as_deref_mut() {
+            if report.slices > 0 {
+                if wal.sync_epoch().expect("WAL sync failed") {
+                    self.stats.record_wal_fsync();
+                }
+                if wal.note_epoch() {
+                    self.checkpoint_locked(wal);
+                }
+            }
+        }
+        drop(wal);
         report.elapsed = start.elapsed();
         self.stats.record_epoch(&report, &depth);
         self.tune_observe(&report, &depth);
         report
+    }
+
+    /// Publishes a snapshot checkpoint (caller holds the tick lock and the
+    /// WAL lock): every table's state goes to the snapshot store under a
+    /// manifest of per-table checksums, then the log truncates.
+    fn checkpoint_locked(&self, wal: &mut WalState) {
+        let mut entries = Vec::with_capacity(self.tables.len());
+        let mut records = Vec::with_capacity(self.tables.len());
+        for (t, (table, spec)) in self.tables.iter().zip(&self.config.tables).enumerate() {
+            let state = table.lock().expect("table lock");
+            entries.push(ManifestEntry {
+                table: t as u16,
+                kind: spec.kind,
+                op: spec.op,
+                len: spec.len as u64,
+                watermark: state.watermark(),
+                checksum: state.checksum(),
+            });
+            records.push(crate::wal::encode_checkpoint_table(
+                t as u16,
+                state.watermark(),
+                state.data(),
+            ));
+        }
+        wal.publish_checkpoint(&entries, &records).expect("WAL checkpoint publish failed");
+        self.stats.record_wal_checkpoint();
     }
 
     /// The epoch-boundary tuning hook, still under the tick lock.
@@ -565,7 +760,162 @@ impl ServerCore {
             .ok_or_else(|| format!("unknown table {table}"))?
             .lock()
             .expect("table lock");
-        Ok(Snapshot { table, watermark: state.watermark(), data: state.data().clone() })
+        let data = state.data().clone();
+        let checksum = state.checksum();
+        Ok(Snapshot { table, watermark: state.watermark(), checksum, data })
+    }
+
+    /// Pins a consistent all-table state for chunked transfer: every
+    /// table's bits at one epoch boundary, plus the log position they
+    /// correspond to (generation 0, index 0 without a WAL). Runs under
+    /// the tick lock so no epoch can interleave between tables.
+    pub fn pin_state(&self) -> Arc<PinnedState> {
+        let _epoch = self.tick_lock.lock().expect("tick lock");
+        let wal = self.wal.as_ref().map(|w| w.lock().expect("wal lock"));
+        let (checkpoint, index) = wal.as_ref().map_or((0, 0), |w| (w.checkpoint(), w.head()));
+        let tables = self
+            .tables
+            .iter()
+            .map(|table| {
+                let state = table.lock().expect("table lock");
+                PinnedTable {
+                    watermark: state.watermark(),
+                    checksum: state.checksum(),
+                    bits: state.data().to_bits(),
+                }
+            })
+            .collect();
+        Arc::new(PinnedState { checkpoint, index, tables })
+    }
+
+    /// Serves a follower's log fetch from `index` within `checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the server has no WAL, or `index` is beyond the head.
+    pub fn log_tail(
+        &self,
+        checkpoint: u64,
+        index: u64,
+        max_bytes: u32,
+    ) -> Result<LogTailPage, String> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or("server has no WAL; start the leader with --wal-dir to replicate")?
+            .lock()
+            .expect("wal lock");
+        if checkpoint != wal.checkpoint() {
+            // The requested generation was truncated by a checkpoint (or
+            // never existed): the follower must re-bootstrap.
+            return Ok(LogTailPage {
+                checkpoint: wal.checkpoint(),
+                next_index: 0,
+                head: wal.head(),
+                reset: true,
+                records: Vec::new(),
+            });
+        }
+        if index > wal.head() {
+            return Err(format!("log index {index} beyond head {}", wal.head()));
+        }
+        let records = wal.records_from(index, max_bytes);
+        Ok(LogTailPage {
+            checkpoint: wal.checkpoint(),
+            next_index: index + records.len() as u64,
+            head: wal.head(),
+            reset: false,
+            records,
+        })
+    }
+
+    /// Marks the core read-only (follower mode): every submit fails and
+    /// state advances only through [`apply_replica`](Self::apply_replica).
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only.store(read_only, Ordering::Release);
+    }
+
+    /// `true` for a follower core.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Installs bootstrap state on a fresh follower core: every table's
+    /// bits and watermark from an assembled snapshot transfer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table count mismatches or any table is not fresh.
+    pub fn install_snapshot(&self, installs: Vec<(TableData, u64)>) -> Result<(), String> {
+        let _epoch = self.tick_lock.lock().expect("tick lock");
+        if installs.len() != self.tables.len() {
+            return Err(format!(
+                "snapshot has {} tables, core has {}",
+                installs.len(),
+                self.tables.len()
+            ));
+        }
+        for (t, (data, watermark)) in installs.into_iter().enumerate() {
+            let mut state = self.tables[t].lock().expect("table lock");
+            state.install(data, watermark)?;
+            self.watermarks[t].store(watermark, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Applies one replicated log record — the follower's epoch path.
+    /// `Batch` records replay a logged slice; `Seal` records verify the
+    /// table's watermark and state checksum against the leader's, so any
+    /// divergence surfaces exactly at the epoch that introduced it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed record, a non-contiguous slice, or a seal
+    /// mismatch (divergence).
+    pub fn apply_replica(&self, record: &WalRecord) -> Result<(), String> {
+        let _epoch = self.tick_lock.lock().expect("tick lock");
+        match record {
+            WalRecord::Batch { table, updates } => {
+                let mut state = self
+                    .tables
+                    .get(*table as usize)
+                    .ok_or_else(|| format!("replica batch for unknown table {table}"))?
+                    .lock()
+                    .expect("table lock");
+                state.apply_logged(updates)?;
+                self.watermarks[*table as usize].store(state.watermark(), Ordering::Release);
+                self.stats.record_wal_replayed(updates.len() as u64);
+                Ok(())
+            }
+            WalRecord::Seal { table, watermark, crc } => {
+                let state = self
+                    .tables
+                    .get(*table as usize)
+                    .ok_or_else(|| format!("replica seal for unknown table {table}"))?
+                    .lock()
+                    .expect("table lock");
+                if state.watermark() != *watermark {
+                    return Err(format!(
+                        "divergence: table {table} at watermark {}, leader sealed {watermark}",
+                        state.watermark()
+                    ));
+                }
+                let got = state.checksum();
+                if got != *crc {
+                    return Err(format!(
+                        "divergence: table {table} state checksum {got:#010x} != leader's \
+                         {crc:#010x} at watermark {watermark}",
+                    ));
+                }
+                self.stats.record_follower_verified();
+                Ok(())
+            }
+        }
+    }
+
+    /// The follower-lag gauge hook (records still to fetch).
+    pub fn note_follower_lag(&self, records: u64) {
+        self.stats.set_follower_lag(records);
     }
 
     /// Current aggregate statistics.
@@ -696,6 +1046,22 @@ impl Server {
             .expect("spawn epoch thread");
         threads.push(epoch);
 
+        Ok(Server { core, addr, stop, threads })
+    }
+
+    /// Binds `addr` over an existing core without starting an epoch
+    /// thread — the front end for a follower, whose core is advanced by
+    /// log replay rather than by local ticks.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind failures.
+    pub fn serve_core(core: Arc<ServerCore>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads = reactor::spawn(Arc::clone(&core), listener, Arc::clone(&stop))?;
         Ok(Server { core, addr, stop, threads })
     }
 

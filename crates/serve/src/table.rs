@@ -174,6 +174,11 @@ pub struct TableState {
     chunk: Vec<Update>,
     scratch_f32: EpochScratch<f32>,
     scratch_i32: EpochScratch<i32>,
+    /// Memoized `(watermark, crc)` of the current state: snapshots and WAL
+    /// seals both checksum the full table, and between applies the answer
+    /// cannot change, so repeated reads cost one cache probe instead of a
+    /// multi-megabyte CRC pass.
+    checksum_cache: std::cell::Cell<Option<(u64, u32)>>,
 }
 
 impl TableState {
@@ -181,7 +186,7 @@ impl TableState {
     /// under `initial` until a policy change is scheduled.
     pub fn new(spec: TableSpec, initial: EpochPolicy) -> TableState {
         let data = TableData::identity(&spec);
-        TableState {
+        let state = TableState {
             spec,
             data,
             pending: ReorderBuffer::new(),
@@ -189,7 +194,12 @@ impl TableState {
             chunk: Vec::new(),
             scratch_f32: EpochScratch::new(),
             scratch_i32: EpochScratch::new(),
-        }
+            checksum_cache: std::cell::Cell::new(None),
+        };
+        // Warm the memo at construction: the first snapshot/seal of a large
+        // table should not pay a full-table CRC on the serving path.
+        state.checksum();
+        state
     }
 
     /// The table's static description.
@@ -250,8 +260,22 @@ impl TableState {
     /// the serving epoch path. See [`cut_with`](Self::cut_with) for the
     /// cut rules.
     pub fn cut_scheduled(&mut self, drain: bool) -> Vec<SliceReport> {
+        self.cut_scheduled_logged(drain, &mut |_| {})
+    }
+
+    /// [`cut_scheduled`](Self::cut_scheduled) with a write-ahead hook:
+    /// `log` sees every slice exactly as cut, after it is removed from the
+    /// reorder buffer and before it is applied — the durability point. A
+    /// slice that reaches `log` is already admitted, so replaying logged
+    /// slices in order through [`apply_logged`](Self::apply_logged)
+    /// reproduces the same cuts, and therefore the same bits.
+    pub fn cut_scheduled_logged(
+        &mut self,
+        drain: bool,
+        log: &mut dyn FnMut(&[Update]),
+    ) -> Vec<SliceReport> {
         let schedule = std::mem::take(&mut self.schedule);
-        let slices = self.cut_with(&schedule, drain);
+        let slices = self.cut_with(&schedule, drain, log);
         self.schedule = schedule;
         slices
     }
@@ -267,7 +291,11 @@ impl TableState {
         drain: bool,
         policy: &ExecPolicy,
     ) -> Vec<SliceReport> {
-        self.cut_with(&PolicySchedule::fixed(EpochPolicy::new(*policy, quantum)), drain)
+        self.cut_with(
+            &PolicySchedule::fixed(EpochPolicy::new(*policy, quantum)),
+            drain,
+            &mut |_| {},
+        )
     }
 
     /// The cut loop: each slice starts at the current watermark `wm` and
@@ -282,7 +310,12 @@ impl TableState {
     /// function of (stream content, schedule), and replaying a recorded
     /// schedule reproduces every slice (and every table bit) of the
     /// original run.
-    fn cut_with(&mut self, schedule: &PolicySchedule, drain: bool) -> Vec<SliceReport> {
+    fn cut_with(
+        &mut self,
+        schedule: &PolicySchedule,
+        drain: bool,
+        log: &mut dyn FnMut(&[Update]),
+    ) -> Vec<SliceReport> {
         let mut slices = Vec::new();
         loop {
             let wm = self.pending.watermark();
@@ -300,6 +333,7 @@ impl TableState {
                 take = take.min((next - wm) as usize);
             }
             self.pending.pop_run(take, &mut self.chunk);
+            log(&self.chunk);
             let report = self.apply_chunk(&policy.exec);
             slices.push(SliceReport {
                 applied: take,
@@ -309,6 +343,136 @@ impl TableState {
             });
         }
         slices
+    }
+
+    /// Replays one logged slice: the updates must start exactly at the
+    /// current watermark and be `seq`-contiguous (they were cut that way).
+    /// The slice bypasses the reorder buffer and is applied as a single
+    /// chunk under the schedule's policy at its watermark — the same
+    /// execution the original cut ran, so the result is bitwise identical.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a slice that is empty, does not start at the watermark, is
+    /// not contiguous, or indexes out of the table's bounds.
+    pub fn apply_logged(&mut self, updates: &[Update]) -> Result<SliceReport, String> {
+        let wm = self.pending.watermark();
+        let first = updates.first().ok_or("empty logged slice")?;
+        if first.seq != wm {
+            return Err(format!(
+                "logged slice for table '{}' starts at seq {}, watermark is {wm}",
+                self.spec.name, first.seq
+            ));
+        }
+        for (i, u) in updates.iter().enumerate() {
+            if u.seq != wm + i as u64 {
+                return Err(format!(
+                    "logged slice for table '{}' is not seq-contiguous at offset {i}",
+                    self.spec.name
+                ));
+            }
+            if (u.idx as usize) >= self.spec.len {
+                return Err(format!(
+                    "logged update indexes slot {} beyond table '{}' of {} slots",
+                    u.idx, self.spec.name, self.spec.len
+                ));
+            }
+        }
+        let policy = self.schedule.at(wm);
+        self.chunk.clear();
+        self.chunk.extend_from_slice(updates);
+        self.pending.advance_to(wm + updates.len() as u64);
+        let report = self.apply_chunk(&policy.exec);
+        Ok(SliceReport {
+            applied: updates.len(),
+            offered: policy.quantum,
+            vectors: report.stats.vectors,
+            depth: report.stats.depth,
+        })
+    }
+
+    /// Installs externally recovered contents (checkpoint load, follower
+    /// bootstrap or re-bootstrap): replaces the slot values and
+    /// fast-forwards the watermark. The watermark may only advance, and
+    /// nothing may be buffered — installs happen on fresh cores and on
+    /// caught-up read-only followers, never mid-ingest.
+    ///
+    /// # Errors
+    ///
+    /// Rejects data of the wrong kind or length, buffered updates, or a
+    /// watermark regression.
+    pub fn install(&mut self, data: TableData, watermark: u64) -> Result<(), String> {
+        if self.pending_len() != 0 {
+            return Err(format!(
+                "table '{}' has buffered updates; cannot install a snapshot",
+                self.spec.name
+            ));
+        }
+        if watermark < self.watermark() {
+            return Err(format!(
+                "snapshot watermark {watermark} regresses table '{}' at {}",
+                self.spec.name,
+                self.watermark()
+            ));
+        }
+        let kind_ok = matches!(
+            (&data, self.spec.kind),
+            (TableData::F32(_), ValueKind::F32) | (TableData::I32(_), ValueKind::I32)
+        );
+        if !kind_ok {
+            return Err(format!("snapshot kind mismatch for table '{}'", self.spec.name));
+        }
+        if data.len() != self.spec.len {
+            return Err(format!(
+                "snapshot of {} slots for table '{}' of {} slots",
+                data.len(),
+                self.spec.name,
+                self.spec.len
+            ));
+        }
+        self.data = data;
+        self.pending.advance_to(watermark);
+        self.checksum_cache.set(None);
+        Ok(())
+    }
+
+    /// CRC-32 over the current slot bit patterns, little-endian — the
+    /// per-epoch state checksum sealed into the WAL and compared across
+    /// leader/follower. Matches [`crate::protocol::snapshot_checksum`]
+    /// without materializing the bit vector.
+    ///
+    /// Memoized per watermark: state only changes when updates apply, and
+    /// every apply advances the watermark, so a hit is always exact.
+    pub fn checksum(&self) -> u32 {
+        let wm = self.watermark();
+        if let Some((at, crc)) = self.checksum_cache.get() {
+            if at == wm {
+                return crc;
+            }
+        }
+        // Stage slots through a fixed buffer so the CRC core sees long runs
+        // of bytes (its slicing-by-8 fast path) instead of 4-byte calls.
+        fn fold(crc: &mut invector_replog::Crc32, slots: impl Iterator<Item = u32>) {
+            let mut buf = [0u8; 4096];
+            let mut fill = 0;
+            for bits in slots {
+                buf[fill..fill + 4].copy_from_slice(&bits.to_le_bytes());
+                fill += 4;
+                if fill == buf.len() {
+                    crc.update(&buf);
+                    fill = 0;
+                }
+            }
+            crc.update(&buf[..fill]);
+        }
+        let mut crc = invector_replog::Crc32::new();
+        match &self.data {
+            TableData::F32(v) => fold(&mut crc, v.iter().map(|x| x.to_bits())),
+            TableData::I32(v) => fold(&mut crc, v.iter().map(|&x| x as u32)),
+        }
+        let out = crc.finish();
+        self.checksum_cache.set(Some((wm, out)));
+        out
     }
 
     /// Runs the engine on the updates currently staged in `self.chunk`.

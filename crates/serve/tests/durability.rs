@@ -1,0 +1,360 @@
+//! Durability and replication properties:
+//!
+//! 1. **Crash recovery.** For any admitted stream and any kill point, a
+//!    server restarted over the WAL directory reconstructs tables bitwise
+//!    identical to an uninterrupted run at the same watermark — the
+//!    determinism contract extended through a crash.
+//! 2. **Torn tails.** A log cut off (or bit-flipped) at any byte recovers
+//!    the longest valid record prefix and serves exactly that state.
+//! 3. **Tamper refusal.** A log record altered *consistently* (valid
+//!    framing, wrong contents) is caught by the next `Seal`'s state
+//!    checksum, and the server refuses to start.
+//! 4. **Follower convergence.** A follower tailing a leader over loopback
+//!    TCP verifies every epoch seal and converges bitwise, through
+//!    checkpoint resets; a tampered record parks it in `Diverged`.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng, SmallRng};
+
+use invector_replog::recover;
+use invector_serve::{
+    FollowStatus, Follower, LocalClient, OpKind, ServeClient, ServeConfig, Server, ServerCore,
+    SyncPolicy, TableSpec, TcpClient, Update, WalOptions, WalRecord,
+};
+
+const TABLE_LEN: usize = 48;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("invector-serve-durability-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn tables() -> Vec<TableSpec> {
+    vec![
+        TableSpec::i32("counts", OpKind::Add, TABLE_LEN),
+        TableSpec::f32("sums", OpKind::Add, TABLE_LEN),
+    ]
+}
+
+fn generate_streams(rng: &mut SmallRng, len: usize) -> Vec<Vec<Update>> {
+    let mut streams = vec![Vec::new(), Vec::new()];
+    for seq in 0..len as u64 {
+        let idx = rng.gen_range(0u32..TABLE_LEN as u32);
+        streams[0].push(Update::i32(seq, idx, rng.gen_range(-100i32..100)));
+        let idx = rng.gen_range(0u32..TABLE_LEN as u32);
+        streams[1].push(Update::f32(seq, idx, rng.gen_range(-1.0f32..1.0)));
+    }
+    streams
+}
+
+fn config_with_wal(dir: &PathBuf, quantum: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(tables());
+    config.quantum = quantum;
+    let mut wal = WalOptions::new(dir);
+    wal.sync = SyncPolicy::Os; // tests simulate process death, not power loss
+    wal.checkpoint_epochs = 0; // explicit checkpoint control per test
+    wal.checkpoint_bytes = 0;
+    config.wal = Some(wal);
+    config
+}
+
+/// Uninterrupted no-WAL reference: feed exactly `watermark` updates of each
+/// stream through the same quantum and return the snapshot bits. Epoch
+/// timing cannot matter (that is the determinism contract, proven in
+/// serve_properties), so plain submit + flush is a valid reference for any
+/// run whose cuts all fell on quantum boundaries.
+fn reference_at(streams: &[Vec<Update>], quantum: usize, watermarks: &[u64]) -> Vec<Vec<u32>> {
+    let mut config = ServeConfig::new(tables());
+    config.quantum = quantum;
+    let core = ServerCore::new(config).expect("reference core");
+    let mut client = LocalClient::new(core);
+    for (t, stream) in streams.iter().enumerate() {
+        client.submit_all(t as u16, &stream[..watermarks[t] as usize]).expect("submit");
+    }
+    client.flush().expect("flush");
+    (0..streams.len()).map(|t| client.snapshot(t as u16).expect("snapshot").bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any admitted stream, any kill point: the restarted server's tables
+    /// are bitwise identical to an uninterrupted run at the same
+    /// watermark. The "crash" drops the core with updates still queued and
+    /// partially applied; only logged slices may survive, and all of them
+    /// must.
+    #[test]
+    fn recovery_is_bitwise_identical_to_an_uninterrupted_run(
+        seed in any::<u64>(),
+        len in 1usize..400,
+        quantum_pow in 2u32..6,
+        kill_after in 0usize..64,
+    ) {
+        let quantum = 1usize << quantum_pow;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = generate_streams(&mut rng, len);
+        let dir = temp_dir("kill");
+
+        // Interleave submissions and ticks, stopping abruptly after
+        // `kill_after` steps (capped by however many steps there are).
+        {
+            let core = ServerCore::new(config_with_wal(&dir, quantum)).expect("core");
+            let mut client = LocalClient::new(core.clone());
+            let mut steps = 0usize;
+            'ingest: for (t, stream) in streams.iter().enumerate() {
+                for chunk in stream.chunks(13) {
+                    client.submit_all(t as u16, chunk).expect("submit");
+                    if rng.gen_bool(0.4) {
+                        core.tick(false);
+                    }
+                    steps += 1;
+                    if steps >= kill_after {
+                        break 'ingest;
+                    }
+                }
+            }
+            core.tick(false);
+            // Drop without flush/shutdown: the crash.
+        }
+
+        // Restart over the WAL dir. Whatever watermark the log carries,
+        // the state must equal the reference at exactly that watermark.
+        let recovered = ServerCore::new(config_with_wal(&dir, quantum)).expect("recovery");
+        let watermarks: Vec<u64> =
+            (0..streams.len()).map(|t| recovered.snapshot(t as u16).expect("snapshot").watermark).collect();
+        for wm in &watermarks {
+            prop_assert_eq!(wm % quantum as u64, 0, "non-drain cuts are whole quanta");
+        }
+        let expect = reference_at(&streams, quantum, &watermarks);
+        for (t, want) in expect.iter().enumerate() {
+            let got = recovered.snapshot(t as u16).expect("snapshot").bits();
+            prop_assert_eq!(&got, want, "table {} diverged after recovery", t);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Cutting the log at any byte (a torn write) recovers the longest
+    /// valid record prefix: the reopen succeeds and serves the reference
+    /// state at the recovered (possibly shorter) watermark.
+    #[test]
+    fn torn_tails_recover_the_longest_valid_prefix(
+        seed in any::<u64>(),
+        len in 32usize..300,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let quantum = 8usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = generate_streams(&mut rng, len);
+        let dir = temp_dir("tear");
+
+        {
+            let core = ServerCore::new(config_with_wal(&dir, quantum)).expect("core");
+            let mut client = LocalClient::new(core.clone());
+            for (t, stream) in streams.iter().enumerate() {
+                client.submit_all(t as u16, stream).expect("submit");
+            }
+            core.tick(false);
+        }
+        let wal_path = dir.join("wal.log");
+        let bytes = std::fs::read(&wal_path).expect("read log");
+        prop_assert!(!bytes.is_empty(), "len >= 32 with quantum 8 always logs slices");
+        let keep = ((bytes.len() as f64) * cut_fraction) as usize;
+        std::fs::write(&wal_path, &bytes[..keep]).expect("tear log");
+
+        let recovered = ServerCore::new(config_with_wal(&dir, quantum)).expect("recovery");
+        let watermarks: Vec<u64> =
+            (0..streams.len()).map(|t| recovered.snapshot(t as u16).expect("snapshot").watermark).collect();
+        let expect = reference_at(&streams, quantum, &watermarks);
+        for (t, want) in expect.iter().enumerate() {
+            let got = recovered.snapshot(t as u16).expect("snapshot").bits();
+            prop_assert_eq!(&got, want, "table {} diverged after torn-tail recovery", t);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A record altered with *valid* framing — the attack a frame CRC cannot
+/// catch — is caught by the next seal's state checksum: the restart fails
+/// loudly instead of serving diverged state.
+#[test]
+fn consistently_tampered_log_refuses_to_serve() {
+    let quantum = 8usize;
+    let dir = temp_dir("tamper");
+    {
+        let core = ServerCore::new(config_with_wal(&dir, quantum)).expect("core");
+        let mut client = LocalClient::new(core.clone());
+        let updates: Vec<Update> =
+            (0..64u64).map(|seq| Update::i32(seq, (seq % TABLE_LEN as u64) as u32, 1)).collect();
+        client.submit_all(0, &updates).expect("submit");
+        core.tick(false);
+    }
+
+    // Decode the records, flip one bit of one batch update's value, and
+    // rewrite the whole log with correct framing.
+    let wal_path = dir.join("wal.log");
+    let recovered = recover(&wal_path).expect("recover");
+    assert!(recovered.torn.is_none());
+    let mut records: Vec<WalRecord> =
+        recovered.records.iter().map(|p| WalRecord::decode(p).expect("decode")).collect();
+    let tampered = records
+        .iter_mut()
+        .find_map(|r| match r {
+            WalRecord::Batch { updates, .. } => Some(updates),
+            WalRecord::Seal { .. } => None,
+        })
+        .expect("a batch record");
+    tampered[3] = Update::i32(tampered[3].seq, tampered[3].idx, 2);
+    std::fs::remove_file(&wal_path).expect("drop log");
+    let mut wal = invector_replog::Wal::open(&wal_path).expect("fresh log");
+    for r in &records {
+        wal.append(&r.encode()).expect("append");
+    }
+    wal.sync().expect("sync");
+    drop(wal);
+
+    let err = ServerCore::new(config_with_wal(&dir, quantum))
+        .expect_err("tampered log must refuse to serve");
+    assert!(
+        err.contains("refusing to serve") || err.contains("diverged"),
+        "error must name the divergence: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Leader/follower loopback: a follower bootstraps from a chunked snapshot,
+/// tails the log through >=100 epochs of concurrent ingest (crossing
+/// several checkpoint resets), verifies every seal, and finishes bitwise
+/// identical to the leader.
+#[test]
+fn follower_converges_bitwise_across_100_epochs_and_checkpoints() {
+    let quantum = 16usize;
+    let dir = temp_dir("follow");
+    let mut config = config_with_wal(&dir, quantum);
+    // Checkpoint every 32 non-empty epochs so the run crosses several
+    // generations and exercises the reset/re-bootstrap path, not just the
+    // steady tail.
+    if let Some(wal) = config.wal.as_mut() {
+        wal.checkpoint_epochs = 32;
+    }
+    let server = Server::bind(config, "127.0.0.1:0").expect("bind leader");
+    let addr = server.local_addr().to_string();
+
+    let follower = Follower::start(&addr, ServeConfig::new(Vec::new())).expect("follower");
+
+    // Concurrent ingest: one quantum per table per epoch, Flush forcing
+    // the epoch boundary, for 120 epochs.
+    const EPOCHS: usize = 160;
+    let mut ingest = TcpClient::connect(&addr).expect("ingest client");
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for epoch in 0..EPOCHS {
+        for t in 0..2u16 {
+            let base = (epoch * quantum) as u64;
+            let updates: Vec<Update> = (0..quantum as u64)
+                .map(|i| {
+                    let idx = rng.gen_range(0u32..TABLE_LEN as u32);
+                    if t == 0 {
+                        Update::i32(base + i, idx, rng.gen_range(-9i32..9))
+                    } else {
+                        Update::f32(base + i, idx, rng.gen_range(-1.0f32..1.0))
+                    }
+                })
+                .collect();
+            ingest.submit_all(t, &updates).expect("submit");
+        }
+        ingest.flush().expect("flush");
+        // Pace ingest at roughly the follower's poll cadence: the point is
+        // live tailing with per-epoch verification, not a bootstrap race.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // Wait for the follower to reach the leader's watermark on both tables.
+    let target = (EPOCHS * quantum) as u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let caught_up = (0..2u16)
+            .all(|t| follower.core().snapshot(t).map(|s| s.watermark == target).unwrap_or(false));
+        if caught_up {
+            break;
+        }
+        if let FollowStatus::Diverged(m) = follower.status() {
+            panic!("follower diverged: {m}");
+        }
+        assert!(std::time::Instant::now() < deadline, "follower failed to catch up");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    for t in 0..2u16 {
+        let leader = ingest.snapshot(t).expect("leader snapshot");
+        let follow = follower.core().snapshot(t).expect("follower snapshot");
+        assert_eq!(leader.watermark, follow.watermark);
+        assert_eq!(leader.checksum, follow.checksum, "table {t} checksum differs");
+        assert_eq!(leader.bits(), follow.bits(), "table {t} bits differ");
+    }
+    assert!(matches!(follower.status(), FollowStatus::Tailing));
+    #[cfg(feature = "obs")]
+    {
+        let text = follower.core().metrics_text();
+        let verified: u64 = text
+            .lines()
+            .find(|l| l.starts_with("invector_serve_follower_epochs_verified_total"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("verified series");
+        assert!(verified >= 100, "only {verified} seals verified");
+    }
+
+    follower.stop();
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A single bit flipped in a replicated batch makes the follower's replayed
+/// state disagree with the leader's seal — it must park in `Diverged`, not
+/// serve the drifted bits.
+#[test]
+fn follower_detects_single_bit_divergence_exactly() {
+    let quantum = 8usize;
+    let dir = temp_dir("diverge");
+    let core = ServerCore::new(config_with_wal(&dir, quantum)).expect("leader core");
+    let mut client = LocalClient::new(core.clone());
+    let updates: Vec<Update> =
+        (0..32u64).map(|seq| Update::i32(seq, (seq % TABLE_LEN as u64) as u32, 1)).collect();
+    client.submit_all(0, &updates).expect("submit");
+    core.tick(false);
+
+    // Replicate the leader's log into a read-only replica core, flipping
+    // one value bit in one batch.
+    let replica = {
+        let mut config = ServeConfig::new(tables());
+        config.quantum = quantum;
+        ServerCore::new(config).expect("replica core")
+    };
+    replica.set_read_only(true);
+    let page = core.log_tail(0, 0, u32::MAX).expect("tail");
+    let mut tampered_once = false;
+    let mut outcome = Ok(());
+    for payload in &page.records {
+        let mut record = WalRecord::decode(payload).expect("decode");
+        if let WalRecord::Batch { updates, .. } = &mut record {
+            if !tampered_once {
+                updates[5] = Update::i32(updates[5].seq, updates[5].idx, 1 ^ 2);
+                tampered_once = true;
+            }
+        }
+        outcome = replica.apply_replica(&record);
+        if outcome.is_err() {
+            break;
+        }
+    }
+    assert!(tampered_once, "log must contain a batch");
+    let message = outcome.expect_err("tampered replication must fail the seal check");
+    assert!(message.contains("divergence"), "error must name the divergence: {message}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,7 +11,8 @@ use std::net::TcpStream;
 use proptest::prelude::*;
 
 use invector_serve::protocol::{
-    read_frame, write_frame, Reply, Request, RequestView, StatsSummary, Update,
+    read_frame, snapshot_checksum, write_frame, Reply, Request, RequestView, SnapshotAssembler,
+    SnapshotMetaTable, StatsSummary, Update, PROTOCOL_VERSION,
 };
 use invector_serve::{OpKind, RejectReason, Ring, ServeConfig, Server, TableSpec, ValueKind};
 
@@ -26,17 +27,23 @@ fn arb_update() -> impl Strategy<Value = Update> {
 /// Every request variant, dispatched off a tag byte (the vendored proptest
 /// shim has no `prop_oneof`).
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u8..7, any::<u16>(), prop::collection::vec(arb_update(), 0..40)).prop_map(
-        |(tag, word, updates)| match tag {
+    (0u8..10, any::<u16>(), any::<u32>(), any::<u64>(), prop::collection::vec(arb_update(), 0..40))
+        .prop_map(|(tag, word, dword, qword, updates)| match tag {
             0 => Request::Hello { version: word },
             1 => Request::Update { table: word, updates },
             2 => Request::Flush,
             3 => Request::Snapshot { table: word },
             4 => Request::Stats,
             5 => Request::Shutdown,
-            _ => Request::Metrics,
-        },
-    )
+            6 => Request::Metrics,
+            7 => Request::SnapshotBegin,
+            8 => Request::SnapshotChunk { table: word, chunk: dword },
+            _ => Request::LogTail {
+                checkpoint: qword,
+                index: qword.rotate_left(17),
+                max_bytes: dword,
+            },
+        })
 }
 
 fn arb_table_spec() -> impl Strategy<Value = TableSpec> {
@@ -57,7 +64,7 @@ fn arb_table_spec() -> impl Strategy<Value = TableSpec> {
 /// Every reply variant, same tag-dispatch scheme.
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        0u8..8,
+        0u8..11,
         any::<u16>(),
         any::<u32>(),
         any::<u64>(),
@@ -79,7 +86,31 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                         _ => RejectReason::Draining,
                     },
                 },
-                3 => Reply::Snapshot { table: word, watermark, values },
+                3 => Reply::Snapshot { table: word, watermark, checksum: accepted, values },
+                8 => Reply::SnapshotMeta {
+                    checkpoint: watermark,
+                    index: watermark.rotate_left(13),
+                    chunk_values: accepted,
+                    tables: values
+                        .iter()
+                        .take(6)
+                        .enumerate()
+                        .map(|(t, &v)| SnapshotMetaTable {
+                            table: t as u16,
+                            watermark: u64::from(v),
+                            len: u64::from(v).rotate_left(7),
+                            checksum: v,
+                        })
+                        .collect(),
+                },
+                9 => Reply::SnapshotChunk { table: word, chunk: accepted, values },
+                10 => Reply::LogRecords {
+                    checkpoint: watermark,
+                    next_index: watermark.wrapping_add(u64::from(accepted)),
+                    head: watermark.wrapping_mul(3),
+                    reset: word % 2 == 0,
+                    records: values.iter().take(5).map(|&v| v.to_le_bytes().to_vec()).collect(),
+                },
                 4 => Reply::Stats(StatsSummary {
                     epochs: watermark,
                     slices: watermark,
@@ -148,8 +179,8 @@ proptest! {
         tag in any::<u8>(),
         payload in prop::collection::vec(any::<u8>(), 0..64),
     ) {
-        let known_request = (0x01..=0x07).contains(&tag);
-        let known_reply = (0x81..=0x87).contains(&tag) || tag == 0xFF;
+        let known_request = (0x01..=0x0A).contains(&tag);
+        let known_reply = (0x81..=0x8A).contains(&tag) || tag == 0xFF;
         let mut body = vec![tag];
         body.extend_from_slice(&payload);
         if !known_request {
@@ -196,6 +227,70 @@ proptest! {
         body in prop::collection::vec(any::<u8>(), 0..600),
     ) {
         let _ = RequestView::decode(&body);
+    }
+
+    /// A chunked snapshot transfer delivered strictly in order assembles
+    /// to the original value stream under any (len, chunk_values)
+    /// geometry; a *truncated* chunk sequence — any strict prefix — is
+    /// refused at `finish`, never silently accepted.
+    #[test]
+    fn chunk_transfers_assemble_in_order_and_refuse_truncation(
+        values in prop::collection::vec(any::<u32>(), 0..120),
+        chunk_values in 1u32..16,
+        drop_tail in any::<usize>(),
+    ) {
+        let checksum = snapshot_checksum(&values);
+        let mut asm = SnapshotAssembler::new(0, values.len() as u64, checksum, chunk_values);
+        let total = asm.chunk_count();
+        for chunk in 0..total {
+            let start = (chunk as usize) * chunk_values as usize;
+            let end = (start + chunk_values as usize).min(values.len());
+            asm.push(0, chunk, &values[start..end]).expect("in-order chunk");
+        }
+        prop_assert_eq!(asm.finish().expect("complete transfer"), values.clone());
+
+        if total > 0 {
+            // Stop after an arbitrary strict prefix of the chunk sequence.
+            let keep = drop_tail % total as usize;
+            let mut asm =
+                SnapshotAssembler::new(0, values.len() as u64, checksum, chunk_values);
+            for chunk in 0..keep as u32 {
+                let start = (chunk as usize) * chunk_values as usize;
+                let end = (start + chunk_values as usize).min(values.len());
+                asm.push(0, chunk, &values[start..end]).expect("in-order chunk");
+            }
+            prop_assert!(asm.finish().is_err(), "truncated sequence must be refused");
+        }
+    }
+
+    /// Delivering any chunk out of sequence is rejected immediately at
+    /// `push` — the assembler never buffers holes or reorders.
+    #[test]
+    fn out_of_order_chunk_ids_are_rejected_at_push(
+        values in prop::collection::vec(any::<u32>(), 2..120),
+        chunk_values in 1u32..8,
+        skew in any::<u32>(),
+    ) {
+        let checksum = snapshot_checksum(&values);
+        let mut asm = SnapshotAssembler::new(0, values.len() as u64, checksum, chunk_values);
+        let total = asm.chunk_count();
+        if total < 2 {
+            return Ok(());
+        }
+        // Any id other than the expected next one (0) must be refused,
+        // including ids past the end of the transfer.
+        let wrong = 1 + skew % (total + 3);
+        let start = ((wrong as usize) * chunk_values as usize).min(values.len());
+        let end = (start + chunk_values as usize).min(values.len());
+        prop_assert!(asm.push(0, wrong, &values[start..end]).is_err());
+        // The failed push must not have consumed the slot: the correct
+        // sequence still assembles afterwards.
+        for chunk in 0..total {
+            let start = (chunk as usize) * chunk_values as usize;
+            let end = (start + chunk_values as usize).min(values.len());
+            asm.push(0, chunk, &values[start..end]).expect("in-order chunk");
+        }
+        prop_assert_eq!(asm.finish().expect("complete transfer"), values);
     }
 
     /// A multi-frame stream delivered to the ring in arbitrary read-sized
@@ -317,7 +412,8 @@ fn tcp_server_answers_garbage_frames_with_an_error_reply() {
     let mut writer = BufWriter::new(stream);
 
     // Handshake by hand so we control every byte that follows.
-    write_frame(&mut writer, &Request::Hello { version: 1 }.encode()).expect("hello");
+    write_frame(&mut writer, &Request::Hello { version: PROTOCOL_VERSION }.encode())
+        .expect("hello");
     let hello = read_frame(&mut reader).expect("hello reply").expect("frame");
     assert!(matches!(Reply::decode(&hello).expect("decode"), Reply::Hello { .. }));
 

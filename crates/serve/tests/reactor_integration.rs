@@ -8,7 +8,7 @@ use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use invector_serve::protocol::{read_frame, write_frame, Reply, Request, Update};
+use invector_serve::protocol::{read_frame, write_frame, Reply, Request, Update, PROTOCOL_VERSION};
 use invector_serve::{
     LocalClient, OpKind, ReactorKind, ServeClient, ServeConfig, Server, ServerCore, TableSpec,
     TcpClient,
@@ -55,7 +55,8 @@ fn slow_reader_backpressure_stalls_writes_then_reads() {
     let stream = TcpStream::connect(addr).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = BufWriter::new(stream);
-    write_frame(&mut writer, &Request::Hello { version: 1 }.encode()).expect("hello");
+    write_frame(&mut writer, &Request::Hello { version: PROTOCOL_VERSION }.encode())
+        .expect("hello");
 
     // Queue four ~4 MiB replies without reading a byte, then keep request
     // bytes flowing: the read stall only triggers when data is readable
@@ -136,7 +137,8 @@ fn half_closed_peer_receives_all_replies_then_eof() {
 
     // Write the whole conversation, then close the write side before
     // reading anything.
-    write_frame(&mut writer, &Request::Hello { version: 1 }.encode()).expect("hello");
+    write_frame(&mut writer, &Request::Hello { version: PROTOCOL_VERSION }.encode())
+        .expect("hello");
     let updates: Vec<Update> = (0..100).map(|i| Update::i32(i, (i % 64) as u32, 1)).collect();
     write_frame(&mut writer, &Request::Update { table: 0, updates }.encode()).expect("update");
     write_frame(&mut writer, &Request::Flush.encode()).expect("flush");

@@ -12,8 +12,9 @@ use invector_core::BackendChoice;
 use invector_harness::{driver, registry, RunRecord, RunSpec};
 use invector_kernels::{ExecPolicy, Variant};
 use invector_serve::{
-    LocalClient, OpKind, PolicyHandle, ReactorKind, ServeClient, ServeConfig, Server, ServerCore,
-    TableSpec, TcpClient, TuneConfig, TuneMode, Update,
+    FollowStatus, Follower, LocalClient, OpKind, PolicyHandle, ReactorKind, ServeClient,
+    ServeConfig, Server, ServerCore, SubmitOutcome, SyncPolicy, TableSpec, TcpClient, TuneConfig,
+    TuneMode, Update, WalOptions,
 };
 
 /// Reactor front-end knobs shared by `serve` and `bench-serve`.
@@ -134,6 +135,20 @@ pub enum Command {
         smoke: bool,
         /// Concurrent TCP clients the smoke drives.
         clients: usize,
+        /// Durability directory (`--wal-dir`): log admitted slices and
+        /// publish checkpoints; restart recovers bitwise.
+        wal_dir: Option<String>,
+        /// WAL fsync cadence (`--wal-sync`).
+        wal_sync: SyncPolicy,
+        /// Follow a leader (`--follow <addr>`): bootstrap from its
+        /// snapshot, tail its log, serve read-only snapshots.
+        follow: Option<String>,
+        /// Crash-recovery smoke: SIGKILL a child server mid-epoch, restart
+        /// over its WAL, verify bitwise against an uninterrupted reference.
+        smoke_recover: bool,
+        /// Leader/follower loopback smoke: converge a follower over TCP
+        /// and compare per-epoch checksums.
+        smoke_follow: bool,
     },
     /// In-process serving throughput sweep over batch quanta.
     BenchServe {
@@ -201,6 +216,18 @@ SERVING OPTIONS (serve / bench-serve / metrics):
                        execution policy online from completed-epoch metrics
                        (snapshots stay bitwise-deterministic; the policy
                        trace is replayable)
+
+DURABILITY & REPLICATION (serve):
+  --wal-dir <path>     log admitted slices to a write-ahead log + periodic
+                       snapshot checkpoints; restart recovers bitwise
+  --wal-sync <mode>    always | epoch | os — fsync cadence        [epoch]
+  --follow <addr>      replicate a durable leader: bootstrap from its
+                       chunked snapshot, tail its log, serve read-only
+                       snapshots with per-epoch checksum verification
+  --smoke-recover      crash smoke: SIGKILL a durable child mid-epoch,
+                       restart over its WAL, verify bitwise recovery
+  --smoke-follow       replication smoke: converge a loopback follower
+                       under concurrent ingest, compare epoch checksums
 ";
 
 fn parse_dist(s: &str) -> Result<Distribution, String> {
@@ -261,7 +288,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Help);
     };
     // Options that are flags: present or absent, no value.
-    const FLAGS: [&str; 3] = ["smoke", "obs", "tune"];
+    const FLAGS: [&str; 5] = ["smoke", "obs", "tune", "smoke-recover", "smoke-follow"];
     let mut opts: Opts = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -277,7 +304,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         opts.push((key.to_string(), value.clone()));
         i += 2;
     }
-    const KNOWN: [&str; 24] = [
+    const KNOWN: [&str; 29] = [
         "app",
         "dataset",
         "variant",
@@ -302,6 +329,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "clients",
         "obs",
         "tune",
+        "wal-dir",
+        "wal-sync",
+        "follow",
+        "smoke-recover",
+        "smoke-follow",
     ];
     if let Some((k, _)) = opts.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(format!("unknown option --{k}"));
@@ -347,6 +379,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if clients == 0 {
                 return Err("--clients must be at least 1".into());
             }
+            let wal_sync = match get(&opts, "wal-sync").unwrap_or("epoch") {
+                "always" => SyncPolicy::Always,
+                "epoch" => SyncPolicy::Epoch,
+                "os" => SyncPolicy::Os,
+                other => return Err(format!("unknown --wal-sync '{other}' (always | epoch | os)")),
+            };
+            let follow = get(&opts, "follow").map(str::to_string);
+            if follow.is_some() && get(&opts, "wal-dir").is_some() {
+                return Err("--follow and --wal-dir are exclusive: a follower \
+                            replicates the leader's log instead of writing its own"
+                    .into());
+            }
             return Ok(Command::Serve {
                 addr: get(&opts, "addr").unwrap_or("127.0.0.1:7411").to_string(),
                 spec: build_spec(&opts, "tiny")?,
@@ -354,6 +398,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 net,
                 smoke: get(&opts, "smoke").is_some(),
                 clients,
+                wal_dir: get(&opts, "wal-dir").map(str::to_string),
+                wal_sync,
+                follow,
+                smoke_recover: get(&opts, "smoke-recover").is_some(),
+                smoke_follow: get(&opts, "smoke-follow").is_some(),
             });
         }
         "bench-serve" => {
@@ -421,8 +470,29 @@ pub fn run(command: Command) -> Result<(), String> {
         }
         Command::RunAll { spec, threads, backend, obs } => run_all(&spec, threads, backend, obs)?,
         Command::Metrics { addr } => run_metrics(&addr)?,
-        Command::Serve { addr, spec, exec, net, smoke, clients } => {
-            run_serve(&addr, &spec, exec, net, smoke, clients)?
+        Command::Serve {
+            addr,
+            spec,
+            exec,
+            net,
+            smoke,
+            clients,
+            wal_dir,
+            wal_sync,
+            follow,
+            smoke_recover,
+            smoke_follow,
+        } => {
+            let durability = Durability { wal_dir, wal_sync };
+            if smoke_recover {
+                serve_smoke_recover(&spec, exec, net, durability)?
+            } else if smoke_follow {
+                serve_smoke_follow(&spec, exec, net, durability)?
+            } else if let Some(leader) = follow {
+                run_follow(&addr, &leader, exec, net)?
+            } else {
+                run_serve(&addr, &spec, exec, net, smoke, clients, durability)?
+            }
         }
         Command::BenchServe { spec, exec, net } => run_bench_serve(&spec, exec, net)?,
     }
@@ -698,6 +768,24 @@ fn serve_reference(counts: &[Update], mins: &[Update], cardinality: usize) -> (V
     )
 }
 
+/// Parsed `--wal-dir` / `--wal-sync`: the serve command's durability
+/// request, resolved to [`WalOptions`] when a directory was given.
+#[derive(Debug, Clone)]
+struct Durability {
+    wal_dir: Option<String>,
+    wal_sync: SyncPolicy,
+}
+
+impl Durability {
+    fn options(&self) -> Option<WalOptions> {
+        self.wal_dir.as_ref().map(|dir| {
+            let mut wal = WalOptions::new(dir);
+            wal.sync = self.wal_sync;
+            wal
+        })
+    }
+}
+
 fn serve_config(spec: &RunSpec, exec: ExecOpts, net: NetOpts) -> ServeConfig {
     let mut config = ServeConfig::new(serve_tables(spec.cardinality.max(1)));
     config.shards = exec.shards;
@@ -720,13 +808,23 @@ fn run_serve(
     net: NetOpts,
     smoke: bool,
     clients: usize,
+    durability: Durability,
 ) -> Result<(), String> {
     if smoke {
         return serve_smoke(spec, exec, net, clients);
     }
-    let config = serve_config(spec, exec, net);
+    let mut config = serve_config(spec, exec, net);
+    config.wal = durability.options();
+    let durable = config.wal.is_some();
     let server = Server::bind(config, addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("invector-serve listening on {}", server.local_addr());
+    if durable {
+        println!(
+            "  durability: WAL at {} (sync {:?}); restart recovers bitwise",
+            durability.wal_dir.as_deref().unwrap_or("?"),
+            durability.wal_sync
+        );
+    }
     println!("  tables: counts (i32 add), mins (f32 min) x {} slots", spec.cardinality.max(1));
     println!(
         "  shards {}, quantum {}, threads {}, tuning {}",
@@ -869,6 +967,263 @@ fn serve_smoke(spec: &RunSpec, exec: ExecOpts, net: NetOpts, clients: usize) -> 
     }
     server.join();
     println!("  snapshots match the serial fold bitwise; drain clean");
+    Ok(())
+}
+
+/// Follower mode: bootstrap from the leader's chunked snapshot, tail its
+/// log, and serve read-only snapshots on `addr` until interrupted.
+fn run_follow(addr: &str, leader: &str, exec: ExecOpts, net: NetOpts) -> Result<(), String> {
+    let mut config = ServeConfig::new(Vec::new());
+    config.threads = exec.threads;
+    config.backend = exec.backend;
+    config.io_threads = net.io_threads;
+    config.max_connections = net.max_conns;
+    config.reactor = net.reactor;
+    let follower = Follower::start(leader, config)?;
+    let server =
+        Server::serve_core(follower.core(), addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("invector-serve following {leader}, read-only on {}", server.local_addr());
+    println!("  every epoch seal is checksum-verified; divergence stops the follower");
+    loop {
+        match follower.status() {
+            FollowStatus::Diverged(m) => {
+                server.shutdown();
+                server.join();
+                return Err(format!("follower diverged: {m}"));
+            }
+            FollowStatus::Stopped => {
+                println!("  leader closed the stream; shutting down");
+                server.shutdown();
+                server.join();
+                return Ok(());
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+}
+
+/// A scratch directory under the system tmpdir, unique per process.
+fn smoke_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("invector-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Crash-recovery smoke: run a durable child server, SIGKILL it mid-epoch,
+/// restart over its WAL directory, and demand bitwise agreement with an
+/// uninterrupted reference at the recovered watermark.
+fn serve_smoke_recover(
+    spec: &RunSpec,
+    exec: ExecOpts,
+    net: NetOpts,
+    durability: Durability,
+) -> Result<(), String> {
+    let cardinality = spec.cardinality.max(1);
+    let dir = durability
+        .wal_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| smoke_dir("smoke-recover"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    println!(
+        "recover smoke: WAL at {}, sync {:?}, quantum {}",
+        dir.display(),
+        durability.wal_sync,
+        exec.quantum
+    );
+
+    // A durable child server on an ephemeral port; its first stdout line
+    // names the bound address.
+    let mut child = std::process::Command::new(&exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            dir.to_str().ok_or("non-UTF-8 tmp path")?,
+            "--wal-sync",
+            match durability.wal_sync {
+                SyncPolicy::Always => "always",
+                SyncPolicy::Epoch => "epoch",
+                SyncPolicy::Os => "os",
+            },
+            "--quantum",
+            &exec.quantum.to_string(),
+            "--cardinality",
+            &cardinality.to_string(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn child server: {e}"))?;
+    let addr = {
+        use std::io::BufRead;
+        let stdout = child.stdout.take().ok_or("child stdout")?;
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .ok_or("child exited before announcing its address")?
+            .map_err(|e| format!("read child stdout: {e}"))?;
+        // Drain the rest on a detached thread so the child never blocks on
+        // a full pipe.
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        first
+            .rsplit(' ')
+            .next()
+            .filter(|a| a.contains(':'))
+            .ok_or_else(|| format!("unexpected child banner: {first}"))?
+            .to_string()
+    };
+    println!("  child serving on {addr}");
+
+    // Stream updates and kill the child mid-flight — between a submit and
+    // the epoch that would apply it, with slices already logged.
+    let (counts, mins) = serve_streams(spec);
+    let mut client = TcpClient::connect(&addr)?;
+    let kill_at = counts.len() / 2;
+    let mut sent = 0usize;
+    for (a, b) in counts.chunks(64).zip(mins.chunks(64)) {
+        client.submit_all(0, a)?;
+        client.submit_all(1, b)?;
+        client.flush()?;
+        sent += a.len();
+        if sent >= kill_at {
+            break;
+        }
+    }
+    child.kill().map_err(|e| format!("SIGKILL child: {e}"))?;
+    child.wait().ok();
+    println!("  killed child after {sent} updates per table");
+
+    // Restart over the WAL directory in-process and compare against an
+    // uninterrupted reference run at the recovered watermark.
+    let mut config = serve_config(spec, exec, net);
+    config.wal = durability.options().or_else(|| Some(WalOptions::new(&dir)));
+    let recovered = ServerCore::new(config).map_err(|e| format!("recovery failed: {e}"))?;
+    let wm_counts = recovered.snapshot(0)?.watermark;
+    let wm_mins = recovered.snapshot(1)?.watermark;
+    println!("  recovered watermarks: counts {wm_counts}, mins {wm_mins}");
+
+    let reference = {
+        let mut config = serve_config(spec, exec, net);
+        config.wal = None;
+        let core = ServerCore::new(config)?;
+        let mut local = LocalClient::new(core.clone());
+        local.submit_all(0, &counts[..wm_counts as usize])?;
+        local.submit_all(1, &mins[..wm_mins as usize])?;
+        local.flush()?;
+        core
+    };
+    for (t, name) in [(0u16, "counts"), (1u16, "mins")] {
+        let got = recovered.snapshot(t)?;
+        let expect = reference.snapshot(t)?;
+        if got.checksum != expect.checksum || got.bits() != expect.bits() {
+            return Err(format!(
+                "table {name} diverged after crash recovery \
+                 (checksum {:#010x} vs reference {:#010x})",
+                got.checksum, expect.checksum
+            ));
+        }
+        println!("  {name}: checksum {:#010x} matches the uninterrupted reference", got.checksum);
+    }
+    if durability.wal_dir.is_none() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    println!("  crash recovery is bitwise-exact");
+    Ok(())
+}
+
+/// Leader/follower loopback smoke: a durable leader, a follower tailing it
+/// over TCP under concurrent ingest, per-epoch checksum verification, and
+/// a final bitwise compare.
+fn serve_smoke_follow(
+    spec: &RunSpec,
+    exec: ExecOpts,
+    net: NetOpts,
+    durability: Durability,
+) -> Result<(), String> {
+    let dir = durability
+        .wal_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| smoke_dir("smoke-follow"));
+    let mut config = serve_config(spec, exec, net);
+    let mut wal = durability.options().unwrap_or_else(|| WalOptions::new(&dir));
+    wal.dir = dir.clone();
+    // Checkpoint aggressively so the smoke also crosses a generation
+    // reset, not just the steady tail.
+    wal.checkpoint_epochs = 16;
+    config.wal = Some(wal);
+    let leader = Server::bind(config, "127.0.0.1:0").map_err(|e| format!("bind leader: {e}"))?;
+    let leader_addr = leader.local_addr().to_string();
+    println!("follow smoke: leader on {leader_addr}, WAL at {}", dir.display());
+
+    let follower = Follower::start(&leader_addr, ServeConfig::new(Vec::new()))?;
+    let front = Server::serve_core(follower.core(), "127.0.0.1:0")
+        .map_err(|e| format!("bind follower front end: {e}"))?;
+    println!("  follower read-only on {}", front.local_addr());
+
+    // Concurrent ingest: epoch-sized submissions with explicit flushes so
+    // the run crosses many sealed epochs.
+    let (counts, mins) = serve_streams(spec);
+    let mut ingest = TcpClient::connect(&leader_addr)?;
+    let quantum = exec.quantum.max(1);
+    let mut epochs = 0usize;
+    for (a, b) in counts.chunks(quantum).zip(mins.chunks(quantum)) {
+        ingest.submit_all(0, a)?;
+        ingest.submit_all(1, b)?;
+        ingest.flush()?;
+        epochs += 1;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    println!("  ingested {} updates per table across {epochs} flushed epochs", counts.len());
+
+    // Wait for convergence, then compare bitwise over the wire.
+    let target = counts.len().min(mins.len()) as u64;
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let caught_up = (0..2u16)
+            .all(|t| follower.core().snapshot(t).map(|s| s.watermark >= target).unwrap_or(false));
+        if caught_up {
+            break;
+        }
+        if let FollowStatus::Diverged(m) = follower.status() {
+            return Err(format!("follower diverged: {m}"));
+        }
+        if Instant::now() >= deadline {
+            return Err("follower failed to catch up within 30s".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let mut check = TcpClient::connect(format!("{}", front.local_addr()))?;
+    for (t, name) in [(0u16, "counts"), (1u16, "mins")] {
+        let leader_snap = ingest.snapshot(t)?;
+        let follow_snap = check.snapshot(t)?;
+        if leader_snap.checksum != follow_snap.checksum || leader_snap.bits() != follow_snap.bits()
+        {
+            return Err(format!("table {name} diverged between leader and follower"));
+        }
+        println!(
+            "  {name}: watermark {} checksum {:#010x} identical on both sides",
+            follow_snap.watermark, follow_snap.checksum
+        );
+    }
+    // A follower front end is read-only: submits must be refused.
+    match check.submit(0, &[Update::i32(u64::MAX, 0, 1)]) {
+        Ok(SubmitOutcome::Failed(m)) if m.contains("read-only") => {}
+        other => return Err(format!("read-only follower accepted a submit: {other:?}")),
+    }
+    println!("  follower refused a direct submit (read-only)");
+    follower.stop();
+    front.shutdown();
+    front.join();
+    leader.shutdown();
+    leader.join();
+    if durability.wal_dir.is_none() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    println!("  leader/follower converge bitwise with per-epoch verification");
     Ok(())
 }
 
