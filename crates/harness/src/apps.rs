@@ -851,6 +851,410 @@ impl Workload for ServeRecoverWorkload {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming (streamkit-backed stream tables)
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* stream for synthesizing edge churn and window
+/// events — fixed recurrence so both variants replay the identical stream.
+struct EventRng(u64);
+
+impl EventRng {
+    fn new(seed: u64) -> EventRng {
+        EventRng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Incremental graph analytics over the serving layer: an evolving edge
+/// stream drives streamkit's delta PageRank and WCC engines inside
+/// `invector-serve` stream tables; the vector variant's served snapshots
+/// must match a from-scratch serial recompute over the final edge set
+/// bitwise.
+pub struct StreamGraphApp;
+
+struct StreamGraphWorkload {
+    vertices: u32,
+    iters: u32,
+    /// Edge events in `(src, dst | DELETE_BIT?)` engine encoding.
+    events: Vec<(u32, u32)>,
+}
+
+impl Kernel for StreamGraphApp {
+    fn name(&self) -> &'static str {
+        "stream-graph"
+    }
+    fn summary(&self) -> &'static str {
+        "Incremental graph analytics: delta PageRank + WCC over an evolving edge stream (invector-streamkit)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        const VARIANTS: [Variant; 2] = [Variant::Serial, Variant::Invec];
+        &VARIANTS
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Frontier
+    }
+    fn tolerance(&self) -> f64 {
+        // The incremental engines are bitwise-exact against from-scratch
+        // recomputation; ranks travel as f32 bit patterns in i32 slots.
+        0.0
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.rows == 0 || spec.cardinality < 2 {
+            return Err("graph streaming needs rows >= 1 and cardinality >= 2".into());
+        }
+        let vertices = (spec.cardinality as u32).min(invector_streamkit::MAX_VERTICES);
+        let iters = spec.iters.clamp(1, invector_streamkit::MAX_ITERS);
+        // Churn with a shifting hot set: most events touch a small window of
+        // vertices that drifts through the id space, so deletes regularly
+        // hit edges that exist and the dirty frontier stays localized — the
+        // regime the delta engines are built for.
+        let mut rng = EventRng::new(INPUT_SEED);
+        let events = (0..spec.rows)
+            .map(|i| {
+                let hot = ((i * 7 / spec.rows.max(1)) as u32 * vertices / 7) % vertices;
+                let span = (vertices / 4).max(2);
+                let src = (hot + rng.next() as u32 % span) % vertices;
+                let dst = (hot + rng.next() as u32 % span) % vertices;
+                let insert = rng.next() % 100 < 70;
+                invector_streamkit::edge_event(src, dst, insert)
+            })
+            .collect();
+        Ok(Box::new(StreamGraphWorkload { vertices, iters, events }))
+    }
+}
+
+impl StreamGraphWorkload {
+    /// From-scratch serial recompute over the final edge set, in the same
+    /// slot encoding the served tables use (f32 rank bits, i32 labels).
+    fn run_serial(&self) -> Vec<f64> {
+        let n = self.vertices as usize;
+        let mut edges = std::collections::BTreeSet::new();
+        for &(src, bits) in &self.events {
+            let dst = bits & !invector_streamkit::DELETE_BIT;
+            if bits & invector_streamkit::DELETE_BIT != 0 {
+                edges.remove(&(src, dst));
+            } else {
+                edges.insert((src, dst));
+            }
+        }
+        let mut inn = vec![Vec::new(); n];
+        let mut outdeg = vec![0u32; n];
+        let mut und = vec![std::collections::BTreeSet::new(); n];
+        for &(u, v) in &edges {
+            inn[v as usize].push(u);
+            outdeg[u as usize] += 1;
+            und[u as usize].insert(v);
+            und[v as usize].insert(u);
+        }
+        let und: Vec<Vec<u32>> = und.into_iter().map(|s| s.into_iter().collect()).collect();
+        let layers =
+            invector_streamkit::reference::pagerank_layers(n, self.iters as usize, &inn, &outdeg);
+        let labels = invector_streamkit::reference::wcc_labels(n, &und);
+        let mut values: Vec<f64> =
+            layers[self.iters as usize].iter().map(|r| f64::from(r.to_bits() as i32)).collect();
+        values.extend(labels.into_iter().map(f64::from));
+        values
+    }
+
+    /// Served path: both graph tables on one core, edge ops streamed
+    /// through the `EdgeOps` verb in admission-sized chunks.
+    fn run_served(&self, policy: &ExecPolicy) -> Result<Vec<f64>, String> {
+        use invector_serve::{
+            EdgeOp, LocalClient, ServeClient, ServeConfig, ServerCore, SubmitOutcome, TableSpec,
+        };
+        let config = {
+            let mut config = ServeConfig::new(vec![
+                TableSpec::pagerank("ranks", self.vertices, self.iters),
+                TableSpec::wcc("components", self.vertices),
+            ]);
+            config.quantum = SERVE_QUANTUM;
+            config.threads = policy.threads.max(1);
+            config.backend = policy.backend;
+            config
+        };
+        let core = ServerCore::new(config)?;
+        let mut client = LocalClient::new(core);
+        for table in [0u16, 1u16] {
+            let ops: Vec<EdgeOp> = self
+                .events
+                .iter()
+                .enumerate()
+                .map(|(seq, &(src, bits))| {
+                    let dst = bits & !invector_streamkit::DELETE_BIT;
+                    if bits & invector_streamkit::DELETE_BIT != 0 {
+                        EdgeOp::delete(seq as u64, src, dst)
+                    } else {
+                        EdgeOp::insert(seq as u64, src, dst)
+                    }
+                })
+                .collect();
+            for chunk in ops.chunks(SERVE_CHUNK) {
+                let mut rest = chunk;
+                while !rest.is_empty() {
+                    match client.edge_ops(table, rest)? {
+                        SubmitOutcome::Accepted { .. } => break,
+                        SubmitOutcome::Rejected { accepted, retry_after_ms, .. } => {
+                            rest = &rest[accepted as usize..];
+                            client.backoff(retry_after_ms);
+                        }
+                        SubmitOutcome::Failed(m) => return Err(m),
+                    }
+                }
+            }
+        }
+        client.flush()?;
+        let n = self.vertices as usize;
+        let mut values = client.snapshot(0)?.data.to_f64();
+        values.truncate(n);
+        let mut labels = client.snapshot(1)?.data.to_f64();
+        labels.truncate(n);
+        values.extend(labels);
+        Ok(values)
+    }
+}
+
+impl Workload for StreamGraphWorkload {
+    fn describe(&self) -> String {
+        format!(
+            "{} edge events over {} vertices (delta pagerank x{} + wcc)",
+            self.events.len(),
+            self.vertices,
+            self.iters
+        )
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let instr_before = invector_simd::count::read();
+        let start = Instant::now();
+        let values = match variant {
+            Variant::Serial => self.run_serial(),
+            _ => self
+                .run_served(policy)
+                .unwrap_or_else(|e| panic!("graph streaming workload failed: {e}")),
+        };
+        let timings = Timings { compute: start.elapsed(), ..Timings::default() };
+        RunRecord {
+            app: "stream-graph",
+            variant,
+            label: variant.label(TilingMode::Frontier),
+            values,
+            iterations: 1,
+            timings,
+            instructions: invector_simd::count::read().wrapping_sub(instr_before),
+            utilization: None,
+            depth: None,
+            threads: policy.threads.max(1),
+            backend: policy.backend.resolve(),
+            updates: 2 * self.events.len() as u64,
+        }
+    }
+}
+
+/// Sliding-window aggregation with retraction over the serving layer:
+/// three window stream tables (count-based add and min, watermark-based
+/// max) ingest the same synthesized stream; every served slot image —
+/// aggregates, bucket rings, and retraction payloads — must match the
+/// plain-loop window simulator bitwise.
+pub struct StreamWindowApp;
+
+struct WindowTenant {
+    name: &'static str,
+    op: invector_serve::OpKind,
+    buckets: u32,
+    width: u32,
+    timed: bool,
+    events: Vec<(u32, u32)>,
+}
+
+struct StreamWindowWorkload {
+    keys: u32,
+    tenants: Vec<WindowTenant>,
+}
+
+impl Kernel for StreamWindowApp {
+    fn name(&self) -> &'static str {
+        "stream-window"
+    }
+    fn summary(&self) -> &'static str {
+        "Windowed aggregation: bucketed add/min/max with retraction on expiry (invector-streamkit)"
+    }
+    fn variants(&self) -> &'static [Variant] {
+        const VARIANTS: [Variant; 2] = [Variant::Serial, Variant::Invec];
+        &VARIANTS
+    }
+    fn tiling(&self) -> TilingMode {
+        TilingMode::Frontier
+    }
+    fn tolerance(&self) -> f64 {
+        // Window state is integer slots end to end; the engine and the
+        // simulator must agree on every one of them.
+        0.0
+    }
+    fn prepare(&self, spec: &RunSpec) -> Result<Box<dyn Workload>, String> {
+        if spec.rows == 0 || spec.cardinality == 0 {
+            return Err("window streaming needs rows >= 1 and cardinality >= 1".into());
+        }
+        let keys = (spec.cardinality as u32).min(invector_streamkit::MAX_KEYS);
+        let mut rng = EventRng::new(INPUT_SEED ^ 0x77);
+        let data: Vec<(u32, i32)> =
+            (0..spec.rows).map(|_| (rng.next() as u32 % keys, rng.next() as i32)).collect();
+        let counted: Vec<(u32, u32)> =
+            data.iter().map(|&(k, v)| invector_streamkit::window_data(k, v)).collect();
+        // The timed tenant sees the same data with a watermark advance
+        // spliced in every 97 events.
+        let mut timed = Vec::with_capacity(data.len() + data.len() / 97 + 1);
+        let mut watermark = 0u32;
+        for (i, &(k, v)) in data.iter().enumerate() {
+            if i % 97 == 96 {
+                watermark += 1 + (rng.next() as u32 % 3);
+                timed.push(invector_streamkit::window_advance(keys, watermark));
+            }
+            timed.push(invector_streamkit::window_data(k, v));
+        }
+        use invector_serve::OpKind;
+        let tenants = vec![
+            WindowTenant {
+                name: "sums",
+                op: OpKind::Add,
+                buckets: 8,
+                width: 64,
+                timed: false,
+                events: counted.clone(),
+            },
+            WindowTenant {
+                name: "mins",
+                op: OpKind::Min,
+                buckets: 4,
+                width: 32,
+                timed: false,
+                events: counted,
+            },
+            WindowTenant {
+                name: "maxs",
+                op: OpKind::Max,
+                buckets: 6,
+                width: 4,
+                timed: true,
+                events: timed,
+            },
+        ];
+        Ok(Box::new(StreamWindowWorkload { keys, tenants }))
+    }
+}
+
+impl StreamWindowWorkload {
+    fn agg_op(op: invector_serve::OpKind) -> invector_streamkit::AggOp {
+        match op {
+            invector_serve::OpKind::Add => invector_streamkit::AggOp::Add,
+            invector_serve::OpKind::Min => invector_streamkit::AggOp::Min,
+            invector_serve::OpKind::Max => invector_streamkit::AggOp::Max,
+        }
+    }
+
+    /// Serial reference: the plain-loop simulator, one per tenant, full
+    /// slot images concatenated.
+    fn run_serial(&self) -> Vec<f64> {
+        let mut values = Vec::new();
+        for t in &self.tenants {
+            let mut sim = invector_streamkit::reference::WindowSim::new(
+                self.keys as usize,
+                t.buckets as usize,
+                u64::from(t.width),
+                t.timed,
+                Self::agg_op(t.op),
+            );
+            sim.apply(&t.events);
+            values.extend(sim.slots.iter().map(|&s| f64::from(s)));
+        }
+        values
+    }
+
+    /// Served path: one core, one window table per tenant, events as
+    /// ordinary updates.
+    fn run_served(&self, policy: &ExecPolicy) -> Result<Vec<f64>, String> {
+        use invector_serve::{
+            LocalClient, ServeClient, ServeConfig, ServerCore, TableSpec, Update,
+        };
+        let config = {
+            let mut config = ServeConfig::new(
+                self.tenants
+                    .iter()
+                    .map(|t| {
+                        TableSpec::window(t.name, t.op, self.keys, t.buckets, t.width, t.timed)
+                    })
+                    .collect(),
+            );
+            config.quantum = SERVE_QUANTUM;
+            config.threads = policy.threads.max(1);
+            config.backend = policy.backend;
+            config
+        };
+        let core = ServerCore::new(config)?;
+        let mut client = LocalClient::new(core);
+        for (table, t) in self.tenants.iter().enumerate() {
+            let updates: Vec<Update> = t
+                .events
+                .iter()
+                .enumerate()
+                .map(|(seq, &(idx, bits))| Update { seq: seq as u64, idx, bits })
+                .collect();
+            for chunk in updates.chunks(SERVE_CHUNK) {
+                client.submit_all(table as u16, chunk)?;
+            }
+        }
+        client.flush()?;
+        let mut values = Vec::new();
+        for table in 0..self.tenants.len() {
+            values.extend(client.snapshot(table as u16)?.data.to_f64());
+        }
+        Ok(values)
+    }
+}
+
+impl Workload for StreamWindowWorkload {
+    fn describe(&self) -> String {
+        format!(
+            "{} data events over {} keys -> {} window tenants (add/min/max, count + watermark)",
+            self.tenants[0].events.len(),
+            self.keys,
+            self.tenants.len()
+        )
+    }
+    fn run(&self, variant: Variant, policy: &ExecPolicy) -> RunRecord {
+        let instr_before = invector_simd::count::read();
+        let start = Instant::now();
+        let values = match variant {
+            Variant::Serial => self.run_serial(),
+            _ => self
+                .run_served(policy)
+                .unwrap_or_else(|e| panic!("window streaming workload failed: {e}")),
+        };
+        let timings = Timings { compute: start.elapsed(), ..Timings::default() };
+        RunRecord {
+            app: "stream-window",
+            variant,
+            label: variant.label(TilingMode::Frontier),
+            values,
+            iterations: 1,
+            timings,
+            instructions: invector_simd::count::read().wrapping_sub(instr_before),
+            utilization: None,
+            depth: None,
+            threads: policy.threads.max(1),
+            backend: policy.backend.resolve(),
+            updates: self.tenants.iter().map(|t| t.events.len() as u64).sum(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,6 +1296,32 @@ mod tests {
         serial
             .agrees_with(&recovered, ServeRecoverApp.tolerance())
             .expect("crash recovery diverged from the serial fold");
+    }
+
+    #[test]
+    fn streamed_graph_snapshots_match_the_from_scratch_recompute_bitwise() {
+        let spec = RunSpec::tiny();
+        let workload = StreamGraphApp.prepare(&spec).expect("prepare");
+        let policy = ExecPolicy::default().backend(invector_core::BackendChoice::Portable);
+        let serial = workload.run(Variant::Serial, &policy);
+        let served = workload.run(Variant::Invec, &policy);
+        serial
+            .agrees_with(&served, StreamGraphApp.tolerance())
+            .expect("incremental graph engines diverged from the from-scratch recompute");
+        assert!(served.updates > 0 && served.mupdates_per_sec().is_some());
+    }
+
+    #[test]
+    fn streamed_window_slot_images_match_the_simulator_bitwise() {
+        let spec = RunSpec::tiny();
+        let workload = StreamWindowApp.prepare(&spec).expect("prepare");
+        let policy = ExecPolicy::default().backend(invector_core::BackendChoice::Portable);
+        let serial = workload.run(Variant::Serial, &policy);
+        let served = workload.run(Variant::Invec, &policy);
+        serial
+            .agrees_with(&served, StreamWindowApp.tolerance())
+            .expect("window engine diverged from the serial simulator");
+        assert!(served.updates > 0 && served.mupdates_per_sec().is_some());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use invector_core::tune::PolicyHandle;
 use invector_core::{Backend, BackendChoice};
 use invector_kernels::{ExecPolicy, Variant};
 
+use crate::kernel::Kernel;
 use crate::registry;
 use crate::spec::RunSpec;
 
@@ -59,6 +60,22 @@ impl SmokeReport {
     pub fn total_elapsed(&self) -> Duration {
         self.cells.iter().map(|c| c.elapsed).sum()
     }
+
+    /// Best observed throughput per application, in cell order, for the
+    /// summary table. Applications that report no update counts (so every
+    /// cell's `mupdates` is `None`) are omitted — printing a dash for them
+    /// would bury the serve-backed rows this summary exists to surface.
+    pub fn app_throughput(&self) -> Vec<(&'static str, f64)> {
+        let mut best: Vec<(&'static str, f64)> = Vec::new();
+        for cell in &self.cells {
+            let Some(m) = cell.mupdates else { continue };
+            match best.iter_mut().find(|(app, _)| *app == cell.app) {
+                Some((_, peak)) => *peak = peak.max(m),
+                None => best.push((cell.app, m)),
+            }
+        }
+        best
+    }
 }
 
 /// The backend requests the smoke matrix covers on this host: always the
@@ -92,8 +109,20 @@ pub fn run_all(spec: &RunSpec, threads: usize) -> SmokeReport {
 /// the engine. Every cell's values are checked against the reference
 /// within the application's tolerance.
 pub fn run_all_matrix(spec: &RunSpec, threads: usize, choices: &[BackendChoice]) -> SmokeReport {
+    run_all_apps(registry::all(), spec, threads, choices)
+}
+
+/// [`run_all_matrix`] restricted to an explicit application subset — the
+/// `run-all --app <name>` path, which lets CI smoke a single registry
+/// entry (e.g. the streamkit apps) without paying for the full matrix.
+pub fn run_all_apps(
+    apps: &[&'static dyn Kernel],
+    spec: &RunSpec,
+    threads: usize,
+    choices: &[BackendChoice],
+) -> SmokeReport {
     let mut cells = Vec::new();
-    for app in registry::all() {
+    for app in apps {
         let workload = match app.prepare(spec) {
             Ok(w) => w,
             Err(e) => {

@@ -27,6 +27,6 @@ mod kernel;
 pub mod registry;
 mod spec;
 
-pub use driver::{backend_matrix, run_all, run_all_matrix, CellReport, SmokeReport};
+pub use driver::{backend_matrix, run_all, run_all_apps, run_all_matrix, CellReport, SmokeReport};
 pub use kernel::{Kernel, RunRecord, Workload};
 pub use spec::RunSpec;

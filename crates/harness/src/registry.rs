@@ -3,13 +3,14 @@
 
 use crate::apps::{
     AggApp, BfsApp, EulerApp, MoldynApp, PageRankApp, ServeApp, ServeRecoverApp, SpmvApp, SsspApp,
-    SswpApp, WccApp,
+    SswpApp, StreamGraphApp, StreamWindowApp, WccApp,
 };
 use crate::kernel::Kernel;
 
 /// Every registered application, in the paper's presentation order
-/// (Figures 8–13, then the extra wave kernels and the serving layer).
-static REGISTRY: [&dyn Kernel; 11] = [
+/// (Figures 8–13, then the extra wave kernels, the serving layer, and the
+/// streaming stream-table workloads).
+static REGISTRY: [&dyn Kernel; 13] = [
     &PageRankApp,
     &SpmvApp,
     &SsspApp,
@@ -21,6 +22,8 @@ static REGISTRY: [&dyn Kernel; 11] = [
     &AggApp,
     &ServeApp,
     &ServeRecoverApp,
+    &StreamGraphApp,
+    &StreamWindowApp,
 ];
 
 /// All registered applications.
@@ -88,7 +91,7 @@ mod tests {
             assert!(!app.variants().is_empty());
             assert_eq!(app.variants()[0], invector_kernels::Variant::Serial);
         }
-        assert_eq!(all().len(), 11);
+        assert_eq!(all().len(), 13);
     }
 
     #[test]

@@ -11,10 +11,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, ProtoError, Reply, Request, SnapshotAssembler, SnapshotMetaTable,
-    StatsSummary, Update, PROTOCOL_VERSION,
+    read_frame, write_frame, EdgeOp, ProtoError, Reply, Request, SnapshotAssembler,
+    SnapshotMetaTable, StatsSummary, Update, PROTOCOL_VERSION,
 };
-use crate::server::{LogTailPage, ServerCore, Snapshot, SubmitOutcome};
+use crate::server::{LogTailPage, ServerCore, Snapshot, SubmitOutcome, TopKPage, WindowSnapshot};
 use crate::table::{TableData, TableSpec, ValueKind};
 
 /// A pinned chunked-snapshot transfer plan, as announced by
@@ -39,6 +39,30 @@ pub trait ServeClient {
     ///
     /// Returns a message for transport failures or server-side errors.
     fn submit(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String>;
+
+    /// Submits one batch of edge insertions/deletions for a graph stream
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or server-side errors.
+    fn edge_ops(&mut self, table: u16, ops: &[EdgeOp]) -> Result<SubmitOutcome, String>;
+
+    /// Reads one bucket of a window stream table (`u64::MAX` for the
+    /// current window aggregate).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures, non-window tables, or
+    /// bucket ids that are neither live nor the last retracted.
+    fn window_query(&mut self, table: u16, bucket: u64) -> Result<WindowSnapshot, String>;
+
+    /// Reads the `k` largest slots of a table's query region.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures or `k` outside the region.
+    fn top_k(&mut self, table: u16, k: u32) -> Result<TopKPage, String>;
 
     /// Forces a drain epoch (applies partial batches).
     ///
@@ -128,6 +152,18 @@ impl LocalClient {
 impl ServeClient for LocalClient {
     fn submit(&mut self, table: u16, updates: &[Update]) -> Result<SubmitOutcome, String> {
         Ok(self.core.submit(table, updates))
+    }
+
+    fn edge_ops(&mut self, table: u16, ops: &[EdgeOp]) -> Result<SubmitOutcome, String> {
+        Ok(self.core.submit_edge_ops(table, ops))
+    }
+
+    fn window_query(&mut self, table: u16, bucket: u64) -> Result<WindowSnapshot, String> {
+        self.core.window_query(table, bucket)
+    }
+
+    fn top_k(&mut self, table: u16, k: u32) -> Result<TopKPage, String> {
+        self.core.top_k(table, k)
     }
 
     fn flush(&mut self) -> Result<(), String> {
@@ -392,6 +428,37 @@ impl ServeClient for TcpClient {
                 }
                 SubmitOutcome::Failed(m) => return Ok(SubmitOutcome::Failed(m)),
             }
+        }
+    }
+
+    fn edge_ops(&mut self, table: u16, ops: &[EdgeOp]) -> Result<SubmitOutcome, String> {
+        match self.round_trip(&Request::EdgeOps { table, ops: ops.to_vec() })? {
+            Reply::Ack { accepted, watermark } => {
+                Ok(SubmitOutcome::Accepted { accepted, watermark })
+            }
+            Reply::Reject { accepted, retry_after_ms, reason } => {
+                Ok(SubmitOutcome::Rejected { accepted, retry_after_ms, reason })
+            }
+            Reply::Error(m) => Ok(SubmitOutcome::Failed(m)),
+            other => Err(format!("unexpected edge-ops reply {other:?}")),
+        }
+    }
+
+    fn window_query(&mut self, table: u16, bucket: u64) -> Result<WindowSnapshot, String> {
+        match self.round_trip(&Request::WindowQuery { table, bucket })? {
+            Reply::Window { table, watermark, bucket, expired, values } => {
+                Ok(WindowSnapshot { table, watermark, bucket, expired, values })
+            }
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected window reply {other:?}")),
+        }
+    }
+
+    fn top_k(&mut self, table: u16, k: u32) -> Result<TopKPage, String> {
+        match self.round_trip(&Request::TopK { table, k })? {
+            Reply::TopK { table, watermark, entries } => Ok(TopKPage { table, watermark, entries }),
+            Reply::Error(m) => Err(m),
+            other => Err(format!("unexpected top-k reply {other:?}")),
         }
     }
 

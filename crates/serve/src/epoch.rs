@@ -7,7 +7,7 @@
 //! table once every earlier stream position has been. The reorder buffer
 //! is the holding pen between arrival order and application order.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use invector_core::stats::DepthHistogram;
@@ -21,9 +21,18 @@ use crate::protocol::{StatsSummary, Update};
 /// `watermark` is the next stream position to apply; everything below it
 /// has already been folded into the table. Insertions below the watermark
 /// or at an occupied position are duplicates and are dropped (counted).
+///
+/// Storage is a dense ring keyed by offset from the watermark — slot `i`
+/// holds stream position `watermark + i`. Admission bounds how far ahead
+/// of the watermark a sequence number may land (`config.window`), so the
+/// ring stays small, and the all-in-order common case costs one push and
+/// one pop per update instead of a tree rebalance. This buffer sits on
+/// the per-update serving path of every table, where a map lookup per
+/// update dominated epoch time for cheap-op tables.
 #[derive(Debug, Default)]
 pub struct ReorderBuffer {
-    held: BTreeMap<u64, (u32, u32)>,
+    held: VecDeque<Option<(u32, u32)>>,
+    len: usize,
     watermark: u64,
     duplicates: u64,
 }
@@ -41,12 +50,12 @@ impl ReorderBuffer {
 
     /// Updates currently held (contiguous or not).
     pub fn len(&self) -> usize {
-        self.held.len()
+        self.len
     }
 
     /// `true` when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.held.is_empty()
+        self.len == 0
     }
 
     /// Duplicate insertions dropped so far.
@@ -61,13 +70,18 @@ impl ReorderBuffer {
             self.duplicates += 1;
             return false;
         }
-        match self.held.entry(u.seq) {
-            std::collections::btree_map::Entry::Occupied(_) => {
+        let off = (u.seq - self.watermark) as usize;
+        if off >= self.held.len() {
+            self.held.resize(off + 1, None);
+        }
+        match &mut self.held[off] {
+            Some(_) => {
                 self.duplicates += 1;
                 false
             }
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert((u.idx, u.bits));
+            slot @ None => {
+                *slot = Some((u.idx, u.bits));
+                self.len += 1;
                 true
             }
         }
@@ -75,14 +89,7 @@ impl ReorderBuffer {
 
     /// Length of the contiguous run starting at the watermark.
     pub fn contiguous_len(&self) -> usize {
-        let mut expect = self.watermark;
-        for &seq in self.held.keys() {
-            if seq != expect {
-                break;
-            }
-            expect += 1;
-        }
-        (expect - self.watermark) as usize
+        self.held.iter().take_while(|slot| slot.is_some()).count()
     }
 
     /// Removes exactly `n` updates from the contiguous run into `out`
@@ -97,10 +104,10 @@ impl ReorderBuffer {
         out.clear();
         out.reserve(n);
         for _ in 0..n {
-            let (seq, (idx, bits)) =
-                self.held.pop_first().expect("pop_run past the buffered updates");
-            assert_eq!(seq, self.watermark, "pop_run past the contiguous run");
-            out.push(Update { seq, idx, bits });
+            let (idx, bits) =
+                self.held.pop_front().flatten().expect("pop_run past the contiguous run");
+            self.len -= 1;
+            out.push(Update { seq: self.watermark, idx, bits });
             self.watermark += 1;
         }
     }
@@ -115,13 +122,13 @@ impl ReorderBuffer {
     /// Panics on a watermark regression — recovery only ever moves forward.
     pub fn advance_to(&mut self, to: u64) {
         assert!(to >= self.watermark, "watermark regression {} -> {to}", self.watermark);
-        self.watermark = to;
-        while let Some(entry) = self.held.first_entry() {
-            if *entry.key() >= to {
-                break;
+        let skip = (to - self.watermark) as usize;
+        for _ in 0..skip.min(self.held.len()) {
+            if self.held.pop_front().flatten().is_some() {
+                self.len -= 1;
             }
-            entry.remove();
         }
+        self.watermark = to;
     }
 }
 

@@ -70,14 +70,15 @@ pub use invector_core::tune::{
     EpochPolicy, MetricFrame, PolicyHandle, PolicyTrace, TraceEntry, TuneConfig,
 };
 pub use invector_replog::SyncPolicy;
+pub use invector_streamkit::{AggOp, StreamKind};
 pub use protocol::{
-    snapshot_checksum, RejectReason, RequestView, SnapshotAssembler, StatsSummary, Update,
+    snapshot_checksum, EdgeOp, RejectReason, RequestView, SnapshotAssembler, StatsSummary, Update,
     UpdatesView, PROTOCOL_VERSION, SNAPSHOT_CHUNK_VALUES,
 };
 pub use reactor::{ReactorKind, Ring};
 pub use server::{
     LogTailPage, PinnedState, PinnedTable, ServeConfig, Server, ServerCore, Snapshot,
-    SubmitOutcome, TuneMode,
+    SubmitOutcome, TopKPage, TuneMode, WindowSnapshot,
 };
 pub use table::{OpKind, SliceReport, TableData, TableSpec, ValueKind};
 pub use wal::{ManifestEntry, WalOptions, WalRecord, WalState};

@@ -23,10 +23,18 @@
 //!   0x08 SnapshotBegin
 //!   0x09 SnapshotChunk table:u16 chunk:u32
 //!   0x0A LogTail   checkpoint:u64 index:u64 max_bytes:u32
+//!   0x0B EdgeOps   table:u16 count:u32 count x (seq:u64 src:u32 dstflag:u32)
+//!                  (dstflag bit 31 set = delete, low 31 bits = dst vertex)
+//!   0x0C WindowQuery table:u16 bucket:u64
+//!   0x0D TopK      table:u16 k:u32
 //!
 //! replies
 //!   0x81 Hello     version:u16 shards:u16 quantum:u32 tables:u16
-//!                  tables x (kind:u8 op:u8 len:u32 name_len:u16 name:utf8)
+//!                  tables x (kind:u8 op:u8 len:u32 stream name_len:u16 name:utf8)
+//!                  stream := 0x00                                  (flat)
+//!                          | 0x01 vertices:u32 iters:u32           (pagerank)
+//!                          | 0x02 vertices:u32                     (wcc)
+//!                          | 0x03 keys:u32 buckets:u32 width:u32 timed:u8
 //!   0x82 Ack       accepted:u32 watermark:u64
 //!   0x83 Reject    accepted:u32 retry_after_ms:u32 reason:u8
 //!   0x84 Snapshot  table:u16 watermark:u64 checksum:u32 len:u32 len x bits:u32
@@ -38,6 +46,10 @@
 //!   0x89 SnapshotChunk table:u16 chunk:u32 count:u32 count x bits:u32
 //!   0x8A LogRecords checkpoint:u64 next_index:u64 head:u64 reset:u8
 //!                  count:u32 count x (len:u32 bytes)
+//!   0x8B Window    table:u16 watermark:u64 bucket:u64 expired:u64
+//!                  count:u32 count x bits:u32
+//!   0x8C TopK      table:u16 watermark:u64 count:u32
+//!                  count x (idx:u32 bits:u32)
 //!   0xFF Error     msg_len:u16 msg:utf8
 //! ```
 //!
@@ -49,13 +61,16 @@
 
 use std::io::{Read, Write};
 
+use invector_streamkit::StreamKind;
+
 use crate::table::{OpKind, TableSpec, ValueKind};
 
 /// Protocol version spoken by this build. Bumped on any frame layout
 /// change; the server rejects mismatched clients at `Hello`. Version 2
 /// added the `Snapshot` checksum field and the chunked-snapshot /
-/// log-tail verbs.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// log-tail verbs; version 3 added stream table kinds to the `Hello`
+/// table registry and the edge-op / window-query / top-k verbs.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on one frame body, protecting the decoder from hostile or
 /// corrupt length prefixes. A single-frame snapshot is bounded by this
@@ -224,6 +239,54 @@ impl Update {
     }
 }
 
+/// One edge mutation for a graph stream table. On the wire an edge op is
+/// exactly an [`Update`] record (`idx` = source vertex, `bits` = destination
+/// with bit 31 flagging deletion), so edge streams share the update codec,
+/// the WAL batch layout and the replication path unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeOp {
+    /// Position in the table's logical stream.
+    pub seq: u64,
+    /// Source vertex.
+    pub src: u32,
+    /// Destination vertex (must be below 2^31; bit 31 is the delete flag).
+    pub dst: u32,
+    /// `true` to insert the edge, `false` to delete it.
+    pub insert: bool,
+}
+
+impl EdgeOp {
+    /// An edge insertion.
+    pub fn insert(seq: u64, src: u32, dst: u32) -> EdgeOp {
+        EdgeOp { seq, src, dst, insert: true }
+    }
+
+    /// An edge deletion.
+    pub fn delete(seq: u64, src: u32, dst: u32) -> EdgeOp {
+        EdgeOp { seq, src, dst, insert: false }
+    }
+
+    /// The op as the update record it travels (and is logged) as.
+    pub fn to_update(self) -> Update {
+        let (idx, bits) = invector_streamkit::edge_event(
+            self.src,
+            self.dst & !invector_streamkit::DELETE_BIT,
+            self.insert,
+        );
+        Update { seq: self.seq, idx, bits }
+    }
+
+    /// Decodes an update record back into an edge op.
+    pub fn from_update(u: Update) -> EdgeOp {
+        EdgeOp {
+            seq: u.seq,
+            src: u.idx,
+            dst: u.bits & !invector_streamkit::DELETE_BIT,
+            insert: u.bits & invector_streamkit::DELETE_BIT == 0,
+        }
+    }
+}
+
 /// Why an update batch was (partially) refused admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
@@ -334,6 +397,29 @@ pub enum Request {
         /// returned when available).
         max_bytes: u32,
     },
+    /// A batch of edge insertions/deletions for a graph stream table.
+    EdgeOps {
+        /// Table id (must be a graph stream table).
+        table: u16,
+        /// The edge ops, in the client's stream order.
+        ops: Vec<EdgeOp>,
+    },
+    /// Read a window table's per-key aggregates: a live bucket id, the most
+    /// recently retracted bucket, or `u64::MAX` for the current window.
+    WindowQuery {
+        /// Table id (must be a window stream table).
+        table: u16,
+        /// Bucket id to read.
+        bucket: u64,
+    },
+    /// Read the `k` largest slots of a table's query region (graph values,
+    /// window aggregates, or the whole table when flat).
+    TopK {
+        /// Table id.
+        table: u16,
+        /// Number of entries requested; must be in `[1, region]`.
+        k: u32,
+    },
 }
 
 /// Server-to-client messages.
@@ -426,6 +512,30 @@ pub enum Reply {
         reset: bool,
         /// Raw record payloads, in log order (empty when `reset`).
         records: Vec<Vec<u8>>,
+    },
+    /// Answer to `WindowQuery`: one bucket's per-key aggregates.
+    Window {
+        /// Table id.
+        table: u16,
+        /// The table's applied watermark at reply time.
+        watermark: u64,
+        /// The bucket the values were read from (the currently open bucket
+        /// id when `u64::MAX` was queried).
+        bucket: u64,
+        /// Lifetime count of expired (retracted) buckets.
+        expired: u64,
+        /// Per-key aggregate bit patterns.
+        values: Vec<u32>,
+    },
+    /// Answer to `TopK`: the largest slots of the query region, value
+    /// descending, index ascending on ties.
+    TopK {
+        /// Table id.
+        table: u16,
+        /// The table's applied watermark at reply time.
+        watermark: u64,
+        /// `(slot index, value bits)` pairs.
+        entries: Vec<(u32, u32)>,
     },
     /// The request could not be served.
     Error(String),
@@ -622,7 +732,7 @@ impl<'a> UpdatesView<'a> {
     }
 
     /// Iterates the batch in wire order, materializing lazily.
-    pub fn iter(&self) -> impl Iterator<Item = Update> + 'a {
+    pub fn iter(&self) -> impl Iterator<Item = Update> + Clone + 'a {
         let view = *self;
         (0..view.len()).map(move |i| view.get(i))
     }
@@ -681,6 +791,28 @@ pub enum RequestView<'a> {
         /// Soft payload budget for the reply.
         max_bytes: u32,
     },
+    /// A batch of edge ops for a graph stream table, still in wire form
+    /// (edge-op records share the update record layout).
+    EdgeOps {
+        /// Table id.
+        table: u16,
+        /// Borrowed edge-op batch.
+        ops: UpdatesView<'a>,
+    },
+    /// Read one bucket of a window table.
+    WindowQuery {
+        /// Table id.
+        table: u16,
+        /// Bucket id.
+        bucket: u64,
+    },
+    /// Read the `k` largest slots of a table's query region.
+    TopK {
+        /// Table id.
+        table: u16,
+        /// Entries requested.
+        k: u32,
+    },
 }
 
 impl<'a> RequestView<'a> {
@@ -715,6 +847,19 @@ impl<'a> RequestView<'a> {
             0x0A => {
                 RequestView::LogTail { checkpoint: c.u64()?, index: c.u64()?, max_bytes: c.u32()? }
             }
+            0x0B => {
+                let table = c.u16()?;
+                let count = c.u32()? as usize;
+                if count > body.len() / UPDATE_WIRE_LEN + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "edge op count {count} exceeds frame size"
+                    )));
+                }
+                let payload = c.take(count * UPDATE_WIRE_LEN)?;
+                RequestView::EdgeOps { table, ops: UpdatesView::new(payload) }
+            }
+            0x0C => RequestView::WindowQuery { table: c.u16()?, bucket: c.u64()? },
+            0x0D => RequestView::TopK { table: c.u16()?, k: c.u32()? },
             op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
         };
         c.finish()?;
@@ -738,6 +883,11 @@ impl<'a> RequestView<'a> {
             RequestView::LogTail { checkpoint, index, max_bytes } => {
                 Request::LogTail { checkpoint, index, max_bytes }
             }
+            RequestView::EdgeOps { table, ops } => {
+                Request::EdgeOps { table, ops: ops.iter().map(EdgeOp::from_update).collect() }
+            }
+            RequestView::WindowQuery { table, bucket } => Request::WindowQuery { table, bucket },
+            RequestView::TopK { table, k } => Request::TopK { table, k },
         }
     }
 }
@@ -778,6 +928,28 @@ impl Request {
                 put_u64(&mut out, *index);
                 put_u32(&mut out, *max_bytes);
             }
+            Request::EdgeOps { table, ops } => {
+                out.reserve(7 + UPDATE_WIRE_LEN * ops.len());
+                out.push(0x0B);
+                put_u16(&mut out, *table);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    let u = op.to_update();
+                    put_u64(&mut out, u.seq);
+                    put_u32(&mut out, u.idx);
+                    put_u32(&mut out, u.bits);
+                }
+            }
+            Request::WindowQuery { table, bucket } => {
+                out.push(0x0C);
+                put_u16(&mut out, *table);
+                put_u64(&mut out, *bucket);
+            }
+            Request::TopK { table, k } => {
+                out.push(0x0D);
+                put_u16(&mut out, *table);
+                put_u32(&mut out, *k);
+            }
         }
         out
     }
@@ -798,6 +970,25 @@ fn encode_table_spec(out: &mut Vec<u8>, spec: &TableSpec) {
     out.push(spec.kind as u8);
     out.push(spec.op as u8);
     put_u32(out, spec.len as u32);
+    match spec.stream {
+        StreamKind::Flat => out.push(0x00),
+        StreamKind::GraphPageRank { vertices, iters } => {
+            out.push(0x01);
+            put_u32(out, vertices);
+            put_u32(out, iters);
+        }
+        StreamKind::GraphWcc { vertices } => {
+            out.push(0x02);
+            put_u32(out, vertices);
+        }
+        StreamKind::Window { keys, buckets, width, timed } => {
+            out.push(0x03);
+            put_u32(out, keys);
+            put_u32(out, buckets);
+            put_u32(out, width);
+            out.push(u8::from(timed));
+        }
+    }
     let name = spec.name.as_bytes();
     put_u16(out, name.len() as u16);
     out.extend_from_slice(name);
@@ -816,11 +1007,30 @@ fn decode_table_spec(c: &mut Cursor<'_>) -> Result<TableSpec, ProtoError> {
         other => return Err(ProtoError::Malformed(format!("unknown op kind {other}"))),
     };
     let len = c.u32()? as usize;
+    let stream = match c.u8()? {
+        0x00 => StreamKind::Flat,
+        0x01 => StreamKind::GraphPageRank { vertices: c.u32()?, iters: c.u32()? },
+        0x02 => StreamKind::GraphWcc { vertices: c.u32()? },
+        0x03 => {
+            let keys = c.u32()?;
+            let buckets = c.u32()?;
+            let width = c.u32()?;
+            let timed = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ProtoError::Malformed(format!("bad window timed flag {other}")))
+                }
+            };
+            StreamKind::Window { keys, buckets, width, timed }
+        }
+        other => return Err(ProtoError::Malformed(format!("unknown stream kind {other}"))),
+    };
     let name_len = c.u16()? as usize;
     let name = std::str::from_utf8(c.take(name_len)?)
         .map_err(|_| ProtoError::Malformed("table name is not UTF-8".into()))?
         .to_string();
-    Ok(TableSpec { name, kind, op, len })
+    Ok(TableSpec { name, kind, op, len, stream })
 }
 
 impl Reply {
@@ -920,6 +1130,29 @@ impl Reply {
                 for r in records {
                     put_u32(&mut out, r.len() as u32);
                     out.extend_from_slice(r);
+                }
+            }
+            Reply::Window { table, watermark, bucket, expired, values } => {
+                out.reserve(31 + 4 * values.len());
+                out.push(0x8B);
+                put_u16(&mut out, *table);
+                put_u64(&mut out, *watermark);
+                put_u64(&mut out, *bucket);
+                put_u64(&mut out, *expired);
+                put_u32(&mut out, values.len() as u32);
+                for &v in values {
+                    put_u32(&mut out, v);
+                }
+            }
+            Reply::TopK { table, watermark, entries } => {
+                out.reserve(15 + 8 * entries.len());
+                out.push(0x8C);
+                put_u16(&mut out, *table);
+                put_u64(&mut out, *watermark);
+                put_u32(&mut out, entries.len() as u32);
+                for &(idx, bits) in entries {
+                    put_u32(&mut out, idx);
+                    put_u32(&mut out, bits);
                 }
             }
             Reply::Error(msg) => {
@@ -1055,6 +1288,38 @@ impl Reply {
                 }
                 Reply::LogRecords { checkpoint, next_index, head, reset, records }
             }
+            0x8B => {
+                let table = c.u16()?;
+                let watermark = c.u64()?;
+                let bucket = c.u64()?;
+                let expired = c.u64()?;
+                let count = c.u32()? as usize;
+                if count > body.len() / 4 + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "window value count {count} exceeds frame size"
+                    )));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(c.u32()?);
+                }
+                Reply::Window { table, watermark, bucket, expired, values }
+            }
+            0x8C => {
+                let table = c.u16()?;
+                let watermark = c.u64()?;
+                let count = c.u32()? as usize;
+                if count > body.len() / 8 + 1 {
+                    return Err(ProtoError::Malformed(format!(
+                        "top-k entry count {count} exceeds frame size"
+                    )));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push((c.u32()?, c.u32()?));
+                }
+                Reply::TopK { table, watermark, entries }
+            }
             0xFF => {
                 let n = c.u16()? as usize;
                 let msg = std::str::from_utf8(c.take(n)?)
@@ -1141,6 +1406,13 @@ mod tests {
         round_trip_request(Request::SnapshotBegin);
         round_trip_request(Request::SnapshotChunk { table: 9, chunk: u32::MAX });
         round_trip_request(Request::LogTail { checkpoint: 7, index: 1 << 40, max_bytes: 65536 });
+        round_trip_request(Request::EdgeOps {
+            table: 4,
+            ops: vec![EdgeOp::insert(0, 3, 7), EdgeOp::delete(1, 7, 3), EdgeOp::insert(2, 0, 0)],
+        });
+        round_trip_request(Request::EdgeOps { table: 0, ops: vec![] });
+        round_trip_request(Request::WindowQuery { table: 2, bucket: u64::MAX });
+        round_trip_request(Request::TopK { table: 1, k: 10 });
     }
 
     #[test]
@@ -1150,8 +1422,12 @@ mod tests {
             shards: 8,
             quantum: 4096,
             tables: vec![
-                TableSpec { name: "ranks".into(), kind: ValueKind::F32, op: OpKind::Add, len: 64 },
-                TableSpec { name: "dist".into(), kind: ValueKind::I32, op: OpKind::Min, len: 128 },
+                TableSpec::f32("ranks", OpKind::Add, 64),
+                TableSpec::i32("dist", OpKind::Min, 128),
+                TableSpec::pagerank("pr", 256, 10),
+                TableSpec::wcc("cc", 512),
+                TableSpec::window("mins", OpKind::Min, 32, 8, 4, true),
+                TableSpec::window("adds", OpKind::Add, 16, 4, 100, false),
             ],
         });
         round_trip_reply(Reply::Ack { accepted: 100, watermark: 4096 });
@@ -1222,6 +1498,26 @@ mod tests {
                 .into(),
         ));
         round_trip_reply(Reply::Error("nope".into()));
+        round_trip_reply(Reply::Window {
+            table: 2,
+            watermark: 4096,
+            bucket: 17,
+            expired: 15,
+            values: vec![0, u32::MAX, 0x3f80_0000],
+        });
+        round_trip_reply(Reply::Window {
+            table: 0,
+            watermark: 0,
+            bucket: u64::MAX,
+            expired: 0,
+            values: vec![],
+        });
+        round_trip_reply(Reply::TopK {
+            table: 1,
+            watermark: 99,
+            entries: vec![(4, u32::MAX), (0, 17), (11, 0)],
+        });
+        round_trip_reply(Reply::TopK { table: 0, watermark: 0, entries: vec![] });
     }
 
     #[test]

@@ -1090,6 +1090,30 @@ fn respond(
             }
             SubmitOutcome::Failed(m) => Reply::Error(m),
         },
+        (true, RequestView::EdgeOps { table, ops }) => match core.submit_edge_ops_view(table, &ops)
+        {
+            SubmitOutcome::Accepted { accepted, watermark } => Reply::Ack { accepted, watermark },
+            SubmitOutcome::Rejected { accepted, retry_after_ms, reason } => {
+                Reply::Reject { accepted, retry_after_ms, reason }
+            }
+            SubmitOutcome::Failed(m) => Reply::Error(m),
+        },
+        (true, RequestView::WindowQuery { table, bucket }) => {
+            match core.window_query(table, bucket) {
+                Ok(w) => Reply::Window {
+                    table: w.table,
+                    watermark: w.watermark,
+                    bucket: w.bucket,
+                    expired: w.expired,
+                    values: w.values,
+                },
+                Err(m) => Reply::Error(m),
+            }
+        }
+        (true, RequestView::TopK { table, k }) => match core.top_k(table, k) {
+            Ok(p) => Reply::TopK { table: p.table, watermark: p.watermark, entries: p.entries },
+            Err(m) => Reply::Error(m),
+        },
         (true, RequestView::Flush) => {
             let report = core.flush();
             Reply::Ack {

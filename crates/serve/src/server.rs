@@ -25,10 +25,12 @@ use invector_core::tune::{Controller, EpochPolicy, PolicyHandle, PolicyTrace, Tr
 use invector_core::{BackendChoice, TuneConfig};
 use invector_obs::Registry;
 
+use invector_streamkit::{StreamKind, ValueRepr};
+
 use crate::epoch::{EpochReport, ServeStats};
-use crate::protocol::{RejectReason, StatsSummary, Update, UpdatesView};
+use crate::protocol::{EdgeOp, RejectReason, StatsSummary, Update, UpdatesView};
 use crate::reactor::{self, ReactorKind};
-use crate::table::{TableData, TableSpec, TableState};
+use crate::table::{TableData, TableSpec, TableState, ValueKind};
 use crate::wal::{ManifestEntry, WalOptions, WalRecord, WalState};
 
 /// Server configuration: the resident tables plus sizing/batching knobs.
@@ -152,6 +154,9 @@ impl ServeConfig {
         if let Some(t) = self.tables.iter().find(|t| t.len == 0) {
             return Err(format!("table '{}' has zero slots", t.name));
         }
+        for t in &self.tables {
+            t.validate_stream().map_err(|e| format!("table '{}': {e}", t.name))?;
+        }
         if self.shards == 0 || self.quantum == 0 || self.queue_capacity == 0 || self.threads == 0 {
             return Err("shards, quantum, queue_capacity, and threads must be >= 1".into());
         }
@@ -221,6 +226,35 @@ impl Snapshot {
     pub fn bits(&self) -> Vec<u32> {
         self.data.to_bits()
     }
+}
+
+/// One window-bucket read ([`ServerCore::window_query`]): the bucket's
+/// per-key aggregate values, tagged with the table watermark they were
+/// consistent at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Table id.
+    pub table: u16,
+    /// Stream positions folded in when the bucket was read.
+    pub watermark: u64,
+    /// Bucket id the values belong to.
+    pub bucket: u64,
+    /// Buckets retracted so far.
+    pub expired: u64,
+    /// Per-key aggregate bit patterns.
+    pub values: Vec<u32>,
+}
+
+/// One top-k read ([`ServerCore::top_k`]): the k largest slots of the
+/// table's query region, value-descending with index-ascending ties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKPage {
+    /// Table id.
+    pub table: u16,
+    /// Stream positions folded in when the page was read.
+    pub watermark: u64,
+    /// `(slot index, value bit pattern)` pairs, largest value first.
+    pub entries: Vec<(u32, u32)>,
 }
 
 /// A consistent all-table state pinned for chunked transfer
@@ -763,6 +797,134 @@ impl ServerCore {
         let data = state.data().clone();
         let checksum = state.checksum();
         Ok(Snapshot { table, watermark: state.watermark(), checksum, data })
+    }
+
+    /// Admits a batch of edge ops for a graph stream table (the `EdgeOps`
+    /// verb). Endpoints are validated against the table's vertex range up
+    /// front, then the batch goes through the ordinary all-or-prefix
+    /// admission loop — on the wire, in the WAL and in replication an edge
+    /// op *is* an update record.
+    pub fn submit_edge_ops(&self, table: u16, ops: &[EdgeOp]) -> SubmitOutcome {
+        self.submit_edge_stream(table, ops.len(), ops.iter().copied())
+    }
+
+    /// Admits a borrowed wire-format edge-op batch — the reactor's
+    /// zero-copy path for the `EdgeOps` verb.
+    pub fn submit_edge_ops_view(&self, table: u16, ops: &UpdatesView<'_>) -> SubmitOutcome {
+        self.submit_edge_stream(table, ops.len(), ops.iter().map(EdgeOp::from_update))
+    }
+
+    fn submit_edge_stream(
+        &self,
+        table: u16,
+        total: usize,
+        ops: impl Iterator<Item = EdgeOp> + Clone,
+    ) -> SubmitOutcome {
+        let Some(spec) = self.config.tables.get(table as usize) else {
+            return SubmitOutcome::Failed(format!(
+                "unknown table {table} ({} registered)",
+                self.tables.len()
+            ));
+        };
+        let vertices = match spec.stream {
+            StreamKind::GraphPageRank { vertices, .. } | StreamKind::GraphWcc { vertices } => {
+                vertices
+            }
+            _ => {
+                return SubmitOutcome::Failed(format!(
+                    "table '{}' is not a graph stream table",
+                    spec.name
+                ))
+            }
+        };
+        for op in ops.clone() {
+            if op.src >= vertices || op.dst >= vertices {
+                self.stats.record_rejects(total as u64);
+                return SubmitOutcome::Failed(format!(
+                    "edge ({}, {}) out of range for table '{}' of {vertices} vertices",
+                    op.src, op.dst, spec.name
+                ));
+            }
+        }
+        self.submit_stream(table, total, ops.map(EdgeOp::to_update))
+    }
+
+    /// Reads one bucket of a window stream table (the `WindowQuery` verb):
+    /// a live bucket id, the most recently retracted bucket, or `u64::MAX`
+    /// for the current window aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tables, non-window tables, and bucket ids that are
+    /// neither live nor the last retracted.
+    pub fn window_query(&self, table: u16, bucket: u64) -> Result<WindowSnapshot, String> {
+        let state = self
+            .tables
+            .get(table as usize)
+            .ok_or_else(|| format!("unknown table {table}"))?
+            .lock()
+            .expect("table lock");
+        let engine = state
+            .engine()
+            .ok_or_else(|| format!("table '{}' is not a stream table", state.spec().name))?;
+        let TableData::I32(slots) = state.data() else {
+            return Err(format!("table '{}' is not a stream table", state.spec().name));
+        };
+        let read = engine
+            .window_query(slots, bucket)
+            .map_err(|e| format!("table '{}': {e}", state.spec().name))?;
+        Ok(WindowSnapshot {
+            table,
+            watermark: state.watermark(),
+            bucket: read.bucket,
+            expired: read.expired,
+            values: read.values,
+        })
+    }
+
+    /// Reads the `k` largest slots of a table's query region (the `TopK`
+    /// verb): graph per-vertex values, window per-key aggregates, or the
+    /// whole table when flat. Entries come back value-descending with ties
+    /// broken by ascending slot index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tables and `k` outside `[1, region]`.
+    pub fn top_k(&self, table: u16, k: u32) -> Result<TopKPage, String> {
+        let state = self
+            .tables
+            .get(table as usize)
+            .ok_or_else(|| format!("unknown table {table}"))?
+            .lock()
+            .expect("table lock");
+        let bits = state.data().to_bits();
+        let (region, repr) = match state.engine() {
+            Some(engine) => engine.value_region(),
+            None => (
+                bits.len(),
+                match state.spec().kind {
+                    ValueKind::F32 => ValueRepr::F32Bits,
+                    ValueKind::I32 => ValueRepr::I32,
+                },
+            ),
+        };
+        if k == 0 || k as usize > region {
+            return Err(format!(
+                "top-k of {k} out of range for table '{}' with a query region of {region} slots",
+                state.spec().name
+            ));
+        }
+        let mut entries: Vec<(u32, u32)> =
+            bits[..region].iter().enumerate().map(|(i, &b)| (i as u32, b)).collect();
+        entries.sort_by(|a, b| {
+            let ord = match repr {
+                ValueRepr::F32Bits => f32::from_bits(b.1).total_cmp(&f32::from_bits(a.1)),
+                ValueRepr::I32 => (b.1 as i32).cmp(&(a.1 as i32)),
+            };
+            ord.then(a.0.cmp(&b.0))
+        });
+        entries.truncate(k as usize);
+        Ok(TopKPage { table, watermark: state.watermark(), entries })
     }
 
     /// Pins a consistent all-table state for chunked transfer: every

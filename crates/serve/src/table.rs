@@ -10,6 +10,7 @@ use invector_core::exec::{execute_epoch, EpochScratch, ExecPolicy, ExecReport};
 use invector_core::ops::{Max, Min, ReduceOp, Sum};
 use invector_core::stats::DepthHistogram;
 use invector_core::tune::{EpochPolicy, PolicySchedule};
+use invector_streamkit::{AggOp, Engine, StreamKind};
 
 use crate::epoch::ReorderBuffer;
 use crate::protocol::Update;
@@ -70,17 +71,93 @@ pub struct TableSpec {
     pub op: OpKind,
     /// Number of slots.
     pub len: usize,
+    /// What the table computes over its stream: a flat associative fold
+    /// (the default), or one of the stateful streamkit engines. Stream
+    /// tables are always `i32` (graph ranks ride as f32 bit patterns) and
+    /// their length is fixed by the kind's geometry.
+    pub stream: StreamKind,
 }
 
 impl TableSpec {
     /// An `f32` table under `op`.
     pub fn f32(name: &str, op: OpKind, len: usize) -> TableSpec {
-        TableSpec { name: name.to_string(), kind: ValueKind::F32, op, len }
+        TableSpec {
+            name: name.to_string(),
+            kind: ValueKind::F32,
+            op,
+            len,
+            stream: StreamKind::Flat,
+        }
     }
 
     /// An `i32` table under `op`.
     pub fn i32(name: &str, op: OpKind, len: usize) -> TableSpec {
-        TableSpec { name: name.to_string(), kind: ValueKind::I32, op, len }
+        TableSpec {
+            name: name.to_string(),
+            kind: ValueKind::I32,
+            op,
+            len,
+            stream: StreamKind::Flat,
+        }
+    }
+
+    /// An incremental-PageRank graph table over an evolving edge stream.
+    pub fn pagerank(name: &str, vertices: u32, iters: u32) -> TableSpec {
+        Self::stream_table(name, OpKind::Add, StreamKind::GraphPageRank { vertices, iters })
+    }
+
+    /// An incremental weakly-connected-components graph table.
+    pub fn wcc(name: &str, vertices: u32) -> TableSpec {
+        Self::stream_table(name, OpKind::Min, StreamKind::GraphWcc { vertices })
+    }
+
+    /// A window-bucketed aggregation table under `op`.
+    pub fn window(
+        name: &str,
+        op: OpKind,
+        keys: u32,
+        buckets: u32,
+        width: u32,
+        timed: bool,
+    ) -> TableSpec {
+        Self::stream_table(name, op, StreamKind::Window { keys, buckets, width, timed })
+    }
+
+    fn stream_table(name: &str, op: OpKind, stream: StreamKind) -> TableSpec {
+        TableSpec {
+            name: name.to_string(),
+            kind: ValueKind::I32,
+            op,
+            len: stream.required_len().unwrap_or(0),
+            stream,
+        }
+    }
+
+    /// Validates the spec's stream geometry (parameter ranges, value kind,
+    /// slot count). Flat tables always pass.
+    pub fn validate_stream(&self) -> Result<(), String> {
+        self.stream.validate().map_err(|e| format!("table '{}': {e}", self.name))?;
+        if let Some(required) = self.stream.required_len() {
+            if self.kind != ValueKind::I32 {
+                return Err(format!("table '{}': stream tables must be i32", self.name));
+            }
+            if self.len != required {
+                return Err(format!(
+                    "table '{}': stream geometry requires {required} slots, spec has {}",
+                    self.name, self.len
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The streamkit operator equivalent of the table's [`OpKind`].
+    pub(crate) fn agg_op(&self) -> AggOp {
+        match self.op {
+            OpKind::Add => AggOp::Add,
+            OpKind::Min => AggOp::Min,
+            OpKind::Max => AggOp::Max,
+        }
     }
 }
 
@@ -174,6 +251,9 @@ pub struct TableState {
     chunk: Vec<Update>,
     scratch_f32: EpochScratch<f32>,
     scratch_i32: EpochScratch<i32>,
+    /// The streamkit engine for stream tables (`None` for flat folds). Its
+    /// caches are a pure function of the slot array, rebuilt on install.
+    engine: Option<Engine>,
     /// Memoized `(watermark, crc)` of the current state: snapshots and WAL
     /// seals both checksum the full table, and between applies the answer
     /// cannot change, so repeated reads cost one cache probe instead of a
@@ -185,7 +265,11 @@ impl TableState {
     /// A fresh table with every slot at the operator's identity, cutting
     /// under `initial` until a policy change is scheduled.
     pub fn new(spec: TableSpec, initial: EpochPolicy) -> TableState {
-        let data = TableData::identity(&spec);
+        let mut data = TableData::identity(&spec);
+        let mut engine = Engine::for_kind(&spec.stream, spec.agg_op());
+        if let (Some(engine), TableData::I32(slots)) = (engine.as_mut(), &mut data) {
+            engine.init(slots);
+        }
         let state = TableState {
             spec,
             data,
@@ -194,6 +278,7 @@ impl TableState {
             chunk: Vec::new(),
             scratch_f32: EpochScratch::new(),
             scratch_i32: EpochScratch::new(),
+            engine,
             checksum_cache: std::cell::Cell::new(None),
         };
         // Warm the memo at construction: the first snapshot/seal of a large
@@ -431,9 +516,17 @@ impl TableState {
             ));
         }
         self.data = data;
+        if let (Some(engine), TableData::I32(slots)) = (self.engine.as_mut(), &self.data) {
+            engine.rebuild(slots);
+        }
         self.pending.advance_to(watermark);
         self.checksum_cache.set(None);
         Ok(())
+    }
+
+    /// The table's streamkit engine, for stream-table queries.
+    pub fn engine(&self) -> Option<&Engine> {
+        self.engine.as_ref()
     }
 
     /// CRC-32 over the current slot bit patterns, little-endian — the
@@ -494,6 +587,18 @@ impl TableState {
                 scratch,
                 policy,
             )
+        }
+
+        // Stream tables route the slice through their engine: the events
+        // are the same logged updates, so WAL replay and replication take
+        // this exact path too.
+        if let Some(engine) = self.engine.as_mut() {
+            let TableData::I32(slots) = &mut self.data else {
+                unreachable!("stream tables are validated to be i32")
+            };
+            let events: Vec<(u32, u32)> = self.chunk.iter().map(|u| (u.idx, u.bits)).collect();
+            let stats = engine.apply(slots, &events, policy);
+            return ExecReport { stats, workers: Vec::new() };
         }
 
         let chunk = &self.chunk;

@@ -11,10 +11,12 @@ use std::net::TcpStream;
 use proptest::prelude::*;
 
 use invector_serve::protocol::{
-    read_frame, snapshot_checksum, write_frame, Reply, Request, RequestView, SnapshotAssembler,
-    SnapshotMetaTable, StatsSummary, Update, PROTOCOL_VERSION,
+    read_frame, snapshot_checksum, write_frame, EdgeOp, Reply, Request, RequestView,
+    SnapshotAssembler, SnapshotMetaTable, StatsSummary, Update, PROTOCOL_VERSION,
 };
-use invector_serve::{OpKind, RejectReason, Ring, ServeConfig, Server, TableSpec, ValueKind};
+use invector_serve::{
+    OpKind, RejectReason, Ring, ServeConfig, Server, StreamKind, TableSpec, ValueKind,
+};
 
 fn arb_update() -> impl Strategy<Value = Update> {
     (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(seq, idx, bits)| Update {
@@ -27,7 +29,7 @@ fn arb_update() -> impl Strategy<Value = Update> {
 /// Every request variant, dispatched off a tag byte (the vendored proptest
 /// shim has no `prop_oneof`).
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u8..10, any::<u16>(), any::<u32>(), any::<u64>(), prop::collection::vec(arb_update(), 0..40))
+    (0u8..13, any::<u16>(), any::<u32>(), any::<u64>(), prop::collection::vec(arb_update(), 0..40))
         .prop_map(|(tag, word, dword, qword, updates)| match tag {
             0 => Request::Hello { version: word },
             1 => Request::Update { table: word, updates },
@@ -38,6 +40,12 @@ fn arb_request() -> impl Strategy<Value = Request> {
             6 => Request::Metrics,
             7 => Request::SnapshotBegin,
             8 => Request::SnapshotChunk { table: word, chunk: dword },
+            9 => Request::EdgeOps {
+                table: word,
+                ops: updates.into_iter().map(EdgeOp::from_update).collect(),
+            },
+            10 => Request::WindowQuery { table: word, bucket: qword },
+            11 => Request::TopK { table: word, k: dword },
             _ => Request::LogTail {
                 checkpoint: qword,
                 index: qword.rotate_left(17),
@@ -47,8 +55,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
 }
 
 fn arb_table_spec() -> impl Strategy<Value = TableSpec> {
-    (0u8..2, 0u8..3, 1usize..512, prop::collection::vec(0u8..26, 1..12)).prop_map(
-        |(kind, op, len, name)| TableSpec {
+    (0u8..2, 0u8..3, 1usize..512, prop::collection::vec(0u8..26, 1..12), 0u8..4, any::<u32>())
+        .prop_map(|(kind, op, len, name, stream, param)| TableSpec {
             name: name.into_iter().map(|c| (b'a' + c) as char).collect(),
             kind: if kind == 0 { ValueKind::F32 } else { ValueKind::I32 },
             op: match op {
@@ -57,14 +65,26 @@ fn arb_table_spec() -> impl Strategy<Value = TableSpec> {
                 _ => OpKind::Max,
             },
             len,
-        },
-    )
+            // Encoding round-trips don't validate geometry, so arbitrary
+            // stream parameters are fair game here.
+            stream: match stream {
+                0 => StreamKind::Flat,
+                1 => StreamKind::GraphPageRank { vertices: param, iters: param.rotate_left(9) },
+                2 => StreamKind::GraphWcc { vertices: param },
+                _ => StreamKind::Window {
+                    keys: param,
+                    buckets: param.rotate_left(5),
+                    width: param.rotate_left(11),
+                    timed: param % 2 == 0,
+                },
+            },
+        })
 }
 
 /// Every reply variant, same tag-dispatch scheme.
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        0u8..11,
+        0u8..13,
         any::<u16>(),
         any::<u32>(),
         any::<u64>(),
@@ -125,6 +145,18 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                 }),
                 5 => Reply::Metrics(text),
                 6 => Reply::Bye { watermarks: values.iter().map(|&v| u64::from(v)).collect() },
+                11 => Reply::Window {
+                    table: word,
+                    watermark,
+                    bucket: watermark.rotate_left(3),
+                    expired: u64::from(accepted),
+                    values,
+                },
+                12 => Reply::TopK {
+                    table: word,
+                    watermark,
+                    entries: values.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect(),
+                },
                 _ => Reply::Error(text),
             }
         })
@@ -179,8 +211,8 @@ proptest! {
         tag in any::<u8>(),
         payload in prop::collection::vec(any::<u8>(), 0..64),
     ) {
-        let known_request = (0x01..=0x0A).contains(&tag);
-        let known_reply = (0x81..=0x8A).contains(&tag) || tag == 0xFF;
+        let known_request = (0x01..=0x0D).contains(&tag);
+        let known_reply = (0x81..=0x8C).contains(&tag) || tag == 0xFF;
         let mut body = vec![tag];
         body.extend_from_slice(&payload);
         if !known_request {
@@ -436,4 +468,48 @@ fn tcp_server_answers_garbage_frames_with_an_error_reply() {
 
     // Quiet the unused-write warning path: flush the dead writer.
     let _ = writer.flush();
+}
+
+/// Hostile stream-verb parameters — wrong table kinds, unknown window
+/// buckets, out-of-range top-k, out-of-range edge endpoints — all come
+/// back as clean `Error` replies over the wire, and the connection stays
+/// usable afterwards.
+#[test]
+fn stream_verbs_refuse_hostile_parameters_without_panicking() {
+    use invector_serve::{ServeClient, TcpClient};
+
+    let config = ServeConfig::new(vec![
+        TableSpec::i32("flat", OpKind::Add, 16),
+        TableSpec::wcc("components", 8),
+        TableSpec::window("gauges", OpKind::Max, 4, 3, 2, true),
+    ]);
+    let server = Server::bind(config, "127.0.0.1:0").expect("bind loopback");
+    let mut tcp = TcpClient::connect(server.local_addr()).expect("connect");
+
+    // Edge ops against a non-graph table and against out-of-range vertices.
+    let op = EdgeOp::insert(0, 2, 3);
+    assert!(matches!(tcp.edge_ops(0, &[op]).unwrap(), invector_serve::SubmitOutcome::Failed(_)));
+    let wild = EdgeOp::insert(0, 2, 99);
+    assert!(matches!(tcp.edge_ops(1, &[wild]).unwrap(), invector_serve::SubmitOutcome::Failed(_)));
+    assert!(matches!(tcp.edge_ops(999, &[op]).unwrap(), invector_serve::SubmitOutcome::Failed(_)));
+
+    // Window queries against non-window tables and unknown bucket ids.
+    assert!(tcp.window_query(0, 0).is_err(), "flat table has no windows");
+    assert!(tcp.window_query(1, 0).is_err(), "graph table has no windows");
+    assert!(tcp.window_query(2, 7777).is_err(), "bucket far past the watermark is unknown");
+    assert!(tcp.window_query(2, u64::MAX).is_ok(), "current-aggregate probe always answers");
+
+    // Top-k outside [1, region].
+    assert!(tcp.top_k(0, 0).is_err());
+    assert!(tcp.top_k(0, 17).is_err(), "flat table region is 16 slots");
+    assert!(tcp.top_k(1, 9).is_err(), "graph region is 8 vertices");
+    assert!(tcp.top_k(2, 5).is_err(), "window region is 4 keys");
+    assert_eq!(tcp.top_k(2, 4).expect("in-range top-k").entries.len(), 4);
+
+    // The same connection still serves honest traffic.
+    let outcome = tcp.edge_ops(1, &[EdgeOp::insert(0, 2, 3)]).expect("edge ops");
+    assert!(matches!(outcome, invector_serve::SubmitOutcome::Accepted { .. }));
+    tcp.flush().expect("flush");
+    tcp.shutdown().expect("shutdown");
+    server.join();
 }

@@ -1,0 +1,322 @@
+//! Sliding-window aggregation with retraction.
+//!
+//! Slot layout for `k` keys and a ring of `W` live buckets:
+//!
+//! ```text
+//! [0, k)                current-window aggregate per key
+//! [k, k + W*k)          per-bucket aggregates (bucket id B lives in ring
+//!                       slot B % W)
+//! [k + W*k, k + W*k + W) resident bucket id per ring slot (-1 = empty)
+//! base + 0              currently open bucket id
+//! base + 1              lifetime count of expired (retracted) buckets
+//! base + 2              id of the most recently expired bucket (-1 = none)
+//! base + 3              data-event counter (drives count-based bucketing)
+//! [base + 4, base + 4 + k) the retraction payload: aggregates of the most
+//!                       recently expired bucket
+//! ```
+//!
+//! where `base = k + W*k + W`. Data events are `(key, value)`; on a timed
+//! table, `(k, B)` advances the watermark to bucket `B`. A count-based
+//! table advances after every `width` data events. Advancing to bucket `B`
+//! expires every resident bucket with `id + W <= B` (ascending id order,
+//! each recording a retraction), then rebuilds the per-key aggregates by
+//! re-reducing the surviving buckets in ascending bucket-id order on the
+//! fused SIMD epoch driver — the "per-bucket re-reduce" retraction path
+//! that min/max windows require and add windows share for uniformity.
+//! Tumbling windows are simply `W = 1`.
+//!
+//! All state lives in the slots; the engine itself is pure geometry, so an
+//! installed snapshot needs no cache rebuild at all.
+
+use invector_core::ops::{Max, Min, Sum};
+use invector_core::{execute_epoch, EpochScratch, ExecPolicy, InvecStats};
+
+use crate::{AggOp, StreamKind, WindowRead, WINDOW_HEADER};
+
+/// Bucket ids are stored in i32 slots; larger watermarks are invalid.
+const MAX_BUCKET_ID: u64 = 1 << 31;
+
+#[derive(Debug, Clone)]
+pub struct WindowEngine {
+    keys: usize,
+    buckets: usize,
+    width: u64,
+    timed: bool,
+    op: AggOp,
+    scratch: EpochScratch<i32>,
+}
+
+impl WindowEngine {
+    pub fn new(keys: usize, buckets: usize, width: u64, timed: bool, op: AggOp) -> Self {
+        WindowEngine { keys, buckets, width, timed, op, scratch: EpochScratch::new() }
+    }
+
+    pub fn keys(&self) -> usize {
+        self.keys
+    }
+
+    /// The slot length this geometry requires.
+    pub fn required_len(&self) -> usize {
+        StreamKind::Window {
+            keys: self.keys as u32,
+            buckets: self.buckets as u32,
+            width: self.width as u32,
+            timed: self.timed,
+        }
+        .required_len()
+        .unwrap()
+    }
+
+    #[inline]
+    fn base(&self) -> usize {
+        self.keys + self.buckets * self.keys + self.buckets
+    }
+
+    #[inline]
+    fn ring_val(&self, b: usize) -> usize {
+        self.keys + b * self.keys
+    }
+
+    #[inline]
+    fn ring_id(&self, b: usize) -> usize {
+        self.keys + self.buckets * self.keys + b
+    }
+
+    pub fn init(&mut self, slots: &mut [i32]) {
+        let id = self.op.identity();
+        let (k, w) = (self.keys, self.buckets);
+        slots[..k].fill(id);
+        slots[k..k + w * k].fill(id);
+        slots[k + w * k..k + w * k + w].fill(-1);
+        let base = self.base();
+        slots[base..base + WINDOW_HEADER].fill(0);
+        slots[base + 2] = -1;
+        slots[base + WINDOW_HEADER..base + WINDOW_HEADER + k].fill(id);
+        slots[self.ring_id(0)] = 0; // bucket 0 opens with the stream
+    }
+
+    /// Scatters `pairs` into an aggregate region with the table's operator
+    /// on the epoch driver.
+    fn scatter(
+        &mut self,
+        target: &mut [i32],
+        pairs: &[(i32, i32)],
+        policy: &ExecPolicy,
+    ) -> InvecStats {
+        let it = pairs.iter().copied();
+        let report = match self.op {
+            AggOp::Add => execute_epoch::<i32, Sum>(target, it, &mut self.scratch, policy),
+            AggOp::Min => execute_epoch::<i32, Min>(target, it, &mut self.scratch, policy),
+            AggOp::Max => execute_epoch::<i32, Max>(target, it, &mut self.scratch, policy),
+        };
+        report.stats
+    }
+
+    /// Folds a run of data points belonging to the currently open bucket
+    /// into both the bucket slot and the current aggregates.
+    fn flush(
+        &mut self,
+        slots: &mut [i32],
+        run: &mut Vec<(i32, i32)>,
+        policy: &ExecPolicy,
+    ) -> InvecStats {
+        if run.is_empty() {
+            return InvecStats::default();
+        }
+        let pairs = std::mem::take(run);
+        let mut stats = InvecStats::default();
+        let k = self.keys;
+        let cur = slots[self.base()] as u32 as usize % self.buckets;
+        let lo = self.ring_val(cur);
+        stats.merge(&self.scatter(&mut slots[lo..lo + k], &pairs, policy));
+        stats.merge(&self.scatter(&mut slots[..k], &pairs, policy));
+        stats
+    }
+
+    pub fn apply(
+        &mut self,
+        slots: &mut [i32],
+        events: &[(u32, u32)],
+        policy: &ExecPolicy,
+    ) -> InvecStats {
+        let mut stats = InvecStats::default();
+        let mut run: Vec<(i32, i32)> = Vec::new();
+        let base = self.base();
+        for &(idx, bits) in events {
+            if (idx as usize) < self.keys {
+                run.push((idx as i32, bits as i32));
+                let count = (slots[base + 3] as u32 as u64) + 1;
+                slots[base + 3] = count as u32 as i32;
+                if !self.timed
+                    && count.is_multiple_of(self.width)
+                    && count / self.width < MAX_BUCKET_ID
+                {
+                    stats.merge(&self.flush(slots, &mut run, policy));
+                    stats.merge(&self.advance_to(slots, count / self.width, policy));
+                }
+            } else if idx as usize == self.keys && self.timed {
+                let nb = bits as u64;
+                if nb < MAX_BUCKET_ID && nb > slots[base] as u32 as u64 {
+                    stats.merge(&self.flush(slots, &mut run, policy));
+                    stats.merge(&self.advance_to(slots, nb, policy));
+                }
+            }
+            // anything else: deterministically ignored
+        }
+        stats.merge(&self.flush(slots, &mut run, policy));
+        stats
+    }
+
+    /// Opens bucket `nb`, expiring every resident bucket that slid out of
+    /// the live window `(nb - W, nb]` and re-reducing the survivors.
+    fn advance_to(&mut self, slots: &mut [i32], nb: u64, policy: &ExecPolicy) -> InvecStats {
+        let (k, w) = (self.keys, self.buckets);
+        let base = self.base();
+        let id = self.op.identity();
+        let mut residents: Vec<(i32, usize)> = (0..w)
+            .filter_map(|b| {
+                let rid = slots[self.ring_id(b)];
+                (rid >= 0).then_some((rid, b))
+            })
+            .collect();
+        residents.sort_unstable();
+        for (rid, b) in residents {
+            if rid as u32 as u64 + w as u64 <= nb {
+                slots[base + 1] += 1;
+                slots[base + 2] = rid;
+                let lo = self.ring_val(b);
+                let retract = base + WINDOW_HEADER;
+                for key in 0..k {
+                    slots[retract + key] = slots[lo + key];
+                }
+                slots[lo..lo + k].fill(id);
+                slots[self.ring_id(b)] = -1;
+            }
+        }
+        slots[self.ring_id(nb as usize % w)] = nb as u32 as i32;
+        slots[base] = nb as u32 as i32;
+        // Retraction path: rebuild the window aggregates from the surviving
+        // buckets, ascending bucket id, on the fused driver.
+        let mut live: Vec<(i32, usize)> = (0..w)
+            .filter_map(|b| {
+                let rid = slots[self.ring_id(b)];
+                (rid >= 0).then_some((rid, b))
+            })
+            .collect();
+        live.sort_unstable();
+        let mut pairs: Vec<(i32, i32)> = Vec::with_capacity(live.len() * k);
+        for (_, b) in live {
+            let lo = self.ring_val(b);
+            for key in 0..k {
+                pairs.push((key as i32, slots[lo + key]));
+            }
+        }
+        slots[..k].fill(id);
+        self.scatter(&mut slots[..k], &pairs, policy)
+    }
+
+    /// Reads the aggregates of `bucket`: `u64::MAX` for the current window
+    /// aggregate, a resident bucket id for its partial aggregate, or the
+    /// most recently expired bucket for the retraction payload.
+    pub fn query(&self, slots: &[i32], bucket: u64) -> Result<WindowRead, String> {
+        let base = self.base();
+        let expired = slots[base + 1] as u32 as u64;
+        let k = self.keys;
+        let read = |lo: usize| slots[lo..lo + k].iter().map(|&v| v as u32).collect();
+        if bucket == u64::MAX {
+            return Ok(WindowRead { expired, bucket: slots[base] as u32 as u64, values: read(0) });
+        }
+        if bucket < MAX_BUCKET_ID {
+            let b = bucket as usize % self.buckets;
+            if slots[self.ring_id(b)] == bucket as i32 {
+                return Ok(WindowRead { expired, bucket, values: read(self.ring_val(b)) });
+            }
+            if slots[base + 2] == bucket as i32 {
+                return Ok(WindowRead { expired, bucket, values: read(base + WINDOW_HEADER) });
+            }
+        }
+        Err(format!("bucket {bucket} is neither live nor the last retracted"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::WindowSim;
+    use crate::{window_advance, window_data};
+
+    fn policy() -> ExecPolicy {
+        ExecPolicy::default()
+    }
+
+    fn run_both(
+        keys: usize,
+        buckets: usize,
+        width: u64,
+        timed: bool,
+        op: AggOp,
+        slices: &[Vec<(u32, u32)>],
+    ) {
+        let mut e = WindowEngine::new(keys, buckets, width, timed, op);
+        let mut slots = vec![0i32; e.required_len()];
+        e.init(&mut slots);
+        let mut sim = WindowSim::new(keys, buckets, width, timed, op);
+        assert_eq!(slots, sim.slots, "initial image");
+        for (i, s) in slices.iter().enumerate() {
+            e.apply(&mut slots, s, &policy());
+            sim.apply(s);
+            assert_eq!(slots, sim.slots, "slice {i}");
+        }
+    }
+
+    #[test]
+    fn count_based_sliding_add_matches_the_simulator() {
+        let slices = vec![
+            vec![window_data(0, 5), window_data(1, -3), window_data(0, 2)],
+            vec![window_data(2, 10), window_data(2, 1)],
+            vec![window_data(0, 7), window_data(1, 4), window_data(1, 4), window_data(2, -9)],
+        ];
+        run_both(3, 2, 2, false, AggOp::Add, &slices);
+    }
+
+    #[test]
+    fn timed_min_window_emits_retractions() {
+        let slices = vec![
+            vec![window_data(0, 5), window_data(1, 3), window_advance(2, 1)],
+            vec![window_data(0, -2), window_advance(2, 3)], // bucket 0 expires
+            vec![window_data(1, 9), window_advance(2, 10)], // everything expires
+            vec![window_data(0, 4)],
+        ];
+        run_both(2, 2, 1, true, AggOp::Min, &slices);
+    }
+
+    #[test]
+    fn tumbling_max_is_a_one_bucket_ring() {
+        let slices = vec![
+            vec![window_data(0, 1), window_data(0, 8), window_data(0, 3)], // crosses at width 2
+            vec![window_data(1, -5), window_data(1, -7)],
+        ];
+        run_both(2, 1, 2, false, AggOp::Max, &slices);
+    }
+
+    #[test]
+    fn query_reads_live_current_and_retracted_buckets() {
+        let mut e = WindowEngine::new(2, 2, 1, true, AggOp::Add);
+        let mut slots = vec![0i32; e.required_len()];
+        e.init(&mut slots);
+        e.apply(
+            &mut slots,
+            &[window_data(0, 5), window_advance(2, 1), window_data(1, 7), window_advance(2, 2)],
+            &policy(),
+        );
+        // bucket 0 expired when bucket 2 opened; buckets 1 and 2 are live.
+        let cur = e.query(&slots, u64::MAX).unwrap();
+        assert_eq!(cur.bucket, 2);
+        assert_eq!(cur.values, vec![0, 7]);
+        assert_eq!(cur.expired, 1);
+        let retracted = e.query(&slots, 0).unwrap();
+        assert_eq!(retracted.values, vec![5, 0]);
+        assert!(e.query(&slots, 7).is_err());
+        assert!(e.query(&slots, 1).is_ok());
+    }
+}

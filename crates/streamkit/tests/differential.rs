@@ -1,0 +1,222 @@
+//! Differential proptests: the incremental engines vs from-scratch serial
+//! references over random insert/delete interleavings, at every snapshot
+//! point, and across every SIMD backend the host offers.
+
+use std::collections::BTreeSet;
+
+use invector_core::{Backend, BackendChoice, ExecPolicy};
+use invector_streamkit::reference::{self, WindowSim};
+use invector_streamkit::{AggOp, Engine, StreamKind};
+use proptest::prelude::*;
+
+/// Every backend choice this host can actually dispatch.
+fn backends() -> Vec<BackendChoice> {
+    let mut choices = vec![BackendChoice::Portable];
+    for (b, c) in [
+        (Backend::Avx512, BackendChoice::Avx512),
+        (Backend::Avx2, BackendChoice::Avx2),
+        (Backend::Neon, BackendChoice::Neon),
+    ] {
+        if b.available() {
+            choices.push(c);
+        }
+    }
+    choices
+}
+
+fn table_for(kind: &StreamKind, op: AggOp) -> (Engine, Vec<i32>) {
+    let mut engine = Engine::for_kind(kind, op).expect("stream kinds carry engines");
+    let mut slots = vec![0i32; kind.required_len().unwrap()];
+    engine.init(&mut slots);
+    (engine, slots)
+}
+
+/// Mirror of the applied edge set, from which the oracles recompute
+/// from scratch (independent of the engines' adjacency caches).
+#[derive(Default)]
+struct EdgeSet {
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl EdgeSet {
+    fn apply(&mut self, n: u32, events: &[(u32, u32)]) {
+        for &(src, bits) in events {
+            let dst = bits & !invector_streamkit::DELETE_BIT;
+            if src >= n || dst >= n {
+                continue;
+            }
+            if bits & invector_streamkit::DELETE_BIT != 0 {
+                self.edges.remove(&(src, dst));
+            } else {
+                self.edges.insert((src, dst));
+            }
+        }
+    }
+
+    fn in_lists(&self, n: u32) -> Vec<Vec<u32>> {
+        let mut inn = vec![Vec::new(); n as usize];
+        for &(u, v) in &self.edges {
+            inn[v as usize].push(u);
+        }
+        inn.iter_mut().for_each(|l| l.sort_unstable());
+        inn
+    }
+
+    fn out_degrees(&self, n: u32) -> Vec<u32> {
+        let mut deg = vec![0u32; n as usize];
+        for &(u, _) in &self.edges {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    fn undirected(&self, n: u32) -> Vec<Vec<u32>> {
+        let mut und = vec![BTreeSet::new(); n as usize];
+        for &(u, v) in &self.edges {
+            und[u as usize].insert(v);
+            und[v as usize].insert(u);
+        }
+        und.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+}
+
+/// Random edge events over `n + 1` vertex ids (one past the range, so
+/// invalid endpoints are exercised too), grouped into slices.
+fn edge_slices(n: u32, max_slices: usize) -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
+    let event = (0..=n, 0..=n, any::<bool>())
+        .prop_map(|(src, dst, insert)| invector_streamkit::edge_event(src, dst, insert));
+    prop::collection::vec(prop::collection::vec(event, 0..12), 1..=max_slices)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_pagerank_is_bitwise_from_scratch_at_every_snapshot(
+        n in 2u32..14,
+        iters in 1u32..5,
+        slices in edge_slices(13, 8),
+    ) {
+        let kind = StreamKind::GraphPageRank { vertices: n, iters };
+        let (mut engine, mut slots) = table_for(&kind, AggOp::Add);
+        let mut edges = EdgeSet::default();
+        let policy = ExecPolicy::default();
+        for slice in &slices {
+            engine.apply(&mut slots, slice, &policy);
+            edges.apply(n, slice);
+            let layers = reference::pagerank_layers(
+                n as usize,
+                iters as usize,
+                &edges.in_lists(n),
+                &edges.out_degrees(n),
+            );
+            let expect: Vec<i32> =
+                layers[iters as usize].iter().map(|r| r.to_bits() as i32).collect();
+            prop_assert_eq!(&slots[..n as usize], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn incremental_wcc_is_bitwise_from_scratch_at_every_snapshot(
+        n in 2u32..16,
+        slices in edge_slices(15, 8),
+    ) {
+        let kind = StreamKind::GraphWcc { vertices: n };
+        let (mut engine, mut slots) = table_for(&kind, AggOp::Min);
+        let mut edges = EdgeSet::default();
+        let policy = ExecPolicy::default();
+        for slice in &slices {
+            engine.apply(&mut slots, slice, &policy);
+            edges.apply(n, slice);
+            let expect = reference::wcc_labels(n as usize, &edges.undirected(n));
+            prop_assert_eq!(&slots[..n as usize], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn window_engine_matches_the_serial_simulator(
+        keys in 1usize..5,
+        buckets in 1usize..4,
+        width in 1u64..4,
+        timed in any::<bool>(),
+        op_sel in 0u8..3,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..6, any::<i32>()), 0..16), 1..8),
+    ) {
+        let op = [AggOp::Add, AggOp::Min, AggOp::Max][op_sel as usize];
+        let kind = StreamKind::Window {
+            keys: keys as u32,
+            buckets: buckets as u32,
+            width: width as u32,
+            timed,
+        };
+        let (mut engine, mut slots) = table_for(&kind, op);
+        let mut sim = WindowSim::new(keys, buckets, width, timed, op);
+        let policy = ExecPolicy::default();
+        let mut watermark = 0u32;
+        for slice in &raw {
+            // Map the raw stream onto keys (and, on timed tables, advances).
+            let events: Vec<(u32, u32)> = slice
+                .iter()
+                .map(|&(sel, val)| {
+                    if timed && sel == keys as u32 {
+                        watermark += (val as u32) % 5;
+                        invector_streamkit::window_advance(keys as u32, watermark)
+                    } else {
+                        invector_streamkit::window_data(sel % keys as u32, val)
+                    }
+                })
+                .collect();
+            engine.apply(&mut slots, &events, &policy);
+            sim.apply(&events);
+            prop_assert_eq!(&slots, &sim.slots);
+        }
+    }
+
+    #[test]
+    fn engines_agree_across_all_available_backends(
+        n in 2u32..12,
+        slices in edge_slices(11, 5),
+    ) {
+        let choices = backends();
+        for kind in [
+            StreamKind::GraphPageRank { vertices: n, iters: 3 },
+            StreamKind::GraphWcc { vertices: n },
+        ] {
+            let mut images: Vec<Vec<i32>> = Vec::new();
+            for &choice in &choices {
+                let (mut engine, mut slots) = table_for(&kind, AggOp::Add);
+                let policy = ExecPolicy::default().backend(choice);
+                for slice in &slices {
+                    engine.apply(&mut slots, slice, &policy);
+                }
+                images.push(slots);
+            }
+            for img in &images[1..] {
+                prop_assert_eq!(img, &images[0]);
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_install_then_churn_matches_an_uninterrupted_run() {
+    // Simulates recovery: run half a stream, clone the slot image into a
+    // fresh engine via rebuild, continue both, and demand bitwise identity.
+    let kind = StreamKind::GraphPageRank { vertices: 9, iters: 4 };
+    let (mut live, mut live_slots) = table_for(&kind, AggOp::Add);
+    let policy = ExecPolicy::default();
+    let first: Vec<(u32, u32)> =
+        (0..9u32).map(|i| invector_streamkit::edge_event(i, (i * 3 + 1) % 9, true)).collect();
+    live.apply(&mut live_slots, &first, &policy);
+
+    let mut restored = Engine::for_kind(&kind, AggOp::Add).unwrap();
+    let mut restored_slots = live_slots.clone();
+    restored.rebuild(&restored_slots);
+
+    let second: Vec<(u32, u32)> =
+        (0..9u32).map(|i| invector_streamkit::edge_event(i, (i * 3 + 1) % 9, i % 2 == 0)).collect();
+    live.apply(&mut live_slots, &second, &policy);
+    restored.apply(&mut restored_slots, &second, &policy);
+    assert_eq!(live_slots, restored_slots);
+}

@@ -113,6 +113,9 @@ pub enum Command {
         /// Backend request: `None` covers the host's full backend matrix,
         /// a specific choice restricts the matrix to that request.
         backend: Option<BackendChoice>,
+        /// Restrict the matrix to one registry application (`--app`);
+        /// `None` runs the whole registry.
+        app: Option<String>,
         /// Enable runtime observability (as for [`Command::Run`]).
         obs: bool,
     },
@@ -172,11 +175,14 @@ COMMANDS:
   list                 registered applications, variants, and datasets
   run --app <name>     run one application (or use the app name directly:
                        pagerank | spmv | sssp | sswp | bfs | wcc |
-                       euler | moldyn | agg; 'run --app serve' runs the
-                       serving workload through the harness)
+                       euler | moldyn | agg | stream-graph | stream-window;
+                       'run --app serve' runs the serving workload through
+                       the harness)
   run-all              every app x variant x backend, checked against the
                        serial reference (smoke matrix); --backend restricts
-                       the matrix to one request
+                       the matrix to one request, --app to one application;
+                       the summary reports per-app Mup/s for every app
+                       that counts updates (including the serve-backed ones)
   serve                start the TCP update-stream service; with --smoke,
                        run a self-checking loopback workload and exit
   bench-serve          in-process serving throughput sweep over batch quanta
@@ -359,12 +365,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             return Ok(Command::Info { scale });
         }
         "run-all" => {
+            // Resolve the filter eagerly so a typo'd `--app` dies with the
+            // registry's suggestion instead of silently running nothing.
+            let app = match get(&opts, "app") {
+                Some(name) => Some(registry::lookup(name)?.name().to_string()),
+                None => None,
+            };
             return Ok(Command::RunAll {
                 spec: build_spec(&opts, "tiny")?,
                 threads: exec.threads,
                 backend: get(&opts, "backend").map(parse_backend).transpose()?,
+                app,
                 obs: get(&opts, "obs").is_some(),
-            })
+            });
         }
         "metrics" => {
             return Ok(Command::Metrics {
@@ -468,7 +481,9 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Run { app, variants, spec, exec, repeat, obs } => {
             run_app(&app, &variants, &spec, exec, repeat, obs)?
         }
-        Command::RunAll { spec, threads, backend, obs } => run_all(&spec, threads, backend, obs)?,
+        Command::RunAll { spec, threads, backend, app, obs } => {
+            run_all(&spec, threads, backend, app.as_deref(), obs)?
+        }
         Command::Metrics { addr } => run_metrics(&addr)?,
         Command::Serve {
             addr,
@@ -598,6 +613,7 @@ fn run_all(
     spec: &RunSpec,
     threads: usize,
     backend: Option<BackendChoice>,
+    app: Option<&str>,
     obs: bool,
 ) -> Result<(), String> {
     if obs {
@@ -607,7 +623,13 @@ fn run_all(
         None => driver::backend_matrix(),
         Some(choice) => vec![choice],
     };
-    let report = driver::run_all_matrix(spec, threads, &matrix);
+    let report = match app {
+        None => driver::run_all_matrix(spec, threads, &matrix),
+        Some(name) => {
+            let apps = [registry::lookup(name)?];
+            driver::run_all_apps(&apps, spec, threads, &matrix)
+        }
+    };
     let mut current_app = "";
     for cell in &report.cells {
         if cell.app != current_app {
@@ -628,6 +650,13 @@ fn run_all(
                 Some(e) => format!("FAIL: {e}"),
             }
         );
+    }
+    let throughput = report.app_throughput();
+    if !throughput.is_empty() {
+        println!("\nper-app throughput (best cell):");
+        for (app, mupdates) in throughput {
+            println!("  {app:<16} {mupdates:>9.2} Mup/s");
+        }
     }
     println!(
         "\n{} cells, {} failures, {:.2}ms total",
@@ -1500,11 +1529,23 @@ mod tests {
     fn run_all_defaults_to_tiny_and_accepts_threads() {
         assert_eq!(
             parse(&args("run-all")).unwrap(),
-            Command::RunAll { spec: RunSpec::tiny(), threads: 1, backend: None, obs: false }
+            Command::RunAll {
+                spec: RunSpec::tiny(),
+                threads: 1,
+                backend: None,
+                app: None,
+                obs: false
+            }
         );
         assert_eq!(
             parse(&args("run-all --scale tiny --threads 2 --obs")).unwrap(),
-            Command::RunAll { spec: RunSpec::tiny(), threads: 2, backend: None, obs: true }
+            Command::RunAll {
+                spec: RunSpec::tiny(),
+                threads: 2,
+                backend: None,
+                app: None,
+                obs: true
+            }
         );
         assert_eq!(
             parse(&args("run-all --backend portable")).unwrap(),
@@ -1512,9 +1553,26 @@ mod tests {
                 spec: RunSpec::tiny(),
                 threads: 1,
                 backend: Some(BackendChoice::Portable),
+                app: None,
                 obs: false
             }
         );
+    }
+
+    #[test]
+    fn run_all_app_filter_resolves_against_the_registry() {
+        assert_eq!(
+            parse(&args("run-all --app STREAM-GRAPH")).unwrap(),
+            Command::RunAll {
+                spec: RunSpec::tiny(),
+                threads: 1,
+                backend: None,
+                app: Some("stream-graph".to_string()),
+                obs: false
+            }
+        );
+        let err = parse(&args("run-all --app stream-grpah")).unwrap_err();
+        assert!(err.contains("did you mean 'stream-graph'"), "{err}");
     }
 
     #[test]
